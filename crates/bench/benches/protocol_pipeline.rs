@@ -1,0 +1,88 @@
+//! End-to-end pipeline bench: one complete poll round (agent request
+//! handling + content generation + snippet application), the unit of work
+//! behind every synchronization in Figures 6–8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rcb_browser::{Browser, BrowserKind};
+use rcb_core::agent::{AgentConfig, CacheMode, RcbAgent};
+use rcb_core::snippet::AjaxSnippet;
+use rcb_crypto::SessionKey;
+use rcb_origin::OriginRegistry;
+use rcb_sim::link::Pipe;
+use rcb_sim::profiles::NetProfile;
+use rcb_util::{DetRng, SimDuration, SimTime};
+
+fn loaded_host(site: &str) -> Browser {
+    let mut origins = OriginRegistry::with_alexa20();
+    let profile = NetProfile::lan();
+    let mut pipe = Pipe::new(profile.host_origin);
+    let mut b = Browser::new(BrowserKind::Firefox);
+    b.navigate(
+        &rcb_url::Url::parse(&format!("http://{site}/")).unwrap(),
+        &mut origins,
+        &mut pipe,
+        &profile,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    b
+}
+
+fn bench_poll_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poll_round");
+    for site in ["google.com", "cnn.com"] {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(1));
+        let mut host = loaded_host(site);
+        group.bench_function(BenchmarkId::new("full_sync", site), |b| {
+            b.iter(|| {
+                // Fresh agent/snippet each iteration so content is always
+                // regenerated (the expensive path).
+                let mut agent = RcbAgent::new(
+                    key.clone(),
+                    AgentConfig {
+                        cache_mode: CacheMode::NonCache,
+                        ..AgentConfig::default()
+                    },
+                );
+                let mut snippet =
+                    AjaxSnippet::new(1, key.clone(), SimDuration::from_secs(1));
+                let mut participant = Browser::new(BrowserKind::Firefox);
+                participant.doc = Some(rcb_html::parse_document(&agent.initial_page()));
+                let poll = snippet.build_poll();
+                let outcome = agent.handle_request(&poll, &mut host, SimTime::from_secs(1));
+                snippet
+                    .process_response(&outcome.response, &mut participant)
+                    .unwrap()
+            })
+        });
+
+        // The steady-state path: no content change, empty response.
+        let key2 = SessionKey::generate_deterministic(&mut DetRng::new(2));
+        let mut agent = RcbAgent::new(key2.clone(), AgentConfig::default());
+        let mut snippet = AjaxSnippet::new(1, key2, SimDuration::from_secs(1));
+        let mut participant = Browser::new(BrowserKind::Firefox);
+        participant.doc = Some(rcb_html::parse_document(&agent.initial_page()));
+        let first = snippet.build_poll();
+        let outcome = agent.handle_request(&first, &mut host, SimTime::from_secs(1));
+        snippet
+            .process_response(&outcome.response, &mut participant)
+            .unwrap();
+        group.bench_function(BenchmarkId::new("idle_poll", site), |b| {
+            b.iter(|| {
+                let poll = snippet.build_poll();
+                let outcome = agent.handle_request(&poll, &mut host, SimTime::from_secs(2));
+                assert!(outcome.response.body.is_empty());
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_poll_round
+}
+criterion_main!(benches);

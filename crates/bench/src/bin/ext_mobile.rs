@@ -1,0 +1,44 @@
+//! Extension — the §6 mobile experiment (Fennec on a Nokia N810).
+//!
+//! The paper's future work reports that RCB-Agent, ported to Fennec on an
+//! N810 Internet tablet, "can also efficiently support co-browsing using
+//! mobile devices". This harness runs the same M1/M2 sweep on the mobile
+//! profile (slow cellular backhaul for the host, Wi-Fi to participants)
+//! with a CPU slow-down factor applied to the agent's generation cost —
+//! an ARM11 at 400 MHz is orders of magnitude slower than this machine.
+
+use rcb_bench::{print_two_series, run_all_sites_quick};
+use rcb_core::agent::CacheMode;
+use rcb_sim::profiles::NetProfile;
+use rcb_util::SimDuration;
+
+/// Rough single-thread slowdown of a 2008 N810 (ARM11 @ 400 MHz running
+/// interpreted JavaScript) against this native build.
+const MOBILE_CPU_SLOWDOWN: u64 = 300;
+
+fn main() {
+    let profile = NetProfile::mobile();
+    let rows = run_all_sites_quick(&profile, CacheMode::Cache).expect("experiment runs");
+    let series: Vec<_> = rows
+        .iter()
+        .map(|r| (r.site.clone(), r.m1, r.m2))
+        .collect();
+    print_two_series(
+        "Extension — mobile host (N810/Fennec profile): document load vs sync",
+        "M1 (s)",
+        "M2 (s)",
+        &series,
+    );
+
+    // Scale our native M5 to the tablet and check it stays usable.
+    let (nc, _c, _m6) = rcb_bench::measure_m5_m6("wikipedia.org", 5).unwrap();
+    let scaled = SimDuration::from_micros(nc.as_micros() * MOBILE_CPU_SLOWDOWN);
+    println!(
+        "wikipedia.org generation cost: {} native → ~{} at {}x N810 slowdown",
+        nc, scaled, MOBILE_CPU_SLOWDOWN
+    );
+    let ok = scaled.as_millis() < 2_000;
+    println!(
+        "agent remains interactive (<2 s generation) on tablet-class CPU: {ok}   (paper: \"can also efficiently support co-browsing\")"
+    );
+}

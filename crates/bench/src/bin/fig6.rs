@@ -1,0 +1,31 @@
+//! Figure 6 — HTML document load time in the LAN environment.
+//!
+//! Regenerates the M1-vs-M2 comparison for the 20 sample sites on the
+//! campus-LAN profile, averaged over five repetitions (paper §5.1.2).
+//! Expected shape: M2 < 0.4 s and far below M1 for every site.
+
+use rcb_bench::{print_two_series, run_all_sites};
+use rcb_core::agent::CacheMode;
+use rcb_sim::profiles::NetProfile;
+
+fn main() {
+    let profile = NetProfile::lan();
+    let rows = run_all_sites(&profile, CacheMode::Cache).expect("experiment runs");
+    let series: Vec<_> = rows
+        .iter()
+        .map(|r| (r.site.clone(), r.m1, r.m2))
+        .collect();
+    print_two_series(
+        "Figure 6 — HTML document load time, LAN (5-run averages)",
+        "M1 (s)",
+        "M2 (s)",
+        &series,
+    );
+    let all_below = rows.iter().all(|r| r.m2 < r.m1);
+    let max_m2 = rows.iter().map(|r| r.m2).max().unwrap();
+    println!("M2 < M1 for all 20 sites: {all_below}   (paper: yes)");
+    println!(
+        "max M2 = {} — paper: \"the values of M2 are less than 0.4 seconds\"",
+        max_m2
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 7 — HTML document load time in the WAN environment.
+//!
+//! Regenerates the M1-vs-M2 comparison over the home-DSL profile
+//! (1.5 Mbps down / 384 Kbps up at both ends). Expected shape: M2 grows
+//! (the host's 384 Kbps uplink is the bottleneck) but stays below M1 for
+//! most sites — the paper reports 17 of 20 — with only the largest pages
+//! crossing over.
+
+use rcb_bench::{print_two_series, run_all_sites};
+use rcb_core::agent::CacheMode;
+use rcb_sim::profiles::NetProfile;
+
+fn main() {
+    let profile = NetProfile::wan();
+    let rows = run_all_sites(&profile, CacheMode::Cache).expect("experiment runs");
+    let series: Vec<_> = rows
+        .iter()
+        .map(|r| (r.site.clone(), r.m1, r.m2))
+        .collect();
+    print_two_series(
+        "Figure 7 — HTML document load time, WAN (5-run averages)",
+        "M1 (s)",
+        "M2 (s)",
+        &series,
+    );
+    let below: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.m2 < r.m1)
+        .map(|r| r.site.as_str())
+        .collect();
+    let above: Vec<String> = rows
+        .iter()
+        .filter(|r| r.m2 >= r.m1)
+        .map(|r| format!("{} ({:.1} KB)", r.site, r.page_bytes as f64 / 1024.0))
+        .collect();
+    println!(
+        "M2 < M1 for {}/20 sites  (paper: 17/20)",
+        below.len()
+    );
+    println!("crossed over (largest pages expected): {}", above.join(", "));
+}

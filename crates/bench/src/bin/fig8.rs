@@ -1,0 +1,36 @@
+//! Figure 8 — cache-mode performance gain in the LAN environment.
+//!
+//! Regenerates the M3-vs-M4 comparison (supplementary-object download
+//! time from the origin vs. from the host browser cache) on the LAN.
+//! Expected shape: M4 < M3 for all 20 sites ("downloading the
+//! supplementary Web objects from the host browser is faster than
+//! retrieving them from the remote Web server").
+
+use rcb_bench::{print_two_series, run_all_sites};
+use rcb_core::agent::CacheMode;
+use rcb_sim::profiles::NetProfile;
+
+fn main() {
+    let profile = NetProfile::lan();
+    let noncache = run_all_sites(&profile, CacheMode::NonCache).expect("M3 run");
+    let cache = run_all_sites(&profile, CacheMode::Cache).expect("M4 run");
+    let series: Vec<_> = noncache
+        .iter()
+        .zip(cache.iter())
+        .map(|(nc, c)| (nc.site.clone(), nc.m3, c.m4))
+        .collect();
+    print_two_series(
+        "Figure 8 — supplementary object download time, LAN (5-run averages)",
+        "M3 (s)",
+        "M4 (s)",
+        &series,
+    );
+    let wins = series.iter().filter(|(_, m3, m4)| m4 < m3).count();
+    println!("M4 < M3 for {wins}/20 sites  (paper: 20/20)");
+    let avg_gain: f64 = series
+        .iter()
+        .map(|(_, m3, m4)| m3.as_secs_f64() / m4.as_secs_f64().max(1e-9))
+        .sum::<f64>()
+        / series.len() as f64;
+    println!("mean speedup from cache mode: {avg_gain:.1}x");
+}

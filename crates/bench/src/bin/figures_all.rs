@@ -1,0 +1,154 @@
+//! Convenience driver: regenerates every figure and table in one run,
+//! printing a compact pass/fail summary of the paper's shape claims.
+//!
+//! `cargo run --release -p rcb-bench --bin figures_all`
+
+use rcb_bench::{measure_m5_m6, run_all_sites_quick};
+use rcb_core::agent::CacheMode;
+use rcb_core::usability::{likert, run_session};
+use rcb_origin::sites::TABLE1_SIZES_KB;
+use rcb_sim::profiles::NetProfile;
+
+struct Check {
+    name: &'static str,
+    paper: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn main() {
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Figure 6.
+    let lan = run_all_sites_quick(&NetProfile::lan(), CacheMode::Cache).expect("LAN run");
+    let below = lan.iter().filter(|r| r.m2 < r.m1).count();
+    let max_m2 = lan.iter().map(|r| r.m2).max().expect("20 rows");
+    checks.push(Check {
+        name: "Fig 6  LAN M2 < M1",
+        paper: "all 20 sites, M2 < 0.4 s",
+        ok: below == 20 && max_m2.as_millis() < 400,
+        detail: format!("{below}/20 below, max M2 {max_m2}"),
+    });
+
+    // Figure 7.
+    let wan = run_all_sites_quick(&NetProfile::wan(), CacheMode::Cache).expect("WAN run");
+    let wan_below = wan.iter().filter(|r| r.m2 < r.m1).count();
+    let crossed: Vec<&str> = wan
+        .iter()
+        .filter(|r| r.m2 >= r.m1)
+        .map(|r| r.site.as_str())
+        .collect();
+    checks.push(Check {
+        name: "Fig 7  WAN M2 < M1 mostly",
+        paper: "17 of 20 sites",
+        ok: (14..=19).contains(&wan_below),
+        detail: format!("{wan_below}/20 below; crossed: {}", crossed.join(", ")),
+    });
+
+    // Figure 8.
+    let m3 = run_all_sites_quick(&NetProfile::lan(), CacheMode::NonCache).expect("M3 run");
+    let m4 = &lan;
+    let cache_wins = m3
+        .iter()
+        .zip(m4.iter())
+        .filter(|(nc, c)| c.m4 < nc.m3)
+        .count();
+    checks.push(Check {
+        name: "Fig 8  cache gain (M4<M3)",
+        paper: "all 20 sites",
+        ok: cache_wins == 20,
+        detail: format!("{cache_wins}/20"),
+    });
+
+    // Table 1 shapes.
+    let (g_nc, g_c, g_m6) = measure_m5_m6("google.com", 5).expect("google M5/M6");
+    let (a_nc, a_c, a_m6) = measure_m5_m6("amazon.com", 5).expect("amazon M5/M6");
+    checks.push(Check {
+        name: "Tab 1  M5 grows with size",
+        paper: "larger page ⇒ more time",
+        ok: a_nc > g_nc && a_c > g_c,
+        detail: format!(
+            "google {:.0}us → amazon {:.0}us (non-cache)",
+            g_nc.as_micros(),
+            a_nc.as_micros()
+        ),
+    });
+    checks.push(Check {
+        name: "Tab 1  M5 cache > non-cache",
+        paper: "every site",
+        ok: a_c > a_nc && g_c >= g_nc,
+        detail: format!(
+            "amazon cache {:.0}us vs non-cache {:.0}us",
+            a_c.as_micros(),
+            a_nc.as_micros()
+        ),
+    });
+    checks.push(Check {
+        name: "Tab 1  M6 < 1/3 s",
+        paper: "all 20 webpages",
+        ok: g_m6.as_millis() < 333 && a_m6.as_millis() < 333,
+        detail: format!("amazon M6 {:.0}us", a_m6.as_micros()),
+    });
+
+    // Table 2.
+    let session = run_session(4242).expect("session runs");
+    checks.push(Check {
+        name: "Tab 2  20-task session",
+        paper: "100% completion",
+        ok: session.all_ok(),
+        detail: format!(
+            "{}/20 tasks ok in {:.1} min",
+            session.tasks.iter().filter(|t| t.ok).count(),
+            session.total.as_secs_f64() / 60.0
+        ),
+    });
+
+    // Table 4. At the paper's n=20 the mode can legitimately flip between
+    // Agree and Strongly Agree under resampling; the stable regenerated
+    // claim is that both median and mode stay on the positive side for
+    // every question (and at larger n they converge to Agree/Agree — see
+    // the unit test in rcb-core::usability).
+    let summaries = likert(20, 4242);
+    let positive = |label: &str| label == "Agree" || label == "Strongly Agree";
+    let all_positive = summaries
+        .iter()
+        .all(|s| positive(s.median) && positive(s.mode));
+    let agree_count = summaries
+        .iter()
+        .filter(|s| s.median == "Agree" && s.mode == "Agree")
+        .count();
+    checks.push(Check {
+        name: "Tab 4  Likert median/mode",
+        paper: "positive Agree for all questions",
+        ok: all_positive && agree_count >= 6,
+        detail: format!(
+            "{}/{} exactly Agree/Agree, all positive: {}",
+            agree_count,
+            summaries.len(),
+            all_positive
+        ),
+    });
+
+    println!(
+        "\nShape summary over {} sites / {} claims",
+        TABLE1_SIZES_KB.len(),
+        checks.len()
+    );
+    println!("{:-<100}", "");
+    let mut failures = 0;
+    for c in &checks {
+        if !c.ok {
+            failures += 1;
+        }
+        println!(
+            "{:<5} {:<28} paper: {:<28} ours: {}",
+            if c.ok { "PASS" } else { "FAIL" },
+            c.name,
+            c.paper,
+            c.detail
+        );
+    }
+    println!("{:-<100}", "");
+    println!("{} / {} shape claims reproduced", checks.len() - failures, checks.len());
+    std::process::exit(i32::from(failures > 0));
+}

@@ -1,0 +1,210 @@
+//! User browsing actions and their wire codec.
+//!
+//! A participant's actions ("mouse click and data input", §3.3; "form
+//! filling and mouse-pointer moving", §3.1 step 9) are serialized and
+//! piggybacked in the body of POST polling requests; the agent decodes and
+//! merges them into the host page. The host's actions flow the other way
+//! inside the `userActions` element of the newContent response.
+
+use rcb_url::percent::{decode, encode};
+use rcb_util::{RcbError, Result};
+
+/// One user browsing action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserAction {
+    /// A click on an element, identified by id or address (`#id` form).
+    Click {
+        /// Element identifier (the agent resolves it on the host DOM).
+        target: String,
+    },
+    /// A single form field edit.
+    FormInput {
+        /// Form element id.
+        form: String,
+        /// Field name.
+        field: String,
+        /// New value.
+        value: String,
+    },
+    /// A form submission carrying all field values.
+    FormSubmit {
+        /// Form element id.
+        form: String,
+        /// Field name-value pairs.
+        fields: Vec<(String, String)>,
+    },
+    /// Mouse-pointer movement (viewport coordinates).
+    MouseMove {
+        /// X coordinate.
+        x: i32,
+        /// Y coordinate.
+        y: i32,
+    },
+    /// A navigation request (participant asks the host to visit a URL).
+    Navigate {
+        /// Absolute URL.
+        url: String,
+    },
+}
+
+impl UserAction {
+    /// Encodes one action as a single line.
+    pub fn encode(&self) -> String {
+        match self {
+            UserAction::Click { target } => format!("click|{}", encode(target)),
+            UserAction::FormInput { form, field, value } => format!(
+                "input|{}|{}|{}",
+                encode(form),
+                encode(field),
+                encode(value)
+            ),
+            UserAction::FormSubmit { form, fields } => {
+                let fs: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+                    .collect();
+                format!("submit|{}|{}", encode(form), fs.join("&"))
+            }
+            UserAction::MouseMove { x, y } => format!("mouse|{x}|{y}"),
+            UserAction::Navigate { url } => format!("nav|{}", encode(url)),
+        }
+    }
+
+    /// Decodes one encoded line.
+    pub fn decode(line: &str) -> Result<UserAction> {
+        let mut parts = line.split('|');
+        let kind = parts
+            .next()
+            .ok_or_else(|| RcbError::parse("action", "empty line"))?;
+        let err = || RcbError::parse("action", format!("malformed {kind} action: {line:?}"));
+        match kind {
+            "click" => Ok(UserAction::Click {
+                target: decode(parts.next().ok_or_else(err)?),
+            }),
+            "input" => Ok(UserAction::FormInput {
+                form: decode(parts.next().ok_or_else(err)?),
+                field: decode(parts.next().ok_or_else(err)?),
+                value: decode(parts.next().ok_or_else(err)?),
+            }),
+            "submit" => {
+                let form = decode(parts.next().ok_or_else(err)?);
+                let raw = parts.next().ok_or_else(err)?;
+                let fields = raw
+                    .split('&')
+                    .filter(|s| !s.is_empty())
+                    .map(|kv| match kv.split_once('=') {
+                        Some((k, v)) => Ok((decode(k), decode(v))),
+                        None => Err(err()),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(UserAction::FormSubmit { form, fields })
+            }
+            "mouse" => {
+                let x = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(err)?;
+                let y = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(err)?;
+                Ok(UserAction::MouseMove { x, y })
+            }
+            "nav" => Ok(UserAction::Navigate {
+                url: decode(parts.next().ok_or_else(err)?),
+            }),
+            _ => Err(RcbError::parse(
+                "action",
+                format!("unknown action kind {kind:?}"),
+            )),
+        }
+    }
+
+    /// Encodes a batch as newline-separated lines.
+    pub fn encode_batch(actions: &[UserAction]) -> String {
+        actions
+            .iter()
+            .map(UserAction::encode)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Decodes a newline-separated batch, skipping blank lines.
+    pub fn decode_batch(payload: &str) -> Result<Vec<UserAction>> {
+        payload
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(UserAction::decode)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<UserAction> {
+        vec![
+            UserAction::Click {
+                target: "#add".into(),
+            },
+            UserAction::FormInput {
+                form: "shipping".into(),
+                field: "street".into(),
+                value: "1 Main St | Apt #2&3".into(),
+            },
+            UserAction::FormSubmit {
+                form: "shipping".into(),
+                fields: vec![
+                    ("fullname".into(), "Alice Ångström".into()),
+                    ("city".into(), "New York".into()),
+                ],
+            },
+            UserAction::MouseMove { x: -3, y: 480 },
+            UserAction::Navigate {
+                url: "http://amazon.com/product/7?ref=a&b=2".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn single_roundtrip() {
+        for a in samples() {
+            let line = a.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(UserAction::decode(&line).unwrap(), a, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let batch = samples();
+        let wire = UserAction::encode_batch(&batch);
+        assert_eq!(UserAction::decode_batch(&wire).unwrap(), batch);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert_eq!(UserAction::encode_batch(&[]), "");
+        assert!(UserAction::decode_batch("").unwrap().is_empty());
+        assert!(UserAction::decode_batch("\n \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn hostile_values_survive() {
+        let a = UserAction::FormInput {
+            form: "f|g".into(),
+            field: "a\nb".into(),
+            value: "x=y&z|%25".into(),
+        };
+        assert_eq!(UserAction::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(UserAction::decode("bogus|x").is_err());
+        assert!(UserAction::decode("mouse|a|b").is_err());
+        assert!(UserAction::decode("input|onlyform").is_err());
+        assert!(UserAction::decode_batch("click|%23a\nbogus|x").is_err());
+    }
+}

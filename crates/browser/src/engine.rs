@@ -1,0 +1,558 @@
+//! Browser navigation and resource loading.
+//!
+//! Drives the simulated network: an HTML fetch (the paper's M1 when run on
+//! the host browser), DOM construction, supplementary-object fetches over
+//! parallel persistent connections (M3 when a participant fetches from the
+//! origin), cache population, cookies, and a DOM version counter that the
+//! agent turns into content timestamps.
+
+use std::collections::HashMap;
+
+use rcb_cache::Cache;
+use rcb_html::{parse_document, Document};
+use rcb_http::{Request, Response};
+use rcb_origin::OriginRegistry;
+use rcb_sim::link::{Direction, Pipe};
+use rcb_sim::profiles::NetProfile;
+use rcb_url::Url;
+use rcb_util::{ByteSize, RcbError, Result, SimDuration, SimTime};
+
+use crate::kind::BrowserKind;
+use crate::observer::DownloadObserver;
+
+/// What kind of resource an HTTP exchange fetches — selects the origin
+/// think-time model (dynamic HTML documents are slow to generate; static
+/// objects come off a CDN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThinkClass {
+    /// A dynamically generated HTML document.
+    HtmlDocument,
+    /// A static supplementary object.
+    Object,
+    /// No server think time (peer is not an origin, e.g. RCB-Agent).
+    None,
+}
+
+/// Timing breakdown of one navigation.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// Time from navigation start to last HTML byte — the paper's M1.
+    pub html_time: SimDuration,
+    /// Time from HTML completion until every supplementary object arrived.
+    pub objects_time: SimDuration,
+    /// When everything finished.
+    pub finished_at: SimTime,
+    /// Supplementary objects fetched over the network (cache misses).
+    pub objects_fetched: usize,
+    /// Supplementary objects served from the local cache.
+    pub objects_cached: usize,
+    /// Total bytes that crossed the network.
+    pub bytes_moved: ByteSize,
+}
+
+/// A simulated web browser.
+pub struct Browser {
+    /// Browser family (drives snippet capability paths).
+    pub kind: BrowserKind,
+    /// Current page URL.
+    pub url: Option<Url>,
+    /// Current page DOM.
+    pub doc: Option<Document>,
+    /// Object cache.
+    pub cache: Cache,
+    /// Download observer (records absolute object URLs per page).
+    pub observer: DownloadObserver,
+    /// Cookie jar: host → (name → value).
+    cookies: HashMap<String, HashMap<String, String>>,
+    /// Monotone counter bumped on every navigation or DOM mutation.
+    dom_version: u64,
+    /// Visited URLs, oldest first.
+    history: Vec<Url>,
+    /// Current position within `history` (== len when at the newest).
+    history_pos: usize,
+}
+
+impl Browser {
+    /// Creates a browser with a default-sized cache.
+    pub fn new(kind: BrowserKind) -> Browser {
+        Browser {
+            kind,
+            url: None,
+            doc: None,
+            cache: Cache::with_default_capacity(),
+            observer: DownloadObserver::new(),
+            cookies: HashMap::new(),
+            dom_version: 0,
+            history: Vec::new(),
+            history_pos: 0,
+        }
+    }
+
+    /// The session history, oldest first.
+    pub fn history(&self) -> &[Url] {
+        &self.history
+    }
+
+    /// The URL the back button would load, if any.
+    pub fn back_target(&self) -> Option<&Url> {
+        if self.history_pos >= 2 {
+            self.history.get(self.history_pos - 2)
+        } else {
+            None
+        }
+    }
+
+    /// The URL the forward button would load, if any.
+    pub fn forward_target(&self) -> Option<&Url> {
+        self.history.get(self.history_pos)
+    }
+
+    /// Moves the history cursor back one entry, returning the URL the
+    /// caller must now navigate to (history-traversal navigations do not
+    /// truncate the forward list).
+    pub fn go_back(&mut self) -> Option<Url> {
+        let target = self.back_target()?.clone();
+        self.history_pos -= 1;
+        Some(target)
+    }
+
+    /// Moves the history cursor forward one entry.
+    pub fn go_forward(&mut self) -> Option<Url> {
+        let target = self.forward_target()?.clone();
+        self.history_pos += 1;
+        Some(target)
+    }
+
+    /// Current DOM version (bumped on navigation and mutation).
+    pub fn dom_version(&self) -> u64 {
+        self.dom_version
+    }
+
+    /// Runs a mutation against the live DOM and bumps the version — the
+    /// stand-in for page JavaScript (Ajax updates, DHTML) changing content
+    /// under a constant URL (paper §3.1 step 9).
+    pub fn mutate_dom<F: FnOnce(&mut Document)>(&mut self, f: F) -> Result<()> {
+        let doc = self
+            .doc
+            .as_mut()
+            .ok_or_else(|| RcbError::InvalidInput("no document loaded".into()))?;
+        f(doc);
+        self.dom_version += 1;
+        Ok(())
+    }
+
+    /// Cookie header value for `host`, if any cookies are stored.
+    pub fn cookie_header(&self, host: &str) -> Option<String> {
+        let jar = self.cookies.get(host)?;
+        if jar.is_empty() {
+            return None;
+        }
+        let mut pairs: Vec<String> = jar.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        pairs.sort();
+        Some(pairs.join("; "))
+    }
+
+    fn absorb_cookies(&mut self, host: &str, resp: &Response) {
+        for sc in resp.headers.get_all("set-cookie") {
+            if let Some(kv) = sc.split(';').next() {
+                if let Some((k, v)) = kv.split_once('=') {
+                    self.cookies
+                        .entry(host.to_string())
+                        .or_default()
+                        .insert(k.trim().to_string(), v.trim().to_string());
+                }
+            }
+        }
+    }
+
+    /// Issues one HTTP request to an origin over `pipe`, charging wire
+    /// time under the profile's compression/think model; applies the
+    /// cookie jar both ways. Returns the response and its arrival time.
+    pub fn http_request(
+        &mut self,
+        url: &Url,
+        mut req: Request,
+        origins: &mut OriginRegistry,
+        pipe: &mut Pipe,
+        profile: &NetProfile,
+        class: ThinkClass,
+        start: SimTime,
+    ) -> (Response, SimTime) {
+        req.headers.set("Host", url.host.clone());
+        if let Some(c) = self.cookie_header(&url.host) {
+            req.headers.set("Cookie", c);
+        }
+        let req_arrival = pipe.transfer(start, req.wire_len(), Direction::Up);
+        let resp = origins.dispatch(&url.host, &req, req_arrival);
+        let think = match class {
+            ThinkClass::HtmlDocument => profile.html_think(resp.body.len()),
+            ThinkClass::Object => profile.object_think,
+            ThinkClass::None => SimDuration::ZERO,
+        };
+        let resp_start = req_arrival + think;
+        let ct = resp.content_type().unwrap_or_default();
+        let charged = 200 + profile.wire_bytes(&ct, resp.body.len());
+        let resp_arrival = pipe.transfer(resp_start, charged, Direction::Down);
+        self.absorb_cookies(&url.host, &resp);
+        (resp, resp_arrival)
+    }
+
+    /// Navigates to `url`: fetches the HTML document, parses it, then
+    /// fetches all supplementary objects (parallel connections, cache
+    /// aware). Returns the timing breakdown.
+    pub fn navigate(
+        &mut self,
+        url: &Url,
+        origins: &mut OriginRegistry,
+        pipe: &mut Pipe,
+        profile: &NetProfile,
+        start: SimTime,
+    ) -> Result<LoadStats> {
+        // 1. DNS/redirect overhead, TCP connect, HTML fetch. HTTP
+        // redirects (301/302) are followed like a browser would, up to a
+        // small hop budget.
+        let connected = pipe.connect(start + profile.first_request_overhead);
+        let mut url = url.clone();
+        let mut hops = 0;
+        let mut begin = connected;
+        let (resp, html_arrival) = loop {
+            let (resp, arrived) = self.http_request(
+                &url,
+                Request::get(url.request_target()),
+                origins,
+                pipe,
+                profile,
+                ThinkClass::HtmlDocument,
+                begin,
+            );
+            begin = arrived;
+            if matches!(resp.status.0, 301 | 302) {
+                hops += 1;
+                if hops > 5 {
+                    return Err(RcbError::Protocol("redirect loop".into()));
+                }
+                let loc = resp.headers.get("location").unwrap_or("/").to_string();
+                url = url.join(&loc)?;
+                continue;
+            }
+            break (resp, arrived);
+        };
+        let url = &url;
+        if !resp.status.is_success() {
+            return Err(RcbError::Protocol(format!(
+                "navigation to {url} failed with status {}",
+                resp.status.0
+            )));
+        }
+        let mut bytes_moved = resp.wire_len();
+        let html_time = html_arrival.since(start);
+        let body = resp.body_str();
+        let doc = parse_document(&body);
+
+        // 2. Collect and fetch supplementary objects.
+        let raw_refs =
+            rcb_html::query::collect_supplementary_urls(&doc, doc.root());
+        self.url = Some(url.clone());
+        self.doc = Some(doc);
+        self.dom_version += 1;
+        // History: a fresh navigation truncates any forward entries,
+        // unless we are re-visiting exactly where the cursor points
+        // (a back/forward traversal handled by `go_back`/`go_forward`).
+        let revisit = self
+            .history
+            .get(self.history_pos.wrapping_sub(1))
+            .is_some_and(|u| u == url);
+        if !revisit {
+            self.history.truncate(self.history_pos);
+            self.history.push(url.clone());
+            self.history_pos = self.history.len();
+        }
+
+        let (finished_at, fetched, cached, obj_bytes) =
+            self.fetch_objects(url, &raw_refs, origins, pipe, profile, html_arrival)?;
+        bytes_moved += obj_bytes;
+        Ok(LoadStats {
+            html_time,
+            objects_time: finished_at.since(html_arrival),
+            finished_at,
+            objects_fetched: fetched,
+            objects_cached: cached,
+            bytes_moved: ByteSize::bytes(bytes_moved as u64),
+        })
+    }
+
+    /// Fetches the given raw object references (relative to `page`) over
+    /// up to `profile.browser_connections` parallel connections, recording
+    /// resolutions in the observer and storing bodies in the cache.
+    ///
+    /// Returns `(finish_time, fetched, served_from_cache, bytes_moved)`.
+    pub fn fetch_objects(
+        &mut self,
+        page: &Url,
+        raw_refs: &[String],
+        origins: &mut OriginRegistry,
+        pipe: &mut Pipe,
+        profile: &NetProfile,
+        start: SimTime,
+    ) -> Result<(SimTime, usize, usize, usize)> {
+        let mut free_at: Vec<SimTime> = Vec::new();
+        let mut finished = start;
+        let mut fetched = 0usize;
+        let mut cached = 0usize;
+        let mut bytes = 0usize;
+        for raw in raw_refs {
+            let Ok(abs) = page.join(raw) else {
+                continue; // unresolvable reference: browsers skip these
+            };
+            self.observer.record(page, raw, &abs);
+            if self.cache.contains(&abs.to_string()) {
+                self.cache.lookup(&abs.to_string());
+                cached += 1;
+                continue;
+            }
+            // Pick the earliest-free connection (open lazily).
+            let slot = if free_at.len() < profile.browser_connections {
+                free_at.push(pipe.connect(start));
+                free_at.len() - 1
+            } else {
+                free_at
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .map(|(i, _)| i)
+                    .expect("connection pool is non-empty")
+            };
+            let begin = free_at[slot].max(start);
+            let (resp, done) = self.http_request(
+                &abs,
+                Request::get(abs.request_target()),
+                origins,
+                pipe,
+                profile,
+                ThinkClass::Object,
+                begin,
+            );
+            free_at[slot] = done;
+            finished = finished.max(done);
+            bytes += resp.wire_len();
+            fetched += 1;
+            if resp.status.is_success() {
+                let ct = resp.content_type().unwrap_or_default();
+                self.cache.store(&abs.to_string(), &ct, resp.body, done);
+            }
+        }
+        Ok((finished, fetched, cached, bytes))
+    }
+
+    /// The raw supplementary references of the current page (document
+    /// order, deduplicated).
+    pub fn supplementary_refs(&self) -> Vec<String> {
+        match &self.doc {
+            Some(doc) => rcb_html::query::collect_supplementary_urls(doc, doc.root()),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_origin::sites::site_by_index;
+    use rcb_origin::StaticSiteServer;
+
+    fn world() -> (OriginRegistry, NetProfile, Pipe) {
+        let origins = OriginRegistry::with_alexa20();
+        let profile = NetProfile::lan();
+        let pipe = Pipe::new(profile.host_origin);
+        (origins, profile, pipe)
+    }
+
+    #[test]
+    fn navigation_loads_dom_and_objects() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b = Browser::new(BrowserKind::Firefox);
+        let url = Url::parse("http://google.com/").unwrap();
+        let stats = b
+            .navigate(&url, &mut origins, &mut pipe, &profile, SimTime::ZERO)
+            .unwrap();
+        assert!(b.doc.as_ref().unwrap().body().is_some());
+        let spec = site_by_index(2).unwrap();
+        // Some images may repeat in the page; fetched counts unique objects.
+        assert!(stats.objects_fetched > 0);
+        assert!(stats.objects_fetched <= spec.objects.len());
+        assert_eq!(stats.objects_cached, 0);
+        assert!(stats.html_time > SimDuration::ZERO);
+        assert!(stats.bytes_moved.as_bytes() > spec.html_size.as_bytes());
+        assert_eq!(b.dom_version(), 1);
+    }
+
+    #[test]
+    fn second_visit_hits_cache() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b = Browser::new(BrowserKind::Firefox);
+        let url = Url::parse("http://apple.com/").unwrap();
+        let s1 = b
+            .navigate(&url, &mut origins, &mut pipe, &profile, SimTime::ZERO)
+            .unwrap();
+        pipe.reset();
+        let s2 = b
+            .navigate(&url, &mut origins, &mut pipe, &profile, SimTime::from_secs(100))
+            .unwrap();
+        assert_eq!(s2.objects_fetched, 0);
+        assert_eq!(s2.objects_cached, s1.objects_fetched);
+        assert!(s2.objects_time < s1.objects_time);
+    }
+
+    #[test]
+    fn larger_pages_take_longer_to_load() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b1 = Browser::new(BrowserKind::Firefox);
+        let google = b1
+            .navigate(
+                &Url::parse("http://google.com/").unwrap(),
+                &mut origins,
+                &mut pipe,
+                &profile,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        pipe.reset();
+        let mut b2 = Browser::new(BrowserKind::Firefox);
+        let amazon = b2
+            .navigate(
+                &Url::parse("http://amazon.com/").unwrap(),
+                &mut origins,
+                &mut pipe,
+                &profile,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(amazon.html_time > google.html_time);
+    }
+
+    #[test]
+    fn navigation_to_unknown_host_fails() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b = Browser::new(BrowserKind::Firefox);
+        let err = b
+            .navigate(
+                &Url::parse("http://unknown.example/").unwrap(),
+                &mut origins,
+                &mut pipe,
+                &profile,
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err.category(), "protocol");
+    }
+
+    #[test]
+    fn cookies_persist_across_requests() {
+        let mut origins = OriginRegistry::new();
+        origins.register(Box::new(rcb_origin::apps::ShopApp::new("shop.example.com")));
+        let profile = NetProfile::lan();
+        let mut pipe = Pipe::new(profile.host_origin);
+        let mut b = Browser::new(BrowserKind::Firefox);
+        let url = Url::parse("http://shop.example.com/").unwrap();
+        let (resp, t1) = b.http_request(
+            &url,
+            Request::get("/"),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            ThinkClass::HtmlDocument,
+            SimTime::ZERO,
+        );
+        assert!(resp.headers.get("set-cookie").is_some());
+        let cookie = b.cookie_header("shop.example.com").unwrap();
+        assert!(cookie.starts_with("sid="));
+        // Second request carries the cookie; server does not reissue.
+        let (resp2, _) = b.http_request(
+            &url,
+            Request::get("/cart"),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            ThinkClass::HtmlDocument,
+            t1,
+        );
+        assert!(resp2.headers.get("set-cookie").is_none());
+    }
+
+    #[test]
+    fn mutate_dom_bumps_version() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b = Browser::new(BrowserKind::Firefox);
+        assert!(b.mutate_dom(|_| {}).is_err());
+        b.navigate(
+            &Url::parse("http://live.com/").unwrap(),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let v = b.dom_version();
+        b.mutate_dom(|doc| {
+            let body = doc.body().unwrap();
+            let note = doc.create_element("div");
+            doc.append_child(body, note).unwrap();
+        })
+        .unwrap();
+        assert_eq!(b.dom_version(), v + 1);
+    }
+
+    #[test]
+    fn history_back_and_forward() {
+        let (mut origins, profile, mut pipe) = world();
+        let mut b = Browser::new(BrowserKind::Firefox);
+        let google = Url::parse("http://google.com/").unwrap();
+        let apple = Url::parse("http://apple.com/").unwrap();
+        let ebay = Url::parse("http://ebay.com/").unwrap();
+        for u in [&google, &apple] {
+            b.navigate(u, &mut origins, &mut pipe, &profile, SimTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(b.history(), &[google.clone(), apple.clone()]);
+        assert_eq!(b.back_target(), Some(&google));
+        assert_eq!(b.forward_target(), None);
+
+        // Back to google (traversal does not truncate forward history).
+        let target = b.go_back().unwrap();
+        b.navigate(&target, &mut origins, &mut pipe, &profile, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(b.history().len(), 2);
+        assert_eq!(b.forward_target(), Some(&apple));
+
+        // Fresh navigation from the middle truncates the forward list.
+        b.navigate(&ebay, &mut origins, &mut pipe, &profile, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(b.history(), &[google, ebay]);
+        assert_eq!(b.forward_target(), None);
+        assert!(b.go_forward().is_none());
+    }
+
+    #[test]
+    fn wan_navigation_is_slower_than_lan() {
+        let spec = site_by_index(14).unwrap(); // cnn.com
+        let lan_profile = NetProfile::lan();
+        let wan_profile = NetProfile::wan();
+        let mut lan_origins = OriginRegistry::new();
+        lan_origins.register(Box::new(StaticSiteServer::new(spec.clone())));
+        let mut wan_origins = OriginRegistry::new();
+        wan_origins.register(Box::new(StaticSiteServer::new(spec)));
+        let url = Url::parse("http://cnn.com/").unwrap();
+
+        let mut lan_pipe = Pipe::new(lan_profile.host_origin);
+        let mut b1 = Browser::new(BrowserKind::Firefox);
+        let lan = b1
+            .navigate(&url, &mut lan_origins, &mut lan_pipe, &lan_profile, SimTime::ZERO)
+            .unwrap();
+        let mut wan_pipe = Pipe::new(wan_profile.host_origin);
+        let mut b2 = Browser::new(BrowserKind::Firefox);
+        let wan = b2
+            .navigate(&url, &mut wan_origins, &mut wan_pipe, &wan_profile, SimTime::ZERO)
+            .unwrap();
+        assert!(wan.html_time > lan.html_time);
+    }
+}

@@ -1,0 +1,48 @@
+//! Browser capability model.
+//!
+//! §4.2.2: "since the innerHTML property of the head element is writable
+//! in Firefox, Ajax-Snippet will directly set the new value for it. In
+//! contrast, the innerHTML property is read-only for the head element (and
+//! its style child element) in Internet Explorer, so Ajax-Snippet will
+//! construct each child element of the head element using DOM methods."
+
+/// The participant browser family, which selects the snippet's
+//  head-update strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrowserKind {
+    /// Firefox-family: head innerHTML is writable.
+    Firefox,
+    /// Internet-Explorer-family: head children must be built via
+    /// `createElement`/`appendChild`.
+    InternetExplorer,
+}
+
+impl BrowserKind {
+    /// Whether `head.innerHTML` can be assigned directly.
+    pub fn head_inner_html_writable(&self) -> bool {
+        matches!(self, BrowserKind::Firefox)
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BrowserKind::Firefox => "Firefox",
+            BrowserKind::InternetExplorer => "Internet Explorer",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_split() {
+        assert!(BrowserKind::Firefox.head_inner_html_writable());
+        assert!(!BrowserKind::InternetExplorer.head_inner_html_writable());
+        assert_ne!(
+            BrowserKind::Firefox.name(),
+            BrowserKind::InternetExplorer.name()
+        );
+    }
+}

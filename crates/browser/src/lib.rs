@@ -1,0 +1,30 @@
+//! Simulated browser engine.
+//!
+//! The host browser in RCB is a real browser with the agent extension
+//! inside it; the participant browser is "a regular JavaScript-enabled Web
+//! browser" (paper §1). This crate models the parts of a browser the
+//! system touches:
+//!
+//! * [`engine`] — navigation: fetch HTML over a simulated pipe, parse it
+//!   into a DOM, fetch supplementary objects over parallel connections,
+//!   populate the cache, maintain a cookie jar, and track a DOM version
+//!   counter (the basis for the agent's content timestamps);
+//! * [`observer`] — the download observer recording the absolute URL of
+//!   every object request, mirroring the paper's use of
+//!   `nsIObserverService` for accurate relative→absolute URL conversion
+//!   (§4.1.2, step 2);
+//! * [`actions`] — the user-action vocabulary (click, form input/submit,
+//!   mouse move, navigate) and its compact wire codec, which Ajax-Snippet
+//!   piggybacks onto polling requests (§4.1.1);
+//! * [`kind`] — the Firefox/IE capability split that decides how the
+//!   snippet rebuilds head content (§4.2.2).
+
+pub mod actions;
+pub mod engine;
+pub mod kind;
+pub mod observer;
+
+pub use actions::UserAction;
+pub use engine::{Browser, LoadStats};
+pub use kind::BrowserKind;
+pub use observer::DownloadObserver;

@@ -1,0 +1,18 @@
+//! Browser-cache substrate.
+//!
+//! RCB's *cache mode* lets a participant browser download supplementary
+//! objects directly from the host browser: "RCB-Agent keeps a mapping
+//! table, in which the request-URI of each cached object maps to a
+//! corresponding cache key. After obtaining the cache key for a
+//! request-URI, RCB-Agent reads the data of a cached object by creating a
+//! cache session" (paper §4.1.1). The host-side cache here plays the role
+//! of Mozilla's cache service: it stores response bodies keyed by absolute
+//! URL, evicts LRU past a capacity, and supports streaming reads (the
+//! "write data from the input stream of the cached object into the output
+//! stream of the connected socket" path).
+
+pub mod mapping;
+pub mod store;
+
+pub use mapping::{CacheKey, MappingTable};
+pub use store::{Cache, CacheEntry, ReadSession};

@@ -1,0 +1,111 @@
+//! The agent's request-URI → cache-key mapping table (paper §4.1.1).
+//!
+//! In cache mode the agent rewrites an object's absolute URL into an
+//! agent-local path (e.g. `/cache/17`). When the participant browser later
+//! requests that path, the mapping table recovers which cached object to
+//! serve. Keys are opaque integers so agent URLs stay short, and the table
+//! is bijective per session.
+
+use std::collections::HashMap;
+
+/// An opaque cache key minted by the mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64);
+
+/// Bijective map between absolute object URLs and agent cache keys.
+#[derive(Debug, Default)]
+pub struct MappingTable {
+    by_url: HashMap<String, CacheKey>,
+    by_key: HashMap<CacheKey, String>,
+    next: u64,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MappingTable::default()
+    }
+
+    /// Returns the key for `url`, minting one on first use.
+    pub fn key_for(&mut self, url: &str) -> CacheKey {
+        if let Some(&k) = self.by_url.get(url) {
+            return k;
+        }
+        let k = CacheKey(self.next);
+        self.next += 1;
+        self.by_url.insert(url.to_string(), k);
+        self.by_key.insert(k, url.to_string());
+        k
+    }
+
+    /// Looks up the URL behind a key (the object-request path, Fig. 2).
+    pub fn url_for(&self, key: CacheKey) -> Option<&str> {
+        self.by_key.get(&key).map(|s| s.as_str())
+    }
+
+    /// Existing key for `url`, if minted.
+    pub fn existing_key(&self, url: &str) -> Option<CacheKey> {
+        self.by_url.get(url).copied()
+    }
+
+    /// The agent-local request path for a key.
+    pub fn agent_path(key: CacheKey) -> String {
+        format!("/cache/{}", key.0)
+    }
+
+    /// Parses an agent-local request path back into a key.
+    pub fn parse_agent_path(path: &str) -> Option<CacheKey> {
+        path.strip_prefix("/cache/")?.parse().ok().map(CacheKey)
+    }
+
+    /// Number of mapped URLs.
+    pub fn len(&self) -> usize {
+        self.by_url.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_url.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minting_is_stable() {
+        let mut t = MappingTable::new();
+        let k1 = t.key_for("http://h/a.png");
+        let k2 = t.key_for("http://h/b.png");
+        assert_ne!(k1, k2);
+        assert_eq!(t.key_for("http://h/a.png"), k1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bijection_holds() {
+        let mut t = MappingTable::new();
+        let k = t.key_for("http://h/x.css");
+        assert_eq!(t.url_for(k), Some("http://h/x.css"));
+        assert_eq!(t.existing_key("http://h/x.css"), Some(k));
+        assert_eq!(t.existing_key("http://h/other"), None);
+        assert_eq!(t.url_for(CacheKey(999)), None);
+    }
+
+    #[test]
+    fn agent_path_roundtrip() {
+        let k = CacheKey(17);
+        let p = MappingTable::agent_path(k);
+        assert_eq!(p, "/cache/17");
+        assert_eq!(MappingTable::parse_agent_path(&p), Some(k));
+        assert_eq!(MappingTable::parse_agent_path("/cache/xyz"), None);
+        assert_eq!(MappingTable::parse_agent_path("/other/17"), None);
+    }
+
+    #[test]
+    fn empty_initially() {
+        let t = MappingTable::new();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,768 @@
+//! RCB-Agent: the HTTP server inside the host browser.
+//!
+//! Implements the request-processing procedure of paper Fig. 2. The agent
+//! receives three request types from participant browsers and classifies
+//! them "by simply checking the method token and request-URI token in the
+//! request-line":
+//!
+//! * **new connection request** — `GET /` → the initial HTML page whose
+//!   head carries Ajax-Snippet;
+//! * **object request** — `GET /cache/{key}` (cache mode) → the cached
+//!   object's bytes streamed from the host browser cache;
+//! * **Ajax polling request** — `POST /poll` → data merging, timestamp
+//!   inspection, and either a Fig.-4 XML response with new content or an
+//!   empty response ("to avoid hanging requests").
+//!
+//! The agent is transport-agnostic: [`RcbAgent::handle_request`] maps a
+//! parsed request plus mutable access to the host browser onto a response
+//! and a list of host-side effects (navigations and form submissions the
+//! *world* must perform, because they need the network).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rcb_browser::{Browser, UserAction};
+use rcb_cache::MappingTable;
+use rcb_crypto::SessionKey;
+use rcb_http::{Request, Response, Status};
+use rcb_util::{Counter, Histogram, Result, SimDuration, SimTime};
+
+use crate::auth;
+use crate::content::{generate_content, GeneratedContent};
+use crate::policy::{InteractionPolicy, NavigationPolicy};
+
+/// Whether supplementary objects are served from the host cache or fetched
+/// from origin servers by the participant (paper §3.1 steps 7/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Rewrite cached objects to agent URLs; participants fetch from the
+    /// host browser.
+    Cache,
+    /// Keep absolute origin URLs; participants fetch from the Web.
+    NonCache,
+}
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Object-serving mode.
+    pub cache_mode: CacheMode,
+    /// Polling interval hint delivered to snippets (the paper used 1 s).
+    pub poll_interval: SimDuration,
+    /// Navigation policy for participant actions.
+    pub nav_policy: NavigationPolicy,
+    /// Interaction policy.
+    pub interaction_policy: InteractionPolicy,
+    /// Sign responses with an `X-RCB-MAC` header so snippets can verify
+    /// content integrity end to end. The paper leaves this to future work
+    /// ("using JavaScript to compute an HMAC for a response ... is
+    /// inefficient, especially if the size of the response is large",
+    /// §3.4) — in native code the cost is a few microseconds, so this
+    /// reproduction ships it as an opt-in extension.
+    pub authenticate_responses: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            cache_mode: CacheMode::Cache,
+            poll_interval: SimDuration::from_secs(1),
+            nav_policy: NavigationPolicy::Immediate,
+            interaction_policy: InteractionPolicy::AllParticipants,
+            authenticate_responses: false,
+        }
+    }
+}
+
+/// A host-side effect the world must carry out on the agent's behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEffect {
+    /// Navigate the host browser to an absolute URL.
+    Navigate(String),
+    /// Submit the named form on the host page with the given fields.
+    SubmitForm {
+        /// Form element id on the host page.
+        form: String,
+        /// Field name-value pairs (already merged into the host DOM).
+        fields: Vec<(String, String)>,
+    },
+    /// A click on a non-navigation element (dispatched to the host app).
+    Click {
+        /// Element id on the host page.
+        target: String,
+    },
+}
+
+/// Result of handling one request.
+#[derive(Debug)]
+pub struct AgentOutcome {
+    /// The HTTP response to send back.
+    pub response: Response,
+    /// Host-side effects to execute (empty for most requests).
+    pub effects: Vec<HostEffect>,
+}
+
+impl AgentOutcome {
+    fn just(response: Response) -> AgentOutcome {
+        AgentOutcome {
+            response,
+            effects: Vec::new(),
+        }
+    }
+}
+
+/// Per-participant session state.
+#[derive(Debug, Clone)]
+pub struct ParticipantInfo {
+    /// The content timestamp this participant last acknowledged.
+    pub last_doc_time: u64,
+    /// When the participant first polled.
+    pub joined_at: SimTime,
+    /// Polls served to this participant.
+    pub polls: u64,
+}
+
+/// Counters the agent exposes for experiments.
+#[derive(Debug, Default)]
+pub struct AgentStats {
+    /// New-connection requests served.
+    pub connections: Counter,
+    /// Object requests served.
+    pub object_requests: Counter,
+    /// Polls answered with new content.
+    pub polls_with_content: Counter,
+    /// Polls answered empty.
+    pub polls_empty: Counter,
+    /// Requests rejected by authentication.
+    pub auth_failures: Counter,
+    /// Content generations performed (cache hits excluded).
+    pub generations: Counter,
+    /// Wall-clock generation costs (the paper's M5 samples).
+    pub m5: Histogram,
+}
+
+/// RCB-Agent.
+pub struct RcbAgent {
+    /// Configuration (mode, interval, policies).
+    pub config: AgentConfig,
+    key: SessionKey,
+    mapping: MappingTable,
+    /// Generated content cached per (dom_version, mode) — "the generated
+    /// XML format response content is reusable for multiple participant
+    /// browsers" (§4.1.2).
+    content_cache: HashMap<(u64, bool), Arc<GeneratedContent>>,
+    participants: HashMap<u64, ParticipantInfo>,
+    /// Host actions (e.g. mouse moves) pending broadcast to participants.
+    host_actions: Vec<UserAction>,
+    /// Pending participant actions awaiting host confirmation (under
+    /// [`NavigationPolicy::HostConfirm`]).
+    pub pending_confirmation: Vec<(u64, HostEffect)>,
+    /// The dom_version → document-timestamp map.
+    timestamps: HashMap<u64, u64>,
+    /// Highest timestamp minted so far (timestamps must be strictly
+    /// monotonic even when two DOM versions land in the same millisecond).
+    last_timestamp: u64,
+    /// Experiment counters.
+    pub stats: AgentStats,
+}
+
+impl RcbAgent {
+    /// Creates an agent with the given key and configuration.
+    pub fn new(key: SessionKey, config: AgentConfig) -> RcbAgent {
+        RcbAgent {
+            config,
+            key,
+            mapping: MappingTable::new(),
+            content_cache: HashMap::new(),
+            participants: HashMap::new(),
+            host_actions: Vec::new(),
+            pending_confirmation: Vec::new(),
+            timestamps: HashMap::new(),
+            last_timestamp: 0,
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// The session key (shared out of band with participants).
+    pub fn key(&self) -> &SessionKey {
+        &self.key
+    }
+
+    /// Currently connected participants.
+    pub fn participants(&self) -> &HashMap<u64, ParticipantInfo> {
+        &self.participants
+    }
+
+    /// Queues a host action (mouse-pointer movement etc.) for broadcast in
+    /// the next content update.
+    pub fn queue_host_action(&mut self, action: UserAction) {
+        self.host_actions.push(action);
+    }
+
+    /// Removes a participant (left the session).
+    pub fn remove_participant(&mut self, id: u64) {
+        self.participants.remove(&id);
+    }
+
+    /// The document timestamp for the host's current DOM version, minting
+    /// one if this version has not been seen yet (timestamps are
+    /// "milliseconds since midnight of January 1, 1970", §4.1.1).
+    pub fn current_doc_time(&mut self, host: &Browser, now: SimTime) -> u64 {
+        let version = host.dom_version();
+        if let Some(&t) = self.timestamps.get(&version) {
+            return t;
+        }
+        let t = now.as_document_timestamp().max(self.last_timestamp + 1);
+        self.last_timestamp = t;
+        self.timestamps.insert(version, t);
+        t
+    }
+
+    /// Handles one HTTP request from a participant browser (Fig. 2).
+    pub fn handle_request(
+        &mut self,
+        req: &Request,
+        host: &mut Browser,
+        now: SimTime,
+    ) -> AgentOutcome {
+        let mut outcome = match (req.method, req.path()) {
+            (rcb_http::Method::Get, "/") => {
+                self.stats.connections.incr();
+                AgentOutcome::just(Response::html(self.initial_page()))
+            }
+            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
+                AgentOutcome::just(self.serve_object(req, host))
+            }
+            (rcb_http::Method::Post, "/poll") => self.handle_poll(req, host, now),
+            _ => AgentOutcome::just(Response::error(
+                Status::NOT_FOUND,
+                "unknown request type",
+            )),
+        };
+        if self.config.authenticate_responses && outcome.response.status.is_success() {
+            crate::auth::sign_response(&self.key, &mut outcome.response);
+        }
+        outcome
+    }
+
+    /// The initial HTML page carrying Ajax-Snippet (paper §3.1 step 2).
+    ///
+    /// The head contains the snippet script element (kept across every
+    /// later content update); the body shows the key-entry form a
+    /// participant fills with the out-of-band secret (§3.4).
+    pub fn initial_page(&self) -> String {
+        format!(
+            "<!DOCTYPE html><html><head><title>RCB co-browsing session</title>\
+             <script id=\"ajax-snippet\" type=\"text/javascript\">\
+             /* Ajax-Snippet: polls RCB-Agent every {interval} ms, piggybacks \
+             user actions, applies newContent updates. */\
+             var RCB_POLL_INTERVAL = {interval};\
+             function rcbPoll() {{ /* XMLHttpRequest POST /poll */ }}\
+             function rcbSubmit(id) {{ /* capture form, piggyback */ return false; }}\
+             function rcbClick(id) {{ /* send click action */ return false; }}\
+             function rcbInput(id) {{ /* send field edit */ return true; }}\
+             </script></head><body>\
+             <form id=\"rcb-join\" action=\"/join\" method=\"post\">\
+             <input type=\"password\" name=\"session-key\" value=\"\">\
+             <input type=\"submit\" value=\"Join session\"></form>\
+             <div id=\"rcb-status\">waiting for first synchronization…</div>\
+             </body></html>",
+            interval = self.config.poll_interval.as_millis()
+        )
+    }
+
+    /// Serves an object request in cache mode (Fig. 2, middle path).
+    fn serve_object(&mut self, req: &Request, host: &mut Browser) -> Response {
+        let path = req.path().to_string();
+        // Authenticate via the per-object token embedded at rewrite time.
+        let token = req.query_param("k").unwrap_or_default();
+        if !auth::verify_object_token(&self.key, &path, &token) {
+            self.stats.auth_failures.incr();
+            return Response::error(Status::UNAUTHORIZED, "bad object token");
+        }
+        let Some(cache_key) = MappingTable::parse_agent_path(&path) else {
+            return Response::error(Status::BAD_REQUEST, "malformed cache path");
+        };
+        let Some(url) = self.mapping.url_for(cache_key).map(str::to_string) else {
+            return Response::error(Status::NOT_FOUND, "unmapped cache key");
+        };
+        match host.cache.open_read_session(&url) {
+            Ok(mut session) => {
+                // Stream input → output, as the agent copies the cache
+                // stream into the socket (§4.1.1).
+                let mut body = Vec::with_capacity(session.len());
+                loop {
+                    let chunk = session.read_chunk(16 * 1024);
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    body.extend_from_slice(chunk);
+                }
+                self.stats.object_requests.incr();
+                Response::with_body(Status::OK, &session.content_type, body)
+            }
+            Err(_) => Response::error(Status::NOT_FOUND, "object evicted from cache"),
+        }
+    }
+
+    /// Handles an Ajax polling request (Fig. 2, right path): data merging,
+    /// timestamp inspection, response sending (§4.1.1).
+    fn handle_poll(&mut self, req: &Request, host: &mut Browser, now: SimTime) -> AgentOutcome {
+        if !auth::verify_request(&self.key, req) {
+            self.stats.auth_failures.incr();
+            return AgentOutcome::just(Response::error(
+                Status::UNAUTHORIZED,
+                "HMAC verification failed",
+            ));
+        }
+        let pid: u64 = req
+            .query_param("p")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let body = String::from_utf8_lossy(&req.body).into_owned();
+        let (client_time, actions) = parse_poll_body(&body);
+        let entry = self.participants.entry(pid).or_insert(ParticipantInfo {
+            last_doc_time: 0,
+            joined_at: now,
+            polls: 0,
+        });
+        entry.polls += 1;
+        entry.last_doc_time = entry.last_doc_time.max(client_time);
+
+        // Data merging: apply piggybacked participant actions.
+        let mut effects = Vec::new();
+        if self.config.interaction_policy.allows(pid) {
+            for action in actions {
+                self.merge_action(pid, action, host, &mut effects);
+            }
+        }
+
+        // Timestamp inspection: compare the participant's content
+        // timestamp against the host's current one.
+        let doc_time = self.current_doc_time(host, now);
+        let response = if client_time < doc_time {
+            let cache_mode = self.config.cache_mode;
+            match self.content_for(host, doc_time, cache_mode) {
+                Ok(content) => {
+                    self.stats.polls_with_content.incr();
+                    self.participants
+                        .get_mut(&pid)
+                        .expect("participant registered above")
+                        .last_doc_time = doc_time;
+                    Response::xml(content.xml.clone())
+                }
+                Err(e) => Response::error(Status::INTERNAL, &e.to_string()),
+            }
+        } else {
+            self.stats.polls_empty.incr();
+            Response::empty_ok()
+        };
+        AgentOutcome { response, effects }
+    }
+
+    /// Returns (possibly cached) generated content for the host's current
+    /// document version.
+    pub fn content_for(
+        &mut self,
+        host: &Browser,
+        doc_time: u64,
+        mode: CacheMode,
+    ) -> Result<Arc<GeneratedContent>> {
+        let version = host.dom_version();
+        let cache_key = (version, matches!(mode, CacheMode::Cache));
+        if let Some(c) = self.content_cache.get(&cache_key) {
+            return Ok(Arc::clone(c));
+        }
+        let host_actions = UserAction::encode_batch(&std::mem::take(&mut self.host_actions));
+        let content = generate_content(
+            host,
+            mode,
+            &mut self.mapping,
+            &self.key,
+            doc_time,
+            &host_actions,
+        )?;
+        self.stats.generations.incr();
+        self.stats.m5.record(content.generation_cost);
+        let arc = Arc::new(content);
+        self.content_cache.insert(cache_key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Applies one piggybacked participant action to the host side.
+    fn merge_action(
+        &mut self,
+        pid: u64,
+        action: UserAction,
+        host: &mut Browser,
+        effects: &mut Vec<HostEffect>,
+    ) {
+        match action {
+            UserAction::FormInput { form, field, value } => {
+                // Merge the field value into the corresponding form on the
+                // host browser (the form co-filling path, §4.1.1).
+                let _ = host.mutate_dom(|doc| {
+                    let root = doc.root();
+                    if let Some(form_node) =
+                        rcb_html::query::element_by_id(doc, root, &form)
+                    {
+                        for input in doc.descendants(form_node) {
+                            if doc.get_attr(input, "name") == Some(field.as_str()) {
+                                doc.set_attr(input, "value", value.clone());
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            UserAction::FormSubmit { form, fields } => {
+                // Merge all fields, then hand the submission to the world.
+                for (field, value) in &fields {
+                    let form = form.clone();
+                    let (field, value) = (field.clone(), value.clone());
+                    let _ = host.mutate_dom(|doc| {
+                        let root = doc.root();
+                        if let Some(form_node) =
+                            rcb_html::query::element_by_id(doc, root, &form)
+                        {
+                            for input in doc.descendants(form_node) {
+                                if doc.get_attr(input, "name") == Some(field.as_str()) {
+                                    doc.set_attr(input, "value", value.clone());
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+                self.gate(pid, HostEffect::SubmitForm { form, fields }, effects);
+            }
+            UserAction::Click { target } => {
+                self.gate(pid, HostEffect::Click { target }, effects);
+            }
+            UserAction::Navigate { url } => {
+                self.gate(pid, HostEffect::Navigate(url), effects);
+            }
+            UserAction::MouseMove { x, y } => {
+                // Mirror to the other users via the next content update.
+                self.host_actions.push(UserAction::MouseMove { x, y });
+            }
+        }
+    }
+
+    /// Applies the navigation policy to a host effect.
+    fn gate(&mut self, pid: u64, effect: HostEffect, effects: &mut Vec<HostEffect>) {
+        match self.config.nav_policy {
+            NavigationPolicy::Immediate => effects.push(effect),
+            NavigationPolicy::HostConfirm => self.pending_confirmation.push((pid, effect)),
+        }
+    }
+
+    /// Host decision on the oldest pending action (HostConfirm policy).
+    pub fn decide_pending(&mut self, decision: crate::policy::HostDecision) -> Option<HostEffect> {
+        if self.pending_confirmation.is_empty() {
+            return None;
+        }
+        let (_, effect) = self.pending_confirmation.remove(0);
+        match decision {
+            crate::policy::HostDecision::Approve => Some(effect),
+            crate::policy::HostDecision::Reject => None,
+        }
+    }
+}
+
+/// Splits a poll body into the carried content timestamp and actions.
+///
+/// Wire form: first line `t=<millis>`, remaining lines the action batch.
+pub fn parse_poll_body(body: &str) -> (u64, Vec<UserAction>) {
+    let mut lines = body.lines();
+    let t = lines
+        .next()
+        .and_then(|l| l.strip_prefix("t="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let rest: Vec<&str> = lines.collect();
+    let actions = UserAction::decode_batch(&rest.join("\n")).unwrap_or_default();
+    (t, actions)
+}
+
+/// Builds a poll body from a timestamp and pending actions.
+pub fn build_poll_body(doc_time: u64, actions: &[UserAction]) -> Vec<u8> {
+    let mut s = format!("t={doc_time}");
+    let batch = UserAction::encode_batch(actions);
+    if !batch.is_empty() {
+        s.push('\n');
+        s.push_str(&batch);
+    }
+    s.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::sign_request;
+    use rcb_browser::BrowserKind;
+    use rcb_origin::OriginRegistry;
+    use rcb_sim::link::Pipe;
+    use rcb_sim::profiles::NetProfile;
+    use rcb_url::Url;
+    use rcb_util::DetRng;
+
+    fn agent() -> RcbAgent {
+        RcbAgent::new(
+            SessionKey::generate_deterministic(&mut DetRng::new(3)),
+            AgentConfig::default(),
+        )
+    }
+
+    fn loaded_host(site: &str) -> Browser {
+        let mut origins = OriginRegistry::with_alexa20();
+        let profile = NetProfile::lan();
+        let mut pipe = Pipe::new(profile.host_origin);
+        let mut b = Browser::new(BrowserKind::Firefox);
+        b.navigate(
+            &Url::parse(&format!("http://{site}/")).unwrap(),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        b
+    }
+
+    fn signed_poll(agent: &RcbAgent, pid: u64, t: u64, actions: &[UserAction]) -> Request {
+        let mut req = Request::post(format!("/poll?p={pid}"), build_poll_body(t, actions));
+        sign_request(agent.key(), &mut req);
+        req
+    }
+
+    #[test]
+    fn initial_page_carries_snippet() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let out = a.handle_request(&Request::get("/"), &mut host, SimTime::ZERO);
+        assert!(out.response.status.is_success());
+        let body = out.response.body_str();
+        assert!(body.contains("id=\"ajax-snippet\""));
+        assert!(body.contains("type=\"password\""));
+        assert_eq!(a.stats.connections.get(), 1);
+    }
+
+    #[test]
+    fn unauthenticated_poll_rejected() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let req = Request::post("/poll?p=1", build_poll_body(0, &[]));
+        let out = a.handle_request(&req, &mut host, SimTime::ZERO);
+        assert_eq!(out.response.status, Status::UNAUTHORIZED);
+        assert_eq!(a.stats.auth_failures.get(), 1);
+        assert!(a.participants().is_empty());
+    }
+
+    #[test]
+    fn first_poll_delivers_content_second_is_empty() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let now = SimTime::from_secs(1);
+        let out = a.handle_request(&signed_poll(&a, 1, 0, &[]), &mut host, now);
+        assert_eq!(
+            out.response.content_type().as_deref(),
+            Some("application/xml")
+        );
+        assert!(!out.response.body.is_empty());
+        let nc = rcb_xml::parse_new_content(&out.response.body_str())
+            .unwrap()
+            .unwrap();
+        // Participant acknowledges the timestamp on the next poll.
+        let out2 = a.handle_request(&signed_poll(&a, 1, nc.doc_time, &[]), &mut host, now);
+        assert!(out2.response.body.is_empty());
+        assert_eq!(a.stats.polls_with_content.get(), 1);
+        assert_eq!(a.stats.polls_empty.get(), 1);
+    }
+
+    #[test]
+    fn dom_change_triggers_new_content() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let t1 = SimTime::from_secs(1);
+        let out = a.handle_request(&signed_poll(&a, 1, 0, &[]), &mut host, t1);
+        let nc = rcb_xml::parse_new_content(&out.response.body_str())
+            .unwrap()
+            .unwrap();
+        // Host page mutates (Ajax on the host side).
+        host.mutate_dom(|doc| {
+            let body = doc.body().unwrap();
+            let div = doc.create_element("div");
+            doc.append_child(body, div).unwrap();
+        })
+        .unwrap();
+        let t2 = SimTime::from_secs(5);
+        let out2 = a.handle_request(&signed_poll(&a, 1, nc.doc_time, &[]), &mut host, t2);
+        let nc2 = rcb_xml::parse_new_content(&out2.response.body_str())
+            .unwrap()
+            .unwrap();
+        assert!(nc2.doc_time > nc.doc_time);
+    }
+
+    #[test]
+    fn content_is_generated_once_for_multiple_participants() {
+        let mut a = agent();
+        let mut host = loaded_host("live.com");
+        let now = SimTime::from_secs(1);
+        for pid in 1..=5 {
+            let out = a.handle_request(&signed_poll(&a, pid, 0, &[]), &mut host, now);
+            assert!(!out.response.body.is_empty());
+        }
+        assert_eq!(a.stats.generations.get(), 1, "reused for 5 participants");
+        assert_eq!(a.participants().len(), 5);
+    }
+
+    #[test]
+    fn form_input_merges_into_host_dom() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let v0 = host.dom_version();
+        let action = UserAction::FormInput {
+            form: "q".into(),
+            field: "q".into(),
+            value: "macbook air".into(),
+        };
+        a.handle_request(&signed_poll(&a, 1, 0, &[action]), &mut host, SimTime::ZERO);
+        let doc = host.doc.as_ref().unwrap();
+        let form = rcb_html::query::element_by_id(doc, doc.root(), "q").unwrap();
+        let fields = rcb_html::query::form_fields(doc, form);
+        assert!(fields.contains(&("q".to_string(), "macbook air".to_string())));
+        assert!(host.dom_version() > v0, "merge bumps the DOM version");
+    }
+
+    #[test]
+    fn navigation_effect_respects_policy() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let nav = UserAction::Navigate {
+            url: "http://apple.com/".into(),
+        };
+        let out =
+            a.handle_request(&signed_poll(&a, 1, 0, &[nav.clone()]), &mut host, SimTime::ZERO);
+        assert_eq!(
+            out.effects,
+            vec![HostEffect::Navigate("http://apple.com/".into())]
+        );
+
+        // HostConfirm queues instead.
+        let mut confirm_agent = RcbAgent::new(
+            SessionKey::generate_deterministic(&mut DetRng::new(4)),
+            AgentConfig {
+                nav_policy: NavigationPolicy::HostConfirm,
+                ..AgentConfig::default()
+            },
+        );
+        let out2 = confirm_agent.handle_request(
+            &signed_poll(&confirm_agent, 1, 0, &[nav]),
+            &mut host,
+            SimTime::ZERO,
+        );
+        assert!(out2.effects.is_empty());
+        assert_eq!(confirm_agent.pending_confirmation.len(), 1);
+        let approved = confirm_agent.decide_pending(crate::policy::HostDecision::Approve);
+        assert_eq!(
+            approved,
+            Some(HostEffect::Navigate("http://apple.com/".into()))
+        );
+    }
+
+    #[test]
+    fn view_only_policy_drops_actions() {
+        let mut a = RcbAgent::new(
+            SessionKey::generate_deterministic(&mut DetRng::new(5)),
+            AgentConfig {
+                interaction_policy: InteractionPolicy::ViewOnly,
+                ..AgentConfig::default()
+            },
+        );
+        let mut host = loaded_host("google.com");
+        let nav = UserAction::Navigate {
+            url: "http://apple.com/".into(),
+        };
+        let out = a.handle_request(&signed_poll(&a, 1, 0, &[nav]), &mut host, SimTime::ZERO);
+        assert!(out.effects.is_empty());
+        assert!(a.pending_confirmation.is_empty());
+    }
+
+    #[test]
+    fn cache_mode_objects_served_end_to_end() {
+        let mut a = agent();
+        let mut host = loaded_host("apple.com");
+        let out = a.handle_request(&signed_poll(&a, 1, 0, &[]), &mut host, SimTime::ZERO);
+        let nc = rcb_xml::parse_new_content(&out.response.body_str())
+            .unwrap()
+            .unwrap();
+        let rcb_xml::TopLevel::Body(body) = &nc.top else {
+            panic!("expected body page");
+        };
+        // Pull an agent URL out of the synchronized content and fetch it.
+        let idx = body.inner_html.find("/cache/").expect("agent URL present");
+        let tail = &body.inner_html[idx..];
+        let url = tail.split('"').next().unwrap().to_string();
+        let resp = a
+            .handle_request(&Request::get(url.clone()), &mut host, SimTime::ZERO)
+            .response;
+        assert!(resp.status.is_success(), "object fetch failed for {url}");
+        assert!(!resp.body.is_empty());
+        assert_eq!(a.stats.object_requests.get(), 1);
+
+        // Tampered token is rejected.
+        let bad = url.replace("?k=", "?k=0");
+        let resp2 = a
+            .handle_request(&Request::get(bad), &mut host, SimTime::ZERO)
+            .response;
+        assert_eq!(resp2.status, Status::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn mouse_moves_are_broadcast_via_user_actions() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        // Participant 1 syncs first, then reports a mouse move on an
+        // up-to-date poll (so the move is queued, not consumed by p1's own
+        // content generation).
+        let out0 = a.handle_request(&signed_poll(&a, 1, 0, &[]), &mut host, SimTime::ZERO);
+        let nc0 = rcb_xml::parse_new_content(&out0.response.body_str())
+            .unwrap()
+            .unwrap();
+        let mv = UserAction::MouseMove { x: 7, y: 9 };
+        let quiet =
+            a.handle_request(&signed_poll(&a, 1, nc0.doc_time, &[mv]), &mut host, SimTime::ZERO);
+        assert!(quiet.response.body.is_empty());
+        host.mutate_dom(|_| {}).unwrap();
+        let out = a.handle_request(
+            &signed_poll(&a, 2, 0, &[]),
+            &mut host,
+            SimTime::from_secs(2),
+        );
+        let nc = rcb_xml::parse_new_content(&out.response.body_str())
+            .unwrap()
+            .unwrap();
+        assert!(nc.user_actions.contains("mouse|7|9"));
+    }
+
+    #[test]
+    fn unknown_paths_rejected() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let out = a.handle_request(&Request::get("/favicon.ico"), &mut host, SimTime::ZERO);
+        assert_eq!(out.response.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn poll_body_roundtrip() {
+        let actions = vec![
+            UserAction::Click { target: "#x".into() },
+            UserAction::MouseMove { x: 1, y: 2 },
+        ];
+        let body = build_poll_body(777, &actions);
+        let (t, decoded) = parse_poll_body(&String::from_utf8(body).unwrap());
+        assert_eq!(t, 777);
+        assert_eq!(decoded, actions);
+    }
+}

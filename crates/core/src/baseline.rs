@@ -1,0 +1,368 @@
+//! Co-browsing baselines the paper positions RCB against (§1–§2).
+//!
+//! * **URL sharing** — "simple co-browsing can be performed by just
+//!   sharing a URL ... it only enables very limited collaboration":
+//!   session-protected pages break (the participant gets a *different*
+//!   session) and dynamically updated pages break (same URL, different
+//!   content). [`UrlSharingBaseline`] reproduces both failures and the
+//!   sync delay of a full independent page load.
+//! * **Proxy-based co-browsing** — a dedicated HTTP proxy forwards both
+//!   users' traffic, returns identical pages, and injects a tracking
+//!   applet (CoWeb/WebSplitter style). It fixes the session problem but
+//!   adds a third-party hop to *every* request, and client-side DOM
+//!   mutations that never touch the proxy stay invisible.
+//!   [`ProxyBaseline`] models both properties.
+
+use rcb_browser::{Browser, BrowserKind};
+use rcb_http::Request;
+use rcb_origin::OriginRegistry;
+use rcb_sim::link::{Direction, Pipe};
+use rcb_sim::profiles::NetProfile;
+use rcb_url::Url;
+use rcb_util::{Result, SimDuration, SimTime};
+
+/// Outcome of one baseline synchronization check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineSync {
+    /// Did the participant end up seeing the same content as the host?
+    pub content_matches: bool,
+    /// Time until the participant's view settled.
+    pub sync_delay: SimDuration,
+}
+
+/// The URL-sharing baseline: the host sends the bare URL out of band and
+/// the participant loads it independently.
+pub struct UrlSharingBaseline {
+    /// The host browser.
+    pub host: Browser,
+    /// The participant browser.
+    pub participant: Browser,
+    host_pipe: Pipe,
+    participant_pipe: Pipe,
+    profile: NetProfile,
+    now: SimTime,
+}
+
+impl UrlSharingBaseline {
+    /// Creates the baseline pair over the given environment.
+    pub fn new(profile: NetProfile) -> Self {
+        UrlSharingBaseline {
+            host: Browser::new(BrowserKind::Firefox),
+            participant: Browser::new(BrowserKind::Firefox),
+            host_pipe: Pipe::new(profile.host_origin),
+            participant_pipe: Pipe::new(profile.participant_origin),
+            profile,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Host loads the page, shares the URL, participant loads it too.
+    /// Compares the resulting body content.
+    pub fn share(
+        &mut self,
+        origins: &mut OriginRegistry,
+        url: &str,
+    ) -> Result<BaselineSync> {
+        let url = Url::parse(url)?;
+        let host_stats = self.host.navigate(
+            &url,
+            origins,
+            &mut self.host_pipe,
+            &self.profile,
+            self.now,
+        )?;
+        self.now = host_stats.finished_at;
+        // Out-of-band URL delivery (IM/phone): a couple of seconds.
+        let shared_at = self.now + SimDuration::from_secs(2);
+        let part_stats = self.participant.navigate(
+            &url,
+            origins,
+            &mut self.participant_pipe,
+            &self.profile,
+            shared_at,
+        )?;
+        self.now = part_stats.finished_at;
+        let sync_delay = part_stats.finished_at.since(shared_at);
+        Ok(BaselineSync {
+            content_matches: self.views_match(),
+            sync_delay,
+        })
+    }
+
+    /// Host-side dynamic DOM mutation (Ajax/DHTML): with URL sharing there
+    /// is *no mechanism at all* to propagate it — returns the resulting
+    /// divergence.
+    pub fn host_mutates(&mut self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<BaselineSync> {
+        self.host.mutate_dom(f)?;
+        Ok(BaselineSync {
+            content_matches: self.views_match(),
+            sync_delay: SimDuration::ZERO,
+        })
+    }
+
+    /// Whether the two rendered bodies currently match.
+    pub fn views_match(&self) -> bool {
+        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref())
+        else {
+            return false;
+        };
+        match (hd.body(), pd.body()) {
+            (Some(hb), Some(pb)) => {
+                rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The proxy-based baseline: both browsers reach origins through a shared
+/// co-browsing proxy that serves both users identical pages (one shared
+/// upstream session) and injects a tracking applet.
+pub struct ProxyBaseline {
+    /// The host-side browser (proxy client A).
+    pub host: Browser,
+    /// The participant browser (proxy client B).
+    pub participant: Browser,
+    /// A ↔ proxy path.
+    host_proxy_pipe: Pipe,
+    /// B ↔ proxy path.
+    participant_proxy_pipe: Pipe,
+    /// proxy ↔ origin path.
+    proxy_origin_pipe: Pipe,
+    profile: NetProfile,
+    now: SimTime,
+    /// The proxy's page cache: both clients get the same bytes.
+    last_page: Option<(Url, String)>,
+    /// Bytes relayed through the proxy (its operating cost).
+    pub proxy_bytes: usize,
+}
+
+impl ProxyBaseline {
+    /// Creates the proxy topology. The proxy sits in a datacenter: both
+    /// access links reach it over the participant-origin style path.
+    pub fn new(profile: NetProfile) -> Self {
+        ProxyBaseline {
+            host: Browser::new(BrowserKind::Firefox),
+            participant: Browser::new(BrowserKind::Firefox),
+            host_proxy_pipe: Pipe::new(profile.host_origin),
+            participant_proxy_pipe: Pipe::new(profile.participant_origin),
+            proxy_origin_pipe: Pipe::new(rcb_sim::LinkSpec::symmetric(
+                100_000_000,
+                SimDuration::from_millis(5),
+            )),
+            profile,
+            now: SimTime::ZERO,
+            last_page: None,
+            proxy_bytes: 0,
+        }
+    }
+
+    /// The host navigates through the proxy; the proxy fetches once from
+    /// the origin (shared session), injects its applet, and replays the
+    /// identical page to the participant. Returns the participant's sync
+    /// outcome.
+    pub fn navigate_both(
+        &mut self,
+        origins: &mut OriginRegistry,
+        url: &str,
+    ) -> Result<BaselineSync> {
+        let url = Url::parse(url)?;
+        // Host request travels to the proxy...
+        let req = Request::get(url.request_target());
+        let t1 = self
+            .host_proxy_pipe
+            .transfer(self.now, req.wire_len(), Direction::Up);
+        // ...the proxy fetches from the origin with ITS OWN session...
+        let (resp, t2) = self.proxy_fetch(origins, &url, t1)?;
+        // ...injects the applet and returns the page to the host...
+        let mut page = resp;
+        page.push_str("<script id=\"coweb-applet\">/* proxy tracker */</script>");
+        self.proxy_bytes += page.len();
+        let t3 = self
+            .host_proxy_pipe
+            .transfer(t2, page.len(), Direction::Down);
+        self.host.url = Some(url.clone());
+        self.host.doc = Some(rcb_html::parse_document(&page));
+        let _ = self.host.mutate_dom(|_| {});
+        // ...and replays the identical bytes to the participant.
+        self.proxy_bytes += page.len();
+        let t4 = self
+            .participant_proxy_pipe
+            .transfer(t2, page.len(), Direction::Down);
+        self.participant.url = Some(url.clone());
+        self.participant.doc = Some(rcb_html::parse_document(&page));
+        let _ = self.participant.mutate_dom(|_| {});
+        self.last_page = Some((url, page));
+        let finished = t3.max(t4);
+        let sync_delay = finished.since(self.now);
+        self.now = finished;
+        Ok(BaselineSync {
+            content_matches: self.views_match(),
+            sync_delay,
+        })
+    }
+
+    fn proxy_fetch(
+        &mut self,
+        origins: &mut OriginRegistry,
+        url: &Url,
+        start: SimTime,
+    ) -> Result<(String, SimTime)> {
+        let req = Request::get(url.request_target()).with_header("Host", url.host.clone());
+        let t_req = self
+            .proxy_origin_pipe
+            .transfer(start, req.wire_len(), Direction::Up);
+        let resp = origins.dispatch(&url.host, &req, t_req);
+        let think = self.profile.html_think(resp.body.len());
+        let charged = 200 + self.profile.wire_bytes(
+            &resp.content_type().unwrap_or_default(),
+            resp.body.len(),
+        );
+        let t_done = self
+            .proxy_origin_pipe
+            .transfer(t_req + think, charged, Direction::Down);
+        Ok((resp.body_str(), t_done))
+    }
+
+    /// Client-side DOM mutation on the host (Ajax that never crosses the
+    /// proxy): the proxy cannot see it, so the participant diverges.
+    pub fn host_mutates(
+        &mut self,
+        f: impl FnOnce(&mut rcb_html::Document),
+    ) -> Result<BaselineSync> {
+        self.host.mutate_dom(f)?;
+        Ok(BaselineSync {
+            content_matches: self.views_match(),
+            sync_delay: SimDuration::ZERO,
+        })
+    }
+
+    /// Whether the two rendered bodies currently match.
+    pub fn views_match(&self) -> bool {
+        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref())
+        else {
+            return false;
+        };
+        match (hd.body(), pd.body()) {
+            (Some(hb), Some(pb)) => {
+                rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_browser::engine::ThinkClass;
+    use rcb_origin::apps::{MapsApp, ShopApp};
+
+    fn origins() -> OriginRegistry {
+        let mut o = OriginRegistry::with_alexa20();
+        o.register(Box::new(ShopApp::new("shop.example.com")));
+        o.register(Box::new(MapsApp::new("maps.example.com")));
+        o
+    }
+
+    #[test]
+    fn url_sharing_works_for_static_pages() {
+        let mut o = origins();
+        let mut b = UrlSharingBaseline::new(NetProfile::lan());
+        let sync = b.share(&mut o, "http://google.com/").unwrap();
+        assert!(sync.content_matches, "static page shares fine");
+        assert!(sync.sync_delay > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn url_sharing_breaks_on_session_pages() {
+        // Each browser gets its own shop session: after the host adds an
+        // item, host and participant cart pages differ.
+        let mut o = origins();
+        let mut b = UrlSharingBaseline::new(NetProfile::lan());
+        b.share(&mut o, "http://shop.example.com/").unwrap();
+        // Host adds to cart (server-side session state).
+        let url = Url::parse("http://shop.example.com/cart/add?id=1").unwrap();
+        let (_, t) = b.host.http_request(
+            &url,
+            Request::get(url.request_target()),
+            &mut o,
+            &mut b.host_pipe,
+            &b.profile,
+            ThinkClass::HtmlDocument,
+            b.now,
+        );
+        b.now = t;
+        let sync = b.share(&mut o, "http://shop.example.com/cart").unwrap();
+        assert!(
+            !sync.content_matches,
+            "session-protected cart page must diverge under URL sharing"
+        );
+    }
+
+    #[test]
+    fn url_sharing_misses_dynamic_updates() {
+        let mut o = origins();
+        let mut b = UrlSharingBaseline::new(NetProfile::lan());
+        let s = b.share(&mut o, "http://maps.example.com/maps").unwrap();
+        assert!(s.content_matches, "initial map view matches");
+        // Host pans the map (client-side tile swap, URL unchanged).
+        let after = b
+            .host_mutates(|doc| {
+                let root = doc.root();
+                if let Some(img) =
+                    rcb_html::query::elements_by_tag(doc, root, "img").first().copied()
+                {
+                    doc.set_attr(img, "src", "/tiles/4/999/999.png");
+                }
+            })
+            .unwrap();
+        assert!(
+            !after.content_matches,
+            "dynamic map update is invisible to URL sharing"
+        );
+    }
+
+    #[test]
+    fn proxy_fixes_sessions_but_misses_client_side_dynamics() {
+        let mut o = origins();
+        let mut p = ProxyBaseline::new(NetProfile::lan());
+        let s = p.navigate_both(&mut o, "http://shop.example.com/cart").unwrap();
+        assert!(
+            s.content_matches,
+            "proxy replays one shared session to both users"
+        );
+        assert!(p.proxy_bytes > 0);
+        // But a host-side DOM mutation never crosses the proxy.
+        let after = p
+            .host_mutates(|doc| {
+                let body = doc.body().unwrap();
+                let d = doc.create_element("div");
+                doc.append_child(body, d).unwrap();
+            })
+            .unwrap();
+        assert!(!after.content_matches);
+    }
+
+    #[test]
+    fn proxy_adds_latency_over_rcb_path() {
+        // Structural claim: RCB's direct connection beats the proxy's
+        // extra hop for content synchronization on a LAN.
+        let mut o = origins();
+        let mut p = ProxyBaseline::new(NetProfile::lan());
+        let proxy_sync = p.navigate_both(&mut o, "http://google.com/").unwrap();
+        let (_, rcb_sync) = crate::session::measure_site(
+            NetProfile::lan(),
+            crate::agent::CacheMode::Cache,
+            "google.com",
+            3,
+        )
+        .unwrap();
+        assert!(
+            rcb_sync.m2 < proxy_sync.sync_delay,
+            "RCB m2 {} !< proxy {}",
+            rcb_sync.m2,
+            proxy_sync.sync_delay
+        );
+    }
+}

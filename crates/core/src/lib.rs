@@ -1,0 +1,52 @@
+//! RCB: a simple and practical framework for Real-time Collaborative
+//! Browsing — the core library.
+//!
+//! This crate implements the paper's contribution on top of the substrate
+//! crates (`rcb-html`, `rcb-http`, `rcb-sim`, ...):
+//!
+//! * [`agent`] — **RCB-Agent**, the HTTP server living in the host
+//!   browser: request classification and processing (paper Fig. 2),
+//!   participant management, data merging, timestamp inspection;
+//! * [`content`] — the agent's response-content generation pipeline
+//!   (Fig. 3): documentElement cloning, relative→absolute URL rewriting,
+//!   cache-mode agent-URL rewriting, event-attribute rewriting, and the
+//!   Fig.-4 XML assembly;
+//! * [`snippet`] — **Ajax-Snippet**, the participant-side poller: request
+//!   construction with piggybacked actions and HMAC signing, and the
+//!   four-step smooth content update of Fig. 5 with Firefox/IE capability
+//!   paths;
+//! * [`auth`] — request-URI HMAC authentication (§3.4);
+//! * [`policy`] — navigation/interaction policies (§3.3);
+//! * [`session`] — the virtual-time co-browsing world: host + agent +
+//!   participants + pipes, collecting the paper's six metrics (M1–M6);
+//! * [`metrics`] — metric definitions and report formatting;
+//! * [`baseline`] — the URL-sharing and proxy-based co-browsing baselines
+//!   the paper positions against (§1, §2);
+//! * [`push`] — the rejected `multipart/x-mixed-replace` push alternative
+//!   (§3.2.3), implemented so the poll-vs-push decision can be measured;
+//! * [`recorder`] — an append-only session event log with text
+//!   round-tripping and replay statistics (audit/replay for the paper's
+//!   training and support scenarios);
+//! * [`usability`] — the §5.2 usability study: the 20-task script
+//!   (Table 2) executed by simulated role-players, and the Likert
+//!   questionnaire model (Tables 3/4);
+//! * [`tcp`] — the real-socket deployment path: RCB-Agent served over
+//!   `std::net` TCP, participants joining with a plain HTTP client.
+
+pub mod agent;
+pub mod auth;
+pub mod baseline;
+pub mod content;
+pub mod metrics;
+pub mod policy;
+pub mod push;
+pub mod recorder;
+pub mod session;
+pub mod snippet;
+pub mod tcp;
+pub mod usability;
+
+pub use agent::{AgentConfig, CacheMode, RcbAgent};
+pub use metrics::PageMetrics;
+pub use session::CoBrowsingWorld;
+pub use snippet::AjaxSnippet;

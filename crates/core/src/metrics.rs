@@ -1,0 +1,114 @@
+//! The paper's six evaluation metrics (§5.1.1) and report formatting.
+//!
+//! * **M1** — host browser loads the HTML document from the Web server;
+//! * **M2** — participant browser loads the same document content from the
+//!   host browser;
+//! * **M3** — participant downloads supplementary objects in *non-cache*
+//!   mode (from origin servers);
+//! * **M4** — participant downloads supplementary objects in *cache* mode
+//!   (from the host browser);
+//! * **M5** — host browser generates the response content (CPU);
+//! * **M6** — participant browser updates its document (CPU).
+
+use rcb_util::SimDuration;
+
+/// Per-page-load metric record for one site.
+#[derive(Debug, Clone, Default)]
+pub struct PageMetrics {
+    /// Site name (Table-1 host).
+    pub site: String,
+    /// HTML document size in bytes.
+    pub page_bytes: u64,
+    /// M1: host document load time.
+    pub m1: SimDuration,
+    /// M2: participant document synchronization time.
+    pub m2: SimDuration,
+    /// M3: participant object download time, non-cache mode.
+    pub m3: SimDuration,
+    /// M4: participant object download time, cache mode.
+    pub m4: SimDuration,
+    /// M5: content generation cost (CPU), for the configured mode.
+    pub m5: SimDuration,
+    /// M6: participant content update cost (CPU).
+    pub m6: SimDuration,
+}
+
+impl PageMetrics {
+    /// Formats a one-line summary (used by harness binaries).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:>8.1}KB  M1={:>8}  M2={:>8}  M3={:>8}  M4={:>8}  M5={:>9}  M6={:>9}",
+            self.site,
+            self.page_bytes as f64 / 1024.0,
+            self.m1.to_string(),
+            self.m2.to_string(),
+            self.m3.to_string(),
+            self.m4.to_string(),
+            self.m5.to_string(),
+            self.m6.to_string(),
+        )
+    }
+}
+
+/// Averages a slice of per-repetition records into one (the paper reports
+/// the average of five repetitions).
+pub fn average(records: &[PageMetrics]) -> PageMetrics {
+    assert!(!records.is_empty(), "cannot average zero records");
+    let n = records.len() as u64;
+    let avg = |f: fn(&PageMetrics) -> SimDuration| {
+        SimDuration::from_micros(
+            records.iter().map(|r| f(r).as_micros()).sum::<u64>() / n,
+        )
+    };
+    PageMetrics {
+        site: records[0].site.clone(),
+        page_bytes: records[0].page_bytes,
+        m1: avg(|r| r.m1),
+        m2: avg(|r| r.m2),
+        m3: avg(|r| r.m3),
+        m4: avg(|r| r.m4),
+        m5: avg(|r| r.m5),
+        m6: avg(|r| r.m6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ms: u64) -> PageMetrics {
+        PageMetrics {
+            site: "x.com".into(),
+            page_bytes: 1024,
+            m1: SimDuration::from_millis(ms),
+            m2: SimDuration::from_millis(ms * 2),
+            m3: SimDuration::from_millis(ms * 3),
+            m4: SimDuration::from_millis(ms * 4),
+            m5: SimDuration::from_millis(ms * 5),
+            m6: SimDuration::from_millis(ms * 6),
+        }
+    }
+
+    #[test]
+    fn average_is_componentwise() {
+        let avg = average(&[rec(10), rec(20), rec(30)]);
+        assert_eq!(avg.m1.as_millis(), 20);
+        assert_eq!(avg.m2.as_millis(), 40);
+        assert_eq!(avg.m6.as_millis(), 120);
+        assert_eq!(avg.site, "x.com");
+    }
+
+    #[test]
+    fn row_contains_all_metrics() {
+        let row = rec(10).row();
+        for label in ["M1=", "M2=", "M3=", "M4=", "M5=", "M6="] {
+            assert!(row.contains(label));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero records")]
+    fn average_rejects_empty() {
+        average(&[]);
+    }
+}

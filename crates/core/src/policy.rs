@@ -1,0 +1,80 @@
+//! Co-browsing policies (paper §3.3).
+//!
+//! "When a participant clicks a link on a co-browsed webpage and this
+//! action information is sent back to the host browser, RCB-Agent can
+//! either immediately perform the click action on the host browser, or ask
+//! the co-browsing host to inspect and explicitly confirm this click
+//! action. Similarly, if multiple participants are involved ... it is up
+//! to the high-level policy enforced on RCB-Agent to decide whom are
+//! allowed to perform certain interactions."
+
+use std::collections::HashSet;
+
+/// How participant-initiated navigation/click actions are applied on the
+/// host browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NavigationPolicy {
+    /// Apply immediately (the online-shopping scenario default).
+    #[default]
+    Immediate,
+    /// Queue for explicit host confirmation (the online-training default).
+    HostConfirm,
+}
+
+/// Which participants may interact at all.
+#[derive(Debug, Clone, Default)]
+pub enum InteractionPolicy {
+    /// Everyone in the session may act.
+    #[default]
+    AllParticipants,
+    /// Participants may only watch; the host drives.
+    ViewOnly,
+    /// Only an explicit allow-list of participant ids may act.
+    Moderated(HashSet<u64>),
+}
+
+impl InteractionPolicy {
+    /// Whether participant `id` may submit interactions.
+    pub fn allows(&self, id: u64) -> bool {
+        match self {
+            InteractionPolicy::AllParticipants => true,
+            InteractionPolicy::ViewOnly => false,
+            InteractionPolicy::Moderated(allowed) => allowed.contains(&id),
+        }
+    }
+}
+
+/// Decision for a queued action under [`NavigationPolicy::HostConfirm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostDecision {
+    /// The host approved the action; apply it.
+    Approve,
+    /// The host rejected the action; drop it.
+    Reject,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_permissive() {
+        assert_eq!(NavigationPolicy::default(), NavigationPolicy::Immediate);
+        assert!(InteractionPolicy::default().allows(42));
+    }
+
+    #[test]
+    fn view_only_blocks_everyone() {
+        let p = InteractionPolicy::ViewOnly;
+        assert!(!p.allows(1));
+        assert!(!p.allows(2));
+    }
+
+    #[test]
+    fn moderated_allows_listed_only() {
+        let p = InteractionPolicy::Moderated([3u64, 5].into_iter().collect());
+        assert!(p.allows(3));
+        assert!(p.allows(5));
+        assert!(!p.allows(4));
+    }
+}

@@ -1,0 +1,202 @@
+//! The `multipart/x-mixed-replace` push alternative (paper §3.2.3).
+//!
+//! "In addition to poll-based synchronization, an HTTP server can use
+//! 'multipart/x-mixed-replace' type of responses to emulate the content
+//! pushing effect. However, compared with poll-based synchronization,
+//! this alternative approach increases the complexity of co-browsing
+//! synchronization and decreases its reliability."
+//!
+//! The paper rejects this design; we implement it anyway so the decision
+//! can be evaluated quantitatively (ablation `ablation_push`). The model:
+//! the participant opens one long-lived request; the agent holds the
+//! connection and writes a new MIME part whenever the host document
+//! changes. Latency wins (no poll interval), but:
+//!
+//! * the stream is stateful — an intermediary or browser dropping the
+//!   connection silently loses the session until the participant notices
+//!   (modeled as a per-part drop probability and a detection timeout);
+//! * piggybacking is gone — participant actions now need a *second*
+//!   channel (each action is its own POST, paying a full request each);
+//! * per-participant state lives on the agent for the whole session.
+
+use rcb_util::{DetRng, SimDuration, SimTime};
+
+/// One pushed MIME part: a content update on the long-lived response.
+#[derive(Debug, Clone)]
+pub struct PushedPart {
+    /// Content timestamp carried by this part.
+    pub doc_time: u64,
+    /// Serialized newContent bytes (same Fig.-4 payload as polling).
+    pub bytes: usize,
+    /// When the agent wrote it.
+    pub sent_at: SimTime,
+}
+
+/// Outcome of delivering one part over the push stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushDelivery {
+    /// Delivered after the given delay.
+    Delivered {
+        /// When the participant finished receiving the part.
+        at: SimTime,
+    },
+    /// The stream broke mid-part; the participant only notices after the
+    /// silence timeout and must reconnect (losing the part).
+    StreamBroken {
+        /// When the participant detects the break and re-establishes.
+        recovered_at: SimTime,
+    },
+}
+
+/// Reliability/latency model of one push stream.
+#[derive(Debug)]
+pub struct PushStream {
+    /// Probability that writing a part hits a broken/buffered stream
+    /// (intermediaries and 2009 browsers handled x-mixed-replace
+    /// inconsistently — the paper's "decreases its reliability").
+    pub drop_probability: f64,
+    /// How long a silent broken stream takes to detect + reconnect.
+    pub recovery_time: SimDuration,
+    /// Parts written.
+    pub parts_sent: u64,
+    /// Parts lost to stream breaks.
+    pub parts_lost: u64,
+    rng: DetRng,
+}
+
+impl PushStream {
+    /// A stream with the default 2009-era reliability model.
+    pub fn new(seed: u64) -> PushStream {
+        PushStream {
+            drop_probability: 0.03,
+            recovery_time: SimDuration::from_secs(5),
+            parts_sent: 0,
+            parts_lost: 0,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Attempts to push one part whose transfer takes `transfer_time`.
+    pub fn deliver(&mut self, sent_at: SimTime, transfer_time: SimDuration) -> PushDelivery {
+        self.parts_sent += 1;
+        if self.rng.chance(self.drop_probability) {
+            self.parts_lost += 1;
+            PushDelivery::StreamBroken {
+                recovered_at: sent_at + self.recovery_time,
+            }
+        } else {
+            PushDelivery::Delivered {
+                at: sent_at + transfer_time,
+            }
+        }
+    }
+
+    /// Fraction of parts lost so far.
+    pub fn loss_rate(&self) -> f64 {
+        if self.parts_sent == 0 {
+            return 0.0;
+        }
+        self.parts_lost as f64 / self.parts_sent as f64
+    }
+}
+
+/// Compares expected synchronization delay of polling vs push for a
+/// content change landing uniformly at random inside a poll interval.
+///
+/// Returns `(poll_expected, push_expected)` where each includes transfer
+/// time; push adds the expected recovery penalty at its loss rate.
+pub fn expected_sync_delay(
+    poll_interval: SimDuration,
+    transfer_time: SimDuration,
+    drop_probability: f64,
+    recovery_time: SimDuration,
+) -> (SimDuration, SimDuration) {
+    // Poll: change waits on average half an interval for the next poll.
+    let poll = SimDuration::from_micros(poll_interval.as_micros() / 2) + transfer_time;
+    // Push: immediate, but a lost part costs the recovery timeout plus
+    // the retransfer.
+    let p = drop_probability.clamp(0.0, 1.0);
+    let push_us = transfer_time.as_micros() as f64
+        + p * (recovery_time.as_micros() as f64 + transfer_time.as_micros() as f64);
+    let push = SimDuration::from_micros(push_us as u64);
+    (poll, push)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_stream_delivers_fast() {
+        let mut s = PushStream::new(1);
+        s.drop_probability = 0.0;
+        let out = s.deliver(SimTime::from_secs(10), SimDuration::from_millis(20));
+        assert_eq!(
+            out,
+            PushDelivery::Delivered {
+                at: SimTime::from_millis(10_020)
+            }
+        );
+        assert_eq!(s.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn unreliable_stream_loses_parts() {
+        let mut s = PushStream::new(2);
+        s.drop_probability = 0.5;
+        let mut lost = 0;
+        for i in 0..1000 {
+            if matches!(
+                s.deliver(SimTime::from_secs(i), SimDuration::from_millis(5)),
+                PushDelivery::StreamBroken { .. }
+            ) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 400 && lost < 600, "lost {lost}");
+        assert!((s.loss_rate() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn broken_stream_recovers_after_timeout() {
+        let mut s = PushStream::new(3);
+        s.drop_probability = 1.0;
+        let out = s.deliver(SimTime::from_secs(1), SimDuration::from_millis(5));
+        assert_eq!(
+            out,
+            PushDelivery::StreamBroken {
+                recovered_at: SimTime::from_secs(6)
+            }
+        );
+    }
+
+    #[test]
+    fn push_wins_on_latency_until_reliability_erodes_it() {
+        let interval = SimDuration::from_secs(1);
+        let transfer = SimDuration::from_millis(30);
+        // Perfect stream: push beats polling by ~half an interval.
+        let (poll, push) = expected_sync_delay(interval, transfer, 0.0, SimDuration::from_secs(5));
+        assert!(push < poll);
+        // At high loss with slow recovery the advantage inverts — the
+        // paper's reliability argument.
+        let (poll2, push2) =
+            expected_sync_delay(interval, transfer, 0.12, SimDuration::from_secs(5));
+        assert!(push2 > poll2, "push {push2} !> poll {poll2}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = PushStream::new(seed);
+            (0..100)
+                .filter(|i| {
+                    matches!(
+                        s.deliver(SimTime::from_secs(*i), SimDuration::ZERO),
+                        PushDelivery::StreamBroken { .. }
+                    )
+                })
+                .count()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

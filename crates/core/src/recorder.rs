@@ -1,0 +1,310 @@
+//! Session recording.
+//!
+//! An RCB session is a stream of well-defined events (navigations,
+//! content syncs, participant actions, joins/leaves). Recording them
+//! gives three things the paper's applications want: an audit trail for
+//! the customer-support scenario, an instructor-side replay for the
+//! distance-learning scenario, and a debugging artifact for the
+//! framework itself. The recorder is deliberately dumb — an append-only
+//! event log with a text serialization — so it can be persisted or
+//! shipped anywhere.
+
+use rcb_util::SimTime;
+
+/// One recorded session event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A participant joined.
+    Join {
+        /// Participant id.
+        pid: u64,
+    },
+    /// A participant left.
+    Leave {
+        /// Participant id.
+        pid: u64,
+    },
+    /// The host navigated to a URL.
+    HostNavigate {
+        /// Absolute URL.
+        url: String,
+    },
+    /// The host DOM changed (navigation or dynamic mutation) producing a
+    /// new content timestamp.
+    ContentChange {
+        /// New document timestamp.
+        doc_time: u64,
+    },
+    /// A participant received and applied content.
+    Sync {
+        /// Participant id.
+        pid: u64,
+        /// Document timestamp applied.
+        doc_time: u64,
+    },
+    /// A participant action was merged on the host.
+    Action {
+        /// Participant id.
+        pid: u64,
+        /// Encoded action line (the wire codec of `rcb-browser`).
+        encoded: String,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// What happened.
+    pub event: SessionEvent,
+}
+
+/// Append-only session log.
+#[derive(Debug, Default)]
+pub struct SessionRecorder {
+    events: Vec<TimedEvent>,
+}
+
+impl SessionRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        SessionRecorder::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, event: SessionEvent) {
+        self.events.push(TimedEvent { at, event });
+    }
+
+    /// All events, in record order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events involving one participant.
+    pub fn for_participant(&self, pid: u64) -> Vec<&TimedEvent> {
+        self.events
+            .iter()
+            .filter(|e| match &e.event {
+                SessionEvent::Join { pid: p }
+                | SessionEvent::Leave { pid: p }
+                | SessionEvent::Sync { pid: p, .. }
+                | SessionEvent::Action { pid: p, .. } => *p == pid,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Serializes the log, one event per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for TimedEvent { at, event } in &self.events {
+            let line = match event {
+                SessionEvent::Join { pid } => format!("join pid={pid}"),
+                SessionEvent::Leave { pid } => format!("leave pid={pid}"),
+                SessionEvent::HostNavigate { url } => format!("navigate url={url}"),
+                SessionEvent::ContentChange { doc_time } => {
+                    format!("content doc_time={doc_time}")
+                }
+                SessionEvent::Sync { pid, doc_time } => {
+                    format!("sync pid={pid} doc_time={doc_time}")
+                }
+                SessionEvent::Action { pid, encoded } => {
+                    format!("action pid={pid} data={}", rcb_url::percent::encode(encoded))
+                }
+            };
+            out.push_str(&format!("{:>12} {}\n", at.as_micros(), line));
+        }
+        out
+    }
+
+    /// Parses a [`SessionRecorder::to_text`] log back.
+    pub fn from_text(text: &str) -> rcb_util::Result<SessionRecorder> {
+        let mut rec = SessionRecorder::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err =
+                || rcb_util::RcbError::parse("session-log", format!("bad line {line:?}"));
+            let (ts, rest) = line.split_once(' ').ok_or_else(err)?;
+            let at = SimTime::from_micros(ts.trim().parse().map_err(|_| err())?);
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().ok_or_else(err)?;
+            let kv = |p: Option<&str>, key: &str| -> rcb_util::Result<String> {
+                p.and_then(|s| s.strip_prefix(&format!("{key}=")))
+                    .map(str::to_string)
+                    .ok_or_else(err)
+            };
+            let event = match kind {
+                "join" => SessionEvent::Join {
+                    pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
+                },
+                "leave" => SessionEvent::Leave {
+                    pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
+                },
+                "navigate" => SessionEvent::HostNavigate {
+                    url: kv(parts.next(), "url")?,
+                },
+                "content" => SessionEvent::ContentChange {
+                    doc_time: kv(parts.next(), "doc_time")?.parse().map_err(|_| err())?,
+                },
+                "sync" => SessionEvent::Sync {
+                    pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
+                    doc_time: kv(parts.next(), "doc_time")?
+                        .parse()
+                        .map_err(|_| err())?,
+                },
+                "action" => SessionEvent::Action {
+                    pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
+                    encoded: rcb_url::percent::decode(&kv(parts.next(), "data")?),
+                },
+                _ => return Err(err()),
+            };
+            rec.record(at, event);
+        }
+        Ok(rec)
+    }
+
+    /// Replay summary: per-participant sync counts and lag statistics
+    /// (time from each content change to each participant's sync of it).
+    pub fn replay_summary(&self) -> ReplaySummary {
+        let mut content_at: std::collections::HashMap<u64, SimTime> =
+            std::collections::HashMap::new();
+        let mut syncs = 0u64;
+        let mut actions = 0u64;
+        let mut lag_total_us: u128 = 0;
+        let mut lag_samples = 0u64;
+        for TimedEvent { at, event } in &self.events {
+            match event {
+                SessionEvent::ContentChange { doc_time } => {
+                    content_at.entry(*doc_time).or_insert(*at);
+                }
+                SessionEvent::Sync { doc_time, .. } => {
+                    syncs += 1;
+                    if let Some(&t0) = content_at.get(doc_time) {
+                        lag_total_us += at.since(t0).as_micros() as u128;
+                        lag_samples += 1;
+                    }
+                }
+                SessionEvent::Action { .. } => actions += 1,
+                _ => {}
+            }
+        }
+        ReplaySummary {
+            events: self.events.len(),
+            syncs,
+            actions,
+            mean_sync_lag: if lag_samples == 0 {
+                rcb_util::SimDuration::ZERO
+            } else {
+                rcb_util::SimDuration::from_micros((lag_total_us / lag_samples as u128) as u64)
+            },
+        }
+    }
+}
+
+/// Aggregate statistics of a recorded session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Total events.
+    pub events: usize,
+    /// Content syncs delivered.
+    pub syncs: u64,
+    /// Participant actions merged.
+    pub actions: u64,
+    /// Mean lag from content change to participant sync.
+    pub mean_sync_lag: rcb_util::SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample() -> SessionRecorder {
+        let mut r = SessionRecorder::new();
+        r.record(t(0), SessionEvent::Join { pid: 1 });
+        r.record(
+            t(100),
+            SessionEvent::HostNavigate {
+                url: "http://cnn.com/".into(),
+            },
+        );
+        r.record(t(150), SessionEvent::ContentChange { doc_time: 42 });
+        r.record(t(400), SessionEvent::Sync { pid: 1, doc_time: 42 });
+        r.record(
+            t(900),
+            SessionEvent::Action {
+                pid: 1,
+                encoded: "input|q|q|hello world & more".into(),
+            },
+        );
+        r.record(t(2_000), SessionEvent::Leave { pid: 1 });
+        r
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let r = sample();
+        let text = r.to_text();
+        let parsed = SessionRecorder::from_text(&text).unwrap();
+        assert_eq!(parsed.events(), r.events());
+    }
+
+    #[test]
+    fn participant_filter() {
+        let mut r = sample();
+        r.record(t(3_000), SessionEvent::Join { pid: 2 });
+        assert_eq!(r.for_participant(1).len(), 4);
+        assert_eq!(r.for_participant(2).len(), 1);
+        assert_eq!(r.for_participant(3).len(), 0);
+    }
+
+    #[test]
+    fn replay_summary_counts_and_lag() {
+        let s = sample().replay_summary();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.actions, 1);
+        assert_eq!(s.mean_sync_lag.as_millis(), 250);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(SessionRecorder::from_text("xyz").is_err());
+        assert!(SessionRecorder::from_text("100 teleport pid=1").is_err());
+        assert!(SessionRecorder::from_text("100 sync pid=x doc_time=1").is_err());
+        // Blank lines are fine.
+        assert!(SessionRecorder::from_text("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn action_payloads_survive_encoding() {
+        let mut r = SessionRecorder::new();
+        r.record(
+            t(1),
+            SessionEvent::Action {
+                pid: 9,
+                encoded: "submit|f|a=1&b=%7C weird \n chars".into(),
+            },
+        );
+        let parsed = SessionRecorder::from_text(&r.to_text()).unwrap();
+        assert_eq!(parsed.events(), r.events());
+    }
+}

@@ -1,0 +1,491 @@
+//! Ajax-Snippet: the participant-side poller (paper §4.2).
+//!
+//! The snippet lives in the head of whatever document is currently shown
+//! on the participant browser ("it always keeps itself as a `<script>`
+//! child element within the head element of any current document"). It
+//! does two things:
+//!
+//! * **request sending** (§4.2.1): POST polling requests whose bodies
+//!   piggyback the participant's pending actions, with the content
+//!   timestamp of the current page and an HMAC on the request-URI;
+//! * **response processing** (§4.2.2, Fig. 5): on "no new content",
+//!   schedule the next poll; otherwise run the four-step smooth update —
+//!   (1) clean the head keeping the snippet, (2) set head children from
+//!   the payloads (Firefox: innerHTML assignment; IE: DOM construction),
+//!   (3) remove stale top-level elements (body ↔ frameset switches),
+//!   (4) set the new top-level content — then poll again.
+//!
+//! The wall-clock cost of one content update is the paper's **M6**.
+
+use rcb_browser::{Browser, BrowserKind, UserAction};
+use rcb_crypto::SessionKey;
+use rcb_html::dom::{Document, NodeId};
+use rcb_html::parser::parse_fragment_into;
+use rcb_http::{Request, Response};
+use rcb_util::{Histogram, RcbError, Result, SimDuration, Stopwatch};
+use rcb_xml::{parse_new_content, ElementPayload, TopLevel};
+
+use crate::agent::build_poll_body;
+use crate::auth::sign_request;
+
+/// Outcome of processing one polling response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnippetOutcome {
+    /// Empty response: nothing changed on the host; poll again later.
+    NoNewContent,
+    /// The page was updated to the given content timestamp.
+    Updated {
+        /// New content timestamp now acknowledged by this snippet.
+        doc_time: u64,
+        /// Supplementary-object URLs the browser must now fetch
+        /// (agent-relative in cache mode, absolute otherwise).
+        object_urls: Vec<String>,
+        /// Host-side actions mirrored to this participant (mouse moves).
+        host_actions: Vec<UserAction>,
+    },
+}
+
+/// Ajax-Snippet state for one participant.
+pub struct AjaxSnippet {
+    /// Participant id carried in the `p` query parameter.
+    pub participant_id: u64,
+    key: SessionKey,
+    /// Timestamp of the content currently displayed.
+    pub doc_time: u64,
+    /// Actions captured since the last poll (drained into the next one).
+    pending: Vec<UserAction>,
+    /// Poll interval (the paper used one second).
+    pub poll_interval: SimDuration,
+    /// Wall-clock costs of content updates (the paper's M6 samples).
+    pub m6: Histogram,
+    /// Updates applied.
+    pub updates_applied: u64,
+    /// Polls sent.
+    pub polls_sent: u64,
+    /// Require a valid `X-RCB-MAC` on every successful response (the
+    /// §3.4 future-work extension; pairs with
+    /// `AgentConfig::authenticate_responses`).
+    pub require_response_auth: bool,
+}
+
+impl AjaxSnippet {
+    /// Creates a snippet with the shared session key.
+    pub fn new(participant_id: u64, key: SessionKey, poll_interval: SimDuration) -> AjaxSnippet {
+        AjaxSnippet {
+            participant_id,
+            key,
+            doc_time: 0,
+            pending: Vec::new(),
+            poll_interval,
+            m6: Histogram::new(),
+            updates_applied: 0,
+            polls_sent: 0,
+            require_response_auth: false,
+        }
+    }
+
+    /// Captures a user action for piggybacking on the next poll.
+    pub fn capture_action(&mut self, action: UserAction) {
+        self.pending.push(action);
+    }
+
+    /// Number of actions waiting to be piggybacked.
+    pub fn pending_actions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Builds the next signed polling request, draining pending actions
+    /// (§4.2.1: POST method so action data rides in the body;
+    /// `Content-Length` is set by the request constructor).
+    pub fn build_poll(&mut self) -> Request {
+        self.polls_sent += 1;
+        let actions = std::mem::take(&mut self.pending);
+        let body = build_poll_body(self.doc_time, &actions);
+        let mut req = Request::post(format!("/poll?p={}", self.participant_id), body);
+        sign_request(&self.key, &mut req);
+        req
+    }
+
+    /// Processes a polling response against the participant browser
+    /// (Fig. 5). Returns what happened; on `Updated` the caller is
+    /// responsible for fetching the returned object URLs.
+    pub fn process_response(
+        &mut self,
+        resp: &Response,
+        browser: &mut Browser,
+    ) -> Result<SnippetOutcome> {
+        if !resp.status.is_success() {
+            return Err(RcbError::Protocol(format!(
+                "poll failed with status {}",
+                resp.status.0
+            )));
+        }
+        if self.require_response_auth && !crate::auth::verify_response(&self.key, resp) {
+            return Err(RcbError::Auth(
+                "response MAC missing or invalid".into(),
+            ));
+        }
+        let body = resp.body_str();
+        let Some(nc) = parse_new_content(&body)? else {
+            return Ok(SnippetOutcome::NoNewContent);
+        };
+        let sw = Stopwatch::start();
+        let kind = browser.kind;
+        let doc = browser
+            .doc
+            .as_mut()
+            .ok_or_else(|| RcbError::InvalidInput("participant has no document".into()))?;
+        apply_new_content(doc, kind, &nc.head_children, &nc.top)?;
+        let object_urls = {
+            let d = browser.doc.as_ref().expect("document still loaded");
+            rcb_html::query::collect_supplementary_urls(d, d.root())
+        };
+        self.m6.record(sw.elapsed());
+        self.updates_applied += 1;
+        self.doc_time = nc.doc_time;
+        let host_actions = UserAction::decode_batch(&nc.user_actions).unwrap_or_default();
+        Ok(SnippetOutcome::Updated {
+            doc_time: nc.doc_time,
+            object_urls,
+            host_actions,
+        })
+    }
+}
+
+/// The four-step smooth update of Fig. 5, applied to a participant DOM.
+pub fn apply_new_content(
+    doc: &mut Document,
+    kind: BrowserKind,
+    head_children: &[ElementPayload],
+    top: &TopLevel,
+) -> Result<()> {
+    let html = doc
+        .document_element()
+        .ok_or_else(|| RcbError::InvalidInput("participant document has no <html>".into()))?;
+    let head = match doc.head() {
+        Some(h) => h,
+        None => {
+            let h = doc.create_element("head");
+            doc.append_child(html, h)?;
+            h
+        }
+    };
+
+    // Step 1: clean the head, keeping only Ajax-Snippet.
+    let snippet_node = find_snippet(doc, head);
+    let children: Vec<NodeId> = doc.children(head).to_vec();
+    for child in children {
+        if Some(child) != snippet_node {
+            doc.detach(child);
+        }
+    }
+
+    // Step 2: append the new head children, per browser capability.
+    for payload in head_children {
+        if is_snippet_payload(payload) {
+            continue; // never duplicate the snippet
+        }
+        let el = doc.create_element_with_attrs(&payload.tag, payload.attrs.clone());
+        doc.append_child(head, el)?;
+        match kind {
+            BrowserKind::Firefox => {
+                // Firefox path: head innerHTML is writable — one shot.
+                rcb_html::parser::set_inner_html(doc, el, &payload.inner_html);
+            }
+            BrowserKind::InternetExplorer => {
+                // IE path: construct children with DOM methods. For style
+                // (innerHTML read-only even on the element) install a
+                // single text node, as createTextNode+appendChild would.
+                if payload.tag == "style" || payload.tag == "script" {
+                    let text = doc.create_text(payload.inner_html.clone());
+                    doc.append_child(el, text)?;
+                } else {
+                    let staging = doc.create_element("div");
+                    let created = parse_fragment_into(doc, staging, &payload.inner_html);
+                    for c in created {
+                        doc.append_child(el, c)?;
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 3: clean up stale top-level elements.
+    let top_level: Vec<NodeId> = doc.children(html).to_vec();
+    for child in top_level {
+        let Some(tag) = doc.tag(child) else { continue };
+        let stale = match top {
+            TopLevel::Body(_) => matches!(tag, "frameset" | "noframes"),
+            TopLevel::Frames { .. } => tag == "body",
+        };
+        if stale {
+            doc.detach(child);
+        }
+    }
+
+    // Step 4: set the new top-level content.
+    match top {
+        TopLevel::Body(body) => {
+            set_top_element(doc, html, "body", body)?;
+        }
+        TopLevel::Frames { frameset, noframes } => {
+            set_top_element(doc, html, "frameset", frameset)?;
+            if let Some(nf) = noframes {
+                set_top_element(doc, html, "noframes", nf)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finds the snippet script element (`id="ajax-snippet"`) in the head.
+fn find_snippet(doc: &Document, head: NodeId) -> Option<NodeId> {
+    doc.children(head)
+        .iter()
+        .copied()
+        .find(|&c| doc.is_element(c, "script") && doc.get_attr(c, "id") == Some("ajax-snippet"))
+}
+
+fn is_snippet_payload(p: &ElementPayload) -> bool {
+    p.tag == "script"
+        && p.attrs
+            .iter()
+            .any(|(k, v)| k == "id" && v == "ajax-snippet")
+}
+
+/// Replaces (or creates) the named top-level element under `<html>` and
+/// fills it from the payload.
+fn set_top_element(
+    doc: &mut Document,
+    html: NodeId,
+    tag: &str,
+    payload: &ElementPayload,
+) -> Result<()> {
+    let existing = doc
+        .children(html)
+        .iter()
+        .copied()
+        .find(|&c| doc.is_element(c, tag));
+    let el = match existing {
+        Some(el) => {
+            // Refresh attributes: drop then re-add.
+            let names: Vec<String> =
+                doc.attrs(el).iter().map(|(n, _)| n.clone()).collect();
+            for n in names {
+                doc.remove_attr(el, &n);
+            }
+            el
+        }
+        None => {
+            let el = doc.create_element(tag);
+            doc.append_child(html, el)?;
+            el
+        }
+    };
+    for (n, v) in &payload.attrs {
+        doc.set_attr(el, n, v.clone());
+    }
+    rcb_html::parser::set_inner_html(doc, el, &payload.inner_html);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_html::parse_document;
+    use rcb_util::DetRng;
+
+    fn key() -> SessionKey {
+        SessionKey::generate_deterministic(&mut DetRng::new(11))
+    }
+
+    fn initial_participant_doc() -> Document {
+        parse_document(
+            "<html><head><script id=\"ajax-snippet\">/*rcb*/</script>\
+             <title>RCB co-browsing session</title></head>\
+             <body><div id=\"rcb-status\">waiting</div></body></html>",
+        )
+    }
+
+    fn payload(tag: &str, attrs: &[(&str, &str)], inner: &str) -> ElementPayload {
+        ElementPayload {
+            tag: tag.into(),
+            attrs: attrs
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            inner_html: inner.into(),
+        }
+    }
+
+    #[test]
+    fn poll_requests_are_signed_posts_with_timestamp() {
+        let mut s = AjaxSnippet::new(3, key(), SimDuration::from_secs(1));
+        s.doc_time = 42;
+        s.capture_action(UserAction::MouseMove { x: 1, y: 2 });
+        let req = s.build_poll();
+        assert_eq!(req.method, rcb_http::Method::Post);
+        assert!(req.target.starts_with("/poll?p=3"));
+        assert!(req.target.contains("hmac="));
+        let body = String::from_utf8(req.body.clone()).unwrap();
+        assert!(body.starts_with("t=42"));
+        assert!(body.contains("mouse|1|2"));
+        assert_eq!(s.pending_actions(), 0, "pending drained");
+        assert!(crate::auth::verify_request(&key(), &req));
+    }
+
+    #[test]
+    fn head_update_keeps_snippet_firefox_and_ie() {
+        for kind in [BrowserKind::Firefox, BrowserKind::InternetExplorer] {
+            let mut doc = initial_participant_doc();
+            let heads = vec![
+                payload("title", &[], "cnn.com — home"),
+                payload("style", &[("type", "text/css")], "body{color:red}"),
+            ];
+            let top = TopLevel::Body(payload("body", &[("class", "home")], "<p>news</p>"));
+            apply_new_content(&mut doc, kind, &heads, &top).unwrap();
+            let head = doc.head().unwrap();
+            let tags: Vec<&str> = doc
+                .children(head)
+                .iter()
+                .filter_map(|&c| doc.tag(c))
+                .collect();
+            assert_eq!(tags, vec!["script", "title", "style"], "kind {kind:?}");
+            let snippet = doc.children(head)[0];
+            assert_eq!(doc.get_attr(snippet, "id"), Some("ajax-snippet"));
+            let body = doc.body().unwrap();
+            assert_eq!(doc.get_attr(body, "class"), Some("home"));
+            assert_eq!(doc.text_content(body), "news");
+        }
+    }
+
+    #[test]
+    fn body_to_frameset_switch() {
+        let mut doc = initial_participant_doc();
+        let top = TopLevel::Frames {
+            frameset: payload(
+                "frameset",
+                &[("cols", "50%,50%")],
+                "<frame src=\"/a\"><frame src=\"/b\">",
+            ),
+            noframes: Some(payload("noframes", &[], "frames needed")),
+        };
+        apply_new_content(&mut doc, BrowserKind::Firefox, &[], &top).unwrap();
+        assert!(doc.body().is_none(), "stale body removed");
+        let fs = doc.frameset().unwrap();
+        assert_eq!(doc.get_attr(fs, "cols"), Some("50%,50%"));
+        // And back to a body page.
+        let top2 = TopLevel::Body(payload("body", &[], "<p>back</p>"));
+        apply_new_content(&mut doc, BrowserKind::Firefox, &[], &top2).unwrap();
+        assert!(doc.frameset().is_none());
+        assert_eq!(doc.text_content(doc.body().unwrap()), "back");
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_latest_content() {
+        let mut doc = initial_participant_doc();
+        for i in 0..5 {
+            let top = TopLevel::Body(payload("body", &[], &format!("<p>v{i}</p>")));
+            apply_new_content(
+                &mut doc,
+                BrowserKind::Firefox,
+                &[payload("title", &[], &format!("page v{i}"))],
+                &top,
+            )
+            .unwrap();
+        }
+        assert_eq!(doc.text_content(doc.body().unwrap()), "v4");
+        let head = doc.head().unwrap();
+        // One snippet plus one title — no accumulation across updates.
+        assert_eq!(doc.children(head).len(), 2);
+    }
+
+    #[test]
+    fn snippet_payload_from_agent_is_not_duplicated() {
+        let mut doc = initial_participant_doc();
+        let heads = vec![
+            payload("script", &[("id", "ajax-snippet")], "/*rcb*/"),
+            payload("title", &[], "t"),
+        ];
+        let top = TopLevel::Body(payload("body", &[], ""));
+        apply_new_content(&mut doc, BrowserKind::Firefox, &heads, &top).unwrap();
+        let head = doc.head().unwrap();
+        let snippets = doc
+            .children(head)
+            .iter()
+            .filter(|&&c| doc.get_attr(c, "id") == Some("ajax-snippet"))
+            .count();
+        assert_eq!(snippets, 1);
+    }
+
+    #[test]
+    fn ie_path_constructs_equivalent_dom() {
+        let heads = vec![payload("style", &[], ".x{color:blue}")];
+        let top = TopLevel::Body(payload(
+            "body",
+            &[],
+            "<div id=\"a\"><b>rich</b> content</div>",
+        ));
+        let mut ff_doc = initial_participant_doc();
+        apply_new_content(&mut ff_doc, BrowserKind::Firefox, &heads, &top).unwrap();
+        let mut ie_doc = initial_participant_doc();
+        apply_new_content(&mut ie_doc, BrowserKind::InternetExplorer, &heads, &top).unwrap();
+        // Both paths must render identical body content.
+        let ff_body = rcb_html::inner_html(&ff_doc, ff_doc.body().unwrap());
+        let ie_body = rcb_html::inner_html(&ie_doc, ie_doc.body().unwrap());
+        assert_eq!(ff_body, ie_body);
+        let ff_head = rcb_html::inner_html(&ff_doc, ff_doc.head().unwrap());
+        let ie_head = rcb_html::inner_html(&ie_doc, ie_doc.head().unwrap());
+        assert_eq!(ff_head, ie_head);
+    }
+
+    #[test]
+    fn process_response_full_cycle() {
+        use rcb_xml::{write_new_content, NewContent};
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.doc = Some(initial_participant_doc());
+        let mut s = AjaxSnippet::new(1, key(), SimDuration::from_secs(1));
+
+        // Empty response → NoNewContent.
+        let out = s
+            .process_response(&Response::empty_ok(), &mut browser)
+            .unwrap();
+        assert_eq!(out, SnippetOutcome::NoNewContent);
+
+        // Real content → Updated with object URLs and host actions.
+        let nc = NewContent {
+            doc_time: 99,
+            head_children: vec![payload("title", &[], "shop")],
+            top: TopLevel::Body(payload(
+                "body",
+                &[],
+                "<img src=\"http://shop/a.png\"><p>hi</p>",
+            )),
+            user_actions: "mouse|4|5".into(),
+        };
+        let resp = Response::xml(write_new_content(&nc));
+        let out = s.process_response(&resp, &mut browser).unwrap();
+        match out {
+            SnippetOutcome::Updated {
+                doc_time,
+                object_urls,
+                host_actions,
+            } => {
+                assert_eq!(doc_time, 99);
+                assert_eq!(object_urls, vec!["http://shop/a.png".to_string()]);
+                assert_eq!(host_actions, vec![UserAction::MouseMove { x: 4, y: 5 }]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        assert_eq!(s.doc_time, 99);
+        assert_eq!(s.updates_applied, 1);
+        assert_eq!(s.m6.len(), 1);
+
+        // Error statuses are surfaced.
+        let err = s.process_response(
+            &Response::error(rcb_http::Status::UNAUTHORIZED, "bad mac"),
+            &mut browser,
+        );
+        assert!(err.is_err());
+    }
+}

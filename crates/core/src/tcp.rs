@@ -1,0 +1,287 @@
+//! Real-socket deployment of RCB-Agent.
+//!
+//! Everything else in this crate runs on simulated links; this module is
+//! the "practical" half of the paper's claim: the agent served over real
+//! `std::net` TCP (paper §3.1 step 1: "a co-browsing host starts running
+//! RCB-Agent on the host browser with an open TCP port, e.g. 3000"), and
+//! a participant joining with nothing but an HTTP client — exactly what a
+//! regular browser plus Ajax-Snippet amounts to.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use rcb_browser::{Browser, BrowserKind, UserAction};
+use rcb_crypto::SessionKey;
+use rcb_http::client::HttpConnection;
+use rcb_http::server::{Handler, HttpServer};
+use rcb_util::{RcbError, Result, SimDuration, SimTime};
+
+use crate::agent::{AgentConfig, RcbAgent};
+use crate::snippet::{AjaxSnippet, SnippetOutcome};
+
+/// A live RCB host: the agent plus a host browser behind a real TCP port.
+pub struct TcpHost {
+    server: HttpServer,
+    state: Arc<Mutex<HostState>>,
+    key: SessionKey,
+}
+
+struct HostState {
+    agent: RcbAgent,
+    browser: Browser,
+}
+
+impl TcpHost {
+    /// Starts the agent on `addr` (e.g. `127.0.0.1:0` for an ephemeral
+    /// port), with the host browser showing the given HTML document.
+    pub fn start(addr: &str, page_url: &str, page_html: &str) -> Result<TcpHost> {
+        let key = SessionKey::generate();
+        Self::start_with_key(addr, page_url, page_html, key)
+    }
+
+    /// Starts with an explicit session key (tests use deterministic keys).
+    pub fn start_with_key(
+        addr: &str,
+        page_url: &str,
+        page_html: &str,
+        key: SessionKey,
+    ) -> Result<TcpHost> {
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse(page_url)?);
+        browser.doc = Some(rcb_html::parse_document(page_html));
+        browser.mutate_dom(|_| {}).expect("document just loaded");
+        let agent = RcbAgent::new(key.clone(), AgentConfig::default());
+        let state = Arc::new(Mutex::new(HostState { agent, browser }));
+        let handler_state = Arc::clone(&state);
+        let handler: Handler = Arc::new(move |req| {
+            let mut st = handler_state.lock();
+            let HostState { agent, browser } = &mut *st;
+            // Wall-clock now mapped onto the document-timestamp domain.
+            let now = SimTime::from_millis(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0)
+                    % 1_000_000_000,
+            );
+            agent.handle_request(&req, browser, now).response
+        });
+        let server = HttpServer::bind(addr, handler)?;
+        Ok(TcpHost { server, state, key })
+    }
+
+    /// The bound address participants connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The session key to share out of band.
+    pub fn key(&self) -> &SessionKey {
+        &self.key
+    }
+
+    /// Mutates the live host page (stands in for host-side browsing or
+    /// page JavaScript); participants pick the change up on their next
+    /// poll.
+    pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
+        let mut st = self.state.lock();
+        st.browser.mutate_dom(f)
+    }
+
+    /// Number of participants the agent has seen.
+    pub fn participant_count(&self) -> usize {
+        self.state.lock().agent.participants().len()
+    }
+
+    /// Reads current host form field values (to observe merged co-fill
+    /// data, as in the paper's Figure 10).
+    pub fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
+        let st = self.state.lock();
+        let Some(doc) = st.browser.doc.as_ref() else {
+            return Vec::new();
+        };
+        match rcb_html::query::element_by_id(doc, doc.root(), form_id) {
+            Some(form) => rcb_html::query::form_fields(doc, form),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+/// A participant joined over real TCP: a persistent connection, a browser
+/// model, and snippet state.
+pub struct TcpParticipant {
+    conn: HttpConnection,
+    /// The participant's browser model.
+    pub browser: Browser,
+    /// Snippet state (poll building, content application, M6 samples).
+    pub snippet: AjaxSnippet,
+}
+
+impl TcpParticipant {
+    /// Joins a session: connects, fetches the initial page (step 2), and
+    /// instantiates the snippet with the out-of-band key.
+    pub fn join(addr: &str, key: SessionKey, participant_id: u64) -> Result<TcpParticipant> {
+        let mut conn = HttpConnection::connect(addr)?;
+        let resp = conn.round_trip(&rcb_http::Request::get("/"))?;
+        if !resp.status.is_success() {
+            return Err(RcbError::Protocol(format!(
+                "join failed with status {}",
+                resp.status.0
+            )));
+        }
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.doc = Some(rcb_html::parse_document(&resp.body_str()));
+        Ok(TcpParticipant {
+            conn,
+            browser,
+            snippet: AjaxSnippet::new(participant_id, key, SimDuration::from_secs(1)),
+        })
+    }
+
+    /// Queues an action to ride the next poll.
+    pub fn act(&mut self, action: UserAction) {
+        self.snippet.capture_action(action);
+    }
+
+    /// One poll round over the real socket. Returns the snippet outcome;
+    /// on `Updated` also fetches agent-served objects through the same
+    /// connection.
+    pub fn poll(&mut self) -> Result<SnippetOutcome> {
+        let req = self.snippet.build_poll();
+        let resp = self.conn.round_trip(&req)?;
+        let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
+        if let SnippetOutcome::Updated { object_urls, .. } = &outcome {
+            for url in object_urls {
+                if url.starts_with('/') && !self.browser.cache.contains(url) {
+                    let obj = self.conn.round_trip(&rcb_http::Request::get(url.clone()))?;
+                    if obj.status.is_success() {
+                        let ct = obj.content_type().unwrap_or_default();
+                        self.browser
+                            .cache
+                            .store(url, &ct, obj.body, SimTime::ZERO);
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Convenience: polls until new content arrives or `attempts` polls
+    /// pass (sleeping `interval` between them, like setTimeout).
+    pub fn poll_until_update(
+        &mut self,
+        attempts: usize,
+        interval: std::time::Duration,
+    ) -> Result<SnippetOutcome> {
+        for _ in 0..attempts {
+            match self.poll()? {
+                SnippetOutcome::NoNewContent => std::thread::sleep(interval),
+                updated => return Ok(updated),
+            }
+        }
+        Err(RcbError::Protocol("no update within poll budget".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_util::DetRng;
+
+    const PAGE: &str = "<html><head><title>demo</title></head>\
+        <body><h1 id=\"headline\">hello co-browsers</h1>\
+        <form id=\"f\" action=\"/submit\"><input type=\"text\" name=\"note\" value=\"\"></form>\
+        </body></html>";
+
+    fn start_host() -> TcpHost {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+        TcpHost::start_with_key("127.0.0.1:0", "http://demo.local/", PAGE, key).unwrap()
+    }
+
+    #[test]
+    fn participant_syncs_over_real_sockets() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+        let outcome = alice.poll().unwrap();
+        assert!(matches!(outcome, SnippetOutcome::Updated { .. }));
+        let doc = alice.browser.doc.as_ref().unwrap();
+        assert!(doc.text_content(doc.root()).contains("hello co-browsers"));
+        assert_eq!(host.participant_count(), 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn live_mutation_reaches_participant() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+        alice.poll().unwrap();
+        host.mutate_page(|doc| {
+            let body = doc.body().unwrap();
+            let div = doc.create_element("div");
+            let t = doc.create_text("breaking update");
+            doc.append_child(div, t).unwrap();
+            doc.append_child(body, div).unwrap();
+        })
+        .unwrap();
+        let outcome = alice
+            .poll_until_update(10, std::time::Duration::from_millis(20))
+            .unwrap();
+        assert!(matches!(outcome, SnippetOutcome::Updated { .. }));
+        let doc = alice.browser.doc.as_ref().unwrap();
+        assert!(doc.text_content(doc.root()).contains("breaking update"));
+        host.shutdown();
+    }
+
+    #[test]
+    fn form_cofill_merges_on_host_over_tcp() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+        alice.poll().unwrap();
+        alice.act(UserAction::FormInput {
+            form: "f".into(),
+            field: "note".into(),
+            value: "ship to NYC".into(),
+        });
+        alice.poll().unwrap();
+        assert_eq!(
+            host.form_fields("f"),
+            vec![("note".to_string(), "ship to NYC".to_string())]
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn wrong_key_is_rejected_over_tcp() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let wrong = SessionKey::generate_deterministic(&mut DetRng::new(78));
+        let mut eve = TcpParticipant::join(&addr, wrong, 9).unwrap();
+        let err = eve.poll().unwrap_err();
+        assert_eq!(err.category(), "protocol");
+        assert_eq!(host.participant_count(), 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn multiple_participants_over_tcp() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let mut ps: Vec<TcpParticipant> = (1..=3)
+            .map(|i| TcpParticipant::join(&addr, host.key().clone(), i).unwrap())
+            .collect();
+        for p in &mut ps {
+            assert!(matches!(p.poll().unwrap(), SnippetOutcome::Updated { .. }));
+        }
+        assert_eq!(host.participant_count(), 3);
+        host.shutdown();
+    }
+}

@@ -1,0 +1,121 @@
+//! HMAC-SHA256 (RFC 2104) and constant-time verification.
+//!
+//! RCB-Agent verifies an HMAC appended as a request-URI parameter
+//! (paper §3.4): the agent recomputes the MAC over the received request
+//! (with the HMAC parameter removed) and compares. Comparison here is
+//! constant-time to avoid the obvious timing side channel.
+
+use crate::hex::to_hex;
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = Sha256::digest(key);
+        key_block[..32].copy_from_slice(&d);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Hex-encoded HMAC, the form embedded into request-URIs.
+pub fn hmac_sha256_hex(key: &[u8], message: &[u8]) -> String {
+    to_hex(&hmac_sha256(key, message))
+}
+
+/// Constant-time equality of two byte strings.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Verifies a hex-encoded MAC against the expected value for `message`.
+pub fn verify_hmac_hex(key: &[u8], message: &[u8], mac_hex: &str) -> bool {
+    let expected = hmac_sha256_hex(key, message);
+    ct_eq(expected.as_bytes(), mac_hex.to_ascii_lowercase().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hmac_sha256_hex(&key, b"Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hmac_sha256_hex(b"Jefe", b"what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hmac_sha256_hex(&key, &data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hmac_sha256_hex(&key, b"Test Using Larger Than Block-Size Key - Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"session-secret";
+        let msg = b"POST /poll?t=123";
+        let mac = hmac_sha256_hex(key, msg);
+        assert!(verify_hmac_hex(key, msg, &mac));
+        assert!(verify_hmac_hex(key, msg, &mac.to_ascii_uppercase()));
+        assert!(!verify_hmac_hex(key, b"POST /poll?t=124", &mac));
+        assert!(!verify_hmac_hex(b"other-key", msg, &mac));
+        assert!(!verify_hmac_hex(key, msg, "deadbeef"));
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

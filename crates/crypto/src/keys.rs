@@ -1,0 +1,116 @@
+//! Session-specific one-time secret keys.
+//!
+//! On the host browser "a session-specific one-time secret key is randomly
+//! generated and used by RCB-Agent. The co-browsing host shares the secret
+//! key with a participant using some out-of-band mechanisms" (§3.4). The
+//! out-of-band channel means the key must survive being read over the phone
+//! — hence the hex display form.
+
+use rand::RngCore;
+
+use rcb_util::DetRng;
+
+use crate::hex::{from_hex, to_hex};
+
+/// A 128-bit session secret key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SessionKey {
+    bytes: [u8; 16],
+}
+
+impl SessionKey {
+    /// Generates a key from OS entropy — the real-deployment path.
+    pub fn generate() -> Self {
+        let mut bytes = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        SessionKey { bytes }
+    }
+
+    /// Generates a key deterministically — the simulation/experiment path.
+    pub fn generate_deterministic(rng: &mut DetRng) -> Self {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        SessionKey { bytes }
+    }
+
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        SessionKey { bytes }
+    }
+
+    /// Parses the hex display form (what a participant types into the
+    /// password field on the initial HTML page).
+    pub fn from_hex(s: &str) -> rcb_util::Result<Self> {
+        let v = from_hex(s.trim())?;
+        if v.len() != 16 {
+            return Err(rcb_util::RcbError::InvalidInput(format!(
+                "session key must be 16 bytes, got {}",
+                v.len()
+            )));
+        }
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&v);
+        Ok(SessionKey { bytes })
+    }
+
+    /// Raw key material for MAC computation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The out-of-band shareable form.
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.bytes)
+    }
+}
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through debug logs.
+        write!(f, "SessionKey(****)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut rng = DetRng::new(1);
+        let k = SessionKey::generate_deterministic(&mut rng);
+        let parsed = SessionKey::from_hex(&k.to_hex()).unwrap();
+        assert_eq!(k, parsed);
+    }
+
+    #[test]
+    fn deterministic_generation_is_stable() {
+        let a = SessionKey::generate_deterministic(&mut DetRng::new(42));
+        let b = SessionKey::generate_deterministic(&mut DetRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entropy_generation_differs() {
+        assert_ne!(SessionKey::generate(), SessionKey::generate());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        assert!(SessionKey::from_hex("abcd").is_err());
+        assert!(SessionKey::from_hex("not hex at all!!").is_err());
+    }
+
+    #[test]
+    fn debug_hides_material() {
+        let k = SessionKey::from_bytes([7u8; 16]);
+        assert_eq!(format!("{k:?}"), "SessionKey(****)");
+    }
+
+    #[test]
+    fn tolerates_surrounding_whitespace() {
+        let k = SessionKey::from_bytes([1u8; 16]);
+        let typed = format!("  {}\n", k.to_hex());
+        assert_eq!(SessionKey::from_hex(&typed).unwrap(), k);
+    }
+}

@@ -1,0 +1,82 @@
+//! SHA-256 counter-mode keystream cipher.
+//!
+//! The paper notes that "any important information in a request can also be
+//! efficiently encrypted using a JavaScript implementation" (§3.4). This
+//! module provides the equivalent primitive: a keystream generated as
+//! `SHA256(key || nonce || counter)` blocks, XORed with the plaintext.
+//! Encryption and decryption are the same operation.
+
+use crate::sha256::Sha256;
+
+/// Applies the keystream derived from `(key, nonce)` to `data` in place.
+pub fn apply_keystream(key: &[u8], nonce: u64, data: &mut [u8]) {
+    let mut counter: u64 = 0;
+    let mut offset = 0;
+    while offset < data.len() {
+        let mut h = Sha256::new();
+        h.update(key);
+        h.update(&nonce.to_be_bytes());
+        h.update(&counter.to_be_bytes());
+        let block = h.finalize();
+        let n = (data.len() - offset).min(32);
+        for i in 0..n {
+            data[offset + i] ^= block[i];
+        }
+        offset += n;
+        counter += 1;
+    }
+}
+
+/// Encrypts a byte string, returning a new vector.
+pub fn encrypt(key: &[u8], nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    apply_keystream(key, nonce, &mut out);
+    out
+}
+
+/// Decrypts a byte string, returning a new vector.
+pub fn decrypt(key: &[u8], nonce: u64, ciphertext: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = b"k";
+        let pt = b"shipping address: 123 Main St".to_vec();
+        let ct = encrypt(key, 7, &pt);
+        assert_ne!(ct, pt);
+        assert_eq!(decrypt(key, 7, &ct), pt);
+    }
+
+    #[test]
+    fn nonce_separates_streams() {
+        let key = b"key";
+        let pt = vec![0u8; 64];
+        assert_ne!(encrypt(key, 1, &pt), encrypt(key, 2, &pt));
+    }
+
+    #[test]
+    fn key_separates_streams() {
+        let pt = vec![0u8; 64];
+        assert_ne!(encrypt(b"a", 1, &pt), encrypt(b"b", 1, &pt));
+    }
+
+    #[test]
+    fn wrong_nonce_fails_to_decrypt() {
+        let ct = encrypt(b"k", 1, b"secret");
+        assert_ne!(decrypt(b"k", 2, &ct), b"secret".to_vec());
+    }
+
+    #[test]
+    fn multi_block_lengths() {
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let pt = vec![0xA5u8; len];
+            let ct = encrypt(b"k", 9, &pt);
+            assert_eq!(decrypt(b"k", 9, &ct), pt, "len={len}");
+        }
+    }
+}

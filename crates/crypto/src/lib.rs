@@ -1,0 +1,26 @@
+//! Cryptographic substrate for RCB request authentication.
+//!
+//! The paper (§3.4) authenticates every Ajax-Snippet request with an HMAC
+//! computed over the request under a session-specific one-time secret key
+//! shared out of band, and notes that small request payloads "can also be
+//! efficiently encrypted using a JavaScript implementation". The paper does
+//! not fix a hash; this reproduction uses SHA-256, implemented from scratch
+//! (FIPS 180-4) so the workspace carries no external crypto dependency.
+//!
+//! Provided primitives:
+//!
+//! * [`sha256`] — the compression function and streaming hasher;
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104) plus constant-time verification;
+//! * [`keystream`] — a SHA-256-in-counter-mode stream cipher for the
+//!   "encrypt important information in a request" path;
+//! * [`keys`] — session key generation/encoding.
+
+pub mod hex;
+pub mod hmac;
+pub mod keys;
+pub mod keystream;
+pub mod sha256;
+
+pub use hmac::{hmac_sha256, verify_hmac_hex};
+pub use keys::SessionKey;
+pub use sha256::Sha256;

@@ -1,0 +1,419 @@
+//! CSS selector matching.
+//!
+//! The agent's rewriting passes and the scenario scripts keep needing
+//! "find the elements that look like X" queries; bare tag/id lookups
+//! (see [`crate::query`]) cover the protocol hot paths, and this module
+//! adds the selector language for everything else: simple selectors
+//! (`div`, `#id`, `.class`, `[attr]`, `[attr=value]`, `*`), compounds
+//! (`a.nav[href]`), descendant combinators (`ul li a`), child combinators
+//! (`ul > li`), and comma-separated groups.
+
+use rcb_util::{RcbError, Result};
+
+use crate::dom::{Document, NodeData, NodeId};
+
+/// One test inside a compound selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SimpleSelector {
+    /// Matches any element.
+    Universal,
+    /// Tag name (lower-cased).
+    Tag(String),
+    /// `#id`.
+    Id(String),
+    /// `.class` (matches any whitespace-separated class token).
+    Class(String),
+    /// `[attr]` — attribute present.
+    HasAttr(String),
+    /// `[attr=value]` — attribute equals value exactly.
+    AttrEq(String, String),
+}
+
+/// A compound selector: all simple selectors must match one element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Compound {
+    parts: Vec<SimpleSelector>,
+}
+
+/// How a compound relates to the one to its right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combinator {
+    /// Whitespace: ancestor.
+    Descendant,
+    /// `>`: parent.
+    Child,
+}
+
+/// One complex selector: compounds joined by combinators, matched
+/// right-to-left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Complex {
+    /// `(combinator-to-the-right-of-this-compound, compound)` — the last
+    /// entry is the subject (rightmost) compound.
+    compounds: Vec<(Combinator, Compound)>,
+}
+
+/// A parsed selector list (`a, b c, d > e`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    complexes: Vec<Complex>,
+}
+
+impl Selector {
+    /// Parses a selector list.
+    pub fn parse(input: &str) -> Result<Selector> {
+        let mut complexes = Vec::new();
+        for group in input.split(',') {
+            let group = group.trim();
+            if group.is_empty() {
+                return Err(RcbError::parse("css", "empty selector in group"));
+            }
+            complexes.push(parse_complex(group)?);
+        }
+        if complexes.is_empty() {
+            return Err(RcbError::parse("css", "empty selector list"));
+        }
+        Ok(Selector { complexes })
+    }
+
+    /// Whether `node` matches this selector within `doc`.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        self.complexes.iter().any(|c| matches_complex(doc, node, c))
+    }
+
+    /// All descendants of `scope` matching the selector, document order.
+    pub fn select(&self, doc: &Document, scope: NodeId) -> Vec<NodeId> {
+        doc.descendants(scope)
+            .into_iter()
+            .filter(|&n| matches!(doc.data(n), NodeData::Element { .. }))
+            .filter(|&n| self.matches(doc, n))
+            .collect()
+    }
+
+    /// First match under `scope`, if any.
+    pub fn select_first(&self, doc: &Document, scope: NodeId) -> Option<NodeId> {
+        self.select(doc, scope).into_iter().next()
+    }
+}
+
+/// Convenience: parse + select in one call.
+pub fn select(doc: &Document, scope: NodeId, selector: &str) -> Result<Vec<NodeId>> {
+    Ok(Selector::parse(selector)?.select(doc, scope))
+}
+
+fn parse_complex(input: &str) -> Result<Complex> {
+    // Tokenize on whitespace and '>'.
+    let mut compounds: Vec<(Combinator, Compound)> = Vec::new();
+    let mut pending = Combinator::Descendant;
+    let mut expecting_compound = true;
+    for token in tokenize_complex(input) {
+        match token.as_str() {
+            ">" => {
+                if expecting_compound {
+                    return Err(RcbError::parse("css", "combinator without left side"));
+                }
+                pending = Combinator::Child;
+                expecting_compound = true;
+            }
+            t => {
+                compounds.push((pending, parse_compound(t)?));
+                pending = Combinator::Descendant;
+                expecting_compound = false;
+            }
+        }
+    }
+    if compounds.is_empty() || expecting_compound && !compounds.is_empty() {
+        if compounds.is_empty() {
+            return Err(RcbError::parse("css", "empty complex selector"));
+        }
+        return Err(RcbError::parse("css", "dangling combinator"));
+    }
+    Ok(Complex { compounds })
+}
+
+fn tokenize_complex(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_brackets = false;
+    for c in input.chars() {
+        match c {
+            '[' => {
+                in_brackets = true;
+                cur.push(c);
+            }
+            ']' => {
+                in_brackets = false;
+                cur.push(c);
+            }
+            '>' if !in_brackets => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                out.push(">".to_string());
+                cur.clear();
+            }
+            c if c.is_whitespace() && !in_brackets => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_compound(input: &str) -> Result<Compound> {
+    let mut parts = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let err = |detail: String| RcbError::parse("css", detail);
+    while i < bytes.len() {
+        match bytes[i] {
+            b'*' => {
+                parts.push(SimpleSelector::Universal);
+                i += 1;
+            }
+            b'#' => {
+                let (name, next) = take_ident(input, i + 1);
+                if name.is_empty() {
+                    return Err(err(format!("empty id in {input:?}")));
+                }
+                parts.push(SimpleSelector::Id(name));
+                i = next;
+            }
+            b'.' => {
+                let (name, next) = take_ident(input, i + 1);
+                if name.is_empty() {
+                    return Err(err(format!("empty class in {input:?}")));
+                }
+                parts.push(SimpleSelector::Class(name));
+                i = next;
+            }
+            b'[' => {
+                let close = input[i..]
+                    .find(']')
+                    .ok_or_else(|| err(format!("unterminated attribute in {input:?}")))?
+                    + i;
+                let body = &input[i + 1..close];
+                match body.split_once('=') {
+                    Some((k, v)) => {
+                        let v = v.trim().trim_matches('"').trim_matches('\'');
+                        parts.push(SimpleSelector::AttrEq(
+                            k.trim().to_ascii_lowercase(),
+                            v.to_string(),
+                        ));
+                    }
+                    None => {
+                        if body.trim().is_empty() {
+                            return Err(err("empty attribute selector".to_string()));
+                        }
+                        parts.push(SimpleSelector::HasAttr(body.trim().to_ascii_lowercase()));
+                    }
+                }
+                i = close + 1;
+            }
+            _ => {
+                let (name, next) = take_ident(input, i);
+                if name.is_empty() {
+                    return Err(err(format!("unexpected {:?} in selector", &input[i..])));
+                }
+                parts.push(SimpleSelector::Tag(name.to_ascii_lowercase()));
+                i = next;
+            }
+        }
+    }
+    if parts.is_empty() {
+        return Err(err("empty compound selector".to_string()));
+    }
+    Ok(Compound { parts })
+}
+
+fn take_ident(input: &str, start: usize) -> (String, usize) {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'-' | b'_'))
+    {
+        i += 1;
+    }
+    (input[start..i].to_string(), i)
+}
+
+fn matches_compound(doc: &Document, node: NodeId, compound: &Compound) -> bool {
+    let NodeData::Element { tag, attrs } = doc.data(node) else {
+        return false;
+    };
+    compound.parts.iter().all(|part| match part {
+        SimpleSelector::Universal => true,
+        SimpleSelector::Tag(t) => t == tag,
+        SimpleSelector::Id(id) => attrs
+            .iter()
+            .any(|(k, v)| k == "id" && v == id),
+        SimpleSelector::Class(c) => attrs.iter().any(|(k, v)| {
+            k == "class" && v.split_ascii_whitespace().any(|tok| tok == c)
+        }),
+        SimpleSelector::HasAttr(a) => attrs.iter().any(|(k, _)| k == a),
+        SimpleSelector::AttrEq(a, val) => attrs.iter().any(|(k, v)| k == a && v == val),
+    })
+}
+
+fn matches_complex(doc: &Document, node: NodeId, complex: &Complex) -> bool {
+    // Right-to-left: the subject must match the last compound, then walk
+    // ancestors satisfying the remaining compounds. Each entry's
+    // combinator relates it to the compound on its *left*, so the
+    // combinator to apply while stepping left comes from the entry just
+    // matched.
+    let (subject_comb, subject) = complex.compounds.last().expect("non-empty by parse");
+    if !matches_compound(doc, node, subject) {
+        return false;
+    }
+    fn walk(
+        doc: &Document,
+        below: NodeId,
+        compounds: &[(Combinator, Compound)],
+        comb_to_right: Combinator,
+    ) -> bool {
+        let Some(((comb_left, compound), rest)) = compounds.split_last() else {
+            return true;
+        };
+        match comb_to_right {
+            Combinator::Child => {
+                let Some(parent) = doc.parent(below) else {
+                    return false;
+                };
+                matches_compound(doc, parent, compound) && walk(doc, parent, rest, *comb_left)
+            }
+            Combinator::Descendant => {
+                let mut cur = doc.parent(below);
+                while let Some(p) = cur {
+                    if matches_compound(doc, p, compound) && walk(doc, p, rest, *comb_left) {
+                        return true;
+                    }
+                    cur = doc.parent(p);
+                }
+                false
+            }
+        }
+    }
+    let rest = &complex.compounds[..complex.compounds.len() - 1];
+    walk(doc, node, rest, *subject_comb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<html><body>\
+             <ul class=\"nav main\" id=\"menu\">\
+               <li class=\"item\"><a href=\"/a\" class=\"link hot\">A</a></li>\
+               <li class=\"item sel\"><a href=\"/b\">B</a></li>\
+             </ul>\
+             <div id=\"content\">\
+               <p>text <a name=\"anchor\">C</a></p>\
+               <form action=\"/s\"><input type=\"text\" name=\"q\"></form>\
+             </div>\
+             </body></html>",
+        )
+    }
+
+    fn texts(doc: &Document, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| doc.text_content(n)).collect()
+    }
+
+    #[test]
+    fn tag_id_class_universal() {
+        let d = doc();
+        let r = d.root();
+        assert_eq!(select(&d, r, "li").unwrap().len(), 2);
+        assert_eq!(select(&d, r, "#menu").unwrap().len(), 1);
+        assert_eq!(select(&d, r, ".item").unwrap().len(), 2);
+        assert_eq!(select(&d, r, ".sel").unwrap().len(), 1);
+        assert_eq!(select(&d, r, ".nav").unwrap().len(), 1, "class token match");
+        let all = select(&d, r, "*").unwrap();
+        assert!(all.len() > 8);
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        let d = doc();
+        let r = d.root();
+        assert_eq!(select(&d, r, "a[href]").unwrap().len(), 2);
+        assert_eq!(select(&d, r, "a[name]").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "[type=text]").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "a[href=\"/b\"]").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "a[href='/zz']").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn compound_selectors() {
+        let d = doc();
+        let r = d.root();
+        assert_eq!(select(&d, r, "li.sel").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "a.link.hot[href]").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "ul#menu.nav").unwrap().len(), 1);
+        assert_eq!(select(&d, r, "div.item").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn descendant_and_child_combinators() {
+        let d = doc();
+        let r = d.root();
+        let descendant = select(&d, r, "ul a").unwrap();
+        assert_eq!(texts(&d, &descendant), vec!["A", "B"]);
+        let child = select(&d, r, "ul > li").unwrap();
+        assert_eq!(child.len(), 2);
+        // "ul > a" must not match: anchors are grandchildren.
+        assert_eq!(select(&d, r, "ul > a").unwrap().len(), 0);
+        let deep = select(&d, r, "#content p > a").unwrap();
+        assert_eq!(texts(&d, &deep), vec!["C"]);
+        assert_eq!(select(&d, r, "body #menu .item a[href='/a']").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn selector_groups() {
+        let d = doc();
+        let r = d.root();
+        let both = select(&d, r, "#menu, #content").unwrap();
+        assert_eq!(both.len(), 2);
+        let mixed = select(&d, r, "input, a.hot").unwrap();
+        assert_eq!(mixed.len(), 2);
+    }
+
+    #[test]
+    fn matches_api() {
+        let d = doc();
+        let r = d.root();
+        let sel = Selector::parse("li.sel").unwrap();
+        let li = select(&d, r, ".sel").unwrap()[0];
+        assert!(sel.matches(&d, li));
+        let other = select(&d, r, ".item").unwrap()[0];
+        assert!(!sel.matches(&d, other));
+        assert_eq!(sel.select_first(&d, r), Some(li));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", " , ", "#", ".", "ul >", "> li", "a[", "a[]", "a[ ]", "!!"] {
+            assert!(Selector::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn text_nodes_never_match() {
+        let d = doc();
+        let sel = Selector::parse("*").unwrap();
+        for n in d.descendants(d.root()) {
+            if matches!(d.data(n), NodeData::Text(_)) {
+                assert!(!sel.matches(&d, n));
+            }
+        }
+    }
+}

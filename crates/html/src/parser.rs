@@ -1,0 +1,443 @@
+//! Tolerant HTML tree builder.
+//!
+//! Two entry points:
+//!
+//! * [`parse_document`] — builds a full document with the implicit
+//!   `html`/`head`/`body` (or `frameset`) structure browsers synthesize;
+//! * [`parse_fragment_into`] — parses a fragment into detached nodes, the
+//!   primitive behind `set_inner_html` (what Ajax-Snippet effectively does
+//!   when it assigns innerHTML on the participant browser, §4.2.2).
+
+use crate::dom::{Document, NodeId};
+use crate::tokenizer::{tokenize, Token};
+
+/// Elements that never have children (HTML void elements, plus `frame`).
+pub fn is_void_element(tag: &str) -> bool {
+    matches!(
+        tag,
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "frame"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
+    )
+}
+
+/// Elements that belong to the document head.
+fn is_head_content(tag: &str) -> bool {
+    matches!(tag, "title" | "meta" | "link" | "style" | "script" | "base" | "noscript")
+}
+
+/// Returns the set of open tags that a new `tag` implicitly closes.
+fn implicitly_closes(tag: &str, open: &str) -> bool {
+    match tag {
+        "li" => open == "li",
+        "p" => open == "p",
+        "tr" => matches!(open, "tr" | "td" | "th"),
+        "td" | "th" => matches!(open, "td" | "th"),
+        "option" => open == "option",
+        "dt" | "dd" => matches!(open, "dt" | "dd"),
+        "thead" | "tbody" | "tfoot" => matches!(open, "thead" | "tbody" | "tfoot" | "tr" | "td" | "th"),
+        // Block-level content closes an open paragraph.
+        "div" | "ul" | "ol" | "table" | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
+        | "blockquote" | "pre" | "section" | "article" => open == "p",
+        _ => false,
+    }
+}
+
+/// Parses a complete HTML document.
+pub fn parse_document(input: &str) -> Document {
+    let mut doc = Document::new();
+    let tokens = tokenize(input);
+    let root = doc.root();
+
+    // Pass 1: does the page use frames?
+    let uses_frameset = tokens.iter().any(
+        |t| matches!(t, Token::StartTag { name, .. } if name == "frameset"),
+    );
+
+    // Synthesized skeleton; real <html>/<head>/<body> tags merge into it.
+    let html = doc.create_element("html");
+    let head = doc.create_element("head");
+    doc.append_child(root, html).expect("fresh tree is acyclic");
+    doc.append_child(html, head).expect("fresh tree is acyclic");
+    let body = if uses_frameset {
+        None
+    } else {
+        let b = doc.create_element("body");
+        doc.append_child(html, b).expect("fresh tree is acyclic");
+        Some(b)
+    };
+
+    #[derive(PartialEq)]
+    enum Mode {
+        BeforeBody,
+        InBody,
+    }
+    let mut mode = Mode::BeforeBody;
+    // Stack of open elements *below* head/body level.
+    let mut stack: Vec<NodeId> = Vec::new();
+
+    let current_container =
+        |stack: &[NodeId], mode: &Mode| -> NodeId {
+            if let Some(&top) = stack.last() {
+                top
+            } else {
+                match mode {
+                    Mode::BeforeBody => head,
+                    Mode::InBody => body.unwrap_or(html),
+                }
+            }
+        };
+
+    for token in tokens {
+        match token {
+            Token::Doctype(d) => {
+                let dt = doc.create_doctype(d);
+                // Doctype precedes <html> under the document node.
+                doc.detach(dt);
+                let _ = doc.insert_before(root, dt, html);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                match name.as_str() {
+                    "html" => {
+                        for (n, v) in attrs {
+                            doc.set_attr(html, &n, v);
+                        }
+                        continue;
+                    }
+                    "head" => continue,
+                    "body" => {
+                        if let Some(b) = body {
+                            for (n, v) in attrs {
+                                doc.set_attr(b, &n, v);
+                            }
+                        }
+                        mode = Mode::InBody;
+                        stack.clear();
+                        continue;
+                    }
+                    "frameset" if stack.is_empty() => {
+                        let fs = doc.create_element_with_attrs("frameset", attrs);
+                        doc.append_child(html, fs).expect("frameset under html");
+                        stack.push(fs);
+                        mode = Mode::InBody;
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Head content stays in head until body content appears.
+                if mode == Mode::BeforeBody && !is_head_content(&name) && stack.is_empty() {
+                    mode = Mode::InBody;
+                }
+                // Implicit end tags.
+                while let Some(&top) = stack.last() {
+                    let top_tag = doc.tag(top).unwrap_or("").to_string();
+                    if implicitly_closes(&name, &top_tag) {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let parent = current_container(&stack, &mode);
+                let el = doc.create_element_with_attrs(&name, attrs);
+                doc.append_child(parent, el).expect("parser tree is acyclic");
+                if !self_closing && !is_void_element(&name) {
+                    stack.push(el);
+                }
+            }
+            Token::EndTag { name } => {
+                match name.as_str() {
+                    "html" | "head" => continue,
+                    "body" => {
+                        stack.clear();
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Pop to the matching open element, if present.
+                if let Some(idx) = stack
+                    .iter()
+                    .rposition(|&n| doc.tag(n).is_some_and(|t| t == name))
+                {
+                    stack.truncate(idx);
+                }
+                // Unmatched end tags are ignored (browser-tolerant).
+            }
+            Token::Text(text) => {
+                if stack.is_empty() && text.trim().is_empty() {
+                    continue; // inter-element whitespace at top level
+                }
+                if mode == Mode::BeforeBody && stack.is_empty() {
+                    mode = Mode::InBody;
+                }
+                let parent = current_container(&stack, &mode);
+                let t = doc.create_text(text);
+                doc.append_child(parent, t).expect("parser tree is acyclic");
+            }
+            Token::Comment(c) => {
+                let parent = current_container(&stack, &mode);
+                let n = doc.create_comment(c);
+                doc.append_child(parent, n).expect("parser tree is acyclic");
+            }
+        }
+    }
+    doc
+}
+
+/// Parses an HTML fragment, appending the resulting top-level nodes as
+/// children of `container` in `doc`. Returns the new child ids.
+pub fn parse_fragment_into(doc: &mut Document, container: NodeId, input: &str) -> Vec<NodeId> {
+    let tokens = tokenize(input);
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut created: Vec<NodeId> = Vec::new();
+    for token in tokens {
+        match token {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                while let Some(&top) = stack.last() {
+                    let top_tag = doc.tag(top).unwrap_or("").to_string();
+                    if implicitly_closes(&name, &top_tag) {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let parent = stack.last().copied().unwrap_or(container);
+                let el = doc.create_element_with_attrs(&name, attrs);
+                doc.append_child(parent, el).expect("fragment tree is acyclic");
+                if parent == container {
+                    created.push(el);
+                }
+                if !self_closing && !is_void_element(&name) {
+                    stack.push(el);
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(idx) = stack
+                    .iter()
+                    .rposition(|&n| doc.tag(n).is_some_and(|t| t == name))
+                {
+                    stack.truncate(idx);
+                }
+            }
+            Token::Text(text) => {
+                let parent = stack.last().copied().unwrap_or(container);
+                let t = doc.create_text(text);
+                doc.append_child(parent, t).expect("fragment tree is acyclic");
+                if parent == container {
+                    created.push(t);
+                }
+            }
+            Token::Comment(c) => {
+                let parent = stack.last().copied().unwrap_or(container);
+                let n = doc.create_comment(c);
+                doc.append_child(parent, n).expect("fragment tree is acyclic");
+                if parent == container {
+                    created.push(n);
+                }
+            }
+            Token::Doctype(_) => {} // doctypes are ignored inside fragments
+        }
+    }
+    created
+}
+
+/// Replaces the children of `node` with the parse of `html` — the DOM
+/// `innerHTML` setter.
+pub fn set_inner_html(doc: &mut Document, node: NodeId, html: &str) -> Vec<NodeId> {
+    doc.clear_children(node);
+    parse_fragment_into(doc, node, html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{inner_html, outer_html};
+
+    #[test]
+    fn implicit_structure_synthesized() {
+        let doc = parse_document("<p>hello</p>");
+        let body = doc.body().unwrap();
+        assert_eq!(doc.children(body).len(), 1);
+        assert!(doc.head().is_some());
+        assert_eq!(doc.text_content(body), "hello");
+    }
+
+    #[test]
+    fn explicit_structure_merges() {
+        let doc = parse_document(
+            "<!DOCTYPE html><html lang=\"en\"><head><title>T</title></head>\
+             <body class=\"home\"><div>x</div></body></html>",
+        );
+        let html = doc.document_element().unwrap();
+        assert_eq!(doc.get_attr(html, "lang"), Some("en"));
+        let body = doc.body().unwrap();
+        assert_eq!(doc.get_attr(body, "class"), Some("home"));
+        let head = doc.head().unwrap();
+        assert_eq!(doc.children(head).len(), 1);
+        assert!(doc.is_element(doc.children(head)[0], "title"));
+    }
+
+    #[test]
+    fn head_content_lands_in_head() {
+        let doc = parse_document(
+            "<title>T</title><meta charset=\"utf-8\"><link rel=\"stylesheet\" href=\"a.css\">\
+             <style>b{}</style><script src=\"s.js\"></script><p>body starts</p>",
+        );
+        let head = doc.head().unwrap();
+        let tags: Vec<&str> = doc
+            .children(head)
+            .iter()
+            .filter_map(|&c| doc.tag(c))
+            .collect();
+        assert_eq!(tags, vec!["title", "meta", "link", "style", "script"]);
+        assert_eq!(doc.text_content(doc.body().unwrap()), "body starts");
+    }
+
+    #[test]
+    fn script_in_body_stays_in_body() {
+        let doc = parse_document("<div>x</div><script>f()</script>");
+        let body = doc.body().unwrap();
+        let tags: Vec<&str> = doc
+            .children(body)
+            .iter()
+            .filter_map(|&c| doc.tag(c))
+            .collect();
+        assert_eq!(tags, vec!["div", "script"]);
+    }
+
+    #[test]
+    fn frameset_page_has_no_body() {
+        let doc = parse_document(
+            "<html><head><title>F</title></head>\
+             <frameset cols=\"50%,50%\"><frame src=\"/a\"><frame src=\"/b\">\
+             <noframes>need frames</noframes></frameset></html>",
+        );
+        assert!(doc.body().is_none());
+        let fs = doc.frameset().unwrap();
+        assert_eq!(doc.get_attr(fs, "cols"), Some("50%,50%"));
+        let frames: Vec<&str> = doc
+            .children(fs)
+            .iter()
+            .filter_map(|&c| doc.tag(c))
+            .collect();
+        assert_eq!(frames, vec!["frame", "frame", "noframes"]);
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse_document("<p><img src=\"a\"><br>text</p>");
+        let body = doc.body().unwrap();
+        let p = doc.children(body)[0];
+        assert_eq!(doc.children(p).len(), 3);
+        let img = doc.children(p)[0];
+        assert!(doc.children(img).is_empty());
+    }
+
+    #[test]
+    fn implicit_li_closing() {
+        let doc = parse_document("<ul><li>a<li>b<li>c</ul>");
+        let body = doc.body().unwrap();
+        let ul = doc.children(body)[0];
+        assert_eq!(doc.children(ul).len(), 3);
+        for &li in doc.children(ul) {
+            assert!(doc.is_element(li, "li"));
+        }
+    }
+
+    #[test]
+    fn implicit_p_closing_by_block() {
+        let doc = parse_document("<p>one<div>two</div>");
+        let body = doc.body().unwrap();
+        let tags: Vec<&str> = doc
+            .children(body)
+            .iter()
+            .filter_map(|&c| doc.tag(c))
+            .collect();
+        assert_eq!(tags, vec!["p", "div"]);
+    }
+
+    #[test]
+    fn table_row_and_cell_closing() {
+        let doc = parse_document("<table><tr><td>a<td>b<tr><td>c</table>");
+        let body = doc.body().unwrap();
+        let table = doc.children(body)[0];
+        let rows: Vec<NodeId> = doc
+            .children(table)
+            .iter()
+            .copied()
+            .filter(|&c| doc.is_element(c, "tr"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(doc.children(rows[0]).len(), 2);
+        assert_eq!(doc.children(rows[1]).len(), 1);
+    }
+
+    #[test]
+    fn unmatched_end_tag_ignored() {
+        let doc = parse_document("<div>a</span>b</div>");
+        let body = doc.body().unwrap();
+        let div = doc.children(body)[0];
+        assert_eq!(doc.text_content(div), "ab");
+    }
+
+    #[test]
+    fn fragment_parsing_appends() {
+        let mut doc = Document::new();
+        let container = doc.create_element("div");
+        let created = parse_fragment_into(&mut doc, container, "<b>x</b>y<i>z</i>");
+        assert_eq!(created.len(), 3);
+        assert_eq!(inner_html(&doc, container), "<b>x</b>y<i>z</i>");
+    }
+
+    #[test]
+    fn set_inner_html_replaces() {
+        let mut doc = Document::new();
+        let container = doc.create_element("div");
+        parse_fragment_into(&mut doc, container, "<b>old</b>");
+        set_inner_html(&mut doc, container, "<i>new</i>");
+        assert_eq!(inner_html(&doc, container), "<i>new</i>");
+    }
+
+    #[test]
+    fn doctype_precedes_html() {
+        let doc = parse_document("<!DOCTYPE html><p>x</p>");
+        let kinds: Vec<bool> = doc
+            .children(doc.root())
+            .iter()
+            .map(|&c| matches!(doc.data(c), crate::dom::NodeData::Doctype(_)))
+            .collect();
+        assert_eq!(kinds, vec![true, false]);
+        assert!(outer_html(&doc, doc.document_element().unwrap()).starts_with("<html"));
+    }
+
+    #[test]
+    fn forms_with_event_attributes_survive() {
+        let doc = parse_document(
+            "<form action=\"/checkout\" method=\"post\" onsubmit=\"return validate()\">\
+             <input type=\"text\" name=\"addr\"><input type=\"submit\"></form>",
+        );
+        let body = doc.body().unwrap();
+        let form = doc.children(body)[0];
+        assert_eq!(doc.get_attr(form, "onsubmit"), Some("return validate()"));
+        assert_eq!(doc.children(form).len(), 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream: start tags with attributes, end tags,
+//! text (entity-decoded), comments, and doctypes. Elements whose content
+//! model is raw text (`script`, `style`) or escapable raw text (`title`,
+//! `textarea`) are handled by scanning directly for the matching close tag,
+//! as browsers do.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag attr="v" ...>`; `self_closing` records a trailing `/`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes (names lower-cased, values entity-decoded).
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded.
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<!DOCTYPE ...>` (content after the keyword, trimmed).
+    Doctype(String),
+}
+
+/// Elements whose content is raw text up to the matching close tag.
+pub fn is_raw_text_element(tag: &str) -> bool {
+    matches!(tag, "script" | "style")
+}
+
+/// Elements whose content is raw text with entities decoded.
+pub fn is_escapable_raw_text_element(tag: &str) -> bool {
+    matches!(tag, "title" | "textarea")
+}
+
+/// Tokenizes an HTML document or fragment.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            if let Some((token, next)) = lex_markup(input, pos) {
+                // Raw-text elements: swallow everything to the close tag.
+                if let Token::StartTag {
+                    name, self_closing, ..
+                } = &token
+                {
+                    if !self_closing
+                        && (is_raw_text_element(name) || is_escapable_raw_text_element(name))
+                    {
+                        let close = format!("</{name}");
+                        let hay = &input[next..];
+                        let (raw, after) = match find_ci(hay, &close) {
+                            Some(idx) => {
+                                // Skip past "</name" then to the closing '>'.
+                                let rest = &hay[idx + close.len()..];
+                                let gt = rest.find('>').map(|g| idx + close.len() + g + 1);
+                                (&hay[..idx], gt.map(|g| next + g).unwrap_or(bytes.len()))
+                            }
+                            None => (hay, bytes.len()),
+                        };
+                        let name_cloned = name.clone();
+                        tokens.push(token);
+                        if !raw.is_empty() {
+                            let text = if is_escapable_raw_text_element(&name_cloned) {
+                                decode_entities(raw)
+                            } else {
+                                raw.to_string()
+                            };
+                            tokens.push(Token::Text(text));
+                        }
+                        tokens.push(Token::EndTag { name: name_cloned });
+                        pos = after;
+                        continue;
+                    }
+                }
+                tokens.push(token);
+                pos = next;
+                continue;
+            }
+            // '<' that does not open markup: treat as text.
+        }
+        // Text run up to the next '<' that begins markup.
+        let start = pos;
+        pos += 1;
+        while pos < bytes.len() {
+            if bytes[pos] == b'<' && lex_markup(input, pos).is_some() {
+                break;
+            }
+            pos += 1;
+        }
+        let raw = &input[start..pos];
+        match tokens.last_mut() {
+            Some(Token::Text(prev)) => prev.push_str(&decode_entities(raw)),
+            _ => tokens.push(Token::Text(decode_entities(raw))),
+        }
+    }
+    tokens
+}
+
+/// Attempts to lex markup starting at `pos` (which must point at `<`).
+/// Returns the token and the index just past it.
+fn lex_markup(input: &str, pos: usize) -> Option<(Token, usize)> {
+    let rest = &input[pos..];
+    let bytes = rest.as_bytes();
+    debug_assert_eq!(bytes[0], b'<');
+    if rest.starts_with("<!--") {
+        let end = rest[4..].find("-->").map(|i| i + 4)?;
+        return Some((Token::Comment(rest[4..end].to_string()), pos + end + 3));
+    }
+    if bytes.get(1) == Some(&b'!') {
+        // <!DOCTYPE ...> or other declarations; swallow to '>'.
+        let end = rest.find('>')?;
+        let body = &rest[2..end];
+        let token = if body.to_ascii_lowercase().starts_with("doctype") {
+            Token::Doctype(body[7..].trim().to_string())
+        } else {
+            Token::Comment(body.to_string())
+        };
+        return Some((token, pos + end + 1));
+    }
+    let (is_end, name_start) = if bytes.get(1) == Some(&b'/') {
+        (true, 2)
+    } else {
+        (false, 1)
+    };
+    // Tag name must start with an ASCII letter.
+    if !bytes.get(name_start)?.is_ascii_alphabetic() {
+        return None;
+    }
+    let mut i = name_start;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    let name = rest[name_start..i].to_ascii_lowercase();
+    if is_end {
+        // Skip to '>'.
+        let end = rest[i..].find('>')? + i;
+        return Some((Token::EndTag { name }, pos + end + 1));
+    }
+    // Attributes.
+    let mut attrs: Vec<(String, String)> = Vec::new();
+    let mut self_closing = false;
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match bytes.get(i) {
+            None => return None, // unterminated tag: not markup
+            Some(b'>') => {
+                i += 1;
+                break;
+            }
+            Some(b'/') => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    self_closing = true;
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            Some(_) => {
+                // Attribute name.
+                let astart = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && !matches!(bytes[i], b'=' | b'>' | b'/')
+                {
+                    i += 1;
+                }
+                if i == astart {
+                    i += 1;
+                    continue;
+                }
+                let aname = rest[astart..i].to_ascii_lowercase();
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let value = if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    match bytes.get(i) {
+                        Some(&q) if q == b'"' || q == b'\'' => {
+                            i += 1;
+                            let vstart = i;
+                            while i < bytes.len() && bytes[i] != q {
+                                i += 1;
+                            }
+                            let v = rest[vstart..i.min(rest.len())].to_string();
+                            if i < bytes.len() {
+                                i += 1; // closing quote
+                            }
+                            decode_entities(&v)
+                        }
+                        _ => {
+                            let vstart = i;
+                            while i < bytes.len()
+                                && !bytes[i].is_ascii_whitespace()
+                                && bytes[i] != b'>'
+                            {
+                                i += 1;
+                            }
+                            decode_entities(&rest[vstart..i])
+                        }
+                    }
+                } else {
+                    String::new()
+                };
+                attrs.push((aname, value));
+            }
+        }
+    }
+    Some((
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        },
+        pos + i,
+    ))
+}
+
+/// Case-insensitive substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| {
+        h[i..i + n.len()]
+            .iter()
+            .zip(n.iter())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
+}
+
+/// Decodes HTML entities: the common named set plus numeric references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        // Entities are short; look for ';' within a window (clamped back
+        // to a char boundary — multi-byte text may straddle the cutoff).
+        let mut end = rest.len().min(12);
+        while !rest.is_char_boundary(end) {
+            end -= 1;
+        }
+        let window = &rest[1..end];
+        let Some(semi) = window.find(';') else {
+            out.push('&');
+            rest = &rest[1..];
+            continue;
+        };
+        let entity = &window[..semi];
+        let decoded: Option<&str> = match entity {
+            "amp" => Some("&"),
+            "lt" => Some("<"),
+            "gt" => Some(">"),
+            "quot" => Some("\""),
+            "apos" => Some("'"),
+            "nbsp" => Some("\u{a0}"),
+            "copy" => Some("\u{a9}"),
+            "reg" => Some("\u{ae}"),
+            "trade" => Some("\u{2122}"),
+            "mdash" => Some("\u{2014}"),
+            "ndash" => Some("\u{2013}"),
+            "hellip" => Some("\u{2026}"),
+            "laquo" => Some("\u{ab}"),
+            "raquo" => Some("\u{bb}"),
+            "middot" => Some("\u{b7}"),
+            "bull" => Some("\u{2022}"),
+            "eacute" => Some("\u{e9}"),
+            _ => None,
+        };
+        if let Some(d) = decoded {
+            out.push_str(d);
+            rest = &rest[entity.len() + 2..];
+            continue;
+        }
+        let numeric = if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+            u32::from_str_radix(hex, 16).ok().and_then(char::from_u32)
+        } else if let Some(dec) = entity.strip_prefix('#') {
+            dec.parse::<u32>().ok().and_then(char::from_u32)
+        } else {
+            None
+        };
+        match numeric {
+            Some(c) => {
+                out.push(c);
+                rest = &rest[entity.len() + 2..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<p>hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("p", &[]),
+                Token::Text("hello".into()),
+                Token::EndTag { name: "p".into() }
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let toks = tokenize(r#"<img src="a.png" alt='pic' width=50 ismap>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "img",
+                &[("src", "a.png"), ("alt", "pic"), ("width", "50"), ("ismap", "")]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_flag() {
+        let toks = tokenize("<br/><hr />");
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag { name, self_closing: true, .. } if name == "br"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag { name, self_closing: true, .. } if name == "hr"
+        ));
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let toks = tokenize("<DIV CLASS='x'></DIV>");
+        assert_eq!(toks[0], start("div", &[("class", "x")]));
+        assert_eq!(toks[1], Token::EndTag { name: "div".into() });
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note --><p></p>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+        assert_eq!(toks[1], Token::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        // A "</div>" inside a script string does *not* end the script; only
+        // "</script" does, matching browser behaviour.
+        let toks = tokenize("<script>if (a<b && c>d) { x(\"</div>\"); }</script>");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(
+            toks[1],
+            Token::Text("if (a<b && c>d) { x(\"</div>\"); }".into())
+        );
+    }
+
+    #[test]
+    fn script_with_markup_like_body_survives() {
+        let src = "<script>var s = '<p>not markup</p>';</script><p>after</p>";
+        let toks = tokenize(src);
+        assert_eq!(
+            toks[1],
+            Token::Text("var s = '<p>not markup</p>';".into())
+        );
+        assert_eq!(toks[3], start("p", &[]));
+    }
+
+    #[test]
+    fn title_decodes_entities() {
+        let toks = tokenize("<title>Tom &amp; Jerry</title>");
+        assert_eq!(toks[1], Token::Text("Tom & Jerry".into()));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<a href="/x?a=1&amp;b=2">1 &lt; 2 &#65; &#x42;</a>"#);
+        assert_eq!(toks[0], start("a", &[("href", "/x?a=1&b=2")]));
+        assert_eq!(toks[1], Token::Text("1 < 2 A B".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("a < b");
+        assert_eq!(toks, vec![Token::Text("a < b".into())]);
+        let toks2 = tokenize("x<3 and <p>y</p>");
+        assert_eq!(toks2[0], Token::Text("x<3 and ".into()));
+    }
+
+    #[test]
+    fn unterminated_script_swallows_rest() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Text("var x = 1;".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn mixed_case_close_for_raw_text() {
+        let toks = tokenize("<STYLE>body{}</StYlE><p></p>");
+        assert_eq!(toks[1], Token::Text("body{}".into()));
+        assert_eq!(toks[3], start("p", &[]));
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        assert_eq!(decode_entities("&bogus; &amp;"), "&bogus; &");
+        assert_eq!(decode_entities("5 & 6"), "5 & 6");
+    }
+}

@@ -1,0 +1,108 @@
+//! A blocking HTTP client.
+//!
+//! Plays the role of the participant browser's network layer in the
+//! real-socket deployment: connect, send one request, read the
+//! `Content-Length`-framed response.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rcb_util::{RcbError, Result};
+
+use crate::message::{Request, Response};
+use crate::parse::parse_response;
+use crate::serialize::serialize_request;
+
+/// Sends a single request to `addr` (`host:port`) on a fresh connection.
+pub fn send_request(addr: &str, req: &Request) -> Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(&serialize_request(req))?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Reads one `Content-Length`-framed response from an open stream.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response> {
+    let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Try parsing what we have once the head looks complete.
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]);
+            let declared = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().ok())?
+                })
+                .unwrap_or(0);
+            if buf.len() >= head_end + 4 + declared {
+                return parse_response(&buf[..head_end + 4 + declared]);
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(RcbError::Io("connection closed before response".into()));
+                }
+                return parse_response(&buf);
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// A persistent connection that can issue multiple requests (the snippet's
+/// polling loop reuses one connection when the agent allows keep-alive).
+pub struct HttpConnection {
+    stream: TcpStream,
+}
+
+impl HttpConnection {
+    /// Connects to `addr`.
+    pub fn connect(addr: &str) -> Result<HttpConnection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpConnection { stream })
+    }
+
+    /// Sends `req` and reads the response.
+    pub fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        self.stream.write_all(&serialize_request(req))?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::server::{Handler, HttpServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn persistent_connection_round_trips() {
+        let handler: Handler = Arc::new(|req| {
+            crate::message::Response::with_body(
+                Status::OK,
+                "text/plain",
+                req.body.clone(),
+            )
+        });
+        let mut server = HttpServer::bind("127.0.0.1:0", handler).unwrap();
+        let mut conn = HttpConnection::connect(&server.addr().to_string()).unwrap();
+        for i in 0..3 {
+            let body = format!("ping-{i}").into_bytes();
+            let resp = conn
+                .round_trip(&Request::post("/echo", body.clone()))
+                .unwrap();
+            assert_eq!(resp.body, body);
+        }
+        server.shutdown();
+    }
+}

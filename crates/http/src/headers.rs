@@ -1,0 +1,130 @@
+//! Ordered, case-insensitive header map.
+//!
+//! HTTP header field names are case-insensitive (RFC 2616 §4.2) but order
+//! can matter for repeated fields (`Set-Cookie`), so the map preserves
+//! insertion order and stores the original spelling.
+
+/// An ordered multimap of HTTP header fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Appends a field, keeping any existing fields with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Sets a field, replacing all existing fields with the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether a field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Removes all fields named `name`.
+    pub fn remove(&mut self, name: &str) {
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses `Content-Length` if present and well-formed.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length").and_then(|v| v.trim().parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+    }
+
+    #[test]
+    fn set_replaces_append_keeps() {
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        h.set("Set-Cookie", "c=3");
+        assert_eq!(h.get_all("set-cookie"), vec!["c=3"]);
+    }
+
+    #[test]
+    fn remove_clears_all() {
+        let mut h = HeaderMap::new();
+        h.append("X", "1");
+        h.append("x", "2");
+        h.remove("X");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        h.set("Content-Length", "nan");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut h = HeaderMap::new();
+        h.append("A", "1");
+        h.append("B", "2");
+        let names: Vec<&str> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert_eq!(h.len(), 2);
+    }
+}

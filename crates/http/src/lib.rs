@@ -1,0 +1,22 @@
+//! HTTP/1.1 substrate.
+//!
+//! RCB-Agent *is* an HTTP server living inside the host browser (paper
+//! §3.2.2): it accepts TCP connections, classifies GET/POST requests by
+//! method and request-URI (Fig. 2), and answers with `text/html`,
+//! `application/xml`, or cached-object responses. This crate supplies the
+//! message model ([`Request`], [`Response`]), an incremental parser that
+//! consumes bytes exactly as they arrive off a socket ([`parse`]), the
+//! serializer, and a small threaded TCP [`server`] + blocking [`client`]
+//! used by the real-socket deployment path and the loopback integration
+//! tests.
+
+pub mod client;
+pub mod headers;
+pub mod message;
+pub mod parse;
+pub mod serialize;
+pub mod server;
+
+pub use headers::HeaderMap;
+pub use message::{Method, Request, Response, Status};
+pub use parse::{parse_request, parse_response, RequestParser};

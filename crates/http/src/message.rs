@@ -1,0 +1,326 @@
+//! HTTP request and response types.
+
+use std::fmt;
+
+use rcb_util::{RcbError, Result};
+
+use crate::headers::HeaderMap;
+
+/// HTTP request methods used by the RCB protocol.
+///
+/// New-connection and object requests use GET; Ajax polling requests
+/// "always use the POST method because we want to directly piggyback action
+/// information of a co-browsing participant onto a polling request"
+/// (paper §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// HEAD.
+    Head,
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn parse(token: &str) -> Result<Method> {
+        match token {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "HEAD" => Ok(Method::Head),
+            other => Err(RcbError::parse("http", format!("unsupported method {other:?}"))),
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status codes used by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200 OK.
+    pub const OK: Status = Status(200);
+    /// 302 Found.
+    pub const FOUND: Status = Status(302);
+    /// 304 Not Modified.
+    pub const NOT_MODIFIED: Status = Status(304);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 401 Unauthorized.
+    pub const UNAUTHORIZED: Status = Status(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404 Not Found.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL: Status = Status(500);
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request-target: absolute path plus optional query (`/poll?hmac=..`).
+    pub target: String,
+    /// Header fields.
+    pub headers: HeaderMap,
+    /// Entity body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request for `target`.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builds a POST request with a body; sets `Content-Length` (the paper
+    /// notes the snippet must set it correctly before sending, §4.2.1).
+    pub fn post(target: impl Into<String>, body: Vec<u8>) -> Request {
+        let mut headers = HeaderMap::new();
+        headers.set("Content-Length", body.len().to_string());
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            headers,
+            body,
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// The path component of the target (before `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// The query component of the target (after `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Decoded query parameters.
+    pub fn query_pairs(&self) -> Vec<(String, String)> {
+        self.query().map(rcb_url::percent::parse_query).unwrap_or_default()
+    }
+
+    /// First query parameter named `name`.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query_pairs()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Total serialized size in bytes (the unit the network simulator
+    /// charges for).
+    pub fn wire_len(&self) -> usize {
+        crate::serialize::serialize_request(self).len()
+    }
+
+    /// Parses a cookie header into `(name, value)` pairs.
+    pub fn cookies(&self) -> Vec<(String, String)> {
+        self.headers
+            .get("cookie")
+            .map(|h| {
+                h.split(';')
+                    .filter_map(|kv| {
+                        let (k, v) = kv.trim().split_once('=')?;
+                        Some((k.to_string(), v.to_string()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Header fields.
+    pub headers: HeaderMap,
+    /// Entity body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a response with a typed body and correct `Content-Length`.
+    pub fn with_body(status: Status, content_type: &str, body: Vec<u8>) -> Response {
+        let mut headers = HeaderMap::new();
+        headers.set("Content-Type", content_type);
+        headers.set("Content-Length", body.len().to_string());
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// A `text/html` 200 response — the initial-page reply (Fig. 2).
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response::with_body(Status::OK, "text/html; charset=utf-8", body.into())
+    }
+
+    /// An `application/xml` 200 response — the newContent reply (Fig. 2).
+    pub fn xml(body: impl Into<Vec<u8>>) -> Response {
+        Response::with_body(Status::OK, "application/xml; charset=utf-8", body.into())
+    }
+
+    /// An empty-content 200 response — "if no new content needs to be sent
+    /// back, RCB-Agent sends a response with empty content ... to avoid
+    /// hanging requests" (§4.1.1).
+    pub fn empty_ok() -> Response {
+        Response::with_body(Status::OK, "application/xml; charset=utf-8", Vec::new())
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: Status, detail: &str) -> Response {
+        Response::with_body(status, "text/plain; charset=utf-8", detail.as_bytes().to_vec())
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// The `Content-Type` without parameters, lower-cased.
+    pub fn content_type(&self) -> Option<String> {
+        self.headers.get("content-type").map(|v| {
+            v.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase()
+        })
+    }
+
+    /// Total serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        crate::serialize::serialize_response(self).len()
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_tokens() {
+        assert_eq!(Method::parse("GET").unwrap(), Method::Get);
+        assert_eq!(Method::parse("POST").unwrap(), Method::Post);
+        assert!(Method::parse("DELETE").is_err());
+        assert_eq!(Method::Post.to_string(), "POST");
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(Status::OK.reason(), "OK");
+        assert_eq!(Status::NOT_FOUND.reason(), "Not Found");
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn request_target_decomposition() {
+        let r = Request::get("/poll?hmac=abc&t=5");
+        assert_eq!(r.path(), "/poll");
+        assert_eq!(r.query(), Some("hmac=abc&t=5"));
+        assert_eq!(r.query_param("hmac").as_deref(), Some("abc"));
+        assert_eq!(r.query_param("t").as_deref(), Some("5"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn post_sets_content_length() {
+        let r = Request::post("/poll", b"a=1".to_vec());
+        assert_eq!(r.headers.content_length(), Some(3));
+    }
+
+    #[test]
+    fn cookies_parse() {
+        let r = Request::get("/").with_header("Cookie", "sid=xyz; theme=dark");
+        assert_eq!(
+            r.cookies(),
+            vec![
+                ("sid".to_string(), "xyz".to_string()),
+                ("theme".to_string(), "dark".to_string())
+            ]
+        );
+        assert!(Request::get("/").cookies().is_empty());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::html("<html></html>");
+        assert_eq!(r.content_type().as_deref(), Some("text/html"));
+        assert_eq!(r.headers.content_length(), Some(13));
+        let x = Response::xml("<a/>");
+        assert_eq!(x.content_type().as_deref(), Some("application/xml"));
+        let e = Response::empty_ok();
+        assert!(e.body.is_empty());
+        assert!(e.status.is_success());
+    }
+
+    #[test]
+    fn wire_len_is_positive() {
+        assert!(Request::get("/").wire_len() > 10);
+        assert!(Response::empty_ok().wire_len() > 10);
+    }
+}

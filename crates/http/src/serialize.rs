@@ -1,0 +1,70 @@
+//! HTTP/1.1 wire serialization.
+
+use crate::message::{Request, Response};
+
+/// Serializes a request into its on-the-wire byte form.
+pub fn serialize_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(req.body.len() + 128);
+    out.extend_from_slice(req.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    for (name, value) in req.headers.iter() {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&req.body);
+    out
+}
+
+/// Serializes a response into its on-the-wire byte form.
+pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 128);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason()).as_bytes(),
+    );
+    for (name, value) in resp.headers.iter() {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Request, Response};
+
+    #[test]
+    fn request_wire_form() {
+        let req = Request::get("/x").with_header("Host", "h");
+        let wire = serialize_request(&req);
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.starts_with("GET /x HTTP/1.1\r\n"));
+        assert!(s.contains("Host: h\r\n"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn post_includes_body() {
+        let req = Request::post("/poll", b"payload".to_vec());
+        let s = String::from_utf8(serialize_request(&req)).unwrap();
+        assert!(s.ends_with("\r\n\r\npayload"));
+        assert!(s.contains("Content-Length: 7\r\n"));
+    }
+
+    #[test]
+    fn response_wire_form() {
+        let resp = Response::html("<p>x</p>");
+        let s = String::from_utf8(serialize_response(&resp)).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.ends_with("\r\n\r\n<p>x</p>"));
+    }
+}

@@ -1,0 +1,216 @@
+//! A small threaded TCP HTTP server.
+//!
+//! This is the real-socket face of RCB-Agent: "a co-browsing host starts
+//! running RCB-Agent on the host browser with an open TCP port (e.g., 3000)"
+//! (paper §3.1, step 1). The server accepts connections, runs the
+//! incremental parser per connection, and dispatches complete requests to a
+//! shared handler. Keep-alive is supported; a connection closes on parse
+//! error or client close.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rcb_util::Result;
+
+use crate::message::{Request, Response};
+use crate::parse::RequestParser;
+use crate::serialize::serialize_response;
+
+/// The request handler type: shared across connection threads.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
+/// stops the accept loop and joins worker threads.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` on a background accept thread.
+    pub fn bind(addr: &str, handler: Handler) -> Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let handler = Arc::clone(&handler);
+                        let stop3 = Arc::clone(&stop2);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, handler, stop3);
+                        }));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+                workers.retain(|w| !w.is_finished());
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: Handler,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => {
+                parser.feed(&buf[..n]);
+                loop {
+                    match parser.next_request() {
+                        Ok(Some(req)) => {
+                            let close = req
+                                .headers
+                                .get("connection")
+                                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                            let resp = handler(req);
+                            stream.write_all(&serialize_response(&resp))?;
+                            stream.flush()?;
+                            if close {
+                                return Ok(());
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            let resp = Response::error(
+                                crate::message::Status::BAD_REQUEST,
+                                "malformed request",
+                            );
+                            let _ = stream.write_all(&serialize_response(&resp));
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::send_request;
+    use crate::message::{Request, Status};
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: Request| {
+            Response::with_body(
+                Status::OK,
+                "text/plain",
+                format!("{} {}", req.method, req.target).into_bytes(),
+            )
+        })
+    }
+
+    #[test]
+    fn serves_single_request() {
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.addr();
+        let resp = send_request(&addr.to_string(), &Request::get("/hello")).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body_str(), "GET /hello");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_keepalive_sequence() {
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        for i in 0..3 {
+            let req = Request::get(format!("/r{i}"));
+            stream
+                .write_all(&crate::serialize::serialize_request(&req))
+                .unwrap();
+            let resp = crate::client::read_response(&mut stream).unwrap();
+            assert_eq!(resp.body_str(), format!("GET /r{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let resp =
+                        send_request(&addr, &Request::get(format!("/c{i}"))).unwrap();
+                    assert_eq!(resp.body_str(), format!("GET /c{i}"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let resp = crate::client::read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,299 @@
+//! A tile-grid Ajax mapping application — the Google Maps stand-in.
+//!
+//! The usability scenario of §5.2.1 needs exactly three behaviours from
+//! the mapping site:
+//!
+//! 1. the page URL never changes while the map content does (Ajax/DHTML) —
+//!    this is what makes URL-sharing co-browsing useless on it;
+//! 2. panning/zooming swaps the `src` of a grid of small tile images
+//!    ("Google Maps actually also uses Ajax to asynchronously retrieve
+//!    small images, usually in the size of 256 by 256 pixels");
+//! 3. a search form positions the viewport at an address.
+//!
+//! The app serves the shell page at `/maps`, tile images at
+//! `/tiles/{z}/{x}/{y}.png`, and a geocoding endpoint at `/geo?q=...`.
+
+use rcb_http::{Request, Response, Status};
+use rcb_util::{DetRng, SimTime};
+
+use crate::server::Origin;
+
+/// Grid dimensions of the visible viewport.
+pub const GRID_W: i64 = 4;
+/// Grid height of the visible viewport.
+pub const GRID_H: i64 = 3;
+
+/// The viewport state a map client tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Viewport {
+    /// Tile x of the north-west corner.
+    pub x: i64,
+    /// Tile y of the north-west corner.
+    pub y: i64,
+    /// Zoom level (0..=18).
+    pub z: u8,
+}
+
+impl Viewport {
+    /// The `GRID_W × GRID_H` tile coordinates this viewport shows.
+    pub fn tiles(&self) -> Vec<(i64, i64, u8)> {
+        let mut out = Vec::with_capacity((GRID_W * GRID_H) as usize);
+        for dy in 0..GRID_H {
+            for dx in 0..GRID_W {
+                out.push((self.x + dx, self.y + dy, self.z));
+            }
+        }
+        out
+    }
+
+    /// Tile URL path for a coordinate.
+    pub fn tile_path(x: i64, y: i64, z: u8) -> String {
+        format!("/tiles/{z}/{x}/{y}.png")
+    }
+
+    /// Pans the viewport by whole tiles.
+    pub fn pan(&self, dx: i64, dy: i64) -> Viewport {
+        Viewport {
+            x: self.x + dx,
+            y: self.y + dy,
+            z: self.z,
+        }
+    }
+
+    /// Zooms in (doubling tile coordinates), clamped at level 18.
+    pub fn zoom_in(&self) -> Viewport {
+        if self.z >= 18 {
+            return *self;
+        }
+        Viewport {
+            x: self.x * 2,
+            y: self.y * 2,
+            z: self.z + 1,
+        }
+    }
+
+    /// Zooms out, clamped at level 0.
+    pub fn zoom_out(&self) -> Viewport {
+        if self.z == 0 {
+            return *self;
+        }
+        Viewport {
+            x: self.x / 2,
+            y: self.y / 2,
+            z: self.z - 1,
+        }
+    }
+}
+
+/// The mapping origin server.
+pub struct MapsApp {
+    host: String,
+    tile_bytes_min: u64,
+    tile_bytes_max: u64,
+}
+
+impl MapsApp {
+    /// Creates the app under `host` (e.g. `maps.example.com`).
+    pub fn new(host: impl Into<String>) -> MapsApp {
+        MapsApp {
+            host: host.into(),
+            // 256×256 PNG map tiles of the era: roughly 8–24 KB.
+            tile_bytes_min: 8 * 1024,
+            tile_bytes_max: 24 * 1024,
+        }
+    }
+
+    /// Deterministically geocodes a query string to a viewport. The
+    /// scenario address ("653 5th Ave, New York") always maps to the same
+    /// spot, like a real geocoder would.
+    pub fn geocode(query: &str) -> Viewport {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in query.trim().to_ascii_lowercase().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Viewport {
+            x: (h % 512) as i64 + 256,
+            y: ((h >> 16) % 512) as i64 + 256,
+            z: 12,
+        }
+    }
+
+    /// The map shell page: tile grid plus search form. Tile `src`
+    /// attributes point at the viewport's tiles; client-side "script"
+    /// (the simulated browser) swaps them on pan/zoom without changing the
+    /// page URL.
+    pub fn shell_page(&self, vp: Viewport) -> String {
+        let mut html = String::with_capacity(4096);
+        html.push_str(
+            "<!DOCTYPE html><html><head><title>RCB Maps</title>\
+             <style>.grid img{width:256px;height:256px}</style>\
+             <script type=\"text/javascript\">function pan(dx,dy){/* ajax */return false;}\
+             function zoom(d){/* ajax */return false;}</script></head><body>",
+        );
+        html.push_str(
+            "<form id=\"search\" action=\"/geo\" method=\"get\" onsubmit=\"return doSearch()\">\
+             <input type=\"text\" name=\"q\" value=\"\"><input type=\"submit\" value=\"Search Maps\">\
+             </form>",
+        );
+        html.push_str("<div class=\"controls\">");
+        for (label, js) in [
+            ("north", "pan(0,-1)"),
+            ("south", "pan(0,1)"),
+            ("west", "pan(-1,0)"),
+            ("east", "pan(1,0)"),
+            ("zoom-in", "zoom(1)"),
+            ("zoom-out", "zoom(-1)"),
+        ] {
+            html.push_str(&format!(
+                "<a href=\"#\" id=\"ctl-{label}\" onclick=\"return {js}\">{label}</a> "
+            ));
+        }
+        html.push_str("</div><div class=\"grid\" id=\"tiles\">");
+        for (x, y, z) in vp.tiles() {
+            html.push_str(&format!(
+                "<img id=\"tile-{x}-{y}\" src=\"{}\" alt=\"tile\">",
+                Viewport::tile_path(x, y, z)
+            ));
+        }
+        html.push_str(&format!(
+            "</div><div id=\"status\">viewport {} {} z{}</div></body></html>",
+            vp.x, vp.y, vp.z
+        ));
+        html
+    }
+
+    fn tile_response(&self, x: i64, y: i64, z: u8) -> Response {
+        let mut rng = DetRng::new(
+            (z as u64) << 48 ^ (x as u64 & 0xFFFFFF) << 24 ^ (y as u64 & 0xFFFFFF),
+        );
+        let size = rng.range_inclusive(self.tile_bytes_min, self.tile_bytes_max) as usize;
+        let mut buf = vec![0u8; size];
+        rng.fill_bytes(&mut buf);
+        buf[..8].copy_from_slice(&[0x89, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a]);
+        Response::with_body(Status::OK, "image/png", buf)
+    }
+}
+
+impl Origin for MapsApp {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
+        let path = req.path();
+        if path == "/" || path == "/maps" {
+            let vp = match req.query_param("q") {
+                Some(q) if !q.is_empty() => MapsApp::geocode(&q),
+                _ => Viewport { x: 300, y: 300, z: 4 },
+            };
+            return Response::html(self.shell_page(vp));
+        }
+        if path == "/geo" {
+            let q = req.query_param("q").unwrap_or_default();
+            let vp = MapsApp::geocode(&q);
+            let body = format!(
+                "<viewport><x>{}</x><y>{}</y><z>{}</z></viewport>",
+                vp.x, vp.y, vp.z
+            );
+            return Response::xml(body);
+        }
+        if let Some(rest) = path.strip_prefix("/tiles/") {
+            let parts: Vec<&str> = rest.trim_end_matches(".png").split('/').collect();
+            if let [z, x, y] = parts[..] {
+                if let (Ok(z), Ok(x), Ok(y)) = (z.parse::<u8>(), x.parse::<i64>(), y.parse::<i64>())
+                {
+                    return self.tile_response(x, y, z);
+                }
+            }
+            return Response::error(Status::BAD_REQUEST, "bad tile coordinates");
+        }
+        Response::error(Status::NOT_FOUND, &format!("no such path {path}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geocode_is_deterministic_and_discriminating() {
+        let a = MapsApp::geocode("653 5th Ave, New York");
+        let b = MapsApp::geocode("653 5th Ave, New York");
+        let c = MapsApp::geocode("1600 Amphitheatre Pkwy");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.z, 12);
+    }
+
+    #[test]
+    fn viewport_tiles_cover_grid() {
+        let vp = Viewport { x: 10, y: 20, z: 5 };
+        let tiles = vp.tiles();
+        assert_eq!(tiles.len(), (GRID_W * GRID_H) as usize);
+        assert!(tiles.contains(&(10, 20, 5)));
+        assert!(tiles.contains(&(10 + GRID_W - 1, 20 + GRID_H - 1, 5)));
+    }
+
+    #[test]
+    fn pan_and_zoom_transform_viewport() {
+        let vp = Viewport { x: 10, y: 20, z: 5 };
+        assert_eq!(vp.pan(1, -2), Viewport { x: 11, y: 18, z: 5 });
+        assert_eq!(vp.zoom_in(), Viewport { x: 20, y: 40, z: 6 });
+        assert_eq!(vp.zoom_out(), Viewport { x: 5, y: 10, z: 4 });
+        let top = Viewport { x: 1, y: 1, z: 0 };
+        assert_eq!(top.zoom_out(), top);
+        let deep = Viewport { x: 1, y: 1, z: 18 };
+        assert_eq!(deep.zoom_in(), deep);
+    }
+
+    #[test]
+    fn shell_page_lists_viewport_tiles() {
+        let app = MapsApp::new("maps.example.com");
+        let vp = Viewport { x: 3, y: 4, z: 2 };
+        let page = app.shell_page(vp);
+        let doc = rcb_html::parse_document(&page);
+        let imgs = rcb_html::query::elements_by_tag(&doc, doc.root(), "img");
+        assert_eq!(imgs.len(), (GRID_W * GRID_H) as usize);
+        assert!(page.contains("/tiles/2/3/4.png"));
+        assert!(page.contains("onclick=\"return pan(0,-1)\""));
+    }
+
+    #[test]
+    fn tiles_served_deterministically() {
+        let mut app = MapsApp::new("maps.example.com");
+        let r1 = app.handle(&Request::get("/tiles/5/10/11.png"), SimTime::ZERO);
+        let r2 = app.handle(&Request::get("/tiles/5/10/11.png"), SimTime::ZERO);
+        assert_eq!(r1.body, r2.body);
+        assert!(r1.body.len() >= 8 * 1024 && r1.body.len() <= 24 * 1024);
+        assert_eq!(&r1.body[..4], &[0x89, b'P', b'N', b'G']);
+        let other = app.handle(&Request::get("/tiles/5/10/12.png"), SimTime::ZERO);
+        assert_ne!(r1.body, other.body);
+    }
+
+    #[test]
+    fn bad_tile_coords_rejected() {
+        let mut app = MapsApp::new("m");
+        let resp = app.handle(&Request::get("/tiles/zz/1/2.png"), SimTime::ZERO);
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn geo_endpoint_returns_viewport_xml() {
+        let mut app = MapsApp::new("m");
+        let resp = app.handle(&Request::get("/geo?q=653+5th+Ave%2C+New+York"), SimTime::ZERO);
+        assert_eq!(resp.content_type().as_deref(), Some("application/xml"));
+        let vp = MapsApp::geocode("653 5th Ave, New York");
+        assert!(resp.body_str().contains(&format!("<x>{}</x>", vp.x)));
+    }
+
+    #[test]
+    fn page_url_constant_across_views() {
+        // The defining property: '/' serves the shell regardless of
+        // viewport; panning never changes the URL.
+        let mut app = MapsApp::new("m");
+        let a = app.handle(&Request::get("/maps"), SimTime::ZERO);
+        let b = app.handle(&Request::get("/maps"), SimTime::ZERO);
+        assert_eq!(a.body, b.body);
+    }
+}

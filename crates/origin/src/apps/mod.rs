@@ -1,0 +1,7 @@
+//! Interactive scenario applications (paper §5.2).
+
+pub mod maps;
+pub mod shop;
+
+pub use maps::MapsApp;
+pub use shop::ShopApp;

@@ -1,0 +1,409 @@
+//! A session-protected storefront — the Amazon.com stand-in.
+//!
+//! The co-shopping scenario (§5.2.2) requires: searchable catalog pages,
+//! product pages, a cart and a multi-step checkout gated behind a session
+//! cookie (the paper's point (4): RCB must "support session-protected
+//! webpages", which URL-sharing cannot), and a shipping-address form to
+//! co-fill.
+//!
+//! Routes: `/` (home), `/search?q=`, `/product/{id}`, `/cart/add?id=`
+//! (needs session), `/cart`, `/checkout` (form), `POST /checkout/shipping`,
+//! `POST /checkout/complete`.
+
+use std::collections::HashMap;
+
+use rcb_http::{Request, Response, Status};
+use rcb_util::{DetRng, SimTime};
+
+use crate::server::Origin;
+
+/// One catalog product.
+#[derive(Debug, Clone)]
+pub struct Product {
+    /// Catalog id.
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// Price in cents.
+    pub price_cents: u64,
+}
+
+/// Per-session server state.
+#[derive(Debug, Default, Clone)]
+struct Session {
+    cart: Vec<u32>,
+    shipping: Option<HashMap<String, String>>,
+    completed_orders: u32,
+}
+
+/// The storefront origin server.
+pub struct ShopApp {
+    host: String,
+    catalog: Vec<Product>,
+    sessions: HashMap<String, Session>,
+    next_sid: u64,
+}
+
+impl ShopApp {
+    /// Creates the app with a deterministic catalog.
+    pub fn new(host: impl Into<String>) -> ShopApp {
+        let mut rng = DetRng::new(0x5348_4f50); // "SHOP"
+        let adjectives = ["Air", "Pro", "Mini", "Max", "Ultra", "Classic"];
+        let nouns = ["MacBook", "Notebook", "Tablet", "Reader", "Camera", "Phone"];
+        let catalog = (0..36)
+            .map(|i| {
+                let adj = adjectives[rng.next_below(adjectives.len() as u64) as usize];
+                let noun = nouns[(i as usize / 6) % nouns.len()];
+                Product {
+                    id: i,
+                    name: format!("{noun} {adj} {}", 11 + i % 7),
+                    price_cents: 19_900 + rng.range_inclusive(0, 180) * 1_000,
+                }
+            })
+            .collect();
+        ShopApp {
+            host: host.into(),
+            catalog,
+            sessions: HashMap::new(),
+            next_sid: 1,
+        }
+    }
+
+    /// Looks up a product.
+    pub fn product(&self, id: u32) -> Option<&Product> {
+        self.catalog.iter().find(|p| p.id == id)
+    }
+
+    /// Case-insensitive catalog search.
+    pub fn search(&self, query: &str) -> Vec<&Product> {
+        let q = query.to_ascii_lowercase();
+        self.catalog
+            .iter()
+            .filter(|p| p.name.to_ascii_lowercase().contains(&q))
+            .collect()
+    }
+
+    /// Number of completed orders in session `sid` (test/scenario hook).
+    pub fn orders_completed(&self, sid: &str) -> u32 {
+        self.sessions.get(sid).map(|s| s.completed_orders).unwrap_or(0)
+    }
+
+    /// Cart contents for session `sid` (test/scenario hook).
+    pub fn cart(&self, sid: &str) -> Vec<u32> {
+        self.sessions.get(sid).map(|s| s.cart.clone()).unwrap_or_default()
+    }
+
+    fn session_of(&mut self, req: &Request) -> (String, bool) {
+        if let Some((_, sid)) = req.cookies().into_iter().find(|(k, _)| k == "sid") {
+            if self.sessions.contains_key(&sid) {
+                return (sid, false);
+            }
+        }
+        let sid = format!("s{:08x}", self.next_sid.wrapping_mul(0x9E3779B9));
+        self.next_sid += 1;
+        self.sessions.insert(sid.clone(), Session::default());
+        (sid, true)
+    }
+
+    fn page(&self, title: &str, body: &str) -> String {
+        format!(
+            "<!DOCTYPE html><html><head><title>{title} — rcb-shop</title>\
+             <link rel=\"stylesheet\" href=\"/assets/shop.css\"></head><body>\
+             <div id=\"header\"><h1><a href=\"/\">rcb-shop</a></h1>\
+             <form id=\"search\" action=\"/search\" method=\"get\" onsubmit=\"return true\">\
+             <input type=\"text\" name=\"q\" value=\"\">\
+             <input type=\"submit\" value=\"Go\"></form>\
+             <a href=\"/cart\" id=\"cart-link\">Cart</a></div>{body}</body></html>"
+        )
+    }
+
+    fn product_card(p: &Product) -> String {
+        format!(
+            "<div class=\"product\" id=\"p{0}\"><a href=\"/product/{0}\">{1}</a>\
+             <span class=\"price\">${2}.{3:02}</span>\
+             <a href=\"/cart/add?id={0}\" class=\"add\" onclick=\"return addToCart({0})\">Add to cart</a></div>",
+            p.id,
+            p.name,
+            p.price_cents / 100,
+            p.price_cents % 100
+        )
+    }
+}
+
+impl Origin for ShopApp {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
+        let (sid, fresh) = self.session_of(req);
+        let path = req.path().to_string();
+        let mut resp = match path.as_str() {
+            "/" => {
+                let featured: String = self
+                    .catalog
+                    .iter()
+                    .take(8)
+                    .map(ShopApp::product_card)
+                    .collect();
+                Response::html(self.page("home", &format!("<div id=\"featured\">{featured}</div>")))
+            }
+            "/search" => {
+                let q = req.query_param("q").unwrap_or_default();
+                let hits: Vec<&Product> = self.search(&q);
+                let list: String = hits.iter().map(|p| ShopApp::product_card(p)).collect();
+                let body = format!(
+                    "<h2>{} results for \"{}\"</h2><div id=\"results\">{}</div>",
+                    hits.len(),
+                    q,
+                    list
+                );
+                Response::html(self.page("search", &body))
+            }
+            _ if path.starts_with("/product/") => {
+                match path["/product/".len()..].parse::<u32>().ok().and_then(|id| self.product(id).cloned()) {
+                    Some(p) => {
+                        let body = format!(
+                            "<h2>{}</h2><p class=\"price\">${}.{:02}</p>\
+                             <img src=\"/assets/product{}.png\" alt=\"photo\">\
+                             <a href=\"/cart/add?id={}\" id=\"add\">Add to cart</a>",
+                            p.name,
+                            p.price_cents / 100,
+                            p.price_cents % 100,
+                            p.id % 6,
+                            p.id
+                        );
+                        Response::html(self.page(&p.name.clone(), &body))
+                    }
+                    None => Response::error(Status::NOT_FOUND, "no such product"),
+                }
+            }
+            "/cart/add" => {
+                let id = req.query_param("id").and_then(|v| v.parse::<u32>().ok());
+                match id.and_then(|id| self.product(id).cloned()) {
+                    Some(p) => {
+                        self.sessions.get_mut(&sid).expect("session exists").cart.push(p.id);
+                        Response::with_body(Status::FOUND, "text/html", Vec::new())
+                            .with_header("Location", "/cart")
+                    }
+                    None => Response::error(Status::BAD_REQUEST, "bad product id"),
+                }
+            }
+            "/cart" => {
+                let cart = self.cart(&sid);
+                let items: String = cart
+                    .iter()
+                    .filter_map(|&id| self.product(id))
+                    .map(|p| format!("<li>{} — ${}.{:02}</li>", p.name, p.price_cents / 100, p.price_cents % 100))
+                    .collect();
+                let body = format!(
+                    "<h2>Your cart ({} items)</h2><ul id=\"cart\">{}</ul>\
+                     <a href=\"/checkout\" id=\"checkout\">Proceed to checkout</a>",
+                    cart.len(),
+                    items
+                );
+                Response::html(self.page("cart", &body))
+            }
+            "/checkout" => {
+                if self.cart(&sid).is_empty() {
+                    Response::error(Status::FORBIDDEN, "cart is empty")
+                } else {
+                    let body = "<h2>Checkout — shipping address</h2>\
+                        <form id=\"shipping\" action=\"/checkout/shipping\" method=\"post\" \
+                        onsubmit=\"return validateShipping()\">\
+                        <input type=\"text\" name=\"fullname\" value=\"\">\
+                        <input type=\"text\" name=\"street\" value=\"\">\
+                        <input type=\"text\" name=\"city\" value=\"\">\
+                        <input type=\"text\" name=\"zip\" value=\"\">\
+                        <input type=\"submit\" value=\"Continue\"></form>";
+                    Response::html(self.page("checkout", body))
+                }
+            }
+            "/checkout/shipping" => {
+                let fields: HashMap<String, String> =
+                    rcb_url::percent::parse_query(&String::from_utf8_lossy(&req.body))
+                        .into_iter()
+                        .collect();
+                if fields.get("street").map_or(true, |s| s.is_empty()) {
+                    Response::error(Status::BAD_REQUEST, "street is required")
+                } else {
+                    self.sessions.get_mut(&sid).expect("session exists").shipping =
+                        Some(fields);
+                    let body = "<h2>Confirm order</h2>\
+                        <form id=\"confirm\" action=\"/checkout/complete\" method=\"post\">\
+                        <input type=\"submit\" value=\"Place order\"></form>";
+                    Response::html(self.page("confirm", body))
+                }
+            }
+            "/checkout/complete" => {
+                let sess = self.sessions.get_mut(&sid).expect("session exists");
+                if sess.shipping.is_none() || sess.cart.is_empty() {
+                    Response::error(Status::FORBIDDEN, "incomplete checkout state")
+                } else {
+                    sess.completed_orders += 1;
+                    sess.cart.clear();
+                    sess.shipping = None;
+                    Response::html(self.page(
+                        "thank you",
+                        "<h2 id=\"confirmation\">Order placed — thank you!</h2>",
+                    ))
+                }
+            }
+            _ if path.starts_with("/assets/") => {
+                let mut rng = DetRng::new(path.len() as u64);
+                let size = if path.ends_with(".css") {
+                    6 * 1024
+                } else {
+                    rng.range_inclusive(4 * 1024, 20 * 1024) as usize
+                };
+                let mut buf = vec![b'x'; size];
+                if path.ends_with(".png") {
+                    buf[..4].copy_from_slice(&[0x89, b'P', b'N', b'G']);
+                    Response::with_body(Status::OK, "image/png", buf)
+                } else {
+                    Response::with_body(Status::OK, "text/css", buf)
+                }
+            }
+            _ => Response::error(Status::NOT_FOUND, &format!("no such path {path}")),
+        };
+        if fresh {
+            resp = resp.with_header("Set-Cookie", format!("sid={sid}; Path=/"));
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_sid(req: Request, sid: &str) -> Request {
+        req.with_header("Cookie", format!("sid={sid}"))
+    }
+
+    fn extract_sid(resp: &Response) -> String {
+        resp.headers
+            .get("set-cookie")
+            .expect("fresh session sets cookie")
+            .split(';')
+            .next()
+            .unwrap()
+            .trim_start_matches("sid=")
+            .to_string()
+    }
+
+    #[test]
+    fn first_visit_issues_session_cookie() {
+        let mut app = ShopApp::new("shop.example.com");
+        let resp = app.handle(&Request::get("/"), SimTime::ZERO);
+        assert!(resp.status.is_success());
+        let sid = extract_sid(&resp);
+        assert!(sid.starts_with('s'));
+        // Subsequent request with the cookie does not reissue.
+        let r2 = app.handle(&with_sid(Request::get("/"), &sid), SimTime::ZERO);
+        assert!(r2.headers.get("set-cookie").is_none());
+    }
+
+    #[test]
+    fn search_finds_catalog_items() {
+        let app = ShopApp::new("shop");
+        let hits = app.search("macbook");
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|p| p.name.to_lowercase().contains("macbook")));
+        assert!(app.search("zzzz-nothing").is_empty());
+    }
+
+    #[test]
+    fn full_checkout_flow() {
+        let mut app = ShopApp::new("shop");
+        let home = app.handle(&Request::get("/"), SimTime::ZERO);
+        let sid = extract_sid(&home);
+
+        // Search → product → add to cart.
+        let results = app.handle(&with_sid(Request::get("/search?q=macbook"), &sid), SimTime::ZERO);
+        assert!(results.body_str().contains("results for"));
+        let pid = app.search("macbook")[0].id;
+        let add = app.handle(
+            &with_sid(Request::get(format!("/cart/add?id={pid}")), &sid),
+            SimTime::ZERO,
+        );
+        assert_eq!(add.status, Status::FOUND);
+        assert_eq!(app.cart(&sid), vec![pid]);
+
+        // Checkout: shipping form → confirm → complete.
+        let checkout = app.handle(&with_sid(Request::get("/checkout"), &sid), SimTime::ZERO);
+        assert!(checkout.body_str().contains("id=\"shipping\""));
+        let shipping = app.handle(
+            &with_sid(
+                Request::post(
+                    "/checkout/shipping",
+                    b"fullname=Alice&street=1+Main+St&city=NYC&zip=10001".to_vec(),
+                ),
+                &sid,
+            ),
+            SimTime::ZERO,
+        );
+        assert!(shipping.body_str().contains("id=\"confirm\""));
+        let complete = app.handle(
+            &with_sid(Request::post("/checkout/complete", Vec::new()), &sid),
+            SimTime::ZERO,
+        );
+        assert!(complete.body_str().contains("Order placed"));
+        assert_eq!(app.orders_completed(&sid), 1);
+        assert!(app.cart(&sid).is_empty());
+    }
+
+    #[test]
+    fn checkout_requires_cart_and_shipping() {
+        let mut app = ShopApp::new("shop");
+        let home = app.handle(&Request::get("/"), SimTime::ZERO);
+        let sid = extract_sid(&home);
+        let checkout = app.handle(&with_sid(Request::get("/checkout"), &sid), SimTime::ZERO);
+        assert_eq!(checkout.status, Status::FORBIDDEN);
+        let complete = app.handle(
+            &with_sid(Request::post("/checkout/complete", Vec::new()), &sid),
+            SimTime::ZERO,
+        );
+        assert_eq!(complete.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn shipping_validates_street() {
+        let mut app = ShopApp::new("shop");
+        let home = app.handle(&Request::get("/"), SimTime::ZERO);
+        let sid = extract_sid(&home);
+        app.handle(&with_sid(Request::get("/cart/add?id=0"), &sid), SimTime::ZERO);
+        let bad = app.handle(
+            &with_sid(
+                Request::post("/checkout/shipping", b"fullname=Bob&street=".to_vec()),
+                &sid,
+            ),
+            SimTime::ZERO,
+        );
+        assert_eq!(bad.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let mut app = ShopApp::new("shop");
+        let a = extract_sid(&app.handle(&Request::get("/"), SimTime::ZERO));
+        let b = extract_sid(&app.handle(&Request::get("/"), SimTime::ZERO));
+        assert_ne!(a, b);
+        app.handle(&with_sid(Request::get("/cart/add?id=1"), &a), SimTime::ZERO);
+        assert_eq!(app.cart(&a).len(), 1);
+        assert!(app.cart(&b).is_empty());
+    }
+
+    #[test]
+    fn product_pages_and_assets() {
+        let mut app = ShopApp::new("shop");
+        let p = app.handle(&Request::get("/product/3"), SimTime::ZERO);
+        assert!(p.status.is_success());
+        let missing = app.handle(&Request::get("/product/999"), SimTime::ZERO);
+        assert_eq!(missing.status, Status::NOT_FOUND);
+        let css = app.handle(&Request::get("/assets/shop.css"), SimTime::ZERO);
+        assert_eq!(css.content_type().as_deref(), Some("text/css"));
+        let img = app.handle(&Request::get("/assets/product1.png"), SimTime::ZERO);
+        assert_eq!(img.content_type().as_deref(), Some("image/png"));
+    }
+}

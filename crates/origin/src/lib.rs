@@ -1,0 +1,27 @@
+//! Simulated origin web servers.
+//!
+//! The paper evaluates RCB against the live homepages of 20 Alexa top
+//! sites (Table 1) and two interactive applications — Google Maps and
+//! Amazon.com (§5.2). None of those can be fetched here, so this crate
+//! rebuilds the *behaviours* the evaluation depends on:
+//!
+//! * [`sites`] — a deterministic generator producing synthetic homepages
+//!   whose HTML document sizes match Table 1 byte-for-kilobyte, plus
+//!   per-site supplementary object manifests (images/CSS/JS);
+//! * [`server`] — the [`Origin`] trait and a static-site server;
+//! * [`apps::maps`] — a tile-grid Ajax mapping app (constant URL, content
+//!   updated by asynchronous tile fetches — the property that defeats
+//!   URL-sharing co-browsing, §5.2.1);
+//! * [`apps::shop`] — a session-protected storefront with search, cart and
+//!   multi-step checkout forms (the co-shopping scenario, §5.2.2);
+//! * [`registry`] — a host-name → server routing table standing in for DNS
+//!   plus the Internet.
+
+pub mod apps;
+pub mod registry;
+pub mod server;
+pub mod sites;
+
+pub use registry::OriginRegistry;
+pub use server::{Origin, StaticSiteServer};
+pub use sites::{alexa20, SiteSpec};

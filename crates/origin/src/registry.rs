@@ -1,0 +1,76 @@
+//! Host-name routing: the simulation's stand-in for DNS + the Internet.
+
+use std::collections::HashMap;
+
+use rcb_http::{Request, Response, Status};
+use rcb_util::SimTime;
+
+use crate::server::Origin;
+
+/// Routes requests to registered origin servers by host name.
+#[derive(Default)]
+pub struct OriginRegistry {
+    servers: HashMap<String, Box<dyn Origin>>,
+}
+
+impl OriginRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        OriginRegistry::default()
+    }
+
+    /// Registers a server under its own host name.
+    pub fn register(&mut self, server: Box<dyn Origin>) {
+        self.servers.insert(server.host().to_string(), server);
+    }
+
+    /// Registers every Alexa-20 synthetic site.
+    pub fn with_alexa20() -> Self {
+        let mut r = OriginRegistry::new();
+        for spec in crate::sites::alexa20() {
+            r.register(Box::new(crate::server::StaticSiteServer::new(spec)));
+        }
+        r
+    }
+
+    /// Dispatches a request to `host`, or 404s for unknown hosts
+    /// (unresolvable DNS).
+    pub fn dispatch(&mut self, host: &str, req: &Request, now: SimTime) -> Response {
+        match self.servers.get_mut(host) {
+            Some(server) => server.handle(req, now),
+            None => Response::error(Status::NOT_FOUND, &format!("unknown host {host}")),
+        }
+    }
+
+    /// Whether `host` resolves.
+    pub fn knows(&self, host: &str) -> bool {
+        self.servers.contains_key(host)
+    }
+
+    /// Registered host names (unordered).
+    pub fn hosts(&self) -> Vec<&str> {
+        self.servers.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexa20_all_resolve() {
+        let mut r = OriginRegistry::with_alexa20();
+        assert_eq!(r.hosts().len(), 20);
+        assert!(r.knows("google.com"));
+        let resp = r.dispatch("google.com", &Request::get("/"), SimTime::ZERO);
+        assert!(resp.status.is_success());
+    }
+
+    #[test]
+    fn unknown_host_is_404() {
+        let mut r = OriginRegistry::new();
+        assert!(!r.knows("nosuch.example"));
+        let resp = r.dispatch("nosuch.example", &Request::get("/"), SimTime::ZERO);
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Origin`] trait and the static-site server.
+
+use std::collections::HashMap;
+
+use rcb_http::{Request, Response, Status};
+use rcb_util::SimTime;
+
+use crate::sites::{generate_homepage, generate_object, SiteSpec};
+
+/// A simulated origin web server.
+///
+/// Implementations receive parsed requests and return full responses; the
+/// network simulator charges wire time separately from the profile's
+/// `origin_think`.
+pub trait Origin {
+    /// The host name this origin answers for.
+    fn host(&self) -> &str;
+
+    /// Handles one request at simulated time `now`.
+    fn handle(&mut self, req: &Request, now: SimTime) -> Response;
+}
+
+/// Serves one synthetic Alexa site: the homepage at `/` plus its object
+/// manifest, and simple section/story pages so navigation works.
+pub struct StaticSiteServer {
+    spec: SiteSpec,
+    homepage: String,
+    objects: HashMap<String, (String, Vec<u8>)>,
+}
+
+impl StaticSiteServer {
+    /// Builds the server for `spec`, pre-generating all content.
+    pub fn new(spec: SiteSpec) -> StaticSiteServer {
+        let homepage = generate_homepage(&spec);
+        let mut objects = HashMap::new();
+        for obj in &spec.objects {
+            objects.insert(
+                format!("/{}", obj.path),
+                (
+                    obj.kind.content_type().to_string(),
+                    generate_object(obj, spec.index),
+                ),
+            );
+        }
+        StaticSiteServer {
+            spec,
+            homepage,
+            objects,
+        }
+    }
+
+    /// The underlying site spec.
+    pub fn spec(&self) -> &SiteSpec {
+        &self.spec
+    }
+}
+
+impl Origin for StaticSiteServer {
+    fn host(&self) -> &str {
+        self.spec.name
+    }
+
+    fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
+        let path = req.path();
+        if path == "/" || path == "/index.html" {
+            return Response::html(self.homepage.clone());
+        }
+        if let Some((ct, body)) = self.objects.get(path) {
+            return Response::with_body(Status::OK, ct, body.clone());
+        }
+        // Section/story/search pages: small generated pages so host
+        // navigation beyond the homepage works in scenarios.
+        if path.starts_with("/section/") || path.starts_with("/story/") || path == "/search" {
+            let title = format!("{} — {}", self.spec.name, path.trim_start_matches('/'));
+            let q = req.query_param("q").unwrap_or_default();
+            let body = format!(
+                "<!DOCTYPE html><html><head><title>{title}</title></head><body>\
+                 <h1>{title}</h1><p>query: {q}</p>\
+                 <p><a href=\"/\">back to {}</a></p></body></html>",
+                self.spec.name
+            );
+            return Response::html(body);
+        }
+        Response::error(Status::NOT_FOUND, &format!("no such path {path}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::site_by_index;
+
+    #[test]
+    fn homepage_served_at_root() {
+        let mut s = StaticSiteServer::new(site_by_index(2).unwrap());
+        let resp = s.handle(&Request::get("/"), SimTime::ZERO);
+        assert!(resp.status.is_success());
+        assert_eq!(resp.content_type().as_deref(), Some("text/html"));
+        assert_eq!(resp.body.len() as u64, s.spec().html_size.as_bytes());
+    }
+
+    #[test]
+    fn objects_served_with_types() {
+        let mut s = StaticSiteServer::new(site_by_index(1).unwrap());
+        let spec = s.spec().clone();
+        for obj in spec.objects.iter().take(5) {
+            let resp = s.handle(&Request::get(format!("/{}", obj.path)), SimTime::ZERO);
+            assert!(resp.status.is_success(), "{}", obj.path);
+            assert_eq!(
+                resp.content_type().as_deref(),
+                Some(obj.kind.content_type())
+            );
+            assert_eq!(resp.body.len() as u64, obj.size.as_bytes());
+        }
+    }
+
+    #[test]
+    fn missing_path_is_404() {
+        let mut s = StaticSiteServer::new(site_by_index(2).unwrap());
+        let resp = s.handle(&Request::get("/definitely/not/here"), SimTime::ZERO);
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn section_pages_navigate() {
+        let mut s = StaticSiteServer::new(site_by_index(4).unwrap());
+        let resp = s.handle(&Request::get("/section/3"), SimTime::ZERO);
+        assert!(resp.status.is_success());
+        assert!(resp.body_str().contains("section/3"));
+        let search = s.handle(&Request::get("/search?q=laptop"), SimTime::ZERO);
+        assert!(search.body_str().contains("laptop"));
+    }
+}

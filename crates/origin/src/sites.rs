@@ -1,0 +1,403 @@
+//! Synthetic Alexa-20 homepage generator.
+//!
+//! Table 1 of the paper fixes the HTML document size of each site's
+//! homepage (e.g. yahoo.com at 130.3 KB, google.com at 6.8 KB). M1–M6 all
+//! depend on document size, supplementary-object mix, and markup structure
+//! — not on the actual 2009 content — so the generator produces, for each
+//! site, a deterministic homepage that:
+//!
+//! * hits the Table-1 HTML size to the byte (structure + filler + an exact
+//!   padding comment);
+//! * carries a realistic object manifest (stylesheets, scripts, images)
+//!   whose count scales with page size;
+//! * contains the constructs the RCB pipeline must handle: relative URLs,
+//!   inline styles/scripts, forms with `onsubmit`, links with `onclick`,
+//!   comments, and entity-bearing text.
+
+use rcb_util::{ByteSize, DetRng};
+
+/// Kind of a supplementary object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A stylesheet (`text/css`).
+    Css,
+    /// A script (`application/javascript`).
+    Js,
+    /// An image (`image/png`).
+    Img,
+}
+
+impl ObjectKind {
+    /// MIME type served for this kind.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            ObjectKind::Css => "text/css",
+            ObjectKind::Js => "application/javascript",
+            ObjectKind::Img => "image/png",
+        }
+    }
+}
+
+/// One supplementary object of a synthetic site.
+#[derive(Debug, Clone)]
+pub struct ObjectSpec {
+    /// Site-relative path (e.g. `assets/img7.png`).
+    pub path: String,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Body size.
+    pub size: ByteSize,
+}
+
+/// One synthetic site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Table-1 row index (1-based).
+    pub index: usize,
+    /// Site host name (doubles as the simulated DNS name).
+    pub name: &'static str,
+    /// Table-1 HTML document size.
+    pub html_size: ByteSize,
+    /// Supplementary objects referenced by the homepage.
+    pub objects: Vec<ObjectSpec>,
+}
+
+/// Table 1, column "Page Size (KB)".
+pub const TABLE1_SIZES_KB: [(usize, &str, f64); 20] = [
+    (1, "yahoo.com", 130.3),
+    (2, "google.com", 6.8),
+    (3, "youtube.com", 69.2),
+    (4, "live.com", 20.9),
+    (5, "msn.com", 49.6),
+    (6, "myspace.com", 53.2),
+    (7, "wikipedia.org", 51.7),
+    (8, "facebook.com", 23.2),
+    (9, "yahoo.co.jp", 101.4),
+    (10, "ebay.com", 50.5),
+    (11, "aol.com", 71.3),
+    (12, "mail.ru", 83.8),
+    (13, "amazon.com", 228.5),
+    (14, "cnn.com", 109.4),
+    (15, "espn.go.com", 110.9),
+    (16, "free.fr", 70.0),
+    (17, "adobe.com", 37.3),
+    (18, "apple.com", 10.0),
+    (19, "about.com", 35.8),
+    (20, "nytimes.com", 120.0),
+];
+
+/// Builds the 20 site specs with deterministic object manifests.
+pub fn alexa20() -> Vec<SiteSpec> {
+    let mut rng = DetRng::new(0x5243_4221); // "RCB!"
+    TABLE1_SIZES_KB
+        .iter()
+        .map(|&(index, name, kb)| {
+            let mut site_rng = rng.fork(index as u64);
+            let html_size = ByteSize::kib_f64(kb);
+            let objects = object_manifest(&mut site_rng, kb);
+            SiteSpec {
+                index,
+                name,
+                html_size,
+                objects,
+            }
+        })
+        .collect()
+}
+
+/// Finds a site spec by Table-1 index (1-based).
+pub fn site_by_index(index: usize) -> Option<SiteSpec> {
+    alexa20().into_iter().find(|s| s.index == index)
+}
+
+fn object_manifest(rng: &mut DetRng, kb: f64) -> Vec<ObjectSpec> {
+    // Object count scales with page size; clamped to a 2009-plausible
+    // range (google ≈ 9 objects, amazon ≈ 70).
+    let count = ((6.0 + kb / 3.5) as u64).clamp(6, 70);
+    let css_count = (count / 12).clamp(1, 4);
+    let js_count = (count / 8).clamp(2, 8);
+    let img_count = count - css_count - js_count;
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..css_count {
+        out.push(ObjectSpec {
+            path: format!("assets/style{i}.css"),
+            kind: ObjectKind::Css,
+            size: ByteSize::bytes(rng.range_inclusive(4 * 1024, 28 * 1024)),
+        });
+    }
+    for i in 0..js_count {
+        out.push(ObjectSpec {
+            path: format!("assets/app{i}.js"),
+            kind: ObjectKind::Js,
+            size: ByteSize::bytes(rng.range_inclusive(8 * 1024, 56 * 1024)),
+        });
+    }
+    for i in 0..img_count {
+        out.push(ObjectSpec {
+            path: format!("assets/img{i}.png"),
+            kind: ObjectKind::Img,
+            size: ByteSize::bytes(rng.range_inclusive(1 * 1024, 36 * 1024)),
+        });
+    }
+    out
+}
+
+/// Deterministic filler words used to pad pages to their Table-1 size.
+const WORDS: [&str; 24] = [
+    "browse", "session", "realtime", "network", "content", "update", "script", "frame",
+    "shared", "widget", "portal", "market", "travel", "sports", "finance", "weather",
+    "signup", "mobile", "search", "photos", "videos", "social", "stream", "latest",
+];
+
+/// Generates the homepage HTML for a site, sized exactly to
+/// `spec.html_size` bytes.
+pub fn generate_homepage(spec: &SiteSpec) -> String {
+    let mut rng = DetRng::new(0xC0FFEE ^ spec.index as u64);
+    let target = spec.html_size.as_bytes() as usize;
+    let mut html = String::with_capacity(target + 1024);
+    html.push_str("<!DOCTYPE html>");
+    html.push_str(&format!("<html lang=\"en\"><head><title>{} — home</title>", spec.name));
+    html.push_str("<meta charset=\"utf-8\">");
+    html.push_str(&format!(
+        "<meta name=\"description\" content=\"synthetic homepage of {}\">",
+        spec.name
+    ));
+    for obj in &spec.objects {
+        match obj.kind {
+            ObjectKind::Css => html.push_str(&format!(
+                "<link rel=\"stylesheet\" type=\"text/css\" href=\"{}\">",
+                obj.path
+            )),
+            ObjectKind::Js => html.push_str(&format!(
+                "<script type=\"text/javascript\" src=\"{}\"></script>",
+                obj.path
+            )),
+            ObjectKind::Img => {}
+        }
+    }
+    html.push_str("<style>body{margin:0;font:13px sans-serif}.nav{background:#eee}</style>");
+    html.push_str(
+        "<script type=\"text/javascript\">function track(e){/* analytics */return true;}</script>",
+    );
+    html.push_str("</head><body class=\"home\" onload=\"track('load')\">");
+    html.push_str("<!-- masthead -->");
+    html.push_str(&format!(
+        "<div id=\"masthead\"><h1>{}</h1><form id=\"q\" action=\"/search\" method=\"get\" \
+         onsubmit=\"return track('search')\"><input type=\"text\" name=\"q\" value=\"\">\
+         <input type=\"submit\" value=\"Search\"></form></div>",
+        spec.name
+    ));
+    // Navigation with onclick handlers (the event-rewriting workload).
+    html.push_str("<ul class=\"nav\">");
+    for i in 0..8 {
+        html.push_str(&format!(
+            "<li><a href=\"/section/{i}\" onclick=\"return track('nav{i}')\">{}</a></li>",
+            WORDS[i % WORDS.len()]
+        ));
+    }
+    html.push_str("</ul>");
+    // Image-bearing story blocks referencing the object manifest.
+    let images: Vec<&ObjectSpec> = spec
+        .objects
+        .iter()
+        .filter(|o| o.kind == ObjectKind::Img)
+        .collect();
+    for (i, img) in images.iter().enumerate() {
+        html.push_str(&format!(
+            "<div class=\"story\" id=\"story{i}\"><img src=\"{}\" alt=\"story {i}\" \
+             width=\"120\" height=\"90\"><h2><a href=\"/story/{i}\">{} &amp; {}</a></h2>",
+            img.path,
+            WORDS[rng.next_below(WORDS.len() as u64) as usize],
+            WORDS[rng.next_below(WORDS.len() as u64) as usize],
+        ));
+        html.push_str("<p>");
+        for _ in 0..rng.range_inclusive(8, 20) {
+            html.push_str(WORDS[rng.next_below(WORDS.len() as u64) as usize]);
+            html.push(' ');
+        }
+        html.push_str("</p></div>");
+    }
+    let closing = "</body></html>";
+    // Filler paragraphs to approach the Table-1 size.
+    let para_open = "<p class=\"filler\">";
+    let para_close = "</p>";
+    loop {
+        let remaining = target
+            .saturating_sub(html.len())
+            .saturating_sub(closing.len());
+        if remaining < para_open.len() + para_close.len() + 160 {
+            break;
+        }
+        html.push_str(para_open);
+        let budget = (remaining - para_open.len() - para_close.len()).min(220);
+        let mut used = 0;
+        while used + 8 < budget {
+            let w = WORDS[rng.next_below(WORDS.len() as u64) as usize];
+            html.push_str(w);
+            html.push(' ');
+            used += w.len() + 1;
+        }
+        html.push_str(para_close);
+    }
+    // Exact-size pad comment: "<!--" + pad + "-->".
+    let remaining = target
+        .saturating_sub(html.len())
+        .saturating_sub(closing.len());
+    if remaining >= 7 {
+        html.push_str("<!--");
+        for _ in 0..remaining - 7 {
+            html.push('p');
+        }
+        html.push_str("-->");
+    } else {
+        for _ in 0..remaining {
+            html.push(' ');
+        }
+    }
+    html.push_str(closing);
+    debug_assert_eq!(html.len(), target);
+    html
+}
+
+/// Generates the body of a supplementary object, sized per its spec.
+pub fn generate_object(spec: &ObjectSpec, site_index: usize) -> Vec<u8> {
+    let size = spec.size.as_bytes() as usize;
+    match spec.kind {
+        ObjectKind::Css => {
+            let mut s = String::with_capacity(size);
+            let mut i = 0;
+            while s.len() + 64 < size {
+                s.push_str(&format!(
+                    ".c{i} {{ margin: {}px; padding: 2px; color: #{:06x}; }}\n",
+                    i % 17,
+                    (i * 2654435761u64 as usize) & 0xFFFFFF
+                ));
+                i += 1;
+            }
+            while s.len() < size {
+                s.push(' ');
+            }
+            s.into_bytes()
+        }
+        ObjectKind::Js => {
+            let mut s = String::with_capacity(size);
+            let mut i = 0usize;
+            while s.len() + 72 < size {
+                s.push_str(&format!(
+                    "function f{i}(a,b){{ return a*{} + b - f{}(a|0, b|0); }}\n",
+                    i + 1,
+                    i.saturating_sub(1)
+                ));
+                i += 1;
+            }
+            while s.len() < size {
+                s.push(' ');
+            }
+            s.into_bytes()
+        }
+        ObjectKind::Img => {
+            let mut rng = DetRng::new((site_index as u64) << 32 | spec.size.as_bytes());
+            let mut buf = vec![0u8; size];
+            rng.fill_bytes(&mut buf);
+            // PNG magic so content sniffing would classify it as an image.
+            let magic = [0x89u8, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a];
+            let n = magic.len().min(buf.len());
+            buf[..n].copy_from_slice(&magic[..n]);
+            buf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_sites_match_table1() {
+        let sites = alexa20();
+        assert_eq!(sites.len(), 20);
+        assert_eq!(sites[0].name, "yahoo.com");
+        assert_eq!(sites[0].html_size, ByteSize::kib_f64(130.3));
+        assert_eq!(sites[12].name, "amazon.com");
+        assert_eq!(sites[12].html_size, ByteSize::kib_f64(228.5));
+    }
+
+    #[test]
+    fn homepage_hits_exact_size() {
+        for spec in alexa20() {
+            let html = generate_homepage(&spec);
+            assert_eq!(
+                html.len() as u64,
+                spec.html_size.as_bytes(),
+                "size mismatch for {}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_homepage(&site_by_index(14).unwrap());
+        let b = generate_homepage(&site_by_index(14).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn homepage_parses_and_references_objects() {
+        let spec = site_by_index(1).unwrap(); // yahoo, large
+        let html = generate_homepage(&spec);
+        let doc = rcb_html::parse_document(&html);
+        assert!(doc.body().is_some());
+        let urls = rcb_html::query::collect_supplementary_urls(&doc, doc.root());
+        // Every CSS/JS and at least most images must be referenced.
+        for obj in &spec.objects {
+            if obj.kind != ObjectKind::Img {
+                assert!(
+                    urls.contains(&obj.path),
+                    "{} not referenced",
+                    obj.path
+                );
+            }
+        }
+        let img_refs = urls.iter().filter(|u| u.ends_with(".png")).count();
+        assert!(img_refs > 0);
+    }
+
+    #[test]
+    fn object_count_scales_with_page_size() {
+        let google = site_by_index(2).unwrap();
+        let amazon = site_by_index(13).unwrap();
+        assert!(google.objects.len() < amazon.objects.len());
+        assert!(google.objects.len() >= 6);
+        assert!(amazon.objects.len() <= 70);
+    }
+
+    #[test]
+    fn objects_generate_to_spec_size() {
+        let spec = site_by_index(5).unwrap();
+        for obj in spec.objects.iter().take(6) {
+            let body = generate_object(obj, spec.index);
+            assert_eq!(body.len() as u64, obj.size.as_bytes(), "{}", obj.path);
+        }
+    }
+
+    #[test]
+    fn images_carry_png_magic() {
+        let spec = site_by_index(3).unwrap();
+        let img = spec
+            .objects
+            .iter()
+            .find(|o| o.kind == ObjectKind::Img)
+            .unwrap();
+        let body = generate_object(img, spec.index);
+        assert_eq!(&body[..4], &[0x89, b'P', b'N', b'G']);
+    }
+
+    #[test]
+    fn homepages_contain_event_attributes_and_forms() {
+        let html = generate_homepage(&site_by_index(8).unwrap());
+        assert!(html.contains("onsubmit="));
+        assert!(html.contains("onclick="));
+        assert!(html.contains("<form"));
+    }
+}

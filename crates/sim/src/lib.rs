@@ -1,0 +1,27 @@
+//! Discrete-event network simulator.
+//!
+//! The paper's network-bound metrics (M1–M4: document load, document
+//! synchronization, and supplementary-object download times) were measured
+//! in a 100 Mbps campus LAN and a 1.5 Mbps/384 Kbps home WAN (§5.1.2).
+//! This crate reproduces those environments as virtual-time links:
+//!
+//! * [`link`] — a [`link::Pipe`] models one bidirectional path with
+//!   per-direction bandwidth, one-way latency, and FIFO serialization
+//!   (`busy-until` bookkeeping), so concurrent transfers share bandwidth
+//!   the way a bottleneck link forces them to;
+//! * [`fetch`] — the HTTP cost model layered on a pipe: TCP handshake,
+//!   request upload, server think time, response download, plus the
+//!   parallel-connection object-fetch pattern browsers use;
+//! * [`profiles`] — the LAN/WAN environments of §5.1.2, a mobile profile
+//!   for the paper's Fennec/N810 future-work experiment, and loopback;
+//! * [`events`] — the ordered event queue that drives session simulations.
+
+pub mod events;
+pub mod fetch;
+pub mod link;
+pub mod profiles;
+
+pub use events::EventQueue;
+pub use fetch::{fetch_many, request_response, FetchCost};
+pub use link::{LinkSpec, Pipe};
+pub use profiles::NetProfile;

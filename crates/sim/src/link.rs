@@ -1,0 +1,180 @@
+//! Bandwidth/latency links with FIFO serialization.
+
+use rcb_util::{SimDuration, SimTime};
+
+/// Static description of one bidirectional network path.
+///
+/// Directions are named from the *client's* perspective: `up` carries
+/// client→server traffic, `down` carries server→client traffic. Latency is
+/// one-way propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Client→server bandwidth in bits per second.
+    pub up_bps: u64,
+    /// Server→client bandwidth in bits per second.
+    pub down_bps: u64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// A symmetric link.
+    pub fn symmetric(bps: u64, latency: SimDuration) -> LinkSpec {
+        LinkSpec {
+            up_bps: bps,
+            down_bps: bps,
+            latency,
+        }
+    }
+
+    /// Round-trip time.
+    pub fn rtt(&self) -> SimDuration {
+        self.latency + self.latency
+    }
+
+    /// Pure serialization time for `bytes` at `bps`.
+    pub fn serialization(bytes: usize, bps: u64) -> SimDuration {
+        assert!(bps > 0, "bandwidth must be positive");
+        SimDuration::from_micros((bytes as u128 * 8 * 1_000_000 / bps as u128) as u64)
+    }
+}
+
+/// Direction of a transfer over a [`Pipe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    Up,
+    /// Server → client.
+    Down,
+}
+
+/// Dynamic state of one path: FIFO `busy-until` per direction.
+///
+/// A transfer occupies its direction exclusively for its serialization
+/// time; concurrent transfers queue behind it. Propagation latency overlaps
+/// freely (it is added after serialization completes). This is the standard
+/// store-and-forward bottleneck-link approximation.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    /// The static link description.
+    pub spec: LinkSpec,
+    busy_up_until: SimTime,
+    busy_down_until: SimTime,
+}
+
+impl Pipe {
+    /// Creates an idle pipe.
+    pub fn new(spec: LinkSpec) -> Pipe {
+        Pipe {
+            spec,
+            busy_up_until: SimTime::ZERO,
+            busy_down_until: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules a transfer of `bytes` starting no earlier than `start`;
+    /// returns the arrival time at the far end.
+    pub fn transfer(&mut self, start: SimTime, bytes: usize, dir: Direction) -> SimTime {
+        let (bps, busy) = match dir {
+            Direction::Up => (self.spec.up_bps, &mut self.busy_up_until),
+            Direction::Down => (self.spec.down_bps, &mut self.busy_down_until),
+        };
+        let begin = start.max(*busy);
+        let done_serializing = begin + LinkSpec::serialization(bytes, bps);
+        *busy = done_serializing;
+        done_serializing + self.spec.latency
+    }
+
+    /// TCP connection establishment: client sends SYN at `start`, may send
+    /// data after receiving SYN-ACK — one RTT later. (Handshake segments
+    /// are negligibly small; only latency is charged.)
+    pub fn connect(&self, start: SimTime) -> SimTime {
+        start + self.spec.rtt()
+    }
+
+    /// Resets FIFO state (used between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.busy_up_until = SimTime::ZERO;
+        self.busy_down_until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn serialization_arithmetic() {
+        // 1 MB over 8 Mbps = 1 second.
+        let d = LinkSpec::serialization(1_000_000, 8_000_000);
+        assert_eq!(d.as_millis(), 1000);
+        // Zero bytes take zero time.
+        assert_eq!(LinkSpec::serialization(0, 1000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_transfer_includes_latency() {
+        let mut p = Pipe::new(LinkSpec::symmetric(8_000_000, ms(10)));
+        let arrival = p.transfer(SimTime::ZERO, 1_000_000, Direction::Down);
+        assert_eq!(arrival.as_millis(), 1000 + 10);
+    }
+
+    #[test]
+    fn concurrent_transfers_serialize_per_direction() {
+        let mut p = Pipe::new(LinkSpec::symmetric(8_000_000, ms(0)));
+        let a = p.transfer(SimTime::ZERO, 1_000_000, Direction::Down);
+        let b = p.transfer(SimTime::ZERO, 1_000_000, Direction::Down);
+        assert_eq!(a.as_millis(), 1000);
+        assert_eq!(b.as_millis(), 2000); // queued behind a
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut p = Pipe::new(LinkSpec::symmetric(8_000_000, ms(0)));
+        let down = p.transfer(SimTime::ZERO, 1_000_000, Direction::Down);
+        let up = p.transfer(SimTime::ZERO, 1_000_000, Direction::Up);
+        assert_eq!(down.as_millis(), 1000);
+        assert_eq!(up.as_millis(), 1000); // no queuing across directions
+    }
+
+    #[test]
+    fn asymmetric_link_charges_each_direction() {
+        // The paper's WAN: 1.5 Mbps down, 384 Kbps up.
+        let spec = LinkSpec {
+            up_bps: 384_000,
+            down_bps: 1_500_000,
+            latency: ms(0),
+        };
+        let mut p = Pipe::new(spec);
+        let up = p.transfer(SimTime::ZERO, 48_000, Direction::Up);
+        let down = p.transfer(SimTime::ZERO, 48_000, Direction::Down);
+        assert_eq!(up.as_millis(), 1000); // 384 kbit / 384 kbps
+        assert_eq!(down.as_millis(), 256); // 384 kbit / 1.5 Mbps
+    }
+
+    #[test]
+    fn connect_costs_one_rtt() {
+        let p = Pipe::new(LinkSpec::symmetric(1_000_000, ms(25)));
+        assert_eq!(p.connect(SimTime::ZERO).as_millis(), 50);
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut p = Pipe::new(LinkSpec::symmetric(8_000, ms(0)));
+        p.transfer(SimTime::ZERO, 1_000_000, Direction::Down);
+        p.reset();
+        let a = p.transfer(SimTime::ZERO, 1_000, Direction::Down);
+        assert_eq!(a.as_millis(), 1000); // 8 kbit / 8 kbps
+    }
+
+    #[test]
+    fn transfer_starts_no_earlier_than_start() {
+        let mut p = Pipe::new(LinkSpec::symmetric(8_000_000, ms(5)));
+        let arrival = p.transfer(SimTime::from_millis(100), 1_000, Direction::Up);
+        assert_eq!(arrival.as_millis(), 100 + 1 + 5);
+    }
+}

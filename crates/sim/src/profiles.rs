@@ -1,0 +1,248 @@
+//! Network environment profiles.
+//!
+//! §5.1.2 of the paper describes two testbeds:
+//!
+//! * **LAN** — host and participant PCs "resided in the same campus
+//!   network" on 100 Mbps Ethernet, each "directly connected to the
+//!   Internet";
+//! * **WAN** — host and participant in "two geographically separated
+//!   homes", both on "slow speed Internet access services with 1.5 Mbps
+//!   download speed and 384 Kbps upload speed".
+//!
+//! A profile carries the three paths a co-browsing session exercises —
+//! host↔origin (M1), participant↔host (M2/M4), participant↔origin (M3) —
+//! plus the origin-side cost model. The cost model matters for shape
+//! fidelity: a 2009 portal homepage was dynamically generated
+//! (time-to-first-byte grows with page complexity), reached through DNS +
+//! redirect chains, and usually delivered gzip-compressed, while RCB's
+//! newContent XML travels uncompressed and JS-escaped. Those asymmetries
+//! are exactly what makes M2 < M1 for most sites yet lets the largest WAN
+//! pages cross over (Figure 7's "17 out of 20").
+
+use rcb_util::SimDuration;
+
+use crate::link::LinkSpec;
+
+/// A complete network environment for one experiment.
+#[derive(Debug, Clone)]
+pub struct NetProfile {
+    /// Human-readable name used in reports ("LAN", "WAN", ...).
+    pub name: &'static str,
+    /// Host browser ↔ origin web server.
+    pub host_origin: LinkSpec,
+    /// Participant browser ↔ origin web server.
+    pub participant_origin: LinkSpec,
+    /// Participant browser ↔ host browser (the RCB path).
+    pub host_participant: LinkSpec,
+    /// Origin think time for an HTML document: fixed part (backend
+    /// generation, redirects).
+    pub origin_think_base: SimDuration,
+    /// Origin think time for an HTML document: per-KB part (generation
+    /// scales with page complexity).
+    pub origin_think_per_kb: SimDuration,
+    /// Origin think time for a supplementary object (static/CDN-served).
+    pub object_think: SimDuration,
+    /// One-time navigation overhead: DNS resolution + redirect hop.
+    pub first_request_overhead: SimDuration,
+    /// Fraction of HTML body bytes actually on the wire (gzip).
+    pub html_wire_ratio: f64,
+    /// Fraction of CSS/JS body bytes on the wire (gzip).
+    pub text_asset_wire_ratio: f64,
+    /// Number of parallel connections a browser opens per server.
+    pub browser_connections: usize,
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+impl NetProfile {
+    /// The campus-LAN environment of Figures 6/8.
+    ///
+    /// Host↔participant: 100 Mbps Ethernet, sub-millisecond latency.
+    /// Campus↔Internet: a good 2009 university uplink (~20 Mbps effective
+    /// per flow) with wide-area latency to the Alexa sites.
+    pub fn lan() -> NetProfile {
+        NetProfile {
+            name: "LAN",
+            host_origin: LinkSpec::symmetric(20_000_000, ms(40)),
+            participant_origin: LinkSpec::symmetric(20_000_000, ms(40)),
+            host_participant: LinkSpec::symmetric(100_000_000, SimDuration::from_micros(150)),
+            origin_think_base: ms(1000),
+            origin_think_per_kb: ms(12),
+            object_think: ms(30),
+            first_request_overhead: ms(250),
+            html_wire_ratio: 0.6,
+            text_asset_wire_ratio: 0.35,
+            browser_connections: 6,
+        }
+    }
+
+    /// The home-WAN environment of Figure 7.
+    ///
+    /// Each home: 1.5 Mbps down / 384 Kbps up. Home↔home traffic is
+    /// bottlenecked by the sender's 384 Kbps uplink in both directions —
+    /// exactly why the paper sees larger M2 in the WAN ("the upload link
+    /// speed at the host PC side was slow").
+    pub fn wan() -> NetProfile {
+        NetProfile {
+            name: "WAN",
+            host_origin: LinkSpec {
+                up_bps: 384_000,
+                down_bps: 1_500_000,
+                latency: ms(50),
+            },
+            participant_origin: LinkSpec {
+                up_bps: 384_000,
+                down_bps: 1_500_000,
+                latency: ms(50),
+            },
+            host_participant: LinkSpec {
+                // min(sender up 384k, receiver down 1.5M) in each direction.
+                up_bps: 384_000,
+                down_bps: 384_000,
+                latency: ms(40),
+            },
+            origin_think_base: ms(1000),
+            origin_think_per_kb: ms(12),
+            object_think: ms(30),
+            first_request_overhead: ms(500),
+            html_wire_ratio: 0.6,
+            text_asset_wire_ratio: 0.35,
+            browser_connections: 6,
+        }
+    }
+
+    /// The paper's future-work mobile experiment (§6): RCB-Agent on a Nokia
+    /// N810 running Fennec, participants joining over Wi-Fi.
+    pub fn mobile() -> NetProfile {
+        NetProfile {
+            name: "MOBILE",
+            host_origin: LinkSpec {
+                up_bps: 384_000,
+                down_bps: 2_000_000,
+                latency: ms(80),
+            },
+            participant_origin: LinkSpec::symmetric(10_000_000, ms(50)),
+            host_participant: LinkSpec::symmetric(6_000_000, ms(2)),
+            origin_think_base: ms(1000),
+            origin_think_per_kb: ms(12),
+            object_think: ms(30),
+            first_request_overhead: ms(600),
+            html_wire_ratio: 0.6,
+            text_asset_wire_ratio: 0.35,
+            browser_connections: 4,
+        }
+    }
+
+    /// Near-zero-cost loopback for tests that only exercise protocol logic.
+    pub fn loopback() -> NetProfile {
+        NetProfile {
+            name: "LOOPBACK",
+            host_origin: LinkSpec::symmetric(10_000_000_000, SimDuration::from_micros(10)),
+            participant_origin: LinkSpec::symmetric(10_000_000_000, SimDuration::from_micros(10)),
+            host_participant: LinkSpec::symmetric(10_000_000_000, SimDuration::from_micros(10)),
+            origin_think_base: SimDuration::ZERO,
+            origin_think_per_kb: SimDuration::ZERO,
+            object_think: SimDuration::ZERO,
+            first_request_overhead: SimDuration::ZERO,
+            html_wire_ratio: 1.0,
+            text_asset_wire_ratio: 1.0,
+            browser_connections: 6,
+        }
+    }
+
+    /// Think time for serving an HTML document of `body_len` bytes.
+    pub fn html_think(&self, body_len: usize) -> SimDuration {
+        self.origin_think_base
+            + SimDuration::from_micros(
+                self.origin_think_per_kb.as_micros() * (body_len as u64 / 1024),
+            )
+    }
+
+    /// Bytes charged on the wire for a response body of `body_len` with
+    /// the given content type (compression model).
+    pub fn wire_bytes(&self, content_type: &str, body_len: usize) -> usize {
+        let ratio = if content_type.starts_with("text/html") {
+            self.html_wire_ratio
+        } else if content_type.starts_with("text/css")
+            || content_type.contains("javascript")
+        {
+            self.text_asset_wire_ratio
+        } else {
+            1.0 // images and XML travel as-is
+        };
+        ((body_len as f64) * ratio).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::request_response;
+    use crate::link::Pipe;
+    use rcb_util::SimTime;
+
+    #[test]
+    fn lan_sync_is_much_faster_than_origin_load() {
+        // The structural claim behind Figure 6: pushing a document over the
+        // LAN beats fetching it from the Internet.
+        let p = NetProfile::lan();
+        let doc = 100 * 1024; // 100 KB document
+        let mut origin = Pipe::new(p.host_origin);
+        let m1 = request_response(
+            &mut origin,
+            SimTime::ZERO,
+            500,
+            p.wire_bytes("text/html", doc),
+            p.html_think(doc),
+        )
+        .completed_at;
+        let mut rcb = Pipe::new(p.host_participant);
+        let m2 = request_response(&mut rcb, SimTime::ZERO, 500, doc, SimDuration::ZERO)
+            .completed_at;
+        assert!(m2.as_millis() * 5 < m1.as_millis(), "m2={m2} m1={m1}");
+    }
+
+    #[test]
+    fn wan_host_uplink_is_the_bottleneck() {
+        let p = NetProfile::wan();
+        assert_eq!(p.host_participant.down_bps, 384_000);
+        assert_eq!(p.host_origin.up_bps, 384_000);
+        assert!(p.host_origin.down_bps > p.host_participant.down_bps);
+    }
+
+    #[test]
+    fn think_scales_with_document_size() {
+        let p = NetProfile::lan();
+        assert!(p.html_think(228 * 1024) > p.html_think(7 * 1024));
+        assert_eq!(
+            p.html_think(0),
+            p.origin_think_base,
+            "zero-size pages pay only the base"
+        );
+    }
+
+    #[test]
+    fn wire_bytes_models_compression() {
+        let p = NetProfile::lan();
+        assert!(p.wire_bytes("text/html", 1000) < 1000);
+        assert!(p.wire_bytes("text/css", 1000) < p.wire_bytes("text/html", 1000));
+        assert_eq!(p.wire_bytes("image/png", 1000), 1000);
+        assert_eq!(p.wire_bytes("application/xml", 1000), 1000);
+        let lb = NetProfile::loopback();
+        assert_eq!(lb.wire_bytes("text/html", 1000), 1000);
+    }
+
+    #[test]
+    fn profiles_have_distinct_names() {
+        let names = [
+            NetProfile::lan().name,
+            NetProfile::wan().name,
+            NetProfile::mobile().name,
+            NetProfile::loopback().name,
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,142 @@
+//! The JavaScript `escape`/`unescape` pair.
+//!
+//! The paper's XML response format (§4.1.2, Fig. 4) encodes every innerHTML
+//! value and attribute list "using the JavaScript escape function" before
+//! wrapping it in a CDATA section, and Ajax-Snippet reverses it with
+//! `unescape`. The functions here replicate the exact legacy semantics:
+//!
+//! * ASCII letters, digits and `@ * _ + - . /` pass through;
+//! * other code units below 0x100 become `%XX`;
+//! * code units at or above 0x100 become `%uXXXX` (UTF-16 code units, so
+//!   supplementary-plane characters produce surrogate pairs, exactly as
+//!   browsers do).
+
+/// Characters the legacy `escape` passes through unchanged.
+fn is_passthrough(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '@' | '*' | '_' | '+' | '-' | '.' | '/')
+}
+
+/// JavaScript's legacy `escape` function.
+pub fn escape(input: &str) -> String {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
+    let mut out = String::with_capacity(input.len() + input.len() / 4);
+    for c in input.chars() {
+        if is_passthrough(c) {
+            out.push(c);
+        } else {
+            let mut units = [0u16; 2];
+            for unit in c.encode_utf16(&mut units) {
+                let u = *unit;
+                if u < 0x100 {
+                    out.push('%');
+                    out.push(HEX[(u >> 4) as usize] as char);
+                    out.push(HEX[(u & 0xF) as usize] as char);
+                } else {
+                    out.push_str("%u");
+                    out.push(HEX[(u >> 12) as usize] as char);
+                    out.push(HEX[((u >> 8) & 0xF) as usize] as char);
+                    out.push(HEX[((u >> 4) & 0xF) as usize] as char);
+                    out.push(HEX[(u & 0xF) as usize] as char);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// JavaScript's legacy `unescape` function.
+///
+/// Malformed escapes pass through verbatim, matching browser behaviour.
+/// Surrogate pairs produced by [`escape`] are re-combined; unpaired
+/// surrogates become U+FFFD.
+pub fn unescape(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut units: Vec<u16> = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            // %uXXXX form.
+            if bytes.get(i + 1) == Some(&b'u') && i + 5 < bytes.len() {
+                if let Ok(v) =
+                    u16::from_str_radix(std::str::from_utf8(&bytes[i + 2..i + 6]).unwrap_or(""), 16)
+                {
+                    units.push(v);
+                    i += 6;
+                    continue;
+                }
+            }
+            // %XX form.
+            if i + 2 < bytes.len() + 1 {
+                if let (Some(h), Some(l)) = (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    units.push((h * 16 + l) as u16);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // Pass-through: push the char's UTF-16 units. `i` always sits on
+        // a char boundary (we only ever step past complete chars or ASCII
+        // escape sequences), so the O(1) str slice is safe to take — no
+        // per-character UTF-8 revalidation.
+        if let Some(c) = input.get(i..).and_then(|s| s.chars().next()) {
+            let mut buf = [0u16; 2];
+            units.extend_from_slice(c.encode_utf16(&mut buf));
+            i += c.len_utf8();
+        } else {
+            // Defensive: off-boundary index (cannot happen); stop cleanly.
+            units.push(0xFFFD);
+            break;
+        }
+    }
+    String::from_utf16_lossy(&units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_passthrough() {
+        assert_eq!(escape("Az09@*_+-./"), "Az09@*_+-./");
+    }
+
+    #[test]
+    fn latin1_uses_two_digit_form() {
+        assert_eq!(escape(" "), "%20");
+        assert_eq!(escape("<div>"), "%3Cdiv%3E");
+        assert_eq!(escape("é"), "%E9");
+    }
+
+    #[test]
+    fn bmp_uses_u_form() {
+        assert_eq!(escape("中"), "%u4E2D");
+    }
+
+    #[test]
+    fn supplementary_plane_is_surrogate_pair() {
+        // U+1F600 GRINNING FACE → D83D DE00 surrogates.
+        assert_eq!(escape("😀"), "%uD83D%uDE00");
+        assert_eq!(unescape("%uD83D%uDE00"), "😀");
+    }
+
+    #[test]
+    fn roundtrip_html_fragment() {
+        let html = r#"<a href="http://example.com/?q=1&r=2" onclick="go('x')">café 地图</a>"#;
+        assert_eq!(unescape(&escape(html)), html);
+    }
+
+    #[test]
+    fn unescape_tolerates_malformed() {
+        assert_eq!(unescape("100%"), "100%");
+        assert_eq!(unescape("%zz"), "%zz");
+        assert_eq!(unescape("%u12"), "%u12");
+    }
+
+    #[test]
+    fn unescape_plain_text() {
+        assert_eq!(unescape("hello world"), "hello world");
+    }
+}

@@ -1,0 +1,21 @@
+//! URL substrate for the RCB reproduction.
+//!
+//! RCB-Agent's response-content generation (paper §4.1.2, Fig. 3) depends on
+//! two URL transformations over the cloned document:
+//!
+//! 1. relative → absolute URL conversion so the *non-cache mode* lets a
+//!    participant browser fetch supplementary objects from origin servers;
+//! 2. absolute → agent-URL conversion in *cache mode* so objects are fetched
+//!    from the host browser's cache instead.
+//!
+//! Both need a real resolver, which this crate provides: an RFC-3986-subset
+//! parser ([`Url`]), reference resolution ([`Url::join`]), percent-encoding
+//! ([`percent`]), and the JavaScript `escape`/`unescape` pair ([`jsescape`])
+//! that the paper uses to armor innerHTML payloads inside XML CDATA
+//! sections (§4.1.2, Fig. 4).
+
+pub mod jsescape;
+pub mod percent;
+pub mod url;
+
+pub use url::Url;

@@ -1,0 +1,320 @@
+//! URL parsing and reference resolution (RFC 3986 subset).
+//!
+//! Supports the `http`/`https` scheme family the paper targets ("Web
+//! contents hosted on HTTP or HTTPS Web servers can all be synchronized",
+//! §1), plus everything reference resolution requires: absolute URLs,
+//! scheme-relative (`//host/x`), absolute-path, relative-path, query-only
+//! and fragment-only references, and `.`/`..` segment normalization.
+
+use std::fmt;
+
+use rcb_util::{RcbError, Result};
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// Lower-cased scheme (`http` or `https`).
+    pub scheme: String,
+    /// Lower-cased host (name or IP literal).
+    pub host: String,
+    /// Explicit port if present.
+    pub port: Option<u16>,
+    /// Absolute path, always beginning with `/`.
+    pub path: String,
+    /// Query string without the leading `?`, if present.
+    pub query: Option<String>,
+    /// Fragment without the leading `#`, if present.
+    pub fragment: Option<String>,
+}
+
+impl Url {
+    /// Parses an absolute `http`/`https` URL.
+    pub fn parse(input: &str) -> Result<Url> {
+        let input = input.trim();
+        let (scheme, rest) = input
+            .split_once("://")
+            .ok_or_else(|| RcbError::parse("url", format!("missing scheme: {input:?}")))?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(RcbError::parse("url", format!("unsupported scheme {scheme:?}")));
+        }
+        // Split off fragment, then query, then path.
+        let (rest, fragment) = match rest.split_once('#') {
+            Some((r, f)) => (r, Some(f.to_string())),
+            None => (rest, None),
+        };
+        let (rest, query) = match rest.split_once('?') {
+            Some((r, q)) => (r, Some(q.to_string())),
+            None => (rest, None),
+        };
+        let (authority, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], rest[idx..].to_string()),
+            None => (rest, "/".to_string()),
+        };
+        if authority.is_empty() {
+            return Err(RcbError::parse("url", "empty authority"));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| RcbError::parse("url", format!("bad port {p:?}")))?;
+                (h, Some(port))
+            }
+            _ => (authority, None),
+        };
+        if host.is_empty() {
+            return Err(RcbError::parse("url", "empty host"));
+        }
+        Ok(Url {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+            path: normalize_path(&path),
+            query,
+            fragment,
+        })
+    }
+
+    /// Returns true if `input` looks like an absolute URL (has a scheme).
+    pub fn is_absolute(input: &str) -> bool {
+        input.contains("://")
+    }
+
+    /// The effective port (explicit, or the scheme default).
+    pub fn effective_port(&self) -> u16 {
+        self.port.unwrap_or(match self.scheme.as_str() {
+            "https" => 443,
+            _ => 80,
+        })
+    }
+
+    /// `scheme://host[:port]` — the origin, used as the key for simulated
+    /// origin servers and for cache partitioning.
+    pub fn origin(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}://{}:{}", self.scheme, self.host, p),
+            None => format!("{}://{}", self.scheme, self.host),
+        }
+    }
+
+    /// Path plus query — the HTTP request-target for this URL.
+    pub fn request_target(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// Resolves a reference against `self` per RFC 3986 §5 (subset).
+    ///
+    /// This is the primitive behind the agent's relative→absolute rewriting
+    /// step (Fig. 3, step 2).
+    pub fn join(&self, reference: &str) -> Result<Url> {
+        let reference = reference.trim();
+        if reference.is_empty() {
+            return Ok(self.clone());
+        }
+        if Url::is_absolute(reference) {
+            return Url::parse(reference);
+        }
+        // Scheme-relative: //host/path
+        if let Some(rest) = reference.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        let mut out = self.clone();
+        out.fragment = None;
+        // Fragment-only.
+        if let Some(frag) = reference.strip_prefix('#') {
+            out.query = self.query.clone();
+            out.fragment = Some(frag.to_string());
+            return Ok(out);
+        }
+        // Query-only.
+        if let Some(q) = reference.strip_prefix('?') {
+            let (q, frag) = split_fragment(q);
+            out.query = Some(q.to_string());
+            out.fragment = frag;
+            return Ok(out);
+        }
+        let (refpath, query, fragment) = split_path_query_fragment(reference);
+        out.query = query;
+        out.fragment = fragment;
+        if refpath.starts_with('/') {
+            out.path = normalize_path(refpath);
+        } else {
+            // Merge with the base path's directory.
+            let base_dir = match self.path.rfind('/') {
+                Some(idx) => &self.path[..=idx],
+                None => "/",
+            };
+            out.path = normalize_path(&format!("{base_dir}{refpath}"));
+        }
+        Ok(out)
+    }
+}
+
+fn split_fragment(s: &str) -> (&str, Option<String>) {
+    match s.split_once('#') {
+        Some((a, f)) => (a, Some(f.to_string())),
+        None => (s, None),
+    }
+}
+
+fn split_path_query_fragment(s: &str) -> (&str, Option<String>, Option<String>) {
+    let (rest, fragment) = split_fragment(s);
+    match rest.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string()), fragment),
+        None => (rest, None, fragment),
+    }
+}
+
+/// Removes `.` and `..` segments (RFC 3986 §5.2.4) and guarantees a leading
+/// slash.
+fn normalize_path(path: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    let trailing_slash = path.ends_with('/') || path.ends_with("/.") || path.ends_with("/..");
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    let mut norm = String::from("/");
+    norm.push_str(&out.join("/"));
+    if trailing_slash && norm.len() > 1 {
+        norm.push('/');
+    }
+    norm
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.origin(), self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        if let Some(frag) = &self.fragment {
+            write!(f, "#{frag}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let u = Url::parse("http://www.example.com/a/b?x=1#top").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "www.example.com");
+        assert_eq!(u.port, None);
+        assert_eq!(u.path, "/a/b");
+        assert_eq!(u.query.as_deref(), Some("x=1"));
+        assert_eq!(u.fragment.as_deref(), Some("top"));
+        assert_eq!(u.effective_port(), 80);
+    }
+
+    #[test]
+    fn parse_with_port_and_https() {
+        let u = Url::parse("https://host:3000").unwrap();
+        assert_eq!(u.port, Some(3000));
+        assert_eq!(u.path, "/");
+        assert_eq!(u.origin(), "https://host:3000");
+        assert_eq!(Url::parse("https://host/").unwrap().effective_port(), 443);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Url::parse("not a url").is_err());
+        assert!(Url::parse("ftp://host/x").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://:80/").is_err());
+    }
+
+    #[test]
+    fn host_and_scheme_lowercased() {
+        let u = Url::parse("HTTP://WWW.Example.COM/Path").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "www.example.com");
+        assert_eq!(u.path, "/Path");
+    }
+
+    #[test]
+    fn join_relative_path() {
+        let base = Url::parse("http://h/a/b/c.html").unwrap();
+        assert_eq!(base.join("d.png").unwrap().path, "/a/b/d.png");
+        assert_eq!(base.join("./d.png").unwrap().path, "/a/b/d.png");
+        assert_eq!(base.join("../img/d.png").unwrap().path, "/a/img/d.png");
+        assert_eq!(base.join("../../../x").unwrap().path, "/x");
+    }
+
+    #[test]
+    fn join_absolute_forms() {
+        let base = Url::parse("http://h/a/b/c.html").unwrap();
+        assert_eq!(base.join("/root.css").unwrap().path, "/root.css");
+        assert_eq!(
+            base.join("http://other/q.js").unwrap().to_string(),
+            "http://other/q.js"
+        );
+        let sr = base.join("//cdn.example.com/lib.js").unwrap();
+        assert_eq!(sr.scheme, "http");
+        assert_eq!(sr.host, "cdn.example.com");
+    }
+
+    #[test]
+    fn join_query_and_fragment_only() {
+        let base = Url::parse("http://h/a?old=1#frag").unwrap();
+        let q = base.join("?new=2").unwrap();
+        assert_eq!(q.path, "/a");
+        assert_eq!(q.query.as_deref(), Some("new=2"));
+        assert_eq!(q.fragment, None);
+        let f = base.join("#sec").unwrap();
+        assert_eq!(f.query.as_deref(), Some("old=1"));
+        assert_eq!(f.fragment.as_deref(), Some("sec"));
+    }
+
+    #[test]
+    fn join_empty_reference_returns_base() {
+        let base = Url::parse("http://h/a/b").unwrap();
+        assert_eq!(base.join("").unwrap(), base);
+    }
+
+    #[test]
+    fn request_target_includes_query() {
+        let u = Url::parse("http://h/p?a=1").unwrap();
+        assert_eq!(u.request_target(), "/p?a=1");
+        let u2 = Url::parse("http://h/p").unwrap();
+        assert_eq!(u2.request_target(), "/p");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "http://www.example.com/a/b?x=1#top",
+            "https://host:3000/",
+            "http://h/p?a=1",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_trailing_slash() {
+        let base = Url::parse("http://h/dir/sub/").unwrap();
+        assert_eq!(base.path, "/dir/sub/");
+        assert_eq!(base.join("x.png").unwrap().path, "/dir/sub/x.png");
+    }
+
+    #[test]
+    fn dotdot_does_not_escape_root() {
+        let base = Url::parse("http://h/").unwrap();
+        assert_eq!(base.join("../../x").unwrap().path, "/x");
+    }
+}

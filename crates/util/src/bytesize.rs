@@ -1,0 +1,111 @@
+//! Byte-size arithmetic and formatting.
+//!
+//! Table 1 of the paper reports page sizes in kilobytes (e.g. yahoo.com at
+//! 130.3 KB); the synthetic site generator and the experiment reports need
+//! to move between that human representation and raw byte counts without
+//! accumulating rounding surprises.
+
+use std::fmt;
+
+/// A byte count with KB-oriented helpers (1 KB = 1024 bytes, as browsers
+/// and the paper's tooling of the era reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// From raw bytes.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// From binary kilobytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// From fractional kilobytes, rounding to the nearest byte — the paper's
+    /// "130.3 KB" style figures.
+    pub fn kib_f64(kb: f64) -> Self {
+        assert!(kb.is_finite() && kb >= 0.0, "size must be non-negative");
+        ByteSize((kb * 1024.0).round() as u64)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in fractional kilobytes.
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl std::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> Self {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1} MB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.1} KB", self.as_kib_f64())
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_roundtrip_matches_table1_style() {
+        let yahoo = ByteSize::kib_f64(130.3);
+        assert!((yahoo.as_kib_f64() - 130.3).abs() < 0.001);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::bytes(512).to_string(), "512 B");
+        assert_eq!(ByteSize::kib(64).to_string(), "64.0 KB");
+        assert_eq!(ByteSize::kib(2048).to_string(), "2.0 MB");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::kib(1) + ByteSize::bytes(24);
+        assert_eq!(a.as_bytes(), 1048);
+        assert_eq!(
+            ByteSize::bytes(10).saturating_sub(ByteSize::bytes(20)),
+            ByteSize::ZERO
+        );
+        let total: ByteSize = vec![ByteSize::bytes(1), ByteSize::bytes(2)].into_iter().sum();
+        assert_eq!(total.as_bytes(), 3);
+    }
+}

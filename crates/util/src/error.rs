@@ -1,0 +1,112 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the workspace returns [`Result<T>`]. The
+//! variants map onto the failure domains of the RCB system: wire-format
+//! parsing, protocol violations, authentication, cache lookups, and I/O.
+
+use std::fmt;
+
+/// The error type shared by all RCB crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcbError {
+    /// A parser rejected its input (HTTP, HTML, XML, or URL).
+    Parse {
+        /// Which grammar rejected the input (e.g. `"http"`, `"url"`).
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The peer violated the co-browsing protocol.
+    Protocol(String),
+    /// Request authentication failed (bad or missing HMAC, replay, etc.).
+    Auth(String),
+    /// A cache lookup missed or the entry was unusable.
+    CacheMiss(String),
+    /// A referenced entity (page, object, session, node) does not exist.
+    NotFound(String),
+    /// The caller passed an argument outside the accepted domain.
+    InvalidInput(String),
+    /// An operating-system I/O error, stringified for `Clone`/`Eq`.
+    Io(String),
+}
+
+impl RcbError {
+    /// Convenience constructor for [`RcbError::Parse`].
+    pub fn parse(what: &'static str, detail: impl Into<String>) -> Self {
+        RcbError::Parse {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Returns a short machine-friendly category label.
+    pub fn category(&self) -> &'static str {
+        match self {
+            RcbError::Parse { .. } => "parse",
+            RcbError::Protocol(_) => "protocol",
+            RcbError::Auth(_) => "auth",
+            RcbError::CacheMiss(_) => "cache-miss",
+            RcbError::NotFound(_) => "not-found",
+            RcbError::InvalidInput(_) => "invalid-input",
+            RcbError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for RcbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcbError::Parse { what, detail } => write!(f, "{what} parse error: {detail}"),
+            RcbError::Protocol(d) => write!(f, "protocol error: {d}"),
+            RcbError::Auth(d) => write!(f, "authentication error: {d}"),
+            RcbError::CacheMiss(d) => write!(f, "cache miss: {d}"),
+            RcbError::NotFound(d) => write!(f, "not found: {d}"),
+            RcbError::InvalidInput(d) => write!(f, "invalid input: {d}"),
+            RcbError::Io(d) => write!(f, "i/o error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RcbError {}
+
+impl From<std::io::Error> for RcbError {
+    fn from(e: std::io::Error) -> Self {
+        RcbError::Io(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, RcbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = RcbError::parse("http", "truncated request line");
+        assert_eq!(e.to_string(), "http parse error: truncated request line");
+    }
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(RcbError::Auth("x".into()).category(), "auth");
+        assert_eq!(RcbError::CacheMiss("x".into()).category(), "cache-miss");
+        assert_eq!(RcbError::Protocol("x".into()).category(), "protocol");
+        assert_eq!(RcbError::NotFound("x".into()).category(), "not-found");
+        assert_eq!(RcbError::Io("x".into()).category(), "io");
+        assert_eq!(
+            RcbError::InvalidInput("x".into()).category(),
+            "invalid-input"
+        );
+        assert_eq!(RcbError::parse("url", "x").category(), "parse");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: RcbError = io.into();
+        assert_eq!(e.category(), "io");
+        assert!(e.to_string().contains("boom"));
+    }
+}

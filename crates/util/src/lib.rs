@@ -1,0 +1,21 @@
+//! Shared plumbing for the RCB reproduction.
+//!
+//! This crate hosts the pieces every other crate leans on: the error type,
+//! the simulated-time representation, a deterministic RNG (so every
+//! experiment is exactly reproducible), byte-size helpers, and lightweight
+//! metrics primitives (counters, histograms, stopwatches).
+//!
+//! Nothing in here is specific to co-browsing; it is the "standard library"
+//! of the workspace.
+
+pub mod bytesize;
+pub mod clock;
+pub mod error;
+pub mod metrics;
+pub mod rng;
+
+pub use bytesize::ByteSize;
+pub use clock::{SimDuration, SimTime};
+pub use error::{RcbError, Result};
+pub use metrics::{Counter, Histogram, Stopwatch};
+pub use rng::DetRng;

@@ -1,0 +1,212 @@
+//! Lightweight measurement primitives.
+//!
+//! The experiment harness needs three things: event counters, duration
+//! histograms with summary statistics (the paper reports per-site averages
+//! over five repetitions), and a wall-clock stopwatch for the CPU-bound
+//! metrics M5/M6.
+
+use std::time::Instant;
+
+use crate::clock::SimDuration;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A duration sample set with summary statistics.
+///
+/// Stores raw samples (experiments here record at most a few thousand) so
+/// exact percentiles can be computed; no bucketing error.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<SimDuration>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_micros() as u128).sum();
+        SimDuration::from_micros((total / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact percentile via nearest-rank (`p` in `[0, 100]`).
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let rank =
+            ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Sample standard deviation in microseconds (0 for <2 samples).
+    ///
+    /// The paper reports five-repetition averages; reports here add the
+    /// spread so a reader can judge simulator determinism vs CPU noise.
+    pub fn stddev_micros(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean().as_micros() as f64;
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|d| {
+                let x = d.as_micros() as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Maximum sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Borrow of the raw samples.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+}
+
+/// Wall-clock stopwatch for CPU-bound measurements (M5/M6).
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock time converted into a [`SimDuration`] so CPU and
+    /// network metrics share one report type.
+    pub fn elapsed(&self) -> SimDuration {
+        SimDuration::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean().as_millis(), 30);
+        assert_eq!(h.min().as_millis(), 10);
+        assert_eq!(h.max().as_millis(), 50);
+        assert_eq!(h.percentile(50.0).as_millis(), 30);
+        assert_eq!(h.percentile(100.0).as_millis(), 50);
+        assert_eq!(h.percentile(0.0).as_millis(), 10);
+    }
+
+    #[test]
+    fn stddev_measures_spread() {
+        let mut tight = Histogram::new();
+        let mut wide = Histogram::new();
+        for ms in [100u64, 100, 100] {
+            tight.record(SimDuration::from_millis(ms));
+        }
+        for ms in [50u64, 100, 150] {
+            wide.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(tight.stddev_micros(), 0.0);
+        assert!((wide.stddev_micros() - 50_000.0).abs() < 1.0);
+        assert_eq!(Histogram::new().stddev_micros(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let mut spin = 0u64;
+        for i in 0..10_000u64 {
+            spin = spin.wrapping_add(i);
+        }
+        assert!(spin > 0);
+        // Elapsed is non-decreasing; two reads should be ordered.
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

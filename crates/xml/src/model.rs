@@ -1,0 +1,154 @@
+//! Typed model of the newContent response.
+
+use rcb_util::{RcbError, Result};
+
+/// One transported element: its tag, attribute name-value list, and
+/// innerHTML — the unit Figure 4 carries per `hChildN`/`docBody`/... slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementPayload {
+    /// Element tag name (`title`, `style`, `body`, `frameset`, ...).
+    pub tag: String,
+    /// Attribute name-value pairs in document order.
+    pub attrs: Vec<(String, String)>,
+    /// The element's innerHTML serialization.
+    pub inner_html: String,
+}
+
+impl ElementPayload {
+    /// Builds a payload with no attributes.
+    pub fn new(tag: impl Into<String>, inner_html: impl Into<String>) -> Self {
+        ElementPayload {
+            tag: tag.into(),
+            attrs: Vec::new(),
+            inner_html: inner_html.into(),
+        }
+    }
+
+    /// Encodes the payload into the paper's "attribute name-value list and
+    /// innerHTML value" string form: `tag\u{1}name=value\u{2}...\u{1}inner`.
+    ///
+    /// The paper leaves the intra-CDATA framing unspecified (it is internal
+    /// to RCB); this encoding uses control separators that cannot appear in
+    /// HTML text, then the whole string is JS-escaped, so framing survives
+    /// transport unambiguously.
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(self.inner_html.len() + 64);
+        s.push_str(&self.tag);
+        s.push('\u{1}');
+        for (i, (name, value)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                s.push('\u{2}');
+            }
+            s.push_str(name);
+            s.push('=');
+            s.push_str(value);
+        }
+        s.push('\u{1}');
+        s.push_str(&self.inner_html);
+        s
+    }
+
+    /// Decodes the [`ElementPayload::encode`] form.
+    pub fn decode(s: &str) -> Result<ElementPayload> {
+        let mut parts = s.splitn(3, '\u{1}');
+        let tag = parts
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| RcbError::parse("newContent", "missing tag"))?;
+        let attrs_raw = parts
+            .next()
+            .ok_or_else(|| RcbError::parse("newContent", "missing attribute list"))?;
+        let inner_html = parts
+            .next()
+            .ok_or_else(|| RcbError::parse("newContent", "missing innerHTML"))?;
+        let attrs = if attrs_raw.is_empty() {
+            Vec::new()
+        } else {
+            attrs_raw
+                .split('\u{2}')
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                    None => Err(RcbError::parse(
+                        "newContent",
+                        format!("malformed attribute {kv:?}"),
+                    )),
+                })
+                .collect::<Result<Vec<_>>>()?
+        };
+        Ok(ElementPayload {
+            tag: tag.to_string(),
+            attrs,
+            inner_html: inner_html.to_string(),
+        })
+    }
+}
+
+/// The top-level (non-head) content of a page: either a body element, or a
+/// frameset with an optional noframes fallback (paper §4.1.2: "their
+/// top-level children may include a head element, a frameset element, and
+/// probably a noframes element").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopLevel {
+    /// Regular page: one `<body>`.
+    Body(ElementPayload),
+    /// Frame page: `<frameset>` plus optional `<noframes>`.
+    Frames {
+        /// The frameset element.
+        frameset: ElementPayload,
+        /// Optional noframes fallback.
+        noframes: Option<ElementPayload>,
+    },
+}
+
+/// A complete newContent response (Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewContent {
+    /// Document timestamp: milliseconds since the Unix epoch (§4.1.1).
+    pub doc_time: u64,
+    /// Children of the document head, in DOM order.
+    pub head_children: Vec<ElementPayload>,
+    /// The page's top-level content.
+    pub top: TopLevel,
+    /// Additional browsing-action data (mouse-pointer movement etc.),
+    /// already encoded by the action codec in `rcb-core`.
+    pub user_actions: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_encode_decode_roundtrip() {
+        let p = ElementPayload {
+            tag: "body".into(),
+            attrs: vec![
+                ("class".into(), "home page".into()),
+                ("onload".into(), "init()".into()),
+            ],
+            inner_html: "<div id=\"x\">hello &amp; bye</div>".into(),
+        };
+        assert_eq!(ElementPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_without_attrs() {
+        let p = ElementPayload::new("title", "Google");
+        let d = ElementPayload::decode(&p.encode()).unwrap();
+        assert_eq!(d, p);
+        assert!(d.attrs.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(ElementPayload::decode("").is_err());
+        assert!(ElementPayload::decode("tagonly").is_err());
+        assert!(ElementPayload::decode("t\u{1}badattr\u{1}x").is_err());
+    }
+
+    #[test]
+    fn inner_html_may_contain_separator_free_controls() {
+        let p = ElementPayload::new("style", "a>b { color: red; }\n/* ]]> inside */");
+        assert_eq!(ElementPayload::decode(&p.encode()).unwrap(), p);
+    }
+}

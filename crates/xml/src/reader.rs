@@ -1,0 +1,166 @@
+//! Parses a Figure-4 document back into a [`NewContent`].
+//!
+//! This is the participant-side half: Ajax-Snippet's response processing
+//! (paper Fig. 5) starts from the `responseXML` document, which this module
+//! reconstructs from raw bytes.
+
+use rcb_url::jsescape::unescape;
+use rcb_util::{RcbError, Result};
+
+use crate::model::{ElementPayload, NewContent, TopLevel};
+use crate::scanner::{parse_document, XmlElement};
+
+/// Parses the `application/xml` body of a polling response.
+///
+/// Returns `Ok(None)` for an empty body — the agent's "no new content"
+/// signal (§4.1.1) — and `Ok(Some(..))` for a full newContent document.
+pub fn parse_new_content(body: &str) -> Result<Option<NewContent>> {
+    if body.trim().is_empty() {
+        return Ok(None);
+    }
+    let root = parse_document(body)?;
+    if root.name != "newContent" {
+        return Err(RcbError::parse(
+            "newContent",
+            format!("unexpected root element {:?}", root.name),
+        ));
+    }
+    let doc_time: u64 = root
+        .child("docTime")
+        .ok_or_else(|| RcbError::parse("newContent", "missing docTime"))?
+        .text()
+        .trim()
+        .parse()
+        .map_err(|_| RcbError::parse("newContent", "docTime is not an integer"))?;
+    let content = root
+        .child("docContent")
+        .ok_or_else(|| RcbError::parse("newContent", "missing docContent"))?;
+    let head = content
+        .child("docHead")
+        .ok_or_else(|| RcbError::parse("newContent", "missing docHead"))?;
+    let mut head_children = Vec::new();
+    for (i, child) in head.child_elements().enumerate() {
+        let expected = format!("hChild{}", i + 1);
+        if child.name != expected {
+            return Err(RcbError::parse(
+                "newContent",
+                format!("expected {expected}, found {}", child.name),
+            ));
+        }
+        head_children.push(decode_payload(child)?);
+    }
+    let top = if let Some(body_el) = content.child("docBody") {
+        TopLevel::Body(decode_payload(body_el)?)
+    } else if let Some(fs) = content.child("docFrameSet") {
+        let noframes = content
+            .child("docNoFrames")
+            .map(decode_payload)
+            .transpose()?;
+        TopLevel::Frames {
+            frameset: decode_payload(fs)?,
+            noframes,
+        }
+    } else {
+        return Err(RcbError::parse(
+            "newContent",
+            "docContent carries neither docBody nor docFrameSet",
+        ));
+    };
+    let user_actions = root
+        .child("userActions")
+        .map(|e| e.text())
+        .unwrap_or_default();
+    Ok(Some(NewContent {
+        doc_time,
+        head_children,
+        top,
+        user_actions,
+    }))
+}
+
+fn decode_payload(el: &XmlElement) -> Result<ElementPayload> {
+    ElementPayload::decode(&unescape(&el.text()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_new_content;
+
+    fn sample(top: TopLevel) -> NewContent {
+        NewContent {
+            doc_time: 1_244_937_600_555,
+            head_children: vec![
+                ElementPayload::new("title", "cnn.com — breaking <news> & more"),
+                ElementPayload {
+                    tag: "script".into(),
+                    attrs: vec![("type".into(), "text/javascript".into())],
+                    inner_html: "function f(a,b){return a<b && b>0;}".into(),
+                },
+            ],
+            top,
+            user_actions: "mouse:10,20".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_body_page() {
+        let nc = sample(TopLevel::Body(ElementPayload {
+            tag: "body".into(),
+            attrs: vec![("onload".into(), "boot()".into())],
+            inner_html: "<p>café 地图 😀</p><!-- c --><form action=\"/s\"></form>".into(),
+        }));
+        let xml = write_new_content(&nc);
+        let parsed = parse_new_content(&xml).unwrap().unwrap();
+        assert_eq!(parsed, nc);
+    }
+
+    #[test]
+    fn roundtrip_frames_page() {
+        let nc = sample(TopLevel::Frames {
+            frameset: ElementPayload {
+                tag: "frameset".into(),
+                attrs: vec![("rows".into(), "20%,80%".into())],
+                inner_html: "<frame src=\"/top\"/><frame src=\"/main\"/>".into(),
+            },
+            noframes: None,
+        });
+        let parsed = parse_new_content(&write_new_content(&nc)).unwrap().unwrap();
+        assert_eq!(parsed, nc);
+    }
+
+    #[test]
+    fn empty_body_means_no_new_content() {
+        assert_eq!(parse_new_content("").unwrap(), None);
+        assert_eq!(parse_new_content("  \n ").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_wrong_root_or_missing_parts() {
+        assert!(parse_new_content("<other/>").is_err());
+        assert!(parse_new_content("<newContent></newContent>").is_err());
+        assert!(parse_new_content(
+            "<newContent><docTime>zz</docTime><docContent><docHead></docHead><docBody><![CDATA[b\u{1}\u{1}]]></docBody></docContent></newContent>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_head_children() {
+        let xml = "<newContent><docTime>1</docTime><docContent><docHead>\
+                   <hChild2><![CDATA[title%01%01x]]></hChild2></docHead>\
+                   <docBody><![CDATA[body%01%01y]]></docBody></docContent></newContent>";
+        assert!(parse_new_content(xml).is_err());
+    }
+
+    #[test]
+    fn cdata_hostile_inner_html_survives() {
+        // innerHTML containing a literal CDATA end marker and XML syntax.
+        let nc = sample(TopLevel::Body(ElementPayload::new(
+            "body",
+            "x ]]> y <![CDATA[ z & <tag attr=\"v\">",
+        )));
+        let parsed = parse_new_content(&write_new_content(&nc)).unwrap().unwrap();
+        assert_eq!(parsed, nc);
+    }
+}

@@ -1,0 +1,128 @@
+//! Serializes a [`NewContent`] into the exact Figure-4 document.
+
+use rcb_url::jsescape::escape;
+
+use crate::model::{NewContent, TopLevel};
+use crate::scanner::encode_text;
+
+/// Writes the newContent document, matching the paper's Figure 4 layout
+/// (XML declaration, `docTime`, `docContent` with per-head-child
+/// `hChildN` CDATA sections, `docBody` or `docFrameSet`/`docNoFrames`,
+/// and `userActions`).
+pub fn write_new_content(nc: &NewContent) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("<?xml version='1.0' encoding='utf-8'?>\n");
+    out.push_str("<newContent>\n");
+    out.push_str(&format!("<docTime>{}</docTime>\n", nc.doc_time));
+    out.push_str("<docContent>\n");
+    out.push_str("<docHead>\n");
+    for (i, child) in nc.head_children.iter().enumerate() {
+        out.push_str(&format!(
+            "<hChild{n}><![CDATA[{data}]]></hChild{n}>\n",
+            n = i + 1,
+            data = escape(&child.encode())
+        ));
+    }
+    out.push_str("</docHead>\n");
+    match &nc.top {
+        TopLevel::Body(body) => {
+            out.push_str("<!-- for a page using body element -->\n");
+            out.push_str(&format!(
+                "<docBody><![CDATA[{}]]></docBody>\n",
+                escape(&body.encode())
+            ));
+        }
+        TopLevel::Frames { frameset, noframes } => {
+            out.push_str("<!-- for a page using frames -->\n");
+            out.push_str(&format!(
+                "<docFrameSet><![CDATA[{}]]></docFrameSet>\n",
+                escape(&frameset.encode())
+            ));
+            if let Some(nf) = noframes {
+                out.push_str(&format!(
+                    "<docNoFrames><![CDATA[{}]]></docNoFrames>\n",
+                    escape(&nf.encode())
+                ));
+            }
+        }
+    }
+    out.push_str("</docContent>\n");
+    out.push_str(&format!(
+        "<userActions>{}</userActions>\n",
+        encode_text(&nc.user_actions)
+    ));
+    out.push_str("</newContent>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ElementPayload;
+
+    fn sample() -> NewContent {
+        NewContent {
+            doc_time: 1_244_937_600_123,
+            head_children: vec![
+                ElementPayload::new("title", "Example Home"),
+                ElementPayload {
+                    tag: "style".into(),
+                    attrs: vec![("type".into(), "text/css".into())],
+                    inner_html: "body { margin: 0; }".into(),
+                },
+            ],
+            top: TopLevel::Body(ElementPayload {
+                tag: "body".into(),
+                attrs: vec![("class".into(), "home".into())],
+                inner_html: "<div id=\"main\">hello</div>".into(),
+            }),
+            user_actions: String::new(),
+        }
+    }
+
+    #[test]
+    fn output_matches_figure4_shape() {
+        let xml = write_new_content(&sample());
+        assert!(xml.starts_with("<?xml version='1.0' encoding='utf-8'?>"));
+        assert!(xml.contains("<newContent>"));
+        assert!(xml.contains("<docTime>1244937600123</docTime>"));
+        assert!(xml.contains("<hChild1><![CDATA["));
+        assert!(xml.contains("<hChild2><![CDATA["));
+        assert!(xml.contains("<!-- for a page using body element -->"));
+        assert!(xml.contains("<docBody><![CDATA["));
+        assert!(xml.contains("<userActions></userActions>"));
+        assert!(xml.trim_end().ends_with("</newContent>"));
+    }
+
+    #[test]
+    fn frames_variant_uses_frameset_elements() {
+        let nc = NewContent {
+            doc_time: 1,
+            head_children: vec![],
+            top: TopLevel::Frames {
+                frameset: ElementPayload {
+                    tag: "frameset".into(),
+                    attrs: vec![("cols".into(), "50%,50%".into())],
+                    inner_html: "<frame src=\"a\"/><frame src=\"b\"/>".into(),
+                },
+                noframes: Some(ElementPayload::new("noframes", "frames required")),
+            },
+            user_actions: "none".into(),
+        };
+        let xml = write_new_content(&nc);
+        assert!(xml.contains("<docFrameSet><![CDATA["));
+        assert!(xml.contains("<docNoFrames><![CDATA["));
+        assert!(!xml.contains("<docBody>"));
+    }
+
+    #[test]
+    fn payloads_are_js_escaped_inside_cdata() {
+        let xml = write_new_content(&sample());
+        // "<div" must appear escaped (%3Cdiv), never raw inside the CDATA.
+        assert!(xml.contains("%3Cdiv"));
+        // The raw CDATA terminator cannot be produced by escaped payloads.
+        let inner = xml.split("<docBody><![CDATA[").nth(1).unwrap();
+        let payload = inner.split("]]>").next().unwrap();
+        assert!(!payload.contains('<'));
+    }
+}

@@ -1,0 +1,163 @@
+//! Experiments-as-tests: the headline shapes of every figure and table.
+//!
+//! These tests re-run (single-repetition versions of) the paper's
+//! evaluation and assert the *qualitative* results the paper reports —
+//! who wins, by roughly what factor, where the crossovers fall. The bench
+//! harness (`rcb-bench`) produces the full numeric series.
+
+use rcb::core::agent::CacheMode;
+use rcb::core::session::measure_site;
+use rcb::origin::sites::TABLE1_SIZES_KB;
+use rcb::sim::NetProfile;
+
+#[test]
+fn figure6_lan_m2_below_m1_for_all_20_sites() {
+    for (idx, site, _) in TABLE1_SIZES_KB {
+        let (load, sync) =
+            measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
+        assert!(
+            sync.m2 < load.html_time,
+            "{site}: M2 {} !< M1 {}",
+            sync.m2,
+            load.html_time
+        );
+        // Paper: "the values of M2 are less than 0.4 seconds" in the LAN.
+        assert!(
+            sync.m2.as_millis() < 400,
+            "{site}: LAN M2 {} exceeds 0.4 s",
+            sync.m2
+        );
+    }
+}
+
+#[test]
+fn figure7_wan_m2_below_m1_for_most_sites() {
+    // Paper: "most values of M2 (17 out of 20 sample sites) are still
+    // smaller than those of M1". Require the same shape: a clear
+    // majority below, at least one large page above.
+    let mut below = 0;
+    let mut above = Vec::new();
+    for (idx, site, kb) in TABLE1_SIZES_KB {
+        let (load, sync) =
+            measure_site(NetProfile::wan(), CacheMode::Cache, site, idx as u64).unwrap();
+        if sync.m2 < load.html_time {
+            below += 1;
+        } else {
+            above.push((site, kb));
+        }
+    }
+    assert!(below >= 14, "only {below}/20 sites had M2 < M1");
+    assert!(
+        !above.is_empty(),
+        "expected the largest pages to cross over in the WAN"
+    );
+    for (site, kb) in &above {
+        assert!(
+            *kb > 100.0,
+            "unexpected small-page crossover: {site} ({kb} KB)"
+        );
+    }
+}
+
+#[test]
+fn figure8_cache_mode_wins_for_objects_on_lan_all_sites() {
+    for (idx, site, _) in TABLE1_SIZES_KB {
+        let (_, cache) =
+            measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
+        let (_, noncache) =
+            measure_site(NetProfile::lan(), CacheMode::NonCache, site, idx as u64).unwrap();
+        assert!(
+            cache.object_time < noncache.object_time,
+            "{site}: M4 {} !< M3 {}",
+            cache.object_time,
+            noncache.object_time
+        );
+    }
+}
+
+#[test]
+fn table1_m5_tracks_page_size_and_mode() {
+    use rcb::browser::{Browser, BrowserKind};
+    use rcb::cache::MappingTable;
+    use rcb::core::content::generate_content;
+    use rcb::crypto::SessionKey;
+    use rcb::origin::OriginRegistry;
+    use rcb::sim::link::Pipe;
+    use rcb::util::{DetRng, SimDuration, SimTime};
+
+    let key = SessionKey::generate_deterministic(&mut DetRng::new(1));
+    let mut m5_noncache = Vec::new();
+    let mut m5_cache = Vec::new();
+    for (_, site, kb) in [TABLE1_SIZES_KB[1], TABLE1_SIZES_KB[7], TABLE1_SIZES_KB[12]] {
+        // google (6.8), facebook (23.2), amazon (228.5)
+        let mut origins = OriginRegistry::with_alexa20();
+        let profile = NetProfile::lan();
+        let mut pipe = Pipe::new(profile.host_origin);
+        let mut host = Browser::new(BrowserKind::Firefox);
+        host.navigate(
+            &rcb::url::Url::parse(&format!("http://{site}/")).unwrap(),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Warm up, then take the best of several runs to de-noise.
+        let mut best_nc = SimDuration::from_secs(3600);
+        let mut best_c = SimDuration::from_secs(3600);
+        for _ in 0..7 {
+            let mut m = MappingTable::new();
+            let nc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "")
+                .unwrap()
+                .generation_cost;
+            best_nc = best_nc.min(nc);
+            let mut m = MappingTable::new();
+            let c = generate_content(&host, CacheMode::Cache, &mut m, &key, 1, "")
+                .unwrap()
+                .generation_cost;
+            best_c = best_c.min(c);
+        }
+        m5_noncache.push((kb, best_nc));
+        m5_cache.push((kb, best_c));
+    }
+    // Larger pages cost more (Table 1 observation 1).
+    assert!(m5_noncache[0].1 < m5_noncache[2].1);
+    assert!(m5_cache[0].1 < m5_cache[2].1);
+    // Cache mode costs more than non-cache overall (observation 3).
+    let total_nc: u64 = m5_noncache.iter().map(|(_, d)| d.as_micros()).sum();
+    let total_c: u64 = m5_cache.iter().map(|(_, d)| d.as_micros()).sum();
+    assert!(total_c > total_nc, "cache {total_c}us !> non-cache {total_nc}us");
+}
+
+#[test]
+fn table1_m6_stays_under_a_third_of_a_second() {
+    // Paper observation 4: "this processing time is less than one-third
+    // of a second for all the 20 webpages" — and our hardware is ~17
+    // years newer, so this must hold with margin.
+    for (idx, site, _) in TABLE1_SIZES_KB {
+        let (_, sync) =
+            measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
+        // m2 includes the M6 update cost; bound the whole thing.
+        assert!(
+            sync.m2.as_millis() < 333,
+            "{site}: sync cost {} exceeds 1/3 s",
+            sync.m2
+        );
+    }
+}
+
+#[test]
+fn wan_sync_slower_than_lan_sync_everywhere() {
+    for (idx, site, _) in [TABLE1_SIZES_KB[0], TABLE1_SIZES_KB[9], TABLE1_SIZES_KB[19]] {
+        let (_, lan) =
+            measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
+        let (_, wan) =
+            measure_site(NetProfile::wan(), CacheMode::Cache, site, idx as u64).unwrap();
+        assert!(
+            wan.m2 > lan.m2,
+            "{site}: WAN M2 {} !> LAN M2 {}",
+            wan.m2,
+            lan.m2
+        );
+    }
+}

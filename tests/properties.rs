@@ -1,0 +1,250 @@
+//! Property-based tests over the core data structures and invariants.
+//!
+//! These are the invariants the whole protocol's correctness leans on:
+//! codecs must round-trip for *arbitrary* inputs (participant actions and
+//! page content are attacker-controlled strings), serialization must be a
+//! fixpoint, and the MAC must bind exactly the signed content.
+
+use proptest::prelude::*;
+
+use rcb::browser::UserAction;
+use rcb::crypto::SessionKey;
+use rcb::url::jsescape::{escape, unescape};
+use rcb::url::percent;
+use rcb::util::DetRng;
+use rcb::xml::{parse_new_content, write_new_content, ElementPayload, NewContent, TopLevel};
+
+proptest! {
+    // ---- URL / escaping codecs ------------------------------------------
+
+    #[test]
+    fn percent_roundtrips(s in ".{0,200}") {
+        prop_assert_eq!(percent::decode(&percent::encode(&s)), s);
+    }
+
+    #[test]
+    fn form_coding_roundtrips(s in ".{0,200}") {
+        prop_assert_eq!(percent::decode_form(&percent::encode_form(&s)), s);
+    }
+
+    #[test]
+    fn js_escape_roundtrips(s in "\\PC{0,300}") {
+        prop_assert_eq!(unescape(&escape(&s)), s);
+    }
+
+    #[test]
+    fn js_escape_output_is_cdata_safe(s in "\\PC{0,300}") {
+        let escaped = escape(&s);
+        // No '<', ']' or raw control chars survive escaping, so CDATA
+        // sections and XML structure can never be broken by content.
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains(']'));
+        prop_assert!(!escaped.contains('&'));
+    }
+
+    #[test]
+    fn query_pairs_roundtrip(pairs in proptest::collection::vec((".{0,30}", ".{0,30}"), 0..8)) {
+        let typed: Vec<(String, String)> =
+            pairs.into_iter().map(|(a, b)| (a, b)).collect();
+        let q = percent::build_query(&typed);
+        prop_assert_eq!(percent::parse_query(&q), typed);
+    }
+
+    #[test]
+    fn url_join_produces_normalized_absolute(
+        base_path in "(/[a-z]{1,6}){0,4}/?",
+        reference in "(\\.\\./|\\./)?([a-z]{1,8}/){0,3}[a-z]{0,8}(\\?[a-z=&]{0,10})?"
+    ) {
+        let base = rcb::url::Url::parse(&format!("http://host{base_path}")).unwrap();
+        if let Ok(joined) = base.join(&reference) {
+            prop_assert!(joined.path.starts_with('/'));
+            prop_assert!(!joined.path.contains("/../"));
+            prop_assert!(!joined.path.contains("/./"));
+            // Joining is idempotent on its own output.
+            let reparsed = rcb::url::Url::parse(&joined.to_string()).unwrap();
+            prop_assert_eq!(reparsed, joined);
+        }
+    }
+
+    // ---- Wire formats -----------------------------------------------------
+
+    #[test]
+    fn element_payload_roundtrips(
+        tag in "[a-z]{1,10}",
+        attrs in proptest::collection::vec(("[a-z]{1,8}", "\\PC{0,40}"), 0..5),
+        inner in "\\PC{0,200}"
+    ) {
+        // Attribute values cannot contain the separators the codec uses
+        // for framing *before* escaping; the real pipeline never produces
+        // them because HTML attribute parsing strips control characters.
+        let attrs: Vec<(String, String)> = attrs
+            .into_iter()
+            .map(|(k, v)| (k, v.replace(['\u{1}', '\u{2}'], " ").replace('=', ":")))
+            .collect();
+        let p = ElementPayload {
+            tag,
+            attrs,
+            inner_html: inner.replace(['\u{1}', '\u{2}'], " "),
+        };
+        prop_assert_eq!(ElementPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn new_content_roundtrips(
+        title in "\\PC{0,60}",
+        body_html in "\\PC{0,300}",
+        doc_time in 0u64..u64::MAX / 2,
+        actions in "[a-z0-9|,.%-]{0,60}"
+    ) {
+        let nc = NewContent {
+            doc_time,
+            head_children: vec![ElementPayload::new("title", title)],
+            top: TopLevel::Body(ElementPayload::new("body", body_html)),
+            user_actions: actions,
+        };
+        let xml = write_new_content(&nc);
+        let parsed = parse_new_content(&xml).unwrap().unwrap();
+        prop_assert_eq!(parsed, nc);
+    }
+
+    #[test]
+    fn action_codec_roundtrips_any_strings(
+        form in "\\PC{0,30}",
+        field in "\\PC{0,30}",
+        value in "\\PC{0,60}",
+        x in -10_000i32..10_000,
+        y in -10_000i32..10_000
+    ) {
+        for action in [
+            UserAction::FormInput {
+                form: form.clone(),
+                field: field.clone(),
+                value: value.clone(),
+            },
+            UserAction::Click { target: value.clone() },
+            UserAction::MouseMove { x, y },
+            UserAction::Navigate { url: form.clone() },
+        ] {
+            let decoded = UserAction::decode(&action.encode()).unwrap();
+            prop_assert_eq!(decoded, action);
+        }
+    }
+
+    // ---- Crypto -----------------------------------------------------------
+
+    #[test]
+    fn hmac_binds_message_and_key(
+        msg_a in proptest::collection::vec(any::<u8>(), 0..200),
+        msg_b in proptest::collection::vec(any::<u8>(), 0..200),
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000
+    ) {
+        let key_a = SessionKey::generate_deterministic(&mut DetRng::new(seed_a));
+        let key_b = SessionKey::generate_deterministic(&mut DetRng::new(seed_b));
+        let mac = rcb::crypto::hmac::hmac_sha256_hex(key_a.as_bytes(), &msg_a);
+        prop_assert!(rcb::crypto::verify_hmac_hex(key_a.as_bytes(), &msg_a, &mac));
+        if msg_a != msg_b {
+            prop_assert!(!rcb::crypto::verify_hmac_hex(key_a.as_bytes(), &msg_b, &mac));
+        }
+        if seed_a != seed_b {
+            prop_assert!(!rcb::crypto::verify_hmac_hex(key_b.as_bytes(), &msg_a, &mac));
+        }
+    }
+
+    #[test]
+    fn keystream_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        nonce in any::<u64>(),
+        seed in 0u64..1000
+    ) {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(seed));
+        let ct = rcb::crypto::keystream::encrypt(key.as_bytes(), nonce, &data);
+        prop_assert_eq!(rcb::crypto::keystream::decrypt(key.as_bytes(), nonce, &ct), data);
+    }
+
+    // ---- HTML -------------------------------------------------------------
+
+    #[test]
+    fn html_serialize_is_a_fixpoint(
+        texts in proptest::collection::vec("[ -~]{0,40}", 1..6),
+        tags in proptest::collection::vec(prop::sample::select(
+            vec!["div", "span", "p", "b", "ul", "li", "h1", "em"]), 1..6),
+        attr_vals in proptest::collection::vec("[ -~&&[^\"&]]{0,20}", 1..6)
+    ) {
+        // Build a random but well-formed fragment.
+        let mut html = String::new();
+        for ((t, tag), val) in texts.iter().zip(tags.iter()).zip(attr_vals.iter()) {
+            html.push_str(&format!(
+                "<{tag} class=\"{val}\">{}</{tag}>",
+                rcb::html::serialize::escape_text(t)
+            ));
+        }
+        let once = {
+            let doc = rcb::html::parse_document(&html);
+            rcb::html::serialize::serialize_document(&doc)
+        };
+        let twice = {
+            let doc = rcb::html::parse_document(&once);
+            rcb::html::serialize::serialize_document(&doc)
+        };
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn html_parser_never_panics(s in "\\PC{0,400}") {
+        let doc = rcb::html::parse_document(&s);
+        // And serialization of whatever it built never panics either.
+        let _ = rcb::html::serialize::serialize_document(&doc);
+    }
+
+    #[test]
+    fn http_request_roundtrips(
+        path_seg in "[a-z0-9]{1,12}",
+        q in "[a-z0-9=&]{0,24}",
+        body in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let target = if q.is_empty() {
+            format!("/{path_seg}")
+        } else {
+            format!("/{path_seg}?{q}")
+        };
+        let req = rcb::http::Request::post(target, body);
+        let wire = rcb::http::serialize::serialize_request(&req);
+        prop_assert_eq!(rcb::http::parse_request(&wire).unwrap(), req);
+    }
+
+    // ---- Cache ------------------------------------------------------------
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        ops in proptest::collection::vec(("[a-z]{1,6}", 1usize..4000), 1..40)
+    ) {
+        use rcb::cache::Cache;
+        use rcb::util::{ByteSize, SimTime};
+        let cap = ByteSize::bytes(8 * 1024);
+        let mut cache = Cache::new(cap);
+        for (i, (name, size)) in ops.into_iter().enumerate() {
+            cache.store(&name, "t", vec![0u8; size], SimTime::from_millis(i as u64));
+            prop_assert!(cache.used() <= cap);
+        }
+    }
+
+    // ---- Simulated time / links -------------------------------------------
+
+    #[test]
+    fn transfers_are_fifo_and_monotonic(
+        sizes in proptest::collection::vec(1usize..100_000, 1..20),
+        bw in 64_000u64..10_000_000
+    ) {
+        use rcb::sim::link::{Direction, Pipe};
+        use rcb::sim::LinkSpec;
+        use rcb::util::{SimDuration, SimTime};
+        let mut pipe = Pipe::new(LinkSpec::symmetric(bw, SimDuration::from_millis(1)));
+        let mut last = SimTime::ZERO;
+        for s in sizes {
+            let arrival = pipe.transfer(SimTime::ZERO, s, Direction::Down);
+            prop_assert!(arrival >= last, "FIFO order violated");
+            last = arrival;
+        }
+    }
+}
