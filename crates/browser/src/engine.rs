@@ -168,6 +168,7 @@ impl Browser {
     /// Issues one HTTP request to an origin over `pipe`, charging wire
     /// time under the profile's compression/think model; applies the
     /// cookie jar both ways. Returns the response and its arrival time.
+    #[allow(clippy::too_many_arguments)]
     pub fn http_request(
         &mut self,
         url: &Url,

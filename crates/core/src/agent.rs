@@ -642,8 +642,11 @@ mod tests {
         let nav = UserAction::Navigate {
             url: "http://apple.com/".into(),
         };
-        let out =
-            a.handle_request(&signed_poll(&a, 1, 0, &[nav.clone()]), &mut host, SimTime::ZERO);
+        let out = a.handle_request(
+            &signed_poll(&a, 1, 0, std::slice::from_ref(&nav)),
+            &mut host,
+            SimTime::ZERO,
+        );
         assert_eq!(
             out.effects,
             vec![HostEffect::Navigate("http://apple.com/".into())]

@@ -362,15 +362,13 @@ mod tests {
         let mut c_total = SimDuration::ZERO;
         for _ in 0..5 {
             let mut m1 = MappingTable::new();
-            nc_total = nc_total
-                + generate_content(&host, CacheMode::NonCache, &mut m1, &k, 1, "")
-                    .unwrap()
-                    .generation_cost;
+            nc_total += generate_content(&host, CacheMode::NonCache, &mut m1, &k, 1, "")
+                .unwrap()
+                .generation_cost;
             let mut m2 = MappingTable::new();
-            c_total = c_total
-                + generate_content(&host, CacheMode::Cache, &mut m2, &k, 1, "")
-                    .unwrap()
-                    .generation_cost;
+            c_total += generate_content(&host, CacheMode::Cache, &mut m2, &k, 1, "")
+                .unwrap()
+                .generation_cost;
         }
         assert!(
             c_total > nc_total,
@@ -415,15 +413,13 @@ mod tests {
         let mut total_large = SimDuration::ZERO;
         for _ in 0..5 {
             let mut m = MappingTable::new();
-            total_small = total_small
-                + generate_content(&small, CacheMode::NonCache, &mut m, &k, 1, "")
-                    .unwrap()
-                    .generation_cost;
+            total_small += generate_content(&small, CacheMode::NonCache, &mut m, &k, 1, "")
+                .unwrap()
+                .generation_cost;
             let mut m = MappingTable::new();
-            total_large = total_large
-                + generate_content(&large, CacheMode::NonCache, &mut m, &k, 1, "")
-                    .unwrap()
-                    .generation_cost;
+            total_large += generate_content(&large, CacheMode::NonCache, &mut m, &k, 1, "")
+                .unwrap()
+                .generation_cost;
         }
         assert!(total_large > total_small);
     }

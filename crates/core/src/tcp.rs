@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_crypto::SessionKey;
@@ -55,7 +55,7 @@ impl TcpHost {
         let state = Arc::new(Mutex::new(HostState { agent, browser }));
         let handler_state = Arc::clone(&state);
         let handler: Handler = Arc::new(move |req| {
-            let mut st = handler_state.lock();
+            let mut st = handler_state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let HostState { agent, browser } = &mut *st;
             // Wall-clock now mapped onto the document-timestamp domain.
             let now = SimTime::from_millis(
@@ -85,19 +85,24 @@ impl TcpHost {
     /// page JavaScript); participants pick the change up on their next
     /// poll.
     pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         st.browser.mutate_dom(f)
     }
 
     /// Number of participants the agent has seen.
     pub fn participant_count(&self) -> usize {
-        self.state.lock().agent.participants().len()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .agent
+            .participants()
+            .len()
     }
 
     /// Reads current host form field values (to observe merged co-fill
     /// data, as in the paper's Figure 10).
     pub fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(doc) = st.browser.doc.as_ref() else {
             return Vec::new();
         };

@@ -13,7 +13,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Decodes a hex string (case-insensitive, even length).
 pub fn from_hex(s: &str) -> Result<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(RcbError::parse("hex", "odd length"));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

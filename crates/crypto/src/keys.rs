@@ -6,8 +6,6 @@
 //! out-of-band channel means the key must survive being read over the phone
 //! — hence the hex display form.
 
-use rand::RngCore;
-
 use rcb_util::DetRng;
 
 use crate::hex::{from_hex, to_hex};
@@ -20,10 +18,27 @@ pub struct SessionKey {
 
 impl SessionKey {
     /// Generates a key from OS entropy — the real-deployment path.
+    ///
+    /// Reads `/dev/urandom` directly (std exposes no other CSPRNG, and
+    /// the workspace carries no external crates). On platforms without
+    /// it, falls back to hashing a counter through `RandomState`, whose
+    /// per-thread seed is OS-drawn — weaker (all keys on a thread derive
+    /// from one 128-bit seed via SipHash), but only reachable off-unix.
     pub fn generate() -> Self {
         let mut bytes = [0u8; 16];
-        rand::thread_rng().fill_bytes(&mut bytes);
+        if Self::fill_from_urandom(&mut bytes).is_err() {
+            use std::collections::hash_map::RandomState;
+            use std::hash::BuildHasher;
+            for (i, chunk) in bytes.chunks_mut(8).enumerate() {
+                chunk.copy_from_slice(&RandomState::new().hash_one(i as u64).to_le_bytes());
+            }
+        }
         SessionKey { bytes }
+    }
+
+    fn fill_from_urandom(bytes: &mut [u8]) -> std::io::Result<()> {
+        use std::io::Read;
+        std::fs::File::open("/dev/urandom")?.read_exact(bytes)
     }
 
     /// Generates a key deterministically — the simulation/experiment path.

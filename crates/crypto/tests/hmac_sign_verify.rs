@@ -1,0 +1,102 @@
+//! HMAC-SHA256 sign/verify tests: RFC 4231 conformance vectors plus the
+//! binding properties the request-authentication scheme (§3.4) relies on.
+
+use rcb_crypto::hmac::{hmac_sha256, hmac_sha256_hex};
+use rcb_crypto::{verify_hmac_hex, SessionKey};
+use rcb_util::DetRng;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn rfc4231_test_case_1() {
+    let key = [0x0bu8; 20];
+    let mac = hmac_sha256(&key, b"Hi There");
+    assert_eq!(
+        hex(&mac),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    );
+}
+
+#[test]
+fn rfc4231_test_case_2() {
+    let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+    assert_eq!(
+        hex(&mac),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    );
+}
+
+#[test]
+fn rfc4231_test_case_3() {
+    let key = [0xaau8; 20];
+    let data = [0xddu8; 50];
+    let mac = hmac_sha256(&key, &data);
+    assert_eq!(
+        hex(&mac),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    );
+}
+
+#[test]
+fn rfc4231_test_case_6_long_key() {
+    // Keys longer than the block size must be hashed first.
+    let key = [0xaau8; 131];
+    let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+    assert_eq!(
+        hex(&mac),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    );
+}
+
+#[test]
+fn sign_then_verify_accepts() {
+    let key = SessionKey::generate_deterministic(&mut DetRng::new(7));
+    for msg in [b"".as_slice(), b"poll?pid=1&ts=0", &[0u8; 300]] {
+        let mac = hmac_sha256_hex(key.as_bytes(), msg);
+        assert!(verify_hmac_hex(key.as_bytes(), msg, &mac));
+    }
+}
+
+#[test]
+fn verify_rejects_tampered_message() {
+    let key = SessionKey::generate_deterministic(&mut DetRng::new(7));
+    let mac = hmac_sha256_hex(key.as_bytes(), b"pid=1&action=click");
+    assert!(!verify_hmac_hex(key.as_bytes(), b"pid=2&action=click", &mac));
+    assert!(!verify_hmac_hex(key.as_bytes(), b"pid=1&action=click ", &mac));
+}
+
+#[test]
+fn verify_rejects_wrong_key() {
+    let key_a = SessionKey::generate_deterministic(&mut DetRng::new(1));
+    let key_b = SessionKey::generate_deterministic(&mut DetRng::new(2));
+    let mac = hmac_sha256_hex(key_a.as_bytes(), b"message");
+    assert!(!verify_hmac_hex(key_b.as_bytes(), b"message", &mac));
+}
+
+#[test]
+fn verify_rejects_malformed_or_truncated_mac() {
+    let key = SessionKey::generate_deterministic(&mut DetRng::new(7));
+    let mac = hmac_sha256_hex(key.as_bytes(), b"message");
+    assert!(!verify_hmac_hex(key.as_bytes(), b"message", &mac[..32]));
+    assert!(!verify_hmac_hex(key.as_bytes(), b"message", ""));
+    assert!(!verify_hmac_hex(key.as_bytes(), b"message", "zz not hex zz"));
+    // Single-bit flip in the first nibble.
+    let flipped = format!(
+        "{}{}",
+        if mac.starts_with('0') { "1" } else { "0" },
+        &mac[1..]
+    );
+    assert!(!verify_hmac_hex(key.as_bytes(), b"message", &flipped));
+}
+
+#[test]
+fn distinct_messages_get_distinct_macs() {
+    let key = SessionKey::generate_deterministic(&mut DetRng::new(3));
+    let macs: Vec<String> = (0u32..50)
+        .map(|i| hmac_sha256_hex(key.as_bytes(), &i.to_le_bytes()))
+        .collect();
+    let unique: std::collections::HashSet<&String> = macs.iter().collect();
+    assert_eq!(unique.len(), macs.len());
+}

@@ -113,9 +113,9 @@ fn lex_markup(input: &str, pos: usize) -> Option<(Token, usize)> {
     let rest = &input[pos..];
     let bytes = rest.as_bytes();
     debug_assert_eq!(bytes[0], b'<');
-    if rest.starts_with("<!--") {
-        let end = rest[4..].find("-->").map(|i| i + 4)?;
-        return Some((Token::Comment(rest[4..end].to_string()), pos + end + 3));
+    if let Some(after) = rest.strip_prefix("<!--") {
+        let i = after.find("-->")?;
+        return Some((Token::Comment(after[..i].to_string()), pos + 4 + i + 3));
     }
     if bytes.get(1) == Some(&b'!') {
         // <!DOCTYPE ...> or other declarations; swallow to '>'.

@@ -224,7 +224,7 @@ impl Origin for ShopApp {
                     rcb_url::percent::parse_query(&String::from_utf8_lossy(&req.body))
                         .into_iter()
                         .collect();
-                if fields.get("street").map_or(true, |s| s.is_empty()) {
+                if fields.get("street").is_none_or(|s| s.is_empty()) {
                     Response::error(Status::BAD_REQUEST, "street is required")
                 } else {
                     self.sessions.get_mut(&sid).expect("session exists").shipping =

@@ -136,7 +136,7 @@ fn object_manifest(rng: &mut DetRng, kb: f64) -> Vec<ObjectSpec> {
         out.push(ObjectSpec {
             path: format!("assets/img{i}.png"),
             kind: ObjectKind::Img,
-            size: ByteSize::bytes(rng.range_inclusive(1 * 1024, 36 * 1024)),
+            size: ByteSize::bytes(rng.range_inclusive(1024, 36 * 1024)),
         });
     }
     out

@@ -1,0 +1,25 @@
+//! `proptest::collection` — vec strategy.
+
+use std::ops::Range;
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+
+pub struct VecStrategy<S> {
+    inner: S,
+    len: Range<usize>,
+}
+
+/// `collection::vec(strategy, len_range)` — a vec whose length is drawn
+/// from `len_range` and whose elements come from `strategy`.
+pub fn vec<S: Strategy>(inner: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { inner, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.range_usize(self.len.start, self.len.end.max(self.len.start + 1));
+        (0..n).map(|_| self.inner.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real proptest cannot
+//! be fetched. This shim implements the subset of its API that the
+//! workspace's property tests use, with the same names and shapes:
+//!
+//! * the `proptest!` macro (each test body runs for `PROPTEST_CASES`
+//!   deterministic cases; default 64);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * string strategies given as regex patterns (`".{0,200}"`,
+//!   `"\\PC{0,300}"`, char classes with ranges/negation/`&&` intersection,
+//!   groups, alternation, `?`/`*`/`+`/`{m,n}` quantifiers);
+//! * integer range strategies (`0u64..1000`), `any::<T>()`,
+//!   `collection::vec(strategy, len_range)`, tuple strategies, and
+//!   `sample::select(vec![..])`.
+//!
+//! There is no shrinking: failures panic with the case number, and every
+//! case is derived deterministically from the test name, so a failure
+//! reproduces exactly on re-run.
+
+pub mod collection;
+pub mod regex_gen;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+
+pub use rng::Rng;
+pub use strategy::{any, Any, Strategy};
+
+/// Number of generated cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case RNG: seeded from the test name and case index so
+/// every run (and every failure) is exactly reproducible.
+pub fn test_rng(test_name: &str, case: usize) -> Rng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Rng::new(seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The real proptest prelude re-exposes the crate as `prop`.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

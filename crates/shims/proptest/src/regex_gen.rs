@@ -1,0 +1,375 @@
+//! Generation of strings matching a regex pattern.
+//!
+//! Proptest treats `&str` strategies as regexes and generates matching
+//! strings; this module reimplements that for the pattern subset the
+//! workspace's tests use: literals, `.`, `\PC` (printable — not Unicode
+//! category C), escaped metacharacters, character classes with ranges,
+//! negation and `&&` intersection, groups, alternation, and the
+//! `?`/`*`/`+`/`{m}`/`{m,n}` quantifiers.
+
+use crate::rng::Rng;
+
+const UNICODE_SAMPLE: &[char] = &[
+    'à', 'é', 'î', 'õ', 'ü', 'ß', 'Δ', 'λ', 'Ж', 'щ', '中', '文', '日', '本', '語', '한', '글',
+    '€', '™', '←', '☃', '🙂', '🦀', '𝄞',
+];
+const CONTROL_SAMPLE: &[char] = &['\t', '\r', '\u{0}', '\u{1}', '\u{1b}', '\u{7f}'];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+    Literal(char),
+    /// `.` — any char except `\n`.
+    Dot,
+    /// `\PC` — any char not in Unicode category C (roughly: printable).
+    NotControl,
+    /// A materialized character class.
+    Class(Vec<char>),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut Rng) -> String {
+    let node = Parser::new(pattern).parse();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut Rng, out: &mut String) {
+    match node {
+        Node::Concat(parts) => parts.iter().for_each(|p| emit(p, rng, out)),
+        Node::Alt(arms) => {
+            let i = rng.range_usize(0, arms.len());
+            emit(&arms[i], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Dot => out.push(match rng.below(100) {
+            0..=74 => (0x20 + rng.below(0x5f) as u8) as char,
+            75..=89 => *rng.pick(UNICODE_SAMPLE),
+            _ => *rng.pick(CONTROL_SAMPLE),
+        }),
+        Node::NotControl => out.push(match rng.below(100) {
+            0..=69 => (0x20 + rng.below(0x5f) as u8) as char,
+            _ => *rng.pick(UNICODE_SAMPLE),
+        }),
+        Node::Class(chars) => out.push(*rng.pick(chars)),
+    }
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { pattern, chars: pattern.chars().collect(), pos: 0 }
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("unsupported regex pattern {:?} at char {}: {}", self.pattern, self.pos, msg);
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars.get(self.pos).copied().unwrap_or_else(|| self.fail("unexpected end"));
+        self.pos += 1;
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(mut self) -> Node {
+        let node = self.parse_alt();
+        if self.pos != self.chars.len() {
+            self.fail("trailing input");
+        }
+        node
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_concat()];
+        while self.eat('|') {
+            arms.push(self.parse_concat());
+        }
+        if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    fn parse_concat(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat());
+        }
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Node::Concat(parts)
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Node {
+        let atom = self.parse_atom();
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                let hi = if self.eat(',') { self.parse_number() } else { lo };
+                if !self.eat('}') {
+                    self.fail("expected '}'");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            self.fail("expected number");
+        }
+        self.chars[start..self.pos].iter().collect::<String>().parse().unwrap()
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                // Swallow non-capturing group markers.
+                if self.peek() == Some('?') && self.chars.get(self.pos + 1) == Some(&':') {
+                    self.pos += 2;
+                }
+                let inner = self.parse_alt();
+                if !self.eat(')') {
+                    self.fail("expected ')'");
+                }
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Dot,
+            c @ ('*' | '+' | '?' | '{' | '}') => {
+                self.fail(&format!("dangling quantifier {c:?}"))
+            }
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump() {
+            'P' => {
+                // `\PC` / `\P{C}` — complement of a one-letter category; only
+                // category C (control/format/unassigned) is supported.
+                let cat = if self.eat('{') {
+                    let c = self.bump();
+                    if !self.eat('}') {
+                        self.fail("expected '}' after category");
+                    }
+                    c
+                } else {
+                    self.bump()
+                };
+                if cat != 'C' {
+                    self.fail(&format!("unsupported category \\P{cat}"));
+                }
+                Node::NotControl
+            }
+            'n' => Node::Literal('\n'),
+            'r' => Node::Literal('\r'),
+            't' => Node::Literal('\t'),
+            '0' => Node::Literal('\u{0}'),
+            c => Node::Literal(c),
+        }
+    }
+
+    /// Parses `[...]`: one or more `&&`-separated segments, each a plain
+    /// item list (with optional `^` negation) or a nested `[...]` class.
+    /// The result is materialized as the intersection of all segments.
+    fn parse_class(&mut self) -> Node {
+        let mut segments: Vec<(bool, Vec<(char, char)>)> = Vec::new();
+        loop {
+            if self.peek() == Some('[') {
+                self.bump();
+                segments.push(self.parse_class_segment(']'));
+                if !self.eat(']') {
+                    self.fail("expected ']' for nested class");
+                }
+            } else {
+                segments.push(self.parse_class_segment(']'));
+            }
+            if self.eat(']') {
+                break;
+            }
+            if self.peek() == Some('&') && self.chars.get(self.pos + 1) == Some(&'&') {
+                self.pos += 2;
+                continue;
+            }
+            self.fail("expected ']' or '&&'");
+        }
+
+        // Universe to materialize over: printable ASCII plus the unicode
+        // sample (enough for the patterns the tests use).
+        let universe: Vec<char> = (0x20u8..=0x7e)
+            .map(|b| b as char)
+            .chain(UNICODE_SAMPLE.iter().copied())
+            .collect();
+        let member = |c: char, seg: &(bool, Vec<(char, char)>)| {
+            let inside = seg.1.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+            inside != seg.0
+        };
+        let chars: Vec<char> = universe
+            .into_iter()
+            .filter(|&c| segments.iter().all(|seg| member(c, seg)))
+            .collect();
+        if chars.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(chars)
+    }
+
+    /// Parses class items up to (not consuming) `terminator` or `&&`.
+    fn parse_class_segment(&mut self, terminator: char) -> (bool, Vec<(char, char)>) {
+        let negated = self.eat('^');
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.peek() {
+                None => self.fail("unterminated class"),
+                Some(c) if c == terminator => break,
+                Some('&') if self.chars.get(self.pos + 1) == Some(&'&') => break,
+                Some(_) => self.bump(),
+            };
+            let lo = if c == '\\' { self.class_escape() } else { c };
+            // A `-` is a range operator only between two items.
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).is_some_and(|&n| n != terminator)
+            {
+                self.bump();
+                let c2 = self.bump();
+                let hi = if c2 == '\\' { self.class_escape() } else { c2 };
+                if hi < lo {
+                    self.fail("inverted class range");
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        (negated, ranges)
+    }
+
+    fn class_escape(&mut self) -> char {
+        match self.bump() {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\u{0}',
+            c => c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        generate(pattern, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn literal_and_quantifiers() {
+        assert_eq!(gen("abc", 1), "abc");
+        for seed in 0..20 {
+            let s = gen("a{2,4}", seed);
+            assert!((2..=4).contains(&s.len()) && s.chars().all(|c| c == 'a'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_ranges_and_negation() {
+        for seed in 0..50 {
+            let s = gen("[a-z0-9]{1,12}", seed);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_intersection() {
+        for seed in 0..200 {
+            let s = gen("[ -~&&[^\"&]]{0,20}", seed);
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '&'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        for seed in 0..50 {
+            let s = gen("(\\.\\./|\\./)?([a-z]{1,8}/){0,3}[a-z]{0,8}(\\?[a-z=&]{0,10})?", seed);
+            // Shape check only: every char must be from the legal alphabet.
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || matches!(c, '.' | '/' | '?' | '=' | '&')),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_excludes_controls() {
+        for seed in 0..50 {
+            let s = gen("\\PC{0,300}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        for seed in 0..50 {
+            assert!(!gen(".{0,200}", seed).contains('\n'));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! `proptest::sample` — select-one-of strategy.
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// `sample::select(vec![..])` — picks one of the given values per case.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        rng.pick(&self.items).clone()
+    }
+}

@@ -1,0 +1,85 @@
+//! The `Strategy` trait and the built-in strategies.
+
+use std::ops::Range;
+
+use crate::regex_gen;
+use crate::rng::Rng;
+
+/// A generator of test-case values. The real proptest `Strategy` carries a
+/// value tree for shrinking; this shim only generates.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+/// A `&str` strategy is a regex pattern producing matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*
+    };
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+);)*) => {
+        $(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// Marker returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — an arbitrary value of a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

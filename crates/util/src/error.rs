@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: RcbError = io.into();
         assert_eq!(e.category(), "io");
         assert!(e.to_string().contains("boom"));

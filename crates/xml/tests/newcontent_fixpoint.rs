@@ -1,0 +1,123 @@
+//! Read/write fixpoint tests for the Fig.-4 newContent wire format.
+//!
+//! The protocol's correctness hinges on `parse(write(nc)) == nc` for any
+//! content the agent can produce — including content that tries to break
+//! the XML framing — and on `write` being deterministic, so that
+//! `write(parse(x)) == x` holds on the wire form.
+
+use rcb_xml::{parse_new_content, write_new_content, ElementPayload, NewContent, TopLevel};
+
+fn roundtrip(nc: &NewContent) {
+    let xml = write_new_content(nc);
+    let parsed = parse_new_content(&xml)
+        .expect("well-formed")
+        .expect("content present");
+    assert_eq!(&parsed, nc, "value round-trip failed; wire: {xml}");
+    // Writing the parsed value must reproduce the wire form exactly.
+    assert_eq!(write_new_content(&parsed), xml, "wire fixpoint failed");
+}
+
+#[test]
+fn body_page_roundtrips() {
+    roundtrip(&NewContent {
+        doc_time: 1_234_567_890_123,
+        head_children: vec![
+            ElementPayload::new("title", "Google"),
+            ElementPayload {
+                tag: "style".into(),
+                attrs: vec![("type".into(), "text/css".into())],
+                inner_html: "body { margin: 0; }".into(),
+            },
+        ],
+        top: TopLevel::Body(ElementPayload {
+            tag: "body".into(),
+            attrs: vec![
+                ("class".into(), "home".into()),
+                ("onload".into(), "init()".into()),
+            ],
+            inner_html: "<div id=\"x\">hello &amp; bye</div>".into(),
+        }),
+        user_actions: "mm|10,20".into(),
+    });
+}
+
+#[test]
+fn frameset_page_roundtrips() {
+    roundtrip(&NewContent {
+        doc_time: 7,
+        head_children: vec![],
+        top: TopLevel::Frames {
+            frameset: ElementPayload {
+                tag: "frameset".into(),
+                attrs: vec![("rows".into(), "20%,80%".into())],
+                inner_html: "<frame src=\"/nav\"><frame src=\"/main\">".into(),
+            },
+            noframes: Some(ElementPayload::new("noframes", "Frames required.")),
+        },
+        user_actions: String::new(),
+    });
+}
+
+#[test]
+fn frameset_without_noframes_roundtrips() {
+    roundtrip(&NewContent {
+        doc_time: 0,
+        head_children: vec![],
+        top: TopLevel::Frames {
+            frameset: ElementPayload::new("frameset", "<frame src=\"/a\">"),
+            noframes: None,
+        },
+        user_actions: String::new(),
+    });
+}
+
+#[test]
+fn framing_hostile_content_roundtrips() {
+    // Content engineered against the transport: CDATA terminators, XML
+    // markup, the codec's own separators' neighbours, unicode, controls.
+    for hostile in [
+        "]]> <script>alert(1)</script>",
+        "<![CDATA[nested opener]]>",
+        "<newContent><docTime>0</docTime></newContent>",
+        "a&b<c>d\"e'f",
+        "unicode: 中文 🙂 \u{FFFD}",
+        "tab\tnewline\ncarriage\r",
+    ] {
+        roundtrip(&NewContent {
+            doc_time: 42,
+            head_children: vec![ElementPayload::new("title", hostile)],
+            top: TopLevel::Body(ElementPayload {
+                tag: "body".into(),
+                attrs: vec![("data-x".into(), hostile.replace(['\u{1}', '\u{2}'], " "))],
+                inner_html: hostile.into(),
+            }),
+            user_actions: String::new(),
+        });
+    }
+}
+
+#[test]
+fn many_head_children_keep_order() {
+    let nc = NewContent {
+        doc_time: 9,
+        head_children: (0..12)
+            .map(|i| ElementPayload::new("meta", format!("slot {i}")))
+            .collect(),
+        top: TopLevel::Body(ElementPayload::new("body", "")),
+        user_actions: String::new(),
+    };
+    roundtrip(&nc);
+}
+
+#[test]
+fn empty_body_means_no_new_content() {
+    assert_eq!(parse_new_content("").unwrap(), None);
+    assert_eq!(parse_new_content("   \n").unwrap(), None);
+}
+
+#[test]
+fn parser_rejects_foreign_documents() {
+    assert!(parse_new_content("<otherRoot/>").is_err());
+    assert!(parse_new_content("<newContent></newContent>").is_err());
+    assert!(parse_new_content("not xml at all").is_err());
+}

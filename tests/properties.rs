@@ -44,8 +44,7 @@ proptest! {
 
     #[test]
     fn query_pairs_roundtrip(pairs in proptest::collection::vec((".{0,30}", ".{0,30}"), 0..8)) {
-        let typed: Vec<(String, String)> =
-            pairs.into_iter().map(|(a, b)| (a, b)).collect();
+        let typed: Vec<(String, String)> = pairs;
         let q = percent::build_query(&typed);
         prop_assert_eq!(percent::parse_query(&q), typed);
     }

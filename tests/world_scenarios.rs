@@ -127,10 +127,10 @@ fn host_confirm_policy_rejects_and_approves() {
         world.sleep(SimDuration::from_secs(1));
         world.poll_participant(p).unwrap();
         assert_eq!(world.host.agent.pending_confirmation.len(), 1);
-        if let Some(effect) = world.host.agent.decide_pending(decision) {
-            if let rcb::core::agent::HostEffect::Navigate(u) = effect {
-                world.host_navigate(&u).unwrap();
-            }
+        if let Some(rcb::core::agent::HostEffect::Navigate(u)) =
+            world.host.agent.decide_pending(decision)
+        {
+            world.host_navigate(&u).unwrap();
         }
         assert_eq!(
             world.host.browser.url.as_ref().unwrap().host,
