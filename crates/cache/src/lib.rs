@@ -14,5 +14,5 @@
 pub mod mapping;
 pub mod store;
 
-pub use mapping::{CacheKey, MappingTable};
+pub use mapping::{CacheKey, MappingTable, MappingView};
 pub use store::{Cache, CacheEntry, ReadSession};

@@ -67,6 +67,50 @@ impl MappingTable {
     pub fn is_empty(&self) -> bool {
         self.by_url.is_empty()
     }
+
+    /// An immutable key→URL view restricted to `keys`.
+    ///
+    /// Snapshot builders use this to resolve the objects one content
+    /// generation references without borrowing the live (mutable) table:
+    /// the view is self-contained, cheap to move across threads, and its
+    /// size is bounded by the generation that requested it rather than by
+    /// the session-lifetime table.
+    pub fn view_for<I: IntoIterator<Item = CacheKey>>(&self, keys: I) -> MappingView {
+        MappingView {
+            by_key: keys
+                .into_iter()
+                .filter_map(|k| self.by_key.get(&k).map(|u| (k, u.clone())))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen read-only subset of a [`MappingTable`] (key → URL only).
+#[derive(Debug, Clone, Default)]
+pub struct MappingView {
+    by_key: HashMap<CacheKey, String>,
+}
+
+impl MappingView {
+    /// Looks up the URL behind a key.
+    pub fn url_for(&self, key: CacheKey) -> Option<&str> {
+        self.by_key.get(&key).map(|s| s.as_str())
+    }
+
+    /// Keys captured in this view (unordered).
+    pub fn keys(&self) -> impl Iterator<Item = CacheKey> + '_ {
+        self.by_key.keys().copied()
+    }
+
+    /// Number of entries in the view.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +151,23 @@ mod tests {
     fn empty_initially() {
         let t = MappingTable::new();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn read_view_is_restricted_and_detached() {
+        let mut t = MappingTable::new();
+        let ka = t.key_for("http://h/a.png");
+        let kb = t.key_for("http://h/b.png");
+        let kc = t.key_for("http://h/c.png");
+        let view = t.view_for([ka, kc, CacheKey(999)]);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.url_for(ka), Some("http://h/a.png"));
+        assert_eq!(view.url_for(kc), Some("http://h/c.png"));
+        assert_eq!(view.url_for(kb), None, "kb not requested");
+        assert_eq!(view.url_for(CacheKey(999)), None, "unknown key dropped");
+        // Later table growth does not leak into the frozen view.
+        let kd = t.key_for("http://h/d.png");
+        assert_eq!(view.url_for(kd), None);
+        assert!(MappingView::default().is_empty());
     }
 }

@@ -18,8 +18,8 @@
 //! and a list of host-side effects (navigations and form submissions the
 //! *world* must perform, because they need the network).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 use rcb_browser::{Browser, UserAction};
 use rcb_cache::MappingTable;
@@ -122,6 +122,100 @@ pub struct ParticipantInfo {
     pub polls: u64,
 }
 
+/// Per-participant state sharded across independently locked maps, so
+/// concurrent polls from different participants never contend on one lock.
+///
+/// Participant ids are spread across [`ParticipantShards::SHARDS`] maps by
+/// a multiplicative hash; each poll touches exactly one shard lock, held
+/// only for the map operation (never across content generation or I/O).
+/// The sequential [`RcbAgent`] keeps its own plain map — shards are for
+/// the concurrent real-socket deployment.
+#[derive(Debug)]
+pub struct ParticipantShards {
+    shards: Vec<Mutex<HashMap<u64, ParticipantInfo>>>,
+}
+
+impl ParticipantShards {
+    /// Number of independent locks. 16 is far beyond the core counts a
+    /// host browser machine has, so two concurrent polls rarely collide.
+    pub const SHARDS: usize = 16;
+
+    /// Creates an empty shard set.
+    pub fn new() -> ParticipantShards {
+        ParticipantShards {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, pid: u64) -> &Mutex<HashMap<u64, ParticipantInfo>> {
+        // Fibonacci hashing spreads sequential pids across shards.
+        let h = pid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % Self::SHARDS]
+    }
+
+    /// Records one poll from `pid` carrying `client_time`, inserting the
+    /// participant on first contact.
+    pub fn record_poll(&self, pid: u64, client_time: u64, now: SimTime) {
+        let mut map = self
+            .shard(pid)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = map.entry(pid).or_insert(ParticipantInfo {
+            last_doc_time: 0,
+            joined_at: now,
+            polls: 0,
+        });
+        entry.polls += 1;
+        entry.last_doc_time = entry.last_doc_time.max(client_time);
+    }
+
+    /// Advances `pid`'s acknowledged content timestamp (never backwards).
+    pub fn advance_doc_time(&self, pid: u64, doc_time: u64) {
+        let mut map = self
+            .shard(pid)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = map.get_mut(&pid) {
+            entry.last_doc_time = entry.last_doc_time.max(doc_time);
+        }
+    }
+
+    /// Removes a participant (left the session).
+    pub fn remove(&self, pid: u64) {
+        self.shard(pid)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&pid);
+    }
+
+    /// Copy of one participant's state.
+    pub fn get(&self, pid: u64) -> Option<ParticipantInfo> {
+        self.shard(pid)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&pid)
+            .cloned()
+    }
+
+    /// Total participants across all shards.
+    pub fn count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+}
+
+impl Default for ParticipantShards {
+    fn default() -> Self {
+        ParticipantShards::new()
+    }
+}
+
 /// Counters the agent exposes for experiments.
 #[derive(Debug, Default)]
 pub struct AgentStats {
@@ -137,9 +231,21 @@ pub struct AgentStats {
     pub auth_failures: Counter,
     /// Content generations performed (cache hits excluded).
     pub generations: Counter,
+    /// Generated-content cache entries evicted by the generation bound.
+    pub content_evictions: Counter,
+    /// Timestamp entries evicted by the generation bound.
+    pub timestamp_evictions: Counter,
+    /// Polls rejected for a missing or malformed participant id.
+    pub bad_poll_requests: Counter,
     /// Wall-clock generation costs (the paper's M5 samples).
     pub m5: Histogram,
 }
+
+/// How many DOM generations the agent keeps generated content and
+/// timestamps for: the live generation plus one predecessor, so a
+/// participant mid-flight on the previous version can still be served
+/// while memory stays bounded no matter how often the host page mutates.
+pub const LIVE_GENERATIONS: usize = 2;
 
 /// RCB-Agent.
 pub struct RcbAgent {
@@ -157,8 +263,12 @@ pub struct RcbAgent {
     /// Pending participant actions awaiting host confirmation (under
     /// [`NavigationPolicy::HostConfirm`]).
     pub pending_confirmation: Vec<(u64, HostEffect)>,
-    /// The dom_version → document-timestamp map.
+    /// The dom_version → document-timestamp map, bounded to
+    /// [`LIVE_GENERATIONS`] entries.
     timestamps: HashMap<u64, u64>,
+    /// DOM versions currently retained (front = oldest); minting a
+    /// timestamp for a new version evicts beyond [`LIVE_GENERATIONS`].
+    live_versions: VecDeque<u64>,
     /// Highest timestamp minted so far (timestamps must be strictly
     /// monotonic even when two DOM versions land in the same millisecond).
     last_timestamp: u64,
@@ -178,6 +288,7 @@ impl RcbAgent {
             host_actions: Vec::new(),
             pending_confirmation: Vec::new(),
             timestamps: HashMap::new(),
+            live_versions: VecDeque::new(),
             last_timestamp: 0,
             stats: AgentStats::default(),
         }
@@ -215,7 +326,37 @@ impl RcbAgent {
         let t = now.as_document_timestamp().max(self.last_timestamp + 1);
         self.last_timestamp = t;
         self.timestamps.insert(version, t);
+        self.live_versions.push_back(version);
+        while self.live_versions.len() > LIVE_GENERATIONS {
+            let stale = self
+                .live_versions
+                .pop_front()
+                .expect("length just checked");
+            if self.timestamps.remove(&stale).is_some() {
+                self.stats.timestamp_evictions.incr();
+            }
+            for mode in [true, false] {
+                if self.content_cache.remove(&(stale, mode)).is_some() {
+                    self.stats.content_evictions.incr();
+                }
+            }
+        }
         t
+    }
+
+    /// Number of generated-content cache entries currently retained.
+    pub fn content_cache_len(&self) -> usize {
+        self.content_cache.len()
+    }
+
+    /// Number of DOM-version timestamps currently retained.
+    pub fn timestamps_len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Read access to the URL↔key mapping table (for snapshot builders).
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
     }
 
     /// Handles one HTTP request from a participant browser (Fig. 2).
@@ -315,10 +456,16 @@ impl RcbAgent {
                 "HMAC verification failed",
             ));
         }
-        let pid: u64 = req
-            .query_param("p")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        // Every participant must carry a well-formed `p` id: falling back
+        // to a default would collapse all such participants into one
+        // shared pid-0 state (merged poll counters, shared last_doc_time).
+        let Some(pid) = req.query_param("p").and_then(|v| v.parse().ok()) else {
+            self.stats.bad_poll_requests.incr();
+            return AgentOutcome::just(Response::error(
+                Status::BAD_REQUEST,
+                "missing or malformed participant id",
+            ));
+        };
         let body = String::from_utf8_lossy(&req.body).into_owned();
         let (client_time, actions) = parse_poll_body(&body);
         let entry = self.participants.entry(pid).or_insert(ParticipantInfo {
@@ -330,12 +477,7 @@ impl RcbAgent {
         entry.last_doc_time = entry.last_doc_time.max(client_time);
 
         // Data merging: apply piggybacked participant actions.
-        let mut effects = Vec::new();
-        if self.config.interaction_policy.allows(pid) {
-            for action in actions {
-                self.merge_action(pid, action, host, &mut effects);
-            }
-        }
+        let effects = self.merge_poll_actions(pid, actions, host);
 
         // Timestamp inspection: compare the participant's content
         // timestamp against the host's current one.
@@ -387,6 +529,26 @@ impl RcbAgent {
         let arc = Arc::new(content);
         self.content_cache.insert(cache_key, Arc::clone(&arc));
         Ok(arc)
+    }
+
+    /// Applies a batch of piggybacked participant actions to the host side
+    /// (the write half of a poll), returning the host effects the world
+    /// must carry out. This is the only poll work that needs mutable host
+    /// access; concurrent deployments call it under the host lock while
+    /// read-only polls proceed from a published snapshot.
+    pub fn merge_poll_actions(
+        &mut self,
+        pid: u64,
+        actions: Vec<UserAction>,
+        host: &mut Browser,
+    ) -> Vec<HostEffect> {
+        let mut effects = Vec::new();
+        if self.config.interaction_policy.allows(pid) {
+            for action in actions {
+                self.merge_action(pid, action, host, &mut effects);
+            }
+        }
+        effects
     }
 
     /// Applies one piggybacked participant action to the host side.
@@ -755,6 +917,96 @@ mod tests {
         let mut host = loaded_host("google.com");
         let out = a.handle_request(&Request::get("/favicon.ico"), &mut host, SimTime::ZERO);
         assert_eq!(out.response.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn poll_without_participant_id_is_rejected() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        // Correctly signed but missing the `p` parameter entirely: before
+        // the fix this collapsed into a shared pid-0 participant.
+        let mut missing = Request::post("/poll", build_poll_body(0, &[]));
+        sign_request(a.key(), &mut missing);
+        let out = a.handle_request(&missing, &mut host, SimTime::ZERO);
+        assert_eq!(out.response.status, Status::BAD_REQUEST);
+
+        // Malformed (non-numeric) id is rejected the same way.
+        let mut malformed = Request::post("/poll?p=alice", build_poll_body(0, &[]));
+        sign_request(a.key(), &mut malformed);
+        let out2 = a.handle_request(&malformed, &mut host, SimTime::ZERO);
+        assert_eq!(out2.response.status, Status::BAD_REQUEST);
+
+        assert!(
+            a.participants().is_empty(),
+            "no phantom pid-0 participant registered"
+        );
+        assert_eq!(a.stats.bad_poll_requests.get(), 2);
+        assert_eq!(a.stats.polls_with_content.get(), 0);
+        assert_eq!(a.stats.polls_empty.get(), 0);
+    }
+
+    #[test]
+    fn generation_caches_stay_bounded_across_many_versions() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        for i in 0..1_200u64 {
+            host.mutate_dom(|_| {}).unwrap();
+            let now = SimTime::from_millis(i);
+            let t = a.current_doc_time(&host, now);
+            a.content_for(&host, t, CacheMode::Cache).unwrap();
+            assert!(
+                a.timestamps_len() <= LIVE_GENERATIONS,
+                "timestamps unbounded at iteration {i}"
+            );
+            assert!(
+                a.content_cache_len() <= LIVE_GENERATIONS,
+                "content cache unbounded at iteration {i}"
+            );
+        }
+        assert_eq!(a.stats.timestamp_evictions.get(), 1_200 - LIVE_GENERATIONS as u64);
+        assert!(a.stats.content_evictions.get() > 0);
+    }
+
+    #[test]
+    fn predecessor_generation_content_stays_cached() {
+        let mut a = agent();
+        let mut host = loaded_host("google.com");
+        let t1 = a.current_doc_time(&host, SimTime::from_millis(1));
+        a.content_for(&host, t1, CacheMode::Cache).unwrap();
+        host.mutate_dom(|_| {}).unwrap();
+        let t2 = a.current_doc_time(&host, SimTime::from_millis(2));
+        a.content_for(&host, t2, CacheMode::Cache).unwrap();
+        // Both the live generation and its predecessor are retained...
+        assert_eq!(a.content_cache_len(), 2);
+        assert_eq!(a.timestamps_len(), 2);
+        // ...and a third generation evicts only the oldest.
+        host.mutate_dom(|_| {}).unwrap();
+        let t3 = a.current_doc_time(&host, SimTime::from_millis(3));
+        a.content_for(&host, t3, CacheMode::Cache).unwrap();
+        assert_eq!(a.content_cache_len(), 2);
+        assert_eq!(a.stats.content_evictions.get(), 1);
+    }
+
+    #[test]
+    fn participant_shards_isolate_and_count() {
+        let shards = ParticipantShards::new();
+        let now = SimTime::from_secs(1);
+        for pid in 1..=64u64 {
+            shards.record_poll(pid, 0, now);
+            shards.record_poll(pid, 10, now);
+        }
+        assert_eq!(shards.count(), 64);
+        let p7 = shards.get(7).unwrap();
+        assert_eq!(p7.polls, 2);
+        assert_eq!(p7.last_doc_time, 10);
+        shards.advance_doc_time(7, 99);
+        assert_eq!(shards.get(7).unwrap().last_doc_time, 99);
+        // Never backwards.
+        shards.advance_doc_time(7, 5);
+        assert_eq!(shards.get(7).unwrap().last_doc_time, 99);
+        shards.remove(7);
+        assert!(shards.get(7).is_none());
+        assert_eq!(shards.count(), 63);
     }
 
     #[test]

@@ -30,8 +30,12 @@
 //! * [`usability`] — the §5.2 usability study: the 20-task script
 //!   (Table 2) executed by simulated role-players, and the Likert
 //!   questionnaire model (Tables 3/4);
+//! * [`snapshot`] — immutable [`ContentSnapshot`]s: the contention-free
+//!   read path for concurrent deployments (polls and object requests are
+//!   served from a published frozen view; only host-side merges write);
 //! * [`tcp`] — the real-socket deployment path: RCB-Agent served over
-//!   `std::net` TCP, participants joining with a plain HTTP client.
+//!   `std::net` TCP through a snapshot-based concurrent request pipeline,
+//!   participants joining with a plain HTTP client.
 
 pub mod agent;
 pub mod auth;
@@ -42,11 +46,13 @@ pub mod policy;
 pub mod push;
 pub mod recorder;
 pub mod session;
+pub mod snapshot;
 pub mod snippet;
 pub mod tcp;
 pub mod usability;
 
-pub use agent::{AgentConfig, CacheMode, RcbAgent};
+pub use agent::{AgentConfig, CacheMode, ParticipantShards, RcbAgent};
+pub use snapshot::ContentSnapshot;
 pub use metrics::PageMetrics;
 pub use session::CoBrowsingWorld;
 pub use snippet::AjaxSnippet;

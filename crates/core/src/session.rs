@@ -758,6 +758,35 @@ mod tests {
     }
 
     #[test]
+    fn agent_memory_stays_bounded_across_a_long_session() {
+        // A long-lived session (1000+ DOM versions, each generating
+        // content for a participant) must not grow the agent's
+        // generated-content or timestamp maps: both are bounded to the
+        // live generation plus one predecessor.
+        use crate::agent::LIVE_GENERATIONS;
+        let mut world = lan_world();
+        let idx = world.add_participant(BrowserKind::Firefox);
+        world.host_navigate("http://google.com/").unwrap();
+        world.poll_participant(idx).unwrap().0.unwrap();
+        for _ in 0..1_000 {
+            world.host.browser.mutate_dom(|_| {}).unwrap();
+            world.sleep(SimDuration::from_millis(3));
+            world.poll_participant(idx).unwrap();
+            assert!(world.host.agent.content_cache_len() <= LIVE_GENERATIONS);
+            assert!(world.host.agent.timestamps_len() <= LIVE_GENERATIONS);
+        }
+        assert!(world.host.agent.stats.timestamp_evictions.get() >= 999);
+        assert!(world.host.agent.stats.content_evictions.get() > 0);
+        // The participant is still fully synchronized at the end.
+        let hd = world.host.browser.doc.as_ref().unwrap();
+        let pd = world.participants[idx].browser.doc.as_ref().unwrap();
+        assert_eq!(
+            hd.text_content(hd.body().unwrap()),
+            pd.text_content(pd.body().unwrap())
+        );
+    }
+
+    #[test]
     fn join_and_leave_lifecycle() {
         let mut world = lan_world();
         let a = world.add_participant(BrowserKind::Firefox);

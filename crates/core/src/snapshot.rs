@@ -1,0 +1,271 @@
+//! Immutable content snapshots: the contention-free read path.
+//!
+//! The paper's scalability pitch (§5.1.2) is that one host browser serves a
+//! whole co-browsing session; that only holds if the hot read path —
+//! Ajax polls and `/cache/{key}` object requests, which every participant
+//! issues once per second — does not serialize on host-side state. A
+//! [`ContentSnapshot`] makes that path lock-free in the data-structure
+//! sense: it is a frozen view of everything a read-only request needs,
+//! published as an `Arc` behind an `RwLock<Arc<ContentSnapshot>>`:
+//!
+//! * the **document timestamp** for timestamp inspection (Fig. 2's
+//!   "compare the participant's content timestamp");
+//! * the generated **Fig.-4 XML** for the agent's configured cache mode
+//!   ("the generated XML format response content is reusable for multiple
+//!   participant browsers", §4.1.2);
+//! * the **object bytes** of every supplementary object the content (and
+//!   its immediate predecessor) references, resolved through a
+//!   [`MappingView`] so `/cache/{key}` requests never touch the live
+//!   mapping table or host browser cache.
+//!
+//! A snapshot is regenerated only when the host DOM version changes, on
+//! the write path (host mutations and participant-action merges), and the
+//! swap holds the write lock for a single pointer store. Readers clone the
+//! `Arc` under a read lock and serve from the frozen data; a poll can
+//! therefore never block behind content generation.
+//!
+//! **Memory bound:** a snapshot carries the objects of at most two
+//! generations — its own plus the live keys of the snapshot it replaced —
+//! so a participant mid-flight on the previous content version can still
+//! fetch its objects while agent memory stays constant no matter how many
+//! DOM versions a session produces (the same
+//! [`LIVE_GENERATIONS`](crate::agent::LIVE_GENERATIONS) bound the agent
+//! applies to its generated-content and timestamp caches).
+//!
+//! **Lock ordering** (documented here because this module sits at the
+//! center of it): `host mutex → snapshot write lock`. The host mutex is
+//! taken first, content is generated outside any snapshot lock, and the
+//! write lock is taken last, only for the pointer swap. Participant-shard
+//! locks are leaves: never held while acquiring either of the other two.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rcb_browser::Browser;
+use rcb_cache::{CacheKey, MappingTable, MappingView};
+use rcb_util::{Result, SimTime};
+
+use crate::agent::RcbAgent;
+
+/// One supplementary object frozen into a snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotObject {
+    /// The absolute origin URL the object was cached under.
+    pub url: String,
+    /// The response `Content-Type` to serve.
+    pub content_type: String,
+    /// Body bytes, shared with the host browser cache entry.
+    pub data: Arc<Vec<u8>>,
+}
+
+/// A frozen, shareable view of one content generation (see module docs).
+#[derive(Debug)]
+pub struct ContentSnapshot {
+    /// The host DOM version this snapshot was generated from.
+    pub dom_version: u64,
+    /// The document timestamp embedded in the XML.
+    pub doc_time: u64,
+    /// The serialized Fig.-4 XML for the agent's configured cache mode.
+    pub xml: String,
+    /// Cache keys referenced by *this* generation's content.
+    live_keys: Vec<CacheKey>,
+    /// Servable objects: this generation's plus the predecessor's live
+    /// set (two-generation bound).
+    objects: HashMap<CacheKey, SnapshotObject>,
+}
+
+impl ContentSnapshot {
+    /// Builds a snapshot of the host's current DOM version, reusing the
+    /// agent's generated-content cache when the version was already
+    /// generated. `prev` is the snapshot being replaced; its live
+    /// generation's objects are carried forward so participants still
+    /// applying the previous content can fetch them.
+    ///
+    /// Must be called with exclusive host access (the write path); the
+    /// returned value is immutable and safe to publish to any number of
+    /// concurrent readers.
+    pub fn build(
+        agent: &mut RcbAgent,
+        host: &mut Browser,
+        now: SimTime,
+        prev: Option<&ContentSnapshot>,
+    ) -> Result<Arc<ContentSnapshot>> {
+        let doc_time = agent.current_doc_time(host, now);
+        let mode = agent.config.cache_mode;
+        let content = agent.content_for(host, doc_time, mode)?;
+
+        // Live keys: the agent-relative object URLs of this generation,
+        // mapped back to cache keys (`/cache/{key}?k={token}`). Non-cache
+        // mode leaves absolute URLs, which parse to no key — the snapshot
+        // then carries no objects, as participants fetch from origins.
+        let live_keys: Vec<CacheKey> = content
+            .object_urls
+            .iter()
+            .filter_map(|u| {
+                let path = u.split('?').next().unwrap_or(u);
+                MappingTable::parse_agent_path(path)
+            })
+            .collect();
+        let view: MappingView = agent.mapping().view_for(live_keys.iter().copied());
+
+        let mut objects = HashMap::with_capacity(live_keys.len());
+        for &key in &live_keys {
+            let Some(url) = view.url_for(key) else { continue };
+            if let Some(entry) = host.cache.lookup(url) {
+                objects.insert(
+                    key,
+                    SnapshotObject {
+                        url: entry.url,
+                        content_type: entry.content_type,
+                        data: entry.data,
+                    },
+                );
+            }
+        }
+        // Two-generation bound: carry forward only the predecessor's live
+        // set; anything older ages out with the snapshot it belonged to.
+        if let Some(prev) = prev {
+            for &key in &prev.live_keys {
+                if let Some(obj) = prev.objects.get(&key) {
+                    objects.entry(key).or_insert_with(|| obj.clone());
+                }
+            }
+        }
+
+        Ok(Arc::new(ContentSnapshot {
+            dom_version: host.dom_version(),
+            doc_time,
+            xml: content.xml.clone(),
+            live_keys,
+            objects,
+        }))
+    }
+
+    /// Looks up a servable object by cache key.
+    pub fn object(&self, key: CacheKey) -> Option<&SnapshotObject> {
+        self.objects.get(&key)
+    }
+
+    /// Number of objects this snapshot can serve (current + predecessor).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of objects referenced by the live generation alone.
+    pub fn live_object_count(&self) -> usize {
+        self.live_keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AgentConfig, CacheMode};
+    use rcb_browser::BrowserKind;
+    use rcb_crypto::SessionKey;
+    use rcb_origin::OriginRegistry;
+    use rcb_sim::link::Pipe;
+    use rcb_sim::profiles::NetProfile;
+    use rcb_url::Url;
+    use rcb_util::DetRng;
+
+    fn agent(mode: CacheMode) -> RcbAgent {
+        RcbAgent::new(
+            SessionKey::generate_deterministic(&mut DetRng::new(21)),
+            AgentConfig {
+                cache_mode: mode,
+                ..AgentConfig::default()
+            },
+        )
+    }
+
+    fn loaded_host(site: &str) -> Browser {
+        let mut origins = OriginRegistry::with_alexa20();
+        let profile = NetProfile::lan();
+        let mut pipe = Pipe::new(profile.host_origin);
+        let mut b = Browser::new(BrowserKind::Firefox);
+        b.navigate(
+            &Url::parse(&format!("http://{site}/")).unwrap(),
+            &mut origins,
+            &mut pipe,
+            &profile,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn snapshot_serves_cached_objects_without_host_access() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("apple.com");
+        let snap =
+            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), None).unwrap();
+        assert!(snap.object_count() > 0, "apple.com has supplementary objects");
+        assert_eq!(snap.object_count(), snap.live_object_count());
+        for key in snap.live_keys.clone() {
+            let obj = snap.object(key).expect("live object servable");
+            // Bytes are shared with (and equal to) the host cache entry.
+            let cached = host.cache.lookup(&obj.url).unwrap();
+            assert!(Arc::ptr_eq(&obj.data, &cached.data));
+        }
+        // XML parses as a Fig.-4 document carrying the snapshot timestamp.
+        let nc = rcb_xml::parse_new_content(&snap.xml).unwrap().unwrap();
+        assert_eq!(nc.doc_time, snap.doc_time);
+    }
+
+    #[test]
+    fn non_cache_snapshot_carries_no_objects() {
+        let mut a = agent(CacheMode::NonCache);
+        let mut host = loaded_host("apple.com");
+        let snap =
+            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), None).unwrap();
+        assert_eq!(snap.object_count(), 0);
+    }
+
+    #[test]
+    fn rebuilds_carry_one_predecessor_and_stay_bounded() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("apple.com");
+        let mut snap =
+            ContentSnapshot::build(&mut a, &mut host, SimTime::ZERO, None).unwrap();
+        let baseline = snap.live_object_count();
+        assert!(baseline > 0);
+        for i in 1..=1_000u64 {
+            host.mutate_dom(|_| {}).unwrap();
+            snap = ContentSnapshot::build(
+                &mut a,
+                &mut host,
+                SimTime::from_millis(i),
+                Some(&snap),
+            )
+            .unwrap();
+            // The object set never exceeds two generations' worth — here
+            // the page is unchanged, so the carried set equals the live
+            // set and the total stays flat.
+            assert!(
+                snap.object_count() <= 2 * baseline,
+                "object set unbounded at rebuild {i}"
+            );
+            assert!(snap.doc_time > 0);
+        }
+        // The agent's own caches honoured the same bound throughout.
+        assert!(a.content_cache_len() <= crate::agent::LIVE_GENERATIONS);
+        assert!(a.timestamps_len() <= crate::agent::LIVE_GENERATIONS);
+        assert!(a.stats.content_evictions.get() > 0);
+    }
+
+    #[test]
+    fn snapshot_tracks_dom_version() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("google.com");
+        let s1 = ContentSnapshot::build(&mut a, &mut host, SimTime::ZERO, None).unwrap();
+        assert_eq!(s1.dom_version, host.dom_version());
+        host.mutate_dom(|_| {}).unwrap();
+        let s2 =
+            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), Some(&s1))
+                .unwrap();
+        assert_eq!(s2.dom_version, host.dom_version());
+        assert!(s2.doc_time > s1.doc_time);
+    }
+}

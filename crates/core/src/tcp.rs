@@ -1,4 +1,4 @@
-//! Real-socket deployment of RCB-Agent.
+//! Real-socket deployment of RCB-Agent — the concurrent request pipeline.
 //!
 //! Everything else in this crate runs on simulated links; this module is
 //! the "practical" half of the paper's claim: the agent served over real
@@ -6,30 +6,277 @@
 //! RCB-Agent on the host browser with an open TCP port, e.g. 3000"), and
 //! a participant joining with nothing but an HTTP client — exactly what a
 //! regular browser plus Ajax-Snippet amounts to.
+//!
+//! # Concurrency architecture
+//!
+//! The paper names the host uplink as the session bottleneck (§5.1.2);
+//! the agent itself must therefore never become one. This deployment
+//! splits the agent into a read-mostly fast path and a serialized write
+//! path:
+//!
+//! * **Read path** (polls, object requests, joins): served from a
+//!   published [`ContentSnapshot`] behind an
+//!   `Arc<RwLock<Arc<ContentSnapshot>>>`. Readers clone the inner `Arc`
+//!   under a read lock held for nanoseconds and then work on frozen data;
+//!   per-participant bookkeeping goes through [`ParticipantShards`], so
+//!   two polls contend only if their pids hash to the same shard.
+//! * **Write path** (host page mutations, participant-action merges):
+//!   takes the single host mutex, applies the change to the live browser
+//!   DOM via [`RcbAgent`], and — when the DOM version changed —
+//!   regenerates the snapshot *outside* the snapshot lock, publishing it
+//!   with one pointer swap under the write lock.
+//!
+//! **Lock ordering:** host mutex → snapshot write lock; shard locks are
+//! leaves (never held while acquiring anything else). Content generation
+//! never runs under the snapshot lock, so a poll can never serialize
+//! behind it.
+//!
+//! Timestamps on this path are real wall-clock milliseconds since the
+//! Unix epoch (§4.1.1), via [`SimTime::from_unix_millis`] — not a wrapped
+//! count (the old `% 1_000_000_000` mapping recurred every ~11.6 days).
 
-use std::sync::Arc;
-
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use rcb_browser::{Browser, BrowserKind, UserAction};
+use rcb_cache::MappingTable;
 use rcb_crypto::SessionKey;
 use rcb_http::client::HttpConnection;
-use rcb_http::server::{Handler, HttpServer};
+use rcb_http::server::{Handler, HttpServer, ServerConfig};
+use rcb_http::{Request, Response, Status};
 use rcb_util::{RcbError, Result, SimDuration, SimTime};
 
-use crate::agent::{AgentConfig, RcbAgent};
+use crate::agent::{AgentConfig, AgentStats, ParticipantShards, RcbAgent};
+use crate::snapshot::ContentSnapshot;
 use crate::snippet::{AjaxSnippet, SnippetOutcome};
+
+/// Wall clock mapped onto the document-timestamp domain: real epoch
+/// milliseconds, as the paper specifies (§4.1.1).
+fn wall_now() -> SimTime {
+    let ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    SimTime::from_unix_millis(ms)
+}
+
+/// Atomic counters for the concurrent request path (the sequential
+/// [`AgentStats`] equivalents live behind the host mutex and only track
+/// write-path work such as generations and evictions).
+#[derive(Debug, Default)]
+struct TcpStats {
+    connections: AtomicU64,
+    object_requests: AtomicU64,
+    polls_with_content: AtomicU64,
+    polls_empty: AtomicU64,
+    auth_failures: AtomicU64,
+    bad_requests: AtomicU64,
+    polls_in_flight: AtomicU64,
+    max_concurrent_polls: AtomicU64,
+}
+
+/// A point-in-time copy of the host's concurrent-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpHostStats {
+    /// New-connection (`GET /`) requests served.
+    pub connections: u64,
+    /// Object (`GET /cache/{key}`) requests served successfully.
+    pub object_requests: u64,
+    /// Polls answered with new content.
+    pub polls_with_content: u64,
+    /// Polls answered empty.
+    pub polls_empty: u64,
+    /// Requests rejected by authentication.
+    pub auth_failures: u64,
+    /// Polls rejected for a missing/malformed participant id, plus other
+    /// malformed requests.
+    pub bad_requests: u64,
+    /// The highest number of polls ever observed inside the handler at
+    /// once — direct evidence the poll path is not serialized.
+    pub max_concurrent_polls: u64,
+}
+
+/// Decrements the in-flight poll gauge even on early returns.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The write-path state: the live agent and host browser, behind one lock.
+struct HostCore {
+    agent: RcbAgent,
+    browser: Browser,
+}
+
+/// State shared between the server handler and the [`TcpHost`] facade.
+struct SharedHost {
+    /// The published read-path snapshot (see module docs for ordering).
+    snapshot: RwLock<Arc<ContentSnapshot>>,
+    /// Sharded per-participant state: the concurrent `participants` map.
+    participants: ParticipantShards,
+    /// The write path: merges and snapshot regeneration only.
+    core: Mutex<HostCore>,
+    /// Frozen agent configuration (the read path must not lock for it).
+    config: AgentConfig,
+    /// The initial page (static per session) served to `GET /`.
+    initial_page: String,
+    key: SessionKey,
+    stats: TcpStats,
+}
+
+impl SharedHost {
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, HostCore> {
+        self.core
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reads the current snapshot (the only read-path lock besides shards).
+    fn current_snapshot(&self) -> Arc<ContentSnapshot> {
+        Arc::clone(
+            &self
+                .snapshot
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Regenerates and publishes the snapshot if the host DOM version
+    /// moved past the published one. Caller holds the host mutex;
+    /// generation runs outside the snapshot lock, the publish is a single
+    /// pointer swap under the write lock.
+    ///
+    /// On generation failure the previous snapshot keeps serving and the
+    /// error is returned: host-side callers surface it (the host can
+    /// retry its mutation), merge-path callers drop it (the snapshot is
+    /// still stale, so the next write retries generation).
+    fn republish_if_stale(&self, core: &mut HostCore) -> Result<()> {
+        let version = core.browser.dom_version();
+        let prev = self.current_snapshot();
+        if prev.dom_version == version {
+            return Ok(());
+        }
+        let snap =
+            ContentSnapshot::build(&mut core.agent, &mut core.browser, wall_now(), Some(&prev))?;
+        *self
+            .snapshot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = snap;
+        Ok(())
+    }
+
+    /// The full Fig.-2 request classification, on the concurrent paths.
+    fn handle(&self, req: &Request) -> Response {
+        let mut response = match (req.method, req.path()) {
+            (rcb_http::Method::Get, "/") => {
+                self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                Response::html(self.initial_page.clone())
+            }
+            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
+                self.serve_object(req)
+            }
+            (rcb_http::Method::Post, "/poll") => self.handle_poll(req),
+            _ => Response::error(Status::NOT_FOUND, "unknown request type"),
+        };
+        if self.config.authenticate_responses && response.status.is_success() {
+            crate::auth::sign_response(&self.key, &mut response);
+        }
+        response
+    }
+
+    /// Object requests: token check, key parse, snapshot lookup — no host
+    /// lock anywhere.
+    fn serve_object(&self, req: &Request) -> Response {
+        let path = req.path().to_string();
+        let token = req.query_param("k").unwrap_or_default();
+        if !crate::auth::verify_object_token(&self.key, &path, &token) {
+            self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            return Response::error(Status::UNAUTHORIZED, "bad object token");
+        }
+        let Some(cache_key) = MappingTable::parse_agent_path(&path) else {
+            self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::error(Status::BAD_REQUEST, "malformed cache path");
+        };
+        let snap = self.current_snapshot();
+        match snap.object(cache_key) {
+            Some(obj) => {
+                self.stats.object_requests.fetch_add(1, Ordering::Relaxed);
+                Response::with_body(Status::OK, &obj.content_type, obj.data.as_ref().clone())
+            }
+            None => Response::error(Status::NOT_FOUND, "object not in live generations"),
+        }
+    }
+
+    /// Ajax polls: HMAC verification and timestamp inspection are pure
+    /// reads; only piggybacked actions take the host mutex.
+    fn handle_poll(&self, req: &Request) -> Response {
+        let in_flight = self.stats.polls_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats
+            .max_concurrent_polls
+            .fetch_max(in_flight, Ordering::Relaxed);
+        let _guard = InFlightGuard(&self.stats.polls_in_flight);
+
+        if !crate::auth::verify_request(&self.key, req) {
+            self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            return Response::error(Status::UNAUTHORIZED, "HMAC verification failed");
+        }
+        // Same contract as the sequential agent: a missing/malformed `p`
+        // must not collapse participants into shared pid-0 state.
+        let Some(pid) = req.query_param("p").and_then(|v| v.parse::<u64>().ok()) else {
+            self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::error(Status::BAD_REQUEST, "missing or malformed participant id");
+        };
+        let body = String::from_utf8_lossy(&req.body).into_owned();
+        let (client_time, actions) = crate::agent::parse_poll_body(&body);
+        self.participants.record_poll(pid, client_time, wall_now());
+
+        // Data merging (the only write): take the host mutex, merge, and
+        // republish when the merge changed the DOM. Polls whose actions
+        // the frozen policy would discard anyway never touch the lock.
+        if !actions.is_empty() && self.config.interaction_policy.allows(pid) {
+            let mut core = self.lock_core();
+            let HostCore { agent, browser } = &mut *core;
+            // Host effects (navigations/submissions) need the network; the
+            // TCP facade has no world to run them in, so they are dropped,
+            // as in the sequential deployment. A failed regeneration keeps
+            // the previous snapshot; the next write-path request retries.
+            let _ = agent.merge_poll_actions(pid, actions, browser);
+            let _ = self.republish_if_stale(&mut core);
+        }
+
+        // Timestamp inspection against the frozen snapshot.
+        let snap = self.current_snapshot();
+        if client_time < snap.doc_time {
+            self.stats.polls_with_content.fetch_add(1, Ordering::Relaxed);
+            self.participants.advance_doc_time(pid, snap.doc_time);
+            Response::xml(snap.xml.clone())
+        } else {
+            self.stats.polls_empty.fetch_add(1, Ordering::Relaxed);
+            Response::empty_ok()
+        }
+    }
+
+    fn stats_snapshot(&self) -> TcpHostStats {
+        TcpHostStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            object_requests: self.stats.object_requests.load(Ordering::Relaxed),
+            polls_with_content: self.stats.polls_with_content.load(Ordering::Relaxed),
+            polls_empty: self.stats.polls_empty.load(Ordering::Relaxed),
+            auth_failures: self.stats.auth_failures.load(Ordering::Relaxed),
+            bad_requests: self.stats.bad_requests.load(Ordering::Relaxed),
+            max_concurrent_polls: self.stats.max_concurrent_polls.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A live RCB host: the agent plus a host browser behind a real TCP port.
 pub struct TcpHost {
     server: HttpServer,
-    state: Arc<Mutex<HostState>>,
+    shared: Arc<SharedHost>,
     key: SessionKey,
-}
-
-struct HostState {
-    agent: RcbAgent,
-    browser: Browser,
 }
 
 impl TcpHost {
@@ -51,24 +298,45 @@ impl TcpHost {
         browser.url = Some(rcb_url::Url::parse(page_url)?);
         browser.doc = Some(rcb_html::parse_document(page_html));
         browser.mutate_dom(|_| {}).expect("document just loaded");
-        let agent = RcbAgent::new(key.clone(), AgentConfig::default());
-        let state = Arc::new(Mutex::new(HostState { agent, browser }));
-        let handler_state = Arc::clone(&state);
-        let handler: Handler = Arc::new(move |req| {
-            let mut st = handler_state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let HostState { agent, browser } = &mut *st;
-            // Wall-clock now mapped onto the document-timestamp domain.
-            let now = SimTime::from_millis(
-                std::time::SystemTime::now()
-                    .duration_since(std::time::UNIX_EPOCH)
-                    .map(|d| d.as_millis() as u64)
-                    .unwrap_or(0)
-                    % 1_000_000_000,
-            );
-            agent.handle_request(&req, browser, now).response
+        Self::start_from_browser(
+            addr,
+            browser,
+            key,
+            AgentConfig::default(),
+            ServerConfig::default(),
+        )
+    }
+
+    /// Starts from an already prepared host browser (e.g. one that
+    /// navigated a real site and filled its cache), with explicit agent
+    /// and server configuration.
+    pub fn start_from_browser(
+        addr: &str,
+        mut browser: Browser,
+        key: SessionKey,
+        config: AgentConfig,
+        server_config: ServerConfig,
+    ) -> Result<TcpHost> {
+        let mut agent = RcbAgent::new(key.clone(), config.clone());
+        let initial_page = agent.initial_page();
+        let snapshot = ContentSnapshot::build(&mut agent, &mut browser, wall_now(), None)?;
+        let shared = Arc::new(SharedHost {
+            snapshot: RwLock::new(snapshot),
+            participants: ParticipantShards::new(),
+            core: Mutex::new(HostCore { agent, browser }),
+            config,
+            initial_page,
+            key: key.clone(),
+            stats: TcpStats::default(),
         });
-        let server = HttpServer::bind(addr, handler)?;
-        Ok(TcpHost { server, state, key })
+        let handler_state = Arc::clone(&shared);
+        let handler: Handler = Arc::new(move |req| handler_state.handle(&req));
+        let server = HttpServer::bind_with(addr, handler, server_config)?;
+        Ok(TcpHost {
+            server,
+            shared,
+            key,
+        })
     }
 
     /// The bound address participants connect to.
@@ -82,28 +350,50 @@ impl TcpHost {
     }
 
     /// Mutates the live host page (stands in for host-side browsing or
-    /// page JavaScript); participants pick the change up on their next
-    /// poll.
+    /// page JavaScript); the snapshot is regenerated and published before
+    /// this returns, so participants pick the change up on their next
+    /// poll. A content-generation failure is returned to the host (the
+    /// previous snapshot keeps serving until a retry succeeds).
     pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
-        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        st.browser.mutate_dom(f)
+        let mut core = self.shared.lock_core();
+        core.browser.mutate_dom(f)?;
+        self.shared.republish_if_stale(&mut core)
     }
 
     /// Number of participants the agent has seen.
     pub fn participant_count(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .agent
-            .participants()
-            .len()
+        self.shared.participants.count()
+    }
+
+    /// Concurrent-path counters (polls, objects, observed concurrency).
+    pub fn stats(&self) -> TcpHostStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// The document timestamp of the currently published snapshot.
+    pub fn published_doc_time(&self) -> u64 {
+        self.shared.current_snapshot().doc_time
+    }
+
+    /// Runs `f` against the sequential agent stats (generation counters,
+    /// eviction counters, M5 samples) under the host lock.
+    pub fn with_agent_stats<R>(&self, f: impl FnOnce(&AgentStats) -> R) -> R {
+        let core = self.shared.lock_core();
+        f(&core.agent.stats)
+    }
+
+    /// `(content_cache_len, timestamps_len)` of the live agent — both are
+    /// bounded to [`crate::agent::LIVE_GENERATIONS`] generations.
+    pub fn agent_cache_lens(&self) -> (usize, usize) {
+        let core = self.shared.lock_core();
+        (core.agent.content_cache_len(), core.agent.timestamps_len())
     }
 
     /// Reads current host form field values (to observe merged co-fill
     /// data, as in the paper's Figure 10).
     pub fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
-        let st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let Some(doc) = st.browser.doc.as_ref() else {
+        let core = self.shared.lock_core();
+        let Some(doc) = core.browser.doc.as_ref() else {
             return Vec::new();
         };
         match rcb_html::query::element_by_id(doc, doc.root(), form_id) {
@@ -219,6 +509,9 @@ mod tests {
         let doc = alice.browser.doc.as_ref().unwrap();
         assert!(doc.text_content(doc.root()).contains("hello co-browsers"));
         assert_eq!(host.participant_count(), 1);
+        let stats = host.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.polls_with_content, 1);
         host.shutdown();
     }
 
@@ -273,6 +566,7 @@ mod tests {
         let err = eve.poll().unwrap_err();
         assert_eq!(err.category(), "protocol");
         assert_eq!(host.participant_count(), 0);
+        assert_eq!(host.stats().auth_failures, 1);
         host.shutdown();
     }
 
@@ -287,6 +581,83 @@ mod tests {
             assert!(matches!(p.poll().unwrap(), SnippetOutcome::Updated { .. }));
         }
         assert_eq!(host.participant_count(), 3);
+        // One generation served all three — the snapshot is shared.
+        host.with_agent_stats(|s| assert_eq!(s.generations.get(), 1));
+        host.shutdown();
+    }
+
+    #[test]
+    fn poll_without_pid_rejected_over_tcp() {
+        let mut host = start_host();
+        let addr = host.addr().to_string();
+        let key = host.key().clone();
+        let mut req = Request::post("/poll", crate::agent::build_poll_body(0, &[]));
+        crate::auth::sign_request(&key, &mut req);
+        let resp = rcb_http::client::send_request(&addr, &req).unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        assert_eq!(host.participant_count(), 0);
+        assert_eq!(host.stats().bad_requests, 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn real_timestamps_are_epoch_millis() {
+        let mut host = start_host();
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_millis() as u64;
+        let doc_time = host.published_doc_time();
+        // Within a minute of the real wall clock — and far beyond the old
+        // `% 1_000_000_000` wrap ceiling.
+        assert!(doc_time > 1_000_000_000, "doc_time {doc_time} looks wrapped");
+        assert!(doc_time.abs_diff(now_ms) < 60_000);
+        host.shutdown();
+    }
+
+    #[test]
+    fn cached_objects_served_from_snapshot_over_tcp() {
+        use rcb_origin::OriginRegistry;
+        use rcb_sim::link::Pipe;
+        use rcb_sim::profiles::NetProfile;
+
+        // A host browser that really navigated (cache filled from origin).
+        let mut origins = OriginRegistry::with_alexa20();
+        let profile = NetProfile::lan();
+        let mut pipe = Pipe::new(profile.host_origin);
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser
+            .navigate(
+                &rcb_url::Url::parse("http://apple.com/").unwrap(),
+                &mut origins,
+                &mut pipe,
+                &profile,
+                SimTime::ZERO,
+            )
+            .unwrap();
+
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(79));
+        let mut host = TcpHost::start_from_browser(
+            "127.0.0.1:0",
+            browser,
+            key.clone(),
+            AgentConfig::default(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = host.addr().to_string();
+        let mut alice = TcpParticipant::join(&addr, key, 1).unwrap();
+        let outcome = alice.poll().unwrap();
+        let SnippetOutcome::Updated { object_urls, .. } = outcome else {
+            panic!("expected initial sync");
+        };
+        assert!(!object_urls.is_empty(), "apple.com page has objects");
+        assert!(object_urls.iter().all(|u| u.starts_with("/cache/")));
+        // `poll` auto-fetched them over the same connection.
+        assert_eq!(host.stats().object_requests as usize, object_urls.len());
+        for u in &object_urls {
+            assert!(alice.browser.cache.contains(u));
+        }
         host.shutdown();
     }
 }

@@ -6,9 +6,9 @@
 //! `application/xml`, or cached-object responses. This crate supplies the
 //! message model ([`Request`], [`Response`]), an incremental parser that
 //! consumes bytes exactly as they arrive off a socket ([`parse`]), the
-//! serializer, and a small threaded TCP [`server`] + blocking [`client`]
-//! used by the real-socket deployment path and the loopback integration
-//! tests.
+//! serializer, and a bounded worker-pool TCP [`server`] + blocking
+//! [`client`] used by the real-socket deployment path and the loopback
+//! integration tests.
 
 pub mod client;
 pub mod headers;
@@ -20,3 +20,4 @@ pub mod server;
 pub use headers::HeaderMap;
 pub use message::{Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, RequestParser};
+pub use server::{Handler, HttpServer, ServerConfig};

@@ -1,16 +1,24 @@
-//! A small threaded TCP HTTP server.
+//! A bounded worker-pool TCP HTTP server.
 //!
 //! This is the real-socket face of RCB-Agent: "a co-browsing host starts
 //! running RCB-Agent on the host browser with an open TCP port (e.g., 3000)"
-//! (paper §3.1, step 1). The server accepts connections, runs the
-//! incremental parser per connection, and dispatches complete requests to a
-//! shared handler. Keep-alive is supported; a connection closes on parse
-//! error or client close.
+//! (paper §3.1, step 1). Connections are accepted onto a bounded queue and
+//! multiplexed across a fixed pool of worker threads, so participant count
+//! is decoupled from thread count: each worker pops a connection, services
+//! whatever complete requests have arrived (keep-alive supported), and
+//! rotates the connection back onto the queue. A connection closes on parse
+//! error, client close, or `Connection: close`.
+//!
+//! The accept loop never dies on a transient `accept(2)` error (EMFILE
+//! under load, ECONNABORTED, EINTR, ...): it backs off exponentially and
+//! retries, exiting only on shutdown. Before this design a single such
+//! error permanently killed the listener mid-session.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -20,52 +28,200 @@ use crate::message::{Request, Response};
 use crate::parse::RequestParser;
 use crate::serialize::serialize_response;
 
-/// The request handler type: shared across connection threads.
+/// The request handler type: shared across worker threads.
 pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
 
+/// Worker-pool and queue sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads servicing connections (the concurrency bound).
+    pub workers: usize,
+    /// Maximum connections admitted onto the queue before the accept loop
+    /// applies backpressure (waits for capacity).
+    pub queue_capacity: usize,
+    /// How long a worker waits for bytes on one connection before rotating
+    /// it back onto the queue. Smaller values lower worst-case latency
+    /// under many idle connections; larger values reduce queue churn.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 256,
+            read_timeout: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Initial backoff after a transient `accept(2)` error.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+/// Backoff ceiling — EMFILE storms retry twice a second, not in a hot loop.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Doubles an accept backoff up to the ceiling.
+fn next_accept_backoff(current: Duration) -> Duration {
+    (current * 2).min(ACCEPT_BACKOFF_MAX)
+}
+
+/// One live connection plus its incremental parse state, as it travels
+/// between the queue and workers.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+}
+
+/// What a worker decided after one service pass over a connection.
+enum ConnFate {
+    /// Still healthy: rotate back onto the queue.
+    Keep,
+    /// Closed by the client, by protocol (`Connection: close` / parse
+    /// error), or by an I/O error: drop it.
+    Close,
+}
+
+/// The bounded connection queue shared by the accept loop and workers.
+struct ConnQueue {
+    inner: Mutex<VecDeque<Conn>>,
+    /// Signaled when a connection is queued (workers wait on this).
+    readable: Condvar,
+    /// Signaled when a pop frees capacity (the accept loop waits on this
+    /// while applying backpressure).
+    writable: Condvar,
+    capacity: usize,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Admits a newly accepted connection, waiting while the queue is at
+    /// capacity (backpressure on the accept loop). Returns `false` (and
+    /// drops the connection) when shutting down.
+    fn push_accepted(&self, conn: Conn) -> bool {
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while q.len() >= self.capacity {
+            if self.stopped() {
+                return false;
+            }
+            // Timeout only as a stop-flag safety net; pops signal
+            // `writable` the moment capacity frees.
+            let (guard, _) = self
+                .writable
+                .wait_timeout(q, Duration::from_millis(10))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+        }
+        if self.stopped() {
+            return false;
+        }
+        q.push_back(conn);
+        self.readable.notify_one();
+        true
+    }
+
+    /// Rotates a serviced connection back. Never blocks: workers must not
+    /// deadlock against a full queue, so rotation may transiently exceed
+    /// capacity by at most the worker count.
+    fn push_rotated(&self, conn: Conn) {
+        if self.stopped() {
+            return;
+        }
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        q.push_back(conn);
+        self.readable.notify_one();
+    }
+
+    /// Pops the next connection, waiting up to `timeout`.
+    fn pop(&self, timeout: Duration) -> Option<Conn> {
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if q.is_empty() && !self.stopped() {
+            let (guard, _) = self
+                .readable
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+        }
+        let conn = q.pop_front();
+        if conn.is_some() && q.len() < self.capacity {
+            self.writable.notify_one();
+        }
+        conn
+    }
+}
+
 /// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
-/// stops the accept loop and joins worker threads.
+/// stops the accept loop, drains workers, and joins all threads.
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+    accept_errors: Arc<AtomicU64>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `handler` on a background accept thread.
+    /// Binds with the default pool sizing (see [`ServerConfig`]).
     pub fn bind(addr: &str, handler: Handler) -> Result<HttpServer> {
+        Self::bind_with(addr, handler, ServerConfig::default())
+    }
+
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept thread plus `config.workers` worker threads.
+    pub fn bind_with(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let handler = Arc::clone(&handler);
-                        let stop3 = Arc::clone(&stop2);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, handler, stop3);
-                        }));
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
+        let accept_errors = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        let accept_queue = Arc::clone(&queue);
+        let errors = Arc::clone(&accept_errors);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, accept_queue, errors);
+        }));
+
+        for _ in 0..config.workers.max(1) {
+            let worker_queue = Arc::clone(&queue);
+            let handler = Arc::clone(&handler);
+            let read_timeout = config.read_timeout;
+            threads.push(std::thread::spawn(move || {
+                while !worker_queue.stopped() {
+                    let Some(mut conn) = worker_queue.pop(Duration::from_millis(50)) else {
+                        continue;
+                    };
+                    match service_connection(&mut conn, &handler, read_timeout) {
+                        ConnFate::Keep => worker_queue.push_rotated(conn),
+                        ConnFate::Close => {}
                     }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
                 }
-                workers.retain(|w| !w.is_finished());
-            }
-            for w in workers {
-                let _ = w.join();
-            }
-        });
+            }));
+        }
+
         Ok(HttpServer {
             addr: local,
-            stop,
-            accept_thread: Some(accept_thread),
+            queue,
+            accept_errors,
+            threads,
         })
     }
 
@@ -74,10 +230,16 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread.
+    /// Transient `accept(2)` errors survived so far (the loop retries them
+    /// with backoff instead of dying).
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
+        self.queue.shutdown();
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -89,34 +251,63 @@ impl Drop for HttpServer {
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    handler: Handler,
-    stop: Arc<AtomicBool>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut parser = RequestParser::new();
-    let mut buf = [0u8; 16 * 1024];
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(());
+/// The accept loop: admit connections, survive transient errors.
+fn accept_loop(listener: TcpListener, queue: Arc<ConnQueue>, errors: Arc<AtomicU64>) {
+    let mut backoff = ACCEPT_BACKOFF_START;
+    while !queue.stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_START;
+                queue.push_accepted(Conn {
+                    stream,
+                    parser: RequestParser::new(),
+                });
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // EMFILE, ECONNABORTED, EINTR, ...: all transient from the
+                // listener's point of view. Back off and retry; only a
+                // shutdown request ends the loop.
+                errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = next_accept_backoff(backoff);
+            }
         }
-        match stream.read(&mut buf) {
-            Ok(0) => return Ok(()), // client closed
+    }
+}
+
+/// One service pass: read whatever arrived within `read_timeout`, serve
+/// every complete request, report whether the connection stays alive.
+fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration) -> ConnFate {
+    if conn.stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return ConnFate::Close;
+    }
+    let mut buf = [0u8; 16 * 1024];
+    // Drain reads until the socket has nothing more for us this pass; the
+    // first empty read rotates the connection so one chatty client cannot
+    // pin a worker.
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return ConnFate::Close, // client closed
             Ok(n) => {
-                parser.feed(&buf[..n]);
+                conn.parser.feed(&buf[..n]);
                 loop {
-                    match parser.next_request() {
+                    match conn.parser.next_request() {
                         Ok(Some(req)) => {
                             let close = req
                                 .headers
                                 .get("connection")
                                 .is_some_and(|v| v.eq_ignore_ascii_case("close"));
                             let resp = handler(req);
-                            stream.write_all(&serialize_response(&resp))?;
-                            stream.flush()?;
+                            if conn.stream.write_all(&serialize_response(&resp)).is_err()
+                                || conn.stream.flush().is_err()
+                            {
+                                return ConnFate::Close;
+                            }
                             if close {
-                                return Ok(());
+                                return ConnFate::Close;
                             }
                         }
                         Ok(None) => break,
@@ -125,8 +316,8 @@ fn serve_connection(
                                 crate::message::Status::BAD_REQUEST,
                                 "malformed request",
                             );
-                            let _ = stream.write_all(&serialize_response(&resp));
-                            return Ok(());
+                            let _ = conn.stream.write_all(&serialize_response(&resp));
+                            return ConnFate::Close;
                         }
                     }
                 }
@@ -135,9 +326,9 @@ fn serve_connection(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue;
+                return ConnFate::Keep; // idle: rotate
             }
-            Err(e) => return Err(e),
+            Err(_) => return ConnFate::Close,
         }
     }
 }
@@ -205,12 +396,77 @@ mod tests {
     }
 
     #[test]
+    fn more_connections_than_workers_all_serviced() {
+        // 2 workers, 12 persistent clients, several keep-alive requests
+        // each: the pool must multiplex, not starve (the old design used a
+        // thread per connection; this one cannot).
+        let mut server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            echo_handler(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                read_timeout: Duration::from_millis(2),
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut conn = crate::client::HttpConnection::connect(&addr).unwrap();
+                    for j in 0..4 {
+                        let resp = conn
+                            .round_trip(&Request::get(format!("/c{i}/r{j}")))
+                            .unwrap();
+                        assert_eq!(resp.body_str(), format!("GET /c{i}/r{j}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn malformed_request_gets_400() {
         let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
         let resp = crate::client::read_response(&mut stream).unwrap();
         assert_eq!(resp.status, Status::BAD_REQUEST);
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_backoff_doubles_to_ceiling() {
+        let mut b = ACCEPT_BACKOFF_START;
+        let mut seen = vec![b];
+        for _ in 0..12 {
+            b = next_accept_backoff(b);
+            seen.push(b);
+        }
+        assert!(seen.windows(2).all(|w| w[1] >= w[0]), "monotone");
+        assert_eq!(*seen.last().unwrap(), ACCEPT_BACKOFF_MAX, "capped");
+        assert_eq!(seen[1], ACCEPT_BACKOFF_START * 2);
+    }
+
+    #[test]
+    fn survives_connection_churn() {
+        // Open-and-drop many sockets quickly (aborted connections surface
+        // as transient conditions on some platforms); the listener must
+        // still serve afterwards.
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.addr().to_string();
+        for _ in 0..50 {
+            let s = TcpStream::connect(&addr).unwrap();
+            drop(s);
+        }
+        let resp = send_request(&addr, &Request::get("/alive")).unwrap();
+        assert_eq!(resp.body_str(), "GET /alive");
         server.shutdown();
     }
 }

@@ -23,6 +23,11 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The wall-clock instant the simulation epoch is pinned to, in
+    /// milliseconds since the Unix epoch: 2009-06-14 00:00:00 UTC, roughly
+    /// the USENIX ATC '09 week.
+    pub const WALL_EPOCH_MS: u64 = 1_244_937_600_000;
+
     /// Builds a time from raw microseconds.
     pub const fn from_micros(us: u64) -> Self {
         SimTime(us)
@@ -72,9 +77,19 @@ impl SimTime {
     /// The simulation epoch is pinned to an arbitrary fixed wall-clock
     /// instant so that timestamps look like the ones RCB-Agent generates.
     pub fn as_document_timestamp(self) -> u64 {
-        // 2009-06-14 00:00:00 UTC, roughly the USENIX ATC '09 week.
-        const WALL_EPOCH_MS: u64 = 1_244_937_600_000;
-        WALL_EPOCH_MS + self.as_millis()
+        Self::WALL_EPOCH_MS + self.as_millis()
+    }
+
+    /// Builds the time whose document timestamp equals the given *real*
+    /// wall-clock instant (milliseconds since the Unix epoch).
+    ///
+    /// The real-socket deployment maps `SystemTime::now()` into the
+    /// timestamp domain with this constructor, so agent timestamps are the
+    /// paper's "milliseconds since midnight of January 1, 1970" (§4.1.1)
+    /// rather than a wrapped or shifted count. Instants before the pinned
+    /// simulation epoch saturate to `SimTime::ZERO`.
+    pub const fn from_unix_millis(ms: u64) -> SimTime {
+        SimTime(ms.saturating_sub(Self::WALL_EPOCH_MS) * 1_000)
     }
 }
 
@@ -211,6 +226,16 @@ mod tests {
     fn document_timestamp_is_wall_anchored() {
         let t = SimTime::from_secs(2);
         assert_eq!(t.as_document_timestamp(), 1_244_937_600_000 + 2_000);
+    }
+
+    #[test]
+    fn from_unix_millis_roundtrips_document_timestamps() {
+        // A 2026 wall-clock instant survives the round trip exactly — no
+        // `% 1_000_000_000` wrap (which recurred every ~11.6 days).
+        let ms = 1_785_000_000_123u64;
+        assert_eq!(SimTime::from_unix_millis(ms).as_document_timestamp(), ms);
+        // Instants before the pinned epoch saturate instead of underflowing.
+        assert_eq!(SimTime::from_unix_millis(5), SimTime::ZERO);
     }
 
     #[test]
