@@ -15,4 +15,4 @@ pub mod mapping;
 pub mod store;
 
 pub use mapping::{CacheKey, MappingTable, MappingView};
-pub use store::{Cache, CacheEntry, ReadSession};
+pub use store::{Cache, CacheEntry, CacheView, ReadSession};

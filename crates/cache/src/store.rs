@@ -1,7 +1,7 @@
 //! The object cache: bounded, LRU-evicting, with streaming read sessions.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rcb_util::{ByteSize, RcbError, Result, SimTime};
 
@@ -12,8 +12,10 @@ pub struct CacheEntry {
     pub url: String,
     /// The response `Content-Type`.
     pub content_type: String,
-    /// Body bytes, shared so multiple read sessions are cheap.
-    pub data: Arc<Vec<u8>>,
+    /// Body bytes as a shared slice: read sessions, snapshot views, and
+    /// HTTP response bodies all hold this same allocation, so serving a
+    /// cached object never copies its bytes.
+    pub data: Arc<[u8]>,
     /// When the entry was stored.
     pub stored_at: SimTime,
 }
@@ -35,6 +37,11 @@ pub struct Cache {
     used: ByteSize,
     hits: u64,
     misses: u64,
+    /// Memoized frozen view of `entries`, invalidated by any content
+    /// mutation (store/remove/clear — recency touches don't affect it).
+    /// Lets [`Cache::view`] be an `Arc` bump on the hot regeneration
+    /// path instead of an O(entries) map clone per DOM version.
+    view_memo: Mutex<Option<CacheView>>,
 }
 
 impl Cache {
@@ -47,6 +54,7 @@ impl Cache {
             used: ByteSize::ZERO,
             hits: 0,
             misses: 0,
+            view_memo: Mutex::new(None),
         }
     }
 
@@ -56,14 +64,18 @@ impl Cache {
     }
 
     /// Stores an object, evicting LRU entries if needed. Objects larger
-    /// than the whole capacity are not cached.
+    /// than the whole capacity are not cached. Accepts anything that
+    /// converts into a shared slice (a `Vec<u8>` is converted once at
+    /// store time; an already-shared `Arc<[u8]>` is adopted without
+    /// copying).
     pub fn store(
         &mut self,
         url: &str,
         content_type: &str,
-        data: Vec<u8>,
+        data: impl Into<Arc<[u8]>>,
         now: SimTime,
     ) -> bool {
+        let data = data.into();
         let size = ByteSize::bytes(data.len() as u64);
         if size > self.capacity {
             return false;
@@ -81,11 +93,12 @@ impl Cache {
             CacheEntry {
                 url: url.to_string(),
                 content_type: content_type.to_string(),
-                data: Arc::new(data),
+                data,
                 stored_at: now,
             },
         );
         self.lru.push(url.to_string());
+        self.invalidate_view();
         true
     }
 
@@ -112,6 +125,7 @@ impl Cache {
         if let Some(e) = self.entries.remove(url) {
             self.used = self.used.saturating_sub(e.size());
             self.lru.retain(|u| u != url);
+            self.invalidate_view();
         }
     }
 
@@ -121,6 +135,7 @@ impl Cache {
         self.entries.clear();
         self.lru.clear();
         self.used = ByteSize::ZERO;
+        self.invalidate_view();
     }
 
     /// Opens a streaming read session for `url`.
@@ -160,6 +175,31 @@ impl Cache {
         self.entries.keys().cloned().collect()
     }
 
+    /// A frozen view of every entry, for readers that must not hold the
+    /// cache (or its owner) while they work: the view shares one
+    /// `Arc`-held copy of the entry map (body bytes `Arc`-shared with the
+    /// live entries), memoized until the next content mutation — so the
+    /// pipelined content-generation path, which captures one of these
+    /// under the host mutex on every DOM version, usually pays a pointer
+    /// bump, and at worst one map clone per cache change.
+    pub fn view(&self) -> CacheView {
+        let mut memo = self
+            .view_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        memo.get_or_insert_with(|| CacheView {
+            entries: Arc::new(self.entries.clone()),
+        })
+        .clone()
+    }
+
+    fn invalidate_view(&mut self) {
+        *self
+            .view_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
     fn touch(&mut self, url: &str) {
         if let Some(idx) = self.lru.iter().position(|u| u == url) {
             let u = self.lru.remove(idx);
@@ -168,11 +208,41 @@ impl Cache {
     }
 }
 
+/// A detached, immutable view of a cache's contents (see [`Cache::view`]).
+/// Cloning is an `Arc` bump; lookups have no recency or counter side
+/// effects.
+#[derive(Debug, Clone, Default)]
+pub struct CacheView {
+    entries: Arc<HashMap<String, CacheEntry>>,
+}
+
+impl CacheView {
+    /// Whether `url` was cached when the view was taken.
+    pub fn contains(&self, url: &str) -> bool {
+        self.entries.contains_key(url)
+    }
+
+    /// The entry for `url`, if cached when the view was taken.
+    pub fn get(&self, url: &str) -> Option<&CacheEntry> {
+        self.entries.get(url)
+    }
+
+    /// Number of entries in the view.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A streaming read over a cached object — the analogue of copying a cache
 /// input stream into a socket output stream chunk by chunk (§4.1.1).
 #[derive(Debug)]
 pub struct ReadSession {
-    data: Arc<Vec<u8>>,
+    data: Arc<[u8]>,
     /// The cached object's content type.
     pub content_type: String,
     offset: usize,
@@ -265,9 +335,36 @@ mod tests {
     }
 
     #[test]
+    fn views_are_memoized_until_content_changes() {
+        let mut c = Cache::new(ByteSize::kib(10));
+        c.store("a", "t", vec![1, 2], t(0));
+        let v1 = c.view();
+        let v2 = c.view();
+        // Same frozen map until the cache content changes.
+        assert!(Arc::ptr_eq(&v1.entries, &v2.entries));
+        // Recency-only traffic (lookup/touch) does not invalidate.
+        c.lookup("a");
+        assert!(Arc::ptr_eq(&v1.entries, &c.view().entries));
+        // A store invalidates; the old view stays frozen.
+        c.store("b", "t", vec![3], t(1));
+        let v3 = c.view();
+        assert!(!Arc::ptr_eq(&v1.entries, &v3.entries));
+        assert!(!v1.contains("b"));
+        assert!(v3.contains("b"));
+        // Body bytes are shared, never copied, between cache and views.
+        let live = c.lookup("a").unwrap();
+        assert!(Arc::ptr_eq(&v3.get("a").unwrap().data, &live.data));
+        // Remove and clear invalidate too.
+        c.remove("b");
+        assert!(!c.view().contains("b"));
+        c.clear();
+        assert!(c.view().is_empty());
+    }
+
+    #[test]
     fn read_session_streams_chunks() {
         let mut c = Cache::new(ByteSize::kib(1));
-        c.store("a", "text/css", (0u8..100).collect(), t(0));
+        c.store("a", "text/css", (0u8..100).collect::<Vec<u8>>(), t(0));
         let mut s = c.open_read_session("a").unwrap();
         assert_eq!(s.len(), 100);
         let mut collected = Vec::new();

@@ -252,7 +252,11 @@ pub struct RcbAgent {
     /// Configuration (mode, interval, policies).
     pub config: AgentConfig,
     key: SessionKey,
-    mapping: MappingTable,
+    /// The URL↔key mapping table, behind its own leaf mutex so pipelined
+    /// content generation (running outside the host lock) can mint keys
+    /// concurrently with sequential agent work. Lock ordering: this is a
+    /// leaf — never held while acquiring any other lock.
+    mapping: Arc<Mutex<MappingTable>>,
     /// Generated content cached per (dom_version, mode) — "the generated
     /// XML format response content is reusable for multiple participant
     /// browsers" (§4.1.2).
@@ -282,7 +286,7 @@ impl RcbAgent {
         RcbAgent {
             config,
             key,
-            mapping: MappingTable::new(),
+            mapping: Arc::new(Mutex::new(MappingTable::new())),
             content_cache: HashMap::new(),
             participants: HashMap::new(),
             host_actions: Vec::new(),
@@ -354,9 +358,37 @@ impl RcbAgent {
         self.timestamps.len()
     }
 
-    /// Read access to the URL↔key mapping table (for snapshot builders).
-    pub fn mapping(&self) -> &MappingTable {
+    /// The shared URL↔key mapping table (snapshot builders and pipelined
+    /// generation clone the `Arc` and lock it briefly as a leaf).
+    pub fn mapping(&self) -> &Arc<Mutex<MappingTable>> {
         &self.mapping
+    }
+
+    /// Cached generated content for `(version, mode)`, if retained.
+    pub fn cached_content(&self, version: u64, mode: CacheMode) -> Option<Arc<GeneratedContent>> {
+        self.content_cache
+            .get(&(version, matches!(mode, CacheMode::Cache)))
+            .cloned()
+    }
+
+    /// Drains pending host actions into their wire encoding (captured by
+    /// a generation about to run).
+    pub fn take_host_actions(&mut self) -> String {
+        UserAction::encode_batch(&std::mem::take(&mut self.host_actions))
+    }
+
+    /// Admits content generated outside the agent (the pipelined path:
+    /// prepared under the host lock, finished without it) into the
+    /// generated-content cache, and accounts the generation in the stats.
+    /// The cache insert is skipped when `version` has already aged out of
+    /// the live-generation window — a stale insert would never be evicted.
+    pub fn admit_generated(&mut self, version: u64, mode: CacheMode, content: Arc<GeneratedContent>) {
+        self.stats.generations.incr();
+        self.stats.m5.record(content.generation_cost);
+        if self.timestamps.contains_key(&version) {
+            self.content_cache
+                .insert((version, matches!(mode, CacheMode::Cache)), content);
+        }
     }
 
     /// Handles one HTTP request from a participant browser (Fig. 2).
@@ -424,7 +456,13 @@ impl RcbAgent {
         let Some(cache_key) = MappingTable::parse_agent_path(&path) else {
             return Response::error(Status::BAD_REQUEST, "malformed cache path");
         };
-        let Some(url) = self.mapping.url_for(cache_key).map(str::to_string) else {
+        let Some(url) = self
+            .mapping
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .url_for(cache_key)
+            .map(str::to_string)
+        else {
             return Response::error(Status::NOT_FOUND, "unmapped cache key");
         };
         match host.cache.open_read_session(&url) {
@@ -466,7 +504,9 @@ impl RcbAgent {
                 "missing or malformed participant id",
             ));
         };
-        let body = String::from_utf8_lossy(&req.body).into_owned();
+        // Borrowed parse: `from_utf8_lossy` only allocates when the body
+        // is not valid UTF-8 (never for snippet-built polls).
+        let body = String::from_utf8_lossy(&req.body);
         let (client_time, actions) = parse_poll_body(&body);
         let entry = self.participants.entry(pid).or_insert(ParticipantInfo {
             last_doc_time: 0,
@@ -516,14 +556,13 @@ impl RcbAgent {
             return Ok(Arc::clone(c));
         }
         let host_actions = UserAction::encode_batch(&std::mem::take(&mut self.host_actions));
-        let content = generate_content(
-            host,
-            mode,
-            &mut self.mapping,
-            &self.key,
-            doc_time,
-            &host_actions,
-        )?;
+        let content = {
+            let mut mapping = self
+                .mapping
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            generate_content(host, mode, &mut mapping, &self.key, doc_time, &host_actions)?
+        };
         self.stats.generations.incr();
         self.stats.m5.record(content.generation_cost);
         let arc = Arc::new(content);

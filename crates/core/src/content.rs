@@ -21,9 +21,28 @@
 //! caller (the agent) measures it with a stopwatch and reuses the result
 //! for every participant ("the generated XML format response content is
 //! reusable for multiple participant browsers").
+//!
+//! # Pipelined generation
+//!
+//! Generation is split into two phases so concurrent deployments can keep
+//! their write-path critical section down to step 1 alone:
+//!
+//! * [`prepare_generation`] — performed **with** exclusive host access:
+//!   clone the documentElement and capture frozen inputs (page URL,
+//!   observer records, host-action batch) into a self-contained
+//!   [`GenerationJob`];
+//! * [`finish_generation`] — steps 2–5 (URL rewriting, event rewriting,
+//!   escaping, XML assembly) on the clone, **without** the host: the only
+//!   shared state it touches is the URL↔key mapping table, locked briefly
+//!   for step 3 only.
+//!
+//! [`generate_content`] runs both phases back to back for sequential
+//! callers.
 
-use rcb_browser::Browser;
-use rcb_cache::MappingTable;
+use std::sync::Mutex;
+
+use rcb_browser::{Browser, DownloadObserver};
+use rcb_cache::{CacheView, MappingTable};
 use rcb_crypto::SessionKey;
 use rcb_html::dom::{Document, NodeData, NodeId};
 use rcb_html::{inner_html, query};
@@ -50,7 +69,90 @@ pub struct GeneratedContent {
     pub generation_cost: SimDuration,
 }
 
-/// Generates response content from the host browser's current document.
+/// The frozen inputs of one content generation, captured under exclusive
+/// host access by [`prepare_generation`]. Self-contained: finishing the
+/// job touches neither the host browser nor the agent, so it can run
+/// after the host lock is released.
+pub struct GenerationJob {
+    /// Scratch document holding the cloned documentElement (step 1).
+    doc: Document,
+    /// The cloned `<html>` node inside `doc`.
+    clone: NodeId,
+    page_url: Url,
+    doc_time: u64,
+    mode: CacheMode,
+    user_actions: String,
+    /// Observer records frozen at capture time (small: one string pair
+    /// per recorded download).
+    observer: DownloadObserver,
+    /// Wall-clock cost of the capture phase, carried into the final M5.
+    prep_cost: SimDuration,
+}
+
+impl GenerationJob {
+    /// The document timestamp this job will embed.
+    pub fn doc_time(&self) -> u64 {
+        self.doc_time
+    }
+}
+
+/// Phase 1 (requires exclusive host access, paper step 1): clone the
+/// documentElement and freeze every other generation input.
+pub fn prepare_generation(
+    host: &Browser,
+    mode: CacheMode,
+    doc_time: u64,
+    user_actions: String,
+) -> Result<GenerationJob> {
+    let sw = Stopwatch::start();
+    let live_doc = host
+        .doc
+        .as_ref()
+        .ok_or_else(|| RcbError::InvalidInput("host has no document loaded".into()))?;
+    let page_url = host
+        .url
+        .as_ref()
+        .ok_or_else(|| RcbError::InvalidInput("host has no page URL".into()))?
+        .clone();
+    let html_el = live_doc
+        .document_element()
+        .ok_or_else(|| RcbError::InvalidInput("host document has no <html>".into()))?;
+
+    // Step 1: clone the documentElement into a scratch document.
+    let mut doc = Document::new();
+    let clone = doc.import_subtree(live_doc, html_el);
+    let root = doc.root();
+    doc.append_child(root, clone).expect("fresh scratch tree");
+
+    Ok(GenerationJob {
+        doc,
+        clone,
+        page_url,
+        doc_time,
+        mode,
+        user_actions,
+        observer: host.observer.clone(),
+        prep_cost: sw.elapsed(),
+    })
+}
+
+/// Phase 2 (no host access, paper steps 2–5): rewrite the clone and
+/// assemble the Fig.-4 XML. `cache` is a view of the host cache frozen
+/// alongside the job (the caller captures exactly one, under the same
+/// lock as [`prepare_generation`], and reuses it for object resolution
+/// afterwards). The mapping table is the only shared state, locked just
+/// for step 3's rewrites; everything else runs on frozen captures.
+pub fn finish_generation(
+    job: GenerationJob,
+    cache: &CacheView,
+    mapping: &Mutex<MappingTable>,
+    key: &SessionKey,
+) -> Result<GeneratedContent> {
+    finish_impl(job, cache, MappingAccess::Shared(mapping), key)
+}
+
+/// Generates response content from the host browser's current document
+/// (both phases back to back — the sequential deployments' entry point).
 ///
 /// `user_actions` carries host-side action data (e.g. mouse-pointer
 /// positions) to mirror to participants inside the `userActions` element.
@@ -62,32 +164,53 @@ pub fn generate_content(
     doc_time: u64,
     user_actions: &str,
 ) -> Result<GeneratedContent> {
-    let sw = Stopwatch::start();
-    let live_doc = host
-        .doc
-        .as_ref()
-        .ok_or_else(|| RcbError::InvalidInput("host has no document loaded".into()))?;
-    let page_url = host
-        .url
-        .as_ref()
-        .ok_or_else(|| RcbError::InvalidInput("host has no page URL".into()))?;
-    let html_el = live_doc
-        .document_element()
-        .ok_or_else(|| RcbError::InvalidInput("host document has no <html>".into()))?;
+    let job = prepare_generation(host, mode, doc_time, user_actions.to_string())?;
+    let cache = host.cache.view();
+    finish_impl(job, &cache, MappingAccess::Exclusive(mapping), key)
+}
 
-    // Step 1: clone the documentElement into a scratch document.
-    let mut doc = Document::new();
-    let clone = doc.import_subtree(live_doc, html_el);
-    let root = doc.root();
-    doc.append_child(root, clone).expect("fresh scratch tree");
+/// How phase 2 reaches the mapping table: exclusively borrowed (the
+/// sequential path) or behind the shared leaf mutex (the pipelined path).
+enum MappingAccess<'a> {
+    Exclusive(&'a mut MappingTable),
+    Shared(&'a Mutex<MappingTable>),
+}
+
+fn finish_impl(
+    job: GenerationJob,
+    cache: &CacheView,
+    mapping: MappingAccess<'_>,
+    key: &SessionKey,
+) -> Result<GeneratedContent> {
+    let sw = Stopwatch::start();
+    let GenerationJob {
+        mut doc,
+        clone,
+        page_url,
+        doc_time,
+        mode,
+        user_actions,
+        observer,
+        prep_cost,
+    } = job;
 
     // Step 2: relative → absolute URL conversion, using the download
     // observer's records where available (paper: nsIObserverService).
-    rewrite_urls_absolute(&mut doc, clone, host, page_url);
+    rewrite_urls_absolute(&mut doc, clone, &observer, &page_url);
 
-    // Step 3: cache mode — absolute → agent URLs for cached objects.
+    // Step 3: cache mode — absolute → agent URLs for cached objects. Only
+    // this step touches shared state; with `Shared` access the table lock
+    // is held for the rewrite loop alone, never across escaping/assembly.
     let cache_rewrites = match mode {
-        CacheMode::Cache => rewrite_cached_to_agent(&mut doc, clone, host, mapping, key),
+        CacheMode::Cache => match mapping {
+            MappingAccess::Exclusive(m) => {
+                rewrite_cached_to_agent(&mut doc, clone, cache, m, key)
+            }
+            MappingAccess::Shared(mx) => {
+                let mut m = mx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                rewrite_cached_to_agent(&mut doc, clone, cache, &mut m, key)
+            }
+        },
         CacheMode::NonCache => 0,
     };
 
@@ -101,7 +224,7 @@ pub fn generate_content(
         doc_time,
         head_children,
         top,
-        user_actions: user_actions.to_string(),
+        user_actions,
     };
     let xml = write_new_content(&nc);
     Ok(GeneratedContent {
@@ -109,18 +232,23 @@ pub fn generate_content(
         doc_time,
         object_urls,
         cache_rewrites,
-        generation_cost: sw.elapsed(),
+        generation_cost: prep_cost + sw.elapsed(),
     })
 }
 
 /// Step 2: make every URL-bearing attribute absolute.
-fn rewrite_urls_absolute(doc: &mut Document, scope: NodeId, host: &Browser, page: &Url) {
+fn rewrite_urls_absolute(
+    doc: &mut Document,
+    scope: NodeId,
+    observer: &DownloadObserver,
+    page: &Url,
+) {
     let refs = query::collect_url_refs(doc, scope);
     for (node, attr, raw) in refs {
         if Url::is_absolute(&raw) || raw.starts_with('#') {
             continue;
         }
-        if let Some(abs) = host.observer.resolve(page, &raw) {
+        if let Some(abs) = observer.resolve(page, &raw) {
             doc.set_attr(node, attr, abs);
         }
     }
@@ -131,7 +259,7 @@ fn rewrite_urls_absolute(doc: &mut Document, scope: NodeId, host: &Browser, page
 fn rewrite_cached_to_agent(
     doc: &mut Document,
     scope: NodeId,
-    host: &Browser,
+    cache: &CacheView,
     mapping: &mut MappingTable,
     key: &SessionKey,
 ) -> usize {
@@ -150,7 +278,7 @@ fn rewrite_cached_to_agent(
         // Per-object mode flexibility (paper: "even allow different objects
         // on the same webpage to use different modes"): only rewrite what
         // the host cache can actually serve.
-        if !host.cache.contains(&abs) {
+        if !cache.contains(&abs) {
             continue;
         }
         let cache_key = mapping.key_for(&abs);

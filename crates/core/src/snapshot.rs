@@ -1,4 +1,4 @@
-//! Immutable content snapshots: the contention-free read path.
+//! Immutable content snapshots: the contention-free, zero-copy read path.
 //!
 //! The paper's scalability pitch (§5.1.2) is that one host browser serves a
 //! whole co-browsing session; that only holds if the hot read path —
@@ -12,17 +12,34 @@
 //!   "compare the participant's content timestamp");
 //! * the generated **Fig.-4 XML** for the agent's configured cache mode
 //!   ("the generated XML format response content is reusable for multiple
-//!   participant browsers", §4.1.2);
+//!   participant browsers", §4.1.2), frozen as a **prefab wire image**: the
+//!   complete poll response (status line + headers + body, pre-signed when
+//!   response authentication is on) is serialized once at snapshot build
+//!   time, and every participant's content poll is answered by cloning an
+//!   `Arc` — zero bytes are heap-copied per request;
 //! * the **object bytes** of every supplementary object the content (and
-//!   its immediate predecessor) references, resolved through a
-//!   [`MappingView`] so `/cache/{key}` requests never touch the live
-//!   mapping table or host browser cache.
+//!   its immediate predecessor) references, each likewise frozen into a
+//!   prefab response whose body `Arc`-shares the host browser cache entry,
+//!   resolved through a [`MappingView`] so `/cache/{key}` requests never
+//!   touch the live mapping table or host browser cache.
 //!
-//! A snapshot is regenerated only when the host DOM version changes, on
-//! the write path (host mutations and participant-action merges), and the
-//! swap holds the write lock for a single pointer store. Readers clone the
-//! `Arc` under a read lock and serve from the frozen data; a poll can
-//! therefore never block behind content generation.
+//! # Pipelined regeneration
+//!
+//! Building a snapshot is split in two so the write path's critical
+//! section shrinks to the DOM clone:
+//!
+//! * [`ContentSnapshot::plan`] — runs **under the host mutex**: mints the
+//!   document timestamp, clones the documentElement
+//!   ([`prepare_generation`]), and freezes a view of the cache. Cheap and
+//!   proportional to the DOM, never to the serialized content.
+//! * [`SnapshotPlan::finish`] — runs **with no locks held**: URL
+//!   rewriting, event rewriting, escaping, XML assembly, object
+//!   resolution, and prefab serialization. The mapping table is the only
+//!   shared state it touches (a leaf mutex, locked briefly).
+//!
+//! The caller publishes the finished snapshot with a single pointer swap
+//! under the snapshot write lock, discarding it if a newer DOM version was
+//! published in the meantime.
 //!
 //! **Memory bound:** a snapshot carries the objects of at most two
 //! generations — its own plus the live keys of the snapshot it replaced —
@@ -34,18 +51,22 @@
 //!
 //! **Lock ordering** (documented here because this module sits at the
 //! center of it): `host mutex → snapshot write lock`. The host mutex is
-//! taken first, content is generated outside any snapshot lock, and the
-//! write lock is taken last, only for the pointer swap. Participant-shard
-//! locks are leaves: never held while acquiring either of the other two.
+//! taken first (plan), content is generated with no lock held (finish),
+//! and the write lock is taken last, only for the pointer swap.
+//! Participant-shard locks and the mapping-table mutex are leaves: never
+//! held while acquiring anything else.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rcb_browser::Browser;
-use rcb_cache::{CacheKey, MappingTable, MappingView};
+use rcb_cache::{CacheKey, CacheView, MappingTable, MappingView};
+use rcb_crypto::SessionKey;
+use rcb_http::{Body, Response, Status};
 use rcb_util::{Result, SimTime};
 
-use crate::agent::RcbAgent;
+use crate::agent::{CacheMode, RcbAgent};
+use crate::content::{finish_generation, prepare_generation, GeneratedContent, GenerationJob};
 
 /// One supplementary object frozen into a snapshot.
 #[derive(Debug, Clone)]
@@ -55,7 +76,18 @@ pub struct SnapshotObject {
     /// The response `Content-Type` to serve.
     pub content_type: String,
     /// Body bytes, shared with the host browser cache entry.
-    pub data: Arc<Vec<u8>>,
+    pub data: Arc<[u8]>,
+    /// Prefab wire image of the object response (body `Arc`-shared with
+    /// `data`, pre-signed when response authentication is on): serving the
+    /// object clones this, copying no bytes.
+    response: Response,
+}
+
+impl SnapshotObject {
+    /// The ready-to-send response (an `Arc` clone, zero bytes copied).
+    pub fn response(&self) -> Response {
+        self.response.clone()
+    }
 }
 
 /// A frozen, shareable view of one content generation (see module docs).
@@ -65,8 +97,11 @@ pub struct ContentSnapshot {
     pub dom_version: u64,
     /// The document timestamp embedded in the XML.
     pub doc_time: u64,
-    /// The serialized Fig.-4 XML for the agent's configured cache mode.
-    pub xml: String,
+    /// UTF-8 bytes of the serialized Fig.-4 XML, shared with the poll
+    /// response body.
+    xml: Arc<[u8]>,
+    /// Prefab wire image of the content-bearing poll response.
+    poll_response: Response,
     /// Cache keys referenced by *this* generation's content.
     live_keys: Vec<CacheKey>,
     /// Servable objects: this generation's plus the predecessor's live
@@ -74,71 +109,88 @@ pub struct ContentSnapshot {
     objects: HashMap<CacheKey, SnapshotObject>,
 }
 
+/// Everything a snapshot build needs after the host mutex is released:
+/// either already-cached generated content, or a prepared generation job,
+/// plus the frozen inputs for object resolution and prefab assembly.
+pub struct SnapshotPlan {
+    dom_version: u64,
+    doc_time: u64,
+    mode: CacheMode,
+    work: PlanWork,
+    cache: CacheView,
+    mapping: Arc<Mutex<MappingTable>>,
+    key: SessionKey,
+    sign: bool,
+}
+
+enum PlanWork {
+    /// The agent had this `(version, mode)` generation cached.
+    Cached(Arc<GeneratedContent>),
+    /// Generation steps 2–5 still to run (outside any lock).
+    Generate(Box<GenerationJob>),
+}
+
 impl ContentSnapshot {
-    /// Builds a snapshot of the host's current DOM version, reusing the
-    /// agent's generated-content cache when the version was already
-    /// generated. `prev` is the snapshot being replaced; its live
-    /// generation's objects are carried forward so participants still
-    /// applying the previous content can fetch them.
-    ///
-    /// Must be called with exclusive host access (the write path); the
-    /// returned value is immutable and safe to publish to any number of
-    /// concurrent readers.
+    /// Phase 1, **under the host mutex**: mint the document timestamp,
+    /// clone the documentElement, freeze the cache view and generation
+    /// inputs. Everything expensive is deferred to
+    /// [`SnapshotPlan::finish`].
+    pub fn plan(agent: &mut RcbAgent, host: &Browser, now: SimTime) -> Result<SnapshotPlan> {
+        let doc_time = agent.current_doc_time(host, now);
+        let dom_version = host.dom_version();
+        let mode = agent.config.cache_mode;
+        let work = match agent.cached_content(dom_version, mode) {
+            Some(content) => PlanWork::Cached(content),
+            None => {
+                let user_actions = agent.take_host_actions();
+                PlanWork::Generate(Box::new(prepare_generation(
+                    host, mode, doc_time, user_actions,
+                )?))
+            }
+        };
+        Ok(SnapshotPlan {
+            dom_version,
+            doc_time,
+            mode,
+            work,
+            cache: host.cache.view(),
+            mapping: Arc::clone(agent.mapping()),
+            key: agent.key().clone(),
+            sign: agent.config.authenticate_responses,
+        })
+    }
+
+    /// Builds a snapshot of the host's current DOM version in one go
+    /// (plan + finish + cache admission) — for sequential callers that
+    /// already hold exclusive host access end to end. `prev` is the
+    /// snapshot being replaced; its live generation's objects are carried
+    /// forward so participants still applying the previous content can
+    /// fetch them.
     pub fn build(
         agent: &mut RcbAgent,
-        host: &mut Browser,
+        host: &Browser,
         now: SimTime,
         prev: Option<&ContentSnapshot>,
     ) -> Result<Arc<ContentSnapshot>> {
-        let doc_time = agent.current_doc_time(host, now);
         let mode = agent.config.cache_mode;
-        let content = agent.content_for(host, doc_time, mode)?;
-
-        // Live keys: the agent-relative object URLs of this generation,
-        // mapped back to cache keys (`/cache/{key}?k={token}`). Non-cache
-        // mode leaves absolute URLs, which parse to no key — the snapshot
-        // then carries no objects, as participants fetch from origins.
-        let live_keys: Vec<CacheKey> = content
-            .object_urls
-            .iter()
-            .filter_map(|u| {
-                let path = u.split('?').next().unwrap_or(u);
-                MappingTable::parse_agent_path(path)
-            })
-            .collect();
-        let view: MappingView = agent.mapping().view_for(live_keys.iter().copied());
-
-        let mut objects = HashMap::with_capacity(live_keys.len());
-        for &key in &live_keys {
-            let Some(url) = view.url_for(key) else { continue };
-            if let Some(entry) = host.cache.lookup(url) {
-                objects.insert(
-                    key,
-                    SnapshotObject {
-                        url: entry.url,
-                        content_type: entry.content_type,
-                        data: entry.data,
-                    },
-                );
-            }
+        let plan = Self::plan(agent, host, now)?;
+        let (snap, generated) = plan.finish(prev)?;
+        if let Some(content) = generated {
+            agent.admit_generated(snap.dom_version, mode, content);
         }
-        // Two-generation bound: carry forward only the predecessor's live
-        // set; anything older ages out with the snapshot it belonged to.
-        if let Some(prev) = prev {
-            for &key in &prev.live_keys {
-                if let Some(obj) = prev.objects.get(&key) {
-                    objects.entry(key).or_insert_with(|| obj.clone());
-                }
-            }
-        }
+        Ok(snap)
+    }
 
-        Ok(Arc::new(ContentSnapshot {
-            dom_version: host.dom_version(),
-            doc_time,
-            xml: content.xml.clone(),
-            live_keys,
-            objects,
-        }))
+    /// The serialized Fig.-4 XML.
+    pub fn xml(&self) -> &str {
+        std::str::from_utf8(&self.xml).expect("generated XML is UTF-8")
+    }
+
+    /// The ready-to-send content poll response: a clone of the prefab
+    /// wire image — headers and body were serialized once at build time,
+    /// so this copies pointers, not bytes.
+    pub fn poll_response(&self) -> Response {
+        self.poll_response.clone()
     }
 
     /// Looks up a servable object by cache key.
@@ -157,12 +209,127 @@ impl ContentSnapshot {
     }
 }
 
+impl SnapshotPlan {
+    /// Phase 2, **no locks held**: run the deferred generation (if any),
+    /// resolve object bytes from the frozen cache view, and serialize the
+    /// prefab wire images. Returns the snapshot plus the freshly generated
+    /// content (when generation ran) so the caller can admit it into the
+    /// agent's generated-content cache under the host mutex.
+    pub fn finish(
+        self,
+        prev: Option<&ContentSnapshot>,
+    ) -> Result<(Arc<ContentSnapshot>, Option<Arc<GeneratedContent>>)> {
+        let (content, generated) = match self.work {
+            PlanWork::Cached(c) => (c, None),
+            PlanWork::Generate(job) => {
+                let c = Arc::new(finish_generation(*job, &self.cache, &self.mapping, &self.key)?);
+                (Arc::clone(&c), Some(c))
+            }
+        };
+
+        // Live keys: the agent-relative object URLs of this generation,
+        // mapped back to cache keys (`/cache/{key}?k={token}`). Non-cache
+        // mode leaves absolute URLs, which parse to no key — the snapshot
+        // then carries no objects, as participants fetch from origins.
+        let live_keys: Vec<CacheKey> = content
+            .object_urls
+            .iter()
+            .filter_map(|u| {
+                let path = u.split('?').next().unwrap_or(u);
+                MappingTable::parse_agent_path(path)
+            })
+            .collect();
+        let view: MappingView = self
+            .mapping
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .view_for(live_keys.iter().copied());
+
+        let mut objects = HashMap::with_capacity(live_keys.len());
+        for &key in &live_keys {
+            let Some(url) = view.url_for(key) else { continue };
+            if let Some(entry) = self.cache.get(url) {
+                objects.insert(
+                    key,
+                    SnapshotObject {
+                        url: entry.url.clone(),
+                        content_type: entry.content_type.clone(),
+                        data: Arc::clone(&entry.data),
+                        response: prefab_response(
+                            Status::OK,
+                            &entry.content_type,
+                            Arc::clone(&entry.data),
+                            self.sign.then_some(&self.key),
+                        ),
+                    },
+                );
+            }
+        }
+        // Two-generation bound: carry forward only the predecessor's live
+        // set (with its already-frozen prefabs); anything older ages out
+        // with the snapshot it belonged to.
+        if let Some(prev) = prev {
+            for &key in &prev.live_keys {
+                if let Some(obj) = prev.objects.get(&key) {
+                    objects.entry(key).or_insert_with(|| obj.clone());
+                }
+            }
+        }
+
+        // Freeze the poll wire image: every participant's content poll for
+        // this generation is byte-identical, so serialize it exactly once.
+        let xml: Arc<[u8]> = Arc::from(content.xml.as_bytes());
+        let poll_response = prefab_response(
+            Status::OK,
+            "application/xml; charset=utf-8",
+            Arc::clone(&xml),
+            self.sign.then_some(&self.key),
+        );
+
+        Ok((
+            Arc::new(ContentSnapshot {
+                dom_version: self.dom_version,
+                doc_time: self.doc_time,
+                xml,
+                poll_response,
+                live_keys,
+                objects,
+            }),
+            generated,
+        ))
+    }
+
+    /// The DOM version this plan will publish.
+    pub fn dom_version(&self) -> u64 {
+        self.dom_version
+    }
+
+    /// The cache mode the plan's content was (or will be) generated for.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+}
+
+/// Builds a frozen, ready-to-send response: shared body, optional
+/// response MAC, serialized once into a prefab wire image.
+pub(crate) fn prefab_response(
+    status: Status,
+    content_type: &str,
+    body: Arc<[u8]>,
+    sign_with: Option<&SessionKey>,
+) -> Response {
+    let mut resp = Response::with_body(status, content_type, Body::Shared(body));
+    if let Some(key) = sign_with {
+        crate::auth::sign_response(key, &mut resp);
+    }
+    resp.into_prefab()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agent::{AgentConfig, CacheMode};
+    use crate::agent::AgentConfig;
     use rcb_browser::BrowserKind;
-    use rcb_crypto::SessionKey;
     use rcb_origin::OriginRegistry;
     use rcb_sim::link::Pipe;
     use rcb_sim::profiles::NetProfile;
@@ -200,7 +367,7 @@ mod tests {
         let mut a = agent(CacheMode::Cache);
         let mut host = loaded_host("apple.com");
         let snap =
-            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), None).unwrap();
+            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
         assert!(snap.object_count() > 0, "apple.com has supplementary objects");
         assert_eq!(snap.object_count(), snap.live_object_count());
         for key in snap.live_keys.clone() {
@@ -208,18 +375,64 @@ mod tests {
             // Bytes are shared with (and equal to) the host cache entry.
             let cached = host.cache.lookup(&obj.url).unwrap();
             assert!(Arc::ptr_eq(&obj.data, &cached.data));
+            // The prefab response serves those same bytes, pre-serialized.
+            let resp = obj.response();
+            assert!(resp.is_prefab());
+            assert_eq!(resp.body.as_slice(), obj.data.as_ref());
+            assert_eq!(resp.body.copied_len(), 0, "object body is shared");
         }
         // XML parses as a Fig.-4 document carrying the snapshot timestamp.
-        let nc = rcb_xml::parse_new_content(&snap.xml).unwrap().unwrap();
+        let nc = rcb_xml::parse_new_content(snap.xml()).unwrap().unwrap();
         assert_eq!(nc.doc_time, snap.doc_time);
+    }
+
+    #[test]
+    fn poll_response_is_a_frozen_wire_image_of_the_xml() {
+        let mut a = agent(CacheMode::Cache);
+        let host = loaded_host("google.com");
+        let snap = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
+        let resp = snap.poll_response();
+        assert!(resp.is_prefab());
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body.as_slice(), snap.xml().as_bytes());
+        assert_eq!(resp.body.copied_len(), 0, "poll body is shared");
+        // Two serves share one image (pointer equality, not re-serialization).
+        let again = snap.poll_response();
+        assert!(Arc::ptr_eq(
+            resp.prefab_bytes().unwrap(),
+            again.prefab_bytes().unwrap()
+        ));
+        // The image parses back to exactly the response it froze.
+        let parsed =
+            rcb_http::parse_response(resp.prefab_bytes().unwrap()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn signed_snapshots_carry_valid_response_macs() {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(22));
+        let mut a = RcbAgent::new(
+            key.clone(),
+            AgentConfig {
+                authenticate_responses: true,
+                ..AgentConfig::default()
+            },
+        );
+        let host = loaded_host("apple.com");
+        let snap = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
+        assert!(crate::auth::verify_response(&key, &snap.poll_response()));
+        for key_id in snap.live_keys.clone() {
+            let obj = snap.object(key_id).unwrap();
+            assert!(crate::auth::verify_response(&key, &obj.response()));
+        }
     }
 
     #[test]
     fn non_cache_snapshot_carries_no_objects() {
         let mut a = agent(CacheMode::NonCache);
-        let mut host = loaded_host("apple.com");
+        let host = loaded_host("apple.com");
         let snap =
-            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), None).unwrap();
+            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
         assert_eq!(snap.object_count(), 0);
     }
 
@@ -228,14 +441,14 @@ mod tests {
         let mut a = agent(CacheMode::Cache);
         let mut host = loaded_host("apple.com");
         let mut snap =
-            ContentSnapshot::build(&mut a, &mut host, SimTime::ZERO, None).unwrap();
+            ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
         let baseline = snap.live_object_count();
         assert!(baseline > 0);
         for i in 1..=1_000u64 {
             host.mutate_dom(|_| {}).unwrap();
             snap = ContentSnapshot::build(
                 &mut a,
-                &mut host,
+                &host,
                 SimTime::from_millis(i),
                 Some(&snap),
             )
@@ -259,13 +472,34 @@ mod tests {
     fn snapshot_tracks_dom_version() {
         let mut a = agent(CacheMode::Cache);
         let mut host = loaded_host("google.com");
-        let s1 = ContentSnapshot::build(&mut a, &mut host, SimTime::ZERO, None).unwrap();
+        let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
         assert_eq!(s1.dom_version, host.dom_version());
         host.mutate_dom(|_| {}).unwrap();
         let s2 =
-            ContentSnapshot::build(&mut a, &mut host, SimTime::from_secs(1), Some(&s1))
+            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), Some(&s1))
                 .unwrap();
         assert_eq!(s2.dom_version, host.dom_version());
         assert!(s2.doc_time > s1.doc_time);
+    }
+
+    #[test]
+    fn plan_then_finish_matches_build_and_returns_content_to_admit() {
+        let mut a = agent(CacheMode::Cache);
+        let host = loaded_host("apple.com");
+        // Pipelined: plan under "the host mutex", finish afterwards.
+        let plan = ContentSnapshot::plan(&mut a, &host, SimTime::from_secs(1)).unwrap();
+        assert_eq!(plan.dom_version(), host.dom_version());
+        let (snap, generated) = plan.finish(None).unwrap();
+        let content = generated.expect("first build generates");
+        assert_eq!(a.stats.generations.get(), 0, "not yet admitted");
+        a.admit_generated(snap.dom_version, CacheMode::Cache, content);
+        assert_eq!(a.stats.generations.get(), 1);
+        assert_eq!(a.content_cache_len(), 1);
+        // A second plan for the same version reuses the admitted content.
+        let plan2 = ContentSnapshot::plan(&mut a, &host, SimTime::from_secs(2)).unwrap();
+        let (snap2, generated2) = plan2.finish(Some(&snap)).unwrap();
+        assert!(generated2.is_none(), "cache hit: nothing generated");
+        assert_eq!(snap2.doc_time, snap.doc_time);
+        assert_eq!(snap2.xml(), snap.xml());
     }
 }

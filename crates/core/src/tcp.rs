@@ -22,14 +22,24 @@
 //!   two polls contend only if their pids hash to the same shard.
 //! * **Write path** (host page mutations, participant-action merges):
 //!   takes the single host mutex, applies the change to the live browser
-//!   DOM via [`RcbAgent`], and — when the DOM version changed —
-//!   regenerates the snapshot *outside* the snapshot lock, publishing it
-//!   with one pointer swap under the write lock.
+//!   DOM via [`RcbAgent`], and — when the DOM version changed — *plans* a
+//!   snapshot rebuild while still holding the mutex (DOM clone + frozen
+//!   captures only), then releases it and runs generation, object
+//!   resolution, and prefab serialization with **no lock held**,
+//!   publishing with one pointer swap under the write lock. A slow
+//!   generation therefore never blocks merges or page mutations, let
+//!   alone polls.
 //!
-//! **Lock ordering:** host mutex → snapshot write lock; shard locks are
-//! leaves (never held while acquiring anything else). Content generation
-//! never runs under the snapshot lock, so a poll can never serialize
-//! behind it.
+//! The read path is also **zero-copy**: content polls and object requests
+//! are answered by cloning prefab wire images frozen into the snapshot
+//! (`Arc` bumps), so per-request heap-copied response-body bytes are zero
+//! — [`TcpHostStats::body_bytes_copied`] measures exactly that.
+//!
+//! **Lock ordering:** host mutex → snapshot write lock; shard locks and
+//! the mapping-table mutex are leaves (never held while acquiring
+//! anything else). Content generation never runs under the host mutex or
+//! the snapshot lock, so neither a poll nor a merge can serialize behind
+//! it.
 //!
 //! Timestamps on this path are real wall-clock milliseconds since the
 //! Unix epoch (§4.1.1), via [`SimTime::from_unix_millis`] — not a wrapped
@@ -47,7 +57,7 @@ use rcb_http::{Request, Response, Status};
 use rcb_util::{RcbError, Result, SimDuration, SimTime};
 
 use crate::agent::{AgentConfig, AgentStats, ParticipantShards, RcbAgent};
-use crate::snapshot::ContentSnapshot;
+use crate::snapshot::{prefab_response, ContentSnapshot, SnapshotPlan};
 use crate::snippet::{AjaxSnippet, SnippetOutcome};
 
 /// Wall clock mapped onto the document-timestamp domain: real epoch
@@ -73,6 +83,7 @@ struct TcpStats {
     bad_requests: AtomicU64,
     polls_in_flight: AtomicU64,
     max_concurrent_polls: AtomicU64,
+    body_bytes_copied: AtomicU64,
 }
 
 /// A point-in-time copy of the host's concurrent-path counters.
@@ -94,6 +105,12 @@ pub struct TcpHostStats {
     /// The highest number of polls ever observed inside the handler at
     /// once — direct evidence the poll path is not serialized.
     pub max_concurrent_polls: u64,
+    /// Response-body bytes heap-copied while building responses, summed
+    /// over every request served. Prefab wire images and `Arc`-shared
+    /// bodies copy nothing, so on the hot read path this stays at zero no
+    /// matter how large the content is or how many polls are served —
+    /// only small owned bodies (error texts) ever add to it.
+    pub body_bytes_copied: u64,
 }
 
 /// Decrements the in-flight poll gauge even on early returns.
@@ -115,14 +132,30 @@ struct HostCore {
 struct SharedHost {
     /// The published read-path snapshot (see module docs for ordering).
     snapshot: RwLock<Arc<ContentSnapshot>>,
+    /// Highest DOM version a thread is currently generating a snapshot
+    /// for (0 = none). Written under the host mutex (plan) and cleared by
+    /// compare-exchange (finish), it keeps a regeneration singly-flighted:
+    /// while one thread generates version V, other write-path requests
+    /// that would replan V (or anything older) skip instead of running a
+    /// duplicate generation inline — they keep serving the previous
+    /// snapshot and pick the new one up once the in-flight thread
+    /// publishes. A *newer* version always proceeds (concurrent
+    /// generations of different versions are ordered by the publish
+    /// guard).
+    regen_in_flight: AtomicU64,
     /// Sharded per-participant state: the concurrent `participants` map.
     participants: ParticipantShards,
-    /// The write path: merges and snapshot regeneration only.
+    /// The write path: merges and snapshot-plan capture only (generation
+    /// itself runs after the mutex is released).
     core: Mutex<HostCore>,
     /// Frozen agent configuration (the read path must not lock for it).
     config: AgentConfig,
-    /// The initial page (static per session) served to `GET /`.
-    initial_page: String,
+    /// Prefab wire image of the initial page (static per session) served
+    /// to `GET /` — serialized once at startup, cloned per join.
+    initial_page_response: Response,
+    /// Prefab wire image of the empty poll reply (§4.1.1's "response with
+    /// empty content") — identical for every up-to-date participant.
+    empty_poll_response: Response,
     key: SessionKey,
     stats: TcpStats,
 }
@@ -144,27 +177,82 @@ impl SharedHost {
         )
     }
 
-    /// Regenerates and publishes the snapshot if the host DOM version
-    /// moved past the published one. Caller holds the host mutex;
-    /// generation runs outside the snapshot lock, the publish is a single
-    /// pointer swap under the write lock.
+    /// Phase 1 of a republish, **under the host mutex** (caller holds it):
+    /// if the host DOM version moved past the published one — and no other
+    /// thread is already generating it — capture a snapshot plan (DOM
+    /// clone + frozen inputs) and mark the version in flight. Returns
+    /// `Ok(None)` when the published snapshot is already current or the
+    /// regeneration is already being handled elsewhere.
+    ///
+    /// Host actions drained into a plan are ephemeral mirror data (mouse
+    /// positions): if the plan's snapshot later loses the publish race to
+    /// a newer generation, they are dropped rather than replayed stale —
+    /// the next generation's positions supersede them, as in the
+    /// sequential deployment where only participants polling during a
+    /// generation's window ever saw its actions.
+    fn plan_republish(&self, core: &mut HostCore) -> Result<Option<SnapshotPlan>> {
+        let version = core.browser.dom_version();
+        if self.current_snapshot().dom_version == version {
+            return Ok(None);
+        }
+        // Single-flight: the store is race-free because every planner
+        // holds the host mutex here.
+        if self.regen_in_flight.load(Ordering::Acquire) >= version {
+            return Ok(None);
+        }
+        let plan = ContentSnapshot::plan(&mut core.agent, &core.browser, wall_now())?;
+        self.regen_in_flight.store(version, Ordering::Release);
+        Ok(Some(plan))
+    }
+
+    /// Phase 2, **no locks held on entry**: generate content and assemble
+    /// the snapshot from the plan's frozen captures, admit the generated
+    /// content into the agent cache (brief host lock), and publish with a
+    /// pointer swap — unless a newer DOM version was published while this
+    /// one was generating, in which case the result is discarded.
     ///
     /// On generation failure the previous snapshot keeps serving and the
     /// error is returned: host-side callers surface it (the host can
     /// retry its mutation), merge-path callers drop it (the snapshot is
     /// still stale, so the next write retries generation).
-    fn republish_if_stale(&self, core: &mut HostCore) -> Result<()> {
-        let version = core.browser.dom_version();
+    fn finish_republish(&self, plan: SnapshotPlan) -> Result<()> {
+        let mode = plan.mode();
+        let version = plan.dom_version();
         let prev = self.current_snapshot();
-        if prev.dom_version == version {
-            return Ok(());
+        // Clears the single-flight marker on every exit path — only after
+        // publishing (or failing), so no window exists in which another
+        // thread could replan this same version. A planner for a newer
+        // version may have overwritten the marker; the compare-exchange
+        // leaves that one alone.
+        let clear_marker = || {
+            let _ = self.regen_in_flight.compare_exchange(
+                version,
+                0,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        };
+        let (snap, generated) = match plan.finish(Some(&prev)) {
+            Ok(done) => done,
+            Err(e) => {
+                clear_marker();
+                return Err(e);
+            }
+        };
+        if let Some(content) = generated {
+            let mut core = self.lock_core();
+            core.agent.admit_generated(snap.dom_version, mode, content);
         }
-        let snap =
-            ContentSnapshot::build(&mut core.agent, &mut core.browser, wall_now(), Some(&prev))?;
-        *self
-            .snapshot
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = snap;
+        {
+            let mut published = self
+                .snapshot
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if snap.dom_version > published.dom_version {
+                *published = snap;
+            }
+        }
+        clear_marker();
         Ok(())
     }
 
@@ -173,7 +261,7 @@ impl SharedHost {
         let mut response = match (req.method, req.path()) {
             (rcb_http::Method::Get, "/") => {
                 self.stats.connections.fetch_add(1, Ordering::Relaxed);
-                Response::html(self.initial_page.clone())
+                self.initial_page_response.clone()
             }
             (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
                 self.serve_object(req)
@@ -181,9 +269,18 @@ impl SharedHost {
             (rcb_http::Method::Post, "/poll") => self.handle_poll(req),
             _ => Response::error(Status::NOT_FOUND, "unknown request type"),
         };
-        if self.config.authenticate_responses && response.status.is_success() {
+        // Prefab responses were signed (when configured) at freeze time;
+        // signing them again would desync the frozen image.
+        if self.config.authenticate_responses
+            && response.status.is_success()
+            && !response.is_prefab()
+        {
             crate::auth::sign_response(&self.key, &mut response);
         }
+        // Copy accounting: prefab/shared bodies contribute zero.
+        self.stats
+            .body_bytes_copied
+            .fetch_add(response.body.copied_len() as u64, Ordering::Relaxed);
         response
     }
 
@@ -204,7 +301,9 @@ impl SharedHost {
         match snap.object(cache_key) {
             Some(obj) => {
                 self.stats.object_requests.fetch_add(1, Ordering::Relaxed);
-                Response::with_body(Status::OK, &obj.content_type, obj.data.as_ref().clone())
+                // Prefab wire image frozen at snapshot build: an `Arc`
+                // clone, no byte of the object body is copied.
+                obj.response()
             }
             None => Response::error(Status::NOT_FOUND, "object not in live generations"),
         }
@@ -229,22 +328,34 @@ impl SharedHost {
             self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             return Response::error(Status::BAD_REQUEST, "missing or malformed participant id");
         };
-        let body = String::from_utf8_lossy(&req.body).into_owned();
+        // Borrowed parse: `from_utf8_lossy` only allocates when the body
+        // is not valid UTF-8 (never for snippet-built polls) — the old
+        // `.into_owned()` copied every poll body just to split it.
+        let body = String::from_utf8_lossy(&req.body);
         let (client_time, actions) = crate::agent::parse_poll_body(&body);
         self.participants.record_poll(pid, client_time, wall_now());
 
-        // Data merging (the only write): take the host mutex, merge, and
-        // republish when the merge changed the DOM. Polls whose actions
-        // the frozen policy would discard anyway never touch the lock.
+        // Data merging (the only write): take the host mutex just long
+        // enough to merge and — when the merge changed the DOM — capture a
+        // snapshot plan (DOM clone); generation then runs after the mutex
+        // is dropped, so other merges and mutations proceed meanwhile.
+        // Polls whose actions the frozen policy would discard anyway never
+        // touch the lock.
         if !actions.is_empty() && self.config.interaction_policy.allows(pid) {
-            let mut core = self.lock_core();
-            let HostCore { agent, browser } = &mut *core;
-            // Host effects (navigations/submissions) need the network; the
-            // TCP facade has no world to run them in, so they are dropped,
-            // as in the sequential deployment. A failed regeneration keeps
-            // the previous snapshot; the next write-path request retries.
-            let _ = agent.merge_poll_actions(pid, actions, browser);
-            let _ = self.republish_if_stale(&mut core);
+            let plan = {
+                let mut core = self.lock_core();
+                let HostCore { agent, browser } = &mut *core;
+                // Host effects (navigations/submissions) need the network;
+                // the TCP facade has no world to run them in, so they are
+                // dropped, as in the sequential deployment.
+                let _ = agent.merge_poll_actions(pid, actions, browser);
+                self.plan_republish(&mut core)
+            };
+            // A failed regeneration keeps the previous snapshot; the next
+            // write-path request retries.
+            if let Ok(Some(plan)) = plan {
+                let _ = self.finish_republish(plan);
+            }
         }
 
         // Timestamp inspection against the frozen snapshot.
@@ -252,10 +363,12 @@ impl SharedHost {
         if client_time < snap.doc_time {
             self.stats.polls_with_content.fetch_add(1, Ordering::Relaxed);
             self.participants.advance_doc_time(pid, snap.doc_time);
-            Response::xml(snap.xml.clone())
+            // Prefab wire image: every participant's content poll for this
+            // generation is byte-identical, serialized once at build time.
+            snap.poll_response()
         } else {
             self.stats.polls_empty.fetch_add(1, Ordering::Relaxed);
-            Response::empty_ok()
+            self.empty_poll_response.clone()
         }
     }
 
@@ -268,6 +381,7 @@ impl SharedHost {
             auth_failures: self.stats.auth_failures.load(Ordering::Relaxed),
             bad_requests: self.stats.bad_requests.load(Ordering::Relaxed),
             max_concurrent_polls: self.stats.max_concurrent_polls.load(Ordering::Relaxed),
+            body_bytes_copied: self.stats.body_bytes_copied.load(Ordering::Relaxed),
         }
     }
 }
@@ -312,20 +426,36 @@ impl TcpHost {
     /// and server configuration.
     pub fn start_from_browser(
         addr: &str,
-        mut browser: Browser,
+        browser: Browser,
         key: SessionKey,
         config: AgentConfig,
         server_config: ServerConfig,
     ) -> Result<TcpHost> {
         let mut agent = RcbAgent::new(key.clone(), config.clone());
-        let initial_page = agent.initial_page();
-        let snapshot = ContentSnapshot::build(&mut agent, &mut browser, wall_now(), None)?;
+        let sign_with = config.authenticate_responses.then_some(&key);
+        // Static per session: freeze the initial page and the empty poll
+        // reply into prefab wire images once, at startup.
+        let initial_page_response = prefab_response(
+            Status::OK,
+            "text/html; charset=utf-8",
+            Arc::from(agent.initial_page().into_bytes()),
+            sign_with,
+        );
+        let empty_poll_response = prefab_response(
+            Status::OK,
+            "application/xml; charset=utf-8",
+            Arc::from(Vec::new()),
+            sign_with,
+        );
+        let snapshot = ContentSnapshot::build(&mut agent, &browser, wall_now(), None)?;
         let shared = Arc::new(SharedHost {
             snapshot: RwLock::new(snapshot),
+            regen_in_flight: AtomicU64::new(0),
             participants: ParticipantShards::new(),
             core: Mutex::new(HostCore { agent, browser }),
             config,
-            initial_page,
+            initial_page_response,
+            empty_poll_response,
             key: key.clone(),
             stats: TcpStats::default(),
         });
@@ -352,12 +482,21 @@ impl TcpHost {
     /// Mutates the live host page (stands in for host-side browsing or
     /// page JavaScript); the snapshot is regenerated and published before
     /// this returns, so participants pick the change up on their next
-    /// poll. A content-generation failure is returned to the host (the
-    /// previous snapshot keeps serving until a retry succeeds).
+    /// poll — but the host mutex is held only for the mutation and the
+    /// DOM clone, never across content generation, so concurrent merges
+    /// and polls are not blocked by a slow regeneration. A
+    /// content-generation failure is returned to the host (the previous
+    /// snapshot keeps serving until a retry succeeds).
     pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
-        let mut core = self.shared.lock_core();
-        core.browser.mutate_dom(f)?;
-        self.shared.republish_if_stale(&mut core)
+        let plan = {
+            let mut core = self.shared.lock_core();
+            core.browser.mutate_dom(f)?;
+            self.shared.plan_republish(&mut core)?
+        };
+        match plan {
+            Some(plan) => self.shared.finish_republish(plan),
+            None => Ok(()),
+        }
     }
 
     /// Number of participants the agent has seen.
@@ -373,6 +512,12 @@ impl TcpHost {
     /// The document timestamp of the currently published snapshot.
     pub fn published_doc_time(&self) -> u64 {
         self.shared.current_snapshot().doc_time
+    }
+
+    /// Byte length of the currently published Fig.-4 XML (the content
+    /// poll response body).
+    pub fn published_xml_len(&self) -> usize {
+        self.shared.current_snapshot().xml().len()
     }
 
     /// Runs `f` against the sequential agent stats (generation counters,

@@ -18,6 +18,6 @@ pub mod serialize;
 pub mod server;
 
 pub use headers::HeaderMap;
-pub use message::{Method, Request, Response, Status};
+pub use message::{Body, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, RequestParser};
 pub use server::{Handler, HttpServer, ServerConfig};

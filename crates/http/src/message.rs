@@ -1,6 +1,8 @@
 //! HTTP request and response types.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use rcb_util::{RcbError, Result};
 
@@ -183,20 +185,201 @@ impl Request {
     }
 }
 
+/// A response entity body: either bytes owned by this response, or a
+/// reference-counted slice shared with other responses.
+///
+/// The paper's scalability claim (§5.1.2) rests on generated content being
+/// "reusable for multiple participant browsers"; `Shared` makes that reuse
+/// literal on the wire — every response for one content generation holds
+/// the same `Arc<[u8]>`, and the server writes it to the socket without
+/// ever materializing a per-request copy.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response alone.
+    Owned(Vec<u8>),
+    /// Bytes shared across responses (cloning the body clones a pointer).
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// An empty owned body.
+    pub fn empty() -> Body {
+        Body::Owned(Vec::new())
+    }
+
+    /// The body bytes, whichever representation holds them.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Bytes that a clone of this body would heap-copy: the full length
+    /// for `Owned`, zero for `Shared` (an `Arc` clone is a pointer bump).
+    /// Instrumentation hooks use this to count per-request copy cost.
+    pub fn copied_len(&self) -> usize {
+        match self {
+            Body::Owned(v) => v.len(),
+            Body::Shared(_) => 0,
+        }
+    }
+
+    /// Extracts owned bytes: a move for `Owned`, one copy for `Shared`.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a.to_vec(),
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Body {
+        Body::Shared(a)
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(s: &[u8]) -> Body {
+        Body::Owned(s.to_vec())
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Owned(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Owned(s.as_bytes().to_vec())
+    }
+}
+
+/// Converting a body into a shared slice is free for `Shared` (the `Arc`
+/// moves) and one copy for `Owned` — so storing a downloaded response into
+/// a browser cache that keeps `Arc<[u8]>` never double-copies.
+impl From<Body> for Arc<[u8]> {
+    fn from(b: Body) -> Arc<[u8]> {
+        match b {
+            Body::Owned(v) => Arc::from(v),
+            Body::Shared(a) => a,
+        }
+    }
+}
+
+/// Bodies compare by bytes, not by representation: `Owned` and `Shared`
+/// holding the same bytes are equal (they serialize identically).
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Body {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Body {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
 /// An HTTP/1.1 response.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: Status,
     /// Header fields.
     pub headers: HeaderMap,
     /// Entity body.
-    pub body: Vec<u8>,
+    pub body: Body,
+    /// Prefab wire image: the complete serialization (status line +
+    /// headers + body) frozen by [`Response::into_prefab`]. When present,
+    /// the server writes these bytes verbatim and serialization clones a
+    /// pointer instead of assembling anything. Invariant: the bytes match
+    /// the other fields exactly — every constructor that sets this field
+    /// serializes the finished response, and [`Response::with_header`]
+    /// drops it on mutation. Not part of equality (a parsed copy of a
+    /// prefab response equals the original).
+    prefab: Option<Arc<[u8]>>,
 }
+
+/// Responses compare by status, headers, and body bytes; the prefab cache
+/// is a serialization detail and never affects equality.
+impl PartialEq for Response {
+    fn eq(&self, other: &Self) -> bool {
+        self.status == other.status && self.headers == other.headers && self.body == other.body
+    }
+}
+
+impl Eq for Response {}
 
 impl Response {
     /// Builds a response with a typed body and correct `Content-Length`.
-    pub fn with_body(status: Status, content_type: &str, body: Vec<u8>) -> Response {
+    pub fn with_body(status: Status, content_type: &str, body: impl Into<Body>) -> Response {
+        let body = body.into();
         let mut headers = HeaderMap::new();
         headers.set("Content-Type", content_type);
         headers.set("Content-Length", body.len().to_string());
@@ -204,35 +387,68 @@ impl Response {
             status,
             headers,
             body,
+            prefab: None,
+        }
+    }
+
+    /// Assembles a response from already-parsed parts (no prefab).
+    pub fn from_parts(status: Status, headers: HeaderMap, body: impl Into<Body>) -> Response {
+        Response {
+            status,
+            headers,
+            body: body.into(),
+            prefab: None,
         }
     }
 
     /// A `text/html` 200 response — the initial-page reply (Fig. 2).
-    pub fn html(body: impl Into<Vec<u8>>) -> Response {
-        Response::with_body(Status::OK, "text/html; charset=utf-8", body.into())
+    pub fn html(body: impl Into<Body>) -> Response {
+        Response::with_body(Status::OK, "text/html; charset=utf-8", body)
     }
 
     /// An `application/xml` 200 response — the newContent reply (Fig. 2).
-    pub fn xml(body: impl Into<Vec<u8>>) -> Response {
-        Response::with_body(Status::OK, "application/xml; charset=utf-8", body.into())
+    pub fn xml(body: impl Into<Body>) -> Response {
+        Response::with_body(Status::OK, "application/xml; charset=utf-8", body)
     }
 
     /// An empty-content 200 response — "if no new content needs to be sent
     /// back, RCB-Agent sends a response with empty content ... to avoid
     /// hanging requests" (§4.1.1).
     pub fn empty_ok() -> Response {
-        Response::with_body(Status::OK, "application/xml; charset=utf-8", Vec::new())
+        Response::with_body(Status::OK, "application/xml; charset=utf-8", Body::empty())
     }
 
     /// An error response with a plain-text body.
     pub fn error(status: Status, detail: &str) -> Response {
-        Response::with_body(status, "text/plain; charset=utf-8", detail.as_bytes().to_vec())
+        Response::with_body(status, "text/plain; charset=utf-8", detail.as_bytes())
     }
 
-    /// Adds a header (builder style).
+    /// Adds a header (builder style). Drops any prefab wire image, since
+    /// the frozen bytes no longer match the headers.
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.set(name, value);
+        self.prefab = None;
         self
+    }
+
+    /// Freezes the response into a prefab wire image: serializes it once
+    /// and remembers the bytes, so every subsequent send (and clone) is an
+    /// `Arc` pointer bump instead of a head+body assembly. Build one per
+    /// reusable response (content generation, cached object, static page)
+    /// and serve clones of it.
+    pub fn into_prefab(mut self) -> Response {
+        self.prefab = Some(Arc::from(crate::serialize::serialize_response(&self)));
+        self
+    }
+
+    /// The prefab wire image, if this response was frozen.
+    pub fn prefab_bytes(&self) -> Option<&Arc<[u8]>> {
+        self.prefab.as_ref()
+    }
+
+    /// Whether this response carries a prefab wire image.
+    pub fn is_prefab(&self) -> bool {
+        self.prefab.is_some()
     }
 
     /// The `Content-Type` without parameters, lower-cased.

@@ -112,21 +112,17 @@ pub fn parse_response(data: &[u8]) -> Result<Response> {
         .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
     {
         let body = decode_chunked(&data[body_start..])?;
-        return Ok(Response {
-            status: Status(code),
-            headers,
-            body,
-        });
+        return Ok(Response::from_parts(Status(code), headers, body));
     }
     let body_len = headers.content_length().unwrap_or(data.len() - head_end - 4);
     if data.len() < body_start + body_len {
         return Err(RcbError::parse("http", "truncated response body"));
     }
-    Ok(Response {
-        status: Status(code),
+    Ok(Response::from_parts(
+        Status(code),
         headers,
-        body: data[body_start..body_start + body_len].to_vec(),
-    })
+        data[body_start..body_start + body_len].to_vec(),
+    ))
 }
 
 /// Decodes a chunked body: `size-hex CRLF data CRLF ... 0 CRLF CRLF`.

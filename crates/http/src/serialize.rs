@@ -1,4 +1,13 @@
 //! HTTP/1.1 wire serialization.
+//!
+//! Two producers: [`serialize_response`] materializes the full byte form
+//! (clients, `wire_len`, prefab freezing), while [`write_response_to`] is
+//! the server's zero-copy path — the head is assembled into a small
+//! buffer and the body is handed to the socket straight from wherever it
+//! lives (a shared `Arc<[u8]>` is never copied into a scratch buffer),
+//! via vectored writes. Prefab responses skip even the head assembly.
+
+use std::io::{self, IoSlice, Write};
 
 use crate::message::{Request, Response};
 
@@ -20,9 +29,9 @@ pub fn serialize_request(req: &Request) -> Vec<u8> {
     out
 }
 
-/// Serializes a response into its on-the-wire byte form.
-pub fn serialize_response(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::with_capacity(resp.body.len() + 128);
+/// Serializes a response head (status line + headers + blank line).
+pub fn serialize_response_head(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
     out.extend_from_slice(
         format!("HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason()).as_bytes(),
     );
@@ -33,8 +42,53 @@ pub fn serialize_response(resp: &Response) -> Vec<u8> {
         out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Serializes a response into its on-the-wire byte form (one allocation;
+/// prefab responses return a copy of the frozen image).
+pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    if let Some(prefab) = resp.prefab_bytes() {
+        return prefab.to_vec();
+    }
+    let mut out = serialize_response_head(resp);
     out.extend_from_slice(&resp.body);
     out
+}
+
+/// Writes a response to `w` without materializing head+body into one
+/// buffer: prefab responses are written verbatim from the frozen image;
+/// otherwise the head is assembled (~128 bytes) and the body is written
+/// straight from its own storage via vectored I/O. This is what makes
+/// `Body::Shared` zero-copy end to end — the shared bytes travel from the
+/// `Arc` to the socket with no intermediate heap copy.
+pub fn write_response_to<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    if let Some(prefab) = resp.prefab_bytes() {
+        return w.write_all(prefab);
+    }
+    let head = serialize_response_head(resp);
+    let body = resp.body.as_slice();
+    if body.is_empty() {
+        return w.write_all(&head);
+    }
+    let total = head.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let result = if written < head.len() {
+            let bufs = [IoSlice::new(&head[written..]), IoSlice::new(body)];
+            w.write_vectored(&bufs)
+        } else {
+            w.write(&body[written - head.len()..])
+        };
+        match result {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            // Retry on EINTR, matching `write_all` semantics.
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -66,5 +120,99 @@ mod tests {
         let s = String::from_utf8(serialize_response(&resp)).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.ends_with("\r\n\r\n<p>x</p>"));
+    }
+
+    #[test]
+    fn shared_and_owned_bodies_serialize_identically() {
+        use crate::message::{Body, Status};
+        use std::sync::Arc;
+        let bytes = b"<n>shared</n>".to_vec();
+        let owned = Response::with_body(Status::OK, "application/xml", bytes.clone());
+        let shared = Response::with_body(
+            Status::OK,
+            "application/xml",
+            Body::Shared(Arc::from(bytes.as_slice())),
+        );
+        assert_eq!(serialize_response(&owned), serialize_response(&shared));
+        let mut sink_o = Vec::new();
+        let mut sink_s = Vec::new();
+        write_response_to(&mut sink_o, &owned).unwrap();
+        write_response_to(&mut sink_s, &shared).unwrap();
+        assert_eq!(sink_o, serialize_response(&owned));
+        assert_eq!(sink_s, sink_o);
+    }
+
+    #[test]
+    fn prefab_writes_frozen_image_verbatim() {
+        let resp = Response::xml("<n>prefab</n>");
+        let plain_wire = serialize_response(&resp);
+        let prefab = resp.into_prefab();
+        assert!(prefab.is_prefab());
+        assert_eq!(serialize_response(&prefab), plain_wire);
+        let mut sink = Vec::new();
+        write_response_to(&mut sink, &prefab).unwrap();
+        assert_eq!(sink, plain_wire);
+        // A clone shares the frozen image (pointer equality, no re-serialize).
+        let clone = prefab.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            prefab.prefab_bytes().unwrap(),
+            clone.prefab_bytes().unwrap()
+        ));
+        // Mutating headers drops the image rather than desyncing it.
+        let mutated = prefab.with_header("X-Extra", "1");
+        assert!(!mutated.is_prefab());
+        assert!(String::from_utf8(serialize_response(&mutated))
+            .unwrap()
+            .contains("X-Extra: 1\r\n"));
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, exercising the
+    /// partial-write resume logic in `write_response_to`.
+    struct Trickle {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl std::io::Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut left = self.cap;
+            for b in bufs {
+                if left == 0 {
+                    break;
+                }
+                let n = b.len().min(left);
+                self.out.extend_from_slice(&b[..n]);
+                left -= n;
+            }
+            Ok(self.cap - left)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        use crate::message::{Body, Status};
+        use std::sync::Arc;
+        let body: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let resp = Response::with_body(
+            Status::OK,
+            "application/octet-stream",
+            Body::Shared(Arc::from(body.as_slice())),
+        );
+        for cap in [1, 3, 7, 64, 4096] {
+            let mut t = Trickle {
+                out: Vec::new(),
+                cap,
+            };
+            write_response_to(&mut t, &resp).unwrap();
+            assert_eq!(t.out, serialize_response(&resp), "cap {cap}");
+        }
     }
 }

@@ -26,7 +26,7 @@ use rcb_util::Result;
 
 use crate::message::{Request, Response};
 use crate::parse::RequestParser;
-use crate::serialize::serialize_response;
+use crate::serialize::write_response_to;
 
 /// The request handler type: shared across worker threads.
 pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
@@ -301,7 +301,10 @@ fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration
                                 .get("connection")
                                 .is_some_and(|v| v.eq_ignore_ascii_case("close"));
                             let resp = handler(req);
-                            if conn.stream.write_all(&serialize_response(&resp)).is_err()
+                            // Zero-copy send: prefab images and shared
+                            // bodies go to the socket from their own
+                            // storage, never through a scratch buffer.
+                            if write_response_to(&mut conn.stream, &resp).is_err()
                                 || conn.stream.flush().is_err()
                             {
                                 return ConnFate::Close;
@@ -316,7 +319,7 @@ fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration
                                 crate::message::Status::BAD_REQUEST,
                                 "malformed request",
                             );
-                            let _ = conn.stream.write_all(&serialize_response(&resp));
+                            let _ = write_response_to(&mut conn.stream, &resp);
                             return ConnFate::Close;
                         }
                     }

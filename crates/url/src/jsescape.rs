@@ -18,8 +18,20 @@ fn is_passthrough(c: char) -> bool {
 
 /// JavaScript's legacy `escape` function.
 pub fn escape(input: &str) -> String {
-    const HEX: &[u8; 16] = b"0123456789ABCDEF";
     let mut out = String::with_capacity(input.len() + input.len() / 4);
+    escape_into(input, &mut out);
+    out
+}
+
+/// [`escape`], appended to an existing buffer.
+///
+/// Escaping is character-wise, so `escape(a) + escape(b) == escape(a + b)`:
+/// streaming writers (the Fig.-4 XML assembler) escape each fragment of a
+/// payload straight into one output buffer instead of building
+/// per-fragment intermediate strings.
+pub fn escape_into(input: &str, out: &mut String) {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
+    out.reserve(input.len() + input.len() / 4);
     for c in input.chars() {
         if is_passthrough(c) {
             out.push(c);
@@ -41,7 +53,6 @@ pub fn escape(input: &str) -> String {
             }
         }
     }
-    out
 }
 
 /// JavaScript's legacy `unescape` function.
@@ -138,5 +149,18 @@ mod tests {
     #[test]
     fn unescape_plain_text() {
         assert_eq!(unescape("hello world"), "hello world");
+    }
+
+    #[test]
+    fn escape_into_appends_and_concatenates() {
+        let mut out = String::from("prefix:");
+        escape_into("<a b>", &mut out);
+        assert_eq!(out, "prefix:%3Ca%20b%3E");
+        // Character-wise escaping is concatenation-preserving.
+        let (a, b) = ("café <", "中 &😀");
+        let mut streamed = String::new();
+        escape_into(a, &mut streamed);
+        escape_into(b, &mut streamed);
+        assert_eq!(streamed, escape(&format!("{a}{b}")));
     }
 }

@@ -48,6 +48,32 @@ impl ElementPayload {
         s
     }
 
+    /// Appends `escape(self.encode())` to `out` in a single pass, with no
+    /// intermediate string: every component is JS-escaped straight into
+    /// the output buffer (escaping is character-wise, so escaping the
+    /// pieces equals escaping the concatenation). The separators escape to
+    /// fixed sequences: `\u{1}` → `%01`, `\u{2}` → `%02`, `=` → `%3D`.
+    ///
+    /// This is the hot half of Fig.-4 XML assembly; the two-step
+    /// `escape(&payload.encode())` remains as the reference the writer
+    /// tests equate against.
+    pub fn encode_escaped_into(&self, out: &mut String) {
+        use rcb_url::jsescape::escape_into;
+        out.reserve(self.inner_html.len() + 64);
+        escape_into(&self.tag, out);
+        out.push_str("%01");
+        for (i, (name, value)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str("%02");
+            }
+            escape_into(name, out);
+            out.push_str("%3D");
+            escape_into(value, out);
+        }
+        out.push_str("%01");
+        escape_into(&self.inner_html, out);
+    }
+
     /// Decodes the [`ElementPayload::encode`] form.
     pub fn decode(s: &str) -> Result<ElementPayload> {
         let mut parts = s.splitn(3, '\u{1}');
@@ -150,5 +176,27 @@ mod tests {
     fn inner_html_may_contain_separator_free_controls() {
         let p = ElementPayload::new("style", "a>b { color: red; }\n/* ]]> inside */");
         assert_eq!(ElementPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn streaming_escaped_encode_matches_two_step_reference() {
+        let payloads = [
+            ElementPayload::new("title", "Example <Home> & more"),
+            ElementPayload {
+                tag: "body".into(),
+                attrs: vec![
+                    ("class".into(), "home page".into()),
+                    ("onload".into(), "init('café', 中)".into()),
+                ],
+                inner_html: "<div id=\"x\">hello 😀 =%01 literal</div>".into(),
+            },
+            ElementPayload::new("style", ""),
+        ];
+        for p in &payloads {
+            let mut streamed = String::from("seed");
+            p.encode_escaped_into(&mut streamed);
+            let reference = format!("seed{}", rcb_url::jsescape::escape(&p.encode()));
+            assert_eq!(streamed, reference, "payload {:?}", p.tag);
+        }
     }
 }

@@ -1,58 +1,75 @@
 //! Serializes a [`NewContent`] into the exact Figure-4 document.
 
-use rcb_url::jsescape::escape;
+use std::fmt::Write as _;
 
-use crate::model::{NewContent, TopLevel};
+use crate::model::{ElementPayload, NewContent, TopLevel};
 use crate::scanner::encode_text;
 
 /// Writes the newContent document, matching the paper's Figure 4 layout
 /// (XML declaration, `docTime`, `docContent` with per-head-child
 /// `hChildN` CDATA sections, `docBody` or `docFrameSet`/`docNoFrames`,
 /// and `userActions`).
+///
+/// Assembly is single-pass into one output buffer: each payload is
+/// JS-escaped straight into it via
+/// [`ElementPayload::encode_escaped_into`], with no per-child
+/// `escape(&child.encode())` intermediates — the document is the only
+/// allocation that grows.
 pub fn write_new_content(nc: &NewContent) -> String {
-    let mut out = String::with_capacity(4096);
+    // Escaping inflates HTML payloads by roughly 2×; starting near the
+    // final size keeps the single buffer from reallocating log(n) times.
+    let payload_bytes: usize = nc
+        .head_children
+        .iter()
+        .map(payload_len)
+        .sum::<usize>()
+        + match &nc.top {
+            TopLevel::Body(b) => payload_len(b),
+            TopLevel::Frames { frameset, noframes } => {
+                payload_len(frameset) + noframes.as_ref().map_or(0, payload_len)
+            }
+        };
+    let mut out = String::with_capacity(2 * payload_bytes + nc.user_actions.len() + 512);
     out.push_str("<?xml version='1.0' encoding='utf-8'?>\n");
     out.push_str("<newContent>\n");
-    out.push_str(&format!("<docTime>{}</docTime>\n", nc.doc_time));
+    let _ = writeln!(out, "<docTime>{}</docTime>", nc.doc_time);
     out.push_str("<docContent>\n");
     out.push_str("<docHead>\n");
     for (i, child) in nc.head_children.iter().enumerate() {
-        out.push_str(&format!(
-            "<hChild{n}><![CDATA[{data}]]></hChild{n}>\n",
-            n = i + 1,
-            data = escape(&child.encode())
-        ));
+        let _ = write!(out, "<hChild{}><![CDATA[", i + 1);
+        child.encode_escaped_into(&mut out);
+        let _ = writeln!(out, "]]></hChild{}>", i + 1);
     }
     out.push_str("</docHead>\n");
     match &nc.top {
         TopLevel::Body(body) => {
             out.push_str("<!-- for a page using body element -->\n");
-            out.push_str(&format!(
-                "<docBody><![CDATA[{}]]></docBody>\n",
-                escape(&body.encode())
-            ));
+            out.push_str("<docBody><![CDATA[");
+            body.encode_escaped_into(&mut out);
+            out.push_str("]]></docBody>\n");
         }
         TopLevel::Frames { frameset, noframes } => {
             out.push_str("<!-- for a page using frames -->\n");
-            out.push_str(&format!(
-                "<docFrameSet><![CDATA[{}]]></docFrameSet>\n",
-                escape(&frameset.encode())
-            ));
+            out.push_str("<docFrameSet><![CDATA[");
+            frameset.encode_escaped_into(&mut out);
+            out.push_str("]]></docFrameSet>\n");
             if let Some(nf) = noframes {
-                out.push_str(&format!(
-                    "<docNoFrames><![CDATA[{}]]></docNoFrames>\n",
-                    escape(&nf.encode())
-                ));
+                out.push_str("<docNoFrames><![CDATA[");
+                nf.encode_escaped_into(&mut out);
+                out.push_str("]]></docNoFrames>\n");
             }
         }
     }
     out.push_str("</docContent>\n");
-    out.push_str(&format!(
-        "<userActions>{}</userActions>\n",
-        encode_text(&nc.user_actions)
-    ));
+    out.push_str("<userActions>");
+    out.push_str(&encode_text(&nc.user_actions));
+    out.push_str("</userActions>\n");
     out.push_str("</newContent>\n");
     out
+}
+
+fn payload_len(p: &ElementPayload) -> usize {
+    p.inner_html.len() + p.tag.len() + 64
 }
 
 #[cfg(test)]

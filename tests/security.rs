@@ -218,10 +218,9 @@ fn response_authentication_extension_end_to_end() {
     host.mutate_dom(|_| {}).unwrap();
     let poll2 = snippet.build_poll();
     let mut outcome2 = agent.handle_request(&poll2, &mut host, SimTime::from_secs(2));
-    outcome2
-        .response
-        .body
-        .extend_from_slice(b"<!-- injected -->");
+    let mut tampered = outcome2.response.body.to_vec();
+    tampered.extend_from_slice(b"<!-- injected -->");
+    outcome2.response.body = tampered.into();
     let err = snippet
         .process_response(&outcome2.response, &mut participant)
         .unwrap_err();
