@@ -45,8 +45,7 @@ fn bench_poll_round(c: &mut Criterion) {
                         ..AgentConfig::default()
                     },
                 );
-                let mut snippet =
-                    AjaxSnippet::new(1, key.clone(), SimDuration::from_secs(1));
+                let mut snippet = AjaxSnippet::new(1, key.clone(), SimDuration::from_secs(1));
                 let mut participant = Browser::new(BrowserKind::Firefox);
                 participant.doc = Some(rcb_html::parse_document(&agent.initial_page()));
                 let poll = snippet.build_poll();

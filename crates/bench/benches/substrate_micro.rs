@@ -10,7 +10,11 @@ use rcb_util::DetRng;
 
 fn bench_html(c: &mut Criterion) {
     let mut group = c.benchmark_group("html");
-    for (idx, label) in [(2usize, "google_6.8k"), (7, "wikipedia_51.7k"), (13, "amazon_228.5k")] {
+    for (idx, label) in [
+        (2usize, "google_6.8k"),
+        (7, "wikipedia_51.7k"),
+        (13, "amazon_228.5k"),
+    ] {
         let spec = site_by_index(idx).unwrap();
         let html = generate_homepage(&spec);
         group.throughput(Throughput::Bytes(html.len() as u64));

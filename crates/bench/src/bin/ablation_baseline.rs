@@ -32,12 +32,15 @@ fn main() {
     let mut o = scenario_origins();
     let mut url_share = UrlSharingBaseline::new(NetProfile::lan());
     let static_ok = url_share.share(&mut o, "http://google.com/").unwrap();
-    let maps = url_share.share(&mut o, "http://maps.example.com/maps").unwrap();
+    let maps = url_share
+        .share(&mut o, "http://maps.example.com/maps")
+        .unwrap();
     let dynamic_ok = url_share
         .host_mutates(|doc| {
             let root = doc.root();
-            if let Some(img) =
-                rcb_html::query::elements_by_tag(doc, root, "img").first().copied()
+            if let Some(img) = rcb_html::query::elements_by_tag(doc, root, "img")
+                .first()
+                .copied()
             {
                 doc.set_attr(img, "src", "/tiles/9/1/1.png");
             }
@@ -63,9 +66,21 @@ fn main() {
     println!(
         "{:<14} {:>14} {:>13} {:>13} {:>13}",
         "URL sharing",
-        if static_ok.content_matches { "yes" } else { "NO" },
-        if dynamic_ok.content_matches { "yes" } else { "NO" },
-        if session_sync.content_matches { "yes" } else { "NO" },
+        if static_ok.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
+        if dynamic_ok.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
+        if session_sync.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
         format!("{:.3}s", static_ok.sync_delay.as_secs_f64())
     );
 
@@ -86,17 +101,28 @@ fn main() {
     println!(
         "{:<14} {:>14} {:>13} {:>13} {:>13}",
         "proxy-based",
-        if p_static.content_matches { "yes" } else { "NO" },
-        if p_dynamic.content_matches { "yes" } else { "NO" },
-        if p_session.content_matches { "yes" } else { "NO" },
+        if p_static.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
+        if p_dynamic.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
+        if p_session.content_matches {
+            "yes"
+        } else {
+            "NO"
+        },
         format!("{:.3}s", p_static.sync_delay.as_secs_f64())
     );
 
     // RCB: measure on the same static page; dynamic + session correctness
     // are established by the scenario tests (both yes by construction —
     // content is pushed from the host DOM).
-    let (_, rcb_sync) =
-        measure_site(NetProfile::lan(), CacheMode::Cache, "google.com", 5).unwrap();
+    let (_, rcb_sync) = measure_site(NetProfile::lan(), CacheMode::Cache, "google.com", 5).unwrap();
     println!(
         "{:<14} {:>14} {:>13} {:>13} {:>13}",
         "RCB",

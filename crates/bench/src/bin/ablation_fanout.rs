@@ -27,8 +27,7 @@ fn main() {
                 cache_mode: CacheMode::Cache,
                 ..AgentConfig::default()
             };
-            let mut world =
-                CoBrowsingWorld::with_alexa20(profile.clone(), config, n as u64);
+            let mut world = CoBrowsingWorld::with_alexa20(profile.clone(), config, n as u64);
             let participants: Vec<usize> = (0..n)
                 .map(|_| world.add_participant(BrowserKind::Firefox))
                 .collect();

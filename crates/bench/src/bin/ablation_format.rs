@@ -60,7 +60,10 @@ fn per_node_encode(doc: &Document, node: NodeId, out: &mut String) {
             out.push_str("</n>");
         }
         NodeData::Text(t) => {
-            out.push_str(&format!("<x><![CDATA[{}]]></x>", rcb_url::jsescape::escape(t)));
+            out.push_str(&format!(
+                "<x><![CDATA[{}]]></x>",
+                rcb_url::jsescape::escape(t)
+            ));
         }
         NodeData::Comment(_) | NodeData::Doctype(_) | NodeData::Document => {}
     }
@@ -72,7 +75,14 @@ fn main() {
     println!("{:-<86}", "");
     println!(
         "{:<14} {:>9} | {:>11} {:>10} | {:>11} {:>10} | {:>11} {:>10}",
-        "site", "page KB", "rcb bytes", "rcb cpu", "naive bytes", "naive cpu", "pernode B", "pernode cpu"
+        "site",
+        "page KB",
+        "rcb bytes",
+        "rcb cpu",
+        "naive bytes",
+        "naive cpu",
+        "pernode B",
+        "pernode cpu"
     );
     for site in ["google.com", "wikipedia.org", "amazon.com"] {
         let host = loaded_host(site);
@@ -89,8 +99,7 @@ fn main() {
         for _ in 0..5 {
             let mut m = MappingTable::new();
             let sw = Stopwatch::start();
-            let gc =
-                generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "").unwrap();
+            let gc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "").unwrap();
             rcb_cpu = rcb_cpu.min(sw.elapsed().as_micros());
             rcb_bytes = gc.xml.len();
         }

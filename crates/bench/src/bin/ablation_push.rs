@@ -21,7 +21,11 @@ fn main() {
         .since(SimTime::ZERO);
 
     println!("Ablation A5 — polling vs multipart/x-mixed-replace push");
-    println!("update payload: {} KB → transfer {} on the LAN path\n", payload / 1024, transfer);
+    println!(
+        "update payload: {} KB → transfer {} on the LAN path\n",
+        payload / 1024,
+        transfer
+    );
     println!(
         "{:>12} {:>12} | {:>14} {:>14} {:>10}",
         "interval", "drop prob", "poll expected", "push expected", "winner"
@@ -75,9 +79,12 @@ fn main() {
     // And a second channel is now needed for actions: each user action
     // pays its own POST instead of riding a poll.
     let action_req = 420; // signed action POST
-    let t = Pipe::new(LinkSpec::symmetric(100_000_000, SimDuration::from_micros(150)))
-        .transfer(SimTime::ZERO, action_req, Direction::Up)
-        .since(SimTime::ZERO);
+    let t = Pipe::new(LinkSpec::symmetric(
+        100_000_000,
+        SimDuration::from_micros(150),
+    ))
+    .transfer(SimTime::ZERO, action_req, Direction::Up)
+    .since(SimTime::ZERO);
     println!("\naction side-channel cost under push: one {action_req}-byte POST ({t}) per action,");
     println!("vs. zero marginal requests when piggybacked on polls (§4.1.1).");
 }

@@ -19,10 +19,7 @@ const MOBILE_CPU_SLOWDOWN: u64 = 300;
 fn main() {
     let profile = NetProfile::mobile();
     let rows = run_all_sites_quick(&profile, CacheMode::Cache).expect("experiment runs");
-    let series: Vec<_> = rows
-        .iter()
-        .map(|r| (r.site.clone(), r.m1, r.m2))
-        .collect();
+    let series: Vec<_> = rows.iter().map(|r| (r.site.clone(), r.m1, r.m2)).collect();
     print_two_series(
         "Extension — mobile host (N810/Fennec profile): document load vs sync",
         "M1 (s)",

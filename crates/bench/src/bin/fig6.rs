@@ -11,10 +11,7 @@ use rcb_sim::profiles::NetProfile;
 fn main() {
     let profile = NetProfile::lan();
     let rows = run_all_sites(&profile, CacheMode::Cache).expect("experiment runs");
-    let series: Vec<_> = rows
-        .iter()
-        .map(|r| (r.site.clone(), r.m1, r.m2))
-        .collect();
+    let series: Vec<_> = rows.iter().map(|r| (r.site.clone(), r.m1, r.m2)).collect();
     print_two_series(
         "Figure 6 — HTML document load time, LAN (5-run averages)",
         "M1 (s)",

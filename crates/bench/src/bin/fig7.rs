@@ -13,10 +13,7 @@ use rcb_sim::profiles::NetProfile;
 fn main() {
     let profile = NetProfile::wan();
     let rows = run_all_sites(&profile, CacheMode::Cache).expect("experiment runs");
-    let series: Vec<_> = rows
-        .iter()
-        .map(|r| (r.site.clone(), r.m1, r.m2))
-        .collect();
+    let series: Vec<_> = rows.iter().map(|r| (r.site.clone(), r.m1, r.m2)).collect();
     print_two_series(
         "Figure 7 — HTML document load time, WAN (5-run averages)",
         "M1 (s)",
@@ -33,9 +30,9 @@ fn main() {
         .filter(|r| r.m2 >= r.m1)
         .map(|r| format!("{} ({:.1} KB)", r.site, r.page_bytes as f64 / 1024.0))
         .collect();
+    println!("M2 < M1 for {}/20 sites  (paper: 17/20)", below.len());
     println!(
-        "M2 < M1 for {}/20 sites  (paper: 17/20)",
-        below.len()
+        "crossed over (largest pages expected): {}",
+        above.join(", ")
     );
-    println!("crossed over (largest pages expected): {}", above.join(", "));
 }

@@ -149,6 +149,10 @@ fn main() {
         );
     }
     println!("{:-<100}", "");
-    println!("{} / {} shape claims reproduced", checks.len() - failures, checks.len());
+    println!(
+        "{} / {} shape claims reproduced",
+        checks.len() - failures,
+        checks.len()
+    );
     std::process::exit(i32::from(failures > 0));
 }

@@ -29,12 +29,24 @@
 //!   — direct evidence content generation runs outside the host mutex;
 //! * **memory bound**: ≥ 1000 DOM versions with the agent's
 //!   generated-content and timestamp maps staying within the
-//!   two-generation bound.
+//!   two-generation bound;
+//! * **connection hold**: many keep-alive connections open at once on a
+//!   small handler pool — 256 on the epoll backend (whose ceiling is the
+//!   fd limit), 32 on the workers backend (whose ceiling is the rotation
+//!   design).
+//!
+//! Every phase runs on the server backend selected by `--backend
+//! {workers,epoll}` (falling back to the `RCB_SERVER_BACKEND` environment
+//! variable, then to workers), so CI can run the whole bench once per
+//! backend and compare like with like.
 //!
 //! Alongside the human-readable output the bench always writes a
 //! machine-readable `BENCH_scale1.json` (path override: `--json <path>`).
 //! `--compare <baseline.json>` fails the run if aggregate throughput
-//! regressed more than 20% against the committed baseline.
+//! regressed more than 20% against the committed baseline; the throughput
+//! gate arms only when the baseline's cores, mode, and backend match the
+//! running configuration, and prints an explicit "gate disarmed" line
+//! otherwise.
 //!
 //! Run: `cargo run --release -p rcb-bench --bin scale1 [-- --smoke]`
 //! (`--smoke` shrinks participant counts and durations for CI).
@@ -48,13 +60,25 @@ use rcb_browser::{Browser, BrowserKind};
 use rcb_core::agent::{AgentConfig, LIVE_GENERATIONS};
 use rcb_core::tcp::{TcpHost, TcpParticipant};
 use rcb_crypto::SessionKey;
-use rcb_http::server::ServerConfig;
+use rcb_http::server::{ServerBackend, ServerConfig};
 use rcb_util::{DetRng, Histogram, SimDuration};
 
 const PAGE: &str = "<html><head><title>scale</title></head>\
     <body><h1 id=\"headline\">scale bench</h1><div id=\"ticker\">0</div></body></html>";
 
-fn start_host_with_page(workers: usize, page: &str) -> TcpHost {
+/// The backend every host in this run uses: `--backend <name>` beats
+/// `RCB_SERVER_BACKEND` beats the workers default — resolved once in
+/// `main` and threaded through each phase.
+fn start_host_with_page(backend: ServerBackend, workers: usize, page: &str) -> TcpHost {
+    start_host_sized(backend, workers, 256, page)
+}
+
+fn start_host_sized(
+    backend: ServerBackend,
+    workers: usize,
+    queue_capacity: usize,
+    page: &str,
+) -> TcpHost {
     let key = SessionKey::generate_deterministic(&mut DetRng::new(4242));
     let mut browser = Browser::new(BrowserKind::Firefox);
     browser.url = Some(rcb_url::Url::parse("http://scale.local/").expect("static URL"));
@@ -66,16 +90,17 @@ fn start_host_with_page(workers: usize, page: &str) -> TcpHost {
         key,
         AgentConfig::default(),
         ServerConfig {
+            backend,
             workers,
-            queue_capacity: 256,
+            queue_capacity,
             read_timeout: Duration::from_millis(2),
         },
     )
     .expect("bind ephemeral port")
 }
 
-fn start_host(workers: usize) -> TcpHost {
-    start_host_with_page(workers, PAGE)
+fn start_host(backend: ServerBackend, workers: usize) -> TcpHost {
+    start_host_with_page(backend, workers, PAGE)
 }
 
 /// A page whose text payload is roughly `bytes` of passthrough characters
@@ -93,8 +118,13 @@ fn sized_page(bytes: usize) -> String {
 
 /// One load point: `n` participants polling for `duration`.
 /// Returns `(total_polls, elapsed, latency histogram, max_concurrency)`.
-fn run_point(n: u64, duration: Duration, mutate_every: Duration) -> (u64, f64, Histogram, u64) {
-    let mut host = start_host(8);
+fn run_point(
+    backend: ServerBackend,
+    n: u64,
+    duration: Duration,
+    mutate_every: Duration,
+) -> (u64, f64, Histogram, u64) {
+    let mut host = start_host(backend, 8);
     let addr = host.addr().to_string();
     let key = host.key().clone();
     let stop = Arc::new(AtomicBool::new(false));
@@ -156,9 +186,13 @@ fn run_point(n: u64, duration: Duration, mutate_every: Duration) -> (u64, f64, H
 
 /// One payload-sweep point: `rounds` mutate→sync cycles at the given page
 /// size. Returns `(xml_bytes, content_polls, total_polls, bytes_copied)`.
-fn run_payload_point(payload_bytes: usize, rounds: u32) -> (usize, u64, u64, u64) {
+fn run_payload_point(
+    backend: ServerBackend,
+    payload_bytes: usize,
+    rounds: u32,
+) -> (usize, u64, u64, u64) {
     let page = sized_page(payload_bytes);
-    let mut host = start_host_with_page(4, &page);
+    let mut host = start_host_with_page(backend, 4, &page);
     let addr = host.addr().to_string();
     let mut p = TcpParticipant::join(&addr, host.key().clone(), 1).expect("join");
     // Initial sync carries the full payload.
@@ -192,9 +226,9 @@ fn run_payload_point(payload_bytes: usize, rounds: u32) -> (usize, u64, u64, u64
 /// Regeneration-overlap point: poll p99 with no write traffic vs. poll
 /// p99 while back-to-back heavy regenerations run. Returns
 /// `(quiescent_p99_us, during_p99_us, avg_regen_us)`.
-fn run_regen_overlap() -> (u64, u64, u64) {
+fn run_regen_overlap(backend: ServerBackend) -> (u64, u64, u64) {
     let page = sized_page(1 << 20);
-    let host = Arc::new(start_host_with_page(4, &page));
+    let host = Arc::new(start_host_with_page(backend, 4, &page));
     let addr = host.addr().to_string();
     let key = host.key().clone();
 
@@ -258,8 +292,8 @@ fn run_regen_overlap() -> (u64, u64, u64) {
 
 /// Memory-bound phase: ≥ `versions` DOM versions with a participant
 /// syncing along; returns the final `(content_cache, timestamps)` sizes.
-fn run_memory_bound(versions: u64) -> (usize, usize, u64, u64) {
-    let mut host = start_host(2);
+fn run_memory_bound(backend: ServerBackend, versions: u64) -> (usize, usize, u64, u64) {
+    let mut host = start_host(backend, 2);
     let addr = host.addr().to_string();
     let mut p = TcpParticipant::join(&addr, host.key().clone(), 1).expect("join");
     for i in 0..versions {
@@ -275,11 +309,54 @@ fn run_memory_bound(versions: u64) -> (usize, usize, u64, u64) {
         }
     }
     let (content, ts) = host.agent_cache_lens();
-    let (content_ev, ts_ev) = host.with_agent_stats(|s| {
-        (s.content_evictions.get(), s.timestamp_evictions.get())
-    });
+    let (content_ev, ts_ev) =
+        host.with_agent_stats(|s| (s.content_evictions.get(), s.timestamp_evictions.get()));
     host.shutdown();
     (content, ts, content_ev, ts_ev)
+}
+
+/// Connection-hold phase: `conns` keep-alive connections held open
+/// *simultaneously* and each polled `rounds` times round-robin, with a
+/// handler pool of only `pool` threads. On the epoll backend this is the
+/// headline capability — the connection ceiling is the fd limit, so a
+/// dispatch pool of 8 services 256 live sessions; the workers backend is
+/// exercised at a smaller count (idle connections cost a rotation slot
+/// each, which is exactly the limitation that motivated the event loop).
+/// Returns `(connections, pool, all_ok)`.
+fn run_conn_hold(backend: ServerBackend, conns: usize, rounds: usize) -> (usize, usize, bool) {
+    let pool = 8;
+    let mut host = start_host_sized(backend, pool, conns * 2, PAGE);
+    let addr = host.addr().to_string();
+    let key = host.key().clone();
+    let mut ok = true;
+
+    let mut clients = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut c = rcb_http::client::HttpConnection::connect(&addr).expect("connect");
+        let resp = c
+            .round_trip(&rcb_http::Request::get("/"))
+            .expect("initial page");
+        ok &= resp.status.is_success();
+        clients.push(c);
+    }
+    // Every connection is open at once; each stays responsive across
+    // multiple keep-alive polls (far-future timestamp → empty prefab).
+    for _ in 0..rounds {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let mut req = rcb_http::Request::post(
+                format!("/poll?p={}", i + 1),
+                b"t=99999999999999999".to_vec(),
+            );
+            rcb_core::auth::sign_request(&key, &mut req);
+            match c.round_trip(&req) {
+                Ok(resp) => ok &= resp.status.is_success() && resp.body.is_empty(),
+                Err(_) => ok = false,
+            }
+        }
+    }
+    ok &= host.stats().connections == conns as u64;
+    host.shutdown();
+    (conns, pool, ok)
 }
 
 /// Pulls the scalar after `"key":` out of a (baseline) JSON file — the
@@ -305,6 +382,12 @@ fn main() {
     };
     let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_scale1.json".to_string());
     let compare_path = flag_value("--compare");
+    // Backend: `--backend <name>` beats `RCB_SERVER_BACKEND` beats the
+    // workers default; `effective()` folds in platform availability.
+    let backend = flag_value("--backend")
+        .map(|v| ServerBackend::parse(&v).unwrap_or_else(|| panic!("unknown --backend {v:?}")))
+        .unwrap_or_else(ServerBackend::from_env)
+        .effective();
 
     let (counts, duration, versions, sweep_rounds): (&[u64], Duration, u64, u32) = if smoke {
         (&[1, 4, 8], Duration::from_millis(400), 1_000, 2)
@@ -312,10 +395,12 @@ fn main() {
         (&[1, 2, 4, 8, 16, 32, 64], Duration::from_secs(2), 5_000, 5)
     };
     let mutate_every = Duration::from_millis(100);
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     println!(
-        "scale1 — poll throughput vs participant count (real sockets{})",
+        "scale1 — poll throughput vs participant count (real sockets, {backend} backend{})",
         if smoke { ", smoke" } else { "" }
     );
     println!("{:-<72}", "");
@@ -334,9 +419,9 @@ fn main() {
     let attempts = if smoke { 2 } else { 1 };
     for &n in counts {
         let (mut total, mut elapsed, mut hist, mut max_conc) =
-            run_point(n, duration, mutate_every);
+            run_point(backend, n, duration, mutate_every);
         for _ in 1..attempts {
-            let (t2, e2, h2, c2) = run_point(n, duration, mutate_every);
+            let (t2, e2, h2, c2) = run_point(backend, n, duration, mutate_every);
             max_conc = max_conc.max(c2);
             if t2 as f64 / e2 > total as f64 / elapsed {
                 (total, elapsed, hist) = (t2, e2, h2);
@@ -391,12 +476,10 @@ fn main() {
     let mut sweep_rows = String::new();
     for payload in [16 << 10, 64 << 10, 256 << 10, 1 << 20] {
         let (xml_bytes, content_polls, total_polls, copied) =
-            run_payload_point(payload, sweep_rounds);
+            run_payload_point(backend, payload, sweep_rounds);
         let per_poll = copied as f64 / total_polls.max(1) as f64;
         zero_copy &= copied == 0;
-        println!(
-            "{payload:>12} {xml_bytes:>12} {content_polls:>14} {copied:>12} {per_poll:>14.1}"
-        );
+        println!("{payload:>12} {xml_bytes:>12} {content_polls:>14} {copied:>12} {per_poll:>14.1}");
         let _ = write!(
             sweep_rows,
             "{}{{\"payload_bytes\":{payload},\"xml_bytes\":{xml_bytes},\
@@ -407,12 +490,16 @@ fn main() {
     }
     println!(
         "zero-copy read path: {}",
-        if zero_copy { "ok (0 bytes copied per poll at every payload size)" } else { "FAILED" }
+        if zero_copy {
+            "ok (0 bytes copied per poll at every payload size)"
+        } else {
+            "FAILED"
+        }
     );
 
     // Regeneration overlap: generation runs outside the host mutex, so
     // merge-carrying polls keep their quiescent latency during a storm.
-    let (q_p99, d_p99, avg_regen) = run_regen_overlap();
+    let (q_p99, d_p99, avg_regen) = run_regen_overlap(backend);
     let regen_bound = (2 * q_p99).max(10_000);
     let regen_enforced = cores >= 2;
     let regen_ok = !regen_enforced || d_p99 <= regen_bound;
@@ -428,7 +515,7 @@ fn main() {
         }
     );
 
-    let (content, ts, content_ev, ts_ev) = run_memory_bound(versions);
+    let (content, ts, content_ev, ts_ev) = run_memory_bound(backend, versions);
     let bounded = content <= LIVE_GENERATIONS && ts <= LIVE_GENERATIONS;
     println!(
         "memory bound after {versions} DOM versions: content_cache={content} \
@@ -437,9 +524,25 @@ fn main() {
         if bounded { "ok" } else { "FAILED" }
     );
 
+    // Connection hold: the epoll backend must sustain ≥ 256 concurrent
+    // keep-alive connections with a dispatch pool far smaller than the
+    // connection count (its ceiling is the fd limit); the workers backend
+    // is held to what its rotation design affords.
+    let hold_target = match backend {
+        ServerBackend::Epoll => 256,
+        ServerBackend::Workers => 32,
+    };
+    let (hold_conns, hold_pool, hold_ok) = run_conn_hold(backend, hold_target, 2);
+    println!(
+        "connection hold: {hold_conns} concurrent keep-alive connections on a \
+         {hold_pool}-thread pool ({backend}): {}",
+        if hold_ok { "ok" } else { "FAILED" }
+    );
+
     // Machine-readable result, alongside the human output.
     let json = format!(
-        "{{\n\"bench\":\"scale1\",\n\"mode\":\"{mode}\",\n\"cores\":{cores},\n\
+        "{{\n\"bench\":\"scale1\",\n\"mode\":\"{mode}\",\n\"backend\":\"{backend}\",\n\
+         \"cores\":{cores},\n\
          \"throughput\":[{throughput_rows}],\n\
          \"throughput_sum\":{rate_sum:.1},\n\
          \"payload_sweep\":[{sweep_rows}],\n\
@@ -447,9 +550,10 @@ fn main() {
          \"avg_regen_us\":{avg_regen},\"bound_us\":{regen_bound},\"enforced\":{regen_enforced}}},\n\
          \"memory_bound\":{{\"versions\":{versions},\"content_cache\":{content},\
          \"timestamps\":{ts},\"bound\":{LIVE_GENERATIONS}}},\n\
+         \"conn_hold\":{{\"connections\":{hold_conns},\"pool\":{hold_pool},\"ok\":{hold_ok}}},\n\
          \"pass\":{{\"no_collapse\":{no_collapse},\"overlapped\":{overlapped},\
          \"scaled\":{scaled},\"zero_copy\":{zero_copy},\"regen_overlap\":{regen_ok},\
-         \"memory_bounded\":{bounded}}}\n}}\n",
+         \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok}}}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
     );
     match std::fs::write(&json_path, &json) {
@@ -463,10 +567,12 @@ fn main() {
     // Regression gate against a committed baseline (CI runs this in
     // --smoke mode): >20% aggregate-throughput drop fails the run.
     // Absolute polls/s only compare meaningfully on like hardware and
-    // like load shape, so the throughput gate applies when the baseline
-    // was recorded with the same core count and mode; otherwise it
-    // reports and skips (the machine-independent criteria — zero-copy,
-    // regen overlap, memory bound — still gate), and the baseline should
+    // like load shape, so the throughput gate is ARMED only when the
+    // baseline was recorded with the same core count, mode, and server
+    // backend; otherwise it prints an explicit "gate disarmed" line (so
+    // CI logs show at a glance whether the regression gate was live) and
+    // skips — the machine-independent criteria (zero-copy, regen overlap,
+    // memory bound, connection hold) still gate — and the baseline should
     // be refreshed from a run in this configuration.
     let mode = if smoke { "smoke" } else { "full" };
     let mut regression = false;
@@ -474,11 +580,23 @@ fn main() {
         match std::fs::read_to_string(&baseline_path) {
             Ok(text) => {
                 let baseline_cores = json_scalar(&text, "cores").unwrap_or(0.0) as usize;
-                let mode_matches = text.contains(&format!("\"mode\":\"{mode}\""));
+                let baseline_mode = if text.contains("\"mode\":\"smoke\"") {
+                    "smoke"
+                } else {
+                    "full"
+                };
+                // Baselines predating the backend field were recorded on
+                // the only backend that existed: workers.
+                let baseline_backend = if text.contains("\"backend\":\"epoll\"") {
+                    "epoll"
+                } else {
+                    "workers"
+                };
+                let armed = baseline_cores == cores
+                    && baseline_mode == mode
+                    && baseline_backend == backend.label();
                 match json_scalar(&text, "throughput_sum") {
-                    Some(baseline_sum)
-                        if baseline_sum > 0.0 && baseline_cores == cores && mode_matches =>
-                    {
+                    Some(baseline_sum) if baseline_sum > 0.0 && armed => {
                         let ratio = rate_sum / baseline_sum;
                         regression = ratio < 0.8;
                         println!(
@@ -489,10 +607,11 @@ fn main() {
                     }
                     Some(baseline_sum) if baseline_sum > 0.0 => {
                         println!(
-                            "baseline compare: skipped — baseline is {} on {baseline_cores} \
-                             cores, this run is {mode} on {cores}; refresh {baseline_path} \
-                             from a run in this configuration",
-                            if text.contains("\"mode\":\"smoke\"") { "smoke" } else { "full" },
+                            "baseline compare: gate disarmed (baseline cores={baseline_cores}, \
+                             machine cores={cores}; baseline mode={baseline_mode}, run \
+                             mode={mode}; baseline backend={baseline_backend}, run \
+                             backend={backend}) — throughput gate not live; refresh \
+                             {baseline_path} from a run in this configuration"
                         );
                     }
                     _ => {
@@ -508,7 +627,14 @@ fn main() {
         }
     }
 
-    if !no_collapse || !overlapped || !scaled || !bounded || !zero_copy || !regen_ok || regression
+    if !no_collapse
+        || !overlapped
+        || !scaled
+        || !bounded
+        || !zero_copy
+        || !regen_ok
+        || !hold_ok
+        || regression
     {
         std::process::exit(1);
     }

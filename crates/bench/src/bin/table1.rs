@@ -15,7 +15,15 @@ fn main() {
     println!("{:-<100}", "");
     println!(
         "{:<4} {:<14} {:>9} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
-        "#", "site", "size KB", "M5nc ours ms", "M5c ours ms", "M6 ours ms", "M5nc paper s", "M5c paper s", "M6 paper s"
+        "#",
+        "site",
+        "size KB",
+        "M5nc ours ms",
+        "M5c ours ms",
+        "M6 ours ms",
+        "M5nc paper s",
+        "M5c paper s",
+        "M6 paper s"
     );
     let mut ours_nc_total = 0.0;
     let mut ours_c_total = 0.0;

@@ -11,7 +11,10 @@ fn main() {
     // One session in full detail.
     let detail = run_session(2009).expect("session runs");
     println!("Table 2 — task protocol for one session (Bob hosts, Alice joins)\n");
-    println!("{:<7} {:<46} {:>9} {:>7}", "Task#", "Description", "Duration", "Result");
+    println!(
+        "{:<7} {:<46} {:>9} {:>7}",
+        "Task#", "Description", "Duration", "Result"
+    );
     for t in &detail.tasks {
         println!(
             "{:<7} {:<46} {:>9} {:>7}",
@@ -27,7 +30,12 @@ fn main() {
     let completed = sessions.iter().filter(|s| s.all_ok()).count();
     let total_minutes: f64 = sessions.iter().map(|s| s.total.as_secs_f64() / 60.0).sum();
     let per_pair = total_minutes / 10.0;
-    println!("\nstudy aggregate: {completed}/{} sessions completed all 20 tasks", sessions.len());
+    println!(
+        "\nstudy aggregate: {completed}/{} sessions completed all 20 tasks",
+        sessions.len()
+    );
     println!("(paper: \"the 10 pairs of test subjects successfully completed all their co-browsing sessions\")");
-    println!("average per pair (two sessions): {per_pair:.1} virtual minutes   (paper: 10.8 minutes)");
+    println!(
+        "average per pair (two sessions): {per_pair:.1} virtual minutes   (paper: 10.8 minutes)"
+    );
 }

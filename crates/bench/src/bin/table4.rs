@@ -33,8 +33,12 @@ fn main() {
             s.mode
         );
     }
-    println!("\npaper's summary: median and mode responses are \"Agree\" for all questions — ours: {}",
-        if summaries.iter().all(|s| s.median == LIKERT_LEVELS[3] && s.mode == LIKERT_LEVELS[3]) {
+    println!(
+        "\npaper's summary: median and mode responses are \"Agree\" for all questions — ours: {}",
+        if summaries
+            .iter()
+            .all(|s| s.median == LIKERT_LEVELS[3] && s.mode == LIKERT_LEVELS[3])
+        {
             "same"
         } else {
             "DIFFERS"

@@ -49,12 +49,8 @@ pub fn run_all_sites(profile: &NetProfile, mode: CacheMode) -> Result<Vec<PageMe
     for &(idx, site, kb) in TABLE1_SIZES_KB.iter() {
         let mut reps = Vec::with_capacity(REPETITIONS);
         for rep in 0..REPETITIONS {
-            let (load, sync) = measure_site(
-                profile.clone(),
-                mode,
-                site,
-                (idx as u64) << 8 | rep as u64,
-            )?;
+            let (load, sync) =
+                measure_site(profile.clone(), mode, site, (idx as u64) << 8 | rep as u64)?;
             let mut record = PageMetrics {
                 site: site.to_string(),
                 page_bytes: (kb * 1024.0) as u64,

@@ -52,12 +52,9 @@ impl UserAction {
     pub fn encode(&self) -> String {
         match self {
             UserAction::Click { target } => format!("click|{}", encode(target)),
-            UserAction::FormInput { form, field, value } => format!(
-                "input|{}|{}|{}",
-                encode(form),
-                encode(field),
-                encode(value)
-            ),
+            UserAction::FormInput { form, field, value } => {
+                format!("input|{}|{}|{}", encode(form), encode(field), encode(value))
+            }
             UserAction::FormSubmit { form, fields } => {
                 let fs: Vec<String> = fields
                     .iter()
@@ -100,14 +97,8 @@ impl UserAction {
                 Ok(UserAction::FormSubmit { form, fields })
             }
             "mouse" => {
-                let x = parts
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(err)?;
-                let y = parts
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(err)?;
+                let x = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                let y = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
                 Ok(UserAction::MouseMove { x, y })
             }
             "nav" => Ok(UserAction::Navigate {

@@ -251,8 +251,7 @@ impl Browser {
         let doc = parse_document(&body);
 
         // 2. Collect and fetch supplementary objects.
-        let raw_refs =
-            rcb_html::query::collect_supplementary_urls(&doc, doc.root());
+        let raw_refs = rcb_html::query::collect_supplementary_urls(&doc, doc.root());
         self.url = Some(url.clone());
         self.doc = Some(doc);
         self.dom_version += 1;
@@ -397,7 +396,13 @@ mod tests {
             .unwrap();
         pipe.reset();
         let s2 = b
-            .navigate(&url, &mut origins, &mut pipe, &profile, SimTime::from_secs(100))
+            .navigate(
+                &url,
+                &mut origins,
+                &mut pipe,
+                &profile,
+                SimTime::from_secs(100),
+            )
             .unwrap();
         assert_eq!(s2.objects_fetched, 0);
         assert_eq!(s2.objects_cached, s1.objects_fetched);
@@ -547,12 +552,24 @@ mod tests {
         let mut lan_pipe = Pipe::new(lan_profile.host_origin);
         let mut b1 = Browser::new(BrowserKind::Firefox);
         let lan = b1
-            .navigate(&url, &mut lan_origins, &mut lan_pipe, &lan_profile, SimTime::ZERO)
+            .navigate(
+                &url,
+                &mut lan_origins,
+                &mut lan_pipe,
+                &lan_profile,
+                SimTime::ZERO,
+            )
             .unwrap();
         let mut wan_pipe = Pipe::new(wan_profile.host_origin);
         let mut b2 = Browser::new(BrowserKind::Firefox);
         let wan = b2
-            .navigate(&url, &mut wan_origins, &mut wan_pipe, &wan_profile, SimTime::ZERO)
+            .navigate(
+                &url,
+                &mut wan_origins,
+                &mut wan_pipe,
+                &wan_profile,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(wan.html_time > lan.html_time);
     }

@@ -33,10 +33,7 @@ impl DownloadObserver {
         let key = (page.to_string(), raw.to_string());
         let abs = absolute.to_string();
         self.records.insert(key, abs.clone());
-        self.per_page
-            .entry(page.to_string())
-            .or_default()
-            .push(abs);
+        self.per_page.entry(page.to_string()).or_default().push(abs);
     }
 
     /// Resolves a raw reference seen on `page`: recorded resolution first,

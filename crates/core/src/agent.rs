@@ -143,7 +143,9 @@ impl ParticipantShards {
     /// Creates an empty shard set.
     pub fn new() -> ParticipantShards {
         ParticipantShards {
-            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -332,10 +334,7 @@ impl RcbAgent {
         self.timestamps.insert(version, t);
         self.live_versions.push_back(version);
         while self.live_versions.len() > LIVE_GENERATIONS {
-            let stale = self
-                .live_versions
-                .pop_front()
-                .expect("length just checked");
+            let stale = self.live_versions.pop_front().expect("length just checked");
             if self.timestamps.remove(&stale).is_some() {
                 self.stats.timestamp_evictions.incr();
             }
@@ -382,7 +381,12 @@ impl RcbAgent {
     /// generated-content cache, and accounts the generation in the stats.
     /// The cache insert is skipped when `version` has already aged out of
     /// the live-generation window — a stale insert would never be evicted.
-    pub fn admit_generated(&mut self, version: u64, mode: CacheMode, content: Arc<GeneratedContent>) {
+    pub fn admit_generated(
+        &mut self,
+        version: u64,
+        mode: CacheMode,
+        content: Arc<GeneratedContent>,
+    ) {
         self.stats.generations.incr();
         self.stats.m5.record(content.generation_cost);
         if self.timestamps.contains_key(&version) {
@@ -407,10 +411,7 @@ impl RcbAgent {
                 AgentOutcome::just(self.serve_object(req, host))
             }
             (rcb_http::Method::Post, "/poll") => self.handle_poll(req, host, now),
-            _ => AgentOutcome::just(Response::error(
-                Status::NOT_FOUND,
-                "unknown request type",
-            )),
+            _ => AgentOutcome::just(Response::error(Status::NOT_FOUND, "unknown request type")),
         };
         if self.config.authenticate_responses && outcome.response.status.is_success() {
             crate::auth::sign_response(&self.key, &mut outcome.response);
@@ -604,9 +605,7 @@ impl RcbAgent {
                 // host browser (the form co-filling path, §4.1.1).
                 let _ = host.mutate_dom(|doc| {
                     let root = doc.root();
-                    if let Some(form_node) =
-                        rcb_html::query::element_by_id(doc, root, &form)
-                    {
+                    if let Some(form_node) = rcb_html::query::element_by_id(doc, root, &form) {
                         for input in doc.descendants(form_node) {
                             if doc.get_attr(input, "name") == Some(field.as_str()) {
                                 doc.set_attr(input, "value", value.clone());
@@ -623,9 +622,7 @@ impl RcbAgent {
                     let (field, value) = (field.clone(), value.clone());
                     let _ = host.mutate_dom(|doc| {
                         let root = doc.root();
-                        if let Some(form_node) =
-                            rcb_html::query::element_by_id(doc, root, &form)
-                        {
+                        if let Some(form_node) = rcb_html::query::element_by_id(doc, root, &form) {
                             for input in doc.descendants(form_node) {
                                 if doc.get_attr(input, "name") == Some(field.as_str()) {
                                     doc.set_attr(input, "value", value.clone());
@@ -935,8 +932,11 @@ mod tests {
             .unwrap()
             .unwrap();
         let mv = UserAction::MouseMove { x: 7, y: 9 };
-        let quiet =
-            a.handle_request(&signed_poll(&a, 1, nc0.doc_time, &[mv]), &mut host, SimTime::ZERO);
+        let quiet = a.handle_request(
+            &signed_poll(&a, 1, nc0.doc_time, &[mv]),
+            &mut host,
+            SimTime::ZERO,
+        );
         assert!(quiet.response.body.is_empty());
         host.mutate_dom(|_| {}).unwrap();
         let out = a.handle_request(
@@ -1002,7 +1002,10 @@ mod tests {
                 "content cache unbounded at iteration {i}"
             );
         }
-        assert_eq!(a.stats.timestamp_evictions.get(), 1_200 - LIVE_GENERATIONS as u64);
+        assert_eq!(
+            a.stats.timestamp_evictions.get(),
+            1_200 - LIVE_GENERATIONS as u64
+        );
         assert!(a.stats.content_evictions.get() > 0);
     }
 
@@ -1051,7 +1054,9 @@ mod tests {
     #[test]
     fn poll_body_roundtrip() {
         let actions = vec![
-            UserAction::Click { target: "#x".into() },
+            UserAction::Click {
+                target: "#x".into(),
+            },
             UserAction::MouseMove { x: 1, y: 2 },
         ];
         let body = build_poll_body(777, &actions);

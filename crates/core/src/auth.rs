@@ -12,7 +12,7 @@
 //! payloads in the body, which must not be forgeable).
 
 use rcb_crypto::hmac::hmac_sha256_hex;
-use rcb_crypto::{Sha256, SessionKey};
+use rcb_crypto::{SessionKey, Sha256};
 use rcb_http::Request;
 
 /// Name of the request-URI parameter carrying the MAC.

@@ -58,19 +58,11 @@ impl UrlSharingBaseline {
 
     /// Host loads the page, shares the URL, participant loads it too.
     /// Compares the resulting body content.
-    pub fn share(
-        &mut self,
-        origins: &mut OriginRegistry,
-        url: &str,
-    ) -> Result<BaselineSync> {
+    pub fn share(&mut self, origins: &mut OriginRegistry, url: &str) -> Result<BaselineSync> {
         let url = Url::parse(url)?;
-        let host_stats = self.host.navigate(
-            &url,
-            origins,
-            &mut self.host_pipe,
-            &self.profile,
-            self.now,
-        )?;
+        let host_stats =
+            self.host
+                .navigate(&url, origins, &mut self.host_pipe, &self.profile, self.now)?;
         self.now = host_stats.finished_at;
         // Out-of-band URL delivery (IM/phone): a couple of seconds.
         let shared_at = self.now + SimDuration::from_secs(2);
@@ -92,7 +84,10 @@ impl UrlSharingBaseline {
     /// Host-side dynamic DOM mutation (Ajax/DHTML): with URL sharing there
     /// is *no mechanism at all* to propagate it — returns the resulting
     /// divergence.
-    pub fn host_mutates(&mut self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<BaselineSync> {
+    pub fn host_mutates(
+        &mut self,
+        f: impl FnOnce(&mut rcb_html::Document),
+    ) -> Result<BaselineSync> {
         self.host.mutate_dom(f)?;
         Ok(BaselineSync {
             content_matches: self.views_match(),
@@ -102,14 +97,11 @@ impl UrlSharingBaseline {
 
     /// Whether the two rendered bodies currently match.
     pub fn views_match(&self) -> bool {
-        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref())
-        else {
+        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref()) else {
             return false;
         };
         match (hd.body(), pd.body()) {
-            (Some(hb), Some(pb)) => {
-                rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb)
-            }
+            (Some(hb), Some(pb)) => rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb),
             _ => false,
         }
     }
@@ -214,10 +206,10 @@ impl ProxyBaseline {
             .transfer(start, req.wire_len(), Direction::Up);
         let resp = origins.dispatch(&url.host, &req, t_req);
         let think = self.profile.html_think(resp.body.len());
-        let charged = 200 + self.profile.wire_bytes(
-            &resp.content_type().unwrap_or_default(),
-            resp.body.len(),
-        );
+        let charged = 200
+            + self
+                .profile
+                .wire_bytes(&resp.content_type().unwrap_or_default(), resp.body.len());
         let t_done = self
             .proxy_origin_pipe
             .transfer(t_req + think, charged, Direction::Down);
@@ -239,14 +231,11 @@ impl ProxyBaseline {
 
     /// Whether the two rendered bodies currently match.
     pub fn views_match(&self) -> bool {
-        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref())
-        else {
+        let (Some(hd), Some(pd)) = (self.host.doc.as_ref(), self.participant.doc.as_ref()) else {
             return false;
         };
         match (hd.body(), pd.body()) {
-            (Some(hb), Some(pb)) => {
-                rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb)
-            }
+            (Some(hb), Some(pb)) => rcb_html::inner_html(hd, hb) == rcb_html::inner_html(pd, pb),
             _ => false,
         }
     }
@@ -310,8 +299,9 @@ mod tests {
         let after = b
             .host_mutates(|doc| {
                 let root = doc.root();
-                if let Some(img) =
-                    rcb_html::query::elements_by_tag(doc, root, "img").first().copied()
+                if let Some(img) = rcb_html::query::elements_by_tag(doc, root, "img")
+                    .first()
+                    .copied()
                 {
                     doc.set_attr(img, "src", "/tiles/4/999/999.png");
                 }
@@ -327,7 +317,9 @@ mod tests {
     fn proxy_fixes_sessions_but_misses_client_side_dynamics() {
         let mut o = origins();
         let mut p = ProxyBaseline::new(NetProfile::lan());
-        let s = p.navigate_both(&mut o, "http://shop.example.com/cart").unwrap();
+        let s = p
+            .navigate_both(&mut o, "http://shop.example.com/cart")
+            .unwrap();
         assert!(
             s.content_matches,
             "proxy replays one shared session to both users"

@@ -203,9 +203,7 @@ fn finish_impl(
     // is held for the rewrite loop alone, never across escaping/assembly.
     let cache_rewrites = match mode {
         CacheMode::Cache => match mapping {
-            MappingAccess::Exclusive(m) => {
-                rewrite_cached_to_agent(&mut doc, clone, cache, m, key)
-            }
+            MappingAccess::Exclusive(m) => rewrite_cached_to_agent(&mut doc, clone, cache, m, key),
             MappingAccess::Shared(mx) => {
                 let mut m = mx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 rewrite_cached_to_agent(&mut doc, clone, cache, &mut m, key)
@@ -316,10 +314,17 @@ fn rewrite_event_attributes(doc: &mut Document, scope: NodeId) {
             "a" | "button" => {
                 let id = ensure_identifier(doc, node, &mut counter);
                 let existing = doc.get_attr(node, "onclick").unwrap_or("").to_string();
-                doc.set_attr(node, "onclick", format!("return rcbClick('{id}');{existing}"));
+                doc.set_attr(
+                    node,
+                    "onclick",
+                    format!("return rcbClick('{id}');{existing}"),
+                );
             }
             "input" => {
-                let ty = doc.get_attr(node, "type").unwrap_or("text").to_ascii_lowercase();
+                let ty = doc
+                    .get_attr(node, "type")
+                    .unwrap_or("text")
+                    .to_ascii_lowercase();
                 if matches!(ty.as_str(), "submit" | "button" | "image") {
                     let id = ensure_identifier(doc, node, &mut counter);
                     let existing = doc.get_attr(node, "onclick").unwrap_or("").to_string();
@@ -349,10 +354,7 @@ fn ensure_identifier(doc: &mut Document, node: NodeId, counter: &mut u64) -> Str
 }
 
 /// Step 5: extract per-element payloads in DOM order.
-fn extract_payloads(
-    doc: &Document,
-    html_el: NodeId,
-) -> Result<(Vec<ElementPayload>, TopLevel)> {
+fn extract_payloads(doc: &Document, html_el: NodeId) -> Result<(Vec<ElementPayload>, TopLevel)> {
     let mut head_children = Vec::new();
     let mut body: Option<ElementPayload> = None;
     let mut frameset: Option<ElementPayload> = None;
@@ -440,8 +442,8 @@ mod tests {
     fn generation_produces_parseable_figure4_xml() {
         let host = loaded_host("google.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1234, "")
-            .unwrap();
+        let gc =
+            generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1234, "").unwrap();
         let nc = rcb_xml::parse_new_content(&gc.xml).unwrap().unwrap();
         assert_eq!(nc.doc_time, 1234);
         assert!(!nc.head_children.is_empty());
@@ -452,8 +454,7 @@ mod tests {
     fn non_cache_mode_uses_absolute_origin_urls() {
         let host = loaded_host("apple.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "")
-            .unwrap();
+        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "").unwrap();
         assert!(gc.cache_rewrites == 0);
         assert!(!gc.object_urls.is_empty());
         for u in &gc.object_urls {
@@ -469,8 +470,7 @@ mod tests {
     fn cache_mode_rewrites_to_agent_urls() {
         let host = loaded_host("apple.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::Cache, &mut mapping, &key(), 1, "")
-            .unwrap();
+        let gc = generate_content(&host, CacheMode::Cache, &mut mapping, &key(), 1, "").unwrap();
         assert!(gc.cache_rewrites > 0);
         assert_eq!(gc.cache_rewrites, mapping.len());
         for u in &gc.object_urls {
@@ -510,8 +510,7 @@ mod tests {
     fn event_attributes_rewritten_with_hooks() {
         let host = loaded_host("facebook.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "")
-            .unwrap();
+        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "").unwrap();
         let nc = rcb_xml::parse_new_content(&gc.xml).unwrap().unwrap();
         let TopLevel::Body(body) = &nc.top else {
             panic!("expected body page")

@@ -52,7 +52,7 @@ pub mod tcp;
 pub mod usability;
 
 pub use agent::{AgentConfig, CacheMode, ParticipantShards, RcbAgent};
-pub use snapshot::ContentSnapshot;
 pub use metrics::PageMetrics;
 pub use session::CoBrowsingWorld;
+pub use snapshot::ContentSnapshot;
 pub use snippet::AjaxSnippet;

@@ -56,9 +56,7 @@ pub fn average(records: &[PageMetrics]) -> PageMetrics {
     assert!(!records.is_empty(), "cannot average zero records");
     let n = records.len() as u64;
     let avg = |f: fn(&PageMetrics) -> SimDuration| {
-        SimDuration::from_micros(
-            records.iter().map(|r| f(r).as_micros()).sum::<u64>() / n,
-        )
+        SimDuration::from_micros(records.iter().map(|r| f(r).as_micros()).sum::<u64>() / n)
     };
     PageMetrics {
         site: records[0].site.clone(),

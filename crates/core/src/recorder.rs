@@ -121,7 +121,10 @@ impl SessionRecorder {
                     format!("sync pid={pid} doc_time={doc_time}")
                 }
                 SessionEvent::Action { pid, encoded } => {
-                    format!("action pid={pid} data={}", rcb_url::percent::encode(encoded))
+                    format!(
+                        "action pid={pid} data={}",
+                        rcb_url::percent::encode(encoded)
+                    )
                 }
             };
             out.push_str(&format!("{:>12} {}\n", at.as_micros(), line));
@@ -137,8 +140,7 @@ impl SessionRecorder {
             if line.is_empty() {
                 continue;
             }
-            let err =
-                || rcb_util::RcbError::parse("session-log", format!("bad line {line:?}"));
+            let err = || rcb_util::RcbError::parse("session-log", format!("bad line {line:?}"));
             let (ts, rest) = line.split_once(' ').ok_or_else(err)?;
             let at = SimTime::from_micros(ts.trim().parse().map_err(|_| err())?);
             let mut parts = rest.split_whitespace();
@@ -163,9 +165,7 @@ impl SessionRecorder {
                 },
                 "sync" => SessionEvent::Sync {
                     pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
-                    doc_time: kv(parts.next(), "doc_time")?
-                        .parse()
-                        .map_err(|_| err())?,
+                    doc_time: kv(parts.next(), "doc_time")?.parse().map_err(|_| err())?,
                 },
                 "action" => SessionEvent::Action {
                     pid: kv(parts.next(), "pid")?.parse().map_err(|_| err())?,
@@ -247,7 +247,13 @@ mod tests {
             },
         );
         r.record(t(150), SessionEvent::ContentChange { doc_time: 42 });
-        r.record(t(400), SessionEvent::Sync { pid: 1, doc_time: 42 });
+        r.record(
+            t(400),
+            SessionEvent::Sync {
+                pid: 1,
+                doc_time: 42,
+            },
+        );
         r.record(
             t(900),
             SessionEvent::Action {

@@ -91,7 +91,12 @@ pub struct CoBrowsingWorld {
 impl CoBrowsingWorld {
     /// Creates a world with the given origins, environment and agent
     /// configuration (step 1: the host starts RCB-Agent).
-    pub fn new(origins: OriginRegistry, profile: NetProfile, config: AgentConfig, seed: u64) -> Self {
+    pub fn new(
+        origins: OriginRegistry,
+        profile: NetProfile,
+        config: AgentConfig,
+        seed: u64,
+    ) -> Self {
         let mut rng = DetRng::new(seed);
         let key = SessionKey::generate_deterministic(&mut rng);
         CoBrowsingWorld {
@@ -196,11 +201,10 @@ impl CoBrowsingWorld {
             .host
             .agent
             .handle_request(&req, &mut self.host.browser, req_arrival);
-        let resp_arrival = self.host.rcb_pipe.transfer(
-            req_arrival,
-            outcome.response.wire_len(),
-            Direction::Down,
-        );
+        let resp_arrival =
+            self.host
+                .rcb_pipe
+                .transfer(req_arrival, outcome.response.wire_len(), Direction::Down);
         browser.doc = Some(rcb_html::parse_document(&outcome.response.body_str()));
         self.advance_to(resp_arrival);
         let snippet = AjaxSnippet::new(
@@ -214,7 +218,8 @@ impl CoBrowsingWorld {
             snippet,
             origin_pipe: Pipe::new(self.profile.participant_origin),
         });
-        self.recorder.record(self.now, SessionEvent::Join { pid: id });
+        self.recorder
+            .record(self.now, SessionEvent::Join { pid: id });
         self.participants.len() - 1
     }
 
@@ -274,12 +279,13 @@ impl CoBrowsingWorld {
         } else {
             req_arrival
         };
-        let resp_arrival = self.host.rcb_pipe.transfer(
-            served_at,
-            outcome.response.wire_len(),
-            Direction::Down,
-        );
-        let result = p.snippet.process_response(&outcome.response, &mut p.browser)?;
+        let resp_arrival =
+            self.host
+                .rcb_pipe
+                .transfer(served_at, outcome.response.wire_len(), Direction::Down);
+        let result = p
+            .snippet
+            .process_response(&outcome.response, &mut p.browser)?;
         let mut sync = None;
         match result {
             SnippetOutcome::NoNewContent => {
@@ -385,20 +391,19 @@ impl CoBrowsingWorld {
                 };
                 let begin = free_at[slot].max(start);
                 let req = Request::get(u.clone());
-                let req_arrival =
-                    self.host
-                        .rcb_pipe
-                        .transfer(begin, req.wire_len(), Direction::Up);
+                let req_arrival = self
+                    .host
+                    .rcb_pipe
+                    .transfer(begin, req.wire_len(), Direction::Up);
                 let outcome =
                     self.host
                         .agent
                         .handle_request(&req, &mut self.host.browser, req_arrival);
                 let resp = outcome.response;
-                let done = self.host.rcb_pipe.transfer(
-                    req_arrival,
-                    resp.wire_len(),
-                    Direction::Down,
-                );
+                let done =
+                    self.host
+                        .rcb_pipe
+                        .transfer(req_arrival, resp.wire_len(), Direction::Down);
                 free_at[slot] = done;
                 finished = finished.max(done);
                 fetched += 1;
@@ -477,11 +482,7 @@ impl CoBrowsingWorld {
             self.advance_to(arrived);
             // Follow one redirect (e.g. cart/add → /cart).
             if resp.status.0 == 302 {
-                let loc = resp
-                    .headers
-                    .get("location")
-                    .unwrap_or("/")
-                    .to_string();
+                let loc = resp.headers.get("location").unwrap_or("/").to_string();
                 let next = target.join(&loc)?;
                 return self.host_navigate(&next.to_string());
             }
@@ -593,7 +594,12 @@ mod tests {
         // origin (its origin pipe stayed idle) — checkable via its cache
         // holding agent-relative keys.
         let p = &world.participants[idx];
-        assert!(p.browser.cache.urls().iter().all(|u| u.starts_with("/cache/")));
+        assert!(p
+            .browser
+            .cache
+            .urls()
+            .iter()
+            .all(|u| u.starts_with("/cache/")));
     }
 
     #[test]
@@ -602,8 +608,7 @@ mod tests {
             cache_mode: CacheMode::NonCache,
             ..AgentConfig::default()
         };
-        let mut world =
-            CoBrowsingWorld::with_alexa20(NetProfile::lan(), config, 7);
+        let mut world = CoBrowsingWorld::with_alexa20(NetProfile::lan(), config, 7);
         let idx = world.add_participant(BrowserKind::Firefox);
         world.host_navigate("http://apple.com/").unwrap();
         let (sync, _) = world.poll_participant(idx).unwrap();

@@ -144,7 +144,10 @@ impl ContentSnapshot {
             None => {
                 let user_actions = agent.take_host_actions();
                 PlanWork::Generate(Box::new(prepare_generation(
-                    host, mode, doc_time, user_actions,
+                    host,
+                    mode,
+                    doc_time,
+                    user_actions,
                 )?))
             }
         };
@@ -222,7 +225,12 @@ impl SnapshotPlan {
         let (content, generated) = match self.work {
             PlanWork::Cached(c) => (c, None),
             PlanWork::Generate(job) => {
-                let c = Arc::new(finish_generation(*job, &self.cache, &self.mapping, &self.key)?);
+                let c = Arc::new(finish_generation(
+                    *job,
+                    &self.cache,
+                    &self.mapping,
+                    &self.key,
+                )?);
                 (Arc::clone(&c), Some(c))
             }
         };
@@ -247,7 +255,9 @@ impl SnapshotPlan {
 
         let mut objects = HashMap::with_capacity(live_keys.len());
         for &key in &live_keys {
-            let Some(url) = view.url_for(key) else { continue };
+            let Some(url) = view.url_for(key) else {
+                continue;
+            };
             if let Some(entry) = self.cache.get(url) {
                 objects.insert(
                     key,
@@ -366,9 +376,11 @@ mod tests {
     fn snapshot_serves_cached_objects_without_host_access() {
         let mut a = agent(CacheMode::Cache);
         let mut host = loaded_host("apple.com");
-        let snap =
-            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
-        assert!(snap.object_count() > 0, "apple.com has supplementary objects");
+        let snap = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
+        assert!(
+            snap.object_count() > 0,
+            "apple.com has supplementary objects"
+        );
         assert_eq!(snap.object_count(), snap.live_object_count());
         for key in snap.live_keys.clone() {
             let obj = snap.object(key).expect("live object servable");
@@ -403,8 +415,7 @@ mod tests {
             again.prefab_bytes().unwrap()
         ));
         // The image parses back to exactly the response it froze.
-        let parsed =
-            rcb_http::parse_response(resp.prefab_bytes().unwrap()).unwrap();
+        let parsed = rcb_http::parse_response(resp.prefab_bytes().unwrap()).unwrap();
         assert_eq!(parsed, resp);
     }
 
@@ -431,8 +442,7 @@ mod tests {
     fn non_cache_snapshot_carries_no_objects() {
         let mut a = agent(CacheMode::NonCache);
         let host = loaded_host("apple.com");
-        let snap =
-            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
+        let snap = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();
         assert_eq!(snap.object_count(), 0);
     }
 
@@ -440,19 +450,13 @@ mod tests {
     fn rebuilds_carry_one_predecessor_and_stay_bounded() {
         let mut a = agent(CacheMode::Cache);
         let mut host = loaded_host("apple.com");
-        let mut snap =
-            ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
+        let mut snap = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
         let baseline = snap.live_object_count();
         assert!(baseline > 0);
         for i in 1..=1_000u64 {
             host.mutate_dom(|_| {}).unwrap();
-            snap = ContentSnapshot::build(
-                &mut a,
-                &host,
-                SimTime::from_millis(i),
-                Some(&snap),
-            )
-            .unwrap();
+            snap = ContentSnapshot::build(&mut a, &host, SimTime::from_millis(i), Some(&snap))
+                .unwrap();
             // The object set never exceeds two generations' worth — here
             // the page is unchanged, so the carried set equals the live
             // set and the total stays flat.
@@ -475,9 +479,7 @@ mod tests {
         let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
         assert_eq!(s1.dom_version, host.dom_version());
         host.mutate_dom(|_| {}).unwrap();
-        let s2 =
-            ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), Some(&s1))
-                .unwrap();
+        let s2 = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), Some(&s1)).unwrap();
         assert_eq!(s2.dom_version, host.dom_version());
         assert!(s2.doc_time > s1.doc_time);
     }

@@ -121,9 +121,7 @@ impl AjaxSnippet {
             )));
         }
         if self.require_response_auth && !crate::auth::verify_response(&self.key, resp) {
-            return Err(RcbError::Auth(
-                "response MAC missing or invalid".into(),
-            ));
+            return Err(RcbError::Auth("response MAC missing or invalid".into()));
         }
         let body = resp.body_str();
         let Some(nc) = parse_new_content(&body)? else {
@@ -269,8 +267,7 @@ fn set_top_element(
     let el = match existing {
         Some(el) => {
             // Refresh attributes: drop then re-add.
-            let names: Vec<String> =
-                doc.attrs(el).iter().map(|(n, _)| n.clone()).collect();
+            let names: Vec<String> = doc.attrs(el).iter().map(|(n, _)| n.clone()).collect();
             for n in names {
                 doc.remove_attr(el, &n);
             }

@@ -44,6 +44,14 @@
 //! Timestamps on this path are real wall-clock milliseconds since the
 //! Unix epoch (§4.1.1), via [`SimTime::from_unix_millis`] — not a wrapped
 //! count (the old `% 1_000_000_000` mapping recurred every ~11.6 days).
+//!
+//! The socket itself is served by either of two interchangeable backends
+//! behind the same `Handler` (see [`ServerBackend`]): the bounded worker
+//! pool, or the event-driven epoll loop whose connection ceiling is the fd
+//! limit rather than the thread count. Select via
+//! [`ServerConfig::backend`] or the `RCB_SERVER_BACKEND` environment
+//! variable; everything above the handler — snapshots, shards, prefab
+//! wire images — is backend-agnostic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -52,7 +60,7 @@ use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_cache::MappingTable;
 use rcb_crypto::SessionKey;
 use rcb_http::client::HttpConnection;
-use rcb_http::server::{Handler, HttpServer, ServerConfig};
+use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig};
 use rcb_http::{Request, Response, Status};
 use rcb_util::{RcbError, Result, SimDuration, SimTime};
 
@@ -263,9 +271,7 @@ impl SharedHost {
                 self.stats.connections.fetch_add(1, Ordering::Relaxed);
                 self.initial_page_response.clone()
             }
-            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
-                self.serve_object(req)
-            }
+            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => self.serve_object(req),
             (rcb_http::Method::Post, "/poll") => self.handle_poll(req),
             _ => Response::error(Status::NOT_FOUND, "unknown request type"),
         };
@@ -361,7 +367,9 @@ impl SharedHost {
         // Timestamp inspection against the frozen snapshot.
         let snap = self.current_snapshot();
         if client_time < snap.doc_time {
-            self.stats.polls_with_content.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .polls_with_content
+                .fetch_add(1, Ordering::Relaxed);
             self.participants.advance_doc_time(pid, snap.doc_time);
             // Prefab wire image: every participant's content poll for this
             // generation is byte-identical, serialized once at build time.
@@ -472,6 +480,13 @@ impl TcpHost {
     /// The bound address participants connect to.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.server.addr()
+    }
+
+    /// The server backend servicing this host's socket (workers pool or
+    /// epoll event loop — see [`ServerBackend`]; defaults follow the
+    /// `RCB_SERVER_BACKEND` environment variable).
+    pub fn backend(&self) -> ServerBackend {
+        self.server.backend()
     }
 
     /// The session key to share out of band.
@@ -602,9 +617,7 @@ impl TcpParticipant {
                     let obj = self.conn.round_trip(&rcb_http::Request::get(url.clone()))?;
                     if obj.status.is_success() {
                         let ct = obj.content_type().unwrap_or_default();
-                        self.browser
-                            .cache
-                            .store(url, &ct, obj.body, SimTime::ZERO);
+                        self.browser.cache.store(url, &ct, obj.body, SimTime::ZERO);
                     }
                 }
             }
@@ -732,6 +745,66 @@ mod tests {
     }
 
     #[test]
+    fn full_session_on_epoll_backend() {
+        // The same join → poll → mutate → poll → co-fill flow, explicitly
+        // on the event-driven backend (skipped where it isn't compiled
+        // in): everything above the Handler must be backend-agnostic.
+        if !rcb_http::server::EPOLL_SUPPORTED {
+            return;
+        }
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse("http://demo.local/").unwrap());
+        browser.doc = Some(rcb_html::parse_document(PAGE));
+        browser.mutate_dom(|_| {}).unwrap();
+        let mut host = TcpHost::start_from_browser(
+            "127.0.0.1:0",
+            browser,
+            key.clone(),
+            AgentConfig::default(),
+            ServerConfig {
+                backend: ServerBackend::Epoll,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(host.backend(), ServerBackend::Epoll);
+        let addr = host.addr().to_string();
+        let mut alice = TcpParticipant::join(&addr, key, 1).unwrap();
+        assert!(matches!(
+            alice.poll().unwrap(),
+            SnippetOutcome::Updated { .. }
+        ));
+        host.mutate_page(|doc| {
+            let body = doc.body().unwrap();
+            let div = doc.create_element("div");
+            let t = doc.create_text("epoll update");
+            doc.append_child(div, t).unwrap();
+            doc.append_child(body, div).unwrap();
+        })
+        .unwrap();
+        alice
+            .poll_until_update(10, std::time::Duration::from_millis(20))
+            .unwrap();
+        let doc = alice.browser.doc.as_ref().unwrap();
+        assert!(doc.text_content(doc.root()).contains("epoll update"));
+        alice.act(UserAction::FormInput {
+            form: "f".into(),
+            field: "note".into(),
+            value: "via epoll".into(),
+        });
+        alice.poll().unwrap();
+        assert_eq!(
+            host.form_fields("f"),
+            vec![("note".to_string(), "via epoll".to_string())]
+        );
+        // Zero-copy accounting holds on the nonblocking write path too.
+        assert_eq!(host.stats().body_bytes_copied, 0);
+        host.shutdown();
+    }
+
+    #[test]
     fn poll_without_pid_rejected_over_tcp() {
         let mut host = start_host();
         let addr = host.addr().to_string();
@@ -755,7 +828,10 @@ mod tests {
         let doc_time = host.published_doc_time();
         // Within a minute of the real wall clock — and far beyond the old
         // `% 1_000_000_000` wrap ceiling.
-        assert!(doc_time > 1_000_000_000, "doc_time {doc_time} looks wrapped");
+        assert!(
+            doc_time > 1_000_000_000,
+            "doc_time {doc_time} looks wrapped"
+        );
         assert!(doc_time.abs_diff(now_ms) < 60_000);
         host.shutdown();
     }

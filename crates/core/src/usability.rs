@@ -93,12 +93,7 @@ pub fn host_maps_set_viewport(world: &mut CoBrowsingWorld, vp: Viewport) -> Resu
     })?;
     // The host browser fetches the new tiles (Ajax image loads).
     let refs = world.host.browser.supplementary_refs();
-    let page = world
-        .host
-        .browser
-        .url
-        .clone()
-        .expect("maps page is loaded");
+    let page = world.host.browser.url.clone().expect("maps page is loaded");
     let now = world.now;
     let (done, _, _, _) = {
         let host = &mut world.host;
@@ -142,10 +137,10 @@ pub fn run_session(seed: u64) -> Result<SessionResult> {
     let session_start = world.now;
 
     let task = |world: &mut CoBrowsingWorld,
-                    tasks: &mut Vec<TaskResult>,
-                    id: &'static str,
-                    description: &'static str,
-                    run: &mut dyn FnMut(&mut CoBrowsingWorld) -> Result<bool>|
+                tasks: &mut Vec<TaskResult>,
+                id: &'static str,
+                description: &'static str,
+                run: &mut dyn FnMut(&mut CoBrowsingWorld) -> Result<bool>|
      -> Result<()> {
         let start = world.now;
         world.think(4_000, 12_000); // read instructions, move mouse, type
@@ -160,162 +155,285 @@ pub fn run_session(seed: u64) -> Result<SessionResult> {
     };
 
     // T1-B / T1-A: Bob starts the session; Alice joins via the agent URL.
-    task(&mut world, &mut tasks, "T1-B", "Bob starts an RCB co-browsing session", &mut |w| {
-        Ok(w.host.agent.participants().is_empty())
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T1-B",
+        "Bob starts an RCB co-browsing session",
+        &mut |w| Ok(w.host.agent.participants().is_empty()),
+    )?;
     let alice = world.add_participant(BrowserKind::Firefox);
-    task(&mut world, &mut tasks, "T1-A", "Alice joins with the agent URL", &mut |w| {
-        Ok(w.participants.len() == 1)
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T1-A",
+        "Alice joins with the agent URL",
+        &mut |w| Ok(w.participants.len() == 1),
+    )?;
 
     // T2-B / T2-A: Bob searches the Cartier address on the maps site.
     let cartier = MapsApp::geocode("653 5th Ave, New York");
-    task(&mut world, &mut tasks, "T2-B", "Bob searches 653 5th Ave on Maps", &mut |w| {
-        w.host_navigate(&format!("http://{MAPS_HOST}/maps?q=653+5th+Ave%2C+New+York"))?;
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T2-A", "The map appears on Alice's browser", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(participant_sees_viewport(w, alice, cartier))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T2-B",
+        "Bob searches 653 5th Ave on Maps",
+        &mut |w| {
+            w.host_navigate(&format!(
+                "http://{MAPS_HOST}/maps?q=653+5th+Ave%2C+New+York"
+            ))?;
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T2-A",
+        "The map appears on Alice's browser",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(participant_sees_viewport(w, alice, cartier))
+        },
+    )?;
 
     // T3-B / T3-A: Bob zooms and pans; Alice's map follows.
     let panned = cartier.zoom_in().pan(1, 0);
-    task(&mut world, &mut tasks, "T3-B", "Bob zooms in and drags the map", &mut |w| {
-        host_maps_set_viewport(w, cartier.zoom_in())?;
-        w.think(1_500, 4_000);
-        host_maps_set_viewport(w, panned)?;
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T3-A", "Alice's map updates automatically", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(participant_sees_viewport(w, alice, panned))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T3-B",
+        "Bob zooms in and drags the map",
+        &mut |w| {
+            host_maps_set_viewport(w, cartier.zoom_in())?;
+            w.think(1_500, 4_000);
+            host_maps_set_viewport(w, panned)?;
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T3-A",
+        "Alice's map updates automatically",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(participant_sees_viewport(w, alice, panned))
+        },
+    )?;
 
     // T4-B / T4-A: street view (a deeper zoom in this reproduction — the
     // paper notes Flash internals are NOT synchronized, only the page).
     let street = panned.zoom_in().zoom_in();
-    task(&mut world, &mut tasks, "T4-B", "Bob opens the street-level view", &mut |w| {
-        host_maps_set_viewport(w, street)?;
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T4-A", "Street view appears on Alice's browser", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(participant_sees_viewport(w, alice, street))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T4-B",
+        "Bob opens the street-level view",
+        &mut |w| {
+            host_maps_set_viewport(w, street)?;
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T4-A",
+        "Street view appears on Alice's browser",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(participant_sees_viewport(w, alice, street))
+        },
+    )?;
 
     // T5-B / T5-A: agree on the meeting spot over the voice channel.
-    task(&mut world, &mut tasks, "T5-B", "Bob points out the Cartier show-windows", &mut |w| {
-        w.participant_action(alice, UserAction::MouseMove { x: 512, y: 384 });
-        w.think(15_000, 40_000); // voice discussion
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T5-A", "Alice agrees on the meeting spot", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(true)
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T5-B",
+        "Bob points out the Cartier show-windows",
+        &mut |w| {
+            w.participant_action(alice, UserAction::MouseMove { x: 512, y: 384 });
+            w.think(15_000, 40_000); // voice discussion
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T5-A",
+        "Alice agrees on the meeting spot",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(true)
+        },
+    )?;
 
     // T6-B / T6-A: Bob visits the shop homepage.
-    task(&mut world, &mut tasks, "T6-B", "Bob visits the shop homepage", &mut |w| {
-        w.host_navigate(&format!("http://{SHOP_HOST}/"))?;
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T6-A", "Shop homepage shows on Alice's browser", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(participant_page_text(w, alice).contains("rcb-shop"))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T6-B",
+        "Bob visits the shop homepage",
+        &mut |w| {
+            w.host_navigate(&format!("http://{SHOP_HOST}/"))?;
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T6-A",
+        "Shop homepage shows on Alice's browser",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(participant_page_text(w, alice).contains("rcb-shop"))
+        },
+    )?;
 
     // T7-B / T7-A: Bob searches for a MacBook Air and opens a product.
-    task(&mut world, &mut tasks, "T7-B", "Bob searches for a MacBook Air", &mut |w| {
-        w.host_navigate(&format!("http://{SHOP_HOST}/search?q=macbook"))?;
-        w.think(2_000, 6_000);
-        w.host_navigate(&format!("http://{SHOP_HOST}/product/0"))?;
-        Ok(true)
-    })?;
-    task(&mut world, &mut tasks, "T7-A", "Pages update on Alice's browser", &mut |w| {
-        w.poll_participant(alice)?;
-        Ok(participant_page_text(w, alice).contains("MacBook"))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T7-B",
+        "Bob searches for a MacBook Air",
+        &mut |w| {
+            w.host_navigate(&format!("http://{SHOP_HOST}/search?q=macbook"))?;
+            w.think(2_000, 6_000);
+            w.host_navigate(&format!("http://{SHOP_HOST}/product/0"))?;
+            Ok(true)
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T7-A",
+        "Pages update on Alice's browser",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            Ok(participant_page_text(w, alice).contains("MacBook"))
+        },
+    )?;
 
     // T8-B / T8-A: Alice drives — searches and picks a different laptop.
-    task(&mut world, &mut tasks, "T8-B", "Bob asks Alice to choose a laptop", &mut |_| Ok(true))?;
-    task(&mut world, &mut tasks, "T8-A", "Alice searches and picks her laptop", &mut |w| {
-        w.participant_action(
-            alice,
-            UserAction::Navigate {
-                url: format!("http://{SHOP_HOST}/search?q=macbook"),
-            },
-        );
-        w.poll_participant(alice)?; // action rides this poll; host navigates
-        w.sleep(SimDuration::from_secs(1));
-        w.poll_participant(alice)?; // results sync back
-        w.think(3_000, 9_000);
-        w.participant_action(
-            alice,
-            UserAction::Navigate {
-                url: format!("http://{SHOP_HOST}/product/3"),
-            },
-        );
-        w.poll_participant(alice)?;
-        w.sleep(SimDuration::from_secs(1));
-        w.poll_participant(alice)?;
-        Ok(w.host.browser.url.as_ref().is_some_and(|u| u.path == "/product/3")
-            && participant_page_text(w, alice).contains("MacBook"))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T8-B",
+        "Bob asks Alice to choose a laptop",
+        &mut |_| Ok(true),
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T8-A",
+        "Alice searches and picks her laptop",
+        &mut |w| {
+            w.participant_action(
+                alice,
+                UserAction::Navigate {
+                    url: format!("http://{SHOP_HOST}/search?q=macbook"),
+                },
+            );
+            w.poll_participant(alice)?; // action rides this poll; host navigates
+            w.sleep(SimDuration::from_secs(1));
+            w.poll_participant(alice)?; // results sync back
+            w.think(3_000, 9_000);
+            w.participant_action(
+                alice,
+                UserAction::Navigate {
+                    url: format!("http://{SHOP_HOST}/product/3"),
+                },
+            );
+            w.poll_participant(alice)?;
+            w.sleep(SimDuration::from_secs(1));
+            w.poll_participant(alice)?;
+            Ok(w.host
+                .browser
+                .url
+                .as_ref()
+                .is_some_and(|u| u.path == "/product/3")
+                && participant_page_text(w, alice).contains("MacBook"))
+        },
+    )?;
 
     // T9-B / T9-A: Bob adds to cart and starts checkout; Alice co-fills
     // the shipping form from her browser.
-    task(&mut world, &mut tasks, "T9-B", "Bob adds the laptop and starts checkout", &mut |w| {
-        w.host_navigate(&format!("http://{SHOP_HOST}/cart/add?id=3"))?;
-        w.host_navigate(&format!("http://{SHOP_HOST}/checkout"))?;
-        Ok(w.host.browser.doc.as_ref().is_some_and(|d| {
-            rcb_html::query::element_by_id(d, d.root(), "shipping").is_some()
-        }))
-    })?;
-    task(&mut world, &mut tasks, "T9-A", "Alice fills the shipping address form", &mut |w| {
-        w.poll_participant(alice)?; // checkout form syncs to Alice
-        for (field, value) in [
-            ("fullname", "Alice Cousin"),
-            ("street", "653 5th Ave"),
-            ("city", "New York"),
-            ("zip", "10022"),
-        ] {
-            w.think(2_000, 5_000);
-            w.participant_action(
-                alice,
-                UserAction::FormInput {
-                    form: "shipping".into(),
-                    field: field.into(),
-                    value: value.into(),
-                },
-            );
-        }
-        w.poll_participant(alice)?; // inputs merge into the host form
-        let host_doc = w.host.browser.doc.as_ref().expect("host page loaded");
-        let form = rcb_html::query::element_by_id(host_doc, host_doc.root(), "shipping")
-            .expect("shipping form present");
-        let fields = rcb_html::query::form_fields(host_doc, form);
-        Ok(fields.contains(&("street".into(), "653 5th Ave".into()))
-            && fields.contains(&("zip".into(), "10022".into())))
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T9-B",
+        "Bob adds the laptop and starts checkout",
+        &mut |w| {
+            w.host_navigate(&format!("http://{SHOP_HOST}/cart/add?id=3"))?;
+            w.host_navigate(&format!("http://{SHOP_HOST}/checkout"))?;
+            Ok(w.host
+                .browser
+                .doc
+                .as_ref()
+                .is_some_and(|d| rcb_html::query::element_by_id(d, d.root(), "shipping").is_some()))
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T9-A",
+        "Alice fills the shipping address form",
+        &mut |w| {
+            w.poll_participant(alice)?; // checkout form syncs to Alice
+            for (field, value) in [
+                ("fullname", "Alice Cousin"),
+                ("street", "653 5th Ave"),
+                ("city", "New York"),
+                ("zip", "10022"),
+            ] {
+                w.think(2_000, 5_000);
+                w.participant_action(
+                    alice,
+                    UserAction::FormInput {
+                        form: "shipping".into(),
+                        field: field.into(),
+                        value: value.into(),
+                    },
+                );
+            }
+            w.poll_participant(alice)?; // inputs merge into the host form
+            let host_doc = w.host.browser.doc.as_ref().expect("host page loaded");
+            let form = rcb_html::query::element_by_id(host_doc, host_doc.root(), "shipping")
+                .expect("shipping form present");
+            let fields = rcb_html::query::form_fields(host_doc, form);
+            Ok(fields.contains(&("street".into(), "653 5th Ave".into()))
+                && fields.contains(&("zip".into(), "10022".into())))
+        },
+    )?;
 
     // T10-B / T10-A: Bob completes checkout; Alice leaves.
-    task(&mut world, &mut tasks, "T10-B", "Bob finishes the checkout", &mut |w| {
-        w.host_submit_form("shipping")?;
-        w.host_submit_form("confirm")?;
-        Ok(w
-            .host
-            .browser
-            .doc
-            .as_ref()
-            .is_some_and(|d| d.text_content(d.root()).contains("Order placed")))
-    })?;
-    task(&mut world, &mut tasks, "T10-A", "Alice leaves the session", &mut |w| {
-        w.poll_participant(alice)?;
-        let saw_confirmation = participant_page_text(w, alice).contains("Order placed");
-        w.remove_participant(alice);
-        Ok(saw_confirmation && w.participants.is_empty())
-    })?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T10-B",
+        "Bob finishes the checkout",
+        &mut |w| {
+            w.host_submit_form("shipping")?;
+            w.host_submit_form("confirm")?;
+            Ok(w.host
+                .browser
+                .doc
+                .as_ref()
+                .is_some_and(|d| d.text_content(d.root()).contains("Order placed")))
+        },
+    )?;
+    task(
+        &mut world,
+        &mut tasks,
+        "T10-A",
+        "Alice leaves the session",
+        &mut |w| {
+            w.poll_participant(alice)?;
+            let saw_confirmation = participant_page_text(w, alice).contains("Order placed");
+            w.remove_participant(alice);
+            Ok(saw_confirmation && w.participants.is_empty())
+        },
+    )?;
 
     Ok(SessionResult {
         total: world.now.since(session_start),
@@ -497,9 +615,8 @@ mod tests {
         assert_eq!(
             ids,
             vec![
-                "T1-B", "T1-A", "T2-B", "T2-A", "T3-B", "T3-A", "T4-B", "T4-A", "T5-B",
-                "T5-A", "T6-B", "T6-A", "T7-B", "T7-A", "T8-B", "T8-A", "T9-B", "T9-A",
-                "T10-B", "T10-A"
+                "T1-B", "T1-A", "T2-B", "T2-A", "T3-B", "T3-A", "T4-B", "T4-A", "T5-B", "T5-A",
+                "T6-B", "T6-A", "T7-B", "T7-A", "T8-B", "T8-A", "T9-B", "T9-A", "T10-B", "T10-A"
             ]
         );
     }

@@ -162,15 +162,16 @@ fn slow_regeneration_does_not_block_concurrent_polls() {
     // ~80 divs × 8 KB of passthrough text: ≈640 KB to escape per
     // generation, while the clone copies only ~160 nodes.
     let filler = "lorem ipsum dolor sit amet consectetur adipiscing elit ".repeat(146);
-    let mut page = String::from("<html><head><title>slow</title></head><body><div id=\"knob\">0</div>");
+    let mut page =
+        String::from("<html><head><title>slow</title></head><body><div id=\"knob\">0</div>");
     for i in 0..80 {
         page.push_str(&format!("<div id=\"blk{i}\">{filler}</div>"));
     }
     page.push_str("</body></html>");
 
     let key = SessionKey::generate_deterministic(&mut DetRng::new(92));
-    let host = TcpHost::start_with_key("127.0.0.1:0", "http://slow.local/", &page, key.clone())
-        .unwrap();
+    let host =
+        TcpHost::start_with_key("127.0.0.1:0", "http://slow.local/", &page, key.clone()).unwrap();
     let addr = host.addr().to_string();
 
     // Raw signed polls with a far-future timestamp (so every reply is the
@@ -241,7 +242,9 @@ fn slow_regeneration_does_not_block_concurrent_polls() {
     // of locking, so only the convoy signature (a poll serializing behind
     // multiple whole generations while the mutator re-wins the mutex) is
     // rejected there.
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let bound = (2 * quiescent_p99).max(20_000);
     if cores >= 2 {
         assert!(
@@ -273,8 +276,7 @@ fn concurrent_cofill_from_many_participants_all_merge() {
         <input type=\"text\" name=\"d\" value=\"\"></form></body></html>";
     let key = SessionKey::generate_deterministic(&mut DetRng::new(91));
     let mut host =
-        TcpHost::start_with_key("127.0.0.1:0", "http://forms.local/", page, key.clone())
-            .unwrap();
+        TcpHost::start_with_key("127.0.0.1:0", "http://forms.local/", page, key.clone()).unwrap();
     let addr = host.addr().to_string();
     let fields = ["a", "b", "c", "d"];
     let threads: Vec<_> = fields

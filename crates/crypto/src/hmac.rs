@@ -94,7 +94,10 @@ mod tests {
     fn rfc4231_case6_long_key() {
         let key = [0xaau8; 131];
         assert_eq!(
-            hmac_sha256_hex(&key, b"Test Using Larger Than Block-Size Key - Hash Key First"),
+            hmac_sha256_hex(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            ),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

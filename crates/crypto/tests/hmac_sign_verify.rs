@@ -43,7 +43,10 @@ fn rfc4231_test_case_3() {
 fn rfc4231_test_case_6_long_key() {
     // Keys longer than the block size must be hashed first.
     let key = [0xaau8; 131];
-    let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+    let mac = hmac_sha256(
+        &key,
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+    );
     assert_eq!(
         hex(&mac),
         "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -63,8 +66,16 @@ fn sign_then_verify_accepts() {
 fn verify_rejects_tampered_message() {
     let key = SessionKey::generate_deterministic(&mut DetRng::new(7));
     let mac = hmac_sha256_hex(key.as_bytes(), b"pid=1&action=click");
-    assert!(!verify_hmac_hex(key.as_bytes(), b"pid=2&action=click", &mac));
-    assert!(!verify_hmac_hex(key.as_bytes(), b"pid=1&action=click ", &mac));
+    assert!(!verify_hmac_hex(
+        key.as_bytes(),
+        b"pid=2&action=click",
+        &mac
+    ));
+    assert!(!verify_hmac_hex(
+        key.as_bytes(),
+        b"pid=1&action=click ",
+        &mac
+    ));
 }
 
 #[test]
@@ -81,7 +92,11 @@ fn verify_rejects_malformed_or_truncated_mac() {
     let mac = hmac_sha256_hex(key.as_bytes(), b"message");
     assert!(!verify_hmac_hex(key.as_bytes(), b"message", &mac[..32]));
     assert!(!verify_hmac_hex(key.as_bytes(), b"message", ""));
-    assert!(!verify_hmac_hex(key.as_bytes(), b"message", "zz not hex zz"));
+    assert!(!verify_hmac_hex(
+        key.as_bytes(),
+        b"message",
+        "zz not hex zz"
+    ));
     // Single-bit flip in the first nibble.
     let flipped = format!(
         "{}{}",

@@ -236,9 +236,7 @@ fn parse_compound(input: &str) -> Result<Compound> {
 fn take_ident(input: &str, start: usize) -> (String, usize) {
     let bytes = input.as_bytes();
     let mut i = start;
-    while i < bytes.len()
-        && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'-' | b'_'))
-    {
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'-' | b'_')) {
         i += 1;
     }
     (input[start..i].to_string(), i)
@@ -251,12 +249,10 @@ fn matches_compound(doc: &Document, node: NodeId, compound: &Compound) -> bool {
     compound.parts.iter().all(|part| match part {
         SimpleSelector::Universal => true,
         SimpleSelector::Tag(t) => t == tag,
-        SimpleSelector::Id(id) => attrs
+        SimpleSelector::Id(id) => attrs.iter().any(|(k, v)| k == "id" && v == id),
+        SimpleSelector::Class(c) => attrs
             .iter()
-            .any(|(k, v)| k == "id" && v == id),
-        SimpleSelector::Class(c) => attrs.iter().any(|(k, v)| {
-            k == "class" && v.split_ascii_whitespace().any(|tok| tok == c)
-        }),
+            .any(|(k, v)| k == "class" && v.split_ascii_whitespace().any(|tok| tok == c)),
         SimpleSelector::HasAttr(a) => attrs.iter().any(|(k, _)| k == a),
         SimpleSelector::AttrEq(a, val) => attrs.iter().any(|(k, v)| k == a && v == val),
     })
@@ -374,7 +370,12 @@ mod tests {
         assert_eq!(select(&d, r, "ul > a").unwrap().len(), 0);
         let deep = select(&d, r, "#content p > a").unwrap();
         assert_eq!(texts(&d, &deep), vec!["C"]);
-        assert_eq!(select(&d, r, "body #menu .item a[href='/a']").unwrap().len(), 1);
+        assert_eq!(
+            select(&d, r, "body #menu .item a[href='/a']")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -401,7 +402,9 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", " , ", "#", ".", "ul >", "> li", "a[", "a[]", "a[ ]", "!!"] {
+        for bad in [
+            "", " , ", "#", ".", "ul >", "> li", "a[", "a[]", "a[ ]", "!!",
+        ] {
             assert!(Selector::parse(bad).is_err(), "{bad:?} should not parse");
         }
     }

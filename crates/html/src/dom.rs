@@ -84,11 +84,7 @@ impl Document {
     }
 
     /// Creates a detached element with attributes.
-    pub fn create_element_with_attrs(
-        &mut self,
-        tag: &str,
-        attrs: Vec<(String, String)>,
-    ) -> NodeId {
+    pub fn create_element_with_attrs(&mut self, tag: &str, attrs: Vec<(String, String)>) -> NodeId {
         self.push(NodeData::Element {
             tag: tag.to_ascii_lowercase(),
             attrs,
@@ -237,9 +233,7 @@ impl Document {
             .children
             .iter()
             .position(|&c| c == reference)
-            .ok_or_else(|| {
-                RcbError::InvalidInput("reference is not a child of parent".into())
-            })?;
+            .ok_or_else(|| RcbError::InvalidInput("reference is not a child of parent".into()))?;
         self.detach(child);
         self.nodes[child.0].parent = Some(parent);
         self.nodes[parent.0].children.insert(idx, child);

@@ -35,7 +35,10 @@ pub fn is_void_element(tag: &str) -> bool {
 
 /// Elements that belong to the document head.
 fn is_head_content(tag: &str) -> bool {
-    matches!(tag, "title" | "meta" | "link" | "style" | "script" | "base" | "noscript")
+    matches!(
+        tag,
+        "title" | "meta" | "link" | "style" | "script" | "base" | "noscript"
+    )
 }
 
 /// Returns the set of open tags that a new `tag` implicitly closes.
@@ -47,7 +50,9 @@ fn implicitly_closes(tag: &str, open: &str) -> bool {
         "td" | "th" => matches!(open, "td" | "th"),
         "option" => open == "option",
         "dt" | "dd" => matches!(open, "dt" | "dd"),
-        "thead" | "tbody" | "tfoot" => matches!(open, "thead" | "tbody" | "tfoot" | "tr" | "td" | "th"),
+        "thead" | "tbody" | "tfoot" => {
+            matches!(open, "thead" | "tbody" | "tfoot" | "tr" | "td" | "th")
+        }
         // Block-level content closes an open paragraph.
         "div" | "ul" | "ol" | "table" | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
         | "blockquote" | "pre" | "section" | "article" => open == "p",
@@ -62,9 +67,9 @@ pub fn parse_document(input: &str) -> Document {
     let root = doc.root();
 
     // Pass 1: does the page use frames?
-    let uses_frameset = tokens.iter().any(
-        |t| matches!(t, Token::StartTag { name, .. } if name == "frameset"),
-    );
+    let uses_frameset = tokens
+        .iter()
+        .any(|t| matches!(t, Token::StartTag { name, .. } if name == "frameset"));
 
     // Synthesized skeleton; real <html>/<head>/<body> tags merge into it.
     let html = doc.create_element("html");
@@ -88,17 +93,16 @@ pub fn parse_document(input: &str) -> Document {
     // Stack of open elements *below* head/body level.
     let mut stack: Vec<NodeId> = Vec::new();
 
-    let current_container =
-        |stack: &[NodeId], mode: &Mode| -> NodeId {
-            if let Some(&top) = stack.last() {
-                top
-            } else {
-                match mode {
-                    Mode::BeforeBody => head,
-                    Mode::InBody => body.unwrap_or(html),
-                }
+    let current_container = |stack: &[NodeId], mode: &Mode| -> NodeId {
+        if let Some(&top) = stack.last() {
+            top
+        } else {
+            match mode {
+                Mode::BeforeBody => head,
+                Mode::InBody => body.unwrap_or(html),
             }
-        };
+        }
+    };
 
     for token in tokens {
         match token {
@@ -155,7 +159,8 @@ pub fn parse_document(input: &str) -> Document {
                 }
                 let parent = current_container(&stack, &mode);
                 let el = doc.create_element_with_attrs(&name, attrs);
-                doc.append_child(parent, el).expect("parser tree is acyclic");
+                doc.append_child(parent, el)
+                    .expect("parser tree is acyclic");
                 if !self_closing && !is_void_element(&name) {
                     stack.push(el);
                 }
@@ -222,7 +227,8 @@ pub fn parse_fragment_into(doc: &mut Document, container: NodeId, input: &str) -
                 }
                 let parent = stack.last().copied().unwrap_or(container);
                 let el = doc.create_element_with_attrs(&name, attrs);
-                doc.append_child(parent, el).expect("fragment tree is acyclic");
+                doc.append_child(parent, el)
+                    .expect("fragment tree is acyclic");
                 if parent == container {
                     created.push(el);
                 }
@@ -241,7 +247,8 @@ pub fn parse_fragment_into(doc: &mut Document, container: NodeId, input: &str) -
             Token::Text(text) => {
                 let parent = stack.last().copied().unwrap_or(container);
                 let t = doc.create_text(text);
-                doc.append_child(parent, t).expect("fragment tree is acyclic");
+                doc.append_child(parent, t)
+                    .expect("fragment tree is acyclic");
                 if parent == container {
                     created.push(t);
                 }
@@ -249,7 +256,8 @@ pub fn parse_fragment_into(doc: &mut Document, container: NodeId, input: &str) -
             Token::Comment(c) => {
                 let parent = stack.last().copied().unwrap_or(container);
                 let n = doc.create_comment(c);
-                doc.append_child(parent, n).expect("fragment tree is acyclic");
+                doc.append_child(parent, n)
+                    .expect("fragment tree is acyclic");
                 if parent == container {
                     created.push(n);
                 }

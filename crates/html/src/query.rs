@@ -51,10 +51,12 @@ pub fn is_supplementary_ref(doc: &Document, node: NodeId) -> bool {
     };
     match tag {
         "img" | "script" | "frame" | "iframe" | "embed" | "object" => true,
-        "input" => doc.get_attr(node, "type").is_some_and(|t| t.eq_ignore_ascii_case("image")),
-        "link" => doc
-            .get_attr(node, "rel")
-            .is_some_and(|r| r.to_ascii_lowercase().contains("stylesheet") || r.to_ascii_lowercase().contains("icon")),
+        "input" => doc
+            .get_attr(node, "type")
+            .is_some_and(|t| t.eq_ignore_ascii_case("image")),
+        "link" => doc.get_attr(node, "rel").is_some_and(|r| {
+            r.to_ascii_lowercase().contains("stylesheet") || r.to_ascii_lowercase().contains("icon")
+        }),
         _ => false,
     }
 }
@@ -65,7 +67,9 @@ pub fn collect_url_refs(doc: &Document, scope: NodeId) -> Vec<(NodeId, &'static 
     let mut out = Vec::new();
     for n in all_elements(doc, scope) {
         let Some(tag) = doc.tag(n) else { continue };
-        let Some(attr) = url_attribute(tag) else { continue };
+        let Some(attr) = url_attribute(tag) else {
+            continue;
+        };
         if let Some(value) = doc.get_attr(n, attr) {
             if !value.is_empty() {
                 out.push((n, attr, value.to_string()));
@@ -85,7 +89,9 @@ pub fn collect_supplementary_urls(doc: &Document, scope: NodeId) -> Vec<String> 
             continue;
         }
         let Some(tag) = doc.tag(n) else { continue };
-        let Some(attr) = url_attribute(tag) else { continue };
+        let Some(attr) = url_attribute(tag) else {
+            continue;
+        };
         if let Some(value) = doc.get_attr(n, attr) {
             if !value.is_empty() && seen.insert(value.to_string()) {
                 out.push(value.to_string());
@@ -108,7 +114,9 @@ pub fn form_fields(doc: &Document, form: NodeId) -> Vec<(String, String)> {
         if !matches!(tag, "input" | "select" | "textarea") {
             continue;
         }
-        let Some(name) = doc.get_attr(n, "name") else { continue };
+        let Some(name) = doc.get_attr(n, "name") else {
+            continue;
+        };
         let value = match tag {
             "textarea" => doc.text_content(n),
             _ => doc.get_attr(n, "value").unwrap_or("").to_string(),

@@ -89,7 +89,9 @@ fn write_node(doc: &Document, id: NodeId, out: &mut String) {
 
 /// Escapes text content (`&`, `<`, `>`).
 pub fn escape_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Escapes an attribute value (`&`, `"`).

@@ -296,7 +296,10 @@ pub fn decode_entities(s: &str) -> String {
             rest = &rest[entity.len() + 2..];
             continue;
         }
-        let numeric = if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+        let numeric = if let Some(hex) = entity
+            .strip_prefix("#x")
+            .or_else(|| entity.strip_prefix("#X"))
+        {
             u32::from_str_radix(hex, 16).ok().and_then(char::from_u32)
         } else if let Some(dec) = entity.strip_prefix('#') {
             dec.parse::<u32>().ok().and_then(char::from_u32)
@@ -353,7 +356,12 @@ mod tests {
             toks,
             vec![start(
                 "img",
-                &[("src", "a.png"), ("alt", "pic"), ("width", "50"), ("ismap", "")]
+                &[
+                    ("src", "a.png"),
+                    ("alt", "pic"),
+                    ("width", "50"),
+                    ("ismap", "")
+                ]
             )]
         );
     }
@@ -401,10 +409,7 @@ mod tests {
     fn script_with_markup_like_body_survives() {
         let src = "<script>var s = '<p>not markup</p>';</script><p>after</p>";
         let toks = tokenize(src);
-        assert_eq!(
-            toks[1],
-            Token::Text("var s = '<p>not markup</p>';".into())
-        );
+        assert_eq!(toks[1], Token::Text("var s = '<p>not markup</p>';".into()));
         assert_eq!(toks[3], start("p", &[]));
     }
 
@@ -434,7 +439,12 @@ mod tests {
         let toks = tokenize("<script>var x = 1;");
         assert_eq!(toks.len(), 3);
         assert_eq!(toks[1], Token::Text("var x = 1;".into()));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
     }
 
     #[test]

@@ -88,11 +88,7 @@ mod tests {
     #[test]
     fn persistent_connection_round_trips() {
         let handler: Handler = Arc::new(|req| {
-            crate::message::Response::with_body(
-                Status::OK,
-                "text/plain",
-                req.body.clone(),
-            )
+            crate::message::Response::with_body(Status::OK, "text/plain", req.body.clone())
         });
         let mut server = HttpServer::bind("127.0.0.1:0", handler).unwrap();
         let mut conn = HttpConnection::connect(&server.addr().to_string()).unwrap();

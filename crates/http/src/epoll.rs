@@ -1,0 +1,614 @@
+//! The event-driven epoll server backend.
+//!
+//! Where the worker-pool backend ([`crate::server`]) burns one blocked
+//! thread per in-flight connection (capping concurrent keep-alive sessions
+//! at the worker count), this backend holds every connection on a single
+//! event-loop thread over nonblocking sockets: raw `epoll` readiness (via
+//! the libc-free syscall shims in [`rcb_util::sys`]) drives a
+//! per-connection state machine — read/parse, dispatch to the shared
+//! [`Handler`], staged zero-copy write with partial-write resumption,
+//! keep-alive reset. The connection ceiling becomes the process fd limit,
+//! not the thread count.
+//!
+//! `Handler` calls are synchronous and may be arbitrarily slow (a poll that
+//! triggers a merge takes the host mutex), so the loop never invokes the
+//! handler itself: parsed requests are handed to a small blocking-dispatch
+//! thread pool, and finished responses come back over a completion queue
+//! plus a socketpair waker. Requests pipelined on one connection are
+//! dispatched one at a time, so responses always return in request order;
+//! requests on *different* connections run concurrently up to the pool
+//! size.
+//!
+//! The write path reuses the same zero-copy shapes as the blocking server:
+//! prefab wire images go to the socket verbatim from their `Arc`, and
+//! non-prefab responses are head + body vectored writes
+//! ([`crate::serialize::ResponseWriter`]) — a `WouldBlock` mid-response
+//! parks the cursor and the loop resumes on the next `EPOLLOUT`.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rcb_util::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use rcb_util::Result;
+
+use crate::message::{Request, Response, Status};
+use crate::parse::RequestParser;
+use crate::serialize::{ResponseWriter, WriteProgress};
+use crate::server::{Handler, ServerConfig};
+
+/// This module variant is the real backend (see `epoll_stub.rs` for the
+/// other half of the contract behind `server::EPOLL_SUPPORTED`).
+pub(crate) const SUPPORTED: bool = true;
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token of the dispatch-completion waker.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Cap on parsed-but-undispatched requests buffered per connection: past
+/// this the loop stops reading from the socket (TCP backpressure) until
+/// the queue drains, so one pipelining flooder cannot balloon memory.
+const PIPELINE_LIMIT: usize = 64;
+
+/// Initial/maximum accept backoff, mirroring the worker backend's
+/// EMFILE-storm behaviour — but implemented by muting the listener's
+/// registration rather than sleeping (the loop must keep serving).
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// A request handed to the dispatch pool.
+struct Job {
+    token: u64,
+    request: Request,
+    close: bool,
+}
+
+/// A handler result travelling back to the event loop.
+struct Completion {
+    token: u64,
+    response: Response,
+    close: bool,
+}
+
+/// Queues shared between the event loop and the dispatch pool.
+struct DispatchShared {
+    jobs: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is queued (dispatch threads wait on this).
+    available: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    stop: AtomicBool,
+}
+
+impl DispatchShared {
+    fn new() -> DispatchShared {
+        DispatchShared {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self
+            .jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        q.push_back(job);
+        self.available.notify_one();
+    }
+
+    fn take_completions(&self) -> Vec<Completion> {
+        let mut c = self
+            .completions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut *c)
+    }
+}
+
+/// Wakes the event loop out of `epoll_wait` (dispatch completions,
+/// shutdown). One byte on a nonblocking socketpair; a full pipe means a
+/// wake is already pending, which is all a waker needs.
+#[derive(Clone)]
+struct WakeHandle(Arc<UnixStream>);
+
+impl WakeHandle {
+    fn wake(&self) {
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// One dispatch-pool thread: pop a job, run the handler, return the
+/// completion, wake the loop.
+fn dispatch_worker(shared: Arc<DispatchShared>, handler: Handler, waker: WakeHandle) {
+    loop {
+        let job = {
+            let mut q = shared
+                .jobs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if shared.stopped() {
+                    return;
+                }
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                // Timeout only as a stop-flag safety net; submissions
+                // notify `available` directly.
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        // Unwind-protected: a panicking handler must still produce a
+        // completion (and close the connection), or the dispatch thread
+        // dies and the connection wedges with dispatch_in_flight set.
+        let (response, panicked) = crate::server::invoke_handler(&handler, job.request);
+        {
+            let mut c = shared
+                .completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            c.push(Completion {
+                token: job.token,
+                response,
+                close: job.close || panicked,
+            });
+        }
+        waker.wake();
+    }
+}
+
+/// One connection's state machine, owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// This connection's epoll token (`slot index | generation << 32`).
+    token: u64,
+    /// Readiness bits currently registered with epoll.
+    interest: u32,
+    /// Parsed requests waiting their turn (pipelining; served in order).
+    pending: VecDeque<(Request, bool)>,
+    /// The response currently being written, if any.
+    write: Option<ResponseWriter>,
+    /// Close the connection once the current write completes.
+    close_after_write: bool,
+    /// A request is at the handler; at most one per connection.
+    dispatch_in_flight: bool,
+    /// The parser hit malformed bytes: answer 400 after the queue drains,
+    /// then close. Sticky — no further reads once set.
+    parse_failed: bool,
+    /// `read` returned EOF; finish pending work, then close.
+    peer_closed: bool,
+}
+
+/// What the loop should do with a connection after an event.
+#[derive(PartialEq)]
+enum Verdict {
+    Keep,
+    Close,
+}
+
+/// Drains the socket into the parser and the parsed-request queue.
+/// Returns `Close` only on a fatal I/O error (EOF is recorded, not fatal:
+/// responses for already-received requests are still delivered).
+fn read_conn(conn: &mut Conn) -> Verdict {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if conn.parse_failed || conn.peer_closed || conn.pending.len() >= PIPELINE_LIMIT {
+            return Verdict::Keep;
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return Verdict::Keep;
+            }
+            Ok(n) => {
+                conn.parser.feed(&buf[..n]);
+                loop {
+                    match conn.parser.next_request() {
+                        Ok(Some(req)) => {
+                            let close = req.wants_close();
+                            conn.pending.push_back((req, close));
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            conn.parse_failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return Verdict::Keep,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+}
+
+/// Pushes the connection's state machine as far as it will go without
+/// blocking: finish the in-flight write, then dispatch the next request or
+/// emit the deferred 400, until the socket blocks or the machine idles.
+fn advance_conn(conn: &mut Conn, dispatch: &DispatchShared) -> Verdict {
+    loop {
+        let Conn { write, stream, .. } = conn;
+        if let Some(writer) = write.as_mut() {
+            match writer.write_some(stream) {
+                Ok(WriteProgress::Done) => {
+                    conn.write = None;
+                    if conn.close_after_write {
+                        return Verdict::Close;
+                    }
+                }
+                Ok(WriteProgress::Blocked) => return Verdict::Keep,
+                Err(_) => return Verdict::Close,
+            }
+        } else if conn.dispatch_in_flight {
+            return Verdict::Keep;
+        } else if let Some((request, close)) = conn.pending.pop_front() {
+            conn.dispatch_in_flight = true;
+            dispatch.submit(Job {
+                token: conn.token,
+                request,
+                close,
+            });
+        } else if conn.parse_failed {
+            // In-order with everything before it: emitted only once the
+            // dispatch queue drained. `parse_failed` stays set so the
+            // read side remains off; `close_after_write` ends the
+            // connection once the 400 is out.
+            let resp = Response::error(Status::BAD_REQUEST, "malformed request");
+            conn.write = Some(ResponseWriter::new(resp));
+            conn.close_after_write = true;
+        } else if conn.peer_closed {
+            return Verdict::Close;
+        } else {
+            return Verdict::Keep;
+        }
+    }
+}
+
+/// The readiness bits this connection currently needs.
+fn desired_interest(conn: &Conn) -> u32 {
+    let mut want = 0;
+    if !conn.peer_closed && !conn.parse_failed && conn.pending.len() < PIPELINE_LIMIT {
+        want |= EPOLLIN | EPOLLRDHUP;
+    }
+    if conn.write.is_some() {
+        want |= EPOLLOUT;
+    }
+    want
+}
+
+/// A slab slot: the generation survives the connection, so a completion
+/// for a closed-and-reused slot is recognized as stale and dropped.
+struct Slot {
+    gen: u32,
+    conn: Option<Conn>,
+}
+
+fn token_of(index: usize, gen: u32) -> u64 {
+    index as u64 | (u64::from(gen) << 32)
+}
+
+fn token_parts(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}
+
+/// The event loop: owns the listener, the epoll instance, and every
+/// connection. Everything socket-shaped happens on this one thread.
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    waker_rx: UnixStream,
+    dispatch: Arc<DispatchShared>,
+    accept_errors: Arc<AtomicU64>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Listener muted (deregistered) until this instant after a transient
+    /// accept error — the event-loop version of accept backoff.
+    listener_muted_until: Option<Instant>,
+    accept_backoff: Duration,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 1024];
+        while !self.dispatch.stopped() {
+            // The 50 ms ceiling is the stop-flag safety net; a muted
+            // listener shortens the wait to its unmute deadline so a 1 ms
+            // accept backoff is not quantized up to a full tick.
+            let timeout = match self.listener_muted_until {
+                Some(deadline) => (deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis() as i32)
+                    .clamp(1, 50),
+                None => 50,
+            };
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => break, // epoll fd itself failed: unrecoverable
+            };
+            let mut accept_ready = false;
+            for ev in &events[..n] {
+                match ev.token() {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => self.conn_event(token, ev.events()),
+                }
+            }
+            self.process_completions();
+            self.maybe_unmute_listener();
+            if accept_ready {
+                self.accept_drain();
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.waker_rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// Accepts until the listener runs dry; a transient error (EMFILE,
+    /// ECONNABORTED, ...) mutes the listener for a backoff window instead
+    /// of busy-looping on a level-triggered readable listener.
+    fn accept_drain(&mut self) {
+        if self.listener_muted_until.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_START;
+                    self.register_conn(stream);
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.epoll.delete(self.listener.as_raw_fd());
+                    self.listener_muted_until = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn maybe_unmute_listener(&mut self) {
+        if let Some(deadline) = self.listener_muted_until {
+            if Instant::now() >= deadline {
+                if self
+                    .epoll
+                    .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                    .is_ok()
+                {
+                    self.listener_muted_until = None;
+                    // Level-triggered: pending connections re-fire on the
+                    // next wait, but accept now to shave a tick.
+                    self.accept_drain();
+                } else {
+                    // Registration failed (likely the same resource
+                    // pressure that caused the mute): stay muted for
+                    // another backoff window and retry, rather than
+                    // leaving the listener permanently unwatched.
+                    self.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    self.listener_muted_until = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot { gen: 0, conn: None });
+                self.slots.len() - 1
+            }
+        };
+        let token = token_of(index, self.slots[index].gen);
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            self.free.push(index);
+            return;
+        }
+        self.slots[index].conn = Some(Conn {
+            stream,
+            parser: RequestParser::new(),
+            token,
+            interest,
+            pending: VecDeque::new(),
+            write: None,
+            close_after_write: false,
+            dispatch_in_flight: false,
+            parse_failed: false,
+            peer_closed: false,
+        });
+    }
+
+    /// Routes one readiness event to the owning connection's state machine.
+    fn conn_event(&mut self, token: u64, readiness: u32) {
+        let (index, gen) = token_parts(token);
+        let Some(slot) = self.slots.get_mut(index) else {
+            return;
+        };
+        if slot.gen != gen {
+            return; // stale event for a reused slot
+        }
+        let Some(conn) = slot.conn.as_mut() else {
+            return;
+        };
+        let readable = readiness & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+        let mut verdict = Verdict::Keep;
+        if readable {
+            verdict = read_conn(conn);
+        }
+        // EPOLLERR/EPOLLHUP (RST, full hangup) are reported regardless of
+        // the interest mask and the socket can neither deliver our
+        // responses nor send more requests: close now — after the read
+        // above drained any final bytes — rather than spinning on a
+        // level-triggered event no interest change can silence. (A plain
+        // write-side shutdown arrives as EPOLLRDHUP and keeps serving.)
+        if verdict == Verdict::Keep && readiness & (EPOLLERR | EPOLLHUP) != 0 {
+            verdict = Verdict::Close;
+        }
+        if verdict == Verdict::Keep {
+            verdict = advance_conn(conn, &self.dispatch);
+        }
+        self.settle(index, verdict);
+    }
+
+    /// Applies a verdict: close the connection or refresh its epoll
+    /// registration to match what the state machine now waits for.
+    fn settle(&mut self, index: usize, verdict: Verdict) {
+        let slot = &mut self.slots[index];
+        let Some(conn) = slot.conn.as_mut() else {
+            return;
+        };
+        match verdict {
+            Verdict::Close => {
+                let conn = slot.conn.take().expect("checked above");
+                let _ = self.epoll.delete(conn.stream.as_raw_fd());
+                // The generation bump invalidates any in-flight dispatch
+                // for this slot; its completion will be dropped as stale.
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(index);
+            }
+            Verdict::Keep => {
+                let want = desired_interest(conn);
+                if want != conn.interest
+                    && self
+                        .epoll
+                        .modify(conn.stream.as_raw_fd(), want, conn.token)
+                        .is_ok()
+                {
+                    conn.interest = want;
+                }
+            }
+        }
+    }
+
+    /// Delivers finished handler responses back to their connections.
+    fn process_completions(&mut self) {
+        for completion in self.dispatch.take_completions() {
+            let (index, gen) = token_parts(completion.token);
+            let Some(slot) = self.slots.get_mut(index) else {
+                continue;
+            };
+            if slot.gen != gen {
+                continue; // connection closed while the handler ran
+            }
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            conn.dispatch_in_flight = false;
+            conn.close_after_write = completion.close;
+            conn.write = Some(ResponseWriter::new(completion.response));
+            let verdict = advance_conn(conn, &self.dispatch);
+            self.settle(index, verdict);
+        }
+    }
+}
+
+/// A running epoll-backed HTTP server: one event-loop thread plus
+/// `config.workers` dispatch threads.
+pub(crate) struct EpollServer {
+    addr: SocketAddr,
+    dispatch: Arc<DispatchShared>,
+    waker: WakeHandle,
+    accept_errors: Arc<AtomicU64>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EpollServer {
+    pub(crate) fn bind(addr: &str, handler: Handler, config: &ServerConfig) -> Result<EpollServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let waker = WakeHandle(Arc::new(waker_tx));
+
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(waker_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKER)?;
+
+        let dispatch = Arc::new(DispatchShared::new());
+        let accept_errors = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        let event_loop = EventLoop {
+            epoll,
+            listener,
+            waker_rx,
+            dispatch: Arc::clone(&dispatch),
+            accept_errors: Arc::clone(&accept_errors),
+            slots: Vec::new(),
+            free: Vec::new(),
+            listener_muted_until: None,
+            accept_backoff: ACCEPT_BACKOFF_START,
+        };
+        threads.push(std::thread::spawn(move || event_loop.run()));
+
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&dispatch);
+            let handler = Arc::clone(&handler);
+            let waker = waker.clone();
+            threads.push(std::thread::spawn(move || {
+                dispatch_worker(shared, handler, waker)
+            }));
+        }
+
+        Ok(EpollServer {
+            addr: local,
+            dispatch,
+            waker,
+            accept_errors,
+            threads,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn shutdown(&mut self) {
+        self.dispatch.stop.store(true, Ordering::Relaxed);
+        self.dispatch.available.notify_all();
+        self.waker.wake();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EpollServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

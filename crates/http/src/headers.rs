@@ -23,8 +23,7 @@ impl HeaderMap {
 
     /// Sets a field, replacing all existing fields with the same name.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        self.entries
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.entries.push((name.to_string(), value.into()));
     }
 
@@ -72,7 +71,8 @@ impl HeaderMap {
 
     /// Parses `Content-Length` if present and well-formed.
     pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 }
 

@@ -6,11 +6,28 @@
 //! `application/xml`, or cached-object responses. This crate supplies the
 //! message model ([`Request`], [`Response`]), an incremental parser that
 //! consumes bytes exactly as they arrive off a socket ([`parse`]), the
-//! serializer, and a bounded worker-pool TCP [`server`] + blocking
-//! [`client`] used by the real-socket deployment path and the loopback
-//! integration tests.
+//! serializer, and a TCP [`server`] with two runtime-selectable backends —
+//! a bounded worker pool and an event-driven [`epoll`] loop — plus the
+//! blocking [`client`] used by the real-socket deployment path and the
+//! loopback integration tests.
 
 pub mod client;
+// The one place the platform condition for the epoll backend appears in
+// this crate: everywhere else compiles identically against whichever
+// `epoll` module is selected (`server::EPOLL_SUPPORTED` mirrors it as a
+// runtime-checkable const, and `ServerBackend::effective()` guarantees
+// the stub is never reached at runtime).
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod epoll;
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+#[path = "epoll_stub.rs"]
+pub(crate) mod epoll;
 pub mod headers;
 pub mod message;
 pub mod parse;
@@ -20,4 +37,4 @@ pub mod server;
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, RequestParser};
-pub use server::{Handler, HttpServer, ServerConfig};
+pub use server::{Handler, HttpServer, ServerBackend, ServerConfig};

@@ -31,7 +31,10 @@ impl Method {
             "GET" => Ok(Method::Get),
             "POST" => Ok(Method::Post),
             "HEAD" => Ok(Method::Head),
-            other => Err(RcbError::parse("http", format!("unsupported method {other:?}"))),
+            other => Err(RcbError::parse(
+                "http",
+                format!("unsupported method {other:?}"),
+            )),
         }
     }
 
@@ -152,7 +155,9 @@ impl Request {
 
     /// Decoded query parameters.
     pub fn query_pairs(&self) -> Vec<(String, String)> {
-        self.query().map(rcb_url::percent::parse_query).unwrap_or_default()
+        self.query()
+            .map(rcb_url::percent::parse_query)
+            .unwrap_or_default()
     }
 
     /// First query parameter named `name`.
@@ -167,6 +172,15 @@ impl Request {
     /// charges for).
     pub fn wire_len(&self) -> usize {
         crate::serialize::serialize_request(self).len()
+    }
+
+    /// Whether the client asked the server to close the connection after
+    /// this request (`Connection: close`). Both server backends consult
+    /// this before dispatching, so the response is still delivered.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 
     /// Parses a cookie header into `(name, value)` pairs.

@@ -84,8 +84,8 @@ pub fn parse_request(data: &[u8]) -> Result<Request> {
 
 /// Parses a complete response from a byte slice.
 pub fn parse_response(data: &[u8]) -> Result<Response> {
-    let head_end =
-        find_double_crlf(data).ok_or_else(|| RcbError::parse("http", "incomplete response head"))?;
+    let head_end = find_double_crlf(data)
+        .ok_or_else(|| RcbError::parse("http", "incomplete response head"))?;
     let head = std::str::from_utf8(&data[..head_end])
         .map_err(|_| RcbError::parse("http", "non-UTF-8 response head"))?;
     let mut lines = head.split("\r\n");
@@ -114,7 +114,9 @@ pub fn parse_response(data: &[u8]) -> Result<Response> {
         let body = decode_chunked(&data[body_start..])?;
         return Ok(Response::from_parts(Status(code), headers, body));
     }
-    let body_len = headers.content_length().unwrap_or(data.len() - head_end - 4);
+    let body_len = headers
+        .content_length()
+        .unwrap_or(data.len() - head_end - 4);
     if data.len() < body_start + body_len {
         return Err(RcbError::parse("http", "truncated response body"));
     }
@@ -181,7 +183,10 @@ fn parse_request_head(head: &str) -> Result<(Method, String, HeaderMap)> {
         return Err(RcbError::parse("http", "malformed request line"));
     }
     if target.is_empty() || (!target.starts_with('/') && target != "*") {
-        return Err(RcbError::parse("http", format!("bad request-target {target:?}")));
+        return Err(RcbError::parse(
+            "http",
+            format!("bad request-target {target:?}"),
+        ));
     }
     let headers = parse_header_lines(lines)?;
     Ok((method, target, headers))

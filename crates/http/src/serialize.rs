@@ -91,6 +91,107 @@ pub fn write_response_to<W: Write>(w: &mut W, resp: &Response) -> io::Result<()>
     Ok(())
 }
 
+/// Progress of a resumable response write on a nonblocking socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// The response is fully on the wire.
+    Done,
+    /// The kernel buffer filled mid-response (`EWOULDBLOCK`); call
+    /// [`ResponseWriter::write_some`] again when the socket is writable.
+    Blocked,
+}
+
+/// A response mid-flight on a nonblocking socket.
+///
+/// The event-driven server backend cannot use [`write_response_to`]
+/// directly: a nonblocking write can stop anywhere inside the response and
+/// must resume from exactly that byte on the next writability event. This
+/// writer owns the response (keeping prefab images and shared bodies alive
+/// without copying them) plus a byte cursor, and preserves the zero-copy
+/// shape: prefab images go to the socket verbatim from their `Arc`, and
+/// non-prefab responses assemble only the ~128-byte head, with the body
+/// written straight from its own storage via vectored I/O.
+#[derive(Debug)]
+pub struct ResponseWriter {
+    resp: Response,
+    /// Assembled head for non-prefab responses (`None` when prefab).
+    head: Option<Vec<u8>>,
+    written: usize,
+}
+
+impl ResponseWriter {
+    /// Starts a resumable write of `resp` from byte zero.
+    pub fn new(resp: Response) -> ResponseWriter {
+        let head = if resp.is_prefab() {
+            None
+        } else {
+            Some(serialize_response_head(&resp))
+        };
+        ResponseWriter {
+            resp,
+            head,
+            written: 0,
+        }
+    }
+
+    /// Total bytes this response occupies on the wire.
+    pub fn total_len(&self) -> usize {
+        match self.resp.prefab_bytes() {
+            Some(prefab) => prefab.len(),
+            None => self.head.as_ref().map_or(0, Vec::len) + self.resp.body.len(),
+        }
+    }
+
+    /// Bytes already written.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Writes as much as the socket accepts, resuming from the cursor.
+    ///
+    /// Returns [`WriteProgress::Blocked`] on `EWOULDBLOCK` (re-arm for
+    /// writability and retry later); retries `EINTR` internally; any other
+    /// error (including a zero-length write) is fatal for the connection.
+    pub fn write_some<W: Write>(&mut self, w: &mut W) -> io::Result<WriteProgress> {
+        loop {
+            let head = self.head.as_deref().unwrap_or(&[]);
+            let (total, result) = if let Some(prefab) = self.resp.prefab_bytes() {
+                if self.written >= prefab.len() {
+                    return Ok(WriteProgress::Done);
+                }
+                (prefab.len(), w.write(&prefab[self.written..]))
+            } else {
+                let body = self.resp.body.as_slice();
+                let total = head.len() + body.len();
+                if self.written >= total {
+                    return Ok(WriteProgress::Done);
+                }
+                let result = if self.written < head.len() {
+                    let bufs = [IoSlice::new(&head[self.written..]), IoSlice::new(body)];
+                    w.write_vectored(&bufs)
+                } else {
+                    w.write(&body[self.written - head.len()..])
+                };
+                (total, result)
+            };
+            match result {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.written += n;
+                    if self.written >= total {
+                        return Ok(WriteProgress::Done);
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(WriteProgress::Blocked)
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +294,67 @@ mod tests {
         }
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
+        }
+    }
+
+    /// A writer that signals `WouldBlock` after accepting `burst` bytes,
+    /// mimicking a nonblocking socket whose kernel buffer fills.
+    struct Choky {
+        out: Vec<u8>,
+        burst: usize,
+        accepted: usize,
+    }
+
+    impl std::io::Write for Choky {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.accepted >= self.burst {
+                self.accepted = 0;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.burst - self.accepted);
+            self.out.extend_from_slice(&buf[..n]);
+            self.accepted += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn response_writer_resumes_across_would_block() {
+        use crate::message::{Body, Status};
+        use std::sync::Arc;
+        let body: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        let shared = Response::with_body(
+            Status::OK,
+            "application/octet-stream",
+            Body::Shared(Arc::from(body.as_slice())),
+        );
+        let prefab = shared.clone().into_prefab();
+        for resp in [shared, prefab] {
+            let expect = serialize_response(&resp);
+            for burst in [1, 7, 100, 4096] {
+                let mut sink = Choky {
+                    out: Vec::new(),
+                    burst,
+                    accepted: 0,
+                };
+                let mut writer = ResponseWriter::new(resp.clone());
+                assert_eq!(writer.total_len(), expect.len());
+                let mut rounds = 0;
+                loop {
+                    match writer.write_some(&mut sink).unwrap() {
+                        WriteProgress::Done => break,
+                        WriteProgress::Blocked => rounds += 1,
+                    }
+                    assert!(rounds < 100_000, "no forward progress at burst {burst}");
+                }
+                assert_eq!(sink.out, expect, "burst {burst}");
+                assert_eq!(writer.written(), expect.len());
+                // Idempotent once done.
+                assert_eq!(writer.write_some(&mut sink).unwrap(), WriteProgress::Done);
+            }
         }
     }
 

@@ -1,20 +1,35 @@
-//! A bounded worker-pool TCP HTTP server.
+//! The TCP HTTP server: two backends behind one [`Handler`] interface.
 //!
 //! This is the real-socket face of RCB-Agent: "a co-browsing host starts
 //! running RCB-Agent on the host browser with an open TCP port (e.g., 3000)"
-//! (paper §3.1, step 1). Connections are accepted onto a bounded queue and
-//! multiplexed across a fixed pool of worker threads, so participant count
-//! is decoupled from thread count: each worker pops a connection, services
-//! whatever complete requests have arrived (keep-alive supported), and
-//! rotates the connection back onto the queue. A connection closes on parse
-//! error, client close, or `Connection: close`.
+//! (paper §3.1, step 1). Two interchangeable backends serve the same
+//! handler, selected by [`ServerConfig::backend`] (default from the
+//! `RCB_SERVER_BACKEND` environment variable):
 //!
-//! The accept loop never dies on a transient `accept(2)` error (EMFILE
-//! under load, ECONNABORTED, EINTR, ...): it backs off exponentially and
-//! retries, exiting only on shutdown. Before this design a single such
-//! error permanently killed the listener mid-session.
+//! * [`ServerBackend::Workers`] — the bounded worker pool defined in this
+//!   module: connections are accepted onto a bounded queue and multiplexed
+//!   across a fixed pool of worker threads; each worker pops a connection,
+//!   services whatever complete requests have arrived (keep-alive
+//!   supported), and rotates the connection back onto the queue. Simple
+//!   and portable; concurrency is capped by the worker count.
+//! * [`ServerBackend::Epoll`] — the event-driven backend in
+//!   [`crate::epoll`] (Linux): nonblocking sockets on one epoll event
+//!   loop, handler calls offloaded to a small dispatch pool, connection
+//!   ceiling set by the fd limit instead of the thread count.
+//!
+//! A connection closes on parse error, client close, or
+//! `Connection: close` under either backend, and both keep the zero-copy
+//! prefab/vectored write path.
+//!
+//! The worker backend's accept loop never dies on a transient `accept(2)`
+//! error (EMFILE under load, ECONNABORTED, EINTR, ...): it backs off
+//! exponentially and retries, exiting only on shutdown. Before this design
+//! a single such error permanently killed the listener mid-session. (The
+//! epoll backend gets the same resilience by muting the listener's
+//! registration for a backoff window.)
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,30 +39,125 @@ use std::time::Duration;
 
 use rcb_util::Result;
 
-use crate::message::{Request, Response};
+use crate::message::{Request, Response, Status};
 use crate::parse::RequestParser;
 use crate::serialize::write_response_to;
 
-/// The request handler type: shared across worker threads.
+/// Whether the event-driven epoll backend is compiled in on this target
+/// (the platform condition itself lives on the module declarations in
+/// `lib.rs`; each `epoll` module variant reports its own support).
+pub const EPOLL_SUPPORTED: bool = crate::epoll::SUPPORTED;
+
+/// The request handler type: shared across worker/dispatch threads.
 pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
 
-/// Worker-pool and queue sizing.
+/// Runs the handler with unwind protection, so a panicking handler costs
+/// the client a 500-and-close instead of costing the server a thread
+/// (workers backend) or wedging the connection forever (epoll backend,
+/// whose dispatch threads must survive to produce a completion). Returns
+/// the response and whether the connection must close.
+pub(crate) fn invoke_handler(handler: &Handler, req: Request) -> (Response, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(req))) {
+        Ok(resp) => (resp, false),
+        Err(_) => (Response::error(Status::INTERNAL, "handler panicked"), true),
+    }
+}
+
+/// Which connection-servicing engine a server runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerBackend {
+    /// Bounded worker pool: one blocking thread services one connection at
+    /// a time; connections rotate through a queue.
+    Workers,
+    /// Event-driven epoll loop (Linux): every connection nonblocking on
+    /// one loop thread, handler calls on a small dispatch pool. Falls back
+    /// to [`ServerBackend::Workers`] where epoll is not compiled in.
+    Epoll,
+}
+
+impl ServerBackend {
+    /// The environment variable [`ServerBackend::from_env`] consults —
+    /// also the knob the CI matrix sets per leg.
+    pub const ENV_VAR: &'static str = "RCB_SERVER_BACKEND";
+
+    /// Parses a backend name (`"workers"` / `"epoll"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<ServerBackend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "workers" => Some(ServerBackend::Workers),
+            "epoll" => Some(ServerBackend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// Reads `RCB_SERVER_BACKEND`; unset or unrecognized values select
+    /// [`ServerBackend::Workers`] (unrecognized ones with a stderr note,
+    /// so a typo in a CI matrix shows up in the logs).
+    pub fn from_env() -> ServerBackend {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(value) => Self::parse(&value).unwrap_or_else(|| {
+                eprintln!(
+                    "{}={value:?} not recognized (expected \"workers\" or \"epoll\"); \
+                     using workers backend",
+                    Self::ENV_VAR
+                );
+                ServerBackend::Workers
+            }),
+            Err(_) => ServerBackend::Workers,
+        }
+    }
+
+    /// The backend that will actually run on this target: `Epoll` degrades
+    /// to `Workers` where the epoll shims are not compiled in.
+    pub fn effective(self) -> ServerBackend {
+        match self {
+            ServerBackend::Epoll if !EPOLL_SUPPORTED => ServerBackend::Workers,
+            other => other,
+        }
+    }
+
+    /// Stable lowercase name (matches what [`ServerBackend::parse`] takes).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerBackend::Workers => "workers",
+            ServerBackend::Epoll => "epoll",
+        }
+    }
+}
+
+impl fmt::Display for ServerBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Backend choice plus pool and queue sizing.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads servicing connections (the concurrency bound).
+    /// Which engine services connections. The default comes from the
+    /// `RCB_SERVER_BACKEND` environment variable (workers when unset), so
+    /// a whole test suite or benchmark can be switched without a code
+    /// change.
+    pub backend: ServerBackend,
+    /// Worker threads (workers backend) or blocking-dispatch threads
+    /// (epoll backend) — the handler-concurrency bound either way.
     pub workers: usize,
-    /// Maximum connections admitted onto the queue before the accept loop
-    /// applies backpressure (waits for capacity).
+    /// Workers backend only: maximum connections admitted onto the queue
+    /// before the accept loop applies backpressure (waits for capacity).
+    /// The epoll backend has no such queue — its connection ceiling is
+    /// the process fd limit.
     pub queue_capacity: usize,
-    /// How long a worker waits for bytes on one connection before rotating
-    /// it back onto the queue. Smaller values lower worst-case latency
-    /// under many idle connections; larger values reduce queue churn.
+    /// Workers backend only: how long a worker waits for bytes on one
+    /// connection before rotating it back onto the queue. Smaller values
+    /// lower worst-case latency under many idle connections; larger
+    /// values reduce queue churn. (The epoll backend never waits on a
+    /// single connection at all.)
     pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            backend: ServerBackend::from_env(),
             workers: 8,
             queue_capacity: 256,
             read_timeout: Duration::from_millis(2),
@@ -118,7 +228,10 @@ impl ConnQueue {
     /// capacity (backpressure on the accept loop). Returns `false` (and
     /// drops the connection) when shutting down.
     fn push_accepted(&self, conn: Conn) -> bool {
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while q.len() >= self.capacity {
             if self.stopped() {
                 return false;
@@ -146,14 +259,20 @@ impl ConnQueue {
         if self.stopped() {
             return;
         }
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         q.push_back(conn);
         self.readable.notify_one();
     }
 
     /// Pops the next connection, waiting up to `timeout`.
     fn pop(&self, timeout: Duration) -> Option<Conn> {
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if q.is_empty() && !self.stopped() {
             let (guard, _) = self
                 .readable
@@ -169,24 +288,54 @@ impl ConnQueue {
     }
 }
 
-/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
-/// stops the accept loop, drains workers, and joins all threads.
-pub struct HttpServer {
-    addr: SocketAddr,
+/// The worker-pool engine behind [`HttpServer`].
+struct WorkerServer {
     queue: Arc<ConnQueue>,
     accept_errors: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
+/// The engine actually running behind an [`HttpServer`].
+enum Engine {
+    Workers(WorkerServer),
+    Epoll(crate::epoll::EpollServer),
+}
+
+/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
+/// stops accepting, drains in-flight work, and joins all threads.
+pub struct HttpServer {
+    addr: SocketAddr,
+    backend: ServerBackend,
+    engine: Engine,
+}
+
 impl HttpServer {
-    /// Binds with the default pool sizing (see [`ServerConfig`]).
+    /// Binds with the default configuration (see [`ServerConfig`] — the
+    /// backend comes from `RCB_SERVER_BACKEND`).
     pub fn bind(addr: &str, handler: Handler) -> Result<HttpServer> {
         Self::bind_with(addr, handler, ServerConfig::default())
     }
 
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept thread plus `config.workers` worker threads.
+    /// configured backend's threads.
     pub fn bind_with(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
+        match config.backend.effective() {
+            ServerBackend::Workers => Self::bind_workers(addr, handler, config),
+            // On targets without the epoll shims this arm is dynamically
+            // unreachable (`effective()` degrades Epoll to Workers) and
+            // binds against the never-constructed stub module.
+            ServerBackend::Epoll => {
+                let server = crate::epoll::EpollServer::bind(addr, handler, &config)?;
+                Ok(HttpServer {
+                    addr: server.addr(),
+                    backend: ServerBackend::Epoll,
+                    engine: Engine::Epoll(server),
+                })
+            }
+        }
+    }
+
+    fn bind_workers(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -219,9 +368,12 @@ impl HttpServer {
 
         Ok(HttpServer {
             addr: local,
-            queue,
-            accept_errors,
-            threads,
+            backend: ServerBackend::Workers,
+            engine: Engine::Workers(WorkerServer {
+                queue,
+                accept_errors,
+                threads,
+            }),
         })
     }
 
@@ -230,17 +382,31 @@ impl HttpServer {
         self.addr
     }
 
-    /// Transient `accept(2)` errors survived so far (the loop retries them
-    /// with backoff instead of dying).
-    pub fn accept_errors(&self) -> u64 {
-        self.accept_errors.load(Ordering::Relaxed)
+    /// The backend actually servicing connections (after any platform
+    /// fallback from `Epoll` to `Workers`).
+    pub fn backend(&self) -> ServerBackend {
+        self.backend
     }
 
-    /// Stops accepting, drains workers, and joins all threads.
+    /// Transient `accept(2)` errors survived so far (both backends retry
+    /// them with backoff instead of dying).
+    pub fn accept_errors(&self) -> u64 {
+        match &self.engine {
+            Engine::Workers(w) => w.accept_errors.load(Ordering::Relaxed),
+            Engine::Epoll(e) => e.accept_errors(),
+        }
+    }
+
+    /// Stops accepting, drains in-flight work, and joins all threads.
     pub fn shutdown(&mut self) {
-        self.queue.shutdown();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        match &mut self.engine {
+            Engine::Workers(w) => {
+                w.queue.shutdown();
+                for t in w.threads.drain(..) {
+                    let _ = t.join();
+                }
+            }
+            Engine::Epoll(e) => e.shutdown(),
         }
     }
 }
@@ -296,11 +462,8 @@ fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration
                 loop {
                     match conn.parser.next_request() {
                         Ok(Some(req)) => {
-                            let close = req
-                                .headers
-                                .get("connection")
-                                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-                            let resp = handler(req);
+                            let close = req.wants_close();
+                            let (resp, panicked) = invoke_handler(handler, req);
                             // Zero-copy send: prefab images and shared
                             // bodies go to the socket from their own
                             // storage, never through a scratch buffer.
@@ -309,16 +472,13 @@ fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration
                             {
                                 return ConnFate::Close;
                             }
-                            if close {
+                            if close || panicked {
                                 return ConnFate::Close;
                             }
                         }
                         Ok(None) => break,
                         Err(_) => {
-                            let resp = Response::error(
-                                crate::message::Status::BAD_REQUEST,
-                                "malformed request",
-                            );
+                            let resp = Response::error(Status::BAD_REQUEST, "malformed request");
                             let _ = write_response_to(&mut conn.stream, &resp);
                             return ConnFate::Close;
                         }
@@ -352,96 +512,150 @@ mod tests {
         })
     }
 
+    /// Every backend compiled in on this target — the shared-behaviour
+    /// tests below run once per entry.
+    fn backends() -> Vec<ServerBackend> {
+        if EPOLL_SUPPORTED {
+            vec![ServerBackend::Workers, ServerBackend::Epoll]
+        } else {
+            vec![ServerBackend::Workers]
+        }
+    }
+
+    fn bind_backend(backend: ServerBackend, handler: Handler) -> HttpServer {
+        HttpServer::bind_with(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                backend,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn env_and_label_roundtrip() {
+        assert_eq!(
+            ServerBackend::parse("workers"),
+            Some(ServerBackend::Workers)
+        );
+        assert_eq!(ServerBackend::parse("EPOLL"), Some(ServerBackend::Epoll));
+        assert_eq!(ServerBackend::parse(" epoll "), Some(ServerBackend::Epoll));
+        assert_eq!(ServerBackend::parse("tokio"), None);
+        for b in backends() {
+            assert_eq!(ServerBackend::parse(b.label()), Some(b));
+            assert_eq!(b.to_string(), b.label());
+            assert_eq!(b.effective(), b, "compiled-in backends are effective");
+        }
+    }
+
     #[test]
     fn serves_single_request() {
-        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
-        let addr = server.addr();
-        let resp = send_request(&addr.to_string(), &Request::get("/hello")).unwrap();
-        assert_eq!(resp.status, Status::OK);
-        assert_eq!(resp.body_str(), "GET /hello");
-        server.shutdown();
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            assert_eq!(server.backend(), backend);
+            let addr = server.addr();
+            let resp = send_request(&addr.to_string(), &Request::get("/hello")).unwrap();
+            assert_eq!(resp.status, Status::OK, "{backend}");
+            assert_eq!(resp.body_str(), "GET /hello", "{backend}");
+            server.shutdown();
+        }
     }
 
     #[test]
     fn serves_keepalive_sequence() {
-        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
-        let addr = server.addr().to_string();
-        let mut stream = TcpStream::connect(&addr).unwrap();
-        for i in 0..3 {
-            let req = Request::get(format!("/r{i}"));
-            stream
-                .write_all(&crate::serialize::serialize_request(&req))
-                .unwrap();
-            let resp = crate::client::read_response(&mut stream).unwrap();
-            assert_eq!(resp.body_str(), format!("GET /r{i}"));
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let addr = server.addr().to_string();
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            for i in 0..3 {
+                let req = Request::get(format!("/r{i}"));
+                stream
+                    .write_all(&crate::serialize::serialize_request(&req))
+                    .unwrap();
+                let resp = crate::client::read_response(&mut stream).unwrap();
+                assert_eq!(resp.body_str(), format!("GET /r{i}"), "{backend}");
+            }
+            server.shutdown();
         }
-        server.shutdown();
     }
 
     #[test]
     fn concurrent_clients() {
-        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
-        let addr = server.addr().to_string();
-        let handles: Vec<_> = (0..8)
-            .map(|i| {
-                let addr = addr.clone();
-                std::thread::spawn(move || {
-                    let resp =
-                        send_request(&addr, &Request::get(format!("/c{i}"))).unwrap();
-                    assert_eq!(resp.body_str(), format!("GET /c{i}"));
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let addr = server.addr().to_string();
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        let resp = send_request(&addr, &Request::get(format!("/c{i}"))).unwrap();
+                        assert_eq!(resp.body_str(), format!("GET /c{i}"));
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            server.shutdown();
         }
-        server.shutdown();
     }
 
     #[test]
     fn more_connections_than_workers_all_serviced() {
-        // 2 workers, 12 persistent clients, several keep-alive requests
-        // each: the pool must multiplex, not starve (the old design used a
-        // thread per connection; this one cannot).
-        let mut server = HttpServer::bind_with(
-            "127.0.0.1:0",
-            echo_handler(),
-            ServerConfig {
-                workers: 2,
-                queue_capacity: 64,
-                read_timeout: Duration::from_millis(2),
-            },
-        )
-        .unwrap();
-        let addr = server.addr().to_string();
-        let handles: Vec<_> = (0..12)
-            .map(|i| {
-                let addr = addr.clone();
-                std::thread::spawn(move || {
-                    let mut conn = crate::client::HttpConnection::connect(&addr).unwrap();
-                    for j in 0..4 {
-                        let resp = conn
-                            .round_trip(&Request::get(format!("/c{i}/r{j}")))
-                            .unwrap();
-                        assert_eq!(resp.body_str(), format!("GET /c{i}/r{j}"));
-                    }
+        // 2 workers (or dispatch threads), 12 persistent clients, several
+        // keep-alive requests each: both backends must multiplex, not
+        // starve (the original design used a thread per connection;
+        // neither backend can).
+        for backend in backends() {
+            let mut server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                echo_handler(),
+                ServerConfig {
+                    backend,
+                    workers: 2,
+                    queue_capacity: 64,
+                    read_timeout: Duration::from_millis(2),
+                },
+            )
+            .unwrap();
+            let addr = server.addr().to_string();
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        let mut conn = crate::client::HttpConnection::connect(&addr).unwrap();
+                        for j in 0..4 {
+                            let resp = conn
+                                .round_trip(&Request::get(format!("/c{i}/r{j}")))
+                                .unwrap();
+                            assert_eq!(resp.body_str(), format!("GET /c{i}/r{j}"));
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            server.shutdown();
         }
-        server.shutdown();
     }
 
     #[test]
     fn malformed_request_gets_400() {
-        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
-        let resp = crate::client::read_response(&mut stream).unwrap();
-        assert_eq!(resp.status, Status::BAD_REQUEST);
-        server.shutdown();
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+            let resp = crate::client::read_response(&mut stream).unwrap();
+            assert_eq!(resp.status, Status::BAD_REQUEST, "{backend}");
+            // Both backends close after answering a parse error.
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty(), "{backend}: connection should close");
+            server.shutdown();
+        }
     }
 
     #[test]
@@ -462,14 +676,98 @@ mod tests {
         // Open-and-drop many sockets quickly (aborted connections surface
         // as transient conditions on some platforms); the listener must
         // still serve afterwards.
-        let mut server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
-        let addr = server.addr().to_string();
-        for _ in 0..50 {
-            let s = TcpStream::connect(&addr).unwrap();
-            drop(s);
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let addr = server.addr().to_string();
+            for _ in 0..50 {
+                let s = TcpStream::connect(&addr).unwrap();
+                drop(s);
+            }
+            let resp = send_request(&addr, &Request::get("/alive")).unwrap();
+            assert_eq!(resp.body_str(), "GET /alive", "{backend}");
+            server.shutdown();
         }
-        let resp = send_request(&addr, &Request::get("/alive")).unwrap();
-        assert_eq!(resp.body_str(), "GET /alive");
-        server.shutdown();
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let req = Request::get("/bye").with_header("Connection", "close");
+            stream
+                .write_all(&crate::serialize::serialize_request(&req))
+                .unwrap();
+            let resp = crate::client::read_response(&mut stream).unwrap();
+            assert_eq!(resp.body_str(), "GET /bye", "{backend}");
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty(), "{backend}: server should close");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn mid_request_disconnect_keeps_serving() {
+        // A client that dies halfway through a request must not wedge
+        // either backend; the next client is served normally.
+        for backend in backends() {
+            let mut server = bind_backend(backend, echo_handler());
+            let addr = server.addr().to_string();
+            {
+                let mut stream = TcpStream::connect(&addr).unwrap();
+                stream
+                    .write_all(b"POST /poll HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")
+                    .unwrap();
+                // Dropped with 93 body bytes owed.
+            }
+            let resp = send_request(&addr, &Request::get("/next")).unwrap();
+            assert_eq!(resp.body_str(), "GET /next", "{backend}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn panicking_handler_costs_500_not_a_thread() {
+        // A handler panic must answer 500-and-close — and the server
+        // (worker pool or dispatch pool) must keep serving afterwards
+        // with its full thread complement. `workers: 1` makes any lost
+        // thread immediately fatal to the follow-up requests.
+        let handler: Handler = Arc::new(|req: Request| {
+            if req.path() == "/panic" {
+                panic!("handler blew up");
+            }
+            Response::with_body(Status::OK, "text/plain", req.target.into_bytes())
+        });
+        // The unwinds below print panic backtraces to stderr by design.
+        for backend in backends() {
+            let mut server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                Arc::clone(&handler),
+                ServerConfig {
+                    backend,
+                    workers: 1,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let addr = server.addr().to_string();
+            for _ in 0..3 {
+                let mut stream = TcpStream::connect(&addr).unwrap();
+                stream
+                    .write_all(&crate::serialize::serialize_request(&Request::get(
+                        "/panic",
+                    )))
+                    .unwrap();
+                let resp = crate::client::read_response(&mut stream).unwrap();
+                assert_eq!(resp.status, Status::INTERNAL, "{backend}");
+                let mut rest = Vec::new();
+                stream.read_to_end(&mut rest).unwrap();
+                assert!(rest.is_empty(), "{backend}: connection closes after panic");
+            }
+            let resp = send_request(&addr, &Request::get("/alive")).unwrap();
+            assert_eq!(resp.body_str(), "/alive", "{backend}: pool survived");
+            server.shutdown();
+        }
     }
 }

@@ -12,9 +12,9 @@ use proptest::prelude::*;
 
 use rcb_http::client::HttpConnection;
 use rcb_http::message::{Body, Request, Response, Status};
+use rcb_http::parse_response;
 use rcb_http::serialize::{serialize_response, write_response_to};
 use rcb_http::server::{Handler, HttpServer, ServerConfig};
-use rcb_http::parse_response;
 
 proptest! {
     #[test]
@@ -72,20 +72,26 @@ proptest! {
 /// framed correctly, and in order.
 #[test]
 fn keepalive_pipelining_of_mixed_body_representations() {
-    let big: Arc<[u8]> = (0..=255u8).cycle().take(192 * 1024).collect::<Vec<u8>>().into();
+    let big: Arc<[u8]> = (0..=255u8)
+        .cycle()
+        .take(192 * 1024)
+        .collect::<Vec<u8>>()
+        .into();
     let shared: Arc<[u8]> = Arc::from(b"shared-payload".as_slice());
-    let prefab_big = Response::with_body(Status::OK, "application/octet-stream", Body::Shared(Arc::clone(&big)))
-        .into_prefab();
+    let prefab_big = Response::with_body(
+        Status::OK,
+        "application/octet-stream",
+        Body::Shared(Arc::clone(&big)),
+    )
+    .into_prefab();
     let handler: Handler = {
         let shared = Arc::clone(&shared);
         let big = Arc::clone(&big);
         Arc::new(move |req: Request| match req.path() {
             "/owned" => Response::with_body(Status::OK, "text/plain", b"owned-payload".to_vec()),
-            "/shared" => Response::with_body(
-                Status::OK,
-                "text/plain",
-                Body::Shared(Arc::clone(&shared)),
-            ),
+            "/shared" => {
+                Response::with_body(Status::OK, "text/plain", Body::Shared(Arc::clone(&shared)))
+            }
             "/big-shared" => Response::with_body(
                 Status::OK,
                 "application/octet-stream",

@@ -164,9 +164,8 @@ impl MapsApp {
     }
 
     fn tile_response(&self, x: i64, y: i64, z: u8) -> Response {
-        let mut rng = DetRng::new(
-            (z as u64) << 48 ^ (x as u64 & 0xFFFFFF) << 24 ^ (y as u64 & 0xFFFFFF),
-        );
+        let mut rng =
+            DetRng::new((z as u64) << 48 ^ (x as u64 & 0xFFFFFF) << 24 ^ (y as u64 & 0xFFFFFF));
         let size = rng.range_inclusive(self.tile_bytes_min, self.tile_bytes_max) as usize;
         let mut buf = vec![0u8; size];
         rng.fill_bytes(&mut buf);
@@ -185,7 +184,11 @@ impl Origin for MapsApp {
         if path == "/" || path == "/maps" {
             let vp = match req.query_param("q") {
                 Some(q) if !q.is_empty() => MapsApp::geocode(&q),
-                _ => Viewport { x: 300, y: 300, z: 4 },
+                _ => Viewport {
+                    x: 300,
+                    y: 300,
+                    z: 4,
+                },
             };
             return Response::html(self.shell_page(vp));
         }
@@ -281,7 +284,10 @@ mod tests {
     #[test]
     fn geo_endpoint_returns_viewport_xml() {
         let mut app = MapsApp::new("m");
-        let resp = app.handle(&Request::get("/geo?q=653+5th+Ave%2C+New+York"), SimTime::ZERO);
+        let resp = app.handle(
+            &Request::get("/geo?q=653+5th+Ave%2C+New+York"),
+            SimTime::ZERO,
+        );
         assert_eq!(resp.content_type().as_deref(), Some("application/xml"));
         let vp = MapsApp::geocode("653 5th Ave, New York");
         assert!(resp.body_str().contains(&format!("<x>{}</x>", vp.x)));

@@ -85,12 +85,18 @@ impl ShopApp {
 
     /// Number of completed orders in session `sid` (test/scenario hook).
     pub fn orders_completed(&self, sid: &str) -> u32 {
-        self.sessions.get(sid).map(|s| s.completed_orders).unwrap_or(0)
+        self.sessions
+            .get(sid)
+            .map(|s| s.completed_orders)
+            .unwrap_or(0)
     }
 
     /// Cart contents for session `sid` (test/scenario hook).
     pub fn cart(&self, sid: &str) -> Vec<u32> {
-        self.sessions.get(sid).map(|s| s.cart.clone()).unwrap_or_default()
+        self.sessions
+            .get(sid)
+            .map(|s| s.cart.clone())
+            .unwrap_or_default()
     }
 
     fn session_of(&mut self, req: &Request) -> (String, bool) {
@@ -161,7 +167,11 @@ impl Origin for ShopApp {
                 Response::html(self.page("search", &body))
             }
             _ if path.starts_with("/product/") => {
-                match path["/product/".len()..].parse::<u32>().ok().and_then(|id| self.product(id).cloned()) {
+                match path["/product/".len()..]
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(|id| self.product(id).cloned())
+                {
                     Some(p) => {
                         let body = format!(
                             "<h2>{}</h2><p class=\"price\">${}.{:02}</p>\
@@ -182,7 +192,11 @@ impl Origin for ShopApp {
                 let id = req.query_param("id").and_then(|v| v.parse::<u32>().ok());
                 match id.and_then(|id| self.product(id).cloned()) {
                     Some(p) => {
-                        self.sessions.get_mut(&sid).expect("session exists").cart.push(p.id);
+                        self.sessions
+                            .get_mut(&sid)
+                            .expect("session exists")
+                            .cart
+                            .push(p.id);
                         Response::with_body(Status::FOUND, "text/html", Vec::new())
                             .with_header("Location", "/cart")
                     }
@@ -194,7 +208,14 @@ impl Origin for ShopApp {
                 let items: String = cart
                     .iter()
                     .filter_map(|&id| self.product(id))
-                    .map(|p| format!("<li>{} — ${}.{:02}</li>", p.name, p.price_cents / 100, p.price_cents % 100))
+                    .map(|p| {
+                        format!(
+                            "<li>{} — ${}.{:02}</li>",
+                            p.name,
+                            p.price_cents / 100,
+                            p.price_cents % 100
+                        )
+                    })
                     .collect();
                 let body = format!(
                     "<h2>Your cart ({} items)</h2><ul id=\"cart\">{}</ul>\
@@ -227,8 +248,10 @@ impl Origin for ShopApp {
                 if fields.get("street").is_none_or(|s| s.is_empty()) {
                     Response::error(Status::BAD_REQUEST, "street is required")
                 } else {
-                    self.sessions.get_mut(&sid).expect("session exists").shipping =
-                        Some(fields);
+                    self.sessions
+                        .get_mut(&sid)
+                        .expect("session exists")
+                        .shipping = Some(fields);
                     let body = "<h2>Confirm order</h2>\
                         <form id=\"confirm\" action=\"/checkout/complete\" method=\"post\">\
                         <input type=\"submit\" value=\"Place order\"></form>";
@@ -309,7 +332,9 @@ mod tests {
         let app = ShopApp::new("shop");
         let hits = app.search("macbook");
         assert!(!hits.is_empty());
-        assert!(hits.iter().all(|p| p.name.to_lowercase().contains("macbook")));
+        assert!(hits
+            .iter()
+            .all(|p| p.name.to_lowercase().contains("macbook")));
         assert!(app.search("zzzz-nothing").is_empty());
     }
 
@@ -320,7 +345,10 @@ mod tests {
         let sid = extract_sid(&home);
 
         // Search → product → add to cart.
-        let results = app.handle(&with_sid(Request::get("/search?q=macbook"), &sid), SimTime::ZERO);
+        let results = app.handle(
+            &with_sid(Request::get("/search?q=macbook"), &sid),
+            SimTime::ZERO,
+        );
         assert!(results.body_str().contains("results for"));
         let pid = app.search("macbook")[0].id;
         let add = app.handle(
@@ -372,7 +400,10 @@ mod tests {
         let mut app = ShopApp::new("shop");
         let home = app.handle(&Request::get("/"), SimTime::ZERO);
         let sid = extract_sid(&home);
-        app.handle(&with_sid(Request::get("/cart/add?id=0"), &sid), SimTime::ZERO);
+        app.handle(
+            &with_sid(Request::get("/cart/add?id=0"), &sid),
+            SimTime::ZERO,
+        );
         let bad = app.handle(
             &with_sid(
                 Request::post("/checkout/shipping", b"fullname=Bob&street=".to_vec()),

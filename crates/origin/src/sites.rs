@@ -144,9 +144,9 @@ fn object_manifest(rng: &mut DetRng, kb: f64) -> Vec<ObjectSpec> {
 
 /// Deterministic filler words used to pad pages to their Table-1 size.
 const WORDS: [&str; 24] = [
-    "browse", "session", "realtime", "network", "content", "update", "script", "frame",
-    "shared", "widget", "portal", "market", "travel", "sports", "finance", "weather",
-    "signup", "mobile", "search", "photos", "videos", "social", "stream", "latest",
+    "browse", "session", "realtime", "network", "content", "update", "script", "frame", "shared",
+    "widget", "portal", "market", "travel", "sports", "finance", "weather", "signup", "mobile",
+    "search", "photos", "videos", "social", "stream", "latest",
 ];
 
 /// Generates the homepage HTML for a site, sized exactly to
@@ -156,7 +156,10 @@ pub fn generate_homepage(spec: &SiteSpec) -> String {
     let target = spec.html_size.as_bytes() as usize;
     let mut html = String::with_capacity(target + 1024);
     html.push_str("<!DOCTYPE html>");
-    html.push_str(&format!("<html lang=\"en\"><head><title>{} — home</title>", spec.name));
+    html.push_str(&format!(
+        "<html lang=\"en\"><head><title>{} — home</title>",
+        spec.name
+    ));
     html.push_str("<meta charset=\"utf-8\">");
     html.push_str(&format!(
         "<meta name=\"description\" content=\"synthetic homepage of {}\">",
@@ -352,11 +355,7 @@ mod tests {
         // Every CSS/JS and at least most images must be referenced.
         for obj in &spec.objects {
             if obj.kind != ObjectKind::Img {
-                assert!(
-                    urls.contains(&obj.path),
-                    "{} not referenced",
-                    obj.path
-                );
+                assert!(urls.contains(&obj.path), "{} not referenced", obj.path);
             }
         }
         let img_refs = urls.iter().filter(|u| u.ends_with(".png")).count();

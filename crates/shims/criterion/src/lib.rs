@@ -33,11 +33,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Display, param: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -62,7 +66,10 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo test` runs harness-less bench binaries with `--test`.
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { sample_size: 100, test_mode }
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
     }
 }
 

@@ -72,11 +72,18 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str) -> Self {
-        Parser { pattern, chars: pattern.chars().collect(), pos: 0 }
+        Parser {
+            pattern,
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
     }
 
     fn fail(&self, msg: &str) -> ! {
-        panic!("unsupported regex pattern {:?} at char {}: {}", self.pattern, self.pos, msg);
+        panic!(
+            "unsupported regex pattern {:?} at char {}: {}",
+            self.pattern, self.pos, msg
+        );
     }
 
     fn peek(&self) -> Option<char> {
@@ -84,7 +91,11 @@ impl<'a> Parser<'a> {
     }
 
     fn bump(&mut self) -> char {
-        let c = self.chars.get(self.pos).copied().unwrap_or_else(|| self.fail("unexpected end"));
+        let c = self
+            .chars
+            .get(self.pos)
+            .copied()
+            .unwrap_or_else(|| self.fail("unexpected end"));
         self.pos += 1;
         c
     }
@@ -151,7 +162,11 @@ impl<'a> Parser<'a> {
             Some('{') => {
                 self.bump();
                 let lo = self.parse_number();
-                let hi = if self.eat(',') { self.parse_number() } else { lo };
+                let hi = if self.eat(',') {
+                    self.parse_number()
+                } else {
+                    lo
+                };
                 if !self.eat('}') {
                     self.fail("expected '}'");
                 }
@@ -169,7 +184,11 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             self.fail("expected number");
         }
-        self.chars[start..self.pos].iter().collect::<String>().parse().unwrap()
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap()
     }
 
     fn parse_atom(&mut self) -> Node {
@@ -188,9 +207,7 @@ impl<'a> Parser<'a> {
             '[' => self.parse_class(),
             '\\' => self.parse_escape(),
             '.' => Node::Dot,
-            c @ ('*' | '+' | '?' | '{' | '}') => {
-                self.fail(&format!("dangling quantifier {c:?}"))
-            }
+            c @ ('*' | '+' | '?' | '{' | '}') => self.fail(&format!("dangling quantifier {c:?}")),
             c => Node::Literal(c),
         }
     }
@@ -281,7 +298,10 @@ impl<'a> Parser<'a> {
             let lo = if c == '\\' { self.class_escape() } else { c };
             // A `-` is a range operator only between two items.
             if self.peek() == Some('-')
-                && self.chars.get(self.pos + 1).is_some_and(|&n| n != terminator)
+                && self
+                    .chars
+                    .get(self.pos + 1)
+                    .is_some_and(|&n| n != terminator)
             {
                 self.bump();
                 let c2 = self.bump();
@@ -321,7 +341,10 @@ mod tests {
         assert_eq!(gen("abc", 1), "abc");
         for seed in 0..20 {
             let s = gen("a{2,4}", seed);
-            assert!((2..=4).contains(&s.len()) && s.chars().all(|c| c == 'a'), "{s:?}");
+            assert!(
+                (2..=4).contains(&s.len()) && s.chars().all(|c| c == 'a'),
+                "{s:?}"
+            );
         }
     }
 
@@ -330,7 +353,11 @@ mod tests {
         for seed in 0..50 {
             let s = gen("[a-z0-9]{1,12}", seed);
             assert!(!s.is_empty() && s.len() <= 12);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{s:?}"
+            );
         }
     }
 
@@ -339,7 +366,8 @@ mod tests {
         for seed in 0..200 {
             let s = gen("[ -~&&[^\"&]]{0,20}", seed);
             assert!(
-                s.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '&'),
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '&'),
                 "{s:?}"
             );
         }
@@ -348,11 +376,14 @@ mod tests {
     #[test]
     fn alternation_and_groups() {
         for seed in 0..50 {
-            let s = gen("(\\.\\./|\\./)?([a-z]{1,8}/){0,3}[a-z]{0,8}(\\?[a-z=&]{0,10})?", seed);
+            let s = gen(
+                "(\\.\\./|\\./)?([a-z]{1,8}/){0,3}[a-z]{0,8}(\\?[a-z=&]{0,10})?",
+                seed,
+            );
             // Shape check only: every char must be from the legal alphabet.
             assert!(
-                s.chars().all(|c| c.is_ascii_lowercase()
-                    || matches!(c, '.' | '/' | '?' | '=' | '&')),
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || matches!(c, '.' | '/' | '?' | '=' | '&')),
                 "{s:?}"
             );
         }

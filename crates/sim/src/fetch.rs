@@ -93,7 +93,10 @@ mod tests {
     use crate::link::LinkSpec;
 
     fn pipe(bps: u64, latency_ms: u64) -> Pipe {
-        Pipe::new(LinkSpec::symmetric(bps, SimDuration::from_millis(latency_ms)))
+        Pipe::new(LinkSpec::symmetric(
+            bps,
+            SimDuration::from_millis(latency_ms),
+        ))
     }
 
     #[test]
@@ -102,8 +105,8 @@ mod tests {
         let c = request_response(
             &mut p,
             SimTime::ZERO,
-            1_000,    // 1 ms serialization
-            100_000,  // 100 ms serialization
+            1_000,   // 1 ms serialization
+            100_000, // 100 ms serialization
             SimDuration::from_millis(50),
         );
         // 1 + 10 (request) + 50 (server) + 100 + 10 (response) = 171 ms.
@@ -145,10 +148,7 @@ mod tests {
         let serial = fetch_many(&mut p1, SimTime::ZERO, &objects, 1, SimDuration::ZERO);
         let mut p2 = pipe(1_000_000, 1);
         let parallel = fetch_many(&mut p2, SimTime::ZERO, &objects, 6, SimDuration::ZERO);
-        let diff = serial
-            .completed_at
-            .since(parallel.completed_at)
-            .as_millis();
+        let diff = serial.completed_at.since(parallel.completed_at).as_millis();
         assert!(diff < 20, "diff was {diff} ms");
     }
 

@@ -165,9 +165,7 @@ impl NetProfile {
     pub fn wire_bytes(&self, content_type: &str, body_len: usize) -> usize {
         let ratio = if content_type.starts_with("text/html") {
             self.html_wire_ratio
-        } else if content_type.starts_with("text/css")
-            || content_type.contains("javascript")
-        {
+        } else if content_type.starts_with("text/css") || content_type.contains("javascript") {
             self.text_asset_wire_ratio
         } else {
             1.0 // images and XML travel as-is
@@ -199,8 +197,8 @@ mod tests {
         )
         .completed_at;
         let mut rcb = Pipe::new(p.host_participant);
-        let m2 = request_response(&mut rcb, SimTime::ZERO, 500, doc, SimDuration::ZERO)
-            .completed_at;
+        let m2 =
+            request_response(&mut rcb, SimTime::ZERO, 500, doc, SimDuration::ZERO).completed_at;
         assert!(m2.as_millis() * 5 < m1.as_millis(), "m2={m2} m1={m1}");
     }
 

@@ -36,7 +36,10 @@ impl Url {
             .ok_or_else(|| RcbError::parse("url", format!("missing scheme: {input:?}")))?;
         let scheme = scheme.to_ascii_lowercase();
         if scheme != "http" && scheme != "https" {
-            return Err(RcbError::parse("url", format!("unsupported scheme {scheme:?}")));
+            return Err(RcbError::parse(
+                "url",
+                format!("unsupported scheme {scheme:?}"),
+            ));
         }
         // Split off fragment, then query, then path.
         let (rest, fragment) = match rest.split_once('#') {

@@ -14,13 +14,13 @@ fn corpus() -> Vec<String> {
         " ",
         "plain-ascii_text~.",
         "a b/c?d=e&f#g%",
-        "100% + 5% = %zz",           // malformed-escape lookalikes
-        "%u0041 %41 %4 %",           // escape-syntax fragments as content
-        "key=value&key2=value2",     // query separators as content
-        "\u{1}\u{2}\u{3}\t\r\n",     // control characters
-        "é è ü ß ñ",                 // Latin-1 range (%XX in jsescape)
+        "100% + 5% = %zz",             // malformed-escape lookalikes
+        "%u0041 %41 %4 %",             // escape-syntax fragments as content
+        "key=value&key2=value2",       // query separators as content
+        "\u{1}\u{2}\u{3}\t\r\n",       // control characters
+        "é è ü ß ñ",                   // Latin-1 range (%XX in jsescape)
         "Ω λ Ж 中文 日本語 한글",      // BMP beyond 0xFF (%uXXXX)
-        "🙂🦀𝄞",                      // supplementary plane (surrogate pairs)
+        "🙂🦀𝄞",                       // supplementary plane (surrogate pairs)
         "<tag attr=\"x\">&amp;</tag>", // markup-significant chars
         "]]> closes CDATA",
     ]
@@ -90,7 +90,10 @@ fn js_escape_output_is_cdata_and_xml_safe() {
     for s in corpus() {
         let e = escape(&s);
         for banned in ['<', '>', '&', ']', '"', '\''] {
-            assert!(!e.contains(banned), "escape({s:?}) contains {banned:?}: {e}");
+            assert!(
+                !e.contains(banned),
+                "escape({s:?}) contains {banned:?}: {e}"
+            );
         }
         assert!(e.is_ascii(), "escape({s:?}) not ASCII: {e}");
     }

@@ -105,7 +105,9 @@ mod tests {
             ByteSize::bytes(10).saturating_sub(ByteSize::bytes(20)),
             ByteSize::ZERO
         );
-        let total: ByteSize = vec![ByteSize::bytes(1), ByteSize::bytes(2)].into_iter().sum();
+        let total: ByteSize = vec![ByteSize::bytes(1), ByteSize::bytes(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total.as_bytes(), 3);
     }
 }

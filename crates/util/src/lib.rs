@@ -13,6 +13,11 @@ pub mod clock;
 pub mod error;
 pub mod metrics;
 pub mod rng;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod sys;
 
 pub use bytesize::ByteSize;
 pub use clock::{SimDuration, SimTime};

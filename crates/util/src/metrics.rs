@@ -83,8 +83,7 @@ impl Histogram {
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        let rank =
-            ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank]
     }
 
@@ -111,12 +110,20 @@ impl Histogram {
 
     /// Minimum sample, or zero when empty.
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Maximum sample, or zero when empty.
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Borrow of the raw samples.

@@ -68,7 +68,10 @@ pub fn parse_document(input: &str) -> Result<XmlElement> {
     let root = s.parse_element()?;
     s.skip_whitespace_and_comments()?;
     if s.pos != s.bytes.len() {
-        return Err(RcbError::parse("xml", "trailing content after root element"));
+        return Err(RcbError::parse(
+            "xml",
+            "trailing content after root element",
+        ));
     }
     Ok(root)
 }
@@ -100,10 +103,7 @@ impl<'a> Scanner<'a> {
     fn skip_prolog(&mut self) -> Result<()> {
         self.skip_whitespace();
         if self.starts_with("<?xml") {
-            match self.bytes[self.pos..]
-                .windows(2)
-                .position(|w| w == b"?>")
-            {
+            match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
                 Some(rel) => self.pos += rel + 2,
                 None => return Err(self.err("unterminated XML declaration")),
             }
@@ -188,8 +188,7 @@ impl<'a> Scanner<'a> {
                     if self.peek() != Some(quote) {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
                     self.pos += 1;
                     attrs.push((attr_name, decode_entities(&raw)));
                 }
@@ -218,12 +217,14 @@ impl<'a> Scanner<'a> {
             }
             if self.starts_with("<![CDATA[") {
                 let body_start = self.pos + 9;
-                match self.bytes[body_start..].windows(3).position(|w| w == b"]]>") {
+                match self.bytes[body_start..]
+                    .windows(3)
+                    .position(|w| w == b"]]>")
+                {
                     Some(rel) => {
-                        let text = String::from_utf8_lossy(
-                            &self.bytes[body_start..body_start + rel],
-                        )
-                        .into_owned();
+                        let text =
+                            String::from_utf8_lossy(&self.bytes[body_start..body_start + rel])
+                                .into_owned();
                         children.push(XmlNode::Text(text));
                         self.pos = body_start + rel + 3;
                     }
@@ -242,8 +243,7 @@ impl<'a> Scanner<'a> {
                     while self.peek().is_some_and(|b| b != b'<') {
                         self.pos += 1;
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
                     // Whitespace-only runs between elements are formatting.
                     if !raw.trim().is_empty() {
                         children.push(XmlNode::Text(decode_entities(&raw)));
@@ -275,7 +275,9 @@ pub fn decode_entities(s: &str) -> String {
             "quot" => Some('"'),
             "apos" => Some('\''),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32)
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
             }
             _ if entity.starts_with('#') => {
                 entity[1..].parse::<u32>().ok().and_then(char::from_u32)
@@ -299,7 +301,9 @@ pub fn decode_entities(s: &str) -> String {
 
 /// Encodes text for inclusion as XML character data.
 pub fn encode_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Encodes text for inclusion as a double-quoted attribute value.

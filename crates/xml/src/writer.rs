@@ -18,11 +18,7 @@ use crate::scanner::encode_text;
 pub fn write_new_content(nc: &NewContent) -> String {
     // Escaping inflates HTML payloads by roughly 2×; starting near the
     // final size keeps the single buffer from reallocating log(n) times.
-    let payload_bytes: usize = nc
-        .head_children
-        .iter()
-        .map(payload_len)
-        .sum::<usize>()
+    let payload_bytes: usize = nc.head_children.iter().map(payload_len).sum::<usize>()
         + match &nc.top {
             TopLevel::Body(b) => payload_len(b),
             TopLevel::Frames { frameset, noframes } => {

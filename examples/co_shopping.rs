@@ -17,7 +17,9 @@ fn main() {
     let alice = world.add_participant(BrowserKind::InternetExplorer);
 
     // Bob opens the storefront; Alice's browser follows.
-    world.host_navigate(&format!("http://{SHOP_HOST}/")).unwrap();
+    world
+        .host_navigate(&format!("http://{SHOP_HOST}/"))
+        .unwrap();
     world.poll_participant(alice).unwrap();
     println!("storefront synchronized to Alice");
 
@@ -98,6 +100,8 @@ fn main() {
     world.sleep(SimDuration::from_secs(1));
     world.poll_participant(alice).unwrap();
     let alice_doc = world.participants[alice].browser.doc.as_ref().unwrap();
-    assert!(alice_doc.text_content(alice_doc.root()).contains("Order placed"));
+    assert!(alice_doc
+        .text_content(alice_doc.root())
+        .contains("Order placed"));
     println!("confirmation mirrored to Alice ✓");
 }

@@ -18,9 +18,14 @@ fn main() {
     // Bob searches the Cartier store.
     let spot = MapsApp::geocode("653 5th Ave, New York");
     world
-        .host_navigate(&format!("http://{MAPS_HOST}/maps?q=653+5th+Ave%2C+New+York"))
+        .host_navigate(&format!(
+            "http://{MAPS_HOST}/maps?q=653+5th+Ave%2C+New+York"
+        ))
         .unwrap();
-    println!("Bob's map centered on viewport ({}, {}) z{}", spot.x, spot.y, spot.z);
+    println!(
+        "Bob's map centered on viewport ({}, {}) z{}",
+        spot.x, spot.y, spot.z
+    );
 
     let (sync, _) = world.poll_participant(alice).unwrap();
     println!(
@@ -45,7 +50,8 @@ fn main() {
             vp.x,
             vp.y,
             vp.z,
-            s.map(|s| s.m2.to_string()).unwrap_or_else(|| "no-op".into())
+            s.map(|s| s.m2.to_string())
+                .unwrap_or_else(|| "no-op".into())
         );
     }
 

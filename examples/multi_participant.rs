@@ -62,11 +62,18 @@ fn main() {
     println!("student #3 requested cnn.com — pending host confirmation");
 
     // The instructor approves; the world executes the navigation.
-    let effect = world.host.agent.decide_pending(HostDecision::Approve).unwrap();
+    let effect = world
+        .host
+        .agent
+        .decide_pending(HostDecision::Approve)
+        .unwrap();
     if let rcb::core::agent::HostEffect::Navigate(url) = effect {
         world.host_navigate(&url).unwrap();
     }
-    println!("approved; host now at {}", world.host.browser.url.as_ref().unwrap());
+    println!(
+        "approved; host now at {}",
+        world.host.browser.url.as_ref().unwrap()
+    );
 
     // Everyone re-syncs to the new page.
     world.sleep(SimDuration::from_secs(1));
@@ -74,7 +81,11 @@ fn main() {
         let (sync, _) = world.poll_participant(s).unwrap();
         assert!(sync.is_some());
     }
-    let d0 = world.participants[students[0]].browser.doc.as_ref().unwrap();
+    let d0 = world.participants[students[0]]
+        .browser
+        .doc
+        .as_ref()
+        .unwrap();
     assert!(d0.text_content(d0.root()).contains("cnn.com"));
     println!("lecture moved to cnn.com for every participant ✓");
 

@@ -20,7 +20,10 @@ fn main() {
         ..AgentConfig::default()
     };
     let mut world = CoBrowsingWorld::with_alexa20(NetProfile::lan(), config, 42);
-    println!("RCB session up — key (share out of band): {}", world.host.agent.key().to_hex());
+    println!(
+        "RCB session up — key (share out of band): {}",
+        world.host.agent.key().to_hex()
+    );
 
     // Step 2: a participant joins by typing the agent URL.
     let alice = world.add_participant(BrowserKind::Firefox);
@@ -58,7 +61,9 @@ fn main() {
     let (resync, _) = world.poll_participant(alice).unwrap();
     assert!(resync.is_some(), "dynamic change must resynchronize");
     let doc = world.participants[alice].browser.doc.as_ref().unwrap();
-    assert!(doc.text_content(doc.root()).contains("edited live by the host"));
+    assert!(doc
+        .text_content(doc.root())
+        .contains("edited live by the host"));
     println!("dynamic DOM change mirrored to the participant ✓");
 
     println!(

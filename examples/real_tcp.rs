@@ -8,6 +8,11 @@
 //! one), a participant connecting with plain HTTP, HMAC-authenticated
 //! polls, live DOM updates, and form co-filling — all over the loopback
 //! interface.
+//!
+//! The server backend is runtime-selectable: run with
+//! `RCB_SERVER_BACKEND=epoll` (or `workers`, the default) to serve the
+//! same session from the event-driven epoll loop instead of the worker
+//! pool — the session flow is identical either way.
 
 use rcb::browser::UserAction;
 use rcb::core::snippet::SnippetOutcome;
@@ -24,7 +29,10 @@ fn main() {
     // Host side: agent on a real socket, page loaded in the host browser.
     let mut host = TcpHost::start("127.0.0.1:0", "http://dashboard.local/", PAGE).unwrap();
     let addr = host.addr().to_string();
-    println!("RCB-Agent listening on {addr}");
+    println!(
+        "RCB-Agent listening on {addr} ({} backend — set RCB_SERVER_BACKEND=workers|epoll)",
+        host.backend()
+    );
     println!("session key (out-of-band): {}", host.key().to_hex());
 
     // Participant side: join with the shared key, first poll syncs the page.

@@ -11,7 +11,10 @@ use rcb::core::usability::run_session;
 fn main() {
     let result = run_session(2009).expect("session runs to completion");
     println!("Table 2 — the 20 tasks of one co-browsing session\n");
-    println!("{:<7} {:<45} {:>9} {:>7}", "Task#", "Description", "Duration", "Result");
+    println!(
+        "{:<7} {:<45} {:>9} {:>7}",
+        "Task#", "Description", "Duration", "Result"
+    );
     for t in &result.tasks {
         println!(
             "{:<7} {:<45} {:>9} {:>7}",

@@ -126,7 +126,10 @@ fn table1_m5_tracks_page_size_and_mode() {
     // Cache mode costs more than non-cache overall (observation 3).
     let total_nc: u64 = m5_noncache.iter().map(|(_, d)| d.as_micros()).sum();
     let total_c: u64 = m5_cache.iter().map(|(_, d)| d.as_micros()).sum();
-    assert!(total_c > total_nc, "cache {total_c}us !> non-cache {total_nc}us");
+    assert!(
+        total_c > total_nc,
+        "cache {total_c}us !> non-cache {total_nc}us"
+    );
 }
 
 #[test]
@@ -149,10 +152,8 @@ fn table1_m6_stays_under_a_third_of_a_second() {
 #[test]
 fn wan_sync_slower_than_lan_sync_everywhere() {
     for (idx, site, _) in [TABLE1_SIZES_KB[0], TABLE1_SIZES_KB[9], TABLE1_SIZES_KB[19]] {
-        let (_, lan) =
-            measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
-        let (_, wan) =
-            measure_site(NetProfile::wan(), CacheMode::Cache, site, idx as u64).unwrap();
+        let (_, lan) = measure_site(NetProfile::lan(), CacheMode::Cache, site, idx as u64).unwrap();
+        let (_, wan) = measure_site(NetProfile::wan(), CacheMode::Cache, site, idx as u64).unwrap();
         assert!(
             wan.m2 > lan.m2,
             "{site}: WAN M2 {} !> LAN M2 {}",

@@ -10,8 +10,8 @@ use rcb::core::agent::{AgentConfig, CacheMode, RcbAgent};
 use rcb::core::session::CoBrowsingWorld;
 use rcb::core::snippet::{AjaxSnippet, SnippetOutcome};
 use rcb::crypto::SessionKey;
-use rcb::http::{parse_request, parse_response};
 use rcb::http::serialize::{serialize_request, serialize_response};
+use rcb::http::{parse_request, parse_response};
 use rcb::origin::OriginRegistry;
 use rcb::sim::link::Pipe;
 use rcb::sim::NetProfile;
@@ -69,11 +69,7 @@ fn poll_survives_wire_serialization_both_ways() {
 
 #[test]
 fn multi_site_browsing_sequence_stays_in_sync() {
-    let mut world = CoBrowsingWorld::with_alexa20(
-        NetProfile::lan(),
-        AgentConfig::default(),
-        11,
-    );
+    let mut world = CoBrowsingWorld::with_alexa20(NetProfile::lan(), AgentConfig::default(), 11);
     let p = world.add_participant(BrowserKind::Firefox);
     for site in ["google.com", "ebay.com", "cnn.com", "apple.com"] {
         world.host_navigate(&format!("http://{site}/")).unwrap();
@@ -98,10 +94,13 @@ fn frameset_page_synchronizes() {
     // Hand-build a frameset page on the host and push it through the
     // whole stack.
     let key = SessionKey::generate_deterministic(&mut DetRng::new(8));
-    let mut agent = RcbAgent::new(key.clone(), AgentConfig {
-        cache_mode: CacheMode::NonCache,
-        ..AgentConfig::default()
-    });
+    let mut agent = RcbAgent::new(
+        key.clone(),
+        AgentConfig {
+            cache_mode: CacheMode::NonCache,
+            ..AgentConfig::default()
+        },
+    );
     let mut host = Browser::new(BrowserKind::Firefox);
     host.url = Some(rcb::url::Url::parse("http://frames.example/").unwrap());
     host.doc = Some(rcb::html::parse_document(
@@ -155,11 +154,7 @@ fn participant_actions_round_trip_through_wire_bytes() {
 
 #[test]
 fn ie_and_firefox_participants_render_identically() {
-    let mut world = CoBrowsingWorld::with_alexa20(
-        NetProfile::lan(),
-        AgentConfig::default(),
-        17,
-    );
+    let mut world = CoBrowsingWorld::with_alexa20(NetProfile::lan(), AgentConfig::default(), 17);
     let ff = world.add_participant(BrowserKind::Firefox);
     let ie = world.add_participant(BrowserKind::InternetExplorer);
     world.host_navigate("http://nytimes.com/").unwrap();

@@ -43,7 +43,9 @@ fn unsigned_poll_is_unauthorized() {
     let mut agent = agent_with_seed(1);
     let mut host = loaded_host();
     let req = Request::post("/poll?p=1", b"t=0".to_vec());
-    let resp = agent.handle_request(&req, &mut host, SimTime::ZERO).response;
+    let resp = agent
+        .handle_request(&req, &mut host, SimTime::ZERO)
+        .response;
     assert_eq!(resp.status, Status::UNAUTHORIZED);
 }
 
@@ -81,7 +83,9 @@ fn mac_from_other_session_does_not_transfer() {
     // Signed for session B, replayed against session A.
     let mut req = Request::post("/poll?p=1", b"t=0".to_vec());
     auth::sign_request(agent_b.key(), &mut req);
-    let resp = agent_a.handle_request(&req, &mut host, SimTime::ZERO).response;
+    let resp = agent_a
+        .handle_request(&req, &mut host, SimTime::ZERO)
+        .response;
     assert_eq!(resp.status, Status::UNAUTHORIZED);
     assert_eq!(agent_a.stats.auth_failures.get(), 1);
 }
@@ -100,7 +104,10 @@ fn object_requests_need_valid_tokens() {
     let rcb::xml::TopLevel::Body(body) = &nc.top else {
         panic!("expected a body page");
     };
-    let idx = body.inner_html.find("/cache/").expect("cache URLs in content");
+    let idx = body
+        .inner_html
+        .find("/cache/")
+        .expect("cache URLs in content");
     let url: String = body.inner_html[idx..].split('"').next().unwrap().into();
 
     // No token.
@@ -124,7 +131,11 @@ fn object_requests_need_valid_tokens() {
     let other_path = "/cache/999999";
     let stolen = auth::object_token(agent.key(), other_path);
     let r3 = agent
-        .handle_request(&Request::get(format!("{bare}?k={stolen}")), &mut host, SimTime::ZERO)
+        .handle_request(
+            &Request::get(format!("{bare}?k={stolen}")),
+            &mut host,
+            SimTime::ZERO,
+        )
         .response;
     assert_eq!(r3.status, Status::UNAUTHORIZED);
 
@@ -250,12 +261,30 @@ fn agent_never_panics_on_hostile_requests() {
     let mut host = loaded_host();
     let mut rng = DetRng::new(0xF0CCACC1A);
     let paths = [
-        "/", "/poll", "/cache/0", "/cache/99999999", "/cache/abc", "/cache/",
-        "//", "/%00", "/poll/extra", "/favicon.ico", "/..", "/cache/0/../1",
+        "/",
+        "/poll",
+        "/cache/0",
+        "/cache/99999999",
+        "/cache/abc",
+        "/cache/",
+        "//",
+        "/%00",
+        "/poll/extra",
+        "/favicon.ico",
+        "/..",
+        "/cache/0/../1",
     ];
     let queries = [
-        "", "?", "?hmac=", "?hmac=zz", "?p=-1", "?p=18446744073709551615",
-        "?k=", "?k=0000000000000000", "?a=b&a=b&a=b", "?hmac=ff&hmac=ee",
+        "",
+        "?",
+        "?hmac=",
+        "?hmac=zz",
+        "?p=-1",
+        "?p=18446744073709551615",
+        "?k=",
+        "?k=0000000000000000",
+        "?a=b&a=b&a=b",
+        "?hmac=ff&hmac=ee",
     ];
     let bodies: [&[u8]; 6] = [
         b"",
@@ -267,12 +296,12 @@ fn agent_never_panics_on_hostile_requests() {
     ];
     let mut served = 0u32;
     for i in 0..2_000u64 {
-        let method = if rng.chance(0.5) { Method::Get } else { Method::Post };
-        let target = format!(
-            "{}{}",
-            rng.choose(&paths),
-            rng.choose(&queries)
-        );
+        let method = if rng.chance(0.5) {
+            Method::Get
+        } else {
+            Method::Post
+        };
+        let target = format!("{}{}", rng.choose(&paths), rng.choose(&queries));
         let mut req = rcb::http::Request {
             method,
             target,

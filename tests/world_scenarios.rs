@@ -41,7 +41,7 @@ fn leaver_does_not_disturb_others() {
     world.poll_participant(a).unwrap().0.unwrap();
     world.poll_participant(b).unwrap().0.unwrap();
     world.remove_participant(0); // a leaves
-    // b (now index 0) keeps syncing fine.
+                                 // b (now index 0) keeps syncing fine.
     world
         .host
         .browser
@@ -120,10 +120,7 @@ fn host_confirm_policy_rejects_and_approves() {
         ("http://ebay.com/", HostDecision::Reject, "google.com"),
         ("http://apple.com/", HostDecision::Approve, "apple.com"),
     ] {
-        world.participant_action(
-            p,
-            UserAction::Navigate { url: url.into() },
-        );
+        world.participant_action(p, UserAction::Navigate { url: url.into() });
         world.sleep(SimDuration::from_secs(1));
         world.poll_participant(p).unwrap();
         assert_eq!(world.host.agent.pending_confirmation.len(), 1);
@@ -132,10 +129,7 @@ fn host_confirm_policy_rejects_and_approves() {
         {
             world.host_navigate(&u).unwrap();
         }
-        assert_eq!(
-            world.host.browser.url.as_ref().unwrap().host,
-            expected_host
-        );
+        assert_eq!(world.host.browser.url.as_ref().unwrap().host, expected_host);
     }
 }
 
@@ -227,7 +221,10 @@ fn rapid_navigation_only_delivers_latest_content() {
     assert!(sync.is_some());
     let doc = world.participants[p].browser.doc.as_ref().unwrap();
     let text = doc.text_content(doc.root());
-    assert!(text.contains("apple.com"), "participant sees only the latest page");
+    assert!(
+        text.contains("apple.com"),
+        "participant sees only the latest page"
+    );
     assert_eq!(world.participants[p].snippet.updates_applied, 1);
     // Intermediate pages were never generated for this participant.
     assert_eq!(world.host.agent.stats.polls_with_content.get(), 1);
@@ -255,10 +252,9 @@ fn recorder_captures_and_replays_the_session() {
         .events()
         .iter()
         .any(|e| matches!(e.event, SessionEvent::Join { pid: 1 })));
-    assert!(log
-        .events()
-        .iter()
-        .any(|e| matches!(e.event, SessionEvent::HostNavigate { ref url } if url.contains("google"))));
+    assert!(log.events().iter().any(
+        |e| matches!(e.event, SessionEvent::HostNavigate { ref url } if url.contains("google"))
+    ));
     assert!(log
         .events()
         .iter()
