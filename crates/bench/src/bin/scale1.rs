@@ -31,14 +31,20 @@
 //!   generated-content and timestamp maps staying within the
 //!   two-generation bound;
 //! * **connection hold**: many keep-alive connections open at once on a
-//!   small handler pool — 256 on the epoll backend (whose ceiling is the
-//!   fd limit), 32 on the workers backend (whose ceiling is the rotation
-//!   design).
+//!   small handler pool — 256 per event-loop shard on the epoll engines
+//!   (whose ceiling is the fd limit; the sharded backend therefore holds
+//!   `256 × shards`, verified to spread across every loop), 32 on the
+//!   workers backend (whose ceiling is the rotation design). The target
+//!   is capped to the process fd limit read via `prlimit64`.
 //!
 //! Every phase runs on the server backend selected by `--backend
-//! {workers,epoll}` (falling back to the `RCB_SERVER_BACKEND` environment
-//! variable, then to workers), so CI can run the whole bench once per
-//! backend and compare like with like.
+//! {workers,epoll,epoll-sharded[:N]}` (falling back to the
+//! `RCB_SERVER_BACKEND` environment variable, then to workers; the
+//! sharded backend's auto shard count follows `RCB_SERVER_SHARDS`, then
+//! available cores), so CI can run the whole bench once per backend and
+//! compare like with like. The pass/fail predicates themselves live in
+//! `rcb_bench::gates` as pure functions with their own unit tests — a
+//! gate regression is caught without running a socket.
 //!
 //! Alongside the human-readable output the bench always writes a
 //! machine-readable `BENCH_scale1.json` (path override: `--json <path>`).
@@ -56,6 +62,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rcb_bench::gates;
 use rcb_browser::{Browser, BrowserKind};
 use rcb_core::agent::{AgentConfig, LIVE_GENERATIONS};
 use rcb_core::tcp::{TcpHost, TcpParticipant};
@@ -317,13 +324,18 @@ fn run_memory_bound(backend: ServerBackend, versions: u64) -> (usize, usize, u64
 
 /// Connection-hold phase: `conns` keep-alive connections held open
 /// *simultaneously* and each polled `rounds` times round-robin, with a
-/// handler pool of only `pool` threads. On the epoll backend this is the
+/// handler pool of only `pool` threads. On the epoll engines this is the
 /// headline capability — the connection ceiling is the fd limit, so a
-/// dispatch pool of 8 services 256 live sessions; the workers backend is
-/// exercised at a smaller count (idle connections cost a rotation slot
-/// each, which is exactly the limitation that motivated the event loop).
-/// Returns `(connections, pool, all_ok)`.
-fn run_conn_hold(backend: ServerBackend, conns: usize, rounds: usize) -> (usize, usize, bool) {
+/// dispatch pool of 8 services 256 live sessions per shard; the workers
+/// backend is exercised at a smaller count (idle connections cost a
+/// rotation slot each, which is exactly the limitation that motivated the
+/// event loop). Returns `(connections, pool, all_ok, per_shard_conns)` —
+/// the spread proves a sharded run exercised every event loop.
+fn run_conn_hold(
+    backend: ServerBackend,
+    conns: usize,
+    rounds: usize,
+) -> (usize, usize, bool, Vec<u64>) {
     let pool = 8;
     let mut host = start_host_sized(backend, pool, conns * 2, PAGE);
     let addr = host.addr().to_string();
@@ -355,8 +367,10 @@ fn run_conn_hold(backend: ServerBackend, conns: usize, rounds: usize) -> (usize,
         }
     }
     ok &= host.stats().connections == conns as u64;
+    let per_shard = host.server_stats().connections_per_shard;
+    ok &= gates::shard_spread_ok(&per_shard);
     host.shutdown();
-    (conns, pool, ok)
+    (conns, pool, ok, per_shard)
 }
 
 /// Pulls the scalar after `"key":` out of a (baseline) JSON file — the
@@ -372,6 +386,26 @@ fn json_scalar(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pulls the string after `"key":"` out of a (baseline) JSON file.
+fn json_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let idx = text.find(&needle)? + needle.len();
+    let rest = &text[idx..];
+    rest.find('"').map(|end| rest[..end].to_string())
+}
+
+/// The baseline's recorded configuration, with defaults for fields that
+/// predate them (no backend field → workers, the only backend that
+/// existed; no shards field → one loop).
+fn baseline_config(text: &str) -> gates::GateConfig {
+    gates::GateConfig {
+        cores: json_scalar(text, "cores").unwrap_or(0.0) as usize,
+        mode: json_string(text, "mode").unwrap_or_else(|| "full".to_string()),
+        backend: json_string(text, "backend").unwrap_or_else(|| "workers".to_string()),
+        shards: json_scalar(text, "shards").map_or(1, |s| s as usize),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -383,11 +417,14 @@ fn main() {
     let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_scale1.json".to_string());
     let compare_path = flag_value("--compare");
     // Backend: `--backend <name>` beats `RCB_SERVER_BACKEND` beats the
-    // workers default; `effective()` folds in platform availability.
+    // workers default; `resolved()` folds in platform availability and
+    // pins the sharded backend's auto shard count (RCB_SERVER_SHARDS,
+    // else available cores) so every phase runs the same loop count.
     let backend = flag_value("--backend")
         .map(|v| ServerBackend::parse(&v).unwrap_or_else(|| panic!("unknown --backend {v:?}")))
         .unwrap_or_else(ServerBackend::from_env)
-        .effective();
+        .resolved();
+    let shards = backend.shard_count();
 
     let (counts, duration, versions, sweep_rounds): (&[u64], Duration, u64, u32) = if smoke {
         (&[1, 4, 8], Duration::from_millis(400), 1_000, 2)
@@ -400,7 +437,12 @@ fn main() {
         .unwrap_or(1);
 
     println!(
-        "scale1 — poll throughput vs participant count (real sockets, {backend} backend{})",
+        "scale1 — poll throughput vs participant count (real sockets, {backend} backend{}{})",
+        if matches!(backend, ServerBackend::EpollSharded(_)) {
+            format!(" × {shards} shards")
+        } else {
+            String::new()
+        },
         if smoke { ", smoke" } else { "" }
     );
     println!("{:-<72}", "");
@@ -447,13 +489,13 @@ fn main() {
         );
     }
     println!("{:-<72}", "");
-    // No lock convoy: adding participants must not collapse the aggregate
-    // rate (the global-lock design degraded as N serialized contenders).
-    let no_collapse = last_rate > first_rate * 0.35;
-    // The read path is concurrent: polls overlapped inside the agent.
-    let overlapped = peak_conc >= 2;
-    // With real cores to scale onto, demand actual growth too.
-    let scaled = cores < 4 || last_rate > first_rate * 1.3;
+    // The pass predicates are pure functions in `rcb_bench::gates` (unit
+    // tested on synthetic results, so the gate logic itself is covered
+    // without sockets): no lock convoy, observed overlap, and — with real
+    // cores to scale onto — actual growth.
+    let no_collapse = gates::no_collapse(first_rate, last_rate);
+    let overlapped = gates::polls_overlapped(peak_conc);
+    let scaled = gates::scaling_ok(cores, first_rate, last_rate);
     println!(
         "cores={cores}  no-collapse: {no_collapse} ({first_rate:.0} → {last_rate:.0} polls/s)  \
          polls overlapped: {overlapped} (peak {peak_conc})  scaling: {}",
@@ -472,13 +514,13 @@ fn main() {
         "{:>12} {:>12} {:>14} {:>12} {:>14}",
         "payload B", "xml B", "content polls", "copied B", "copied/poll"
     );
-    let mut zero_copy = true;
+    let mut copied_per_point = Vec::new();
     let mut sweep_rows = String::new();
     for payload in [16 << 10, 64 << 10, 256 << 10, 1 << 20] {
         let (xml_bytes, content_polls, total_polls, copied) =
             run_payload_point(backend, payload, sweep_rounds);
         let per_poll = copied as f64 / total_polls.max(1) as f64;
-        zero_copy &= copied == 0;
+        copied_per_point.push(copied);
         println!("{payload:>12} {xml_bytes:>12} {content_polls:>14} {copied:>12} {per_poll:>14.1}");
         let _ = write!(
             sweep_rows,
@@ -488,6 +530,7 @@ fn main() {
             if sweep_rows.is_empty() { "" } else { "," }
         );
     }
+    let zero_copy = gates::zero_copy_ok(copied_per_point.iter().copied());
     println!(
         "zero-copy read path: {}",
         if zero_copy {
@@ -500,9 +543,9 @@ fn main() {
     // Regeneration overlap: generation runs outside the host mutex, so
     // merge-carrying polls keep their quiescent latency during a storm.
     let (q_p99, d_p99, avg_regen) = run_regen_overlap(backend);
-    let regen_bound = (2 * q_p99).max(10_000);
+    let regen_bound = gates::regen_bound_us(q_p99);
     let regen_enforced = cores >= 2;
-    let regen_ok = !regen_enforced || d_p99 <= regen_bound;
+    let regen_ok = gates::regen_overlap_ok(cores, q_p99, d_p99);
     println!(
         "regen overlap: quiescent p99 {q_p99} us, during-regen p99 {d_p99} us \
          (bound {regen_bound} us, avg regen {avg_regen} us): {}",
@@ -516,7 +559,7 @@ fn main() {
     );
 
     let (content, ts, content_ev, ts_ev) = run_memory_bound(backend, versions);
-    let bounded = content <= LIVE_GENERATIONS && ts <= LIVE_GENERATIONS;
+    let bounded = gates::memory_bounded(content, ts, LIVE_GENERATIONS);
     println!(
         "memory bound after {versions} DOM versions: content_cache={content} \
          timestamps={ts} (bound {LIVE_GENERATIONS}), evictions content={content_ev} \
@@ -524,24 +567,35 @@ fn main() {
         if bounded { "ok" } else { "FAILED" }
     );
 
-    // Connection hold: the epoll backend must sustain ≥ 256 concurrent
-    // keep-alive connections with a dispatch pool far smaller than the
-    // connection count (its ceiling is the fd limit); the workers backend
-    // is held to what its rotation design affords.
-    let hold_target = match backend {
-        ServerBackend::Epoll => 256,
-        ServerBackend::Workers => 32,
-    };
-    let (hold_conns, hold_pool, hold_ok) = run_conn_hold(backend, hold_target, 2);
+    // Connection hold: the epoll engines must sustain ≥ 256 concurrent
+    // keep-alive connections *per shard* with a dispatch pool far smaller
+    // than the connection count (their ceiling is the fd limit, read via
+    // the prlimit64 shim and respected by the target); the workers
+    // backend is held to what its rotation design affords. On the sharded
+    // backend the phase also requires the connections to have spread
+    // across every event loop.
+    let hold_target = gates::conn_hold_target(backend, shards, rcb_util::nofile_soft());
+    let (hold_conns, hold_pool, hold_ok, hold_spread) = run_conn_hold(backend, hold_target, 2);
     println!(
         "connection hold: {hold_conns} concurrent keep-alive connections on a \
-         {hold_pool}-thread pool ({backend}): {}",
+         {hold_pool}-thread pool ({backend}{}): {}",
+        if hold_spread.is_empty() {
+            String::new()
+        } else {
+            format!(", per-shard {hold_spread:?}")
+        },
         if hold_ok { "ok" } else { "FAILED" }
     );
 
     // Machine-readable result, alongside the human output.
+    let per_shard_json = hold_spread
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
         "{{\n\"bench\":\"scale1\",\n\"mode\":\"{mode}\",\n\"backend\":\"{backend}\",\n\
+         \"shards\":{shards},\n\
          \"cores\":{cores},\n\
          \"throughput\":[{throughput_rows}],\n\
          \"throughput_sum\":{rate_sum:.1},\n\
@@ -550,7 +604,8 @@ fn main() {
          \"avg_regen_us\":{avg_regen},\"bound_us\":{regen_bound},\"enforced\":{regen_enforced}}},\n\
          \"memory_bound\":{{\"versions\":{versions},\"content_cache\":{content},\
          \"timestamps\":{ts},\"bound\":{LIVE_GENERATIONS}}},\n\
-         \"conn_hold\":{{\"connections\":{hold_conns},\"pool\":{hold_pool},\"ok\":{hold_ok}}},\n\
+         \"conn_hold\":{{\"connections\":{hold_conns},\"pool\":{hold_pool},\
+         \"per_shard\":[{per_shard_json}],\"ok\":{hold_ok}}},\n\
          \"pass\":{{\"no_collapse\":{no_collapse},\"overlapped\":{overlapped},\
          \"scaled\":{scaled},\"zero_copy\":{zero_copy},\"regen_overlap\":{regen_ok},\
          \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok}}}\n}}\n",
@@ -575,30 +630,22 @@ fn main() {
     // memory bound, connection hold) still gate — and the baseline should
     // be refreshed from a run in this configuration.
     let mode = if smoke { "smoke" } else { "full" };
+    let run_config = gates::GateConfig {
+        cores,
+        mode: mode.to_string(),
+        backend: backend.label().to_string(),
+        shards,
+    };
     let mut regression = false;
     if let Some(baseline_path) = compare_path {
         match std::fs::read_to_string(&baseline_path) {
             Ok(text) => {
-                let baseline_cores = json_scalar(&text, "cores").unwrap_or(0.0) as usize;
-                let baseline_mode = if text.contains("\"mode\":\"smoke\"") {
-                    "smoke"
-                } else {
-                    "full"
-                };
-                // Baselines predating the backend field were recorded on
-                // the only backend that existed: workers.
-                let baseline_backend = if text.contains("\"backend\":\"epoll\"") {
-                    "epoll"
-                } else {
-                    "workers"
-                };
-                let armed = baseline_cores == cores
-                    && baseline_mode == mode
-                    && baseline_backend == backend.label();
+                let baseline = baseline_config(&text);
+                let armed = gates::compare_gate_armed(&baseline, &run_config);
                 match json_scalar(&text, "throughput_sum") {
                     Some(baseline_sum) if baseline_sum > 0.0 && armed => {
                         let ratio = rate_sum / baseline_sum;
-                        regression = ratio < 0.8;
+                        regression = gates::throughput_regressed(rate_sum, baseline_sum);
                         println!(
                             "baseline compare: {rate_sum:.0} vs {baseline_sum:.0} polls/s \
                              (ratio {ratio:.2}): {}",
@@ -607,11 +654,13 @@ fn main() {
                     }
                     Some(baseline_sum) if baseline_sum > 0.0 => {
                         println!(
-                            "baseline compare: gate disarmed (baseline cores={baseline_cores}, \
-                             machine cores={cores}; baseline mode={baseline_mode}, run \
-                             mode={mode}; baseline backend={baseline_backend}, run \
-                             backend={backend}) — throughput gate not live; refresh \
-                             {baseline_path} from a run in this configuration"
+                            "baseline compare: gate disarmed (baseline cores={}, \
+                             machine cores={cores}; baseline mode={}, run \
+                             mode={mode}; baseline backend={}, run \
+                             backend={backend}; baseline shards={}, run \
+                             shards={shards}) — throughput gate not live; refresh \
+                             {baseline_path} from a run in this configuration",
+                            baseline.cores, baseline.mode, baseline.backend, baseline.shards
                         );
                     }
                     _ => {

@@ -1,0 +1,283 @@
+//! The `scale1` pass/fail gate predicates, as pure functions.
+//!
+//! `scale1` is itself a gate in CI, so a bug in its pass logic is a bug
+//! in the safety net: a predicate that silently always passes would wave
+//! regressions through, one that misfires would redden CI on healthy
+//! code. Factoring the predicates out of the binary makes them unit
+//! testable on synthetic phase results — no sockets, no timing — so a
+//! gate regression is caught by `cargo test` alone.
+//!
+//! Every function here is pure: inputs are the measured phase results
+//! (rates, percentiles, counters) plus frozen machine facts (core count,
+//! fd limit) that the *binary* reads once and passes in.
+
+use rcb_http::server::ServerBackend;
+
+// ---------------------------------------------------------------------------
+// Throughput-phase gates
+// ---------------------------------------------------------------------------
+
+/// No lock convoy: adding participants must not collapse the aggregate
+/// poll rate. The global-lock design degraded to a fraction of its
+/// single-participant rate as contenders serialized; a healthy concurrent
+/// read path keeps the loaded rate above 35% of the unloaded one even on
+/// a saturated single-core machine.
+pub fn no_collapse(first_rate: f64, last_rate: f64) -> bool {
+    last_rate > first_rate * 0.35
+}
+
+/// The read path is actually concurrent: at least two polls were observed
+/// inside the agent simultaneously at some point during the run.
+pub fn polls_overlapped(peak_concurrency: u64) -> bool {
+    peak_concurrency >= 2
+}
+
+/// With real cores to scale onto, demand genuine growth too (on fewer
+/// than 4 cores wall-clock growth is not physically available, so the
+/// gate passes vacuously and `no_collapse` carries the load).
+pub fn scaling_ok(cores: usize, first_rate: f64, last_rate: f64) -> bool {
+    cores < 4 || last_rate > first_rate * 1.3
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy / regeneration / memory gates
+// ---------------------------------------------------------------------------
+
+/// The zero-copy read path: every payload-sweep point must report exactly
+/// zero heap-copied response-body bytes.
+pub fn zero_copy_ok(copied_per_point: impl IntoIterator<Item = u64>) -> bool {
+    copied_per_point.into_iter().all(|copied| copied == 0)
+}
+
+/// The p99 bound a during-regeneration poll must stay within: twice the
+/// quiescent p99, floored at 10 ms so scheduler noise on a quiet machine
+/// cannot fail the gate.
+pub fn regen_bound_us(quiescent_p99_us: u64) -> u64 {
+    (2 * quiescent_p99_us).max(10_000)
+}
+
+/// Content generation runs outside the host mutex: polls during a
+/// regeneration storm keep (twice) their quiescent latency. Enforced only
+/// with ≥ 2 cores — on one core the storm and the polls time-share the
+/// CPU and the measurement means nothing.
+pub fn regen_overlap_ok(cores: usize, quiescent_p99_us: u64, during_p99_us: u64) -> bool {
+    cores < 2 || during_p99_us <= regen_bound_us(quiescent_p99_us)
+}
+
+/// The agent's generated-content and timestamp maps stay within the
+/// two-generation bound regardless of how many DOM versions passed.
+pub fn memory_bounded(content_cache: usize, timestamps: usize, bound: usize) -> bool {
+    content_cache <= bound && timestamps <= bound
+}
+
+// ---------------------------------------------------------------------------
+// Connection-hold gate
+// ---------------------------------------------------------------------------
+
+/// How many concurrent keep-alive connections the hold phase demands:
+/// 256 per event-loop shard on the epoll engines (whose ceiling is the fd
+/// limit), 32 on the workers backend (whose ceiling is the rotation
+/// design). When the process fd limit is known, the target is capped so
+/// the bench fits — each held loopback connection costs two fds in the
+/// bench process (client end + server end), plus headroom for everything
+/// else — and never drops below the workers floor.
+pub fn conn_hold_target(backend: ServerBackend, shards: usize, nofile_soft: Option<u64>) -> usize {
+    let base = match backend {
+        ServerBackend::Workers => 32,
+        ServerBackend::Epoll => 256,
+        ServerBackend::EpollSharded(_) => 256 * shards.max(1),
+    };
+    match nofile_soft {
+        Some(limit) => base.min((limit.saturating_sub(128) / 2) as usize).max(32),
+        None => base,
+    }
+}
+
+/// Sharded hold runs must actually have exercised every event loop.
+/// (Vacuously true off the sharded backend, where there is no spread to
+/// check — the slice is empty.)
+pub fn shard_spread_ok(connections_per_shard: &[u64]) -> bool {
+    connections_per_shard.iter().all(|&c| c > 0)
+}
+
+// ---------------------------------------------------------------------------
+// Baseline-comparison gate
+// ---------------------------------------------------------------------------
+
+/// The run configuration a baseline must match for the absolute
+/// throughput comparison to be meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateConfig {
+    /// Available cores when the numbers were recorded.
+    pub cores: usize,
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Backend label (`"workers"` / `"epoll"` / `"epoll-sharded"`).
+    pub backend: String,
+    /// Resolved shard count (1 for non-sharded backends).
+    pub shards: usize,
+}
+
+/// The >20% regression gate arms only when the baseline was recorded in
+/// the same configuration — same hardware class, same load shape, same
+/// engine. Anything else compares apples to oranges and must print an
+/// explicit "gate disarmed" line instead of failing or silently passing.
+pub fn compare_gate_armed(baseline: &GateConfig, run: &GateConfig) -> bool {
+    baseline == run
+}
+
+/// More than 20% below the baseline aggregate throughput is a regression.
+/// A non-positive baseline never arms this far (the caller fails the run
+/// on a malformed baseline instead).
+pub fn throughput_regressed(current_sum: f64, baseline_sum: f64) -> bool {
+    baseline_sum > 0.0 && current_sum / baseline_sum < 0.8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_gate_tracks_the_35_percent_floor() {
+        assert!(no_collapse(1000.0, 1000.0), "flat is healthy");
+        assert!(no_collapse(1000.0, 360.0), "just above the floor");
+        assert!(!no_collapse(1000.0, 350.0), "at the floor fails");
+        assert!(!no_collapse(1000.0, 80.0), "the lock-convoy signature");
+        // A run that served zero polls is a failure, not a pass — the
+        // strict inequality keeps the degenerate case red.
+        assert!(!no_collapse(0.0, 0.0));
+    }
+
+    #[test]
+    fn overlap_gate_needs_two_in_flight() {
+        assert!(!polls_overlapped(0));
+        assert!(!polls_overlapped(1));
+        assert!(polls_overlapped(2));
+        assert!(polls_overlapped(64));
+    }
+
+    #[test]
+    fn scaling_gate_is_parallelism_aware() {
+        // Under 4 cores the gate is vacuous, whatever the rates did.
+        assert!(scaling_ok(1, 1000.0, 400.0));
+        assert!(scaling_ok(3, 1000.0, 1000.0));
+        // With cores available, 1.3x growth is demanded.
+        assert!(scaling_ok(4, 1000.0, 1301.0));
+        assert!(!scaling_ok(4, 1000.0, 1300.0));
+        assert!(!scaling_ok(16, 1000.0, 900.0));
+    }
+
+    #[test]
+    fn zero_copy_gate_fails_on_any_copied_byte() {
+        assert!(zero_copy_ok([0, 0, 0, 0]));
+        assert!(zero_copy_ok([]));
+        assert!(!zero_copy_ok([0, 0, 1, 0]));
+        assert!(!zero_copy_ok([u64::MAX]));
+    }
+
+    #[test]
+    fn regen_gate_doubles_with_a_floor() {
+        assert_eq!(regen_bound_us(1_000), 10_000, "floored for quiet machines");
+        assert_eq!(regen_bound_us(5_000), 10_000);
+        assert_eq!(regen_bound_us(6_000), 12_000, "2x past the floor");
+        // Enforced only with ≥ 2 cores.
+        assert!(regen_overlap_ok(1, 1_000, 1_000_000));
+        assert!(regen_overlap_ok(2, 6_000, 12_000));
+        assert!(!regen_overlap_ok(2, 6_000, 12_001));
+        assert!(regen_overlap_ok(8, 1_000, 10_000), "floor absorbs noise");
+    }
+
+    #[test]
+    fn memory_gate_bounds_both_maps() {
+        assert!(memory_bounded(2, 2, 2));
+        assert!(memory_bounded(0, 1, 2));
+        assert!(!memory_bounded(3, 2, 2), "content cache over");
+        assert!(!memory_bounded(2, 3, 2), "timestamps over");
+    }
+
+    #[test]
+    fn conn_hold_targets_scale_with_shards() {
+        assert_eq!(conn_hold_target(ServerBackend::Workers, 1, None), 32);
+        assert_eq!(conn_hold_target(ServerBackend::Epoll, 1, None), 256);
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(2), 2, None),
+            512,
+            "the 2-shard acceptance point"
+        );
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(8), 8, None),
+            2048
+        );
+        // Shard count 0 is treated as 1 (defensive; resolution happens
+        // upstream).
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(0), 0, None),
+            256
+        );
+    }
+
+    #[test]
+    fn conn_hold_target_respects_the_fd_budget() {
+        // 20000 fds: plenty for the 2-shard target.
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(2), 2, Some(20_000)),
+            512
+        );
+        // 1024 fds: 8 shards want 2048 conns = 4096 fds; capped to what
+        // fits ((1024 - 128) / 2 = 448).
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(8), 8, Some(1_024)),
+            448
+        );
+        // Pathologically tiny limits still leave the workers floor.
+        assert_eq!(
+            conn_hold_target(ServerBackend::EpollSharded(2), 2, Some(64)),
+            32
+        );
+        assert_eq!(conn_hold_target(ServerBackend::Workers, 1, Some(1_024)), 32);
+    }
+
+    #[test]
+    fn shard_spread_needs_every_loop_used() {
+        assert!(shard_spread_ok(&[]), "non-sharded runs are vacuous");
+        assert!(shard_spread_ok(&[128, 128]));
+        assert!(shard_spread_ok(&[1, 255]));
+        assert!(!shard_spread_ok(&[256, 0]), "an idle shard fails");
+    }
+
+    #[test]
+    fn compare_gate_arms_only_on_matching_config() {
+        let base = GateConfig {
+            cores: 4,
+            mode: "smoke".into(),
+            backend: "epoll-sharded".into(),
+            shards: 2,
+        };
+        assert!(compare_gate_armed(&base, &base.clone()));
+        for (cores, mode, backend, shards) in [
+            (8, "smoke", "epoll-sharded", 2),
+            (4, "full", "epoll-sharded", 2),
+            (4, "smoke", "epoll", 2),
+            (4, "smoke", "epoll-sharded", 4),
+        ] {
+            let run = GateConfig {
+                cores,
+                mode: mode.into(),
+                backend: backend.into(),
+                shards,
+            };
+            assert!(!compare_gate_armed(&base, &run), "{run:?}");
+        }
+    }
+
+    #[test]
+    fn regression_gate_is_20_percent() {
+        assert!(!throughput_regressed(800.0, 1000.0), "exactly -20% passes");
+        assert!(throughput_regressed(799.0, 1000.0));
+        assert!(!throughput_regressed(1200.0, 1000.0), "improvement passes");
+        assert!(
+            !throughput_regressed(100.0, 0.0),
+            "non-positive baseline never arms here"
+        );
+    }
+}

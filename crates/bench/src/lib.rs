@@ -3,7 +3,10 @@
 //! One binary per table/figure regenerates the paper's series (see
 //! DESIGN.md §4 for the index); this library holds the experiment
 //! runners, the paper's published numbers for side-by-side reporting,
-//! and the pretty-printers.
+//! the pretty-printers, and the [`gates`] module of pure pass/fail
+//! predicates behind the `scale1` CI gate.
+
+pub mod gates;
 
 use rcb_core::agent::{AgentConfig, CacheMode};
 use rcb_core::metrics::PageMetrics;

@@ -45,13 +45,16 @@
 //! Unix epoch (§4.1.1), via [`SimTime::from_unix_millis`] — not a wrapped
 //! count (the old `% 1_000_000_000` mapping recurred every ~11.6 days).
 //!
-//! The socket itself is served by either of two interchangeable backends
+//! The socket itself is served by any of three interchangeable backends
 //! behind the same `Handler` (see [`ServerBackend`]): the bounded worker
-//! pool, or the event-driven epoll loop whose connection ceiling is the fd
-//! limit rather than the thread count. Select via
-//! [`ServerConfig::backend`] or the `RCB_SERVER_BACKEND` environment
+//! pool, the event-driven epoll loop whose connection ceiling is the fd
+//! limit rather than the thread count, or the sharded epoll engine that
+//! spreads connections round-robin across several independent event
+//! loops (`RCB_SERVER_SHARDS` loops, default: available cores). Select
+//! via [`ServerConfig::backend`] or the `RCB_SERVER_BACKEND` environment
 //! variable; everything above the handler — snapshots, shards, prefab
-//! wire images — is backend-agnostic.
+//! wire images — is backend-agnostic, and the agent's participant shards
+//! are unrelated to (and compose freely with) the server's loop shards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -482,11 +485,19 @@ impl TcpHost {
         self.server.addr()
     }
 
-    /// The server backend servicing this host's socket (workers pool or
-    /// epoll event loop — see [`ServerBackend`]; defaults follow the
-    /// `RCB_SERVER_BACKEND` environment variable).
+    /// The server backend servicing this host's socket (workers pool,
+    /// epoll event loop, or sharded epoll — see [`ServerBackend`];
+    /// defaults follow the `RCB_SERVER_BACKEND` environment variable).
+    /// Sharded backends report their resolved shard count.
     pub fn backend(&self) -> ServerBackend {
         self.server.backend()
+    }
+
+    /// Engine-level counters from the server under the agent: accept
+    /// errors survived, connections accepted, and — on the sharded epoll
+    /// backend — how they were distributed across event-loop shards.
+    pub fn server_stats(&self) -> rcb_http::server::ServerStats {
+        self.server.stats()
     }
 
     /// The session key to share out of band.
@@ -801,6 +812,79 @@ mod tests {
         );
         // Zero-copy accounting holds on the nonblocking write path too.
         assert_eq!(host.stats().body_bytes_copied, 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn full_session_on_sharded_backend() {
+        // The same session flow on the sharded engine, with enough
+        // participants to land on every event-loop shard: joins, polls,
+        // a live mutation, and a co-fill merge must all behave exactly as
+        // on the single-loop backends, with connections spread round-robin.
+        if !rcb_http::server::EPOLL_SUPPORTED {
+            return;
+        }
+        const SHARDS: usize = 2;
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse("http://demo.local/").unwrap());
+        browser.doc = Some(rcb_html::parse_document(PAGE));
+        browser.mutate_dom(|_| {}).unwrap();
+        let mut host = TcpHost::start_from_browser(
+            "127.0.0.1:0",
+            browser,
+            key.clone(),
+            AgentConfig::default(),
+            ServerConfig {
+                backend: ServerBackend::EpollSharded(SHARDS),
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(host.backend(), ServerBackend::EpollSharded(SHARDS));
+        let addr = host.addr().to_string();
+        let mut participants: Vec<TcpParticipant> = (1..=4)
+            .map(|pid| TcpParticipant::join(&addr, key.clone(), pid).unwrap())
+            .collect();
+        for p in &mut participants {
+            assert!(matches!(p.poll().unwrap(), SnippetOutcome::Updated { .. }));
+        }
+        host.mutate_page(|doc| {
+            let body = doc.body().unwrap();
+            let div = doc.create_element("div");
+            let t = doc.create_text("sharded update");
+            doc.append_child(div, t).unwrap();
+            doc.append_child(body, div).unwrap();
+        })
+        .unwrap();
+        for p in &mut participants {
+            p.poll_until_update(10, std::time::Duration::from_millis(20))
+                .unwrap();
+            let doc = p.browser.doc.as_ref().unwrap();
+            assert!(doc.text_content(doc.root()).contains("sharded update"));
+        }
+        participants[0].act(UserAction::FormInput {
+            form: "f".into(),
+            field: "note".into(),
+            value: "via shards".into(),
+        });
+        participants[0].poll().unwrap();
+        assert_eq!(
+            host.form_fields("f"),
+            vec![("note".to_string(), "via shards".to_string())]
+        );
+        // Zero-copy accounting holds across shards, and the four
+        // persistent connections were spread over both loops.
+        assert_eq!(host.stats().body_bytes_copied, 0);
+        let server = host.server_stats();
+        assert_eq!(server.shards, SHARDS);
+        assert_eq!(server.connections_accepted, 4);
+        assert!(
+            server.connections_per_shard.iter().all(|&c| c == 2),
+            "round-robin spread, got {:?}",
+            server.connections_per_shard
+        );
         host.shutdown();
     }
 

@@ -1,29 +1,45 @@
-//! The event-driven epoll server backend.
+//! The event-driven epoll server engine: one or many event-loop shards.
 //!
 //! Where the worker-pool backend ([`crate::server`]) burns one blocked
 //! thread per in-flight connection (capping concurrent keep-alive sessions
-//! at the worker count), this backend holds every connection on a single
-//! event-loop thread over nonblocking sockets: raw `epoll` readiness (via
-//! the libc-free syscall shims in [`rcb_util::sys`]) drives a
-//! per-connection state machine — read/parse, dispatch to the shared
-//! [`Handler`], staged zero-copy write with partial-write resumption,
-//! keep-alive reset. The connection ceiling becomes the process fd limit,
-//! not the thread count.
+//! at the worker count), this engine holds every connection on nonblocking
+//! sockets driven by raw `epoll` readiness (via the libc-free syscall
+//! shims in [`rcb_util::sys`]). The unit of the engine is the
+//! [`LoopShard`]: one thread owning its own epoll instance,
+//! connection-slot table, socketpair waker, and blocking-dispatch pool,
+//! running the per-connection state machine — read/parse, dispatch to the
+//! shared [`Handler`], staged zero-copy write with partial-write
+//! resumption, keep-alive reset.
 //!
-//! `Handler` calls are synchronous and may be arbitrarily slow (a poll that
-//! triggers a merge takes the host mutex), so the loop never invokes the
-//! handler itself: parsed requests are handed to a small blocking-dispatch
-//! thread pool, and finished responses come back over a completion queue
-//! plus a socketpair waker. Requests pipelined on one connection are
-//! dispatched one at a time, so responses always return in request order;
-//! requests on *different* connections run concurrently up to the pool
-//! size.
+//! [`ServerBackend::Epoll`](crate::server::ServerBackend::Epoll) runs one
+//! shard; [`ServerBackend::EpollSharded`](crate::server::ServerBackend::EpollSharded)
+//! runs `n` of them (`SO_REUSEPORT`-style scale-out) — same state machine,
+//! the single loop is literally the `n = 1` case. Shard 0 is the
+//! **acceptor shard**: it owns the listening socket and distributes
+//! accepted connections round-robin — its own share it registers directly,
+//! a peer's share travels through that shard's handoff inbox followed by a
+//! waker byte (an `EPOLL_CTL_ADD` handoff executed by the owning loop, so
+//! slot tables stay loop-private and unlocked). The `sys` shim also offers
+//! `SO_REUSEPORT` for the per-loop-listener alternative; round-robin
+//! handoff was chosen because it keeps the distribution deterministic and
+//! the listener lifecycle (mute-with-backoff on transient accept errors)
+//! in exactly one place.
+//!
+//! `Handler` calls are synchronous and may be arbitrarily slow (a poll
+//! that triggers a merge takes the host mutex), so no loop ever invokes
+//! the handler itself: parsed requests go to the shard's small
+//! blocking-dispatch thread pool, and finished responses come back over
+//! the shard's completion queue plus its waker. Requests pipelined on one
+//! connection are dispatched one at a time, so responses always return in
+//! request order; requests on *different* connections run concurrently up
+//! to the shard's pool size, and different shards share nothing but the
+//! handler `Arc` — there is no cross-shard lock on any per-request path.
 //!
 //! The write path reuses the same zero-copy shapes as the blocking server:
 //! prefab wire images go to the socket verbatim from their `Arc`, and
 //! non-prefab responses are head + body vectored writes
 //! ([`crate::serialize::ResponseWriter`]) — a `WouldBlock` mid-response
-//! parks the cursor and the loop resumes on the next `EPOLLOUT`.
+//! parks the cursor and the owning loop resumes on the next `EPOLLOUT`.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -35,21 +51,22 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rcb_util::fault;
 use rcb_util::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use rcb_util::Result;
 
 use crate::message::{Request, Response, Status};
 use crate::parse::RequestParser;
 use crate::serialize::{ResponseWriter, WriteProgress};
-use crate::server::{Handler, ServerConfig};
+use crate::server::{Handler, ServerConfig, ServerStats};
 
 /// This module variant is the real backend (see `epoll_stub.rs` for the
 /// other half of the contract behind `server::EPOLL_SUPPORTED`).
 pub(crate) const SUPPORTED: bool = true;
 
-/// Epoll token of the listening socket.
+/// Epoll token of the listening socket (acceptor shard only).
 const TOKEN_LISTENER: u64 = u64::MAX;
-/// Epoll token of the dispatch-completion waker.
+/// Epoll token of the shard's waker (handoffs, completions, shutdown).
 const TOKEN_WAKER: u64 = u64::MAX - 1;
 
 /// Cap on parsed-but-undispatched requests buffered per connection: past
@@ -63,36 +80,45 @@ const PIPELINE_LIMIT: usize = 64;
 const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
 const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
-/// A request handed to the dispatch pool.
+/// A request handed to a shard's dispatch pool.
 struct Job {
     token: u64,
     request: Request,
     close: bool,
 }
 
-/// A handler result travelling back to the event loop.
+/// A handler result travelling back to the owning shard's event loop.
 struct Completion {
     token: u64,
     response: Response,
     close: bool,
 }
 
-/// Queues shared between the event loop and the dispatch pool.
-struct DispatchShared {
+/// Everything a shard shares with threads outside its event loop: the
+/// dispatch queues (loop ↔ dispatch pool) and the handoff inbox (acceptor
+/// shard → this shard). All leaves, held only for a push or a pop.
+struct ShardShared {
     jobs: Mutex<VecDeque<Job>>,
     /// Signaled when a job is queued (dispatch threads wait on this).
     available: Condvar,
     completions: Mutex<Vec<Completion>>,
+    /// Accepted connections handed off by the acceptor shard, awaiting
+    /// registration on this shard's epoll (drained by the owning loop).
+    inbox: Mutex<Vec<TcpStream>>,
     stop: AtomicBool,
+    /// Connections this shard has registered over its lifetime (stats).
+    conns_assigned: AtomicU64,
 }
 
-impl DispatchShared {
-    fn new() -> DispatchShared {
-        DispatchShared {
+impl ShardShared {
+    fn new() -> ShardShared {
+        ShardShared {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
+            conns_assigned: AtomicU64::new(0),
         }
     }
 
@@ -118,9 +144,9 @@ impl DispatchShared {
     }
 }
 
-/// Wakes the event loop out of `epoll_wait` (dispatch completions,
-/// shutdown). One byte on a nonblocking socketpair; a full pipe means a
-/// wake is already pending, which is all a waker needs.
+/// Wakes a shard's event loop out of `epoll_wait` (dispatch completions,
+/// connection handoffs, shutdown). One byte on a nonblocking socketpair; a
+/// full pipe means a wake is already pending, which is all a waker needs.
 #[derive(Clone)]
 struct WakeHandle(Arc<UnixStream>);
 
@@ -130,9 +156,35 @@ impl WakeHandle {
     }
 }
 
+/// The externally visible face of one shard: enough to feed it work
+/// (handoffs), wake it, stop it, and read its counters. Clonable; the
+/// acceptor shard holds one per peer, the server facade one per shard.
+#[derive(Clone)]
+struct ShardHandle {
+    shared: Arc<ShardShared>,
+    waker: WakeHandle,
+}
+
+impl ShardHandle {
+    /// Hands an accepted connection to this shard: inbox push + wake. The
+    /// owning loop registers it on its own epoll (slot tables never cross
+    /// threads).
+    fn hand_off(&self, stream: TcpStream) {
+        {
+            let mut inbox = self
+                .shared
+                .inbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inbox.push(stream);
+        }
+        self.waker.wake();
+    }
+}
+
 /// One dispatch-pool thread: pop a job, run the handler, return the
-/// completion, wake the loop.
-fn dispatch_worker(shared: Arc<DispatchShared>, handler: Handler, waker: WakeHandle) {
+/// completion, wake the owning loop.
+fn dispatch_worker(shared: Arc<ShardShared>, handler: Handler, waker: WakeHandle) {
     loop {
         let job = {
             let mut q = shared
@@ -174,7 +226,7 @@ fn dispatch_worker(shared: Arc<DispatchShared>, handler: Handler, waker: WakeHan
     }
 }
 
-/// One connection's state machine, owned by the event loop.
+/// One connection's state machine, owned by exactly one shard's loop.
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
@@ -244,7 +296,7 @@ fn read_conn(conn: &mut Conn) -> Verdict {
 /// Pushes the connection's state machine as far as it will go without
 /// blocking: finish the in-flight write, then dispatch the next request or
 /// emit the deferred 400, until the socket blocks or the machine idles.
-fn advance_conn(conn: &mut Conn, dispatch: &DispatchShared) -> Verdict {
+fn advance_conn(conn: &mut Conn, dispatch: &ShardShared) -> Verdict {
     loop {
         let Conn { write, stream, .. } = conn;
         if let Some(writer) = write.as_mut() {
@@ -310,30 +362,48 @@ fn token_parts(token: u64) -> (usize, u32) {
     ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
 }
 
-/// The event loop: owns the listener, the epoll instance, and every
-/// connection. Everything socket-shaped happens on this one thread.
-struct EventLoop {
-    epoll: Epoll,
+/// The accept half, present only on shard 0: the listener, the
+/// round-robin pointer over every shard, and the mute-with-backoff state
+/// for transient accept errors.
+struct Acceptor {
     listener: TcpListener,
-    waker_rx: UnixStream,
-    dispatch: Arc<DispatchShared>,
+    /// Handles to every shard, index-aligned; entry 0 is the acceptor
+    /// shard itself (registered directly, not through the inbox).
+    shards: Vec<ShardHandle>,
+    /// Next shard in the round-robin rotation.
+    next_shard: usize,
     accept_errors: Arc<AtomicU64>,
-    slots: Vec<Slot>,
-    free: Vec<usize>,
     /// Listener muted (deregistered) until this instant after a transient
     /// accept error — the event-loop version of accept backoff.
     listener_muted_until: Option<Instant>,
     accept_backoff: Duration,
 }
 
-impl EventLoop {
+/// One event-loop shard: a thread owning an epoll instance, a slot table
+/// of connections, a waker, and (through [`ShardShared`]) its dispatch
+/// pool. Shard 0 additionally owns the [`Acceptor`]. Everything
+/// socket-shaped for a given connection happens on its owning shard's
+/// thread; the single-loop backend is the one-shard instance of this
+/// struct, not a separate implementation.
+struct LoopShard {
+    epoll: Epoll,
+    waker_rx: UnixStream,
+    shared: Arc<ShardShared>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Present only on the acceptor shard (index 0).
+    acceptor: Option<Acceptor>,
+}
+
+impl LoopShard {
     fn run(mut self) {
         let mut events = vec![EpollEvent::zeroed(); 1024];
-        while !self.dispatch.stopped() {
+        while !self.shared.stopped() {
             // The 50 ms ceiling is the stop-flag safety net; a muted
             // listener shortens the wait to its unmute deadline so a 1 ms
             // accept backoff is not quantized up to a full tick.
-            let timeout = match self.listener_muted_until {
+            let muted_until = self.acceptor.as_ref().and_then(|a| a.listener_muted_until);
+            let timeout = match muted_until {
                 Some(deadline) => (deadline
                     .saturating_duration_since(Instant::now())
                     .as_millis() as i32)
@@ -352,6 +422,7 @@ impl EventLoop {
                     token => self.conn_event(token, ev.events()),
                 }
             }
+            self.adopt_handoffs();
             self.process_completions();
             self.maybe_unmute_listener();
             if accept_ready {
@@ -365,25 +436,57 @@ impl EventLoop {
         while matches!(self.waker_rx.read(&mut buf), Ok(n) if n > 0) {}
     }
 
-    /// Accepts until the listener runs dry; a transient error (EMFILE,
-    /// ECONNABORTED, ...) mutes the listener for a backoff window instead
-    /// of busy-looping on a level-triggered readable listener.
+    /// Registers connections the acceptor shard handed to this shard.
+    fn adopt_handoffs(&mut self) {
+        let streams = {
+            let mut inbox = self
+                .shared
+                .inbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *inbox)
+        };
+        for stream in streams {
+            self.register_conn(stream);
+        }
+    }
+
+    /// Accepts until the listener runs dry, spreading connections across
+    /// shards round-robin; a transient error (EMFILE, ECONNABORTED, ...)
+    /// mutes the listener for a backoff window instead of busy-looping on
+    /// a level-triggered readable listener. No-op on non-acceptor shards.
     fn accept_drain(&mut self) {
-        if self.listener_muted_until.is_some() {
+        if self.acceptor.is_none() {
             return;
         }
         loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.accept_backoff = ACCEPT_BACKOFF_START;
-                    self.register_conn(stream);
+            let acc = self.acceptor.as_mut().expect("checked above");
+            if acc.listener_muted_until.is_some() {
+                return;
+            }
+            // Test-only fault hook: an armed Accept fault behaves exactly
+            // like the kernel refusing the accept.
+            let accepted = match fault::take(fault::Op::Accept) {
+                Some(e) => Err(e),
+                None => acc.listener.accept().map(|(stream, _)| stream),
+            };
+            match accepted {
+                Ok(stream) => {
+                    acc.accept_backoff = ACCEPT_BACKOFF_START;
+                    let target = acc.next_shard;
+                    acc.next_shard = (acc.next_shard + 1) % acc.shards.len();
+                    if target == 0 {
+                        self.register_conn(stream);
+                    } else {
+                        acc.shards[target].hand_off(stream);
+                    }
                 }
                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(_) => {
-                    self.accept_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = self.epoll.delete(self.listener.as_raw_fd());
-                    self.listener_muted_until = Some(Instant::now() + self.accept_backoff);
-                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    acc.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.epoll.delete(acc.listener.as_raw_fd());
+                    acc.listener_muted_until = Some(Instant::now() + acc.accept_backoff);
+                    acc.accept_backoff = (acc.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
                     break;
                 }
             }
@@ -391,27 +494,38 @@ impl EventLoop {
     }
 
     fn maybe_unmute_listener(&mut self) {
-        if let Some(deadline) = self.listener_muted_until {
-            if Instant::now() >= deadline {
-                if self
-                    .epoll
-                    .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
-                    .is_ok()
-                {
-                    self.listener_muted_until = None;
-                    // Level-triggered: pending connections re-fire on the
-                    // next wait, but accept now to shave a tick.
-                    self.accept_drain();
-                } else {
-                    // Registration failed (likely the same resource
-                    // pressure that caused the mute): stay muted for
-                    // another backoff window and retry, rather than
-                    // leaving the listener permanently unwatched.
-                    self.accept_errors.fetch_add(1, Ordering::Relaxed);
-                    self.listener_muted_until = Some(Instant::now() + self.accept_backoff);
-                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
-                }
+        let mut unmuted = false;
+        {
+            let Some(acc) = self.acceptor.as_mut() else {
+                return;
+            };
+            let Some(deadline) = acc.listener_muted_until else {
+                return;
+            };
+            if Instant::now() < deadline {
+                return;
             }
+            if self
+                .epoll
+                .add(acc.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                .is_ok()
+            {
+                acc.listener_muted_until = None;
+                unmuted = true;
+            } else {
+                // Registration failed (likely the same resource pressure
+                // that caused the mute): stay muted for another backoff
+                // window and retry, rather than leaving the listener
+                // permanently unwatched.
+                acc.accept_errors.fetch_add(1, Ordering::Relaxed);
+                acc.listener_muted_until = Some(Instant::now() + acc.accept_backoff);
+                acc.accept_backoff = (acc.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+        if unmuted {
+            // Level-triggered: pending connections re-fire on the next
+            // wait, but accept now to shave a tick.
+            self.accept_drain();
         }
     }
 
@@ -432,6 +546,7 @@ impl EventLoop {
             self.free.push(index);
             return;
         }
+        self.shared.conns_assigned.fetch_add(1, Ordering::Relaxed);
         self.slots[index].conn = Some(Conn {
             stream,
             parser: RequestParser::new(),
@@ -473,7 +588,7 @@ impl EventLoop {
             verdict = Verdict::Close;
         }
         if verdict == Verdict::Keep {
-            verdict = advance_conn(conn, &self.dispatch);
+            verdict = advance_conn(conn, &self.shared);
         }
         self.settle(index, verdict);
     }
@@ -510,7 +625,7 @@ impl EventLoop {
 
     /// Delivers finished handler responses back to their connections.
     fn process_completions(&mut self) {
-        for completion in self.dispatch.take_completions() {
+        for completion in self.shared.take_completions() {
             let (index, gen) = token_parts(completion.token);
             let Some(slot) = self.slots.get_mut(index) else {
                 continue;
@@ -524,66 +639,106 @@ impl EventLoop {
             conn.dispatch_in_flight = false;
             conn.close_after_write = completion.close;
             conn.write = Some(ResponseWriter::new(completion.response));
-            let verdict = advance_conn(conn, &self.dispatch);
+            let verdict = advance_conn(conn, &self.shared);
             self.settle(index, verdict);
         }
     }
 }
 
-/// A running epoll-backed HTTP server: one event-loop thread plus
-/// `config.workers` dispatch threads.
+/// A running epoll-backed HTTP server: `shards` event-loop threads (shard
+/// 0 accepting), each with its own dispatch pool slice.
 pub(crate) struct EpollServer {
     addr: SocketAddr,
-    dispatch: Arc<DispatchShared>,
-    waker: WakeHandle,
+    shards: Vec<ShardHandle>,
     accept_errors: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl EpollServer {
-    pub(crate) fn bind(addr: &str, handler: Handler, config: &ServerConfig) -> Result<EpollServer> {
+    /// Binds and starts `shard_count` event loops (min 1). The dispatch
+    /// budget `config.workers` is spread across shards (ceiling division),
+    /// so one shard keeps exactly the configured pool size.
+    pub(crate) fn bind(
+        addr: &str,
+        handler: Handler,
+        config: &ServerConfig,
+        shard_count: usize,
+    ) -> Result<EpollServer> {
+        let shard_count = shard_count.max(1);
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (waker_rx, waker_tx) = UnixStream::pair()?;
-        waker_rx.set_nonblocking(true)?;
-        waker_tx.set_nonblocking(true)?;
-        let waker = WakeHandle(Arc::new(waker_tx));
-
-        let epoll = Epoll::new()?;
-        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-        epoll.add(waker_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKER)?;
-
-        let dispatch = Arc::new(DispatchShared::new());
         let accept_errors = Arc::new(AtomicU64::new(0));
-        let mut threads = Vec::with_capacity(config.workers + 1);
 
-        let event_loop = EventLoop {
-            epoll,
-            listener,
-            waker_rx,
-            dispatch: Arc::clone(&dispatch),
-            accept_errors: Arc::clone(&accept_errors),
-            slots: Vec::new(),
-            free: Vec::new(),
-            listener_muted_until: None,
-            accept_backoff: ACCEPT_BACKOFF_START,
-        };
-        threads.push(std::thread::spawn(move || event_loop.run()));
+        // Handles first: shard 0's acceptor needs one per shard before any
+        // loop thread starts.
+        let mut handles = Vec::with_capacity(shard_count);
+        let mut waker_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (waker_rx, waker_tx) = UnixStream::pair()?;
+            waker_rx.set_nonblocking(true)?;
+            waker_tx.set_nonblocking(true)?;
+            handles.push(ShardHandle {
+                shared: Arc::new(ShardShared::new()),
+                waker: WakeHandle(Arc::new(waker_tx)),
+            });
+            waker_rxs.push(waker_rx);
+        }
 
-        for _ in 0..config.workers.max(1) {
-            let shared = Arc::clone(&dispatch);
-            let handler = Arc::clone(&handler);
-            let waker = waker.clone();
-            threads.push(std::thread::spawn(move || {
-                dispatch_worker(shared, handler, waker)
-            }));
+        // Phase 1, fallible: every epoll instance and registration is
+        // created before any thread starts, so a failure partway (fd
+        // exhaustion on a later shard) unwinds by Drop — epolls, wakers,
+        // and the listener all close, no thread was spawned, the port is
+        // released. (Spawning as we went would leak running loops and a
+        // bound listener feeding shards that never came to exist.)
+        let mut loop_shards = Vec::with_capacity(shard_count);
+        let mut listener = Some(listener);
+        for (index, waker_rx) in waker_rxs.into_iter().enumerate() {
+            let epoll = Epoll::new()?;
+            epoll.add(waker_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKER)?;
+            let acceptor = match listener.take() {
+                Some(listener) => {
+                    debug_assert_eq!(index, 0, "listener goes to shard 0");
+                    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+                    Some(Acceptor {
+                        listener,
+                        shards: handles.clone(),
+                        next_shard: 0,
+                        accept_errors: Arc::clone(&accept_errors),
+                        listener_muted_until: None,
+                        accept_backoff: ACCEPT_BACKOFF_START,
+                    })
+                }
+                None => None,
+            };
+            loop_shards.push(LoopShard {
+                epoll,
+                waker_rx,
+                shared: Arc::clone(&handles[index].shared),
+                slots: Vec::new(),
+                free: Vec::new(),
+                acceptor,
+            });
+        }
+
+        // Phase 2, infallible: start every loop and its dispatch slice.
+        let per_shard_workers = config.workers.max(1).div_ceil(shard_count);
+        let mut threads = Vec::with_capacity(shard_count * (per_shard_workers + 1));
+        for (index, shard) in loop_shards.into_iter().enumerate() {
+            threads.push(std::thread::spawn(move || shard.run()));
+            for _ in 0..per_shard_workers {
+                let shared = Arc::clone(&handles[index].shared);
+                let handler = Arc::clone(&handler);
+                let waker = handles[index].waker.clone();
+                threads.push(std::thread::spawn(move || {
+                    dispatch_worker(shared, handler, waker)
+                }));
+            }
         }
 
         Ok(EpollServer {
             addr: local,
-            dispatch,
-            waker,
+            shards: handles,
             accept_errors,
             threads,
         })
@@ -593,14 +748,37 @@ impl EpollServer {
         self.addr
     }
 
-    pub(crate) fn accept_errors(&self) -> u64 {
-        self.accept_errors.load(Ordering::Relaxed)
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
+    /// Aggregate engine counters: accept errors plus the per-shard
+    /// connection assignment (round-robin keeps these balanced).
+    pub(crate) fn stats(&self) -> ServerStats {
+        let connections_per_shard: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.shared.conns_assigned.load(Ordering::Relaxed))
+            .collect();
+        ServerStats {
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            connections_accepted: connections_per_shard.iter().sum(),
+            shards: connections_per_shard.len(),
+            connections_per_shard,
+        }
+    }
+
+    /// Stops every shard **before** joining any thread: all loops observe
+    /// the stop flag concurrently (each gets its own waker byte), so total
+    /// shutdown time is one drain, not one drain per shard. Join order is
+    /// deterministic — shard 0's loop, its dispatch pool, shard 1's loop,
+    /// ... — which the drain test relies on being prompt and leak-free.
     pub(crate) fn shutdown(&mut self) {
-        self.dispatch.stop.store(true, Ordering::Relaxed);
-        self.dispatch.available.notify_all();
-        self.waker.wake();
+        for shard in &self.shards {
+            shard.shared.stop.store(true, Ordering::Relaxed);
+            shard.shared.available.notify_all();
+            shard.waker.wake();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

@@ -1,18 +1,19 @@
 //! Stand-in for [`crate::epoll`] on targets without the epoll shims.
 //!
 //! Never constructed at runtime: `ServerBackend::effective()` degrades
-//! `Epoll` to `Workers` wherever this module is the one compiled in, so
-//! `HttpServer::bind_with` never reaches [`EpollServer::bind`]. The type
-//! exists so the server facade's `Engine` enum and its match arms compile
-//! identically on every target — the platform `cfg` lives on the module
-//! declarations in `lib.rs` and nowhere else in the crate.
+//! `Epoll` and `EpollSharded` to `Workers` wherever this module is the one
+//! compiled in, so `HttpServer::bind_with` never reaches
+//! [`EpollServer::bind`]. The type exists so the server facade's `Engine`
+//! enum and its match arms compile identically on every target — the
+//! platform `cfg` lives on the module declarations in `lib.rs` and nowhere
+//! else in the crate.
 
 use std::convert::Infallible;
 use std::net::SocketAddr;
 
 use rcb_util::Result;
 
-use crate::server::{Handler, ServerConfig};
+use crate::server::{Handler, ServerConfig, ServerStats};
 
 /// This module variant is the stub (backs `server::EPOLL_SUPPORTED`).
 pub(crate) const SUPPORTED: bool = false;
@@ -28,6 +29,7 @@ impl EpollServer {
         _addr: &str,
         _handler: Handler,
         _config: &ServerConfig,
+        _shard_count: usize,
     ) -> Result<EpollServer> {
         unreachable!(
             "epoll backend not compiled in; ServerBackend::effective() degrades to workers"
@@ -38,7 +40,11 @@ impl EpollServer {
         match self.void {}
     }
 
-    pub(crate) fn accept_errors(&self) -> u64 {
+    pub(crate) fn shard_count(&self) -> usize {
+        match self.void {}
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
         match self.void {}
     }
 

@@ -37,4 +37,4 @@ pub mod server;
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, RequestParser};
-pub use server::{Handler, HttpServer, ServerBackend, ServerConfig};
+pub use server::{Handler, HttpServer, ServerBackend, ServerConfig, ServerStats};

@@ -154,6 +154,17 @@ impl ResponseWriter {
     /// error (including a zero-length write) is fatal for the connection.
     pub fn write_some<W: Write>(&mut self, w: &mut W) -> io::Result<WriteProgress> {
         loop {
+            // Test-only fault hook (inert in production builds): an armed
+            // Write fault stands in for the socket's verdict — an injected
+            // EWOULDBLOCK parks the cursor exactly like a full kernel
+            // buffer, which is how the resumption tests provoke partial
+            // writes without contorting real socket state.
+            if let Some(e) = rcb_util::fault::take(rcb_util::fault::Op::Write) {
+                if e.kind() == io::ErrorKind::WouldBlock {
+                    return Ok(WriteProgress::Blocked);
+                }
+                return Err(e);
+            }
             let head = self.head.as_deref().unwrap_or(&[]);
             let (total, result) = if let Some(prefab) = self.resp.prefab_bytes() {
                 if self.written >= prefab.len() {

@@ -1,8 +1,8 @@
-//! The TCP HTTP server: two backends behind one [`Handler`] interface.
+//! The TCP HTTP server: three backends behind one [`Handler`] interface.
 //!
 //! This is the real-socket face of RCB-Agent: "a co-browsing host starts
 //! running RCB-Agent on the host browser with an open TCP port (e.g., 3000)"
-//! (paper §3.1, step 1). Two interchangeable backends serve the same
+//! (paper §3.1, step 1). Three interchangeable backends serve the same
 //! handler, selected by [`ServerConfig::backend`] (default from the
 //! `RCB_SERVER_BACKEND` environment variable):
 //!
@@ -12,13 +12,20 @@
 //!   services whatever complete requests have arrived (keep-alive
 //!   supported), and rotates the connection back onto the queue. Simple
 //!   and portable; concurrency is capped by the worker count.
-//! * [`ServerBackend::Epoll`] — the event-driven backend in
+//! * [`ServerBackend::Epoll`] — the event-driven engine in
 //!   [`crate::epoll`] (Linux): nonblocking sockets on one epoll event
 //!   loop, handler calls offloaded to a small dispatch pool, connection
 //!   ceiling set by the fd limit instead of the thread count.
+//! * [`ServerBackend::EpollSharded`] — the same engine scaled out
+//!   (`SO_REUSEPORT`-style): `n` independent event loops, each with its
+//!   own epoll instance, slot table, waker, and dispatch-pool slice;
+//!   accepted connections are distributed round-robin by shard 0. The
+//!   single loop is literally the `n = 1` case — one state machine, no
+//!   parallel implementation. Shard count: explicit `n`, else the
+//!   `RCB_SERVER_SHARDS` environment variable, else available cores.
 //!
 //! A connection closes on parse error, client close, or
-//! `Connection: close` under either backend, and both keep the zero-copy
+//! `Connection: close` under every backend, and all keep the zero-copy
 //! prefab/vectored write path.
 //!
 //! The worker backend's accept loop never dies on a transient `accept(2)`
@@ -73,6 +80,15 @@ pub enum ServerBackend {
     /// one loop thread, handler calls on a small dispatch pool. Falls back
     /// to [`ServerBackend::Workers`] where epoll is not compiled in.
     Epoll,
+    /// Sharded event-driven engine (Linux): `n` independent epoll event
+    /// loops — each with its own epoll instance, connection-slot table,
+    /// waker, and dispatch-pool slice — with accepted connections
+    /// distributed round-robin across loops by the acceptor shard.
+    /// `EpollSharded(0)` means **auto**: the `RCB_SERVER_SHARDS`
+    /// environment variable when set, else available cores (see
+    /// [`ServerBackend::shard_count`]). Falls back to
+    /// [`ServerBackend::Workers`] where epoll is not compiled in.
+    EpollSharded(usize),
 }
 
 impl ServerBackend {
@@ -80,12 +96,27 @@ impl ServerBackend {
     /// also the knob the CI matrix sets per leg.
     pub const ENV_VAR: &'static str = "RCB_SERVER_BACKEND";
 
-    /// Parses a backend name (`"workers"` / `"epoll"`, case-insensitive).
+    /// The environment variable that sets the auto shard count for
+    /// [`ServerBackend::EpollSharded`] (`EpollSharded(0)`); unset means
+    /// "available cores".
+    pub const SHARDS_ENV_VAR: &'static str = "RCB_SERVER_SHARDS";
+
+    /// Parses a backend name (`"workers"` / `"epoll"` / `"epoll-sharded"`
+    /// / `"epoll-sharded:<n>"`, case-insensitive). The bare sharded form
+    /// selects the auto shard count.
     pub fn parse(name: &str) -> Option<ServerBackend> {
-        match name.trim().to_ascii_lowercase().as_str() {
+        let name = name.trim().to_ascii_lowercase();
+        match name.as_str() {
             "workers" => Some(ServerBackend::Workers),
             "epoll" => Some(ServerBackend::Epoll),
-            _ => None,
+            "epoll-sharded" => Some(ServerBackend::EpollSharded(0)),
+            other => {
+                let n = other.strip_prefix("epoll-sharded:")?;
+                n.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(ServerBackend::EpollSharded)
+            }
         }
     }
 
@@ -96,8 +127,8 @@ impl ServerBackend {
         match std::env::var(Self::ENV_VAR) {
             Ok(value) => Self::parse(&value).unwrap_or_else(|| {
                 eprintln!(
-                    "{}={value:?} not recognized (expected \"workers\" or \"epoll\"); \
-                     using workers backend",
+                    "{}={value:?} not recognized (expected \"workers\", \"epoll\", \
+                     \"epoll-sharded\", or \"epoll-sharded:<n>\"); using workers backend",
                     Self::ENV_VAR
                 );
                 ServerBackend::Workers
@@ -106,20 +137,57 @@ impl ServerBackend {
         }
     }
 
-    /// The backend that will actually run on this target: `Epoll` degrades
-    /// to `Workers` where the epoll shims are not compiled in.
+    /// The backend that will actually run on this target: the epoll
+    /// variants degrade to `Workers` where the epoll shims are not
+    /// compiled in.
     pub fn effective(self) -> ServerBackend {
         match self {
-            ServerBackend::Epoll if !EPOLL_SUPPORTED => ServerBackend::Workers,
+            ServerBackend::Epoll | ServerBackend::EpollSharded(_) if !EPOLL_SUPPORTED => {
+                ServerBackend::Workers
+            }
             other => other,
         }
     }
 
-    /// Stable lowercase name (matches what [`ServerBackend::parse`] takes).
+    /// The number of event-loop shards this backend resolves to on this
+    /// machine: an explicit `EpollSharded(n)` is `n`; the auto form
+    /// consults `RCB_SERVER_SHARDS`, then available cores. Non-sharded
+    /// backends run one loop at most, so they resolve to 1.
+    pub fn shard_count(self) -> usize {
+        match self.effective() {
+            ServerBackend::EpollSharded(0) => std::env::var(Self::SHARDS_ENV_VAR)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                }),
+            ServerBackend::EpollSharded(n) => n,
+            _ => 1,
+        }
+    }
+
+    /// Folds platform fallback *and* the auto shard count into an
+    /// explicit value: `EpollSharded(0)` becomes `EpollSharded(n)` for
+    /// the `n` this machine resolves to; everything else is
+    /// [`ServerBackend::effective`]. What [`HttpServer::backend`] reports.
+    pub fn resolved(self) -> ServerBackend {
+        match self.effective() {
+            ServerBackend::EpollSharded(_) => ServerBackend::EpollSharded(self.shard_count()),
+            other => other,
+        }
+    }
+
+    /// Stable lowercase name (matches what [`ServerBackend::parse`]
+    /// takes; the shard count is not encoded — parse the `:<n>` suffix
+    /// form to recover an explicit count).
     pub fn label(self) -> &'static str {
         match self {
             ServerBackend::Workers => "workers",
             ServerBackend::Epoll => "epoll",
+            ServerBackend::EpollSharded(_) => "epoll-sharded",
         }
     }
 }
@@ -128,6 +196,23 @@ impl fmt::Display for ServerBackend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// Aggregate engine counters, summed across event-loop shards. The
+/// workers backend reports zero shards (it has no event loop); the epoll
+/// backends report one entry per shard in `connections_per_shard`, which
+/// round-robin distribution keeps balanced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Transient `accept(2)` errors survived (retried with backoff).
+    pub accept_errors: u64,
+    /// Connections accepted and registered, total across shards.
+    pub connections_accepted: u64,
+    /// Event-loop shards running (0 = workers backend, 1 = single-loop
+    /// epoll, `n` = sharded).
+    pub shards: usize,
+    /// Connections assigned to each shard (length = `shards`).
+    pub connections_per_shard: Vec<u64>,
 }
 
 /// Backend choice plus pool and queue sizing.
@@ -292,6 +377,7 @@ impl ConnQueue {
 struct WorkerServer {
     queue: Arc<ConnQueue>,
     accept_errors: Arc<AtomicU64>,
+    connections_accepted: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -319,16 +405,25 @@ impl HttpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
     /// configured backend's threads.
     pub fn bind_with(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
-        match config.backend.effective() {
+        match config.backend.resolved() {
             ServerBackend::Workers => Self::bind_workers(addr, handler, config),
-            // On targets without the epoll shims this arm is dynamically
-            // unreachable (`effective()` degrades Epoll to Workers) and
-            // binds against the never-constructed stub module.
+            // On targets without the epoll shims these arms are
+            // dynamically unreachable (`resolved()` degrades the epoll
+            // variants to Workers) and bind against the never-constructed
+            // stub module.
             ServerBackend::Epoll => {
-                let server = crate::epoll::EpollServer::bind(addr, handler, &config)?;
+                let server = crate::epoll::EpollServer::bind(addr, handler, &config, 1)?;
                 Ok(HttpServer {
                     addr: server.addr(),
                     backend: ServerBackend::Epoll,
+                    engine: Engine::Epoll(server),
+                })
+            }
+            ServerBackend::EpollSharded(shards) => {
+                let server = crate::epoll::EpollServer::bind(addr, handler, &config, shards)?;
+                Ok(HttpServer {
+                    addr: server.addr(),
+                    backend: ServerBackend::EpollSharded(server.shard_count()),
                     engine: Engine::Epoll(server),
                 })
             }
@@ -341,12 +436,14 @@ impl HttpServer {
         listener.set_nonblocking(true)?;
         let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
         let accept_errors = Arc::new(AtomicU64::new(0));
+        let connections_accepted = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::with_capacity(config.workers + 1);
 
         let accept_queue = Arc::clone(&queue);
         let errors = Arc::clone(&accept_errors);
+        let accepted = Arc::clone(&connections_accepted);
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, accept_queue, errors);
+            accept_loop(listener, accept_queue, errors, accepted);
         }));
 
         for _ in 0..config.workers.max(1) {
@@ -372,6 +469,7 @@ impl HttpServer {
             engine: Engine::Workers(WorkerServer {
                 queue,
                 accept_errors,
+                connections_accepted,
                 threads,
             }),
         })
@@ -388,13 +486,32 @@ impl HttpServer {
         self.backend
     }
 
-    /// Transient `accept(2)` errors survived so far (both backends retry
+    /// Event-loop shards the engine runs (0 for the workers backend).
+    pub fn shards(&self) -> usize {
+        match &self.engine {
+            Engine::Workers(_) => 0,
+            Engine::Epoll(e) => e.shard_count(),
+        }
+    }
+
+    /// Aggregate engine counters (accept errors, accepted connections,
+    /// per-shard assignment).
+    pub fn stats(&self) -> ServerStats {
+        match &self.engine {
+            Engine::Workers(w) => ServerStats {
+                accept_errors: w.accept_errors.load(Ordering::Relaxed),
+                connections_accepted: w.connections_accepted.load(Ordering::Relaxed),
+                shards: 0,
+                connections_per_shard: Vec::new(),
+            },
+            Engine::Epoll(e) => e.stats(),
+        }
+    }
+
+    /// Transient `accept(2)` errors survived so far (every backend retries
     /// them with backoff instead of dying).
     pub fn accept_errors(&self) -> u64 {
-        match &self.engine {
-            Engine::Workers(w) => w.accept_errors.load(Ordering::Relaxed),
-            Engine::Epoll(e) => e.accept_errors(),
-        }
+        self.stats().accept_errors
     }
 
     /// Stops accepting, drains in-flight work, and joins all threads.
@@ -418,12 +535,24 @@ impl Drop for HttpServer {
 }
 
 /// The accept loop: admit connections, survive transient errors.
-fn accept_loop(listener: TcpListener, queue: Arc<ConnQueue>, errors: Arc<AtomicU64>) {
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<ConnQueue>,
+    errors: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+) {
     let mut backoff = ACCEPT_BACKOFF_START;
     while !queue.stopped() {
-        match listener.accept() {
-            Ok((stream, _)) => {
+        // Test-only fault hook (inert in production builds): an armed
+        // Accept fault behaves exactly like the kernel refusing the call.
+        let next = match rcb_util::fault::take(rcb_util::fault::Op::Accept) {
+            Some(e) => Err(e),
+            None => listener.accept().map(|(stream, _)| stream),
+        };
+        match next {
+            Ok(stream) => {
                 backoff = ACCEPT_BACKOFF_START;
+                accepted.fetch_add(1, Ordering::Relaxed);
                 queue.push_accepted(Conn {
                     stream,
                     parser: RequestParser::new(),
@@ -513,10 +642,16 @@ mod tests {
     }
 
     /// Every backend compiled in on this target — the shared-behaviour
-    /// tests below run once per entry.
+    /// tests below run once per entry. The sharded entry pins an explicit
+    /// shard count so coverage does not degenerate to one loop on
+    /// single-core CI machines.
     fn backends() -> Vec<ServerBackend> {
         if EPOLL_SUPPORTED {
-            vec![ServerBackend::Workers, ServerBackend::Epoll]
+            vec![
+                ServerBackend::Workers,
+                ServerBackend::Epoll,
+                ServerBackend::EpollSharded(2),
+            ]
         } else {
             vec![ServerBackend::Workers]
         }
@@ -542,12 +677,76 @@ mod tests {
         );
         assert_eq!(ServerBackend::parse("EPOLL"), Some(ServerBackend::Epoll));
         assert_eq!(ServerBackend::parse(" epoll "), Some(ServerBackend::Epoll));
+        assert_eq!(
+            ServerBackend::parse("epoll-sharded"),
+            Some(ServerBackend::EpollSharded(0)),
+            "bare sharded form is auto"
+        );
+        assert_eq!(
+            ServerBackend::parse("Epoll-Sharded:4"),
+            Some(ServerBackend::EpollSharded(4))
+        );
+        assert_eq!(ServerBackend::parse("epoll-sharded:0"), None);
+        assert_eq!(ServerBackend::parse("epoll-sharded:x"), None);
         assert_eq!(ServerBackend::parse("tokio"), None);
         for b in backends() {
-            assert_eq!(ServerBackend::parse(b.label()), Some(b));
+            // The label drops any explicit shard count, so roundtrip on
+            // the label, not the value.
+            assert_eq!(
+                ServerBackend::parse(b.label()).map(ServerBackend::label),
+                Some(b.label())
+            );
             assert_eq!(b.to_string(), b.label());
             assert_eq!(b.effective(), b, "compiled-in backends are effective");
         }
+    }
+
+    #[test]
+    fn shard_count_resolution() {
+        // Explicit counts win outright; non-sharded backends are one loop.
+        assert_eq!(ServerBackend::EpollSharded(3).shard_count(), 3);
+        assert_eq!(ServerBackend::Workers.shard_count(), 1);
+        assert_eq!(ServerBackend::Epoll.shard_count(), 1);
+        // Auto resolves to *something* positive (env or cores), and
+        // `resolved()` folds it into an explicit variant.
+        if EPOLL_SUPPORTED {
+            let auto = ServerBackend::EpollSharded(0).shard_count();
+            assert!(auto >= 1);
+            assert_eq!(
+                ServerBackend::EpollSharded(0).resolved(),
+                ServerBackend::EpollSharded(auto)
+            );
+            assert_eq!(
+                ServerBackend::EpollSharded(5).resolved(),
+                ServerBackend::EpollSharded(5)
+            );
+        } else {
+            assert_eq!(
+                ServerBackend::EpollSharded(0).resolved(),
+                ServerBackend::Workers
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_server_reports_resolved_backend_and_spread() {
+        if !EPOLL_SUPPORTED {
+            return;
+        }
+        let mut server = bind_backend(ServerBackend::EpollSharded(3), echo_handler());
+        assert_eq!(server.backend(), ServerBackend::EpollSharded(3));
+        assert_eq!(server.shards(), 3);
+        let addr = server.addr().to_string();
+        // Six sequential connections land two per shard (round-robin).
+        for i in 0..6 {
+            let resp = send_request(&addr, &Request::get(format!("/s{i}"))).unwrap();
+            assert_eq!(resp.body_str(), format!("GET /s{i}"));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.connections_accepted, 6);
+        assert_eq!(stats.connections_per_shard, vec![2, 2, 2]);
+        server.shutdown();
     }
 
     #[test]

@@ -1,14 +1,17 @@
-//! Backend-equivalence suite: the worker-pool and epoll backends must be
-//! observationally identical behind the same `Handler`.
+//! Backend-equivalence suite: the worker-pool, single-loop epoll, and
+//! sharded epoll backends must be observationally identical behind the
+//! same `Handler`.
 //!
-//! Every scenario runs the same request corpus against both backends and
-//! asserts **byte-identical** wire output (responses carry no
+//! Every scenario runs the same request corpus against the full backend
+//! matrix and asserts **byte-identical** wire output (responses carry no
 //! nondeterministic headers, so the full byte stream must match) and
 //! identical handler-invocation stats. Scenarios cover the protocol
 //! corners where an event-loop rewrite most plausibly diverges:
 //! pipelined keep-alive bursts, partial writes forced through tiny socket
 //! buffers, malformed requests, `Connection: close`, and mid-request
-//! disconnects.
+//! disconnects — plus a sharded-only scenario holding keep-alive
+//! connections across every shard and proving responses never interleave
+//! across connections.
 //!
 //! On targets without the epoll shims the suite degrades to exercising
 //! the workers backend against itself (the harness still runs; the
@@ -23,10 +26,18 @@ use std::time::Duration;
 use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig, EPOLL_SUPPORTED};
 use rcb_http::{Body, Request, Response, Status};
 
+/// Shard count the matrix pins for the sharded leg: explicit (not auto),
+/// so coverage is identical on single-core CI machines and laptops.
+const MATRIX_SHARDS: usize = 2;
+
 /// The backends under test on this target.
 fn backends() -> Vec<ServerBackend> {
     if EPOLL_SUPPORTED {
-        vec![ServerBackend::Workers, ServerBackend::Epoll]
+        vec![
+            ServerBackend::Workers,
+            ServerBackend::Epoll,
+            ServerBackend::EpollSharded(MATRIX_SHARDS),
+        ]
     } else {
         vec![ServerBackend::Workers]
     }
@@ -387,33 +398,141 @@ fn epoll_holds_hundreds_of_connections_on_tiny_pool() {
     // The capability the workers backend cannot offer: 300 simultaneous
     // keep-alive connections on a 2-thread dispatch pool. Epoll-only (on
     // the workers backend 300 idle connections each cost a 2 ms rotation
-    // pass, which is the motivation for the event loop, not a bug).
+    // pass, which is the motivation for the event loop, not a bug). Both
+    // epoll variants must offer it — sharding may not shrink the ceiling.
     if !EPOLL_SUPPORTED {
         return;
     }
-    let big: Arc<[u8]> = Arc::from(&b"tiny"[..]);
-    let mut run = start(ServerBackend::Epoll, 2, &big);
+    for backend in [
+        ServerBackend::Epoll,
+        ServerBackend::EpollSharded(MATRIX_SHARDS),
+    ] {
+        let big: Arc<[u8]> = Arc::from(&b"tiny"[..]);
+        let mut run = start(backend, 2, &big);
+        let addr = run.server.addr().to_string();
+        let mut conns: Vec<TcpStream> = (0..300)
+            .map(|_| {
+                let s = TcpStream::connect(&addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s
+            })
+            .collect();
+        for round in 0..2 {
+            for (i, conn) in conns.iter_mut().enumerate() {
+                let req = Request::get(format!("/echo?conn={i}&round={round}"));
+                conn.write_all(&rcb_http::serialize::serialize_request(&req))
+                    .unwrap();
+                let resp = rcb_http::client::read_response(conn).unwrap();
+                assert_eq!(
+                    resp.body_str(),
+                    format!("GET /echo?conn={i}&round={round} 0"),
+                    "{backend}"
+                );
+            }
+        }
+        assert_eq!(run.stats.calls.load(Ordering::Relaxed), 600, "{backend}");
+        run.server.shutdown();
+    }
+}
+
+#[test]
+fn sharded_responses_never_interleave_across_connections() {
+    // The cross-shard ordering contract: with connections spread over
+    // every shard and requests pipelined on all of them at once, each
+    // connection's byte stream must contain exactly its own responses, in
+    // its own request order — nothing from a sibling connection on the
+    // same shard, nothing from another shard.
+    if !EPOLL_SUPPORTED {
+        return;
+    }
+    const SHARDS: usize = 3;
+    const CONNS: usize = 6 * SHARDS; // ≥ 4×shards, two per shard per round
+    const ROUNDS: usize = 3;
+    let big: Arc<[u8]> = (0..512usize).map(|i| (i % 251) as u8).collect();
+    let mut run = start(ServerBackend::EpollSharded(SHARDS), 2, &big);
     let addr = run.server.addr().to_string();
-    let mut conns: Vec<TcpStream> = (0..300)
+
+    let mut conns: Vec<TcpStream> = (0..CONNS)
         .map(|_| {
             let s = TcpStream::connect(&addr).unwrap();
             s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
             s
         })
         .collect();
-    for round in 0..2 {
+
+    // Reads exactly `n` Content-Length-framed responses off one stream,
+    // frame-accurate (a pipelined peer may deliver several responses in
+    // one read; `client::read_response` would discard the surplus).
+    fn read_frames(stream: &mut TcpStream, n: usize) -> Vec<Vec<u8>> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut frames = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        while frames.len() < n {
+            while let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+                let declared = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse::<usize>().ok())?
+                    })
+                    .unwrap_or(0);
+                let total = head_end + 4 + declared;
+                if buf.len() < total {
+                    break;
+                }
+                frames.push(buf.drain(..total).collect());
+                if frames.len() == n {
+                    return frames;
+                }
+            }
+            let got = stream.read(&mut chunk).unwrap();
+            assert!(got > 0, "server closed mid-stream");
+            buf.extend_from_slice(&chunk[..got]);
+        }
+        frames
+    }
+
+    // Per round: pipeline two tagged requests on *every* connection
+    // before reading a single response, so all shards hold in-flight
+    // pipelines simultaneously; then drain each connection and check its
+    // stream carries exactly its own tags, in order.
+    for round in 0..ROUNDS {
         for (i, conn) in conns.iter_mut().enumerate() {
-            let req = Request::get(format!("/echo?conn={i}&round={round}"));
-            conn.write_all(&rcb_http::serialize::serialize_request(&req))
-                .unwrap();
-            let resp = rcb_http::client::read_response(conn).unwrap();
-            assert_eq!(
-                resp.body_str(),
-                format!("GET /echo?conn={i}&round={round} 0")
-            );
+            let mut burst = Vec::new();
+            for k in 0..2 {
+                let req = Request::get(format!("/echo?c={i}&r={round}&k={k}"));
+                burst.extend_from_slice(&rcb_http::serialize::serialize_request(&req));
+            }
+            conn.write_all(&burst).unwrap();
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            for (k, frame) in read_frames(conn, 2).into_iter().enumerate() {
+                let resp = rcb_http::parse_response(&frame).unwrap();
+                assert_eq!(
+                    resp.body_str(),
+                    format!("GET /echo?c={i}&r={round}&k={k} 0"),
+                    "connection {i} received a response that is not its own"
+                );
+            }
         }
     }
-    assert_eq!(run.stats.calls.load(Ordering::Relaxed), 600);
+
+    // Round-robin distribution is deterministic: every shard carries an
+    // equal slice of the connections, so the pipelines above really ran
+    // on all three loops.
+    let stats = run.server.stats();
+    assert_eq!(stats.shards, SHARDS);
+    assert_eq!(stats.connections_accepted, CONNS as u64);
+    assert_eq!(
+        stats.connections_per_shard,
+        vec![(CONNS / SHARDS) as u64; SHARDS]
+    );
+    assert_eq!(
+        run.stats.calls.load(Ordering::Relaxed),
+        (CONNS * ROUNDS * 2) as u64
+    );
     run.server.shutdown();
 }
 

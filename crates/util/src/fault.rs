@@ -1,0 +1,159 @@
+//! Test-only fault injection for the syscall-shaped I/O boundary.
+//!
+//! The server backends survive transient I/O failures (`EMFILE` storms at
+//! `accept(2)`, `EWOULDBLOCK` mid-write, a failed `epoll_ctl(2)`), but
+//! those conditions are nearly impossible to provoke reliably from a real
+//! socket in a test. This module is the lever: a test arms "fail the next
+//! `K` calls of this [`Op`] with errno `E`", and the hooked call sites
+//! ([`crate::sys::Epoll`]'s `epoll_ctl`, the server backends' `accept`
+//! loops, and the nonblocking `ResponseWriter` write path in `rcb-http`)
+//! consume one injected failure per call before touching the kernel.
+//!
+//! Everything stateful lives behind the `fault-injection` cargo feature:
+//! without it, [`take`] is a `const`-foldable `None` and the hooks compile
+//! to nothing, so production builds carry no atomics and no branches. Test
+//! targets that need the lever enable the feature through their
+//! dev-dependency on `rcb-util`.
+//!
+//! Injection state is process-global (the hooked call sites have no test
+//! context to key on), so tests that arm faults must serialize themselves
+//! (a `static Mutex` in the test file) and disarm with [`clear`] — ideally
+//! from a drop guard so a failing assertion cannot leak armed faults into
+//! the next test.
+
+#[cfg(not(feature = "fault-injection"))]
+use std::io;
+
+/// The hooked operations. Each has an independent fail-next budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `accept(2)` on a listening socket (both server backends).
+    Accept = 0,
+    /// `epoll_ctl(2)` add/modify/delete (epoll backends only).
+    EpollCtl = 1,
+    /// A response-body write on a nonblocking socket
+    /// (`ResponseWriter::write_some`, epoll backends only — the workers
+    /// backend's blocking writes are deliberately unhooked, because a
+    /// blocking socket can never legitimately return `EWOULDBLOCK`).
+    Write = 2,
+}
+
+/// Number of distinct [`Op`]s (sizes the per-op state arrays).
+pub const OPS: usize = 3;
+
+// Linux errno values the regression tests inject (transcribed here — the
+// workspace is libc-free by design).
+/// `EAGAIN`/`EWOULDBLOCK`: resource temporarily unavailable.
+pub const EAGAIN: i32 = 11;
+/// `EMFILE`: per-process fd table full — the classic accept-storm errno.
+pub const EMFILE: i32 = 24;
+/// `ECONNABORTED`: connection aborted between accept and use.
+pub const ECONNABORTED: i32 = 103;
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::{Op, OPS};
+    use std::io;
+    use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+    static REMAINING: [AtomicU64; OPS] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    static ERRNO: [AtomicI32; OPS] = [AtomicI32::new(0), AtomicI32::new(0), AtomicI32::new(0)];
+
+    /// Arms `op`: the next `k` [`take`](super::take) calls yield
+    /// `io::Error::from_raw_os_error(errno)`.
+    pub fn fail_next(op: Op, k: u64, errno: i32) {
+        let i = op as usize;
+        ERRNO[i].store(errno, Ordering::Relaxed);
+        REMAINING[i].store(k, Ordering::Release);
+    }
+
+    /// Disarms every operation.
+    pub fn clear() {
+        for r in &REMAINING {
+            r.store(0, Ordering::Release);
+        }
+    }
+
+    /// Injected failures still pending for `op` (0 = disarmed). Tests use
+    /// this to prove the hooked path actually consumed the faults.
+    pub fn pending(op: Op) -> u64 {
+        REMAINING[op as usize].load(Ordering::Acquire)
+    }
+
+    /// Consumes one injected failure for `op`, if armed.
+    pub fn take(op: Op) -> Option<io::Error> {
+        let i = op as usize;
+        let mut cur = REMAINING[i].load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match REMAINING[i].compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(io::Error::from_raw_os_error(
+                        ERRNO[i].load(Ordering::Relaxed),
+                    ))
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use armed::{clear, fail_next, pending, take};
+
+/// Without the `fault-injection` feature the hook is inert: always `None`,
+/// and the arming API does not exist (only feature-enabled test targets
+/// may arm faults).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn take(_op: Op) -> Option<io::Error> {
+    None
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    // The whole module state is global; this file's tests all run against
+    // ops the I/O tests elsewhere never arm concurrently in this crate's
+    // own test binary, and each clears behind itself.
+
+    #[test]
+    fn budget_counts_down_and_disarms() {
+        clear();
+        fail_next(Op::EpollCtl, 2, EMFILE);
+        assert_eq!(pending(Op::EpollCtl), 2);
+        let e = take(Op::EpollCtl).expect("first armed failure");
+        assert_eq!(e.raw_os_error(), Some(EMFILE));
+        assert!(take(Op::EpollCtl).is_some());
+        assert!(take(Op::EpollCtl).is_none(), "budget exhausted");
+        assert_eq!(pending(Op::EpollCtl), 0);
+    }
+
+    #[test]
+    fn ops_are_independent_and_clear_disarms() {
+        clear();
+        fail_next(Op::Accept, 1, ECONNABORTED);
+        assert!(take(Op::Write).is_none(), "other ops unaffected");
+        fail_next(Op::Write, 5, EAGAIN);
+        clear();
+        assert!(take(Op::Accept).is_none());
+        assert!(take(Op::Write).is_none());
+    }
+
+    #[test]
+    fn eagain_maps_to_would_block_kind() {
+        clear();
+        fail_next(Op::Write, 1, EAGAIN);
+        let e = take(Op::Write).unwrap();
+        assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock);
+        clear();
+    }
+}

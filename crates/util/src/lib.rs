@@ -11,6 +11,7 @@
 pub mod bytesize;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 #[cfg(all(
@@ -24,3 +25,24 @@ pub use clock::{SimDuration, SimTime};
 pub use error::{RcbError, Result};
 pub use metrics::{Counter, Histogram, Stopwatch};
 pub use rng::DetRng;
+
+/// The soft `RLIMIT_NOFILE` of this process, where the syscall shim
+/// exists; `None` elsewhere. The portable face of `sys::nofile_limit`,
+/// cfg-gated here — next to the `sys` module declaration — so callers
+/// never repeat the platform predicate.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn nofile_soft() -> Option<u64> {
+    sys::nofile_limit().ok().map(|(soft, _hard)| soft)
+}
+
+/// Fallback for targets without the syscall shim.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn nofile_soft() -> Option<u64> {
+    None
+}

@@ -5,12 +5,21 @@
 //! way libc would reach it: raw `syscall` instructions via inline assembly,
 //! with the handful of constants and the `epoll_event` layout transcribed
 //! from the kernel ABI. Only the calls the server actually uses are
-//! wrapped — epoll lifecycle, `close(2)`, and `setsockopt(2)` for the
-//! socket-buffer shrinking the partial-write tests rely on.
+//! wrapped — epoll lifecycle, `close(2)`, `setsockopt(2)` for the
+//! socket-buffer shrinking the partial-write tests rely on and for
+//! `SO_REUSEPORT` (the alternative acceptor strategy of the sharded epoll
+//! backend), and `prlimit64(2)` so benches can read the fd ceiling that
+//! bounds the connection-hold phase.
+//!
+//! The test-only fault-injection lever lives in [`crate::fault`] and is
+//! re-exported here as [`fault`]: `epoll_ctl` consults it in this module,
+//! and the server backends hook `accept`/`write` at their call sites.
 //!
 //! Everything here is Linux-only (x86_64 and aarch64); the module is
 //! compiled out elsewhere and callers fall back to the thread-pool server
 //! backend.
+
+pub use crate::fault;
 
 use std::io;
 use std::os::fd::RawFd;
@@ -27,6 +36,7 @@ mod nr {
     pub const EPOLL_CTL: usize = 233;
     pub const EPOLL_PWAIT: usize = 281;
     pub const EPOLL_CREATE1: usize = 291;
+    pub const PRLIMIT64: usize = 302;
 }
 
 #[cfg(target_arch = "aarch64")]
@@ -37,6 +47,7 @@ mod nr {
     pub const EPOLL_CTL: usize = 21;
     pub const EPOLL_PWAIT: usize = 22;
     pub const EPOLL_CREATE1: usize = 20;
+    pub const PRLIMIT64: usize = 261;
 }
 
 /// One raw syscall with up to six arguments. The kernel returns a negative
@@ -175,6 +186,11 @@ impl Epoll {
     }
 
     fn ctl(&self, op: usize, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        // Test-only: an armed fault fails the registration before the
+        // kernel sees it (no-op in production builds).
+        if let Some(e) = fault::take(fault::Op::EpollCtl) {
+            return Err(e);
+        }
         let mut ev = EpollEvent {
             events: interest,
             data: token,
@@ -249,6 +265,7 @@ impl Drop for Epoll {
 const SOL_SOCKET: usize = 1;
 const SO_SNDBUF: usize = 7;
 const SO_RCVBUF: usize = 8;
+const SO_REUSEPORT: usize = 15;
 
 fn set_sock_int(fd: RawFd, level: usize, name: usize, value: i32) -> io::Result<()> {
     let v = value;
@@ -298,6 +315,54 @@ pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
 /// Reads back the effective send-buffer size.
 pub fn send_buffer(fd: RawFd) -> io::Result<i32> {
     get_sock_int(fd, SOL_SOCKET, SO_SNDBUF)
+}
+
+// ---------------------------------------------------------------------------
+// SO_REUSEPORT + resource limits (sharded-backend support)
+// ---------------------------------------------------------------------------
+
+/// Enables/disables `SO_REUSEPORT` on a socket. This is the lever for the
+/// sharded epoll backend's alternative acceptor strategy (per-loop
+/// listeners sharing one port, each with its own kernel accept queue);
+/// the default strategy — a single acceptor round-robining fds across
+/// loops — needs no socket option, so this is offered, not required.
+/// Note the option must be set **before** `bind(2)` to share a port.
+pub fn set_reuseport(fd: RawFd, on: bool) -> io::Result<()> {
+    set_sock_int(fd, SOL_SOCKET, SO_REUSEPORT, i32::from(on))
+}
+
+/// Reads back whether `SO_REUSEPORT` is set.
+pub fn reuseport(fd: RawFd) -> io::Result<bool> {
+    get_sock_int(fd, SOL_SOCKET, SO_REUSEPORT).map(|v| v != 0)
+}
+
+const RLIMIT_NOFILE: usize = 7;
+
+/// The kernel's `struct rlimit64`.
+#[repr(C)]
+struct Rlimit64 {
+    cur: u64,
+    max: u64,
+}
+
+/// `(soft, hard)` limit on open fds (`RLIMIT_NOFILE`), via `prlimit64(2)`
+/// on the calling process. The epoll backends' connection ceiling is this
+/// soft limit; the `scale1` connection-hold phase reads it to size its
+/// target within what the environment actually allows.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit64 { cur: 0, max: 0 };
+    check(unsafe {
+        syscall6(
+            nr::PRLIMIT64,
+            0, // pid 0: the calling process
+            RLIMIT_NOFILE,
+            0, // new_limit: NULL — read only
+            &mut lim as *mut Rlimit64 as usize,
+            0,
+            0,
+        )
+    })?;
+    Ok((lim.cur, lim.max))
 }
 
 #[cfg(test)]
@@ -350,6 +415,25 @@ mod tests {
         assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
         // Double-delete is the caller's bug and surfaces as ENOENT.
         assert!(ep.delete(a.as_raw_fd()).is_err());
+    }
+
+    #[test]
+    fn reuseport_roundtrips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+        assert!(!reuseport(fd).unwrap(), "off by default");
+        set_reuseport(fd, true).unwrap();
+        assert!(reuseport(fd).unwrap());
+        set_reuseport(fd, false).unwrap();
+        assert!(!reuseport(fd).unwrap());
+    }
+
+    #[test]
+    fn nofile_limit_is_sane() {
+        let (soft, hard) = nofile_limit().unwrap();
+        // Any Linux process has at least stdin/stdout/stderr headroom.
+        assert!(soft >= 8, "soft limit {soft}");
+        assert!(hard >= soft, "hard {hard} < soft {soft}");
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! interface.
 //!
 //! The server backend is runtime-selectable: run with
-//! `RCB_SERVER_BACKEND=epoll` (or `workers`, the default) to serve the
-//! same session from the event-driven epoll loop instead of the worker
-//! pool — the session flow is identical either way.
+//! `RCB_SERVER_BACKEND=epoll` to serve the same session from the
+//! event-driven epoll loop, or `RCB_SERVER_BACKEND=epoll-sharded` for the
+//! sharded engine (`RCB_SERVER_SHARDS` event loops, default: available
+//! cores, connections distributed round-robin) instead of the default
+//! worker pool — the session flow is identical every way.
 
 use rcb::browser::UserAction;
 use rcb::core::snippet::SnippetOutcome;
@@ -30,8 +32,13 @@ fn main() {
     let mut host = TcpHost::start("127.0.0.1:0", "http://dashboard.local/", PAGE).unwrap();
     let addr = host.addr().to_string();
     println!(
-        "RCB-Agent listening on {addr} ({} backend — set RCB_SERVER_BACKEND=workers|epoll)",
-        host.backend()
+        "RCB-Agent listening on {addr} ({} backend{} — set \
+         RCB_SERVER_BACKEND=workers|epoll|epoll-sharded)",
+        host.backend(),
+        match host.backend() {
+            rcb::http::ServerBackend::EpollSharded(n) => format!(", {n} event-loop shards"),
+            _ => String::new(),
+        }
     );
     println!("session key (out-of-band): {}", host.key().to_hex());
 
