@@ -101,6 +101,7 @@ fn start_host_sized(
             workers,
             queue_capacity,
             read_timeout: Duration::from_millis(2),
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -373,6 +374,119 @@ fn run_conn_hold(
     (conns, pool, ok, per_shard)
 }
 
+/// Update-latency phase: `participants` watchers sit in parked long-polls
+/// (`lp=3000` ms) while the host publishes `updates` page changes at a
+/// slow cadence. Measures change-to-delivery latency per update per
+/// participant and counts the polls the engine completed inside the
+/// measurement window — the long-poll economy: one completed poll per
+/// participant per update, none between. Returns
+/// `(p99_us, completed_polls, polls_parked, polls_woken)`.
+fn run_update_latency(
+    backend: ServerBackend,
+    participants: u64,
+    updates: u64,
+) -> (u64, u64, u64, u64) {
+    let mut host = start_host(backend, 8);
+    let addr = host.addr().to_string();
+    let key = host.key().clone();
+    let epoch = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(AtomicU32::new(0));
+    let delivered = Arc::new(AtomicU32::new(0));
+    // Micros-since-epoch of the most recent mutation; 0 = none yet.
+    let last_mutate_us = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    let threads: Vec<_> = (1..=participants)
+        .map(|pid| {
+            let addr = addr.clone();
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            let delivered = Arc::clone(&delivered);
+            let last_mutate_us = Arc::clone(&last_mutate_us);
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut p = TcpParticipant::join(&addr, key, pid).expect("join");
+                p.poll().expect("initial sync"); // immediate content
+                p.enable_long_poll(SimDuration::from_millis(3_000));
+                ready.fetch_add(1, Ordering::Relaxed);
+                let mut lat_us = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match p.poll() {
+                        Ok(rcb_core::snippet::SnippetOutcome::Updated { .. }) => {
+                            let at = last_mutate_us.load(Ordering::Relaxed);
+                            if at != 0 {
+                                lat_us.push(epoch.elapsed().as_micros() as u64 - at);
+                                delivered.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(_) => {} // park window ran dry; re-park
+                        Err(_) => break,
+                    }
+                }
+                lat_us
+            })
+        })
+        .collect();
+
+    while u64::from(ready.load(Ordering::Relaxed)) < participants {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(30)); // let everyone park
+    let polls_before = {
+        let s = host.stats();
+        s.polls_with_content + s.polls_empty
+    };
+    for u in 0..updates {
+        last_mutate_us.store(epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
+        host.mutate_page(move |doc| {
+            let root = doc.root();
+            if let Some(t) = rcb_html::query::element_by_id(doc, root, "ticker") {
+                doc.set_attr(t, "data-update", u.to_string());
+            }
+        })
+        .expect("mutate");
+        // Every watcher receives this update before the next publishes.
+        let target = (participants * (u + 1)) as u32;
+        let wait_start = Instant::now();
+        while delivered.load(Ordering::Relaxed) < target {
+            assert!(
+                wait_start.elapsed() < Duration::from_secs(10),
+                "update {u} not delivered to all watchers"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(30)); // re-park gap
+    }
+    let stats = host.stats();
+    let completed = stats.polls_with_content + stats.polls_empty - polls_before;
+
+    // Unblock the final parks so joining does not wait out a window; the
+    // zeroed mutate stamp keeps this wake out of the latency samples.
+    stop.store(true, Ordering::Relaxed);
+    last_mutate_us.store(0, Ordering::Relaxed);
+    host.mutate_page(|doc| {
+        let root = doc.root();
+        if let Some(t) = rcb_html::query::element_by_id(doc, root, "ticker") {
+            doc.set_attr(t, "data-update", "fin");
+        }
+    })
+    .expect("final mutate");
+
+    let mut hist = Histogram::new();
+    for t in threads {
+        for us in t.join().expect("watcher thread") {
+            hist.record(SimDuration::from_micros(us));
+        }
+    }
+    host.shutdown();
+    (
+        hist.percentile(99.0).as_micros(),
+        completed,
+        stats.polls_parked,
+        stats.polls_woken,
+    )
+}
+
 /// Pulls the scalar after `"key":` out of a (baseline) JSON file — the
 /// workspace is dependency-free, so the comparison reads the one number
 /// it needs instead of parsing the full document.
@@ -587,6 +701,33 @@ fn main() {
         if hold_ok { "ok" } else { "FAILED" }
     );
 
+    // Update latency: parked long-polls must deliver a change in exactly
+    // one completed poll per watcher (≤ 1.1 with slack), within a tight
+    // change-to-delivery p99. The gates arm on the event-loop backends —
+    // the workers backend degrades to bounded condvar waits, so its
+    // numbers are reported but not gated.
+    let (ul_participants, ul_updates): (u64, u64) = if smoke { (4, 8) } else { (4, 30) };
+    let (ul_p99, ul_polls, ul_parked, ul_woken) =
+        run_update_latency(backend, ul_participants, ul_updates);
+    const UPDATE_LATENCY_BOUND_US: u64 = 200_000;
+    let ul_armed = !matches!(backend, ServerBackend::Workers);
+    let ul_per_update = ul_polls as f64 / (ul_participants * ul_updates) as f64;
+    let ul_economy = gates::polls_per_update_ok(ul_polls, ul_participants, ul_updates, 0.1);
+    let ul_latency = gates::update_latency_ok(ul_p99, UPDATE_LATENCY_BOUND_US);
+    let ul_ok = !ul_armed || (ul_economy && ul_latency);
+    println!(
+        "update latency: {ul_participants} watchers × {ul_updates} updates, p99 {ul_p99} us \
+         (bound {UPDATE_LATENCY_BOUND_US} us), {ul_polls} completed polls \
+         ({ul_per_update:.2}/update, parked {ul_parked}, woken {ul_woken}): {}",
+        if !ul_armed {
+            "n/a (gated on epoll backends)".to_string()
+        } else if ul_ok {
+            "ok".to_string()
+        } else {
+            "FAILED".to_string()
+        }
+    );
+
     // Machine-readable result, alongside the human output.
     let per_shard_json = hold_spread
         .iter()
@@ -606,9 +747,14 @@ fn main() {
          \"timestamps\":{ts},\"bound\":{LIVE_GENERATIONS}}},\n\
          \"conn_hold\":{{\"connections\":{hold_conns},\"pool\":{hold_pool},\
          \"per_shard\":[{per_shard_json}],\"ok\":{hold_ok}}},\n\
+         \"update_latency\":{{\"participants\":{ul_participants},\"updates\":{ul_updates},\
+         \"p99_us\":{ul_p99},\"bound_us\":{UPDATE_LATENCY_BOUND_US},\
+         \"completed_polls\":{ul_polls},\"polls_per_update\":{ul_per_update:.3},\
+         \"polls_parked\":{ul_parked},\"polls_woken\":{ul_woken},\"armed\":{ul_armed}}},\n\
          \"pass\":{{\"no_collapse\":{no_collapse},\"overlapped\":{overlapped},\
          \"scaled\":{scaled},\"zero_copy\":{zero_copy},\"regen_overlap\":{regen_ok},\
-         \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok}}}\n}}\n",
+         \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok},\
+         \"update_latency\":{ul_ok}}}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
     );
     match std::fs::write(&json_path, &json) {
@@ -683,6 +829,7 @@ fn main() {
         || !zero_copy
         || !regen_ok
         || !hold_ok
+        || !ul_ok
         || regression
     {
         std::process::exit(1);

@@ -101,6 +101,34 @@ pub fn shard_spread_ok(connections_per_shard: &[u64]) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Update-latency (parked long-poll) gates
+// ---------------------------------------------------------------------------
+
+/// The long-poll economy contract: delivering `updates` changes to
+/// `participants` parked watchers must complete at most `1 + epsilon`
+/// polls per delivered update. A ratio meaningfully above 1 means
+/// participants were busy re-polling between changes — exactly what
+/// parking exists to eliminate. Zero expected deliveries is a failed
+/// phase, not a vacuous pass.
+pub fn polls_per_update_ok(
+    completed_polls: u64,
+    participants: u64,
+    updates: u64,
+    epsilon: f64,
+) -> bool {
+    let expected = (participants * updates) as f64;
+    expected > 0.0 && completed_polls as f64 <= expected * (1.0 + epsilon)
+}
+
+/// Change-to-delivery p99 must sit within the bound: a parked poll
+/// completes on the publish wake, not on a polling-interval boundary, so
+/// the latency budget is scheduler noise plus one regeneration — not a
+/// poll period.
+pub fn update_latency_ok(p99_us: u64, bound_us: u64) -> bool {
+    p99_us <= bound_us
+}
+
+// ---------------------------------------------------------------------------
 // Baseline-comparison gate
 // ---------------------------------------------------------------------------
 
@@ -154,6 +182,27 @@ mod tests {
         assert!(!polls_overlapped(1));
         assert!(polls_overlapped(2));
         assert!(polls_overlapped(64));
+    }
+
+    #[test]
+    fn polls_per_update_gate_tracks_the_epsilon_budget() {
+        // 4 participants × 10 updates: exactly one poll each passes.
+        assert!(polls_per_update_ok(40, 4, 10, 0.1));
+        // 10% slack: 44 is the ceiling, 45 busts it.
+        assert!(polls_per_update_ok(44, 4, 10, 0.1));
+        assert!(!polls_per_update_ok(45, 4, 10, 0.1));
+        // The short-poll shape (many empties per update) must fail.
+        assert!(!polls_per_update_ok(400, 4, 10, 0.1));
+        // A phase that delivered nothing is red, not vacuously green.
+        assert!(!polls_per_update_ok(0, 0, 10, 0.1));
+        assert!(!polls_per_update_ok(0, 4, 0, 0.1));
+    }
+
+    #[test]
+    fn update_latency_gate_is_a_simple_bound() {
+        assert!(update_latency_ok(0, 200_000));
+        assert!(update_latency_ok(200_000, 200_000));
+        assert!(!update_latency_ok(200_001, 200_000));
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct AgentConfig {
     /// §3.4) — in native code the cost is a few microseconds, so this
     /// reproduction ships it as an opt-in extension.
     pub authenticate_responses: bool,
+    /// Ceiling on how long the TCP deployment parks a long-poll (a poll
+    /// carrying an `lp=<ms>` parameter) before answering with the empty
+    /// reply. The client's requested wait is capped by this, so a
+    /// misbehaving snippet cannot hold connections open indefinitely.
+    /// Long-polling itself is opt-in per request; polls without `lp`
+    /// answer immediately as the paper specifies.
+    pub park_timeout: SimDuration,
 }
 
 impl Default for AgentConfig {
@@ -70,6 +77,7 @@ impl Default for AgentConfig {
             nav_policy: NavigationPolicy::Immediate,
             interaction_policy: InteractionPolicy::AllParticipants,
             authenticate_responses: false,
+            park_timeout: SimDuration::from_secs(25),
         }
     }
 }

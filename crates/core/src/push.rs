@@ -112,13 +112,15 @@ pub fn expected_sync_delay(
     recovery_time: SimDuration,
 ) -> (SimDuration, SimDuration) {
     // Poll: change waits on average half an interval for the next poll.
-    let poll = SimDuration::from_micros(poll_interval.as_micros() / 2) + transfer_time;
+    // Half of an odd microsecond count rounds up, not down — truncating
+    // here and again on the push side below biased both estimates low.
+    let poll = SimDuration::from_micros(poll_interval.as_micros().div_ceil(2)) + transfer_time;
     // Push: immediate, but a lost part costs the recovery timeout plus
     // the retransfer.
     let p = drop_probability.clamp(0.0, 1.0);
     let push_us = transfer_time.as_micros() as f64
         + p * (recovery_time.as_micros() as f64 + transfer_time.as_micros() as f64);
-    let push = SimDuration::from_micros(push_us as u64);
+    let push = SimDuration::from_micros(push_us.round() as u64);
     (poll, push)
 }
 
@@ -182,6 +184,31 @@ mod tests {
         let (poll2, push2) =
             expected_sync_delay(interval, transfer, 0.12, SimDuration::from_secs(5));
         assert!(push2 > poll2, "push {push2} !> poll {poll2}");
+    }
+
+    #[test]
+    fn expected_delay_rounds_half_up_at_the_boundary() {
+        // An odd poll interval: half of 1_000_001 µs is 500_000.5, which
+        // must round up to 500_001, not truncate to 500_000.
+        let (poll, _) = expected_sync_delay(
+            SimDuration::from_micros(1_000_001),
+            SimDuration::ZERO,
+            0.0,
+            SimDuration::ZERO,
+        );
+        assert_eq!(poll, SimDuration::from_micros(500_001));
+        // Push side: 2 µs transfer + 0.5 · (0 + 2 µs) = 3.0 µs — the old
+        // double truncation through `as u64` lost the fractional part for
+        // any non-terminating product (e.g. 2.5 → 2); `round()` keeps the
+        // estimate centered.
+        let (_, push) = expected_sync_delay(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(2),
+            0.25,
+            SimDuration::ZERO,
+        );
+        // 2 + 0.25 · (0 + 2) = 2.5 → rounds half-up to 3.
+        assert_eq!(push, SimDuration::from_micros(3));
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub struct AjaxSnippet {
     /// §3.4 future-work extension; pairs with
     /// `AgentConfig::authenticate_responses`).
     pub require_response_auth: bool,
+    /// When set, every poll asks the agent to *park* it for up to this
+    /// long instead of answering an up-to-date poll immediately (the
+    /// `lp=<ms>` query parameter; the agent caps the wait at its own
+    /// `park_timeout`). Converts the protocol's per-interval cost into a
+    /// per-change cost: the reply arrives when content changes, not on
+    /// the next interval tick. `None` (the default) keeps the paper's
+    /// plain interval polling.
+    pub long_poll: Option<SimDuration>,
 }
 
 impl AjaxSnippet {
@@ -81,6 +89,7 @@ impl AjaxSnippet {
             updates_applied: 0,
             polls_sent: 0,
             require_response_auth: false,
+            long_poll: None,
         }
     }
 
@@ -101,7 +110,18 @@ impl AjaxSnippet {
         self.polls_sent += 1;
         let actions = std::mem::take(&mut self.pending);
         let body = build_poll_body(self.doc_time, &actions);
-        let mut req = Request::post(format!("/poll?p={}", self.participant_id), body);
+        // The `lp` parameter rides in the request-URI *before* signing,
+        // so the requested park duration is covered by the HMAC like the
+        // participant id.
+        let target = match self.long_poll {
+            Some(wait) => format!(
+                "/poll?p={}&lp={}",
+                self.participant_id,
+                wait.as_millis().max(1)
+            ),
+            None => format!("/poll?p={}", self.participant_id),
+        };
+        let mut req = Request::post(target, body);
         sign_request(&self.key, &mut req);
         req
     }
@@ -329,6 +349,21 @@ mod tests {
         assert!(body.contains("mouse|1|2"));
         assert_eq!(s.pending_actions(), 0, "pending drained");
         assert!(crate::auth::verify_request(&key(), &req));
+    }
+
+    #[test]
+    fn long_poll_parameter_rides_the_signed_uri() {
+        let mut s = AjaxSnippet::new(3, key(), SimDuration::from_secs(1));
+        s.long_poll = Some(SimDuration::from_millis(2500));
+        let req = s.build_poll();
+        assert!(req.target.starts_with("/poll?p=3&lp=2500"));
+        assert!(
+            crate::auth::verify_request(&key(), &req),
+            "lp must be MAC-covered"
+        );
+        // Sub-millisecond waits still request a nonzero park.
+        s.long_poll = Some(SimDuration::from_micros(10));
+        assert!(s.build_poll().target.contains("&lp=1"));
     }
 
     #[test]

@@ -63,7 +63,9 @@ use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_cache::MappingTable;
 use rcb_crypto::SessionKey;
 use rcb_http::client::HttpConnection;
-use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig};
+use rcb_http::server::{
+    Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
+};
 use rcb_http::{Request, Response, Status};
 use rcb_util::{RcbError, Result, SimDuration, SimTime};
 
@@ -95,6 +97,9 @@ struct TcpStats {
     polls_in_flight: AtomicU64,
     max_concurrent_polls: AtomicU64,
     body_bytes_copied: AtomicU64,
+    polls_parked: AtomicU64,
+    polls_woken: AtomicU64,
+    polls_park_timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of the host's concurrent-path counters.
@@ -122,6 +127,15 @@ pub struct TcpHostStats {
     /// matter how large the content is or how many polls are served —
     /// only small owned bodies (error texts) ever add to it.
     pub body_bytes_copied: u64,
+    /// Up-to-date polls parked as long-polls (`lp=` requests) instead of
+    /// being answered empty immediately.
+    pub polls_parked: u64,
+    /// Parked polls completed by a snapshot publication (each also counts
+    /// in `polls_with_content`).
+    pub polls_woken: u64,
+    /// Parked polls that hit their park deadline and fell back to the
+    /// empty reply (each also counts in `polls_empty`).
+    pub polls_park_timeouts: u64,
 }
 
 /// Decrements the in-flight poll gauge even on early returns.
@@ -169,6 +183,11 @@ struct SharedHost {
     empty_poll_response: Response,
     key: SessionKey,
     stats: TcpStats,
+    /// The server's park/wake rendezvous (shared with every backend
+    /// engine via `ServerConfig::park_hub`): snapshot publication calls
+    /// [`ParkHub::publish`] with the new `dom_version`, completing every
+    /// long-poll parked on an older version.
+    park: Arc<ParkHub>,
 }
 
 impl SharedHost {
@@ -254,30 +273,55 @@ impl SharedHost {
             let mut core = self.lock_core();
             core.agent.admit_generated(snap.dom_version, mode, content);
         }
-        {
+        let swapped = {
             let mut published = self
                 .snapshot
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if snap.dom_version > published.dom_version {
+                let version = snap.dom_version;
                 *published = snap;
+                Some(version)
+            } else {
+                None
             }
+        };
+        // The long-poll wake: publication *is* the pointer swap, so the
+        // hub is notified only when this generation actually won the race
+        // (a loser would re-wake parked polls with nothing new). Outside
+        // the write lock — `publish` takes the hub's own locks and pokes
+        // the engine wakers, and lock ordering keeps hub internals a leaf.
+        if let Some(version) = swapped {
+            self.park.publish(version);
         }
         clear_marker();
         Ok(())
     }
 
     /// The full Fig.-2 request classification, on the concurrent paths.
-    fn handle(&self, req: &Request) -> Response {
-        let mut response = match (req.method, req.path()) {
+    /// Every response — immediate or deferred through a park closure —
+    /// leaves through [`SharedHost::finalize`], so signing and copy
+    /// accounting are identical on both paths.
+    fn handle(self: &Arc<Self>, req: &Request) -> HandlerOutcome {
+        match (req.method, req.path()) {
             (rcb_http::Method::Get, "/") => {
                 self.stats.connections.fetch_add(1, Ordering::Relaxed);
-                self.initial_page_response.clone()
+                self.finalize(self.initial_page_response.clone()).into()
             }
-            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => self.serve_object(req),
+            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
+                self.finalize(self.serve_object(req)).into()
+            }
             (rcb_http::Method::Post, "/poll") => self.handle_poll(req),
-            _ => Response::error(Status::NOT_FOUND, "unknown request type"),
-        };
+            _ => self
+                .finalize(Response::error(Status::NOT_FOUND, "unknown request type"))
+                .into(),
+        }
+    }
+
+    /// Response post-processing shared by the immediate path and the
+    /// long-poll wake/timeout closures: sign when configured, account
+    /// heap-copied body bytes.
+    fn finalize(&self, mut response: Response) -> Response {
         // Prefab responses were signed (when configured) at freeze time;
         // signing them again would desync the frozen image.
         if self.config.authenticate_responses
@@ -320,7 +364,15 @@ impl SharedHost {
 
     /// Ajax polls: HMAC verification and timestamp inspection are pure
     /// reads; only piggybacked actions take the host mutex.
-    fn handle_poll(&self, req: &Request) -> Response {
+    ///
+    /// An up-to-date poll carrying an `lp=<ms>` parameter does not answer
+    /// at all: it returns [`HandlerOutcome::Park`], and the server engine
+    /// holds the connection until the next snapshot publication (wake:
+    /// the fresh prefab wire image, still zero-copy) or the park deadline
+    /// (timeout: the empty-poll prefab) — converting per-interval polls
+    /// into per-change replies. Parking is opt-in per request; without
+    /// `lp` the empty reply goes out immediately, as the paper specifies.
+    fn handle_poll(self: &Arc<Self>, req: &Request) -> HandlerOutcome {
         let in_flight = self.stats.polls_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats
             .max_concurrent_polls
@@ -329,13 +381,23 @@ impl SharedHost {
 
         if !crate::auth::verify_request(&self.key, req) {
             self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
-            return Response::error(Status::UNAUTHORIZED, "HMAC verification failed");
+            return self
+                .finalize(Response::error(
+                    Status::UNAUTHORIZED,
+                    "HMAC verification failed",
+                ))
+                .into();
         }
         // Same contract as the sequential agent: a missing/malformed `p`
         // must not collapse participants into shared pid-0 state.
         let Some(pid) = req.query_param("p").and_then(|v| v.parse::<u64>().ok()) else {
             self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Response::error(Status::BAD_REQUEST, "missing or malformed participant id");
+            return self
+                .finalize(Response::error(
+                    Status::BAD_REQUEST,
+                    "missing or malformed participant id",
+                ))
+                .into();
         };
         // Borrowed parse: `from_utf8_lossy` only allocates when the body
         // is not valid UTF-8 (never for snippet-built polls) — the old
@@ -376,11 +438,59 @@ impl SharedHost {
             self.participants.advance_doc_time(pid, snap.doc_time);
             // Prefab wire image: every participant's content poll for this
             // generation is byte-identical, serialized once at build time.
-            snap.poll_response()
-        } else {
-            self.stats.polls_empty.fetch_add(1, Ordering::Relaxed);
-            self.empty_poll_response.clone()
+            return self.finalize(snap.poll_response()).into();
         }
+        // Up to date. Park if (and only if) the request asked to.
+        let requested_ms = req
+            .query_param("lp")
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0);
+        if let Some(ms) = requested_ms {
+            let max_wait = std::time::Duration::from_millis(ms).min(
+                std::time::Duration::from_micros(self.config.park_timeout.as_micros()),
+            );
+            self.stats.polls_parked.fetch_add(1, Ordering::Relaxed);
+            let on_wake_host = Arc::clone(self);
+            let on_timeout_host = Arc::clone(self);
+            return HandlerOutcome::Park(Park {
+                // dom_version, not doc_time: the version is strictly
+                // monotonic under the publish guard, while doc_time is
+                // wall-clock milliseconds and can collide across rapid
+                // publishes. `ParkHub::publish` receives the same value.
+                wait_key: snap.dom_version,
+                max_wait,
+                on_wake: Box::new(move || {
+                    // Re-read at wake time: the response must be the
+                    // snapshot that exists *now*, not a stale capture.
+                    let snap = on_wake_host.current_snapshot();
+                    on_wake_host
+                        .stats
+                        .polls_woken
+                        .fetch_add(1, Ordering::Relaxed);
+                    on_wake_host
+                        .stats
+                        .polls_with_content
+                        .fetch_add(1, Ordering::Relaxed);
+                    on_wake_host
+                        .participants
+                        .advance_doc_time(pid, snap.doc_time);
+                    on_wake_host.finalize(snap.poll_response())
+                }),
+                on_timeout: Box::new(move || {
+                    on_timeout_host
+                        .stats
+                        .polls_park_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    on_timeout_host
+                        .stats
+                        .polls_empty
+                        .fetch_add(1, Ordering::Relaxed);
+                    on_timeout_host.finalize(on_timeout_host.empty_poll_response.clone())
+                }),
+            });
+        }
+        self.stats.polls_empty.fetch_add(1, Ordering::Relaxed);
+        self.finalize(self.empty_poll_response.clone()).into()
     }
 
     fn stats_snapshot(&self) -> TcpHostStats {
@@ -393,6 +503,21 @@ impl SharedHost {
             bad_requests: self.stats.bad_requests.load(Ordering::Relaxed),
             max_concurrent_polls: self.stats.max_concurrent_polls.load(Ordering::Relaxed),
             body_bytes_copied: self.stats.body_bytes_copied.load(Ordering::Relaxed),
+            polls_parked: self.stats.polls_parked.load(Ordering::Relaxed),
+            polls_woken: self.stats.polls_woken.load(Ordering::Relaxed),
+            polls_park_timeouts: self.stats.polls_park_timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
+        let plan = {
+            let mut core = self.lock_core();
+            core.browser.mutate_dom(f)?;
+            self.plan_republish(&mut core)?
+        };
+        match plan {
+            Some(plan) => self.finish_republish(plan),
+            None => Ok(()),
         }
     }
 }
@@ -459,6 +584,10 @@ impl TcpHost {
             sign_with,
         );
         let snapshot = ContentSnapshot::build(&mut agent, &browser, wall_now(), None)?;
+        // Grab the hub handle before `server_config` moves into the bind:
+        // snapshot publication signals this hub, and the server's event
+        // loops registered their wakers on the very same instance.
+        let park = Arc::clone(&server_config.park_hub);
         let shared = Arc::new(SharedHost {
             snapshot: RwLock::new(snapshot),
             regen_in_flight: AtomicU64::new(0),
@@ -469,6 +598,7 @@ impl TcpHost {
             empty_poll_response,
             key: key.clone(),
             stats: TcpStats::default(),
+            park,
         });
         let handler_state = Arc::clone(&shared);
         let handler: Handler = Arc::new(move |req| handler_state.handle(&req));
@@ -514,15 +644,14 @@ impl TcpHost {
     /// content-generation failure is returned to the host (the previous
     /// snapshot keeps serving until a retry succeeds).
     pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
-        let plan = {
-            let mut core = self.shared.lock_core();
-            core.browser.mutate_dom(f)?;
-            self.shared.plan_republish(&mut core)?
-        };
-        match plan {
-            Some(plan) => self.shared.finish_republish(plan),
-            None => Ok(()),
-        }
+        self.shared.mutate_page(f)
+    }
+
+    /// Test hook: a handle to the shared host state so tests can mutate
+    /// the page from another thread while a poll is parked.
+    #[cfg(test)]
+    fn clone_shared_for_test(&self) -> Arc<SharedHost> {
+        Arc::clone(&self.shared)
     }
 
     /// Number of participants the agent has seen.
@@ -634,6 +763,14 @@ impl TcpParticipant {
             }
         }
         Ok(outcome)
+    }
+
+    /// Opts this participant into parked long-polling: an up-to-date
+    /// poll is held open by the agent for up to `wait` (capped by the
+    /// host's [`AgentConfig::park_timeout`]) and completed the moment a
+    /// new snapshot publishes, instead of returning empty immediately.
+    pub fn enable_long_poll(&mut self, wait: SimDuration) {
+        self.snippet.long_poll = Some(wait);
     }
 
     /// Convenience: polls until new content arrives or `attempts` polls
@@ -964,5 +1101,112 @@ mod tests {
             assert!(alice.browser.cache.contains(u));
         }
         host.shutdown();
+    }
+
+    fn start_host_on(backend: ServerBackend) -> TcpHost {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse("http://demo.local/").unwrap());
+        browser.doc = Some(rcb_html::parse_document(PAGE));
+        browser.mutate_dom(|_| {}).unwrap();
+        TcpHost::start_from_browser(
+            "127.0.0.1:0",
+            browser,
+            key,
+            AgentConfig::default(),
+            ServerConfig {
+                backend,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn park_backends() -> Vec<ServerBackend> {
+        let mut backends = vec![ServerBackend::Workers];
+        if rcb_http::server::EPOLL_SUPPORTED {
+            backends.push(ServerBackend::Epoll);
+            backends.push(ServerBackend::EpollSharded(2));
+        }
+        backends
+    }
+
+    #[test]
+    fn parked_long_poll_wakes_on_mutation() {
+        for backend in park_backends() {
+            let mut host = start_host_on(backend);
+            let addr = host.addr().to_string();
+            let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+            alice.poll().unwrap(); // initial sync; now up to date
+            alice.enable_long_poll(SimDuration::from_secs(5));
+            let handle = {
+                let host = host.clone_shared_for_test();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(120));
+                    host.mutate_page(|doc| {
+                        let body = doc.body().unwrap();
+                        let div = doc.create_element("div");
+                        let t = doc.create_text("parked wake");
+                        doc.append_child(div, t).unwrap();
+                        doc.append_child(body, div).unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            let started = std::time::Instant::now();
+            let outcome = alice.poll().unwrap();
+            let elapsed = started.elapsed();
+            handle.join().unwrap();
+            assert!(
+                matches!(outcome, SnippetOutcome::Updated { .. }),
+                "{backend:?}: parked poll must complete with content"
+            );
+            let doc = alice.browser.doc.as_ref().unwrap();
+            assert!(doc.text_content(doc.root()).contains("parked wake"));
+            assert!(
+                elapsed >= std::time::Duration::from_millis(100),
+                "{backend:?}: poll returned before the mutation ({elapsed:?})"
+            );
+            assert!(
+                elapsed < std::time::Duration::from_secs(4),
+                "{backend:?}: wake took {elapsed:?}, looks like a timeout"
+            );
+            let stats = host.stats();
+            assert_eq!(stats.polls_parked, 1, "{backend:?}");
+            assert_eq!(stats.polls_woken, 1, "{backend:?}");
+            assert_eq!(stats.polls_park_timeouts, 0, "{backend:?}");
+            // The woken reply is the prefab snapshot wire image.
+            assert_eq!(stats.body_bytes_copied, 0, "{backend:?}");
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn parked_long_poll_times_out_to_empty_reply() {
+        for backend in park_backends() {
+            let mut host = start_host_on(backend);
+            let addr = host.addr().to_string();
+            let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+            alice.poll().unwrap();
+            alice.enable_long_poll(SimDuration::from_millis(200));
+            let started = std::time::Instant::now();
+            let outcome = alice.poll().unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                matches!(outcome, SnippetOutcome::NoNewContent),
+                "{backend:?}: timed-out park must fall back to the empty reply"
+            );
+            assert!(
+                elapsed >= std::time::Duration::from_millis(150),
+                "{backend:?}: park returned after only {elapsed:?}"
+            );
+            let stats = host.stats();
+            assert_eq!(stats.polls_parked, 1, "{backend:?}");
+            assert_eq!(stats.polls_woken, 0, "{backend:?}");
+            assert_eq!(stats.polls_park_timeouts, 1, "{backend:?}");
+            assert_eq!(stats.body_bytes_copied, 0, "{backend:?}");
+            host.shutdown();
+        }
     }
 }

@@ -28,17 +28,19 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response> {
     let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     loop {
-        // Try parsing what we have once the head looks complete.
+        // Try parsing what we have once the head looks complete. The
+        // framing length comes from the same strict header parse the
+        // full response parse uses: a malformed or conflicting
+        // Content-Length is a hard error here, not a silent 0 — guessing
+        // 0 would return a bodyless response and desync every subsequent
+        // round trip on this keep-alive stream.
         if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            let head = String::from_utf8_lossy(&buf[..head_end]);
-            let declared = head
-                .lines()
-                .find_map(|l| {
-                    let (name, value) = l.split_once(':')?;
-                    name.eq_ignore_ascii_case("content-length")
-                        .then(|| value.trim().parse::<usize>().ok())?
-                })
-                .unwrap_or(0);
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| RcbError::parse("http", "non-UTF-8 response head"))?;
+            let mut lines = head.split("\r\n");
+            let _status_line = lines.next(); // validated by parse_response
+            let headers = crate::parse::parse_header_lines(lines)?;
+            let declared = headers.content_length()?.unwrap_or(0);
             if buf.len() >= head_end + 4 + declared {
                 return parse_response(&buf[..head_end + 4 + declared]);
             }
@@ -82,12 +84,11 @@ impl HttpConnection {
 mod tests {
     use super::*;
     use crate::message::Status;
-    use crate::server::{Handler, HttpServer};
-    use std::sync::Arc;
+    use crate::server::{handler_fn, Handler, HttpServer};
 
     #[test]
     fn persistent_connection_round_trips() {
-        let handler: Handler = Arc::new(|req| {
+        let handler: Handler = handler_fn(|req| {
             crate::message::Response::with_body(Status::OK, "text/plain", req.body.clone())
         });
         let mut server = HttpServer::bind("127.0.0.1:0", handler).unwrap();
@@ -100,5 +101,30 @@ mod tests {
             assert_eq!(resp.body, body);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn malformed_response_content_length_is_a_parse_error() {
+        // A raw listener playing a broken origin: each canned response
+        // has a Content-Length the client must reject outright (the old
+        // code treated all of these as 0 and returned a bodyless
+        // response, desyncing the stream).
+        for raw in [
+            &b"HTTP/1.1 200 OK\r\nContent-Length: nan\r\n\r\nhello"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: +5\r\n\r\nhello"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!"[..],
+        ] {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let server = std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut discard = [0u8; 4096];
+                let _ = stream.read(&mut discard);
+                stream.write_all(raw).unwrap();
+            });
+            let err = send_request(&addr, &Request::get("/"));
+            assert!(err.is_err(), "{:?}", String::from_utf8_lossy(raw));
+            server.join().unwrap();
+        }
     }
 }

@@ -58,7 +58,7 @@ use rcb_util::Result;
 use crate::message::{Request, Response, Status};
 use crate::parse::RequestParser;
 use crate::serialize::{ResponseWriter, WriteProgress};
-use crate::server::{Handler, ServerConfig, ServerStats};
+use crate::server::{Handler, HandlerOutcome, ParkHub, ServerConfig, ServerStats};
 
 /// This module variant is the real backend (see `epoll_stub.rs` for the
 /// other half of the contract behind `server::EPOLL_SUPPORTED`).
@@ -87,10 +87,12 @@ struct Job {
     close: bool,
 }
 
-/// A handler result travelling back to the owning shard's event loop.
+/// A handler result travelling back to the owning shard's event loop —
+/// either a response to write or a park instruction to install on the
+/// connection's slot.
 struct Completion {
     token: u64,
-    response: Response,
+    outcome: HandlerOutcome,
     close: bool,
 }
 
@@ -210,7 +212,7 @@ fn dispatch_worker(shared: Arc<ShardShared>, handler: Handler, waker: WakeHandle
         // Unwind-protected: a panicking handler must still produce a
         // completion (and close the connection), or the dispatch thread
         // dies and the connection wedges with dispatch_in_flight set.
-        let (response, panicked) = crate::server::invoke_handler(&handler, job.request);
+        let (outcome, panicked) = crate::server::invoke_handler(&handler, job.request);
         {
             let mut c = shared
                 .completions
@@ -218,12 +220,28 @@ fn dispatch_worker(shared: Arc<ShardShared>, handler: Handler, waker: WakeHandle
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             c.push(Completion {
                 token: job.token,
-                response,
+                outcome,
                 close: job.close || panicked,
             });
         }
         waker.wake();
     }
+}
+
+/// A long-poll parked on a connection slot: the handler declined to
+/// answer until the [`ParkHub`] publishes a key newer than `wait_key` or
+/// `deadline` passes. The connection consumes no dispatch slot while
+/// parked — it sits in the slot table like an idle keep-alive connection,
+/// and the owning loop completes it from `on_wake`/`on_timeout` on a
+/// future tick.
+struct ParkedPoll {
+    wait_key: u64,
+    deadline: Instant,
+    on_wake: Box<dyn FnOnce() -> Response + Send>,
+    on_timeout: Box<dyn FnOnce() -> Response + Send>,
+    /// `Connection: close` (or a panic) was attached to the parked
+    /// request: close once the eventual response is written.
+    close: bool,
 }
 
 /// One connection's state machine, owned by exactly one shard's loop.
@@ -242,6 +260,11 @@ struct Conn {
     close_after_write: bool,
     /// A request is at the handler; at most one per connection.
     dispatch_in_flight: bool,
+    /// A long-poll is parked here awaiting publish/timeout. Like
+    /// `dispatch_in_flight`, it blocks further dispatch from `pending`,
+    /// so pipelined requests behind a parked poll still complete in
+    /// request order.
+    parked: Option<ParkedPoll>,
     /// The parser hit malformed bytes: answer 400 after the queue drains,
     /// then close. Sticky — no further reads once set.
     parse_failed: bool,
@@ -310,7 +333,10 @@ fn advance_conn(conn: &mut Conn, dispatch: &ShardShared) -> Verdict {
                 Ok(WriteProgress::Blocked) => return Verdict::Keep,
                 Err(_) => return Verdict::Close,
             }
-        } else if conn.dispatch_in_flight {
+        } else if conn.dispatch_in_flight || conn.parked.is_some() {
+            // A parked long-poll holds the dispatch position exactly like
+            // an in-flight handler call: nothing behind it starts until
+            // the park resolves, preserving pipeline order.
             return Verdict::Keep;
         } else if let Some((request, close)) = conn.pending.pop_front() {
             conn.dispatch_in_flight = true;
@@ -393,6 +419,14 @@ struct LoopShard {
     free: Vec<usize>,
     /// Present only on the acceptor shard (index 0).
     acceptor: Option<Acceptor>,
+    /// The park/wake rendezvous shared with the application (and the
+    /// other shards). Publishes poke this loop's waker; the loop re-scans
+    /// its parked slots on every tick regardless, so a racing publish is
+    /// at worst one tick late, never lost.
+    park: Arc<ParkHub>,
+    /// Live parked long-polls in this shard's slot table — lets every
+    /// tick skip the slot scan in the (typical) no-parks case.
+    parked_count: usize,
 }
 
 impl LoopShard {
@@ -400,10 +434,15 @@ impl LoopShard {
         let mut events = vec![EpollEvent::zeroed(); 1024];
         while !self.shared.stopped() {
             // The 50 ms ceiling is the stop-flag safety net; a muted
-            // listener shortens the wait to its unmute deadline so a 1 ms
-            // accept backoff is not quantized up to a full tick.
+            // listener or a parked long-poll shortens the wait to its own
+            // deadline so neither a 1 ms accept backoff nor a park
+            // timeout is quantized up to a full tick.
             let muted_until = self.acceptor.as_ref().and_then(|a| a.listener_muted_until);
-            let timeout = match muted_until {
+            let deadline = match (muted_until, self.nearest_park_deadline()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let timeout = match deadline {
                 Some(deadline) => (deadline
                     .saturating_duration_since(Instant::now())
                     .as_millis() as i32)
@@ -424,10 +463,60 @@ impl LoopShard {
             }
             self.adopt_handoffs();
             self.process_completions();
+            self.service_parked();
             self.maybe_unmute_listener();
             if accept_ready {
                 self.accept_drain();
             }
+        }
+    }
+
+    /// The soonest park timeout in this shard's slot table, if any.
+    fn nearest_park_deadline(&self) -> Option<Instant> {
+        if self.parked_count == 0 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .filter_map(|s| s.conn.as_ref())
+            .filter_map(|c| c.parked.as_ref())
+            .map(|p| p.deadline)
+            .min()
+    }
+
+    /// Completes parked long-polls whose wake condition or timeout has
+    /// arrived: the response comes from the park's own closure (wake =
+    /// fresh content, timeout = the empty-poll fallback) and enters the
+    /// ordinary staged write path — prefab images stay zero-copy, and
+    /// `advance_conn` resumes any requests pipelined behind the park.
+    fn service_parked(&mut self) {
+        if self.parked_count == 0 {
+            return;
+        }
+        let published = self.park.published();
+        let now = Instant::now();
+        for index in 0..self.slots.len() {
+            let Some(conn) = self.slots[index].conn.as_mut() else {
+                continue;
+            };
+            let due = match conn.parked.as_ref() {
+                Some(p) => published > p.wait_key || now >= p.deadline,
+                None => false,
+            };
+            if !due {
+                continue;
+            }
+            let parked = conn.parked.take().expect("checked above");
+            self.parked_count -= 1;
+            let response = if published > parked.wait_key {
+                (parked.on_wake)()
+            } else {
+                (parked.on_timeout)()
+            };
+            conn.close_after_write = parked.close;
+            conn.write = Some(ResponseWriter::new(response));
+            let verdict = advance_conn(conn, &self.shared);
+            self.settle(index, verdict);
         }
     }
 
@@ -556,6 +645,7 @@ impl LoopShard {
             write: None,
             close_after_write: false,
             dispatch_in_flight: false,
+            parked: None,
             parse_failed: false,
             peer_closed: false,
         });
@@ -603,6 +693,9 @@ impl LoopShard {
         match verdict {
             Verdict::Close => {
                 let conn = slot.conn.take().expect("checked above");
+                if conn.parked.is_some() {
+                    self.parked_count -= 1;
+                }
                 let _ = self.epoll.delete(conn.stream.as_raw_fd());
                 // The generation bump invalidates any in-flight dispatch
                 // for this slot; its completion will be dropped as stale.
@@ -623,7 +716,11 @@ impl LoopShard {
         }
     }
 
-    /// Delivers finished handler responses back to their connections.
+    /// Delivers finished handler outcomes back to their connections: a
+    /// response starts its staged write; a park installs on the slot (to
+    /// be completed by [`LoopShard::service_parked`] — which runs right
+    /// after this on the same tick, so a publish that already happened
+    /// wakes the poll without waiting another tick).
     fn process_completions(&mut self) {
         for completion in self.shared.take_completions() {
             let (index, gen) = token_parts(completion.token);
@@ -637,8 +734,22 @@ impl LoopShard {
                 continue;
             };
             conn.dispatch_in_flight = false;
-            conn.close_after_write = completion.close;
-            conn.write = Some(ResponseWriter::new(completion.response));
+            match completion.outcome {
+                HandlerOutcome::Respond(response) => {
+                    conn.close_after_write = completion.close;
+                    conn.write = Some(ResponseWriter::new(response));
+                }
+                HandlerOutcome::Park(park) => {
+                    conn.parked = Some(ParkedPoll {
+                        wait_key: park.wait_key,
+                        deadline: Instant::now() + park.max_wait,
+                        on_wake: park.on_wake,
+                        on_timeout: park.on_timeout,
+                        close: completion.close,
+                    });
+                    self.parked_count += 1;
+                }
+            }
             let verdict = advance_conn(conn, &self.shared);
             self.settle(index, verdict);
         }
@@ -718,7 +829,16 @@ impl EpollServer {
                 slots: Vec::new(),
                 free: Vec::new(),
                 acceptor,
+                park: Arc::clone(&config.park_hub),
+                parked_count: 0,
             });
+            // A publish on the hub pokes this shard's waker, so a parked
+            // poll completes on the very next loop iteration instead of
+            // waiting out the 50 ms tick.
+            let waker = handles[index].waker.clone();
+            config
+                .park_hub
+                .register_waker(Box::new(move || waker.wake()));
         }
 
         // Phase 2, infallible: start every loop and its dispatch slice.

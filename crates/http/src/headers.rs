@@ -4,6 +4,8 @@
 //! can matter for repeated fields (`Set-Cookie`), so the map preserves
 //! insertion order and stores the original spelling.
 
+use rcb_util::{RcbError, Result};
+
 /// An ordered multimap of HTTP header fields.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeaderMap {
@@ -69,10 +71,43 @@ impl HeaderMap {
         self.entries.is_empty()
     }
 
-    /// Parses `Content-Length` if present and well-formed.
-    pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length")
-            .and_then(|v| v.trim().parse().ok())
+    /// Parses `Content-Length`, distinguishing *absent* from *invalid*.
+    ///
+    /// `Ok(None)` means the header is absent (callers pick their own
+    /// default); `Ok(Some(n))` means every `Content-Length` field agrees
+    /// on the decimal value `n`. Anything else — a non-digit value, an
+    /// empty value, a signed value like `+5`, or duplicates that disagree
+    /// — is `Err`, never silently 0: a message framed by a bad length
+    /// desyncs the connection (the request-smuggling shape), so it must
+    /// be rejected, not guessed at. Identical duplicates are tolerated
+    /// (RFC 7230 §3.3.2 allows receivers to accept them).
+    pub fn content_length(&self) -> Result<Option<usize>> {
+        let values = self.get_all("content-length");
+        let Some(first) = values.first() else {
+            return Ok(None);
+        };
+        let parse = |v: &str| {
+            let v = v.trim();
+            // `usize::from_str` accepts a leading '+'; HTTP does not.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(RcbError::parse(
+                    "http",
+                    format!("invalid Content-Length {v:?}"),
+                ));
+            }
+            v.parse::<usize>()
+                .map_err(|_| RcbError::parse("http", format!("invalid Content-Length {v:?}")))
+        };
+        let n = parse(first)?;
+        for v in &values[1..] {
+            if parse(v)? != n {
+                return Err(RcbError::parse(
+                    "http",
+                    "conflicting duplicate Content-Length",
+                ));
+            }
+        }
+        Ok(Some(n))
     }
 }
 
@@ -111,11 +146,31 @@ mod tests {
     #[test]
     fn content_length_parsing() {
         let mut h = HeaderMap::new();
-        assert_eq!(h.content_length(), None);
+        assert_eq!(h.content_length().unwrap(), None, "absent is fine");
         h.set("Content-Length", " 42 ");
-        assert_eq!(h.content_length(), Some(42));
-        h.set("Content-Length", "nan");
-        assert_eq!(h.content_length(), None);
+        assert_eq!(h.content_length().unwrap(), Some(42));
+        // Invalid values are errors, never a silent 0.
+        for bad in ["nan", "", "+5", "-1", "4 2", "0x10", "42abc"] {
+            h.set("Content-Length", bad);
+            assert!(h.content_length().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn content_length_duplicates() {
+        // Identical duplicates are tolerated (RFC 7230 §3.3.2)...
+        let mut h = HeaderMap::new();
+        h.append("Content-Length", "7");
+        h.append("content-length", " 7");
+        assert_eq!(h.content_length().unwrap(), Some(7));
+        // ...conflicting ones are the smuggling shape: hard error.
+        h.append("Content-Length", "8");
+        assert!(h.content_length().is_err());
+        // A duplicate that is itself malformed is also an error.
+        let mut h2 = HeaderMap::new();
+        h2.append("Content-Length", "7");
+        h2.append("Content-Length", "x");
+        assert!(h2.content_length().is_err());
     }
 
     #[test]

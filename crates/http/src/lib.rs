@@ -37,4 +37,7 @@ pub mod server;
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, RequestParser};
-pub use server::{Handler, HttpServer, ServerBackend, ServerConfig, ServerStats};
+pub use server::{
+    handler_fn, Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
+    ServerStats,
+};

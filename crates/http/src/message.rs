@@ -520,7 +520,7 @@ mod tests {
     #[test]
     fn post_sets_content_length() {
         let r = Request::post("/poll", b"a=1".to_vec());
-        assert_eq!(r.headers.content_length(), Some(3));
+        assert_eq!(r.headers.content_length().unwrap(), Some(3));
     }
 
     #[test]
@@ -540,7 +540,7 @@ mod tests {
     fn response_constructors() {
         let r = Response::html("<html></html>");
         assert_eq!(r.content_type().as_deref(), Some("text/html"));
-        assert_eq!(r.headers.content_length(), Some(13));
+        assert_eq!(r.headers.content_length().unwrap(), Some(13));
         let x = Response::xml("<a/>");
         assert_eq!(x.content_type().as_deref(), Some("application/xml"));
         let e = Response::empty_ok();

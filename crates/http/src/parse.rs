@@ -52,7 +52,10 @@ impl RequestParser {
         let head = std::str::from_utf8(&self.buffer[..head_end])
             .map_err(|_| RcbError::parse("http", "non-UTF-8 request head"))?;
         let (method, target, headers) = parse_request_head(head)?;
-        let body_len = headers.content_length().unwrap_or(0);
+        // Absent Content-Length means no body; present-but-invalid is a
+        // parse error (→ 400 and close), never treated as 0 — framing by
+        // a guessed length is how request smuggling starts.
+        let body_len = headers.content_length()?.unwrap_or(0);
         if body_len > MAX_BODY {
             return Err(RcbError::parse("http", "declared body too large"));
         }
@@ -115,7 +118,7 @@ pub fn parse_response(data: &[u8]) -> Result<Response> {
         return Ok(Response::from_parts(Status(code), headers, body));
     }
     let body_len = headers
-        .content_length()
+        .content_length()?
         .unwrap_or(data.len() - head_end - 4);
     if data.len() < body_start + body_len {
         return Err(RcbError::parse("http", "truncated response body"));
@@ -192,7 +195,7 @@ fn parse_request_head(head: &str) -> Result<(Method, String, HeaderMap)> {
     Ok((method, target, headers))
 }
 
-fn parse_header_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Result<HeaderMap> {
+pub(crate) fn parse_header_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Result<HeaderMap> {
     let mut headers = HeaderMap::new();
     for line in lines {
         if line.is_empty() {
@@ -290,6 +293,39 @@ mod tests {
         assert!(p2.next_request().unwrap().is_none());
         p2.feed(b"cde");
         assert!(p2.next_request().unwrap().is_some());
+    }
+
+    #[test]
+    fn invalid_content_length_is_a_parse_error_not_zero() {
+        // The old behaviour mapped these to body_len = 0, splitting one
+        // request into a bogus request plus trailing garbage.
+        for bad in [
+            &b"POST /p HTTP/1.1\r\nContent-Length: nan\r\n\r\nhello"[..],
+            &b"POST /p HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello"[..],
+            &b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!"[..],
+            &b"POST /p HTTP/1.1\r\nContent-Length:\r\n\r\n"[..],
+        ] {
+            let mut p = RequestParser::new();
+            p.feed(bad);
+            assert!(
+                p.next_request().is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // Identical duplicates still frame correctly.
+        let mut p = RequestParser::new();
+        p.feed(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(p.next_request().unwrap().unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn response_with_invalid_content_length_rejected() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: zz\r\n\r\n").is_err());
+        assert!(parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nabc"
+        )
+        .is_err());
     }
 
     #[test]

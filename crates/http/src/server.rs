@@ -42,7 +42,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rcb_util::Result;
 
@@ -55,18 +55,199 @@ use crate::serialize::write_response_to;
 /// `lib.rs`; each `epoll` module variant reports its own support).
 pub const EPOLL_SUPPORTED: bool = crate::epoll::SUPPORTED;
 
-/// The request handler type: shared across worker/dispatch threads.
-pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+/// The request handler type: shared across worker/dispatch threads. A
+/// handler either answers immediately ([`HandlerOutcome::Respond`]) or
+/// parks the connection until an event key is published
+/// ([`HandlerOutcome::Park`] — the long-poll path).
+pub type Handler = Arc<dyn Fn(Request) -> HandlerOutcome + Send + Sync>;
+
+/// Wraps a plain `Request -> Response` closure as a [`Handler`]. Most
+/// handlers never park; this keeps them free of `HandlerOutcome` noise.
+pub fn handler_fn<F>(f: F) -> Handler
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    Arc::new(move |req| HandlerOutcome::Respond(f(req)))
+}
+
+/// What a handler decided to do with one request.
+pub enum HandlerOutcome {
+    /// Answer now (the overwhelmingly common case).
+    Respond(Response),
+    /// Hold the connection open — a parked long-poll. The engine keeps
+    /// the connection in its slot table (no dispatch slot consumed on the
+    /// epoll backends) and completes it when the server's [`ParkHub`]
+    /// publishes a key newer than `wait_key`, or when `max_wait` elapses.
+    Park(Park),
+}
+
+impl From<Response> for HandlerOutcome {
+    fn from(resp: Response) -> HandlerOutcome {
+        HandlerOutcome::Respond(resp)
+    }
+}
+
+impl fmt::Debug for HandlerOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerOutcome::Respond(r) => f.debug_tuple("Respond").field(&r.status).finish(),
+            HandlerOutcome::Park(p) => f
+                .debug_struct("Park")
+                .field("wait_key", &p.wait_key)
+                .field("max_wait", &p.max_wait)
+                .finish(),
+        }
+    }
+}
+
+/// A deferred long-poll response. The response is produced by a closure
+/// *at completion time*, not captured up front: a woken poll must serve
+/// the snapshot that exists when the wake fires, and re-dispatching the
+/// original request instead would re-run its side effects (auth checks,
+/// piggybacked action merges).
+pub struct Park {
+    /// Completes when the hub publishes any key **greater than** this —
+    /// for RCB, the `dom_version` the client is already up to date with.
+    pub wait_key: u64,
+    /// Ceiling on how long the connection stays parked before
+    /// `on_timeout` answers it.
+    pub max_wait: Duration,
+    /// Produces the response when a newer key is published.
+    pub on_wake: Box<dyn FnOnce() -> Response + Send>,
+    /// Produces the fallback response when `max_wait` elapses first.
+    pub on_timeout: Box<dyn FnOnce() -> Response + Send>,
+}
+
+/// The park/wake rendezvous shared by the application and the server
+/// engine. The application calls [`ParkHub::publish`] with a monotonic
+/// event key (RCB: the freshly published snapshot's `dom_version`); the
+/// engine completes every poll parked on an older key.
+///
+/// Wake delivery is level-triggered, not edge-triggered: `published` is a
+/// monotonic high-water mark (`fetch_max`), so a publish that races a
+/// park in flight is never lost — the engine re-checks the mark on its
+/// next tick. Three consumers coexist:
+///
+/// * epoll event loops register a waker (their socketpair write end) via
+///   [`ParkHub::register_waker`] and re-scan their parked slots when
+///   poked;
+/// * workers-backend threads block on the internal condvar via
+///   [`ParkHub::wait_until`] (the documented degradation: a parked poll
+///   pins its worker for the wait);
+/// * tests read [`ParkHub::published`] directly.
+pub struct ParkHub {
+    /// High-water mark of published keys.
+    published: AtomicU64,
+    /// Condvar pair for blocking waiters (workers backend).
+    gate: Mutex<()>,
+    cond: Condvar,
+    /// Engine wakers (epoll shards) poked on every publish.
+    wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl Default for ParkHub {
+    fn default() -> Self {
+        ParkHub {
+            published: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            cond: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Debug for ParkHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParkHub")
+            .field("published", &self.published.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParkHub {
+    /// Publishes an event key, waking every parked poll whose `wait_key`
+    /// is older. Keys must be monotonic for "older" to mean anything;
+    /// stale publishes (≤ the current mark) still poke the engines, which
+    /// is harmless — a spurious scan, no spurious wake.
+    pub fn publish(&self, key: u64) {
+        self.published.fetch_max(key, Ordering::SeqCst);
+        drop(
+            self.gate
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        self.cond.notify_all();
+        let wakers = self
+            .wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for w in wakers.iter() {
+            w();
+        }
+    }
+
+    /// The current high-water mark (0 until the first publish).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::SeqCst)
+    }
+
+    /// Registers an engine waker, called (with no locks the callee cares
+    /// about held) on every publish.
+    pub(crate) fn register_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(waker);
+    }
+
+    /// Blocks until a key newer than `wait_key` is published, `deadline`
+    /// passes, or `stopped` reports true (checked every slice, so server
+    /// shutdown is never held up by a parked poll). Returns `true` on
+    /// wake, `false` on timeout/stop.
+    pub(crate) fn wait_until(
+        &self,
+        wait_key: u64,
+        deadline: Instant,
+        stopped: &dyn Fn() -> bool,
+    ) -> bool {
+        loop {
+            if self.published() > wait_key {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline || stopped() {
+                return false;
+            }
+            let slice = (deadline - now).min(Duration::from_millis(50));
+            let guard = self
+                .gate
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Re-check under the lock: a publish between the check above
+            // and this wait would otherwise sleep a full slice.
+            if self.published() > wait_key {
+                return true;
+            }
+            let _ = self
+                .cond
+                .wait_timeout(guard, slice)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
 
 /// Runs the handler with unwind protection, so a panicking handler costs
 /// the client a 500-and-close instead of costing the server a thread
 /// (workers backend) or wedging the connection forever (epoll backend,
 /// whose dispatch threads must survive to produce a completion). Returns
-/// the response and whether the connection must close.
-pub(crate) fn invoke_handler(handler: &Handler, req: Request) -> (Response, bool) {
+/// the outcome and whether the connection must close.
+pub(crate) fn invoke_handler(handler: &Handler, req: Request) -> (HandlerOutcome, bool) {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(req))) {
-        Ok(resp) => (resp, false),
-        Err(_) => (Response::error(Status::INTERNAL, "handler panicked"), true),
+        Ok(outcome) => (outcome, false),
+        Err(_) => (
+            HandlerOutcome::Respond(Response::error(Status::INTERNAL, "handler panicked")),
+            true,
+        ),
     }
 }
 
@@ -237,6 +418,11 @@ pub struct ServerConfig {
     /// values reduce queue churn. (The epoll backend never waits on a
     /// single connection at all.)
     pub read_timeout: Duration,
+    /// The park/wake rendezvous for long-polls. The default is a fresh
+    /// hub; the application keeps a clone of the `Arc` and calls
+    /// [`ParkHub::publish`] when new content is available. A handler that
+    /// never returns [`HandlerOutcome::Park`] never touches it.
+    pub park_hub: Arc<ParkHub>,
 }
 
 impl Default for ServerConfig {
@@ -246,6 +432,7 @@ impl Default for ServerConfig {
             workers: 8,
             queue_capacity: 256,
             read_timeout: Duration::from_millis(2),
+            park_hub: Arc::new(ParkHub::default()),
         }
     }
 }
@@ -450,12 +637,14 @@ impl HttpServer {
             let worker_queue = Arc::clone(&queue);
             let handler = Arc::clone(&handler);
             let read_timeout = config.read_timeout;
+            let hub = Arc::clone(&config.park_hub);
             threads.push(std::thread::spawn(move || {
                 while !worker_queue.stopped() {
                     let Some(mut conn) = worker_queue.pop(Duration::from_millis(50)) else {
                         continue;
                     };
-                    match service_connection(&mut conn, &handler, read_timeout) {
+                    match service_connection(&mut conn, &handler, read_timeout, &hub, &worker_queue)
+                    {
                         ConnFate::Keep => worker_queue.push_rotated(conn),
                         ConnFate::Close => {}
                     }
@@ -575,7 +764,19 @@ fn accept_loop(
 
 /// One service pass: read whatever arrived within `read_timeout`, serve
 /// every complete request, report whether the connection stays alive.
-fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration) -> ConnFate {
+///
+/// A [`HandlerOutcome::Park`] here blocks the worker on the hub's condvar
+/// for up to `max_wait` — the workers backend's documented degradation:
+/// semantics match the epoll backends (same wake key, same timeout
+/// fallback), but a parked poll pins one worker thread for its wait.
+/// The wait is stop-aware, so shutdown is never held up by parked polls.
+fn service_connection(
+    conn: &mut Conn,
+    handler: &Handler,
+    read_timeout: Duration,
+    hub: &ParkHub,
+    queue: &ConnQueue,
+) -> ConnFate {
     if conn.stream.set_read_timeout(Some(read_timeout)).is_err() {
         return ConnFate::Close;
     }
@@ -592,7 +793,19 @@ fn service_connection(conn: &mut Conn, handler: &Handler, read_timeout: Duration
                     match conn.parser.next_request() {
                         Ok(Some(req)) => {
                             let close = req.wants_close();
-                            let (resp, panicked) = invoke_handler(handler, req);
+                            let (outcome, panicked) = invoke_handler(handler, req);
+                            let resp = match outcome {
+                                HandlerOutcome::Respond(resp) => resp,
+                                HandlerOutcome::Park(park) => {
+                                    let deadline = Instant::now() + park.max_wait;
+                                    let stopped = || queue.stopped();
+                                    if hub.wait_until(park.wait_key, deadline, &stopped) {
+                                        (park.on_wake)()
+                                    } else {
+                                        (park.on_timeout)()
+                                    }
+                                }
+                            };
                             // Zero-copy send: prefab images and shared
                             // bodies go to the socket from their own
                             // storage, never through a scratch buffer.
@@ -632,7 +845,7 @@ mod tests {
     use crate::message::{Request, Status};
 
     fn echo_handler() -> Handler {
-        Arc::new(|req: Request| {
+        handler_fn(|req: Request| {
             Response::with_body(
                 Status::OK,
                 "text/plain",
@@ -815,7 +1028,7 @@ mod tests {
                     backend,
                     workers: 2,
                     queue_capacity: 64,
-                    read_timeout: Duration::from_millis(2),
+                    ..ServerConfig::default()
                 },
             )
             .unwrap();
@@ -853,6 +1066,117 @@ mod tests {
             let mut rest = Vec::new();
             stream.read_to_end(&mut rest).unwrap();
             assert!(rest.is_empty(), "{backend}: connection should close");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn park_hub_wait_semantics() {
+        let hub = ParkHub::default();
+        assert_eq!(hub.published(), 0);
+        let never = || false;
+        // Already-published keys return immediately.
+        hub.publish(5);
+        assert!(hub.wait_until(4, Instant::now(), &never), "5 > 4: instant");
+        // Waiting on the current key times out (nothing newer yet).
+        let t0 = Instant::now();
+        assert!(!hub.wait_until(5, t0 + Duration::from_millis(30), &never));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The mark is monotonic: stale publishes never move it back.
+        hub.publish(3);
+        assert_eq!(hub.published(), 5);
+        // A stop request ends the wait early as a timeout.
+        let stopped = || true;
+        let t0 = Instant::now();
+        assert!(!hub.wait_until(5, t0 + Duration::from_secs(10), &stopped));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // A concurrent publish wakes a blocked waiter.
+        let hub = Arc::new(ParkHub::default());
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                hub.publish(1);
+            })
+        };
+        assert!(hub.wait_until(0, Instant::now() + Duration::from_secs(5), &never));
+        publisher.join().unwrap();
+    }
+
+    #[test]
+    fn parked_poll_wakes_on_publish_every_backend() {
+        // A handler that parks /wait on key 0 and answers /publish by
+        // publishing key 1: the parked response must carry the bytes its
+        // on_wake closure produced, on all three backends.
+        for backend in backends() {
+            let config = ServerConfig {
+                backend,
+                ..ServerConfig::default()
+            };
+            let hub = Arc::clone(&config.park_hub);
+            let handler: Handler = Arc::new(move |req: Request| {
+                if req.path() == "/wait" {
+                    HandlerOutcome::Park(Park {
+                        wait_key: 0,
+                        max_wait: Duration::from_secs(5),
+                        on_wake: Box::new(|| {
+                            Response::with_body(Status::OK, "text/plain", b"woken".to_vec())
+                        }),
+                        on_timeout: Box::new(|| {
+                            Response::with_body(Status::OK, "text/plain", b"timeout".to_vec())
+                        }),
+                    })
+                } else {
+                    Response::with_body(Status::OK, "text/plain", b"ok".to_vec()).into()
+                }
+            });
+            let mut server =
+                HttpServer::bind_with("127.0.0.1:0", Arc::clone(&handler), config).unwrap();
+            let addr = server.addr().to_string();
+            let waiter = {
+                let addr = addr.clone();
+                std::thread::spawn(move || send_request(&addr, &Request::get("/wait")).unwrap())
+            };
+            std::thread::sleep(Duration::from_millis(50));
+            hub.publish(1);
+            let resp = waiter.join().unwrap();
+            assert_eq!(resp.body_str(), "woken", "{backend}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn parked_poll_times_out_to_fallback_every_backend() {
+        for backend in backends() {
+            let handler: Handler = Arc::new(move |_req: Request| {
+                HandlerOutcome::Park(Park {
+                    wait_key: 0,
+                    max_wait: Duration::from_millis(40),
+                    on_wake: Box::new(|| {
+                        Response::with_body(Status::OK, "text/plain", b"woken".to_vec())
+                    }),
+                    on_timeout: Box::new(|| {
+                        Response::with_body(Status::OK, "text/plain", b"timeout".to_vec())
+                    }),
+                })
+            });
+            let mut server = HttpServer::bind_with(
+                "127.0.0.1:0",
+                Arc::clone(&handler),
+                ServerConfig {
+                    backend,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let addr = server.addr().to_string();
+            let t0 = Instant::now();
+            let resp = send_request(&addr, &Request::get("/wait")).unwrap();
+            assert_eq!(resp.body_str(), "timeout", "{backend}");
+            assert!(
+                t0.elapsed() >= Duration::from_millis(40),
+                "{backend}: answered before the park deadline"
+            );
             server.shutdown();
         }
     }
@@ -932,7 +1256,7 @@ mod tests {
         // (worker pool or dispatch pool) must keep serving afterwards
         // with its full thread complement. `workers: 1` makes any lost
         // thread immediately fatal to the follow-up requests.
-        let handler: Handler = Arc::new(|req: Request| {
+        let handler: Handler = handler_fn(|req: Request| {
             if req.path() == "/panic" {
                 panic!("handler blew up");
             }

@@ -23,7 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig, EPOLL_SUPPORTED};
+use rcb_http::server::{
+    handler_fn, Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
+    EPOLL_SUPPORTED,
+};
 use rcb_http::{Body, Request, Response, Status};
 
 /// Shard count the matrix pins for the sharded leg: explicit (not auto),
@@ -56,7 +59,7 @@ struct HandlerStats {
 /// images, and error statuses.
 fn corpus_handler(stats: Arc<HandlerStats>, big: Arc<[u8]>) -> Handler {
     let prefab = Response::xml("<prefab>frozen</prefab>").into_prefab();
-    Arc::new(move |req: Request| {
+    handler_fn(move |req: Request| {
         stats.calls.fetch_add(1, Ordering::Relaxed);
         stats
             .body_bytes_in
@@ -534,6 +537,176 @@ fn sharded_responses_never_interleave_across_connections() {
         (CONNS * ROUNDS * 2) as u64
     );
     run.server.shutdown();
+}
+
+/// A handler for the park scenarios: `/wait` parks on key 0 until the
+/// run's hub publishes (waking to a prefab update) or `max_wait` elapses
+/// (falling back to a prefab empty reply, byte-identical to `/empty`);
+/// everything else echoes.
+fn park_handler(max_wait: Duration) -> Handler {
+    let update = Response::xml("<update>fresh</update>").into_prefab();
+    let empty = Response::xml("").into_prefab();
+    Arc::new(move |req: Request| {
+        if req.path() == "/wait" {
+            let update = update.clone();
+            let empty = empty.clone();
+            return HandlerOutcome::Park(Park {
+                wait_key: 0,
+                max_wait,
+                on_wake: Box::new(move || update),
+                on_timeout: Box::new(move || empty),
+            });
+        }
+        if req.path() == "/empty" {
+            return empty.clone().into();
+        }
+        Response::with_body(Status::OK, "text/plain", req.target.into_bytes()).into()
+    })
+}
+
+/// Reads exactly `n` Content-Length-framed responses off one stream.
+fn read_n_frames(stream: &mut TcpStream, n: usize) -> Vec<u8> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut frames = 0;
+    let mut consumed = 0;
+    let mut chunk = [0u8; 16 * 1024];
+    while frames < n {
+        while let Some(head_end) = buf[consumed..].windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[consumed..consumed + head_end]).to_string();
+            let declared = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().ok())?
+                })
+                .unwrap_or(0);
+            let total = consumed + head_end + 4 + declared;
+            if buf.len() < total {
+                break;
+            }
+            consumed = total;
+            frames += 1;
+            if frames == n {
+                buf.truncate(consumed);
+                return buf;
+            }
+        }
+        let got = stream.read(&mut chunk).unwrap();
+        assert!(got > 0, "server closed mid-stream");
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    buf
+}
+
+#[test]
+fn parked_poll_wake_is_byte_identical_across_backends() {
+    // The parked long-poll contract: `/wait` is held open with no
+    // dispatch slot consumed; a publish on the run's hub completes it
+    // from the fresh prefab. A second request pipelined *behind* the
+    // parked one must still be answered after it (order preserved), and
+    // the full two-response byte stream must agree across all backends.
+    let mut reference: Option<(ServerBackend, Vec<u8>)> = None;
+    for backend in backends() {
+        let hub = Arc::new(ParkHub::default());
+        let mut server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            park_handler(Duration::from_secs(5)),
+            ServerConfig {
+                backend,
+                workers: 2,
+                park_hub: Arc::clone(&hub),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut burst = rcb_http::serialize::serialize_request(&Request::get("/wait"));
+            burst.extend_from_slice(&rcb_http::serialize::serialize_request(&Request::get(
+                "/echo",
+            )));
+            stream.write_all(&burst).unwrap();
+            read_n_frames(&mut stream, 2)
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        hub.publish(1);
+        let wire = client.join().unwrap();
+        server.shutdown();
+        let text = String::from_utf8_lossy(&wire);
+        let wake_at = text.find("<update>fresh</update>").expect("woken reply");
+        let echo_at = text.find("\r\n\r\n/echo").expect("pipelined reply");
+        assert!(
+            wake_at < echo_at,
+            "{backend}: pipelined response overtook the parked one"
+        );
+        match &reference {
+            None => reference = Some((backend, wire)),
+            Some((ref_backend, ref_wire)) => assert_eq!(
+                &wire, ref_wire,
+                "woken wire bytes diverge: {backend} vs {ref_backend}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn parked_poll_timeout_equals_the_empty_reply_on_every_backend() {
+    // An unpublished park runs out its window and must produce the exact
+    // bytes of the immediate empty reply — the fallback is the same
+    // prefab, not a near-copy.
+    let mut reference: Option<(ServerBackend, Vec<u8>)> = None;
+    for backend in backends() {
+        let mut server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            park_handler(Duration::from_millis(150)),
+            ServerConfig {
+                backend,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/wait",
+            )))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let timed_out = read_n_frames(&mut stream, 1);
+        let waited = started.elapsed();
+        assert!(
+            waited >= Duration::from_millis(100),
+            "{backend}: park returned after only {waited:?}"
+        );
+        stream
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/empty",
+            )))
+            .unwrap();
+        let immediate = read_n_frames(&mut stream, 1);
+        server.shutdown();
+        assert_eq!(
+            timed_out, immediate,
+            "{backend}: timeout fallback bytes differ from the empty reply"
+        );
+        match &reference {
+            None => reference = Some((backend, timed_out)),
+            Some((ref_backend, ref_wire)) => assert_eq!(
+                &timed_out, ref_wire,
+                "timeout wire bytes diverge: {backend} vs {ref_backend}"
+            ),
+        }
+    }
 }
 
 #[test]

@@ -14,7 +14,7 @@ use rcb_http::client::HttpConnection;
 use rcb_http::message::{Body, Request, Response, Status};
 use rcb_http::parse_response;
 use rcb_http::serialize::{serialize_response, write_response_to};
-use rcb_http::server::{Handler, HttpServer, ServerConfig};
+use rcb_http::server::{handler_fn, Handler, HttpServer, ServerConfig};
 
 proptest! {
     #[test]
@@ -87,7 +87,7 @@ fn keepalive_pipelining_of_mixed_body_representations() {
     let handler: Handler = {
         let shared = Arc::clone(&shared);
         let big = Arc::clone(&big);
-        Arc::new(move |req: Request| match req.path() {
+        handler_fn(move |req: Request| match req.path() {
             "/owned" => Response::with_body(Status::OK, "text/plain", b"owned-payload".to_vec()),
             "/shared" => {
                 Response::with_body(Status::OK, "text/plain", Body::Shared(Arc::clone(&shared)))
@@ -130,7 +130,7 @@ fn keepalive_pipelining_of_mixed_body_representations() {
             assert_eq!(resp.status, Status::OK, "path {path}");
             assert_eq!(resp.body.as_slice(), *expected, "path {path}");
             assert_eq!(
-                resp.headers.content_length(),
+                resp.headers.content_length().unwrap(),
                 Some(expected.len()),
                 "path {path}"
             );

@@ -24,7 +24,7 @@ use std::net::TcpStream;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig};
+use rcb_http::server::{handler_fn, Handler, HttpServer, ServerBackend, ServerConfig};
 use rcb_http::{Body, Request, Response, Status};
 use rcb_util::fault;
 
@@ -57,7 +57,9 @@ fn epoll_backends() -> [ServerBackend; 2] {
 }
 
 fn echo_handler() -> Handler {
-    Arc::new(|req: Request| Response::with_body(Status::OK, "text/plain", req.target.into_bytes()))
+    handler_fn(|req: Request| {
+        Response::with_body(Status::OK, "text/plain", req.target.into_bytes())
+    })
 }
 
 fn bind(backend: ServerBackend, workers: usize, handler: Handler) -> HttpServer {
@@ -146,7 +148,7 @@ fn ewouldblock_write_resumption_on_epoll_variants() {
     .into_prefab();
     let handler: Handler = {
         let big = Arc::clone(&big);
-        Arc::new(move |req: Request| match req.path() {
+        handler_fn(move |req: Request| match req.path() {
             "/big" => Response::with_body(
                 Status::OK,
                 "application/octet-stream",

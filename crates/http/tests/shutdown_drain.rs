@@ -19,7 +19,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rcb_http::server::{Handler, HttpServer, ServerBackend, ServerConfig, EPOLL_SUPPORTED};
+use rcb_http::server::{
+    Handler, HandlerOutcome, HttpServer, Park, ServerBackend, ServerConfig, EPOLL_SUPPORTED,
+};
 use rcb_http::{Request, Response, Status};
 
 fn count_fds() -> usize {
@@ -28,8 +30,24 @@ fn count_fds() -> usize {
         .count()
 }
 
+/// Echoes the target; `/hold*` targets park on a key that is never
+/// published, so only shutdown (or the 10 s cap) can complete them.
 fn echo_handler() -> Handler {
-    Arc::new(|req: Request| Response::with_body(Status::OK, "text/plain", req.target.into_bytes()))
+    Arc::new(|req: Request| {
+        if req.target.starts_with("/hold") {
+            return HandlerOutcome::Park(Park {
+                wait_key: u64::MAX - 1,
+                max_wait: Duration::from_secs(10),
+                on_wake: Box::new(|| {
+                    Response::with_body(Status::OK, "text/plain", b"woken".to_vec())
+                }),
+                on_timeout: Box::new(|| {
+                    Response::with_body(Status::OK, "text/plain", b"bye".to_vec())
+                }),
+            });
+        }
+        Response::with_body(Status::OK, "text/plain", req.target.into_bytes()).into()
+    })
 }
 
 #[test]
@@ -73,6 +91,20 @@ fn shutdown_with_idle_keepalive_connections_is_bounded_and_leak_free() {
                 );
             }
 
+            // Two long-polls parked mid-request on a key nobody will
+            // publish: shutdown must drain them within the same bound,
+            // not wait out their 10 s park window.
+            let parked: Vec<_> = (0..2)
+                .map(|i| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        rcb_http::client::send_request(&addr, &Request::get(format!("/hold{i}")))
+                    })
+                })
+                .collect();
+            // Let the park requests reach the engine before stopping it.
+            std::thread::sleep(Duration::from_millis(150));
+
             // Idle clients still open: shutdown must not wait on them.
             let t0 = Instant::now();
             server.shutdown();
@@ -81,6 +113,17 @@ fn shutdown_with_idle_keepalive_connections_is_bounded_and_leak_free() {
                 drained_in < Duration::from_secs(5),
                 "{backend}: shutdown took {drained_in:?} with idle keep-alive connections"
             );
+
+            // The parked clients come back promptly — either with the
+            // timeout fallback reply (workers drain in place) or a closed
+            // connection (event loops drop held slots) — never after the
+            // full park window.
+            for handle in parked {
+                // A connection closed during the drain (Err) is also fine.
+                if let Ok(resp) = handle.join().unwrap() {
+                    assert_eq!(resp.body_str(), "bye", "{backend}");
+                }
+            }
 
             // After shutdown the engine is gone: new connections are
             // refused or die unanswered. (Connect may still succeed
