@@ -35,7 +35,12 @@
 //!   served from a published frozen view; only host-side merges write);
 //! * [`tcp`] — the real-socket deployment path: RCB-Agent served over
 //!   `std::net` TCP through a snapshot-based concurrent request pipeline,
-//!   participants joining with a plain HTTP client.
+//!   participants joining with a plain HTTP client;
+//! * [`worldsim`] — the deterministic world sim: the same agent handler
+//!   and snippet, pumped over the seeded in-process fabric
+//!   (`rcb_sim::world`) under virtual time — scripted, replayable
+//!   scenarios with partitions, long-polls, and thousands of
+//!   participants, no sockets or sleeps anywhere.
 
 pub mod agent;
 pub mod auth;
@@ -50,6 +55,7 @@ pub mod snapshot;
 pub mod snippet;
 pub mod tcp;
 pub mod usability;
+pub mod worldsim;
 
 pub use agent::{AgentConfig, CacheMode, ParticipantShards, RcbAgent};
 pub use metrics::PageMetrics;

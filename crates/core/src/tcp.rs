@@ -41,9 +41,13 @@
 //! the snapshot lock, so neither a poll nor a merge can serialize behind
 //! it.
 //!
-//! Timestamps on this path are real wall-clock milliseconds since the
-//! Unix epoch (§4.1.1), via [`SimTime::from_unix_millis`] — not a wrapped
-//! count (the old `% 1_000_000_000` mapping recurred every ~11.6 days).
+//! Timestamps on this path come from the [`Clock`] the serving engine
+//! runs on: real wall-clock milliseconds since the Unix epoch (§4.1.1)
+//! in the deployment default, the shared virtual clock when the same
+//! handler is driven by the deterministic world sim ([`crate::worldsim`]).
+//! Either way the value lands in the document-timestamp domain — not a
+//! wrapped count (the old `% 1_000_000_000` mapping recurred every ~11.6
+//! days).
 //!
 //! The socket itself is served by any of three interchangeable backends
 //! behind the same `Handler` (see [`ServerBackend`]): the bounded worker
@@ -67,21 +71,11 @@ use rcb_http::server::{
     Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
 };
 use rcb_http::{Request, Response, Status};
-use rcb_util::{RcbError, Result, SimDuration, SimTime};
+use rcb_util::{Clock, RcbError, Result, SimDuration, SimTime};
 
 use crate::agent::{AgentConfig, AgentStats, ParticipantShards, RcbAgent};
 use crate::snapshot::{prefab_response, ContentSnapshot, SnapshotPlan};
 use crate::snippet::{AjaxSnippet, SnippetOutcome};
-
-/// Wall clock mapped onto the document-timestamp domain: real epoch
-/// milliseconds, as the paper specifies (§4.1.1).
-fn wall_now() -> SimTime {
-    let ms = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0);
-    SimTime::from_unix_millis(ms)
-}
 
 /// Atomic counters for the concurrent request path (the sequential
 /// [`AgentStats`] equivalents live behind the host mutex and only track
@@ -153,8 +147,11 @@ struct HostCore {
     browser: Browser,
 }
 
-/// State shared between the server handler and the [`TcpHost`] facade.
-struct SharedHost {
+/// State shared between the server handler and the serving facade —
+/// [`TcpHost`] over real sockets, [`crate::worldsim::WorldHost`] over the
+/// deterministic fabric. Crate-visible so the world sim drives the exact
+/// same agent pipeline the deployment path serves.
+pub(crate) struct SharedHost {
     /// The published read-path snapshot (see module docs for ordering).
     snapshot: RwLock<Arc<ContentSnapshot>>,
     /// Highest DOM version a thread is currently generating a snapshot
@@ -188,9 +185,71 @@ struct SharedHost {
     /// [`ParkHub::publish`] with the new `dom_version`, completing every
     /// long-poll parked on an older version.
     park: Arc<ParkHub>,
+    /// The time source for every timestamp this host mints (snapshot
+    /// doc-times, poll bookkeeping): the serving engine's clock from
+    /// `ServerConfig::clock` — wall in the real deployment, the world's
+    /// virtual clock under the sim.
+    clock: Clock,
 }
 
 impl SharedHost {
+    /// Builds the shared host state — agent, prefab responses, initial
+    /// snapshot — around an already prepared host browser. `park` and
+    /// `clock` must be the ones from the `ServerConfig` the serving
+    /// engine will run on: snapshot publication signals that hub, and
+    /// every timestamp reads that clock.
+    pub(crate) fn build(
+        browser: Browser,
+        key: SessionKey,
+        config: AgentConfig,
+        park: Arc<ParkHub>,
+        clock: Clock,
+    ) -> Result<Arc<SharedHost>> {
+        let mut agent = RcbAgent::new(key.clone(), config.clone());
+        let sign_with = config.authenticate_responses.then_some(&key);
+        // Static per session: freeze the initial page and the empty poll
+        // reply into prefab wire images once, at startup.
+        let initial_page_response = prefab_response(
+            Status::OK,
+            "text/html; charset=utf-8",
+            Arc::from(agent.initial_page().into_bytes()),
+            sign_with,
+        );
+        let empty_poll_response = prefab_response(
+            Status::OK,
+            "application/xml; charset=utf-8",
+            Arc::from(Vec::new()),
+            sign_with,
+        );
+        let snapshot = ContentSnapshot::build(&mut agent, &browser, clock.now(), None)?;
+        Ok(Arc::new(SharedHost {
+            snapshot: RwLock::new(snapshot),
+            regen_in_flight: AtomicU64::new(0),
+            participants: ParticipantShards::new(),
+            core: Mutex::new(HostCore { agent, browser }),
+            config,
+            initial_page_response,
+            empty_poll_response,
+            key,
+            stats: TcpStats::default(),
+            park,
+            clock,
+        }))
+    }
+
+    /// The Fig.-2 request handler over this shared state — the same
+    /// closure every serving engine (worker pool, epoll loops, the
+    /// world-sim pump driver) dispatches into.
+    pub(crate) fn make_handler(self: &Arc<Self>) -> Handler {
+        let state = Arc::clone(self);
+        Arc::new(move |req| state.handle(&req))
+    }
+
+    /// Now, on the engine clock, in the document-timestamp domain.
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
     fn lock_core(&self) -> std::sync::MutexGuard<'_, HostCore> {
         self.core
             .lock()
@@ -230,7 +289,7 @@ impl SharedHost {
         if self.regen_in_flight.load(Ordering::Acquire) >= version {
             return Ok(None);
         }
-        let plan = ContentSnapshot::plan(&mut core.agent, &core.browser, wall_now())?;
+        let plan = ContentSnapshot::plan(&mut core.agent, &core.browser, self.now())?;
         self.regen_in_flight.store(version, Ordering::Release);
         Ok(Some(plan))
     }
@@ -404,7 +463,7 @@ impl SharedHost {
         // `.into_owned()` copied every poll body just to split it.
         let body = String::from_utf8_lossy(&req.body);
         let (client_time, actions) = crate::agent::parse_poll_body(&body);
-        self.participants.record_poll(pid, client_time, wall_now());
+        self.participants.record_poll(pid, client_time, self.now());
 
         // Data merging (the only write): take the host mutex just long
         // enough to merge and — when the merge changed the DOM — capture a
@@ -493,7 +552,7 @@ impl SharedHost {
         self.finalize(self.empty_poll_response.clone()).into()
     }
 
-    fn stats_snapshot(&self) -> TcpHostStats {
+    pub(crate) fn stats_snapshot(&self) -> TcpHostStats {
         TcpHostStats {
             connections: self.stats.connections.load(Ordering::Relaxed),
             object_requests: self.stats.object_requests.load(Ordering::Relaxed),
@@ -509,7 +568,7 @@ impl SharedHost {
         }
     }
 
-    fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
+    pub(crate) fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
         let plan = {
             let mut core = self.lock_core();
             core.browser.mutate_dom(f)?;
@@ -518,6 +577,34 @@ impl SharedHost {
         match plan {
             Some(plan) => self.finish_republish(plan),
             None => Ok(()),
+        }
+    }
+
+    /// The live host DOM version (behind the host mutex — the published
+    /// snapshot may briefly lag it mid-regeneration).
+    pub(crate) fn dom_version(&self) -> u64 {
+        self.lock_core().browser.dom_version()
+    }
+
+    /// The document timestamp of the currently published snapshot.
+    pub(crate) fn published_doc_time(&self) -> u64 {
+        self.current_snapshot().doc_time
+    }
+
+    /// Number of participants the agent has seen.
+    pub(crate) fn participant_count(&self) -> usize {
+        self.participants.count()
+    }
+
+    /// Current host form field values (to observe merged co-fill data).
+    pub(crate) fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
+        let core = self.lock_core();
+        let Some(doc) = core.browser.doc.as_ref() else {
+            return Vec::new();
+        };
+        match rcb_html::query::element_by_id(doc, doc.root(), form_id) {
+            Some(form) => rcb_html::query::form_fields(doc, form),
+            None => Vec::new(),
         }
     }
 }
@@ -567,42 +654,14 @@ impl TcpHost {
         config: AgentConfig,
         server_config: ServerConfig,
     ) -> Result<TcpHost> {
-        let mut agent = RcbAgent::new(key.clone(), config.clone());
-        let sign_with = config.authenticate_responses.then_some(&key);
-        // Static per session: freeze the initial page and the empty poll
-        // reply into prefab wire images once, at startup.
-        let initial_page_response = prefab_response(
-            Status::OK,
-            "text/html; charset=utf-8",
-            Arc::from(agent.initial_page().into_bytes()),
-            sign_with,
-        );
-        let empty_poll_response = prefab_response(
-            Status::OK,
-            "application/xml; charset=utf-8",
-            Arc::from(Vec::new()),
-            sign_with,
-        );
-        let snapshot = ContentSnapshot::build(&mut agent, &browser, wall_now(), None)?;
-        // Grab the hub handle before `server_config` moves into the bind:
-        // snapshot publication signals this hub, and the server's event
-        // loops registered their wakers on the very same instance.
+        // Grab the hub and clock handles before `server_config` moves into
+        // the bind: snapshot publication signals this hub, the server's
+        // event loops registered their wakers on the very same instance,
+        // and every host timestamp reads this clock.
         let park = Arc::clone(&server_config.park_hub);
-        let shared = Arc::new(SharedHost {
-            snapshot: RwLock::new(snapshot),
-            regen_in_flight: AtomicU64::new(0),
-            participants: ParticipantShards::new(),
-            core: Mutex::new(HostCore { agent, browser }),
-            config,
-            initial_page_response,
-            empty_poll_response,
-            key: key.clone(),
-            stats: TcpStats::default(),
-            park,
-        });
-        let handler_state = Arc::clone(&shared);
-        let handler: Handler = Arc::new(move |req| handler_state.handle(&req));
-        let server = HttpServer::bind_with(addr, handler, server_config)?;
+        let clock = server_config.clock.clone();
+        let shared = SharedHost::build(browser, key.clone(), config, park, clock)?;
+        let server = HttpServer::bind_with(addr, shared.make_handler(), server_config)?;
         Ok(TcpHost {
             server,
             shared,
@@ -656,7 +715,7 @@ impl TcpHost {
 
     /// Number of participants the agent has seen.
     pub fn participant_count(&self) -> usize {
-        self.shared.participants.count()
+        self.shared.participant_count()
     }
 
     /// Concurrent-path counters (polls, objects, observed concurrency).
@@ -666,7 +725,7 @@ impl TcpHost {
 
     /// The document timestamp of the currently published snapshot.
     pub fn published_doc_time(&self) -> u64 {
-        self.shared.current_snapshot().doc_time
+        self.shared.published_doc_time()
     }
 
     /// Byte length of the currently published Fig.-4 XML (the content
@@ -692,14 +751,7 @@ impl TcpHost {
     /// Reads current host form field values (to observe merged co-fill
     /// data, as in the paper's Figure 10).
     pub fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
-        let core = self.shared.lock_core();
-        let Some(doc) = core.browser.doc.as_ref() else {
-            return Vec::new();
-        };
-        match rcb_html::query::element_by_id(doc, doc.root(), form_id) {
-            Some(form) => rcb_html::query::form_fields(doc, form),
-            None => Vec::new(),
-        }
+        self.shared.form_fields(form_id)
     }
 
     /// Stops the server.

@@ -1,0 +1,704 @@
+//! The deterministic world sim: the real RCB stack over the seeded
+//! in-process fabric.
+//!
+//! This module closes the loop the transport seam opened: the very same
+//! agent pipeline the real-socket deployment serves ([`crate::tcp`]'s
+//! `SharedHost` handler — snapshots, shards, prefab wire images, parked
+//! long-polls) runs here against N simulated participants, with **zero
+//! sockets, zero threads, and zero wall-clock sleeps**. Time is the
+//! world's virtual clock, the network is [`rcb_sim::SimNet`] (seeded
+//! latency/jitter/loss, partition/heal), and the server is the pump-mode
+//! [`rcb_http::SimDriver`]. Two runs of the same [`WorldScenario`]
+//! replay byte-identical traces and identical stats — which is what
+//! makes protocol bugs (duplicate merges, lost wakes, reconnect storms)
+//! reproducible from a single seed instead of a flaky CI run.
+//!
+//! The pieces:
+//!
+//! * [`WorldHost`] — `SharedHost` + [`SimDriver`] bound to a named
+//!   fabric host: the production handler, pumped instead of threaded;
+//! * [`WorldParticipant`] — a nonblocking participant state machine
+//!   around the *real* [`AjaxSnippet`] and the *real* client framing
+//!   ([`rcb_http::client::try_parse_response`]): join, poll, fetch
+//!   objects, reconnect after partitions;
+//! * [`ScriptEvent`] / [`WorldScenario`] — a closure-free, replayable
+//!   scenario script (joins, actions, host mutations, partitions) plus
+//!   the discrete-event runner that alternates "pump everything to
+//!   quiescence" with "advance the clock to the next event";
+//! * [`WorldReport`] — the run's outcome: host stats, convergence state,
+//!   per-participant counters, and the fabric trace (the replay
+//!   fingerprint).
+//!
+//! Client-side delivery is **at-most-once**: a poll lost to a partition
+//! reset is not retransmitted (its piggybacked actions are gone, exactly
+//! like a browser tab that lost its XHR), so any duplicate merge observed
+//! on the host is the server's fault — which is precisely what the
+//! partition/heal convergence test pins down via exact `dom_version`
+//! accounting.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+
+use rcb_browser::{Browser, BrowserKind, UserAction};
+use rcb_crypto::SessionKey;
+use rcb_http::client::try_parse_response;
+use rcb_http::server::ServerConfig;
+use rcb_http::{Request, Response, SimDriver};
+use rcb_sim::{LinkModel, NetProfile, SimConn, World};
+use rcb_util::{DetRng, RcbError, Result, SimDuration, SimTime};
+
+use crate::agent::AgentConfig;
+use crate::snippet::{AjaxSnippet, SnippetOutcome};
+use crate::tcp::{SharedHost, TcpHostStats};
+
+/// How long a participant waits before retrying a connection after a
+/// reset or a refused connect (partitions refuse until healed).
+const RECONNECT_DELAY: SimDuration = SimDuration::from_secs(1);
+
+/// The agent served over the fabric: the production `SharedHost` handler
+/// pumped by a [`SimDriver`] instead of threaded engines.
+pub struct WorldHost {
+    shared: std::sync::Arc<SharedHost>,
+    driver: SimDriver,
+}
+
+impl WorldHost {
+    /// Binds the agent at fabric host `name`, with the host browser
+    /// showing the given document. The driver runs on the world's clock
+    /// and park hub, so parked long-polls wake on snapshot publication
+    /// and time out on virtual deadlines.
+    pub fn start(
+        world: &World,
+        name: &str,
+        page_url: &str,
+        page_html: &str,
+        key: SessionKey,
+    ) -> Result<WorldHost> {
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse(page_url)?);
+        browser.doc = Some(rcb_html::parse_document(page_html));
+        browser.mutate_dom(|_| {}).expect("document just loaded");
+        Self::start_from_browser(world, name, browser, key)
+    }
+
+    /// Binds the agent around an already prepared host browser (e.g. one
+    /// that navigated a simulated origin and filled its cache, so
+    /// participants get `/cache/..` object URLs to fetch).
+    pub fn start_from_browser(
+        world: &World,
+        name: &str,
+        browser: Browser,
+        key: SessionKey,
+    ) -> Result<WorldHost> {
+        let config = ServerConfig {
+            clock: world.clock(),
+            ..ServerConfig::default()
+        };
+        let shared = SharedHost::build(
+            browser,
+            key,
+            AgentConfig::default(),
+            std::sync::Arc::clone(&config.park_hub),
+            config.clock.clone(),
+        )?;
+        let driver = SimDriver::new(world.bind(name)?, shared.make_handler(), &config);
+        Ok(WorldHost { shared, driver })
+    }
+
+    /// One driver sweep; returns whether anything was served.
+    pub fn pump(&mut self) -> bool {
+        self.driver.pump()
+    }
+
+    /// Soonest parked long-poll deadline (folded into the runner's
+    /// next-event computation).
+    pub fn next_park_deadline(&self) -> Option<SimTime> {
+        self.driver.next_park_deadline()
+    }
+
+    /// Concurrent-path counters — the same [`TcpHostStats`] the socket
+    /// deployment reports.
+    pub fn stats(&self) -> TcpHostStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Requests the driver has answered (parked polls on resolution).
+    pub fn requests_served(&self) -> u64 {
+        self.driver.requests_served()
+    }
+
+    /// The live host DOM version.
+    pub fn dom_version(&self) -> u64 {
+        self.shared.dom_version()
+    }
+
+    /// The published snapshot's document timestamp.
+    pub fn published_doc_time(&self) -> u64 {
+        self.shared.published_doc_time()
+    }
+
+    /// Participants the agent has seen.
+    pub fn participant_count(&self) -> usize {
+        self.shared.participant_count()
+    }
+
+    /// Mutates the live host page (snapshot regenerated + published, and
+    /// the park hub signalled, before this returns).
+    pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
+        self.shared.mutate_page(f)
+    }
+
+    /// Current host form field values (merged co-fill data).
+    pub fn form_fields(&self, form_id: &str) -> Vec<(String, String)> {
+        self.shared.form_fields(form_id)
+    }
+}
+
+/// What a participant's in-flight request is waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Await {
+    /// Idle — nothing on the wire.
+    None,
+    /// The initial `GET /` join.
+    Join,
+    /// A `POST /poll` (possibly parked server-side).
+    Poll,
+    /// A `GET /cache/..` object fetch for the given agent URL.
+    Object(String),
+}
+
+/// A simulated participant: the real [`AjaxSnippet`] and client framing
+/// driven as a nonblocking state machine the scenario loop pumps.
+pub struct WorldParticipant {
+    /// Fabric host name (`p{pid}`).
+    name: String,
+    /// Fabric host name of the agent.
+    agent_host: String,
+    link: LinkModel,
+    conn: Option<SimConn>,
+    /// Bytes read off the conn, not yet framed into a response.
+    buf: Vec<u8>,
+    awaiting: Await,
+    /// Agent object URLs still to fetch after an update.
+    obj_queue: VecDeque<String>,
+    /// When idle or disconnected: the next time this participant acts.
+    next_wake: Option<SimTime>,
+    joined: bool,
+    /// The participant's browser model.
+    pub browser: Browser,
+    /// Snippet state (poll building, content application, M6 samples).
+    pub snippet: AjaxSnippet,
+    /// Polls answered (a parked poll counts when its reply arrives).
+    pub polls_completed: u64,
+    /// Objects fetched into the browser cache.
+    pub objects_fetched: u64,
+    /// Connections lost (reset, refused, or server-closed) and retried.
+    pub resets: u64,
+}
+
+impl WorldParticipant {
+    /// Creates a participant that will join `agent_host` over `link` the
+    /// next time it is pumped.
+    pub fn new(
+        pid: u64,
+        key: SessionKey,
+        agent_host: &str,
+        link: LinkModel,
+        poll_interval: SimDuration,
+    ) -> WorldParticipant {
+        WorldParticipant {
+            name: format!("p{pid}"),
+            agent_host: agent_host.to_string(),
+            link,
+            conn: None,
+            buf: Vec::new(),
+            awaiting: Await::None,
+            obj_queue: VecDeque::new(),
+            next_wake: None,
+            joined: false,
+            browser: Browser::new(BrowserKind::Firefox),
+            snippet: AjaxSnippet::new(pid, key, poll_interval),
+            polls_completed: 0,
+            objects_fetched: 0,
+            resets: 0,
+        }
+    }
+
+    /// Queues an action to ride the next poll (sent on the next pump).
+    pub fn act(&mut self, action: UserAction) {
+        self.snippet.capture_action(action);
+    }
+
+    /// When this participant next acts on its own (reconnect backoff or
+    /// the poll-interval timer); `None` while a response is in flight.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.next_wake
+    }
+
+    /// One nonblocking service pass: (re)connect if due, drain arrived
+    /// bytes, handle complete responses, send the next request. Returns
+    /// whether anything happened.
+    pub fn pump(&mut self, world: &World) -> Result<bool> {
+        let now = world.now();
+        if self.conn.is_none() {
+            if self.next_wake.is_none_or(|t| t <= now) {
+                match world.connect(&self.name, &self.agent_host, self.link) {
+                    Ok(conn) => {
+                        self.conn = Some(conn);
+                        self.next_wake = None;
+                        if self.joined {
+                            self.send_poll(now);
+                        } else {
+                            self.send(now, &Request::get("/"), Await::Join);
+                        }
+                        return Ok(true);
+                    }
+                    Err(_) => {
+                        // Refused (partitioned): back off and retry.
+                        self.next_wake = Some(now + RECONNECT_DELAY);
+                    }
+                }
+            }
+            return Ok(false);
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let conn = self.conn.as_mut().expect("checked above");
+            match conn.try_read(&mut chunk) {
+                Ok(0) => {
+                    // Server closed; reconnect like a browser would.
+                    self.on_disconnect(now);
+                    return Ok(true);
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Reset (partition): the in-flight request is lost.
+                    self.on_disconnect(now);
+                    return Ok(true);
+                }
+            }
+        }
+        while let Some((resp, consumed)) = try_parse_response(&self.buf)? {
+            self.buf.drain(..consumed);
+            progress = true;
+            self.handle_response(resp, now)?;
+            if self.conn.is_none() {
+                return Ok(true);
+            }
+        }
+        // Idle with a due timer or actions to deliver: poll now.
+        if self.awaiting == Await::None
+            && (self.next_wake.is_some_and(|t| t <= now) || self.snippet.pending_actions() > 0)
+        {
+            self.next_wake = None;
+            self.send_poll(now);
+            progress = true;
+        }
+        Ok(progress)
+    }
+
+    fn handle_response(&mut self, resp: Response, now: SimTime) -> Result<()> {
+        match std::mem::replace(&mut self.awaiting, Await::None) {
+            Await::Join => {
+                if !resp.status.is_success() {
+                    return Err(RcbError::Protocol(format!(
+                        "join failed with status {}",
+                        resp.status.0
+                    )));
+                }
+                self.browser.doc = Some(rcb_html::parse_document(&resp.body_str()));
+                self.joined = true;
+                self.send_poll(now);
+                Ok(())
+            }
+            Await::Poll => {
+                let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
+                self.polls_completed += 1;
+                if let SnippetOutcome::Updated { object_urls, .. } = outcome {
+                    for url in object_urls {
+                        if url.starts_with('/') && !self.browser.cache.contains(&url) {
+                            self.obj_queue.push_back(url);
+                        }
+                    }
+                }
+                self.continue_round(now);
+                Ok(())
+            }
+            Await::Object(url) => {
+                if resp.status.is_success() {
+                    let ct = resp.content_type().unwrap_or_default();
+                    self.browser
+                        .cache
+                        .store(&url, &ct, resp.body, SimTime::ZERO);
+                    self.objects_fetched += 1;
+                }
+                self.continue_round(now);
+                Ok(())
+            }
+            Await::None => Err(RcbError::Protocol(
+                "response arrived with no request outstanding".into(),
+            )),
+        }
+    }
+
+    /// After a poll or object reply: fetch the next queued object, or
+    /// schedule/send the next poll (immediately under long-poll or with
+    /// actions pending, after `poll_interval` otherwise).
+    fn continue_round(&mut self, now: SimTime) {
+        if let Some(url) = self.obj_queue.pop_front() {
+            let req = Request::get(url.clone());
+            self.send(now, &req, Await::Object(url));
+        } else if self.snippet.long_poll.is_some() || self.snippet.pending_actions() > 0 {
+            self.send_poll(now);
+        } else {
+            self.next_wake = Some(now + self.snippet.poll_interval);
+        }
+    }
+
+    fn send_poll(&mut self, now: SimTime) {
+        let req = self.snippet.build_poll();
+        self.send(now, &req, Await::Poll);
+    }
+
+    /// Writes one request; a failed write (reset under our feet) tears
+    /// the connection down for the reconnect path.
+    fn send(&mut self, now: SimTime, req: &Request, awaiting: Await) {
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        match conn.write_all(&rcb_http::serialize::serialize_request(req)) {
+            Ok(()) => self.awaiting = awaiting,
+            Err(_) => self.on_disconnect(now),
+        }
+    }
+
+    fn on_disconnect(&mut self, now: SimTime) {
+        self.conn = None;
+        self.awaiting = Await::None;
+        self.buf.clear();
+        self.obj_queue.clear();
+        self.resets += 1;
+        self.next_wake = Some(now + RECONNECT_DELAY);
+    }
+}
+
+/// One scripted occurrence in a [`WorldScenario`] — data, not closures,
+/// so a scenario can be run twice for replay comparison.
+#[derive(Debug, Clone)]
+pub enum ScriptEvent {
+    /// A participant joins the session.
+    Join {
+        /// Participant id (also names the fabric host `p{pid}`).
+        pid: u64,
+    },
+    /// The participant switches its polls to parked long-polls.
+    EnableLongPoll {
+        /// Participant id.
+        pid: u64,
+        /// Requested park duration (capped by the agent).
+        wait: SimDuration,
+    },
+    /// The participant performs a user action (rides its next poll).
+    Act {
+        /// Participant id.
+        pid: u64,
+        /// The action.
+        action: UserAction,
+    },
+    /// The host appends a `<div>` with this text to its page body.
+    HostAppend {
+        /// Text content of the appended element.
+        text: String,
+    },
+    /// Cuts the listed participants off from the host.
+    Partition {
+        /// Participant ids to isolate.
+        pids: Vec<u64>,
+    },
+    /// Heals the listed participants' links to the host.
+    Heal {
+        /// Participant ids to reconnect.
+        pids: Vec<u64>,
+    },
+}
+
+/// Per-participant outcome of a run (equality-comparable for replay
+/// tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParticipantReport {
+    /// Content timestamp the participant's snippet acknowledges.
+    pub doc_time: u64,
+    /// Polls answered.
+    pub polls_completed: u64,
+    /// Content updates applied.
+    pub updates_applied: u64,
+    /// Objects fetched.
+    pub objects_fetched: u64,
+    /// Connections lost and retried.
+    pub resets: u64,
+}
+
+/// Everything a finished [`WorldScenario`] run reports. `PartialEq` so
+/// a replay test is one assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldReport {
+    /// Virtual time when the run went quiescent.
+    pub end: SimTime,
+    /// Host-side request counters.
+    pub stats: TcpHostStats,
+    /// Requests the driver answered.
+    pub requests_served: u64,
+    /// Final host DOM version (exact merge accounting).
+    pub host_dom_version: u64,
+    /// Final published document timestamp.
+    pub host_doc_time: u64,
+    /// Per-participant outcomes, keyed by pid.
+    pub participants: BTreeMap<u64, ParticipantReport>,
+    /// The fabric + scenario trace — the replay fingerprint: two
+    /// same-seed runs must produce this byte-identically.
+    pub trace: Vec<String>,
+}
+
+/// A seeded, scripted co-browsing scenario: the entry point of the
+/// deterministic world sim.
+///
+/// ```no_run
+/// use rcb_core::worldsim::{ScriptEvent, WorldScenario};
+/// use rcb_util::SimDuration;
+///
+/// let mut sc = WorldScenario::new(42, "http://demo.local/", "<html>...</html>");
+/// sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+/// sc.at(
+///     SimDuration::from_secs(2),
+///     ScriptEvent::HostAppend { text: "breaking news".into() },
+/// );
+/// let report = sc.run().unwrap();
+/// assert_eq!(report, sc.run().unwrap(), "same seed, same world");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldScenario {
+    /// Seed for every random draw (fabric jitter/loss, session key).
+    pub seed: u64,
+    /// URL the host browser shows.
+    pub page_url: String,
+    /// Document the host browser shows.
+    pub page_html: String,
+    /// When set, the host browser first *navigates* this URL against the
+    /// simulated origin registry (filling its cache, so the generated
+    /// content carries `/cache/..` object URLs participants fetch back
+    /// through the agent) instead of parsing `page_html` directly.
+    pub origin_url: Option<String>,
+    /// Network environment; `participant_link()` shapes every
+    /// participant↔host connection.
+    pub profile: NetProfile,
+    /// Snippet poll interval (the paper used 1 s).
+    pub poll_interval: SimDuration,
+    /// Virtual-time horizon: no event past it is processed.
+    pub horizon: SimDuration,
+    /// `None`: advance exactly event-to-event (finest replay traces).
+    /// `Some(q)`: advance in fixed quanta of `q`, coalescing fabric
+    /// events per tick — O(horizon/q) sweeps regardless of event count,
+    /// which is what makes thousand-participant scenarios run in
+    /// wall-clock seconds. Both modes are fully deterministic.
+    pub tick: Option<SimDuration>,
+    /// The scripted events (sorted by time at run start; same-time
+    /// events keep insertion order).
+    pub script: Vec<(SimTime, ScriptEvent)>,
+}
+
+impl WorldScenario {
+    /// A scenario with the environment defaults: WAN profile, 1 s polls,
+    /// 30 s horizon, exact event stepping, empty script.
+    pub fn new(seed: u64, page_url: &str, page_html: &str) -> WorldScenario {
+        WorldScenario {
+            seed,
+            page_url: page_url.to_string(),
+            page_html: page_html.to_string(),
+            origin_url: None,
+            profile: NetProfile::wan(),
+            poll_interval: SimDuration::from_secs(1),
+            horizon: SimDuration::from_secs(30),
+            tick: None,
+            script: Vec::new(),
+        }
+    }
+
+    /// Schedules `event` at virtual offset `t`.
+    pub fn at(&mut self, t: SimDuration, event: ScriptEvent) -> &mut WorldScenario {
+        self.script.push((SimTime::ZERO + t, event));
+        self
+    }
+
+    /// Runs the scenario to quiescence (or the horizon) and reports.
+    /// `&self`: the same scenario value can run twice for a replay
+    /// comparison.
+    pub fn run(&self) -> Result<WorldReport> {
+        let world = World::new(self.seed);
+        let key =
+            SessionKey::generate_deterministic(&mut DetRng::new(self.seed ^ 0x5eed_5e55_1040_e100));
+        let mut host = match &self.origin_url {
+            Some(url) => {
+                // A host that really navigated: its cache holds the
+                // page's supplementary objects, so generated content
+                // rewrites their URLs to agent `/cache/..` paths.
+                let mut origins = rcb_origin::OriginRegistry::with_alexa20();
+                let mut pipe = rcb_sim::link::Pipe::new(self.profile.host_origin);
+                let mut browser = Browser::new(BrowserKind::Firefox);
+                browser.navigate(
+                    &rcb_url::Url::parse(url)?,
+                    &mut origins,
+                    &mut pipe,
+                    &self.profile,
+                    SimTime::ZERO,
+                )?;
+                WorldHost::start_from_browser(&world, "host", browser, key.clone())?
+            }
+            None => WorldHost::start(&world, "host", &self.page_url, &self.page_html, key.clone())?,
+        };
+        let mut participants: BTreeMap<u64, WorldParticipant> = BTreeMap::new();
+        let mut script = self.script.clone();
+        script.sort_by_key(|&(t, _)| t); // stable: same-time order kept
+        let horizon = SimTime::ZERO + self.horizon;
+        let mut cursor = 0usize;
+        loop {
+            // 1. Fire everything the script schedules at or before now.
+            while cursor < script.len() && script[cursor].0 <= world.now() {
+                let event = script[cursor].1.clone();
+                cursor += 1;
+                apply_event(&world, &mut host, &mut participants, &key, self, event)?;
+            }
+            // 2. Pump host and participants to quiescence.
+            loop {
+                let mut progress = false;
+                while host.pump() {
+                    progress = true;
+                }
+                for p in participants.values_mut() {
+                    progress |= p.pump(&world)?;
+                }
+                if !progress {
+                    break;
+                }
+            }
+            // 3. Advance to the next thing that can happen.
+            let next = match self.tick {
+                Some(q) => {
+                    // Quantized stepping: stop once nothing is pending.
+                    let pending = cursor < script.len()
+                        || world.next_event_time().is_some()
+                        || host.next_park_deadline().is_some()
+                        || participants.values().any(|p| p.next_wake().is_some());
+                    pending.then(|| world.now() + q)
+                }
+                None => {
+                    let mut next = script.get(cursor).map(|&(t, _)| t);
+                    let mut fold = |t: Option<SimTime>| {
+                        next = match (next, t) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                    };
+                    fold(world.next_event_time());
+                    fold(host.next_park_deadline());
+                    for p in participants.values() {
+                        fold(p.next_wake());
+                    }
+                    next
+                }
+            };
+            match next {
+                Some(t) if t <= horizon => {
+                    // Guard against a same-instant target: always move.
+                    let target = t.max(world.now() + SimDuration::from_micros(1));
+                    world.advance_to(target);
+                }
+                _ => break,
+            }
+        }
+        Ok(WorldReport {
+            end: world.now(),
+            stats: host.stats(),
+            requests_served: host.requests_served(),
+            host_dom_version: host.dom_version(),
+            host_doc_time: host.published_doc_time(),
+            participants: participants
+                .iter()
+                .map(|(&pid, p)| {
+                    (
+                        pid,
+                        ParticipantReport {
+                            doc_time: p.snippet.doc_time,
+                            polls_completed: p.polls_completed,
+                            updates_applied: p.snippet.updates_applied,
+                            objects_fetched: p.objects_fetched,
+                            resets: p.resets,
+                        },
+                    )
+                })
+                .collect(),
+            trace: world.trace(),
+        })
+    }
+}
+
+fn apply_event(
+    world: &World,
+    host: &mut WorldHost,
+    participants: &mut BTreeMap<u64, WorldParticipant>,
+    key: &SessionKey,
+    scenario: &WorldScenario,
+    event: ScriptEvent,
+) -> Result<()> {
+    match event {
+        ScriptEvent::Join { pid } => {
+            world.note(&format!("script join p{pid}"));
+            participants.insert(
+                pid,
+                WorldParticipant::new(
+                    pid,
+                    key.clone(),
+                    "host",
+                    scenario.profile.participant_link(),
+                    scenario.poll_interval,
+                ),
+            );
+        }
+        ScriptEvent::EnableLongPoll { pid, wait } => {
+            if let Some(p) = participants.get_mut(&pid) {
+                p.snippet.long_poll = Some(wait);
+            }
+        }
+        ScriptEvent::Act { pid, action } => {
+            world.note(&format!("script act p{pid}"));
+            if let Some(p) = participants.get_mut(&pid) {
+                p.act(action);
+            }
+        }
+        ScriptEvent::HostAppend { text } => {
+            world.note(&format!("script host-append {text:?}"));
+            host.mutate_page(|doc| {
+                let body = doc.body().expect("host page has a body");
+                let div = doc.create_element("div");
+                let t = doc.create_text(text);
+                doc.append_child(div, t).expect("fresh div");
+                doc.append_child(body, div).expect("host body");
+            })?;
+        }
+        ScriptEvent::Partition { pids } => {
+            for pid in pids {
+                world.partition(&format!("p{pid}"), "host");
+            }
+        }
+        ScriptEvent::Heal { pids } => {
+            for pid in pids {
+                world.heal(&format!("p{pid}"), "host");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,366 @@
+//! World-sim integration: the real RCB stack (SharedHost handler +
+//! AjaxSnippet) over the seeded in-process fabric, with zero sockets and
+//! zero wall-clock sleeps.
+//!
+//! The headline properties:
+//!
+//! * **deterministic replay** — the same `WorldScenario` run twice
+//!   produces a byte-identical trace and identical stats/reports
+//!   (proptested over seeds);
+//! * **partition/heal convergence** — a cohort partitioned mid-session
+//!   reconnects after heal and converges to the host's final document,
+//!   with exact `dom_version` accounting proving no duplicate merges;
+//! * **scale** — a thousand simulated participants (joins, polls,
+//!   long-polls, object fetches) complete in wall-clock seconds.
+
+use proptest::prelude::*;
+use rcb_browser::UserAction;
+use rcb_core::worldsim::{ScriptEvent, WorldScenario};
+use rcb_util::SimDuration;
+
+const PAGE_URL: &str = "http://host.example/session";
+const PAGE_HTML: &str = "<html><head><title>world sim</title></head>\
+     <body><h1>Shared doc</h1>\
+     <form id=\"f\"><input name=\"q\" value=\"\"/></form>\
+     <p id=\"status\">ready</p></body></html>";
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn millis(ms: u64) -> SimDuration {
+    SimDuration::from_millis(ms)
+}
+
+/// A small but busy scenario: three participants, co-fill actions, host
+/// mutations — enough traffic that nondeterminism anywhere in the stack
+/// would diverge the trace.
+fn small_scenario(seed: u64) -> WorldScenario {
+    let mut sc = WorldScenario::new(seed, PAGE_URL, PAGE_HTML);
+    sc.horizon = secs(10);
+    sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+    sc.at(millis(200), ScriptEvent::Join { pid: 2 });
+    sc.at(millis(400), ScriptEvent::Join { pid: 3 });
+    sc.at(
+        millis(800),
+        ScriptEvent::Act {
+            pid: 1,
+            action: UserAction::FormInput {
+                form: "f".into(),
+                field: "q".into(),
+                value: "collaborative".into(),
+            },
+        },
+    );
+    sc.at(
+        secs(2),
+        ScriptEvent::HostAppend {
+            text: "first update".into(),
+        },
+    );
+    sc.at(
+        secs(3),
+        ScriptEvent::Act {
+            pid: 2,
+            action: UserAction::Click {
+                target: "#status".into(),
+            },
+        },
+    );
+    sc.at(
+        secs(4),
+        ScriptEvent::HostAppend {
+            text: "second update".into(),
+        },
+    );
+    sc
+}
+
+#[test]
+fn same_seed_replays_identically() {
+    let sc = small_scenario(42);
+    let a = sc.run().unwrap();
+    let b = sc.run().unwrap();
+    assert!(!a.trace.is_empty(), "trace should record fabric activity");
+    assert_eq!(a, b, "same seed must replay the exact same world");
+
+    // Sanity that the scenario actually exercised the stack.
+    assert_eq!(a.participants.len(), 3);
+    assert!(a.stats.polls_with_content >= 3, "initial syncs at least");
+    assert!(a.host_dom_version > 0, "acts and appends merged");
+    for (pid, p) in &a.participants {
+        assert!(p.polls_completed > 0, "p{pid} polled");
+        assert_eq!(p.doc_time, a.host_doc_time, "p{pid} converged");
+    }
+}
+
+#[test]
+fn different_seed_diverges() {
+    let a = small_scenario(7).run().unwrap();
+    let b = small_scenario(8).run().unwrap();
+    // Different jitter draws shuffle arrival timestamps: the replay
+    // fingerprints must differ even though the script is identical.
+    assert_ne!(a.trace, b.trace, "seeds must actually matter");
+}
+
+proptest! {
+    #[test]
+    fn replay_is_deterministic_across_seeds(seed in 0u64..10_000) {
+        let mut sc = WorldScenario::new(seed, PAGE_URL, PAGE_HTML);
+        sc.horizon = secs(4);
+        sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+        sc.at(millis(300), ScriptEvent::Join { pid: 2 });
+        sc.at(
+            millis(700),
+            ScriptEvent::Act {
+                pid: 1,
+                action: UserAction::FormInput {
+                    form: "f".into(),
+                    field: "q".into(),
+                    value: format!("seed {seed}"),
+                },
+            },
+        );
+        sc.at(secs(2), ScriptEvent::HostAppend { text: "tick".into() });
+        let a = sc.run().unwrap();
+        let b = sc.run().unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn partition_heal_converges_without_duplicate_merges() {
+    // Identical scripts except one run partitions p2/p3 mid-session.
+    // Every action is flushed while its sender is healthy, so the merge
+    // count — and therefore the final host dom_version — must be EQUAL
+    // in both runs: any excess in the partitioned run would be the
+    // server merging a resent action twice.
+    let build = |partitioned: bool| {
+        let mut sc = WorldScenario::new(2009, PAGE_URL, PAGE_HTML);
+        sc.horizon = secs(15);
+        sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+        sc.at(millis(100), ScriptEvent::Join { pid: 2 });
+        sc.at(millis(200), ScriptEvent::Join { pid: 3 });
+        sc.at(
+            millis(600),
+            ScriptEvent::Act {
+                pid: 2,
+                action: UserAction::FormInput {
+                    form: "f".into(),
+                    field: "q".into(),
+                    value: "from p2".into(),
+                },
+            },
+        );
+        sc.at(
+            millis(900),
+            ScriptEvent::Act {
+                pid: 3,
+                action: UserAction::Click {
+                    target: "#status".into(),
+                },
+            },
+        );
+        if partitioned {
+            sc.at(secs(3), ScriptEvent::Partition { pids: vec![2, 3] });
+        }
+        // Content changes the partitioned cohort misses live.
+        sc.at(
+            secs(4),
+            ScriptEvent::HostAppend {
+                text: "while away".into(),
+            },
+        );
+        sc.at(
+            secs(5),
+            ScriptEvent::Act {
+                pid: 1,
+                action: UserAction::FormInput {
+                    form: "f".into(),
+                    field: "q".into(),
+                    value: "from p1".into(),
+                },
+            },
+        );
+        if partitioned {
+            sc.at(secs(7), ScriptEvent::Heal { pids: vec![2, 3] });
+        }
+        sc.at(
+            secs(9),
+            ScriptEvent::HostAppend {
+                text: "after heal".into(),
+            },
+        );
+        sc
+    };
+
+    let baseline = build(false).run().unwrap();
+    let faulted = build(true).run().unwrap();
+
+    assert_eq!(
+        faulted.host_dom_version, baseline.host_dom_version,
+        "partition must not change the number of merges (duplicate or lost)"
+    );
+    assert_eq!(faulted.host_doc_time, baseline.host_doc_time);
+
+    // The cohort saw resets; the unpartitioned participant saw none.
+    assert!(faulted.participants[&2].resets > 0, "p2 was cut off");
+    assert!(faulted.participants[&3].resets > 0, "p3 was cut off");
+    assert_eq!(faulted.participants[&1].resets, 0, "p1 stayed connected");
+    assert_eq!(baseline.participants[&2].resets, 0);
+
+    // Everyone — including the healed cohort — converged to the host's
+    // final published document.
+    for (pid, p) in &faulted.participants {
+        assert_eq!(
+            p.doc_time, faulted.host_doc_time,
+            "p{pid} must converge after heal"
+        );
+    }
+}
+
+#[test]
+fn long_polls_park_wake_and_time_out_on_virtual_time() {
+    let mut sc = WorldScenario::new(77, PAGE_URL, PAGE_HTML);
+    sc.horizon = secs(12);
+    sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+    sc.at(millis(100), ScriptEvent::Join { pid: 2 });
+    // p1 switches to parked long-polls; p2 stays on interval polling.
+    sc.at(
+        secs(1),
+        ScriptEvent::EnableLongPoll {
+            pid: 1,
+            wait: secs(2),
+        },
+    );
+    sc.at(
+        secs(4),
+        ScriptEvent::HostAppend {
+            text: "wake the parked".into(),
+        },
+    );
+    let report = sc.run().unwrap();
+
+    assert!(report.stats.polls_parked > 0, "long-polls must park");
+    assert!(
+        report.stats.polls_woken > 0,
+        "the host append must wake a parked poll"
+    );
+    assert!(
+        report.stats.polls_park_timeouts > 0,
+        "quiet periods must time the parks out on the virtual clock"
+    );
+    // Every parked poll resolves exactly once — except at most one
+    // still parked when the horizon cuts the run off.
+    let resolved = report.stats.polls_woken + report.stats.polls_park_timeouts;
+    assert!(
+        report.stats.polls_parked - resolved <= 1,
+        "parked {} vs resolved {resolved}",
+        report.stats.polls_parked
+    );
+    for (pid, p) in &report.participants {
+        assert_eq!(p.doc_time, report.host_doc_time, "p{pid} converged");
+    }
+}
+
+#[test]
+fn tick_mode_matches_reality_at_small_scale() {
+    // Quantized stepping is the scale mode; make sure it still drives a
+    // full small session (polls, merges, convergence) and replays.
+    let mut sc = small_scenario(42);
+    sc.tick = Some(millis(50));
+    let a = sc.run().unwrap();
+    let b = sc.run().unwrap();
+    assert_eq!(a, b, "tick mode replays too");
+    assert!(a.stats.polls_empty > 0, "steady-state interval polling ran");
+    for (pid, p) in &a.participants {
+        assert!(p.polls_completed > 3, "p{pid} kept polling under ticks");
+        assert_eq!(p.doc_time, a.host_doc_time, "p{pid} converged");
+    }
+}
+
+#[test]
+fn thousand_participant_smoke_is_fast_and_deterministic() {
+    // The acceptance scenario: 1,000 participants join a host that
+    // really navigated an origin page (so updates carry /cache/..
+    // object URLs to fetch back), a tenth of them on parked long-polls,
+    // co-browsing through a couple of host mutations — all in one
+    // process, zero sockets, quantized 50 ms stepping.
+    let build = || {
+        let mut sc = WorldScenario::new(1_000_009, PAGE_URL, PAGE_HTML);
+        sc.origin_url = Some("http://apple.com/".into());
+        // LAN links: the origin page's objects are tens of KB each, and
+        // over the WAN profile's bandwidth they would eat the whole
+        // horizon in transfer time before steady-state polling starts.
+        sc.profile = rcb_sim::NetProfile::lan();
+        sc.horizon = secs(6);
+        sc.tick = Some(millis(50));
+        for pid in 0..1_000u64 {
+            // Joins staggered over the first two virtual seconds.
+            sc.at(millis(pid * 2), ScriptEvent::Join { pid });
+            if pid % 10 == 0 {
+                sc.at(
+                    millis(pid * 2 + 500),
+                    ScriptEvent::EnableLongPoll { pid, wait: secs(2) },
+                );
+            }
+        }
+        sc.at(
+            millis(2_500),
+            ScriptEvent::Act {
+                pid: 17,
+                action: UserAction::Click {
+                    target: "#status".into(),
+                },
+            },
+        );
+        sc.at(
+            secs(3),
+            ScriptEvent::HostAppend {
+                text: "breaking".into(),
+            },
+        );
+        sc.at(
+            secs(4),
+            ScriptEvent::HostAppend {
+                text: "more".into(),
+            },
+        );
+        sc
+    };
+
+    let started = std::time::Instant::now();
+    let a = build().run().unwrap();
+    let single = started.elapsed();
+    let b = build().run().unwrap();
+    let elapsed = started.elapsed();
+
+    assert_eq!(a, b, "thousand-participant world must replay identically");
+
+    assert_eq!(a.participants.len(), 1_000);
+    assert_eq!(a.stats.auth_failures, 0);
+    assert!(a.stats.polls_parked > 0, "long-poll subset parked");
+    assert!(a.stats.polls_woken > 0, "appends woke parked polls");
+    assert!(
+        a.stats.object_requests >= 1_000,
+        "participants fetched origin objects through the agent \
+         (got {})",
+        a.stats.object_requests
+    );
+    let total_polls = a.stats.polls_with_content + a.stats.polls_empty;
+    assert!(
+        total_polls > 3_000,
+        "sustained polling traffic (got {total_polls})"
+    );
+    for (pid, p) in &a.participants {
+        assert_eq!(p.doc_time, a.host_doc_time, "p{pid} converged");
+    }
+
+    // Wall-clock budget: "seconds, not minutes". Debug builds get a
+    // wider envelope than the optimized CI sim leg.
+    let budget = if cfg!(debug_assertions) { 120 } else { 20 };
+    assert!(
+        elapsed.as_secs() < budget,
+        "two smoke runs took {elapsed:?} (single run {single:?}), budget {budget}s"
+    );
+}

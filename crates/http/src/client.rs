@@ -2,7 +2,10 @@
 //!
 //! Plays the role of the participant browser's network layer in the
 //! real-socket deployment: connect, send one request, read the
-//! `Content-Length`-framed response.
+//! `Content-Length`-framed response. The framing logic is shared with the
+//! nonblocking world-sim participants through [`try_parse_response`], and
+//! [`HttpConnection`] holds a [`transport::Conn`], so the same persistent
+//! keep-alive client runs over kernel sockets and fabric connections.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -13,6 +16,7 @@ use rcb_util::{RcbError, Result};
 use crate::message::{Request, Response};
 use crate::parse::parse_response;
 use crate::serialize::serialize_request;
+use crate::transport;
 
 /// Sends a single request to `addr` (`host:port`) on a fresh connection.
 pub fn send_request(addr: &str, req: &Request) -> Result<Response> {
@@ -23,27 +27,40 @@ pub fn send_request(addr: &str, req: &Request) -> Result<Response> {
     read_response(&mut stream)
 }
 
-/// Reads one `Content-Length`-framed response from an open stream.
-pub fn read_response(stream: &mut TcpStream) -> Result<Response> {
+/// Attempts to frame-and-parse one `Content-Length`-framed response from
+/// the front of `buf`. Returns `Ok(None)` while the bytes are still
+/// incomplete; on success also returns how many bytes the response
+/// consumed, so a keep-alive reader can drain its buffer response by
+/// response. The framing length comes from the same strict header parse
+/// the full response parse uses: a malformed or conflicting
+/// Content-Length is a hard error here, not a silent 0 — guessing 0 would
+/// return a bodyless response and desync every subsequent round trip on
+/// the stream.
+pub fn try_parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RcbError::parse("http", "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let _status_line = lines.next(); // validated by parse_response
+    let headers = crate::parse::parse_header_lines(lines)?;
+    let declared = headers.content_length()?.unwrap_or(0);
+    let total = head_end + 4 + declared;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    parse_response(&buf[..total]).map(|resp| Some((resp, total)))
+}
+
+/// Reads one `Content-Length`-framed response from an open stream (any
+/// `Read` — a `TcpStream`, a [`transport::Conn`], a fabric conn).
+pub fn read_response<R: Read>(stream: &mut R) -> Result<Response> {
     let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     loop {
-        // Try parsing what we have once the head looks complete. The
-        // framing length comes from the same strict header parse the
-        // full response parse uses: a malformed or conflicting
-        // Content-Length is a hard error here, not a silent 0 — guessing
-        // 0 would return a bodyless response and desync every subsequent
-        // round trip on this keep-alive stream.
-        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            let head = std::str::from_utf8(&buf[..head_end])
-                .map_err(|_| RcbError::parse("http", "non-UTF-8 response head"))?;
-            let mut lines = head.split("\r\n");
-            let _status_line = lines.next(); // validated by parse_response
-            let headers = crate::parse::parse_header_lines(lines)?;
-            let declared = headers.content_length()?.unwrap_or(0);
-            if buf.len() >= head_end + 4 + declared {
-                return parse_response(&buf[..head_end + 4 + declared]);
-            }
+        if let Some((resp, _consumed)) = try_parse_response(&buf)? {
+            return Ok(resp);
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -61,13 +78,22 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response> {
 /// A persistent connection that can issue multiple requests (the snippet's
 /// polling loop reuses one connection when the agent allows keep-alive).
 pub struct HttpConnection {
-    stream: TcpStream,
+    stream: transport::Conn,
 }
 
 impl HttpConnection {
-    /// Connects to `addr`.
+    /// Connects to `addr` over real TCP.
     pub fn connect(addr: &str) -> Result<HttpConnection> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpConnection {
+            stream: stream.into(),
+        })
+    }
+
+    /// Wraps an already-established seam connection (how world-sim
+    /// participants in threaded mode reuse the production client).
+    pub fn from_conn(mut stream: transport::Conn) -> Result<HttpConnection> {
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         Ok(HttpConnection { stream })
     }

@@ -49,11 +49,11 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rcb_util::fault;
 use rcb_util::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use rcb_util::Result;
+use rcb_util::{Clock, Result, SimDuration, SimTime};
 
 use crate::message::{Request, Response, Status};
 use crate::parse::RequestParser;
@@ -236,7 +236,9 @@ fn dispatch_worker(shared: Arc<ShardShared>, handler: Handler, waker: WakeHandle
 /// future tick.
 struct ParkedPoll {
     wait_key: u64,
-    deadline: Instant,
+    /// Engine-clock deadline (`ServerConfig::clock`): real time in
+    /// deployment, virtual time if the engine ever runs under simulation.
+    deadline: SimTime,
     on_wake: Box<dyn FnOnce() -> Response + Send>,
     on_timeout: Box<dyn FnOnce() -> Response + Send>,
     /// `Connection: close` (or a panic) was attached to the parked
@@ -399,9 +401,9 @@ struct Acceptor {
     /// Next shard in the round-robin rotation.
     next_shard: usize,
     accept_errors: Arc<AtomicU64>,
-    /// Listener muted (deregistered) until this instant after a transient
-    /// accept error — the event-loop version of accept backoff.
-    listener_muted_until: Option<Instant>,
+    /// Listener muted (deregistered) until this engine-clock time after a
+    /// transient accept error — the event-loop version of accept backoff.
+    listener_muted_until: Option<SimTime>,
     accept_backoff: Duration,
 }
 
@@ -427,6 +429,9 @@ struct LoopShard {
     /// Live parked long-polls in this shard's slot table — lets every
     /// tick skip the slot scan in the (typical) no-parks case.
     parked_count: usize,
+    /// Engine clock for park deadlines and listener-mute windows
+    /// (`ServerConfig::clock` — the wall clock in deployment).
+    clock: Clock,
 }
 
 impl LoopShard {
@@ -443,10 +448,7 @@ impl LoopShard {
                 (a, b) => a.or(b),
             };
             let timeout = match deadline {
-                Some(deadline) => (deadline
-                    .saturating_duration_since(Instant::now())
-                    .as_millis() as i32)
-                    .clamp(1, 50),
+                Some(deadline) => deadline.since(self.clock.now()).as_millis().clamp(1, 50) as i32,
                 None => 50,
             };
             let n = match self.epoll.wait(&mut events, timeout) {
@@ -472,7 +474,7 @@ impl LoopShard {
     }
 
     /// The soonest park timeout in this shard's slot table, if any.
-    fn nearest_park_deadline(&self) -> Option<Instant> {
+    fn nearest_park_deadline(&self) -> Option<SimTime> {
         if self.parked_count == 0 {
             return None;
         }
@@ -494,7 +496,7 @@ impl LoopShard {
             return;
         }
         let published = self.park.published();
-        let now = Instant::now();
+        let now = self.clock.now();
         for index in 0..self.slots.len() {
             let Some(conn) = self.slots[index].conn.as_mut() else {
                 continue;
@@ -548,6 +550,7 @@ impl LoopShard {
         if self.acceptor.is_none() {
             return;
         }
+        let clock = self.clock.clone();
         loop {
             let acc = self.acceptor.as_mut().expect("checked above");
             if acc.listener_muted_until.is_some() {
@@ -574,7 +577,8 @@ impl LoopShard {
                 Err(_) => {
                     acc.accept_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = self.epoll.delete(acc.listener.as_raw_fd());
-                    acc.listener_muted_until = Some(Instant::now() + acc.accept_backoff);
+                    acc.listener_muted_until =
+                        Some(clock.now() + SimDuration::from_duration(acc.accept_backoff));
                     acc.accept_backoff = (acc.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
                     break;
                 }
@@ -584,6 +588,7 @@ impl LoopShard {
 
     fn maybe_unmute_listener(&mut self) {
         let mut unmuted = false;
+        let clock = self.clock.clone();
         {
             let Some(acc) = self.acceptor.as_mut() else {
                 return;
@@ -591,7 +596,7 @@ impl LoopShard {
             let Some(deadline) = acc.listener_muted_until else {
                 return;
             };
-            if Instant::now() < deadline {
+            if clock.now() < deadline {
                 return;
             }
             if self
@@ -607,7 +612,8 @@ impl LoopShard {
                 // window and retry, rather than leaving the listener
                 // permanently unwatched.
                 acc.accept_errors.fetch_add(1, Ordering::Relaxed);
-                acc.listener_muted_until = Some(Instant::now() + acc.accept_backoff);
+                acc.listener_muted_until =
+                    Some(clock.now() + SimDuration::from_duration(acc.accept_backoff));
                 acc.accept_backoff = (acc.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
         }
@@ -722,6 +728,7 @@ impl LoopShard {
     /// after this on the same tick, so a publish that already happened
     /// wakes the poll without waiting another tick).
     fn process_completions(&mut self) {
+        let now = self.clock.now();
         for completion in self.shared.take_completions() {
             let (index, gen) = token_parts(completion.token);
             let Some(slot) = self.slots.get_mut(index) else {
@@ -742,7 +749,7 @@ impl LoopShard {
                 HandlerOutcome::Park(park) => {
                     conn.parked = Some(ParkedPoll {
                         wait_key: park.wait_key,
-                        deadline: Instant::now() + park.max_wait,
+                        deadline: now + SimDuration::from_duration(park.max_wait),
                         on_wake: park.on_wake,
                         on_timeout: park.on_timeout,
                         close: completion.close,
@@ -831,6 +838,7 @@ impl EpollServer {
                 acceptor,
                 park: Arc::clone(&config.park_hub),
                 parked_count: 0,
+                clock: config.clock.clone(),
             });
             // A publish on the hub pokes this shard's waker, so a parked
             // poll completes on the very next loop iteration instead of

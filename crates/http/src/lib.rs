@@ -10,6 +10,11 @@
 //! a bounded worker pool and an event-driven [`epoll`] loop — plus the
 //! blocking [`client`] used by the real-socket deployment path and the
 //! loopback integration tests.
+//!
+//! The server and client move bytes through the [`transport`] seam
+//! (kernel sockets or the seeded in-process fabric from `rcb-sim`), and
+//! [`simdrive`] is the single-threaded deterministic server driver the
+//! world sim pumps in place of the threaded engines.
 
 pub mod client;
 // The one place the platform condition for the epoll backend appears in
@@ -33,6 +38,8 @@ pub mod message;
 pub mod parse;
 pub mod serialize;
 pub mod server;
+pub mod simdrive;
+pub mod transport;
 
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
@@ -41,3 +48,4 @@ pub use server::{
     handler_fn, Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
     ServerStats,
 };
+pub use simdrive::SimDriver;

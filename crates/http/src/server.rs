@@ -34,17 +34,26 @@
 //! a single such error permanently killed the listener mid-session. (The
 //! epoll backend gets the same resilience by muting the listener's
 //! registration for a backoff window.)
+//!
+//! The workers backend accepts and reads through the
+//! [`crate::transport`] seam, so [`HttpServer::serve`] can run the same
+//! engine — same queue, same park semantics, same zero-copy writes — over
+//! the in-process simulated fabric instead of kernel sockets. All time
+//! the engine consults (park deadlines, accept backoff sleeps) flows
+//! through [`ServerConfig::clock`], a wall clock by default.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use rcb_util::Result;
+use rcb_util::{Clock, Result, SimDuration, SimTime};
+
+use crate::transport;
 
 use crate::message::{Request, Response, Status};
 use crate::parse::RequestParser;
@@ -200,25 +209,49 @@ impl ParkHub {
             .push(waker);
     }
 
+    /// Wakes blocked [`ParkHub::wait_until`] callers without publishing
+    /// anything — how a virtual-clock advance tells parked workers to
+    /// re-check their (virtual) deadlines.
+    pub(crate) fn poke(&self) {
+        drop(
+            self.gate
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        self.cond.notify_all();
+    }
+
     /// Blocks until a key newer than `wait_key` is published, `deadline`
-    /// passes, or `stopped` reports true (checked every slice, so server
-    /// shutdown is never held up by a parked poll). Returns `true` on
-    /// wake, `false` on timeout/stop.
+    /// passes on `clock`, or `stopped` reports true (checked every slice,
+    /// so server shutdown is never held up by a parked poll). Returns
+    /// `true` on wake, `false` on timeout/stop.
+    ///
+    /// Under a virtual clock the deadline is virtual time, so the condvar
+    /// waits in fixed wall slices and relies on publishes and clock
+    /// advances ([`ParkHub::poke`]) to cut them short; a frozen clock
+    /// never times a poll out, exactly like a frozen world.
     pub(crate) fn wait_until(
         &self,
         wait_key: u64,
-        deadline: Instant,
+        deadline: SimTime,
+        clock: &Clock,
         stopped: &dyn Fn() -> bool,
     ) -> bool {
         loop {
             if self.published() > wait_key {
                 return true;
             }
-            let now = Instant::now();
+            let now = clock.now();
             if now >= deadline || stopped() {
                 return false;
             }
-            let slice = (deadline - now).min(Duration::from_millis(50));
+            let slice = if clock.is_virtual() {
+                Duration::from_millis(50)
+            } else {
+                (deadline - now)
+                    .as_duration()
+                    .min(Duration::from_millis(50))
+            };
             let guard = self
                 .gate
                 .lock()
@@ -423,6 +456,10 @@ pub struct ServerConfig {
     /// [`ParkHub::publish`] when new content is available. A handler that
     /// never returns [`HandlerOutcome::Park`] never touches it.
     pub park_hub: Arc<ParkHub>,
+    /// The time source for park deadlines and accept-backoff sleeps. The
+    /// wall clock in deployment; a shared virtual clock under the world
+    /// sim, so parked long-polls time out on simulated time.
+    pub clock: Clock,
 }
 
 impl Default for ServerConfig {
@@ -433,6 +470,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             read_timeout: Duration::from_millis(2),
             park_hub: Arc::new(ParkHub::default()),
+            clock: Clock::wall(),
         }
     }
 }
@@ -448,9 +486,10 @@ fn next_accept_backoff(current: Duration) -> Duration {
 }
 
 /// One live connection plus its incremental parse state, as it travels
-/// between the queue and workers.
+/// between the queue and workers. The stream is a [`transport::Conn`], so
+/// the same worker code services kernel sockets and fabric connections.
 struct Conn {
-    stream: TcpStream,
+    stream: transport::Conn,
     parser: RequestParser,
 }
 
@@ -617,20 +656,50 @@ impl HttpServer {
         }
     }
 
-    fn bind_workers(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
-        let listener = TcpListener::bind(addr)?;
+    /// Runs the workers engine over an already-bound [`transport::Listener`]
+    /// — the entry point the deterministic world sim uses to serve real
+    /// handler code over fabric connections (threaded mode). The backend
+    /// in `config` is ignored: the epoll engines are kernel-socket
+    /// machinery, so a seam listener always gets the workers engine.
+    pub fn serve(
+        listener: transport::Listener,
+        handler: Handler,
+        config: ServerConfig,
+    ) -> Result<HttpServer> {
         let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        Self::serve_workers(listener, local, handler, config)
+    }
+
+    fn bind_workers(addr: &str, handler: Handler, config: ServerConfig) -> Result<HttpServer> {
+        let listener = transport::Listener::bind_tcp(addr)?;
+        let local = listener.local_addr()?;
+        Self::serve_workers(listener, local, handler, config)
+    }
+
+    fn serve_workers(
+        listener: transport::Listener,
+        local: SocketAddr,
+        handler: Handler,
+        config: ServerConfig,
+    ) -> Result<HttpServer> {
         let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
         let accept_errors = Arc::new(AtomicU64::new(0));
         let connections_accepted = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::with_capacity(config.workers + 1);
 
+        // Virtual time: advances must wake parked workers so they
+        // re-check their (virtual) park deadlines.
+        if config.clock.is_virtual() {
+            let hub = Arc::clone(&config.park_hub);
+            config.clock.on_advance(Box::new(move || hub.poke()));
+        }
+
         let accept_queue = Arc::clone(&queue);
         let errors = Arc::clone(&accept_errors);
         let accepted = Arc::clone(&connections_accepted);
+        let accept_clock = config.clock.clone();
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, accept_queue, errors, accepted);
+            accept_loop(listener, accept_queue, errors, accepted, accept_clock);
         }));
 
         for _ in 0..config.workers.max(1) {
@@ -638,13 +707,20 @@ impl HttpServer {
             let handler = Arc::clone(&handler);
             let read_timeout = config.read_timeout;
             let hub = Arc::clone(&config.park_hub);
+            let clock = config.clock.clone();
             threads.push(std::thread::spawn(move || {
                 while !worker_queue.stopped() {
                     let Some(mut conn) = worker_queue.pop(Duration::from_millis(50)) else {
                         continue;
                     };
-                    match service_connection(&mut conn, &handler, read_timeout, &hub, &worker_queue)
-                    {
+                    match service_connection(
+                        &mut conn,
+                        &handler,
+                        read_timeout,
+                        &hub,
+                        &clock,
+                        &worker_queue,
+                    ) {
                         ConnFate::Keep => worker_queue.push_rotated(conn),
                         ConnFate::Close => {}
                     }
@@ -723,12 +799,16 @@ impl Drop for HttpServer {
     }
 }
 
-/// The accept loop: admit connections, survive transient errors.
+/// The accept loop: admit connections, survive transient errors. Idle
+/// polls and error backoffs sleep on the engine clock — real sleeps on
+/// the wall clock; on a virtual clock they ride the clock's waiter
+/// condvar, which advances (and shutdown-era pokes) cut short.
 fn accept_loop(
-    listener: TcpListener,
+    listener: transport::Listener,
     queue: Arc<ConnQueue>,
     errors: Arc<AtomicU64>,
     accepted: Arc<AtomicU64>,
+    clock: Clock,
 ) {
     let mut backoff = ACCEPT_BACKOFF_START;
     while !queue.stopped() {
@@ -736,7 +816,7 @@ fn accept_loop(
         // Accept fault behaves exactly like the kernel refusing the call.
         let next = match rcb_util::fault::take(rcb_util::fault::Op::Accept) {
             Some(e) => Err(e),
-            None => listener.accept().map(|(stream, _)| stream),
+            None => listener.try_accept(),
         };
         match next {
             Ok(stream) => {
@@ -755,7 +835,7 @@ fn accept_loop(
                 // listener's point of view. Back off and retry; only a
                 // shutdown request ends the loop.
                 errors.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff);
+                clock.sleep(SimDuration::from_duration(backoff));
                 backoff = next_accept_backoff(backoff);
             }
         }
@@ -775,6 +855,7 @@ fn service_connection(
     handler: &Handler,
     read_timeout: Duration,
     hub: &ParkHub,
+    clock: &Clock,
     queue: &ConnQueue,
 ) -> ConnFate {
     if conn.stream.set_read_timeout(Some(read_timeout)).is_err() {
@@ -797,9 +878,10 @@ fn service_connection(
                             let resp = match outcome {
                                 HandlerOutcome::Respond(resp) => resp,
                                 HandlerOutcome::Park(park) => {
-                                    let deadline = Instant::now() + park.max_wait;
+                                    let deadline =
+                                        clock.now() + SimDuration::from_duration(park.max_wait);
                                     let stopped = || queue.stopped();
-                                    if hub.wait_until(park.wait_key, deadline, &stopped) {
+                                    if hub.wait_until(park.wait_key, deadline, clock, &stopped) {
                                         (park.on_wake)()
                                     } else {
                                         (park.on_timeout)()
@@ -843,6 +925,8 @@ mod tests {
     use super::*;
     use crate::client::send_request;
     use crate::message::{Request, Status};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn echo_handler() -> Handler {
         handler_fn(|req: Request| {
@@ -1072,23 +1156,29 @@ mod tests {
 
     #[test]
     fn park_hub_wait_semantics() {
+        let clock = Clock::wall();
         let hub = ParkHub::default();
         assert_eq!(hub.published(), 0);
         let never = || false;
         // Already-published keys return immediately.
         hub.publish(5);
-        assert!(hub.wait_until(4, Instant::now(), &never), "5 > 4: instant");
+        assert!(
+            hub.wait_until(4, clock.now(), &clock, &never),
+            "5 > 4: instant"
+        );
         // Waiting on the current key times out (nothing newer yet).
         let t0 = Instant::now();
-        assert!(!hub.wait_until(5, t0 + Duration::from_millis(30), &never));
-        assert!(t0.elapsed() >= Duration::from_millis(30));
+        let deadline = clock.now() + SimDuration::from_millis(30);
+        assert!(!hub.wait_until(5, deadline, &clock, &never));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
         // The mark is monotonic: stale publishes never move it back.
         hub.publish(3);
         assert_eq!(hub.published(), 5);
         // A stop request ends the wait early as a timeout.
         let stopped = || true;
         let t0 = Instant::now();
-        assert!(!hub.wait_until(5, t0 + Duration::from_secs(10), &stopped));
+        let deadline = clock.now() + SimDuration::from_secs(10);
+        assert!(!hub.wait_until(5, deadline, &clock, &stopped));
         assert!(t0.elapsed() < Duration::from_secs(1));
         // A concurrent publish wakes a blocked waiter.
         let hub = Arc::new(ParkHub::default());
@@ -1099,8 +1189,48 @@ mod tests {
                 hub.publish(1);
             })
         };
-        assert!(hub.wait_until(0, Instant::now() + Duration::from_secs(5), &never));
+        let deadline = clock.now() + SimDuration::from_secs(5);
+        assert!(hub.wait_until(0, deadline, &clock, &never));
         publisher.join().unwrap();
+    }
+
+    #[test]
+    fn park_hub_wait_is_clock_driven_under_virtual_time() {
+        // A parked wait under a virtual clock ignores wall time entirely:
+        // it times out the moment virtual time crosses the deadline and
+        // not before, no matter how long the wall waits.
+        let (clock, vc) = Clock::new_virtual();
+        let hub = Arc::new(ParkHub::default());
+        {
+            let hub = Arc::clone(&hub);
+            clock.on_advance(Box::new(move || hub.poke()));
+        }
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                let deadline = SimTime::from_secs(30);
+                hub.wait_until(0, deadline, &clock, &|| false)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "frozen clock never times out");
+        vc.advance_to(SimTime::from_secs(29));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!waiter.is_finished(), "deadline not reached yet");
+        vc.advance_to(SimTime::from_secs(31));
+        assert!(!waiter.join().unwrap(), "virtual deadline = timeout");
+        // And a publish wakes a virtual waiter without any advance.
+        let waker = {
+            let hub = Arc::clone(&hub);
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                hub.wait_until(7, SimTime::from_secs(3600), &clock, &|| false)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        hub.publish(8);
+        assert!(waker.join().unwrap(), "publish wakes without advancing");
     }
 
     #[test]

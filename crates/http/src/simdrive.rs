@@ -1,0 +1,357 @@
+//! Single-threaded, nonblocking server driver for the deterministic
+//! world sim (pump mode).
+//!
+//! The threaded engines ([`crate::server`]) prove the production loops
+//! run over the transport seam, but threads make replay nondeterministic.
+//! [`SimDriver`] is the deterministic alternative: the same handler, the
+//! same parser, the same park/wake/timeout semantics as the epoll
+//! backend's slot machine — but advanced by explicit [`SimDriver::pump`]
+//! calls from the scenario loop, with every read a nonblocking
+//! [`rcb_sim::SimConn::try_read`] and every deadline measured on the
+//! shared virtual clock. Park resolution mirrors the epoll engine's
+//! ordering exactly (a published key beats a simultaneous timeout), so
+//! behavior observed under the world sim transfers to the real backends.
+//!
+//! The scenario loop alternates:
+//!
+//! 1. `while driver.pump() {}` — serve everything currently servable;
+//! 2. advance the virtual clock to the next event
+//!    ([`rcb_sim::SimNet::next_event_time`] joined with
+//!    [`SimDriver::next_park_deadline`]);
+//!
+//! which is the standard discrete-event shape: no sleeps, no condvars, no
+//! wall time anywhere.
+
+use rcb_sim::{SimConn, SimListener};
+use rcb_util::{Clock, SimDuration, SimTime};
+use std::sync::Arc;
+
+use crate::message::{Response, Status};
+use crate::parse::RequestParser;
+use crate::serialize::write_response_to;
+use crate::server::{invoke_handler, Handler, HandlerOutcome, ParkHub, ServerConfig};
+
+/// A long-poll parked on a driver connection (the pump-mode analogue of
+/// the epoll backend's `ParkedPoll`).
+struct ParkedReq {
+    wait_key: u64,
+    deadline: SimTime,
+    on_wake: Box<dyn FnOnce() -> Response + Send>,
+    on_timeout: Box<dyn FnOnce() -> Response + Send>,
+    /// Close once the eventual response is written (`Connection: close`
+    /// on the parked request, or a panicking handler).
+    close: bool,
+}
+
+/// One accepted connection's state: the fabric conn, its incremental
+/// parser, and an optional parked long-poll.
+struct DriverConn {
+    conn: SimConn,
+    parser: RequestParser,
+    parked: Option<ParkedReq>,
+    peer_closed: bool,
+}
+
+/// What one service pass decided about a connection.
+enum Fate {
+    Keep,
+    Close,
+}
+
+/// The pump-mode server: accepts from a [`SimListener`] and services every
+/// connection with the shared [`Handler`], entirely nonblocking.
+pub struct SimDriver {
+    listener: SimListener,
+    handler: Handler,
+    hub: Arc<ParkHub>,
+    clock: Clock,
+    conns: Vec<DriverConn>,
+    requests_served: u64,
+}
+
+impl SimDriver {
+    /// Wraps `listener`; the park hub and clock come from `config` (the
+    /// same fields the threaded engines use).
+    pub fn new(listener: SimListener, handler: Handler, config: &ServerConfig) -> SimDriver {
+        SimDriver {
+            listener,
+            handler,
+            hub: Arc::clone(&config.park_hub),
+            clock: config.clock.clone(),
+            conns: Vec::new(),
+            requests_served: 0,
+        }
+    }
+
+    /// One service sweep: accept whatever has finished its handshake,
+    /// resolve due parks, drain readable bytes, dispatch complete
+    /// requests. Returns whether anything happened — the scenario loop
+    /// pumps until `false` before advancing the clock.
+    pub fn pump(&mut self) -> bool {
+        let mut progress = false;
+        while let Ok(conn) = self.listener.try_accept() {
+            self.conns.push(DriverConn {
+                conn,
+                parser: RequestParser::new(),
+                parked: None,
+                peer_closed: false,
+            });
+            progress = true;
+        }
+        let now = self.clock.now();
+        let published = self.hub.published();
+        let handler = Arc::clone(&self.handler);
+        let mut served = 0u64;
+        self.conns.retain_mut(|dc| {
+            matches!(
+                service(dc, &handler, now, published, &mut progress, &mut served),
+                Fate::Keep
+            )
+        });
+        self.requests_served += served;
+        progress
+    }
+
+    /// The soonest parked long-poll deadline, if any — the scenario loop
+    /// folds this into its next-event computation so park timeouts fire
+    /// even when the fabric is silent.
+    pub fn next_park_deadline(&self) -> Option<SimTime> {
+        self.conns
+            .iter()
+            .filter_map(|dc| dc.parked.as_ref())
+            .map(|p| p.deadline)
+            .min()
+    }
+
+    /// Live connections (accepted, not yet closed).
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Long-polls currently parked.
+    pub fn parked(&self) -> usize {
+        self.conns.iter().filter(|dc| dc.parked.is_some()).count()
+    }
+
+    /// Requests answered so far (parked polls count on resolution).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+}
+
+impl std::fmt::Debug for SimDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDriver")
+            .field("connections", &self.conns.len())
+            .field("parked", &self.parked())
+            .field("requests_served", &self.requests_served)
+            .finish()
+    }
+}
+
+/// One pass over one connection. Mirrors the worker/epoll state machine:
+/// resolve a due park first (wake beats timeout, like
+/// `LoopShard::service_parked`), then read, then dispatch in order —
+/// a parked poll blocks dispatch of anything pipelined behind it.
+fn service(
+    dc: &mut DriverConn,
+    handler: &Handler,
+    now: SimTime,
+    published: u64,
+    progress: &mut bool,
+    served: &mut u64,
+) -> Fate {
+    if let Some(p) = dc.parked.take() {
+        if published > p.wait_key || now >= p.deadline {
+            let response = if published > p.wait_key {
+                (p.on_wake)()
+            } else {
+                (p.on_timeout)()
+            };
+            *progress = true;
+            *served += 1;
+            if write_response_to(&mut dc.conn, &response).is_err() || p.close {
+                return Fate::Close;
+            }
+        } else {
+            dc.parked = Some(p);
+        }
+    }
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match dc.conn.try_read(&mut buf) {
+            Ok(0) => {
+                dc.peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                dc.parser.feed(&buf[..n]);
+                *progress = true;
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => return Fate::Close, // reset (partition)
+        }
+    }
+    while dc.parked.is_none() {
+        match dc.parser.next_request() {
+            Ok(Some(req)) => {
+                *progress = true;
+                let close = req.wants_close();
+                let (outcome, panicked) = invoke_handler(handler, req);
+                match outcome {
+                    HandlerOutcome::Respond(response) => {
+                        *served += 1;
+                        if write_response_to(&mut dc.conn, &response).is_err() || close || panicked
+                        {
+                            return Fate::Close;
+                        }
+                    }
+                    HandlerOutcome::Park(park) => {
+                        dc.parked = Some(ParkedReq {
+                            wait_key: park.wait_key,
+                            deadline: now + SimDuration::from_duration(park.max_wait),
+                            on_wake: park.on_wake,
+                            on_timeout: park.on_timeout,
+                            close: close || panicked,
+                        });
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                let response = Response::error(Status::BAD_REQUEST, "malformed request");
+                let _ = write_response_to(&mut dc.conn, &response);
+                return Fate::Close;
+            }
+        }
+    }
+    if dc.peer_closed && dc.parked.is_none() {
+        return Fate::Close;
+    }
+    Fate::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::try_parse_response;
+    use crate::message::Request;
+    use crate::serialize::serialize_request;
+    use crate::server::{handler_fn, Park};
+    use rcb_sim::{LinkModel, LinkSpec, World};
+    use std::io::Write;
+
+    fn link() -> LinkModel {
+        LinkModel::from_spec(LinkSpec::symmetric(
+            100_000_000,
+            SimDuration::from_millis(1),
+        ))
+    }
+
+    /// Pump the driver and the fabric to quiescence, advancing the clock
+    /// through fabric events and park deadlines.
+    fn run(world: &World, driver: &mut SimDriver) {
+        loop {
+            while driver.pump() {}
+            let next = match (world.next_event_time(), driver.next_park_deadline()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match next {
+                Some(t) if t > world.now() => world.advance_to(t),
+                Some(_) => break, // deadline due now: one more pump round
+                None => break,
+            }
+        }
+        while driver.pump() {}
+    }
+
+    fn read_one(conn: &mut SimConn) -> Option<Response> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.try_read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        try_parse_response(&buf).unwrap().map(|(resp, _)| resp)
+    }
+
+    #[test]
+    fn serves_requests_over_the_fabric_without_threads() {
+        let world = World::new(21);
+        let config = ServerConfig {
+            clock: world.clock(),
+            ..ServerConfig::default()
+        };
+        let handler = handler_fn(|req: Request| {
+            Response::with_body(Status::OK, "text/plain", req.target.into_bytes())
+        });
+        let mut driver = SimDriver::new(world.bind("host").unwrap(), handler, &config);
+        let mut c1 = world.connect("p1", "host", link()).unwrap();
+        let mut c2 = world.connect("p2", "host", link()).unwrap();
+        c1.write_all(&serialize_request(&Request::get("/a")))
+            .unwrap();
+        c2.write_all(&serialize_request(&Request::get("/b")))
+            .unwrap();
+        run(&world, &mut driver);
+        assert_eq!(read_one(&mut c1).unwrap().body_str(), "/a");
+        assert_eq!(read_one(&mut c2).unwrap().body_str(), "/b");
+        assert_eq!(driver.requests_served(), 2);
+        assert_eq!(driver.connections(), 2, "keep-alive conns stay");
+    }
+
+    #[test]
+    fn parked_poll_wakes_on_publish_and_times_out_on_virtual_deadline() {
+        let world = World::new(22);
+        let config = ServerConfig {
+            clock: world.clock(),
+            ..ServerConfig::default()
+        };
+        let hub = Arc::clone(&config.park_hub);
+        let handler_hub = Arc::clone(&hub);
+        let handler: Handler = Arc::new(move |_req: Request| {
+            HandlerOutcome::Park(Park {
+                // Park on the *current* mark, like a real poll handler:
+                // only keys published after this request wake it.
+                wait_key: handler_hub.published(),
+                max_wait: std::time::Duration::from_secs(5),
+                on_wake: Box::new(|| {
+                    Response::with_body(Status::OK, "text/plain", b"woken".to_vec())
+                }),
+                on_timeout: Box::new(|| {
+                    Response::with_body(Status::OK, "text/plain", b"timeout".to_vec())
+                }),
+            })
+        });
+        let mut driver = SimDriver::new(world.bind("host").unwrap(), handler, &config);
+
+        // First poll: published before the deadline -> "woken".
+        let mut c1 = world.connect("p1", "host", link()).unwrap();
+        c1.write_all(&serialize_request(&Request::get("/poll")))
+            .unwrap();
+        while world.next_event_time().is_some() {
+            world.advance_to(world.next_event_time().unwrap());
+            while driver.pump() {}
+        }
+        assert_eq!(driver.parked(), 1, "poll parked, no dispatch slot burned");
+        hub.publish(1);
+        run(&world, &mut driver);
+        assert_eq!(read_one(&mut c1).unwrap().body_str(), "woken");
+
+        // Second poll: nothing published -> virtual-deadline timeout, with
+        // zero wall-clock waiting.
+        let mut c2 = world.connect("p2", "host", link()).unwrap();
+        c2.write_all(&serialize_request(&Request::get("/poll")))
+            .unwrap();
+        let before = world.now();
+        run(&world, &mut driver);
+        assert_eq!(read_one(&mut c2).unwrap().body_str(), "timeout");
+        assert!(
+            (world.now() - before).as_millis() >= 5_000,
+            "timeout consumed virtual, not wall, time"
+        );
+    }
+}

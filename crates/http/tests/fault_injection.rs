@@ -193,6 +193,68 @@ fn ewouldblock_write_resumption_on_epoll_variants() {
 }
 
 #[test]
+fn scripted_accept_schedule_fails_exact_ordinals() {
+    // `fault::script` generalizes the fail-next budget into call-indexed
+    // schedules: fail accept calls #1 and #2, let #3 through. On the
+    // epoll variants accept runs on readiness (no idle polling), so the
+    // ordinals line up with the retry sequence for one waiting client:
+    // two muted-and-retried errors, then the served accept.
+    let _scope = FaultScope::enter();
+    for backend in epoll_backends() {
+        let server = bind(backend, 2, echo_handler());
+        let addr = server.addr().to_string();
+        fault::script(
+            fault::Op::Accept,
+            &[(1, fault::ECONNABORTED), (2, fault::EMFILE)],
+        );
+        let resp = get(&addr, "/scripted");
+        assert_eq!(resp.body_str(), "/scripted", "{backend}");
+        assert_eq!(
+            fault::pending(fault::Op::Accept),
+            0,
+            "{backend}: both scripted ordinals fired"
+        );
+        assert_eq!(server.stats().accept_errors, 2, "{backend}");
+        fault::clear();
+        // A script stays armed after its last entry (passthrough): later
+        // traffic must be unaffected once cleared.
+        let resp = get(&addr, "/after");
+        assert_eq!(resp.body_str(), "/after", "{backend}");
+    }
+}
+
+#[test]
+fn seeded_accept_schedule_storms_and_self_disarms() {
+    // `fault::seeded` turns the lever probabilistic but reproducible: a
+    // Bernoulli storm at accept, capped so it always ends. The workers
+    // backend polls its nonblocking listener continuously, so every poll
+    // steps the seeded schedule — the cap must be consumed in bounded
+    // time, every client must be served through the storm, and the
+    // counted accept errors must equal the cap exactly.
+    let _scope = FaultScope::enter();
+    let server = bind(ServerBackend::Workers, 2, echo_handler());
+    let addr = server.addr().to_string();
+    const CAP: u64 = 4;
+    fault::seeded(fault::Op::Accept, 2009, 0.9, fault::ECONNABORTED, CAP);
+    for i in 0..3 {
+        let resp = get(&addr, &format!("/seeded{i}"));
+        assert_eq!(resp.body_str(), format!("/seeded{i}"));
+    }
+    // The accept loop keeps polling; the remaining budget drains shortly.
+    let t0 = Instant::now();
+    while fault::pending(fault::Op::Accept) > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "seeded schedule failed to drain"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().accept_errors, CAP, "cap = injected errors");
+    let resp = get(&addr, "/calm");
+    assert_eq!(resp.body_str(), "/calm");
+}
+
+#[test]
 fn epoll_ctl_failure_at_register_drops_connection_cleanly() {
     // A refused EPOLL_CTL_ADD at registration costs that one connection
     // (closed, never served) but must not wedge the loop: the next

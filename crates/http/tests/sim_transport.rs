@@ -1,0 +1,133 @@
+//! The production threaded server over the transport seam's fabric side.
+//!
+//! The world sim drives `SimDriver` in pump mode under virtual time, but
+//! the seam also has to carry the *threaded* workers engine unchanged —
+//! blocking reads, read-timeout rotation, keep-alive sessions — over
+//! fabric connections. These tests run `HttpServer::serve` on a
+//! wall-clock [`SimNet`] (handshakes and deliveries mature in real
+//! milliseconds) and talk to it with the real [`HttpConnection`] client
+//! wrapped around seam connections: the same code paths as a TCP
+//! deployment, zero kernel sockets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rcb_http::client::HttpConnection;
+use rcb_http::server::{handler_fn, HttpServer, ServerConfig};
+use rcb_http::{Request, Response, Status};
+use rcb_sim::{LinkModel, LinkSpec, SimNet};
+use rcb_util::{Clock, SimDuration};
+
+fn link() -> LinkModel {
+    LinkModel::from_spec(LinkSpec::symmetric(
+        100_000_000,
+        SimDuration::from_millis(1),
+    ))
+}
+
+fn echo_handler(calls: Arc<AtomicU64>) -> rcb_http::server::Handler {
+    handler_fn(move |req: Request| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        Response::with_body(
+            Status::OK,
+            "text/plain",
+            format!("echo {}", req.path()).into_bytes(),
+        )
+    })
+}
+
+#[test]
+fn threaded_workers_serve_fabric_keep_alive_sessions() {
+    let net = SimNet::new(Clock::wall(), 4242);
+    let listener = net.bind("agent").unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut server = HttpServer::serve(
+        listener.into(),
+        echo_handler(Arc::clone(&calls)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // Sequential keep-alive clients, several requests per connection.
+    for pid in 0..4 {
+        let conn = net
+            .connect(&format!("client{pid}"), "agent", link())
+            .unwrap();
+        let mut http = HttpConnection::from_conn(conn.into()).unwrap();
+        for i in 0..3 {
+            let path = format!("/hello/{pid}/{i}");
+            let resp = http.round_trip(&Request::get(path.clone())).unwrap();
+            assert_eq!(resp.status, Status::OK);
+            assert_eq!(resp.body_str(), format!("echo {path}"));
+        }
+    }
+    assert_eq!(calls.load(Ordering::Relaxed), 12);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_fabric_clients_share_the_worker_pool() {
+    let net = Arc::new(SimNet::new(Clock::wall(), 777));
+    let listener = net.bind("agent").unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut server = HttpServer::serve(
+        listener.into(),
+        echo_handler(Arc::clone(&calls)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // Parallel client threads: the workers engine multiplexes fabric
+    // connections exactly as it multiplexes sockets.
+    let mut threads = Vec::new();
+    for pid in 0..8 {
+        let net = Arc::clone(&net);
+        threads.push(std::thread::spawn(move || {
+            let conn = net
+                .connect(&format!("client{pid}"), "agent", link())
+                .unwrap();
+            let mut http = HttpConnection::from_conn(conn.into()).unwrap();
+            for i in 0..5 {
+                let path = format!("/c/{pid}/{i}");
+                let resp = http.round_trip(&Request::get(path.clone())).unwrap();
+                assert_eq!(resp.status, Status::OK);
+                assert_eq!(resp.body_str(), format!("echo {path}"));
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(calls.load(Ordering::Relaxed), 40);
+    server.shutdown();
+}
+
+#[test]
+fn fabric_peer_disconnect_is_not_an_error() {
+    let net = SimNet::new(Clock::wall(), 9);
+    let listener = net.bind("agent").unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut server = HttpServer::serve(
+        listener.into(),
+        echo_handler(Arc::clone(&calls)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // A client that connects, completes one request, and hangs up: the
+    // engine must treat the fabric EOF like a closed socket.
+    {
+        let conn = net.connect("quitter", "agent", link()).unwrap();
+        let mut http = HttpConnection::from_conn(conn.into()).unwrap();
+        let resp = http.round_trip(&Request::get("/once")).unwrap();
+        assert_eq!(resp.status, Status::OK);
+    } // dropped here: fabric close
+
+    // The server keeps serving new fabric connections afterwards.
+    let conn = net.connect("next", "agent", link()).unwrap();
+    let mut http = HttpConnection::from_conn(conn.into()).unwrap();
+    let resp = http.round_trip(&Request::get("/after")).unwrap();
+    assert_eq!(resp.body_str(), "echo /after");
+    assert_eq!(calls.load(Ordering::Relaxed), 2);
+    server.shutdown();
+}

@@ -1,9 +1,11 @@
 //! HTTP fetch cost model over a [`Pipe`].
 //!
 //! Encodes the timing pattern of one HTTP exchange (connect → request up →
-//! server think → response down) and of a browser fetching many
-//! supplementary objects over a small pool of persistent parallel
-//! connections — Firefox 3 used 6 per server, which is the default here.
+//! server think → response down). The old standalone multi-connection
+//! object-fetch model (`fetch_many`) is gone: parallel object fetches are
+//! now exercised for real by the deterministic world sim
+//! (`rcb-core`'s `worldsim`), which drives the actual client/server stack
+//! over simulated connections instead of a closed-form cost formula.
 
 use rcb_util::{SimDuration, SimTime};
 
@@ -38,55 +40,6 @@ pub fn request_response(
     }
 }
 
-/// Fetches `objects` (each `(request_bytes, response_bytes)`) over up to
-/// `connections` parallel persistent connections sharing `pipe`.
-///
-/// Objects are assigned to the connection that frees up first; each
-/// connection pays one TCP handshake when first used. Returns the time the
-/// last object completes.
-pub fn fetch_many(
-    pipe: &mut Pipe,
-    start: SimTime,
-    objects: &[(usize, usize)],
-    connections: usize,
-    server_time: SimDuration,
-) -> FetchCost {
-    assert!(connections > 0, "need at least one connection");
-    if objects.is_empty() {
-        return FetchCost {
-            completed_at: start,
-            bytes_moved: 0,
-        };
-    }
-    // Per-connection "free at" times; connections are created lazily.
-    let mut free_at: Vec<SimTime> = Vec::new();
-    let mut last_done = start;
-    let mut bytes = 0usize;
-    for &(req, resp) in objects {
-        // Pick the connection available earliest, or open a new one.
-        let slot = if free_at.len() < connections {
-            free_at.push(pipe.connect(start));
-            free_at.len() - 1
-        } else {
-            let (idx, _) = free_at
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("free_at is non-empty");
-            idx
-        };
-        let begin = free_at[slot];
-        let cost = request_response(pipe, begin, req, resp, server_time);
-        free_at[slot] = cost.completed_at;
-        last_done = last_done.max(cost.completed_at);
-        bytes += cost.bytes_moved;
-    }
-    FetchCost {
-        completed_at: last_done,
-        bytes_moved: bytes,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,51 +65,5 @@ mod tests {
         // 1 + 10 (request) + 50 (server) + 100 + 10 (response) = 171 ms.
         assert_eq!(c.completed_at.as_millis(), 171);
         assert_eq!(c.bytes_moved, 101_000);
-    }
-
-    #[test]
-    fn empty_object_list_is_free() {
-        let mut p = pipe(1_000_000, 10);
-        let c = fetch_many(&mut p, SimTime::from_millis(5), &[], 6, SimDuration::ZERO);
-        assert_eq!(c.completed_at.as_millis(), 5);
-        assert_eq!(c.bytes_moved, 0);
-    }
-
-    #[test]
-    fn parallel_connections_overlap_latency() {
-        // Tiny objects, large latency: with one connection the RTTs stack;
-        // with six they overlap.
-        let objects = vec![(100, 100); 6];
-        let mut p1 = pipe(100_000_000, 50);
-        let serial = fetch_many(&mut p1, SimTime::ZERO, &objects, 1, SimDuration::ZERO);
-        let mut p2 = pipe(100_000_000, 50);
-        let parallel = fetch_many(&mut p2, SimTime::ZERO, &objects, 6, SimDuration::ZERO);
-        assert!(
-            parallel.completed_at < serial.completed_at,
-            "parallel {} !< serial {}",
-            parallel.completed_at,
-            serial.completed_at
-        );
-    }
-
-    #[test]
-    fn bandwidth_bound_work_cannot_be_parallelized() {
-        // Large objects on a slow link: completion is dominated by total
-        // serialization, so 1 vs 6 connections ends within one latency.
-        let objects = vec![(100, 50_000); 4];
-        let mut p1 = pipe(1_000_000, 1);
-        let serial = fetch_many(&mut p1, SimTime::ZERO, &objects, 1, SimDuration::ZERO);
-        let mut p2 = pipe(1_000_000, 1);
-        let parallel = fetch_many(&mut p2, SimTime::ZERO, &objects, 6, SimDuration::ZERO);
-        let diff = serial.completed_at.since(parallel.completed_at).as_millis();
-        assert!(diff < 20, "diff was {diff} ms");
-    }
-
-    #[test]
-    fn total_bytes_accumulate() {
-        let objects = vec![(10, 90), (20, 80)];
-        let mut p = pipe(1_000_000, 1);
-        let c = fetch_many(&mut p, SimTime::ZERO, &objects, 2, SimDuration::ZERO);
-        assert_eq!(c.bytes_moved, 200);
     }
 }

@@ -10,18 +10,24 @@
 //!   (`busy-until` bookkeeping), so concurrent transfers share bandwidth
 //!   the way a bottleneck link forces them to;
 //! * [`fetch`] — the HTTP cost model layered on a pipe: TCP handshake,
-//!   request upload, server think time, response download, plus the
-//!   parallel-connection object-fetch pattern browsers use;
+//!   request upload, server think time, response download;
 //! * [`profiles`] — the LAN/WAN environments of §5.1.2, a mobile profile
 //!   for the paper's Fennec/N810 future-work experiment, and loopback;
-//! * [`events`] — the ordered event queue that drives session simulations.
+//! * [`events`] — the ordered event queue that drives session simulations;
+//! * [`world`] — the deterministic world: a seeded in-process network
+//!   fabric ([`world::SimNet`]) of named hosts, [`world::SimConn`] byte
+//!   streams with seeded latency/jitter/loss from a [`link::LinkModel`],
+//!   partition/heal controls, and virtual-time advancement — the transport
+//!   the real server/client stack runs over with zero sockets.
 
 pub mod events;
 pub mod fetch;
 pub mod link;
 pub mod profiles;
+pub mod world;
 
 pub use events::EventQueue;
-pub use fetch::{fetch_many, request_response, FetchCost};
-pub use link::{LinkSpec, Pipe};
+pub use fetch::{request_response, FetchCost};
+pub use link::{LinkModel, LinkSpec, Pipe};
 pub use profiles::NetProfile;
+pub use world::{SimConn, SimListener, SimNet, World};

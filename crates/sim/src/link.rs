@@ -39,6 +39,55 @@ impl LinkSpec {
     }
 }
 
+/// A [`LinkSpec`] plus the stochastic knobs the world sim draws from a
+/// seeded RNG per connection: jitter, loss, and reordering.
+///
+/// The fabric models a *TCP byte stream*, so loss and reordering never
+/// drop or permute delivered bytes — they surface as added delay: a
+/// jitter/reorder draw perturbs a segment's computed arrival (later
+/// segments may "overtake" it on the wire), and in-order delivery is
+/// restored by head-of-line blocking (arrivals are clamped monotone per
+/// direction); a loss draw charges a retransmission penalty on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Deterministic bandwidth/latency description.
+    pub spec: LinkSpec,
+    /// Maximum extra one-way delay drawn uniformly per segment
+    /// (jitter + wire reordering, flattened by head-of-line blocking).
+    pub jitter: SimDuration,
+    /// Per-segment loss probability (0.0 = lossless).
+    pub loss: f64,
+    /// Delay charged when a segment is "lost" (retransmission timeout).
+    pub loss_penalty: SimDuration,
+}
+
+impl LinkModel {
+    /// A faithful (jitter-free, lossless) model of `spec`.
+    pub fn from_spec(spec: LinkSpec) -> LinkModel {
+        LinkModel {
+            spec,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            loss_penalty: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Adds uniform per-segment jitter up to `jitter`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> LinkModel {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds per-segment loss with probability `loss` (each loss charges
+    /// `loss_penalty` of retransmission delay).
+    pub fn with_loss(mut self, loss: f64, loss_penalty: SimDuration) -> LinkModel {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss = loss;
+        self.loss_penalty = loss_penalty;
+        self
+    }
+}
+
 /// Direction of a transfer over a [`Pipe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {

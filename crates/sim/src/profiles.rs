@@ -21,7 +21,7 @@
 
 use rcb_util::SimDuration;
 
-use crate::link::LinkSpec;
+use crate::link::{LinkModel, LinkSpec};
 
 /// A complete network environment for one experiment.
 #[derive(Debug, Clone)]
@@ -160,6 +160,21 @@ impl NetProfile {
             )
     }
 
+    /// The participant↔host path as a world-sim [`LinkModel`], with the
+    /// stochastic knobs matched to the environment: a campus LAN is
+    /// jitter-free, the home WAN sees moderate jitter, and the mobile
+    /// profile adds Wi-Fi-shaped jitter plus a small per-segment loss
+    /// rate. This is how the §5.1.2 latency/loss distributions reach the
+    /// seeded fabric the real stack runs over.
+    pub fn participant_link(&self) -> LinkModel {
+        let base = LinkModel::from_spec(self.host_participant);
+        match self.name {
+            "WAN" => base.with_jitter(ms(5)),
+            "MOBILE" => base.with_jitter(ms(10)).with_loss(0.01, ms(150)),
+            _ => base,
+        }
+    }
+
     /// Bytes charged on the wire for a response body of `body_len` with
     /// the given content type (compression model).
     pub fn wire_bytes(&self, content_type: &str, body_len: usize) -> usize {
@@ -230,6 +245,20 @@ mod tests {
         assert_eq!(p.wire_bytes("application/xml", 1000), 1000);
         let lb = NetProfile::loopback();
         assert_eq!(lb.wire_bytes("text/html", 1000), 1000);
+    }
+
+    #[test]
+    fn participant_links_reflect_environment() {
+        assert_eq!(NetProfile::lan().participant_link().loss, 0.0);
+        assert_eq!(
+            NetProfile::lan().participant_link().jitter,
+            SimDuration::ZERO
+        );
+        let wan = NetProfile::wan().participant_link();
+        assert_eq!(wan.spec, NetProfile::wan().host_participant);
+        assert!(wan.jitter > SimDuration::ZERO);
+        let mobile = NetProfile::mobile().participant_link();
+        assert!(mobile.loss > 0.0 && mobile.jitter > wan.jitter);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A point in simulated time, measured in microseconds from the simulation
 /// epoch.
@@ -142,6 +144,185 @@ impl SimDuration {
     pub const fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0 * k)
     }
+
+    /// Converts a `std::time::Duration`, saturating at `u64::MAX` µs.
+    pub fn from_duration(d: Duration) -> SimDuration {
+        SimDuration(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// The equivalent `std::time::Duration`.
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_micros(self.0)
+    }
+}
+
+/// A shared virtual-time source: a microsecond counter that only moves
+/// when somebody calls [`VirtualClock::advance_to`]. Waiters block on a
+/// condvar; subscribers (server park hubs, the sim fabric) get a callback
+/// on every advance so clock-driven waits can re-check their deadlines.
+///
+/// Lock ordering: the subscriber list is held while callbacks run, so a
+/// subscriber must only take leaf locks (a condvar notify, an atomic) —
+/// never a lock that can be held while *advancing* the clock.
+pub struct VirtualClock {
+    now_us: Mutex<u64>,
+    advanced: Condvar,
+    subscribers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at the simulation epoch.
+    pub fn new() -> VirtualClock {
+        VirtualClock {
+            now_us: Mutex::new(0),
+            advanced: Condvar::new(),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(*self.now_us.lock().unwrap())
+    }
+
+    /// Moves time forward to `t` (monotonic: earlier targets are a no-op),
+    /// waking condvar waiters and notifying subscribers.
+    pub fn advance_to(&self, t: SimTime) {
+        {
+            let mut now = self.now_us.lock().unwrap();
+            if t.0 <= *now {
+                return;
+            }
+            *now = t.0;
+        }
+        self.advanced.notify_all();
+        for f in self.subscribers.lock().unwrap().iter() {
+            f();
+        }
+    }
+
+    /// Moves time forward by `d`; returns the new now.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let target = self.now() + d;
+        self.advance_to(target);
+        self.now()
+    }
+
+    /// Registers a callback invoked after every successful advance.
+    pub fn subscribe(&self, f: Box<dyn Fn() + Send + Sync>) {
+        self.subscribers.lock().unwrap().push(f);
+    }
+
+    /// Blocks the calling thread until virtual time reaches `target`,
+    /// slicing the underlying wait so a process that stops advancing the
+    /// clock still gets a chance to observe shutdown flags upstream.
+    pub fn wait_until(&self, target: SimTime) {
+        let mut now = self.now_us.lock().unwrap();
+        while *now < target.0 {
+            let (guard, _) = self
+                .advanced
+                .wait_timeout(now, Duration::from_millis(50))
+                .unwrap();
+            now = guard;
+        }
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtualClock({})", self.now())
+    }
+}
+
+/// Process-wide wall anchor: one `(Instant, unix-millis)` pair captured on
+/// first use, so wall-clock `now()` is **monotonic** (derived from
+/// `Instant::elapsed`) while still reporting real epoch milliseconds.
+fn wall_anchor() -> &'static (Instant, u64) {
+    static ANCHOR: OnceLock<(Instant, u64)> = OnceLock::new();
+    ANCHOR.get_or_init(|| {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        (Instant::now(), unix_ms)
+    })
+}
+
+/// The time source the server paths consult. Cloneable and cheap: either
+/// the process wall clock (default — monotonic, anchored to real epoch
+/// milliseconds so document timestamps stay §4.1.1-shaped) or a shared
+/// [`VirtualClock`] under simulation.
+#[derive(Clone, Default)]
+pub struct Clock {
+    inner: Option<Arc<VirtualClock>>,
+}
+
+impl Clock {
+    /// The process wall clock.
+    pub fn wall() -> Clock {
+        Clock { inner: None }
+    }
+
+    /// A clock view over a shared virtual-time source.
+    pub fn virtual_from(vc: Arc<VirtualClock>) -> Clock {
+        Clock { inner: Some(vc) }
+    }
+
+    /// Creates a fresh virtual clock and a `Clock` view onto it.
+    pub fn new_virtual() -> (Clock, Arc<VirtualClock>) {
+        let vc = Arc::new(VirtualClock::new());
+        (Clock::virtual_from(vc.clone()), vc)
+    }
+
+    /// Whether this clock is driven by a [`VirtualClock`].
+    pub fn is_virtual(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The current time. Wall clocks report real epoch-anchored time but
+    /// never go backwards (monotonic `Instant` base); virtual clocks
+    /// report the shared counter.
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            Some(vc) => vc.now(),
+            None => {
+                let (base, unix_ms) = wall_anchor();
+                SimTime::from_unix_millis(*unix_ms) + SimDuration::from_duration(base.elapsed())
+            }
+        }
+    }
+
+    /// Sleeps for `d`: a real `thread::sleep` on the wall clock, a
+    /// condvar wait for virtual time to reach `now + d` otherwise.
+    pub fn sleep(&self, d: SimDuration) {
+        match &self.inner {
+            Some(vc) => vc.wait_until(vc.now() + d),
+            None => std::thread::sleep(d.as_duration()),
+        }
+    }
+
+    /// Registers `f` to run after every virtual advance; no-op on the
+    /// wall clock (real time needs no notifications).
+    pub fn on_advance(&self, f: Box<dyn Fn() + Send + Sync>) {
+        if let Some(vc) = &self.inner {
+            vc.subscribe(f);
+        }
+    }
+}
+
+impl fmt::Debug for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(vc) => write!(f, "Clock::virtual({})", vc.now()),
+            None => write!(f, "Clock::wall"),
+        }
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -255,5 +436,81 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total.as_millis(), 10);
+    }
+
+    #[test]
+    fn duration_interop_roundtrips() {
+        let d = SimDuration::from_millis(1_234);
+        assert_eq!(SimDuration::from_duration(d.as_duration()), d);
+        assert_eq!(
+            SimDuration::from_duration(Duration::from_micros(7)).as_micros(),
+            7
+        );
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_epoch_anchored() {
+        let clock = Clock::wall();
+        assert!(!clock.is_virtual());
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a, "wall now() must never go backwards");
+        // Epoch-anchored: the document timestamp is a plausible real
+        // unix-millis value (after the pinned 2009 epoch).
+        assert!(a.as_document_timestamp() > SimTime::WALL_EPOCH_MS);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_on_advance() {
+        let (clock, vc) = Clock::new_virtual();
+        assert!(clock.is_virtual());
+        assert_eq!(clock.now(), SimTime::ZERO);
+        vc.advance_to(SimTime::from_millis(5));
+        assert_eq!(clock.now(), SimTime::from_millis(5));
+        // Monotonic: an earlier target is a no-op.
+        vc.advance_to(SimTime::from_millis(3));
+        assert_eq!(clock.now(), SimTime::from_millis(5));
+        assert_eq!(
+            vc.advance(SimDuration::from_millis(2)),
+            SimTime::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn virtual_advance_notifies_subscribers_and_waiters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (clock, vc) = Clock::new_virtual();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        clock.on_advance(Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let waiter = {
+            let vc = vc.clone();
+            std::thread::spawn(move || {
+                vc.wait_until(SimTime::from_secs(1));
+                vc.now()
+            })
+        };
+        // Give the waiter a moment to block, then release it.
+        std::thread::sleep(Duration::from_millis(10));
+        vc.advance_to(SimTime::from_secs(1));
+        assert_eq!(waiter.join().unwrap(), SimTime::from_secs(1));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        vc.advance_to(SimTime::from_secs(1)); // no-op: no second callback
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn virtual_sleep_is_clock_driven() {
+        let (clock, vc) = Clock::new_virtual();
+        let sleeper = {
+            let clock = clock.clone();
+            std::thread::spawn(move || clock.sleep(SimDuration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!sleeper.is_finished(), "virtual sleep ignores wall time");
+        vc.advance(SimDuration::from_secs(30));
+        sleeper.join().unwrap();
     }
 }

@@ -3,8 +3,10 @@
 //! The server backends survive transient I/O failures (`EMFILE` storms at
 //! `accept(2)`, `EWOULDBLOCK` mid-write, a failed `epoll_ctl(2)`), but
 //! those conditions are nearly impossible to provoke reliably from a real
-//! socket in a test. This module is the lever: a test arms "fail the next
-//! `K` calls of this [`Op`] with errno `E`", and the hooked call sites
+//! socket in a test. This module is the lever: a test arms a *fault
+//! schedule* for an [`Op`] — "fail the next `K` calls" ([`fail_next`]),
+//! "fail exactly the 3rd and 7th call" ([`script`]), or "fail each call
+//! with seeded probability `p`" ([`seeded`]) — and the hooked call sites
 //! ([`crate::sys::Epoll`]'s `epoll_ctl`, the server backends' `accept`
 //! loops, and the nonblocking `ResponseWriter` write path in `rcb-http`)
 //! consume one injected failure per call before touching the kernel.
@@ -53,60 +55,189 @@ pub const ECONNABORTED: i32 = 103;
 #[cfg(feature = "fault-injection")]
 mod armed {
     use super::{Op, OPS};
+    use crate::DetRng;
     use std::io;
-    use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
 
-    static REMAINING: [AtomicU64; OPS] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-    static ERRNO: [AtomicI32; OPS] = [AtomicI32::new(0), AtomicI32::new(0), AtomicI32::new(0)];
+    /// One armed schedule for one [`Op`]. `Budget` is PR 5's original
+    /// "fail the next K calls"; `Script` and `Seeded` generalize it into
+    /// deterministic call-indexed and probabilistic schedules.
+    enum Plan {
+        /// Fail the next `remaining` calls with `errno`.
+        Budget { remaining: u64, errno: i32 },
+        /// Fail specific call ordinals (1-based since arming). `entries`
+        /// is sorted ascending; `calls` counts every hooked call.
+        Script {
+            calls: u64,
+            idx: usize,
+            entries: Vec<(u64, i32)>,
+        },
+        /// Bernoulli(`p`) failure per call from a seeded RNG, capped at
+        /// `remaining` total injections so a storm always ends.
+        Seeded {
+            rng: DetRng,
+            p: f64,
+            errno: i32,
+            remaining: u64,
+        },
+    }
+
+    impl Plan {
+        fn pending(&self) -> u64 {
+            match self {
+                Plan::Budget { remaining, .. } => *remaining,
+                Plan::Script { idx, entries, .. } => (entries.len() - idx) as u64,
+                Plan::Seeded { remaining, .. } => *remaining,
+            }
+        }
+
+        /// Advances one hooked call; returns the errno to inject, if any.
+        fn step(&mut self) -> Option<i32> {
+            match self {
+                Plan::Budget { remaining, errno } => {
+                    if *remaining == 0 {
+                        return None;
+                    }
+                    *remaining -= 1;
+                    Some(*errno)
+                }
+                Plan::Script {
+                    calls,
+                    idx,
+                    entries,
+                } => {
+                    *calls += 1;
+                    match entries.get(*idx) {
+                        Some(&(nth, errno)) if nth == *calls => {
+                            *idx += 1;
+                            Some(errno)
+                        }
+                        _ => None,
+                    }
+                }
+                Plan::Seeded {
+                    rng,
+                    p,
+                    errno,
+                    remaining,
+                } => {
+                    if *remaining == 0 || !rng.chance(*p) {
+                        return None;
+                    }
+                    *remaining -= 1;
+                    Some(*errno)
+                }
+            }
+        }
+    }
+
+    // Per-op armed flag (lock-free fast path for the common disarmed
+    // case) + the schedule table behind a plain mutex: this is test-only
+    // machinery, and a schedule needs more state than atomics can hold.
+    static ARMED: [AtomicBool; OPS] = [
+        AtomicBool::new(false),
+        AtomicBool::new(false),
+        AtomicBool::new(false),
+    ];
+    static PLANS: Mutex<[Option<Plan>; OPS]> = Mutex::new([None, None, None]);
+
+    fn install(op: Op, plan: Plan) {
+        let i = op as usize;
+        PLANS.lock().unwrap()[i] = Some(plan);
+        ARMED[i].store(true, Ordering::Release);
+    }
 
     /// Arms `op`: the next `k` [`take`](super::take) calls yield
     /// `io::Error::from_raw_os_error(errno)`.
     pub fn fail_next(op: Op, k: u64, errno: i32) {
-        let i = op as usize;
-        ERRNO[i].store(errno, Ordering::Relaxed);
-        REMAINING[i].store(k, Ordering::Release);
+        install(
+            op,
+            Plan::Budget {
+                remaining: k,
+                errno,
+            },
+        );
+    }
+
+    /// Arms a scripted schedule: `entries` are `(nth_call, errno)` pairs,
+    /// `nth_call` 1-based counted from arming. The nth hooked call of
+    /// `op` fails with the paired errno; every other call passes through.
+    /// Entries are sorted internally; duplicate ordinals keep the first.
+    pub fn script(op: Op, entries: &[(u64, i32)]) {
+        let mut sorted: Vec<(u64, i32)> = entries.to_vec();
+        sorted.sort_by_key(|&(nth, _)| nth);
+        sorted.dedup_by_key(|&mut (nth, _)| nth);
+        install(
+            op,
+            Plan::Script {
+                calls: 0,
+                idx: 0,
+                entries: sorted,
+            },
+        );
+    }
+
+    /// Arms a seeded probabilistic schedule: each hooked call of `op`
+    /// fails with probability `p` (drawn from a [`DetRng`] seeded with
+    /// `seed`, so the schedule is reproducible), with at most
+    /// `max_failures` total injections.
+    pub fn seeded(op: Op, seed: u64, p: f64, errno: i32, max_failures: u64) {
+        install(
+            op,
+            Plan::Seeded {
+                rng: DetRng::new(seed),
+                p,
+                errno,
+                remaining: max_failures,
+            },
+        );
     }
 
     /// Disarms every operation.
     pub fn clear() {
-        for r in &REMAINING {
-            r.store(0, Ordering::Release);
+        let mut plans = PLANS.lock().unwrap();
+        for (i, slot) in plans.iter_mut().enumerate() {
+            *slot = None;
+            ARMED[i].store(false, Ordering::Release);
         }
     }
 
-    /// Injected failures still pending for `op` (0 = disarmed). Tests use
-    /// this to prove the hooked path actually consumed the faults.
+    /// Injected failures still pending for `op` (0 = disarmed; a seeded
+    /// plan reports its remaining budget). Tests use this to prove the
+    /// hooked path actually consumed the faults.
     pub fn pending(op: Op) -> u64 {
-        REMAINING[op as usize].load(Ordering::Acquire)
+        if !ARMED[op as usize].load(Ordering::Acquire) {
+            return 0;
+        }
+        PLANS.lock().unwrap()[op as usize]
+            .as_ref()
+            .map_or(0, Plan::pending)
     }
 
-    /// Consumes one injected failure for `op`, if armed.
+    /// Consumes one hooked call for `op`: advances the armed schedule and
+    /// returns the injected failure, if this call is scheduled to fail.
     pub fn take(op: Op) -> Option<io::Error> {
         let i = op as usize;
-        let mut cur = REMAINING[i].load(Ordering::Acquire);
-        loop {
-            if cur == 0 {
-                return None;
-            }
-            match REMAINING[i].compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    return Some(io::Error::from_raw_os_error(
-                        ERRNO[i].load(Ordering::Relaxed),
-                    ))
-                }
-                Err(now) => cur = now,
-            }
+        if !ARMED[i].load(Ordering::Acquire) {
+            return None;
         }
+        let mut plans = PLANS.lock().unwrap();
+        let slot = plans[i].as_mut()?;
+        let fired = slot.step();
+        if slot.pending() == 0 && !matches!(slot, Plan::Script { .. }) {
+            // Budget/seeded plans self-disarm when spent; scripts stay
+            // armed so later calls keep counting toward the schedule
+            // (clear() removes them — which the drop-guard idiom does).
+            plans[i] = None;
+            ARMED[i].store(false, Ordering::Release);
+        }
+        fired.map(io::Error::from_raw_os_error)
     }
 }
 
 #[cfg(feature = "fault-injection")]
-pub use armed::{clear, fail_next, pending, take};
+pub use armed::{clear, fail_next, pending, script, seeded, take};
 
 /// Without the `fault-injection` feature the hook is inert: always `None`,
 /// and the arming API does not exist (only feature-enabled test targets
@@ -154,6 +285,45 @@ mod tests {
         fail_next(Op::Write, 1, EAGAIN);
         let e = take(Op::Write).unwrap();
         assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock);
+        clear();
+    }
+
+    #[test]
+    fn scripted_schedule_fails_exact_call_ordinals() {
+        clear();
+        // Unsorted on purpose: fail calls #2 and #4 only.
+        script(Op::EpollCtl, &[(4, EMFILE), (2, ECONNABORTED)]);
+        assert_eq!(pending(Op::EpollCtl), 2);
+        assert!(take(Op::EpollCtl).is_none(), "call 1 passes");
+        let e = take(Op::EpollCtl).expect("call 2 fails");
+        assert_eq!(e.raw_os_error(), Some(ECONNABORTED));
+        assert!(take(Op::EpollCtl).is_none(), "call 3 passes");
+        let e = take(Op::EpollCtl).expect("call 4 fails");
+        assert_eq!(e.raw_os_error(), Some(EMFILE));
+        assert_eq!(pending(Op::EpollCtl), 0);
+        assert!(take(Op::EpollCtl).is_none(), "script spent: passthrough");
+        clear();
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible_and_capped() {
+        clear();
+        let run = |seed: u64| -> Vec<bool> {
+            seeded(Op::Accept, seed, 0.5, EAGAIN, 8);
+            let pattern: Vec<bool> = (0..64).map(|_| take(Op::Accept).is_some()).collect();
+            clear();
+            pattern
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same fault pattern");
+        assert_eq!(
+            a.iter().filter(|&&f| f).count(),
+            8,
+            "p=0.5 over 64 calls must hit the 8-failure cap"
+        );
+        let c = run(43);
+        assert_ne!(a, c, "different seed, different pattern");
         clear();
     }
 }

@@ -21,7 +21,7 @@ pub mod rng;
 pub mod sys;
 
 pub use bytesize::ByteSize;
-pub use clock::{SimDuration, SimTime};
+pub use clock::{Clock, SimDuration, SimTime, VirtualClock};
 pub use error::{RcbError, Result};
 pub use metrics::{Counter, Histogram, Stopwatch};
 pub use rng::DetRng;
