@@ -129,6 +129,33 @@ pub fn update_latency_ok(p99_us: u64, bound_us: u64) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Overload-phase gates
+// ---------------------------------------------------------------------------
+
+/// The overload storm must actually overload: a run where the admission
+/// mark never tripped proves nothing about shedding, so zero sheds is a
+/// failed phase, not a vacuous pass.
+pub fn overload_shed_ok(requests_shed: u64) -> bool {
+    requests_shed > 0
+}
+
+/// Latency under overload stays bounded: the point of shedding is that
+/// the polls which *are* admitted answer promptly instead of queueing
+/// behind the storm. The bound is supplied by the caller (the quiescent
+/// p99 with generous headroom, floored for scheduler noise).
+pub fn overload_p99_ok(storm_p99_us: u64, bound_us: u64) -> bool {
+    storm_p99_us <= bound_us
+}
+
+/// Graceful degradation cuts both ways: once the storm clients leave,
+/// throughput must recover to at least 90% of the pre-storm rate. A
+/// non-positive pre-storm rate means the phase never measured a healthy
+/// baseline — red, not vacuous.
+pub fn overload_recovery_ok(pre_storm_rate: f64, post_storm_rate: f64) -> bool {
+    pre_storm_rate > 0.0 && post_storm_rate >= pre_storm_rate * 0.9
+}
+
+// ---------------------------------------------------------------------------
 // Baseline-comparison gate
 // ---------------------------------------------------------------------------
 
@@ -292,6 +319,31 @@ mod tests {
         assert!(shard_spread_ok(&[128, 128]));
         assert!(shard_spread_ok(&[1, 255]));
         assert!(!shard_spread_ok(&[256, 0]), "an idle shard fails");
+    }
+
+    #[test]
+    fn overload_shed_gate_demands_a_real_storm() {
+        assert!(overload_shed_ok(1));
+        assert!(overload_shed_ok(10_000));
+        assert!(!overload_shed_ok(0), "an untripped mark is a failed phase");
+    }
+
+    #[test]
+    fn overload_p99_gate_is_a_simple_bound() {
+        assert!(overload_p99_ok(0, 500_000));
+        assert!(overload_p99_ok(500_000, 500_000));
+        assert!(!overload_p99_ok(500_001, 500_000));
+    }
+
+    #[test]
+    fn overload_recovery_gate_demands_90_percent() {
+        assert!(overload_recovery_ok(1000.0, 1000.0));
+        assert!(overload_recovery_ok(1000.0, 900.0), "exactly 90% passes");
+        assert!(!overload_recovery_ok(1000.0, 899.0));
+        assert!(overload_recovery_ok(1000.0, 1500.0), "improvement passes");
+        // A phase with no healthy baseline is red, not vacuous.
+        assert!(!overload_recovery_ok(0.0, 1000.0));
+        assert!(!overload_recovery_ok(-1.0, 1000.0));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct AgentConfig {
     /// Long-polling itself is opt-in per request; polls without `lp`
     /// answer immediately as the paper specifies.
     pub park_timeout: SimDuration,
+    /// How long the participant-side client waits on a blocking read
+    /// before treating the connection as dead (the one knob behind every
+    /// `rcb_http::client` read timeout on the TCP deployment path).
+    pub client_read_timeout: SimDuration,
 }
 
 impl Default for AgentConfig {
@@ -78,6 +82,7 @@ impl Default for AgentConfig {
             interaction_policy: InteractionPolicy::AllParticipants,
             authenticate_responses: false,
             park_timeout: SimDuration::from_secs(25),
+            client_read_timeout: SimDuration::from_secs(10),
         }
     }
 }

@@ -66,7 +66,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_cache::MappingTable;
 use rcb_crypto::SessionKey;
-use rcb_http::client::HttpConnection;
+use rcb_http::client::{HttpConnection, RetryPolicy};
 use rcb_http::server::{
     Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
 };
@@ -130,6 +130,11 @@ pub struct TcpHostStats {
     /// Parked polls that hit their park deadline and fell back to the
     /// empty reply (each also counts in `polls_empty`).
     pub polls_park_timeouts: u64,
+    /// Long-polls the serving engine degraded to the immediate empty
+    /// reply because the park cap was reached (each also counts in
+    /// `polls_parked` — the agent offered the park; the engine declined
+    /// it). Read from the shared [`ParkHub`], so it spans every backend.
+    pub polls_shed_at_park_cap: u64,
 }
 
 /// Decrements the in-flight poll gauge even on early returns.
@@ -565,6 +570,7 @@ impl SharedHost {
             polls_parked: self.stats.polls_parked.load(Ordering::Relaxed),
             polls_woken: self.stats.polls_woken.load(Ordering::Relaxed),
             polls_park_timeouts: self.stats.polls_park_timeouts.load(Ordering::Relaxed),
+            polls_shed_at_park_cap: self.park.parks_shed(),
         }
     }
 
@@ -764,6 +770,9 @@ impl TcpHost {
 /// model, and snippet state.
 pub struct TcpParticipant {
     conn: HttpConnection,
+    /// Seeded backoff for `503` sheds (per participant, so a cohort shed
+    /// in the same instant fans back out instead of re-storming).
+    retry: RetryPolicy,
     /// The participant's browser model.
     pub browser: Browser,
     /// Snippet state (poll building, content application, M6 samples).
@@ -772,10 +781,26 @@ pub struct TcpParticipant {
 
 impl TcpParticipant {
     /// Joins a session: connects, fetches the initial page (step 2), and
-    /// instantiates the snippet with the out-of-band key.
+    /// instantiates the snippet with the out-of-band key. Uses the
+    /// default [`AgentConfig`] client knobs.
     pub fn join(addr: &str, key: SessionKey, participant_id: u64) -> Result<TcpParticipant> {
-        let mut conn = HttpConnection::connect(addr)?;
-        let resp = conn.round_trip(&rcb_http::Request::get("/"))?;
+        Self::join_with_config(addr, key, participant_id, &AgentConfig::default())
+    }
+
+    /// [`TcpParticipant::join`] with explicit client configuration: the
+    /// read timeout on every blocking read comes from
+    /// [`AgentConfig::client_read_timeout`] instead of the client
+    /// library's default.
+    pub fn join_with_config(
+        addr: &str,
+        key: SessionKey,
+        participant_id: u64,
+        config: &AgentConfig,
+    ) -> Result<TcpParticipant> {
+        let read_timeout = std::time::Duration::from_micros(config.client_read_timeout.as_micros());
+        let mut conn = HttpConnection::connect_with_timeout(addr, read_timeout)?;
+        let mut retry = RetryPolicy::seeded(0x7e7_2026 ^ participant_id);
+        let resp = conn.round_trip_with_retry(&rcb_http::Request::get("/"), &mut retry)?;
         if !resp.status.is_success() {
             return Err(RcbError::Protocol(format!(
                 "join failed with status {}",
@@ -786,6 +811,7 @@ impl TcpParticipant {
         browser.doc = Some(rcb_html::parse_document(&resp.body_str()));
         Ok(TcpParticipant {
             conn,
+            retry,
             browser,
             snippet: AjaxSnippet::new(participant_id, key, SimDuration::from_secs(1)),
         })
@@ -801,12 +827,15 @@ impl TcpParticipant {
     /// connection.
     pub fn poll(&mut self) -> Result<SnippetOutcome> {
         let req = self.snippet.build_poll();
-        let resp = self.conn.round_trip(&req)?;
+        let resp = self.conn.round_trip_with_retry(&req, &mut self.retry)?;
         let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
         if let SnippetOutcome::Updated { object_urls, .. } = &outcome {
             for url in object_urls {
                 if url.starts_with('/') && !self.browser.cache.contains(url) {
-                    let obj = self.conn.round_trip(&rcb_http::Request::get(url.clone()))?;
+                    let obj = self.conn.round_trip_with_retry(
+                        &rcb_http::Request::get(url.clone()),
+                        &mut self.retry,
+                    )?;
                     if obj.status.is_success() {
                         let ct = obj.content_type().unwrap_or_default();
                         self.browser.cache.store(url, &ct, obj.body, SimTime::ZERO);
@@ -1258,6 +1287,57 @@ mod tests {
             assert_eq!(stats.polls_woken, 0, "{backend:?}");
             assert_eq!(stats.polls_park_timeouts, 1, "{backend:?}");
             assert_eq!(stats.body_bytes_copied, 0, "{backend:?}");
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn park_cap_zero_degrades_long_polls_to_immediate_empty() {
+        use rcb_http::server::OverloadConfig;
+        for backend in park_backends() {
+            let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+            let mut browser = Browser::new(BrowserKind::Firefox);
+            browser.url = Some(rcb_url::Url::parse("http://demo.local/").unwrap());
+            browser.doc = Some(rcb_html::parse_document(PAGE));
+            browser.mutate_dom(|_| {}).unwrap();
+            let mut host = TcpHost::start_from_browser(
+                "127.0.0.1:0",
+                browser,
+                key,
+                AgentConfig::default(),
+                ServerConfig {
+                    backend,
+                    workers: 2,
+                    overload: OverloadConfig {
+                        max_parked: 0,
+                        ..OverloadConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let addr = host.addr().to_string();
+            let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+            alice.poll().unwrap(); // initial sync; now up to date
+            alice.enable_long_poll(SimDuration::from_secs(5));
+            let started = std::time::Instant::now();
+            let outcome = alice.poll().unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                matches!(outcome, SnippetOutcome::NoNewContent),
+                "{backend:?}: degraded park must equal the empty reply"
+            );
+            assert!(
+                elapsed < std::time::Duration::from_secs(2),
+                "{backend:?}: degraded park still waited {elapsed:?}"
+            );
+            let stats = host.stats();
+            assert_eq!(
+                stats.polls_parked, 1,
+                "{backend:?}: the agent offered the park"
+            );
+            assert_eq!(stats.polls_shed_at_park_cap, 1, "{backend:?}");
+            assert_eq!(host.server_stats().parks_shed, 1, "{backend:?}");
             host.shutdown();
         }
     }

@@ -42,8 +42,8 @@ use std::io::Write;
 use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_crypto::SessionKey;
 use rcb_http::client::try_parse_response;
-use rcb_http::server::ServerConfig;
-use rcb_http::{Request, Response, SimDriver};
+use rcb_http::server::{OverloadConfig, ServerConfig, ServerStats};
+use rcb_http::{Request, Response, SimDriver, Status};
 use rcb_sim::{LinkModel, NetProfile, SimConn, World};
 use rcb_util::{DetRng, RcbError, Result, SimDuration, SimTime};
 
@@ -90,8 +90,28 @@ impl WorldHost {
         browser: Browser,
         key: SessionKey,
     ) -> Result<WorldHost> {
+        Self::start_from_browser_with_overload(
+            world,
+            name,
+            browser,
+            key,
+            OverloadConfig::from_env(),
+        )
+    }
+
+    /// [`WorldHost::start_from_browser`] with explicit overload limits —
+    /// how chaos scenarios tighten admission marks, park caps, and guard
+    /// deadlines far below the production defaults.
+    pub fn start_from_browser_with_overload(
+        world: &World,
+        name: &str,
+        browser: Browser,
+        key: SessionKey,
+        overload: OverloadConfig,
+    ) -> Result<WorldHost> {
         let config = ServerConfig {
             clock: world.clock(),
+            overload,
             ..ServerConfig::default()
         };
         let shared = SharedHost::build(
@@ -114,6 +134,21 @@ impl WorldHost {
     /// next-event computation).
     pub fn next_park_deadline(&self) -> Option<SimTime> {
         self.driver.next_park_deadline()
+    }
+
+    /// Soonest connection-guard deadline (header-read or idle). The
+    /// scenario runner does *not* fold this in — guards fire during
+    /// pumps the script already schedules — but chaos tests that drive
+    /// raw connections advance to it explicitly.
+    pub fn next_guard_deadline(&self) -> Option<SimTime> {
+        self.driver.next_guard_deadline()
+    }
+
+    /// Engine-level overload counters (sheds, guard trips, oversize
+    /// rejections) from the pump driver — the same [`ServerStats`] shape
+    /// the threaded backends report.
+    pub fn server_stats(&self) -> ServerStats {
+        self.driver.server_stats()
     }
 
     /// Concurrent-path counters — the same [`TcpHostStats`] the socket
@@ -194,6 +229,15 @@ pub struct WorldParticipant {
     pub objects_fetched: u64,
     /// Connections lost (reset, refused, or server-closed) and retried.
     pub resets: u64,
+    /// `503` shed replies absorbed (each schedules a jittered backoff
+    /// retry instead of surfacing as an error).
+    pub sheds: u64,
+    /// Seeded jitter for shed backoff (per participant, so a cohort shed
+    /// together fans back out).
+    retry: DetRng,
+    /// Consecutive sheds since the last successful reply — the exponent
+    /// of the backoff.
+    consecutive_sheds: u32,
 }
 
 impl WorldParticipant {
@@ -221,6 +265,9 @@ impl WorldParticipant {
             polls_completed: 0,
             objects_fetched: 0,
             resets: 0,
+            sheds: 0,
+            retry: DetRng::new(0x5ced_ba11 ^ pid),
+            consecutive_sheds: 0,
         }
     }
 
@@ -291,18 +338,42 @@ impl WorldParticipant {
                 return Ok(true);
             }
         }
-        // Idle with a due timer or actions to deliver: poll now.
+        // Idle with a due timer or actions to deliver: poll now (or
+        // retry a shed join — the only way `joined` can still be false
+        // on a live connection).
         if self.awaiting == Await::None
-            && (self.next_wake.is_some_and(|t| t <= now) || self.snippet.pending_actions() > 0)
+            && (self.next_wake.is_some_and(|t| t <= now)
+                || (self.joined && self.snippet.pending_actions() > 0))
         {
             self.next_wake = None;
-            self.send_poll(now);
+            if self.joined {
+                self.send_poll(now);
+            } else {
+                self.send(now, &Request::get("/"), Await::Join);
+            }
             progress = true;
         }
         Ok(progress)
     }
 
     fn handle_response(&mut self, resp: Response, now: SimTime) -> Result<()> {
+        // A shed (`503 + Retry-After`) is absorbed before request-type
+        // dispatch: whatever was in flight, back off (server floor plus
+        // seeded jitter, exponential in consecutive sheds) and let the
+        // wake timer reissue it — a shed join re-joins, a shed poll
+        // re-polls, a shed object fetch is re-queued.
+        if resp.status == Status::SERVICE_UNAVAILABLE {
+            let was = std::mem::replace(&mut self.awaiting, Await::None);
+            if let Await::Object(url) = was {
+                self.obj_queue.push_front(url);
+            }
+            self.sheds += 1;
+            let delay = self.shed_delay(resp.retry_after());
+            self.consecutive_sheds = self.consecutive_sheds.saturating_add(1);
+            self.next_wake = Some(now + delay);
+            return Ok(());
+        }
+        self.consecutive_sheds = 0;
         match std::mem::replace(&mut self.awaiting, Await::None) {
             Await::Join => {
                 if !resp.status.is_success() {
@@ -377,6 +448,20 @@ impl WorldParticipant {
         }
     }
 
+    /// Backoff before retrying after a shed: the server's `Retry-After`
+    /// is a floor with additive jitter; without one, exponential from
+    /// 100 ms (capped at 6.4 s), half-jittered. All virtual time — no
+    /// thread ever sleeps.
+    fn shed_delay(&mut self, retry_after: Option<u64>) -> SimDuration {
+        let base_ms = 100u64 << self.consecutive_sheds.min(6);
+        match retry_after {
+            Some(secs) => {
+                SimDuration::from_millis(secs * 1000 + self.retry.next_below(base_ms + 1))
+            }
+            None => SimDuration::from_millis(base_ms / 2 + self.retry.next_below(base_ms / 2 + 1)),
+        }
+    }
+
     fn on_disconnect(&mut self, now: SimTime) {
         self.conn = None;
         self.awaiting = Await::None;
@@ -441,6 +526,8 @@ pub struct ParticipantReport {
     pub objects_fetched: u64,
     /// Connections lost and retried.
     pub resets: u64,
+    /// `503` shed replies absorbed and retried with backoff.
+    pub sheds: u64,
 }
 
 /// Everything a finished [`WorldScenario`] run reports. `PartialEq` so
@@ -451,6 +538,9 @@ pub struct WorldReport {
     pub end: SimTime,
     /// Host-side request counters.
     pub stats: TcpHostStats,
+    /// Engine-level overload counters (sheds, guard trips, oversize
+    /// rejections) from the pump driver.
+    pub server: ServerStats,
     /// Requests the driver answered.
     pub requests_served: u64,
     /// Final host DOM version (exact merge accounting).
@@ -506,6 +596,11 @@ pub struct WorldScenario {
     /// which is what makes thousand-participant scenarios run in
     /// wall-clock seconds. Both modes are fully deterministic.
     pub tick: Option<SimDuration>,
+    /// Overload limits for the host's serving driver; `None` uses the
+    /// environment defaults. Chaos scenarios set tight marks here
+    /// (e.g. `queue_high_water` far below the storm size) to force
+    /// deterministic shedding.
+    pub overload: Option<OverloadConfig>,
     /// The scripted events (sorted by time at run start; same-time
     /// events keep insertion order).
     pub script: Vec<(SimTime, ScriptEvent)>,
@@ -524,8 +619,15 @@ impl WorldScenario {
             poll_interval: SimDuration::from_secs(1),
             horizon: SimDuration::from_secs(30),
             tick: None,
+            overload: None,
             script: Vec::new(),
         }
+    }
+
+    /// Sets explicit overload limits for the host's serving driver.
+    pub fn with_overload(&mut self, overload: OverloadConfig) -> &mut WorldScenario {
+        self.overload = Some(overload);
+        self
     }
 
     /// Schedules `event` at virtual offset `t`.
@@ -541,7 +643,11 @@ impl WorldScenario {
         let world = World::new(self.seed);
         let key =
             SessionKey::generate_deterministic(&mut DetRng::new(self.seed ^ 0x5eed_5e55_1040_e100));
-        let mut host = match &self.origin_url {
+        let overload = self
+            .overload
+            .clone()
+            .unwrap_or_else(OverloadConfig::from_env);
+        let browser = match &self.origin_url {
             Some(url) => {
                 // A host that really navigated: its cache holds the
                 // page's supplementary objects, so generated content
@@ -556,10 +662,23 @@ impl WorldScenario {
                     &self.profile,
                     SimTime::ZERO,
                 )?;
-                WorldHost::start_from_browser(&world, "host", browser, key.clone())?
+                browser
             }
-            None => WorldHost::start(&world, "host", &self.page_url, &self.page_html, key.clone())?,
+            None => {
+                let mut browser = Browser::new(BrowserKind::Firefox);
+                browser.url = Some(rcb_url::Url::parse(&self.page_url)?);
+                browser.doc = Some(rcb_html::parse_document(&self.page_html));
+                browser.mutate_dom(|_| {}).expect("document just loaded");
+                browser
+            }
         };
+        let mut host = WorldHost::start_from_browser_with_overload(
+            &world,
+            "host",
+            browser,
+            key.clone(),
+            overload,
+        )?;
         let mut participants: BTreeMap<u64, WorldParticipant> = BTreeMap::new();
         let mut script = self.script.clone();
         script.sort_by_key(|&(t, _)| t); // stable: same-time order kept
@@ -623,6 +742,7 @@ impl WorldScenario {
         Ok(WorldReport {
             end: world.now(),
             stats: host.stats(),
+            server: host.server_stats(),
             requests_served: host.requests_served(),
             host_dom_version: host.dom_version(),
             host_doc_time: host.published_doc_time(),
@@ -637,6 +757,7 @@ impl WorldScenario {
                             updates_applied: p.snippet.updates_applied,
                             objects_fetched: p.objects_fetched,
                             resets: p.resets,
+                            sheds: p.sheds,
                         },
                     )
                 })

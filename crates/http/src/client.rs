@@ -11,17 +11,33 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use rcb_util::{RcbError, Result};
+use rcb_util::{DetRng, RcbError, Result};
 
-use crate::message::{Request, Response};
+use crate::message::{Request, Response, Status};
 use crate::parse::parse_response;
 use crate::serialize::serialize_request;
 use crate::transport;
 
-/// Sends a single request to `addr` (`host:port`) on a fresh connection.
+/// How long a blocking read waits for response bytes before erroring,
+/// when the caller doesn't say otherwise. The one knob behind every
+/// client entry point (`send_request`, [`HttpConnection::connect`],
+/// [`HttpConnection::from_conn`]).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Sends a single request to `addr` (`host:port`) on a fresh connection,
+/// waiting up to [`DEFAULT_READ_TIMEOUT`] for the response.
 pub fn send_request(addr: &str, req: &Request) -> Result<Response> {
+    send_request_with_timeout(addr, req, DEFAULT_READ_TIMEOUT)
+}
+
+/// [`send_request`] with an explicit read timeout.
+pub fn send_request_with_timeout(
+    addr: &str,
+    req: &Request,
+    read_timeout: Duration,
+) -> Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     stream.write_all(&serialize_request(req))?;
     stream.flush()?;
     read_response(&mut stream)
@@ -82,19 +98,33 @@ pub struct HttpConnection {
 }
 
 impl HttpConnection {
-    /// Connects to `addr` over real TCP.
+    /// Connects to `addr` over real TCP with [`DEFAULT_READ_TIMEOUT`].
     pub fn connect(addr: &str) -> Result<HttpConnection> {
+        HttpConnection::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// [`HttpConnection::connect`] with an explicit read timeout.
+    pub fn connect_with_timeout(addr: &str, read_timeout: Duration) -> Result<HttpConnection> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         Ok(HttpConnection {
             stream: stream.into(),
         })
     }
 
     /// Wraps an already-established seam connection (how world-sim
-    /// participants in threaded mode reuse the production client).
-    pub fn from_conn(mut stream: transport::Conn) -> Result<HttpConnection> {
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    /// participants in threaded mode reuse the production client), with
+    /// [`DEFAULT_READ_TIMEOUT`].
+    pub fn from_conn(stream: transport::Conn) -> Result<HttpConnection> {
+        HttpConnection::from_conn_with_timeout(stream, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// [`HttpConnection::from_conn`] with an explicit read timeout.
+    pub fn from_conn_with_timeout(
+        mut stream: transport::Conn,
+        read_timeout: Duration,
+    ) -> Result<HttpConnection> {
+        stream.set_read_timeout(Some(read_timeout))?;
         Ok(HttpConnection { stream })
     }
 
@@ -103,6 +133,83 @@ impl HttpConnection {
         self.stream.write_all(&serialize_request(req))?;
         self.stream.flush()?;
         read_response(&mut self.stream)
+    }
+
+    /// [`HttpConnection::round_trip`], retrying `503 Service Unavailable`
+    /// sheds with seeded jittered exponential backoff. Transport errors
+    /// still surface immediately (this connection may be half-dead; the
+    /// caller owns reconnects), but an overloaded server that answers
+    /// with the shed prefab is waited out — so a client storm converges
+    /// instead of hammering the admission gate in lockstep.
+    pub fn round_trip_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &mut RetryPolicy,
+    ) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.round_trip(req)?;
+            if resp.status != Status::SERVICE_UNAVAILABLE || attempt >= policy.max_retries {
+                return Ok(resp);
+            }
+            let delay = policy.delay_for(attempt, resp.retry_after());
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
+    }
+}
+
+/// Seeded jittered exponential backoff for shed (`503`) replies.
+///
+/// Deterministic given its seed: every delay is drawn from the policy's
+/// own [`DetRng`], so tests replay byte-identically while distinct
+/// clients (distinct seeds) still spread out after a shed storm.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    /// First-retry nominal delay; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on any single delay (before the additive Retry-After
+    /// jitter).
+    pub max_delay: Duration,
+    /// Retries before the `503` is returned to the caller as-is.
+    pub max_retries: u32,
+    rng: DetRng,
+}
+
+impl RetryPolicy {
+    /// 100ms base, 5s cap, 5 retries — enough for a shed storm to drain
+    /// at the default `Retry-After` horizon.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(100),
+            max_delay: Duration::from_secs(5),
+            max_retries: 5,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based). A server
+    /// `Retry-After` is honored as a floor with additive jitter of up to
+    /// one `base` (never retry *earlier* than the server asked);
+    /// otherwise exponential `base * 2^attempt` capped at `max_delay`,
+    /// with half jitter (uniform in `[nominal/2, nominal]`) to
+    /// decorrelate clients shed in the same instant.
+    pub fn delay_for(&mut self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        let base_ms = self.base.as_millis() as u64;
+        match retry_after {
+            Some(secs) => {
+                let floor = Duration::from_secs(secs);
+                floor + Duration::from_millis(self.rng.next_below(base_ms + 1))
+            }
+            None => {
+                let nominal = self
+                    .base
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(self.max_delay);
+                let ms = nominal.as_millis() as u64;
+                Duration::from_millis(ms / 2 + self.rng.next_below(ms / 2 + 1))
+            }
+        }
     }
 }
 
@@ -127,6 +234,57 @@ mod tests {
             assert_eq!(resp.body, body);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_is_seeded_jittered_exponential() {
+        let mut a = RetryPolicy::seeded(7);
+        let mut b = RetryPolicy::seeded(7);
+        let da: Vec<_> = (0..4).map(|i| a.delay_for(i, None)).collect();
+        let db: Vec<_> = (0..4).map(|i| b.delay_for(i, None)).collect();
+        assert_eq!(da, db, "same seed, same schedule");
+        for (i, d) in da.iter().enumerate() {
+            let nominal = 100u64 << i;
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms >= nominal / 2 && ms <= nominal,
+                "attempt {i}: {ms}ms outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+        // Retry-After is a floor: never retry earlier than the server
+        // asked, jitter only stretches it.
+        let d = a.delay_for(0, Some(2));
+        assert!(d >= Duration::from_secs(2));
+        assert!(d <= Duration::from_secs(2) + Duration::from_millis(100));
+    }
+
+    #[test]
+    fn round_trip_with_retry_waits_out_a_shed_then_succeeds() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut discard = [0u8; 4096];
+            let _ = stream.read(&mut discard);
+            stream
+                .write_all(
+                    b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 0\r\n\r\n",
+                )
+                .unwrap();
+            let _ = stream.read(&mut discard);
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr).unwrap();
+        let mut policy = RetryPolicy::seeded(9);
+        let resp = conn
+            .round_trip_with_retry(&Request::get("/"), &mut policy)
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body_str(), "ok");
+        server.join().unwrap();
     }
 
     #[test]

@@ -55,10 +55,12 @@ use rcb_util::fault;
 use rcb_util::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use rcb_util::{Clock, Result, SimDuration, SimTime};
 
-use crate::message::{Request, Response, Status};
-use crate::parse::RequestParser;
+use crate::message::{Request, Response};
+use crate::parse::{ParseReject, RequestParser};
 use crate::serialize::{ResponseWriter, WriteProgress};
-use crate::server::{Handler, HandlerOutcome, ParkHub, ServerConfig, ServerStats};
+use crate::server::{
+    reject_response, Handler, HandlerOutcome, OverloadCtx, ParkHub, ServerConfig, ServerStats,
+};
 
 /// This module variant is the real backend (see `epoll_stub.rs` for the
 /// other half of the contract behind `server::EPOLL_SUPPORTED`).
@@ -135,6 +137,15 @@ impl ShardShared {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         q.push_back(job);
         self.available.notify_one();
+    }
+
+    /// Jobs queued but not yet claimed by a dispatch thread — this
+    /// shard's admission signal.
+    fn queue_len(&self) -> usize {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     fn take_completions(&self) -> Vec<Completion> {
@@ -267,11 +278,20 @@ struct Conn {
     /// so pipelined requests behind a parked poll still complete in
     /// request order.
     parked: Option<ParkedPoll>,
-    /// The parser hit malformed bytes: answer 400 after the queue drains,
-    /// then close. Sticky — no further reads once set.
-    parse_failed: bool,
+    /// The parser refused the byte stream: answer the matching prefab
+    /// error (400/413/431) after the queue drains, then close. Sticky —
+    /// no further reads once set.
+    parse_failed: Option<ParseReject>,
     /// `read` returned EOF; finish pending work, then close.
     peer_closed: bool,
+    /// Engine-clock instant of the last byte read (the idle guard).
+    last_activity: SimTime,
+    /// Set while a partial request sits in the parser (the slowloris
+    /// guard); cleared when the buffer drains.
+    partial_since: Option<SimTime>,
+    /// Engine-clock instant the in-flight write last moved a byte (the
+    /// write-stall guard); reset whenever a write is installed.
+    write_progress_at: SimTime,
 }
 
 /// What the loop should do with a connection after an event.
@@ -284,19 +304,26 @@ enum Verdict {
 /// Drains the socket into the parser and the parsed-request queue.
 /// Returns `Close` only on a fatal I/O error (EOF is recorded, not fatal:
 /// responses for already-received requests are still delivered).
-fn read_conn(conn: &mut Conn) -> Verdict {
+fn read_conn(conn: &mut Conn, now: SimTime) -> Verdict {
     let mut buf = [0u8; 16 * 1024];
     loop {
-        if conn.parse_failed || conn.peer_closed || conn.pending.len() >= PIPELINE_LIMIT {
+        if conn.parse_failed.is_some() || conn.peer_closed || conn.pending.len() >= PIPELINE_LIMIT {
             return Verdict::Keep;
         }
-        match conn.stream.read(&mut buf) {
+        // Test-only fault hook (inert in production builds): an armed
+        // Read fault behaves exactly like the kernel failing the call.
+        let read = match fault::take(fault::Op::Read) {
+            Some(e) => Err(e),
+            None => conn.stream.read(&mut buf),
+        };
+        match read {
             Ok(0) => {
                 conn.peer_closed = true;
                 return Verdict::Keep;
             }
             Ok(n) => {
                 conn.parser.feed(&buf[..n]);
+                conn.last_activity = now;
                 loop {
                     match conn.parser.next_request() {
                         Ok(Some(req)) => {
@@ -305,11 +332,22 @@ fn read_conn(conn: &mut Conn) -> Verdict {
                         }
                         Ok(None) => break,
                         Err(_) => {
-                            conn.parse_failed = true;
+                            conn.parse_failed = Some(
+                                conn.parser
+                                    .reject_reason()
+                                    .unwrap_or(ParseReject::Malformed),
+                            );
                             break;
                         }
                     }
                 }
+                // Slowloris guard bookkeeping: leftover bytes that are
+                // not a refused stream are a partial request in flight.
+                conn.partial_since = if conn.parser.buffered() > 0 && conn.parse_failed.is_none() {
+                    conn.partial_since.or(Some(now))
+                } else {
+                    None
+                };
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return Verdict::Keep,
             Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -319,13 +357,24 @@ fn read_conn(conn: &mut Conn) -> Verdict {
 }
 
 /// Pushes the connection's state machine as far as it will go without
-/// blocking: finish the in-flight write, then dispatch the next request or
-/// emit the deferred 400, until the socket blocks or the machine idles.
-fn advance_conn(conn: &mut Conn, dispatch: &ShardShared) -> Verdict {
+/// blocking: finish the in-flight write, then dispatch (or shed) the next
+/// request or emit the deferred parse-error reply, until the socket
+/// blocks or the machine idles.
+fn advance_conn(
+    conn: &mut Conn,
+    dispatch: &ShardShared,
+    overload: &OverloadCtx,
+    now: SimTime,
+) -> Verdict {
     loop {
         let Conn { write, stream, .. } = conn;
         if let Some(writer) = write.as_mut() {
-            match writer.write_some(stream) {
+            let before = writer.written();
+            let progress = writer.write_some(stream);
+            if writer.written() > before {
+                conn.write_progress_at = now;
+            }
+            match progress {
                 Ok(WriteProgress::Done) => {
                     conn.write = None;
                     if conn.close_after_write {
@@ -341,19 +390,34 @@ fn advance_conn(conn: &mut Conn, dispatch: &ShardShared) -> Verdict {
             // the park resolves, preserving pipeline order.
             return Verdict::Keep;
         } else if let Some((request, close)) = conn.pending.pop_front() {
-            conn.dispatch_in_flight = true;
-            dispatch.submit(Job {
-                token: conn.token,
-                request,
-                close,
-            });
-        } else if conn.parse_failed {
+            // Admission control: over the high-water mark the prefab
+            // shed reply answers from the event loop — no dispatch slot
+            // is consumed and the handler never runs.
+            if dispatch.queue_len() >= overload.config.queue_high_water {
+                overload
+                    .counters
+                    .requests_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(request);
+                conn.close_after_write = close;
+                conn.write = Some(ResponseWriter::new(overload.shed.next()));
+                conn.write_progress_at = now;
+            } else {
+                conn.dispatch_in_flight = true;
+                dispatch.submit(Job {
+                    token: conn.token,
+                    request,
+                    close,
+                });
+            }
+        } else if let Some(reason) = conn.parse_failed {
             // In-order with everything before it: emitted only once the
             // dispatch queue drained. `parse_failed` stays set so the
             // read side remains off; `close_after_write` ends the
-            // connection once the 400 is out.
-            let resp = Response::error(Status::BAD_REQUEST, "malformed request");
-            conn.write = Some(ResponseWriter::new(resp));
+            // connection once the error reply is out.
+            overload.counters.count_reject(reason);
+            conn.write = Some(ResponseWriter::new(reject_response(reason)));
+            conn.write_progress_at = now;
             conn.close_after_write = true;
         } else if conn.peer_closed {
             return Verdict::Close;
@@ -366,7 +430,7 @@ fn advance_conn(conn: &mut Conn, dispatch: &ShardShared) -> Verdict {
 /// The readiness bits this connection currently needs.
 fn desired_interest(conn: &Conn) -> u32 {
     let mut want = 0;
-    if !conn.peer_closed && !conn.parse_failed && conn.pending.len() < PIPELINE_LIMIT {
+    if !conn.peer_closed && conn.parse_failed.is_none() && conn.pending.len() < PIPELINE_LIMIT {
         want |= EPOLLIN | EPOLLRDHUP;
     }
     if conn.write.is_some() {
@@ -432,6 +496,9 @@ struct LoopShard {
     /// Engine clock for park deadlines and listener-mute windows
     /// (`ServerConfig::clock` — the wall clock in deployment).
     clock: Clock,
+    /// Overload limits, counters, and the shed-response pool (shared
+    /// across shards, so counters aggregate server-wide).
+    overload: Arc<OverloadCtx>,
 }
 
 impl LoopShard {
@@ -439,14 +506,19 @@ impl LoopShard {
         let mut events = vec![EpollEvent::zeroed(); 1024];
         while !self.shared.stopped() {
             // The 50 ms ceiling is the stop-flag safety net; a muted
-            // listener or a parked long-poll shortens the wait to its own
-            // deadline so neither a 1 ms accept backoff nor a park
-            // timeout is quantized up to a full tick.
+            // listener, a parked long-poll, or a lifecycle-guard deadline
+            // shortens the wait to its own deadline so neither a 1 ms
+            // accept backoff nor a short guard timeout is quantized up to
+            // a full tick.
             let muted_until = self.acceptor.as_ref().and_then(|a| a.listener_muted_until);
-            let deadline = match (muted_until, self.nearest_park_deadline()) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+            let deadline = [
+                muted_until,
+                self.nearest_park_deadline(),
+                self.nearest_guard_deadline(),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
             let timeout = match deadline {
                 Some(deadline) => deadline.since(self.clock.now()).as_millis().clamp(1, 50) as i32,
                 None => 50,
@@ -466,6 +538,7 @@ impl LoopShard {
             self.adopt_handoffs();
             self.process_completions();
             self.service_parked();
+            self.sweep_guards();
             self.maybe_unmute_listener();
             if accept_ready {
                 self.accept_drain();
@@ -484,6 +557,65 @@ impl LoopShard {
             .filter_map(|c| c.parked.as_ref())
             .map(|p| p.deadline)
             .min()
+    }
+
+    /// The lifecycle-guard deadline a connection is currently on, if any:
+    /// a stalled write is on the write-stall clock; a connection with
+    /// work in flight is exempt (the park deadline governs parks); a
+    /// buffered partial request is on the slowloris clock; everything
+    /// else is an idle keep-alive on the idle clock.
+    fn guard_deadline(&self, conn: &Conn) -> Option<SimTime> {
+        let cfg = &self.overload.config;
+        if conn.write.is_some() {
+            Some(conn.write_progress_at + SimDuration::from_duration(cfg.write_stall_timeout))
+        } else if conn.dispatch_in_flight || conn.parked.is_some() || !conn.pending.is_empty() {
+            None
+        } else if let Some(since) = conn.partial_since {
+            Some(since + SimDuration::from_duration(cfg.header_read_timeout))
+        } else {
+            Some(conn.last_activity + SimDuration::from_duration(cfg.idle_timeout))
+        }
+    }
+
+    /// The soonest lifecycle-guard deadline in this shard's slot table.
+    fn nearest_guard_deadline(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.conn.as_ref())
+            .filter_map(|c| self.guard_deadline(c))
+            .min()
+    }
+
+    /// Cuts every connection whose lifecycle-guard deadline has passed,
+    /// counting the cut under the guard that fired. One O(slots) pass per
+    /// tick — the same cost profile as the parked-slot scan.
+    fn sweep_guards(&mut self) {
+        let now = self.clock.now();
+        for index in 0..self.slots.len() {
+            let expired = {
+                let Some(conn) = self.slots[index].conn.as_ref() else {
+                    continue;
+                };
+                match self.guard_deadline(conn) {
+                    Some(deadline) if now >= deadline => {
+                        let counters = &self.overload.counters;
+                        let counter = if conn.write.is_some() {
+                            &counters.write_stall_timeouts
+                        } else if conn.partial_since.is_some() {
+                            &counters.header_timeouts
+                        } else {
+                            &counters.idle_timeouts
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if expired {
+                self.settle(index, Verdict::Close);
+            }
+        }
     }
 
     /// Completes parked long-polls whose wake condition or timeout has
@@ -510,6 +642,7 @@ impl LoopShard {
             }
             let parked = conn.parked.take().expect("checked above");
             self.parked_count -= 1;
+            self.park.release_park();
             let response = if published > parked.wait_key {
                 (parked.on_wake)()
             } else {
@@ -517,7 +650,8 @@ impl LoopShard {
             };
             conn.close_after_write = parked.close;
             conn.write = Some(ResponseWriter::new(response));
-            let verdict = advance_conn(conn, &self.shared);
+            conn.write_progress_at = now;
+            let verdict = advance_conn(conn, &self.shared, &self.overload, now);
             self.settle(index, verdict);
         }
     }
@@ -642,9 +776,11 @@ impl LoopShard {
             return;
         }
         self.shared.conns_assigned.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        let cfg = &self.overload.config;
         self.slots[index].conn = Some(Conn {
             stream,
-            parser: RequestParser::new(),
+            parser: RequestParser::with_limits(cfg.max_header_bytes, cfg.max_body_bytes),
             token,
             interest,
             pending: VecDeque::new(),
@@ -652,8 +788,11 @@ impl LoopShard {
             close_after_write: false,
             dispatch_in_flight: false,
             parked: None,
-            parse_failed: false,
+            parse_failed: None,
             peer_closed: false,
+            last_activity: now,
+            partial_since: None,
+            write_progress_at: now,
         });
     }
 
@@ -670,9 +809,10 @@ impl LoopShard {
             return;
         };
         let readable = readiness & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+        let now = self.clock.now();
         let mut verdict = Verdict::Keep;
         if readable {
-            verdict = read_conn(conn);
+            verdict = read_conn(conn, now);
         }
         // EPOLLERR/EPOLLHUP (RST, full hangup) are reported regardless of
         // the interest mask and the socket can neither deliver our
@@ -684,7 +824,7 @@ impl LoopShard {
             verdict = Verdict::Close;
         }
         if verdict == Verdict::Keep {
-            verdict = advance_conn(conn, &self.shared);
+            verdict = advance_conn(conn, &self.shared, &self.overload, now);
         }
         self.settle(index, verdict);
     }
@@ -701,6 +841,9 @@ impl LoopShard {
                 let conn = slot.conn.take().expect("checked above");
                 if conn.parked.is_some() {
                     self.parked_count -= 1;
+                    // The park slot frees with its connection, or the cap
+                    // would leak down to zero under churn.
+                    self.park.release_park();
                 }
                 let _ = self.epoll.delete(conn.stream.as_raw_fd());
                 // The generation bump invalidates any in-flight dispatch
@@ -745,19 +888,28 @@ impl LoopShard {
                 HandlerOutcome::Respond(response) => {
                     conn.close_after_write = completion.close;
                     conn.write = Some(ResponseWriter::new(response));
+                    conn.write_progress_at = now;
                 }
                 HandlerOutcome::Park(park) => {
-                    conn.parked = Some(ParkedPoll {
-                        wait_key: park.wait_key,
-                        deadline: now + SimDuration::from_duration(park.max_wait),
-                        on_wake: park.on_wake,
-                        on_timeout: park.on_timeout,
-                        close: completion.close,
-                    });
-                    self.parked_count += 1;
+                    if self.park.try_admit_park(self.overload.config.max_parked) {
+                        conn.parked = Some(ParkedPoll {
+                            wait_key: park.wait_key,
+                            deadline: now + SimDuration::from_duration(park.max_wait),
+                            on_wake: park.on_wake,
+                            on_timeout: park.on_timeout,
+                            close: completion.close,
+                        });
+                        self.parked_count += 1;
+                    } else {
+                        // Park cap reached: degrade to the immediate
+                        // empty-poll reply instead of holding the slot.
+                        conn.close_after_write = completion.close;
+                        conn.write = Some(ResponseWriter::new((park.on_timeout)()));
+                        conn.write_progress_at = now;
+                    }
                 }
             }
-            let verdict = advance_conn(conn, &self.shared);
+            let verdict = advance_conn(conn, &self.shared, &self.overload, now);
             self.settle(index, verdict);
         }
     }
@@ -769,6 +921,8 @@ pub(crate) struct EpollServer {
     addr: SocketAddr,
     shards: Vec<ShardHandle>,
     accept_errors: Arc<AtomicU64>,
+    overload: Arc<OverloadCtx>,
+    hub: Arc<ParkHub>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -787,6 +941,7 @@ impl EpollServer {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let accept_errors = Arc::new(AtomicU64::new(0));
+        let overload = OverloadCtx::new(config.overload.clone());
 
         // Handles first: shard 0's acceptor needs one per shard before any
         // loop thread starts.
@@ -839,6 +994,7 @@ impl EpollServer {
                 park: Arc::clone(&config.park_hub),
                 parked_count: 0,
                 clock: config.clock.clone(),
+                overload: Arc::clone(&overload),
             });
             // A publish on the hub pokes this shard's waker, so a parked
             // poll completes on the very next loop iteration instead of
@@ -868,6 +1024,8 @@ impl EpollServer {
             addr: local,
             shards: handles,
             accept_errors,
+            overload,
+            hub: Arc::clone(&config.park_hub),
             threads,
         })
     }
@@ -888,12 +1046,15 @@ impl EpollServer {
             .iter()
             .map(|s| s.shared.conns_assigned.load(Ordering::Relaxed))
             .collect();
-        ServerStats {
+        let mut stats = ServerStats {
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             connections_accepted: connections_per_shard.iter().sum(),
             shards: connections_per_shard.len(),
             connections_per_shard,
-        }
+            ..ServerStats::default()
+        };
+        self.overload.fill_stats(&mut stats, &self.hub);
+        stats
     }
 
     /// Stops every shard **before** joining any thread: all loops observe

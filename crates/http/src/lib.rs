@@ -43,9 +43,9 @@ pub mod transport;
 
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
-pub use parse::{parse_request, parse_response, RequestParser};
+pub use parse::{parse_request, parse_response, ParseReject, RequestParser};
 pub use server::{
-    handler_fn, Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
-    ServerStats,
+    handler_fn, Handler, HandlerOutcome, HttpServer, OverloadConfig, Park, ParkHub, ServerBackend,
+    ServerConfig, ServerStats,
 };
 pub use simdrive::SimDriver;

@@ -73,8 +73,15 @@ impl Status {
     pub const FORBIDDEN: Status = Status(403);
     /// 404 Not Found.
     pub const NOT_FOUND: Status = Status(404);
+    /// 413 Payload Too Large — a declared body over the server's limit.
+    pub const PAYLOAD_TOO_LARGE: Status = Status(413);
+    /// 431 Request Header Fields Too Large — a request head over the
+    /// server's limit (including a slowloris head that never completes).
+    pub const HEADER_TOO_LARGE: Status = Status(431);
     /// 500 Internal Server Error.
     pub const INTERNAL: Status = Status(500);
+    /// 503 Service Unavailable — the load-shed reply; carries Retry-After.
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     /// Canonical reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -86,7 +93,10 @@ impl Status {
             401 => "Unauthorized",
             403 => "Forbidden",
             404 => "Not Found",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -463,6 +473,13 @@ impl Response {
     /// Whether this response carries a prefab wire image.
     pub fn is_prefab(&self) -> bool {
         self.prefab.is_some()
+    }
+
+    /// The `Retry-After` header as delta-seconds, if present and numeric.
+    /// The load-shed `503` carries this; clients feed it into their
+    /// backoff so a shed storm converges instead of amplifying.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.headers.get("retry-after")?.trim().parse().ok()
     }
 
     /// The `Content-Type` without parameters, lower-cased.

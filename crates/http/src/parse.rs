@@ -11,21 +11,56 @@ use rcb_util::{RcbError, Result};
 use crate::headers::HeaderMap;
 use crate::message::{Method, Request, Response, Status};
 
-/// Maximum accepted head (request-line + headers) size.
-const MAX_HEAD: usize = 64 * 1024;
-/// Maximum accepted body size (synthetic pages stay far below this).
-const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Default maximum accepted head (request-line + headers) size.
+pub const MAX_HEAD: usize = 64 * 1024;
+/// Default maximum accepted body size (synthetic pages stay far below
+/// this).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Why the parser refused the connection's byte stream. The engines
+/// consult this after an `Err` from [`RequestParser::next_request`] to
+/// pick the right prefab error reply — `431` for an oversized head, `413`
+/// for an oversized declared body, `400` for anything malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseReject {
+    /// Syntactically invalid input (→ `400`).
+    Malformed,
+    /// Head exceeded the configured limit before completing (→ `431`).
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded the configured limit (→ `413`).
+    BodyTooLarge,
+}
 
 /// Incremental request parser for one connection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RequestParser {
     buffer: Vec<u8>,
+    max_head: usize,
+    max_body: usize,
+    reject: Option<ParseReject>,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        RequestParser::with_limits(MAX_HEAD, MAX_BODY)
+    }
 }
 
 impl RequestParser {
-    /// Creates a parser with an empty buffer.
+    /// Creates a parser with an empty buffer and the default limits.
     pub fn new() -> Self {
         RequestParser::default()
+    }
+
+    /// Creates a parser with explicit head/body byte limits (the server's
+    /// overload-protection knobs).
+    pub fn with_limits(max_head: usize, max_body: usize) -> Self {
+        RequestParser {
+            buffer: Vec::new(),
+            max_head,
+            max_body,
+            reject: None,
+        }
     }
 
     /// Appends newly received bytes.
@@ -38,26 +73,54 @@ impl RequestParser {
         self.buffer.len()
     }
 
+    /// Why the last [`next_request`](RequestParser::next_request) call
+    /// returned `Err`, if it did.
+    pub fn reject_reason(&self) -> Option<ParseReject> {
+        self.reject
+    }
+
+    fn refuse<T>(&mut self, reason: ParseReject, detail: &'static str) -> Result<T> {
+        self.reject = Some(reason);
+        Err(RcbError::parse("http", detail))
+    }
+
     /// Attempts to extract the next complete request.
     ///
     /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(_))` when a
-    /// full request was consumed, and `Err(_)` on malformed input.
+    /// full request was consumed, and `Err(_)` on malformed input (with
+    /// [`reject_reason`](RequestParser::reject_reason) set).
     pub fn next_request(&mut self) -> Result<Option<Request>> {
         let Some(head_end) = find_double_crlf(&self.buffer) else {
-            if self.buffer.len() > MAX_HEAD {
-                return Err(RcbError::parse("http", "request head too large"));
+            if self.buffer.len() > self.max_head {
+                return self.refuse(ParseReject::HeadTooLarge, "request head too large");
             }
             return Ok(None);
         };
-        let head = std::str::from_utf8(&self.buffer[..head_end])
-            .map_err(|_| RcbError::parse("http", "non-UTF-8 request head"))?;
-        let (method, target, headers) = parse_request_head(head)?;
+        if head_end > self.max_head {
+            return self.refuse(ParseReject::HeadTooLarge, "request head too large");
+        }
+        let Ok(head) = std::str::from_utf8(&self.buffer[..head_end]) else {
+            return self.refuse(ParseReject::Malformed, "non-UTF-8 request head");
+        };
+        let (method, target, headers) = match parse_request_head(head) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.reject = Some(ParseReject::Malformed);
+                return Err(e);
+            }
+        };
         // Absent Content-Length means no body; present-but-invalid is a
         // parse error (→ 400 and close), never treated as 0 — framing by
         // a guessed length is how request smuggling starts.
-        let body_len = headers.content_length()?.unwrap_or(0);
-        if body_len > MAX_BODY {
-            return Err(RcbError::parse("http", "declared body too large"));
+        let body_len = match headers.content_length() {
+            Ok(len) => len.unwrap_or(0),
+            Err(e) => {
+                self.reject = Some(ParseReject::Malformed);
+                return Err(e);
+            }
+        };
+        if body_len > self.max_body {
+            return self.refuse(ParseReject::BodyTooLarge, "declared body too large");
         }
         let total = head_end + 4 + body_len;
         if self.buffer.len() < total {
@@ -333,6 +396,35 @@ mod tests {
         let mut p = RequestParser::new();
         p.feed(&vec![b'a'; 70 * 1024]);
         assert!(p.next_request().is_err());
+        assert_eq!(p.reject_reason(), Some(ParseReject::HeadTooLarge));
+    }
+
+    #[test]
+    fn configured_limits_set_distinguishable_reject_reasons() {
+        // A complete-but-oversized head trips the limit even though the
+        // double-CRLF arrived.
+        let mut p = RequestParser::with_limits(64, MAX_BODY);
+        p.feed(
+            b"GET / HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n",
+        );
+        assert!(p.next_request().is_err());
+        assert_eq!(p.reject_reason(), Some(ParseReject::HeadTooLarge));
+
+        let mut p = RequestParser::with_limits(MAX_HEAD, 8);
+        p.feed(b"POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789");
+        assert!(p.next_request().is_err());
+        assert_eq!(p.reject_reason(), Some(ParseReject::BodyTooLarge));
+
+        let mut p = RequestParser::new();
+        p.feed(b"GARBAGE\r\n\r\n");
+        assert!(p.next_request().is_err());
+        assert_eq!(p.reject_reason(), Some(ParseReject::Malformed));
+
+        // A clean parse leaves no reject reason behind.
+        let mut p = RequestParser::new();
+        p.feed(&serialize_request(&Request::get("/ok")));
+        assert!(p.next_request().unwrap().is_some());
+        assert_eq!(p.reject_reason(), None);
     }
 
     #[test]

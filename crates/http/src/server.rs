@@ -47,16 +47,16 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use rcb_util::{Clock, Result, SimDuration, SimTime};
+use rcb_util::{Clock, DetRng, Result, SimDuration, SimTime};
 
 use crate::transport;
 
 use crate::message::{Request, Response, Status};
-use crate::parse::RequestParser;
+use crate::parse::{ParseReject, RequestParser};
 use crate::serialize::write_response_to;
 
 /// Whether the event-driven epoll backend is compiled in on this target
@@ -152,6 +152,12 @@ pub struct ParkHub {
     cond: Condvar,
     /// Engine wakers (epoll shards) poked on every publish.
     wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Long-polls currently parked, across all engines sharing this hub
+    /// (gates the park cap).
+    parked_now: AtomicU64,
+    /// Parks refused at the cap and degraded to the immediate
+    /// `on_timeout` reply.
+    parks_shed: AtomicU64,
 }
 
 impl Default for ParkHub {
@@ -161,6 +167,8 @@ impl Default for ParkHub {
             gate: Mutex::new(()),
             cond: Condvar::new(),
             wakers: Mutex::new(Vec::new()),
+            parked_now: AtomicU64::new(0),
+            parks_shed: AtomicU64::new(0),
         }
     }
 }
@@ -198,6 +206,40 @@ impl ParkHub {
     /// The current high-water mark (0 until the first publish).
     pub fn published(&self) -> u64 {
         self.published.load(Ordering::SeqCst)
+    }
+
+    /// Claims one parked-poll slot under `cap`. On refusal (counted as
+    /// a shed) the caller must degrade the park to its `on_timeout`
+    /// reply; on success it must pair the claim with
+    /// [`ParkHub::release_park`] when the park resolves — wake,
+    /// timeout, or connection teardown.
+    pub(crate) fn try_admit_park(&self, cap: usize) -> bool {
+        let admitted = self
+            .parked_now
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap as u64).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.parks_shed.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// Releases a slot claimed by [`ParkHub::try_admit_park`].
+    pub(crate) fn release_park(&self) {
+        self.parked_now.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Long-polls parked right now across every engine on this hub.
+    pub fn parked_now(&self) -> u64 {
+        self.parked_now.load(Ordering::SeqCst)
+    }
+
+    /// Parks refused at the cap so far (each was answered with its
+    /// immediate empty-poll reply instead of being held).
+    pub fn parks_shed(&self) -> u64 {
+        self.parks_shed.load(Ordering::Relaxed)
     }
 
     /// Registers an engine waker, called (with no locks the callee cares
@@ -281,6 +323,224 @@ pub(crate) fn invoke_handler(handler: &Handler, req: Request) -> (HandlerOutcome
             HandlerOutcome::Respond(Response::error(Status::INTERNAL, "handler panicked")),
             true,
         ),
+    }
+}
+
+/// Overload-protection limits shared by every backend: connection
+/// lifecycle guards (slowloris/idle/write-stall deadlines, header and
+/// body byte ceilings) and admission control (dispatch high-water mark,
+/// parked-poll cap, shed `Retry-After` jitter). The defaults are
+/// deliberately generous — tests and benchmarks tighten them per run,
+/// operators override them through the `RCB_*` environment variables
+/// listed per field (see [`OverloadConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// How long a connection may dribble a partial request (head or
+    /// body) before it is cut — the slowloris guard. Env:
+    /// `RCB_HEADER_TIMEOUT_MS`.
+    pub header_read_timeout: Duration,
+    /// How long an idle keep-alive connection (no partial request
+    /// buffered) is retained before being reaped. Env:
+    /// `RCB_IDLE_TIMEOUT_MS`.
+    pub idle_timeout: Duration,
+    /// How long a response write may sit without moving a byte before
+    /// the connection is cut. Env: `RCB_WRITE_STALL_MS`.
+    pub write_stall_timeout: Duration,
+    /// Maximum request-head bytes before the prefab `431` answer. Env:
+    /// `RCB_MAX_HEADER_BYTES`.
+    pub max_header_bytes: usize,
+    /// Maximum declared body bytes before the prefab `413` answer. Env:
+    /// `RCB_MAX_BODY_BYTES`.
+    pub max_body_bytes: usize,
+    /// Admission high-water mark: at or above this many
+    /// queued-but-unserviced items (workers: connection queue; epoll:
+    /// a shard's dispatch queue; sim driver: requests admitted this
+    /// pump), new requests are shed with the prefab `503 + Retry-After`
+    /// instead of reaching the handler. Zero sheds everything — the
+    /// deterministic-test lever. Env: `RCB_QUEUE_HIGH_WATER`.
+    pub queue_high_water: usize,
+    /// Cap on concurrently parked long-polls; at the cap a park
+    /// degrades to its immediate `on_timeout` (empty-poll) reply, so
+    /// plain polling keeps working when push is saturated. Zero
+    /// degrades every park — the deterministic-test lever. Env:
+    /// `RCB_MAX_PARKED`.
+    pub max_parked: usize,
+    /// Smallest `Retry-After` (seconds) a shed response advertises.
+    pub retry_after_base_secs: u64,
+    /// Jitter span above the base: each shed draws uniformly from
+    /// `base..=base + jitter` with a seeded RNG, so a shed herd
+    /// decorrelates instead of returning as one thundering wave.
+    pub retry_after_jitter_secs: u64,
+    /// Seed for the `Retry-After` draw — same seed, same shed byte
+    /// stream, which is what the backend-equivalence tests pin.
+    pub shed_seed: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            header_read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(10),
+            max_header_bytes: crate::parse::MAX_HEAD,
+            max_body_bytes: crate::parse::MAX_BODY,
+            queue_high_water: 4096,
+            max_parked: 4096,
+            retry_after_base_secs: 1,
+            retry_after_jitter_secs: 3,
+            shed_seed: 0x5ced_2026,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl OverloadConfig {
+    /// The defaults with `RCB_*` environment overrides applied — what
+    /// [`ServerConfig::default`] uses, so a CI leg or an operator can
+    /// retune limits without a code change.
+    pub fn from_env() -> OverloadConfig {
+        fn ms(name: &str, default: Duration) -> Duration {
+            env_u64(name).map_or(default, Duration::from_millis)
+        }
+        fn count(name: &str, default: usize) -> usize {
+            env_u64(name).map_or(default, |v| v as usize)
+        }
+        let d = OverloadConfig::default();
+        OverloadConfig {
+            header_read_timeout: ms("RCB_HEADER_TIMEOUT_MS", d.header_read_timeout),
+            idle_timeout: ms("RCB_IDLE_TIMEOUT_MS", d.idle_timeout),
+            write_stall_timeout: ms("RCB_WRITE_STALL_MS", d.write_stall_timeout),
+            max_header_bytes: count("RCB_MAX_HEADER_BYTES", d.max_header_bytes),
+            max_body_bytes: count("RCB_MAX_BODY_BYTES", d.max_body_bytes),
+            queue_high_water: count("RCB_QUEUE_HIGH_WATER", d.queue_high_water),
+            max_parked: count("RCB_MAX_PARKED", d.max_parked),
+            ..d
+        }
+    }
+}
+
+/// Live per-engine overload counters, mirrored into [`ServerStats`]
+/// (see the matching fields there for precise meanings).
+#[derive(Debug, Default)]
+pub(crate) struct OverloadCounters {
+    pub(crate) requests_shed: AtomicU64,
+    pub(crate) header_timeouts: AtomicU64,
+    pub(crate) idle_timeouts: AtomicU64,
+    pub(crate) write_stall_timeouts: AtomicU64,
+    pub(crate) oversize_head: AtomicU64,
+    pub(crate) oversize_body: AtomicU64,
+}
+
+impl OverloadCounters {
+    /// Bumps the counter matching a parser rejection (malformed input
+    /// is a client bug, not an overload signal, and is not counted).
+    pub(crate) fn count_reject(&self, reason: ParseReject) {
+        let counter = match reason {
+            ParseReject::HeadTooLarge => &self.oversize_head,
+            ParseReject::BodyTooLarge => &self.oversize_body,
+            ParseReject::Malformed => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The prefab `503 + Retry-After` pool: one frozen wire image per
+/// `Retry-After` value in `base..=base + jitter`, drawn with a seeded
+/// RNG per shed. Zero-copy on the wire (a shed costs a clone of an
+/// `Arc`'d image, never a dispatch slot), deterministic under a fixed
+/// seed, and jittered enough that a shed herd does not reconverge on
+/// one retry instant.
+pub(crate) struct ShedResponder {
+    prefabs: Vec<Response>,
+    rng: Mutex<DetRng>,
+}
+
+impl ShedResponder {
+    fn new(config: &OverloadConfig) -> ShedResponder {
+        let base = config.retry_after_base_secs;
+        let prefabs = (base..=base + config.retry_after_jitter_secs)
+            .map(|secs| {
+                // Retry-After must land before the freeze: `with_header`
+                // invalidates a prefab image.
+                Response::error(Status::SERVICE_UNAVAILABLE, "overloaded, retry later")
+                    .with_header("Retry-After", secs.to_string())
+                    .into_prefab()
+            })
+            .collect();
+        ShedResponder {
+            prefabs,
+            rng: Mutex::new(DetRng::new(config.shed_seed)),
+        }
+    }
+
+    /// The next shed response — a clone of a frozen prefab, wire bytes
+    /// shared.
+    pub(crate) fn next(&self) -> Response {
+        let mut rng = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let idx = rng.next_below(self.prefabs.len() as u64) as usize;
+        self.prefabs[idx].clone()
+    }
+}
+
+/// Everything an engine needs to enforce overload protection: the
+/// limits, the live counters, and the shed-response pool. One per
+/// server, shared with every worker thread / event-loop shard.
+pub(crate) struct OverloadCtx {
+    pub(crate) config: OverloadConfig,
+    pub(crate) counters: OverloadCounters,
+    pub(crate) shed: ShedResponder,
+}
+
+impl OverloadCtx {
+    pub(crate) fn new(config: OverloadConfig) -> Arc<OverloadCtx> {
+        let shed = ShedResponder::new(&config);
+        Arc::new(OverloadCtx {
+            config,
+            counters: OverloadCounters::default(),
+            shed,
+        })
+    }
+
+    /// Folds the live counters (plus the hub's park-shed count) into a
+    /// stats struct whose engine-level fields the caller fills in.
+    pub(crate) fn fill_stats(&self, stats: &mut ServerStats, hub: &ParkHub) {
+        let c = &self.counters;
+        stats.requests_shed = c.requests_shed.load(Ordering::Relaxed);
+        stats.parks_shed = hub.parks_shed();
+        stats.header_timeouts = c.header_timeouts.load(Ordering::Relaxed);
+        stats.idle_timeouts = c.idle_timeouts.load(Ordering::Relaxed);
+        stats.write_stall_timeouts = c.write_stall_timeouts.load(Ordering::Relaxed);
+        stats.oversize_head = c.oversize_head.load(Ordering::Relaxed);
+        stats.oversize_body = c.oversize_body.load(Ordering::Relaxed);
+    }
+}
+
+/// The shared answer for a parser rejection: prefab `431` for an
+/// oversized head, prefab `413` for an oversized declared body (frozen
+/// once, cloned per use), and the classic non-prefab `400` for
+/// malformed input. Every engine routes through here, so the error
+/// bytes are identical on all backends.
+pub(crate) fn reject_response(reason: ParseReject) -> Response {
+    static HEAD: OnceLock<Response> = OnceLock::new();
+    static BODY: OnceLock<Response> = OnceLock::new();
+    match reason {
+        ParseReject::Malformed => Response::error(Status::BAD_REQUEST, "malformed request"),
+        ParseReject::HeadTooLarge => HEAD
+            .get_or_init(|| {
+                Response::error(Status::HEADER_TOO_LARGE, "request head too large").into_prefab()
+            })
+            .clone(),
+        ParseReject::BodyTooLarge => BODY
+            .get_or_init(|| {
+                Response::error(Status::PAYLOAD_TOO_LARGE, "request body too large").into_prefab()
+            })
+            .clone(),
     }
 }
 
@@ -427,6 +687,24 @@ pub struct ServerStats {
     pub shards: usize,
     /// Connections assigned to each shard (length = `shards`).
     pub connections_per_shard: Vec<u64>,
+    /// Requests answered with the prefab `503` shed reply at the
+    /// admission high-water mark (no dispatch slot consumed).
+    pub requests_shed: u64,
+    /// Long-polls degraded to their immediate empty reply at the park
+    /// cap.
+    pub parks_shed: u64,
+    /// Connections cut by the slowloris (partial-request) deadline.
+    pub header_timeouts: u64,
+    /// Idle keep-alive connections reaped by the idle deadline.
+    pub idle_timeouts: u64,
+    /// Connections cut because a response write stalled past the
+    /// write-stall deadline.
+    pub write_stall_timeouts: u64,
+    /// Requests refused with the prefab `431` (head over limit).
+    pub oversize_head: u64,
+    /// Requests refused with the prefab `413` (declared body over
+    /// limit).
+    pub oversize_body: u64,
 }
 
 /// Backend choice plus pool and queue sizing.
@@ -460,6 +738,11 @@ pub struct ServerConfig {
     /// wall clock in deployment; a shared virtual clock under the world
     /// sim, so parked long-polls time out on simulated time.
     pub clock: Clock,
+    /// Overload-protection limits: lifecycle-guard deadlines, size
+    /// ceilings, the admission high-water mark, the park cap, and the
+    /// shed jitter. The default applies the `RCB_*` environment
+    /// overrides.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -471,6 +754,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(2),
             park_hub: Arc::new(ParkHub::default()),
             clock: Clock::wall(),
+            overload: OverloadConfig::from_env(),
         }
     }
 }
@@ -491,6 +775,11 @@ fn next_accept_backoff(current: Duration) -> Duration {
 struct Conn {
     stream: transport::Conn,
     parser: RequestParser,
+    /// Engine-clock instant of the last byte read (the idle guard).
+    last_activity: SimTime,
+    /// Set while a partial request sits in the parser (the slowloris
+    /// guard); cleared when the buffer drains.
+    partial_since: Option<SimTime>,
 }
 
 /// What a worker decided after one service pass over a connection.
@@ -578,6 +867,17 @@ impl ConnQueue {
         self.readable.notify_one();
     }
 
+    /// Connections currently queued — the workers backend's admission
+    /// signal. Idle keep-alive connections rotate through the queue and
+    /// count too, which is why the default high-water mark is far above
+    /// the worker count.
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
     /// Pops the next connection, waiting up to `timeout`.
     fn pop(&self, timeout: Duration) -> Option<Conn> {
         let mut q = self
@@ -604,6 +904,8 @@ struct WorkerServer {
     queue: Arc<ConnQueue>,
     accept_errors: Arc<AtomicU64>,
     connections_accepted: Arc<AtomicU64>,
+    overload: Arc<OverloadCtx>,
+    hub: Arc<ParkHub>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -685,6 +987,7 @@ impl HttpServer {
         let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
         let accept_errors = Arc::new(AtomicU64::new(0));
         let connections_accepted = Arc::new(AtomicU64::new(0));
+        let overload = OverloadCtx::new(config.overload.clone());
         let mut threads = Vec::with_capacity(config.workers + 1);
 
         // Virtual time: advances must wake parked workers so they
@@ -698,8 +1001,16 @@ impl HttpServer {
         let errors = Arc::clone(&accept_errors);
         let accepted = Arc::clone(&connections_accepted);
         let accept_clock = config.clock.clone();
+        let accept_overload = Arc::clone(&overload);
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, accept_queue, errors, accepted, accept_clock);
+            accept_loop(
+                listener,
+                accept_queue,
+                errors,
+                accepted,
+                accept_clock,
+                accept_overload,
+            );
         }));
 
         for _ in 0..config.workers.max(1) {
@@ -708,6 +1019,7 @@ impl HttpServer {
             let read_timeout = config.read_timeout;
             let hub = Arc::clone(&config.park_hub);
             let clock = config.clock.clone();
+            let worker_overload = Arc::clone(&overload);
             threads.push(std::thread::spawn(move || {
                 while !worker_queue.stopped() {
                     let Some(mut conn) = worker_queue.pop(Duration::from_millis(50)) else {
@@ -720,6 +1032,7 @@ impl HttpServer {
                         &hub,
                         &clock,
                         &worker_queue,
+                        &worker_overload,
                     ) {
                         ConnFate::Keep => worker_queue.push_rotated(conn),
                         ConnFate::Close => {}
@@ -735,6 +1048,8 @@ impl HttpServer {
                 queue,
                 accept_errors,
                 connections_accepted,
+                overload,
+                hub: Arc::clone(&config.park_hub),
                 threads,
             }),
         })
@@ -763,12 +1078,17 @@ impl HttpServer {
     /// per-shard assignment).
     pub fn stats(&self) -> ServerStats {
         match &self.engine {
-            Engine::Workers(w) => ServerStats {
-                accept_errors: w.accept_errors.load(Ordering::Relaxed),
-                connections_accepted: w.connections_accepted.load(Ordering::Relaxed),
-                shards: 0,
-                connections_per_shard: Vec::new(),
-            },
+            Engine::Workers(w) => {
+                let mut stats = ServerStats {
+                    accept_errors: w.accept_errors.load(Ordering::Relaxed),
+                    connections_accepted: w.connections_accepted.load(Ordering::Relaxed),
+                    shards: 0,
+                    connections_per_shard: Vec::new(),
+                    ..ServerStats::default()
+                };
+                w.overload.fill_stats(&mut stats, &w.hub);
+                stats
+            }
             Engine::Epoll(e) => e.stats(),
         }
     }
@@ -809,6 +1129,7 @@ fn accept_loop(
     errors: Arc<AtomicU64>,
     accepted: Arc<AtomicU64>,
     clock: Clock,
+    overload: Arc<OverloadCtx>,
 ) {
     let mut backoff = ACCEPT_BACKOFF_START;
     while !queue.stopped() {
@@ -819,12 +1140,20 @@ fn accept_loop(
             None => listener.try_accept(),
         };
         match next {
-            Ok(stream) => {
+            Ok(mut stream) => {
                 backoff = ACCEPT_BACKOFF_START;
                 accepted.fetch_add(1, Ordering::Relaxed);
+                // Blocking writes error out (`SO_SNDTIMEO`) instead of
+                // pinning a worker when the peer stops draining.
+                let _ = stream.set_write_timeout(Some(overload.config.write_stall_timeout));
                 queue.push_accepted(Conn {
                     stream,
-                    parser: RequestParser::new(),
+                    parser: RequestParser::with_limits(
+                        overload.config.max_header_bytes,
+                        overload.config.max_body_bytes,
+                    ),
+                    last_activity: clock.now(),
+                    partial_since: None,
                 });
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -857,33 +1186,72 @@ fn service_connection(
     hub: &ParkHub,
     clock: &Clock,
     queue: &ConnQueue,
+    overload: &OverloadCtx,
 ) -> ConnFate {
     if conn.stream.set_read_timeout(Some(read_timeout)).is_err() {
         return ConnFate::Close;
     }
+    let cfg = &overload.config;
+    let counters = &overload.counters;
     let mut buf = [0u8; 16 * 1024];
     // Drain reads until the socket has nothing more for us this pass; the
     // first empty read rotates the connection so one chatty client cannot
     // pin a worker.
     loop {
-        match conn.stream.read(&mut buf) {
+        // Test-only fault hook (inert in production builds): an armed
+        // Read fault behaves exactly like the kernel failing the call.
+        let read = match rcb_util::fault::take(rcb_util::fault::Op::Read) {
+            Some(e) => Err(e),
+            None => conn.stream.read(&mut buf),
+        };
+        match read {
             Ok(0) => return ConnFate::Close, // client closed
             Ok(n) => {
                 conn.parser.feed(&buf[..n]);
+                conn.last_activity = clock.now();
                 loop {
                     match conn.parser.next_request() {
                         Ok(Some(req)) => {
                             let close = req.wants_close();
+                            // Admission control: over the high-water mark
+                            // the prefab shed reply answers instead of
+                            // the handler ever running.
+                            if queue.len() >= cfg.queue_high_water {
+                                counters.requests_shed.fetch_add(1, Ordering::Relaxed);
+                                let resp = overload.shed.next();
+                                if write_response_to(&mut conn.stream, &resp).is_err()
+                                    || conn.stream.flush().is_err()
+                                {
+                                    return ConnFate::Close;
+                                }
+                                if close {
+                                    return ConnFate::Close;
+                                }
+                                continue;
+                            }
                             let (outcome, panicked) = invoke_handler(handler, req);
                             let resp = match outcome {
                                 HandlerOutcome::Respond(resp) => resp,
                                 HandlerOutcome::Park(park) => {
-                                    let deadline =
-                                        clock.now() + SimDuration::from_duration(park.max_wait);
-                                    let stopped = || queue.stopped();
-                                    if hub.wait_until(park.wait_key, deadline, clock, &stopped) {
-                                        (park.on_wake)()
+                                    if hub.try_admit_park(cfg.max_parked) {
+                                        let deadline =
+                                            clock.now() + SimDuration::from_duration(park.max_wait);
+                                        let stopped = || queue.stopped();
+                                        let woken = hub.wait_until(
+                                            park.wait_key,
+                                            deadline,
+                                            clock,
+                                            &stopped,
+                                        );
+                                        hub.release_park();
+                                        if woken {
+                                            (park.on_wake)()
+                                        } else {
+                                            (park.on_timeout)()
+                                        }
                                     } else {
+                                        // Park cap reached: degrade to the
+                                        // immediate empty-poll reply.
                                         (park.on_timeout)()
                                     }
                                 }
@@ -891,9 +1259,17 @@ fn service_connection(
                             // Zero-copy send: prefab images and shared
                             // bodies go to the socket from their own
                             // storage, never through a scratch buffer.
-                            if write_response_to(&mut conn.stream, &resp).is_err()
-                                || conn.stream.flush().is_err()
+                            if let Err(e) = write_response_to(&mut conn.stream, &resp)
+                                .and_then(|()| conn.stream.flush())
                             {
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                                ) {
+                                    counters
+                                        .write_stall_timeouts
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
                                 return ConnFate::Close;
                             }
                             if close || panicked {
@@ -902,17 +1278,42 @@ fn service_connection(
                         }
                         Ok(None) => break,
                         Err(_) => {
-                            let resp = Response::error(Status::BAD_REQUEST, "malformed request");
+                            let reason = conn
+                                .parser
+                                .reject_reason()
+                                .unwrap_or(ParseReject::Malformed);
+                            counters.count_reject(reason);
+                            let resp = reject_response(reason);
                             let _ = write_response_to(&mut conn.stream, &resp);
+                            let _ = conn.stream.flush();
                             return ConnFate::Close;
                         }
                     }
                 }
+                conn.partial_since = if conn.parser.buffered() > 0 {
+                    conn.partial_since.or(Some(conn.last_activity))
+                } else {
+                    None
+                };
             }
             Err(ref e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // Idle this pass: enforce the lifecycle guards before
+                // rotating. A buffered partial request is on the (short)
+                // slowloris clock; a clean idle keep-alive is on the
+                // (long) idle clock.
+                let now = clock.now();
+                if let Some(since) = conn.partial_since {
+                    if now >= since + SimDuration::from_duration(cfg.header_read_timeout) {
+                        counters.header_timeouts.fetch_add(1, Ordering::Relaxed);
+                        return ConnFate::Close;
+                    }
+                } else if now >= conn.last_activity + SimDuration::from_duration(cfg.idle_timeout) {
+                    counters.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return ConnFate::Close;
+                }
                 return ConnFate::Keep; // idle: rotate
             }
             Err(_) => return ConnFate::Close,

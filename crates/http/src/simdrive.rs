@@ -24,12 +24,16 @@
 
 use rcb_sim::{SimConn, SimListener};
 use rcb_util::{Clock, SimDuration, SimTime};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::message::{Response, Status};
-use crate::parse::RequestParser;
+use crate::message::Response;
+use crate::parse::{ParseReject, RequestParser};
 use crate::serialize::write_response_to;
-use crate::server::{invoke_handler, Handler, HandlerOutcome, ParkHub, ServerConfig};
+use crate::server::{
+    invoke_handler, reject_response, Handler, HandlerOutcome, OverloadCtx, ParkHub, ServerConfig,
+    ServerStats,
+};
 
 /// A long-poll parked on a driver connection (the pump-mode analogue of
 /// the epoll backend's `ParkedPoll`).
@@ -44,12 +48,18 @@ struct ParkedReq {
 }
 
 /// One accepted connection's state: the fabric conn, its incremental
-/// parser, and an optional parked long-poll.
+/// parser, an optional parked long-poll, and the guard clocks the
+/// overload layer measures (same bookkeeping as the epoll slots).
 struct DriverConn {
     conn: SimConn,
     parser: RequestParser,
     parked: Option<ParkedReq>,
     peer_closed: bool,
+    /// Virtual instant of the last byte read (idle-timeout clock).
+    last_activity: SimTime,
+    /// Set while an incomplete request head/body sits buffered
+    /// (slowloris clock); cleared when the parser drains.
+    partial_since: Option<SimTime>,
 }
 
 /// What one service pass decided about a connection.
@@ -65,21 +75,25 @@ pub struct SimDriver {
     handler: Handler,
     hub: Arc<ParkHub>,
     clock: Clock,
+    overload: Arc<OverloadCtx>,
     conns: Vec<DriverConn>,
     requests_served: u64,
+    connections_accepted: u64,
 }
 
 impl SimDriver {
-    /// Wraps `listener`; the park hub and clock come from `config` (the
-    /// same fields the threaded engines use).
+    /// Wraps `listener`; the park hub, clock, and overload limits come
+    /// from `config` (the same fields the threaded engines use).
     pub fn new(listener: SimListener, handler: Handler, config: &ServerConfig) -> SimDriver {
         SimDriver {
             listener,
             handler,
             hub: Arc::clone(&config.park_hub),
             clock: config.clock.clone(),
+            overload: OverloadCtx::new(config.overload.clone()),
             conns: Vec::new(),
             requests_served: 0,
+            connections_accepted: 0,
         }
     }
 
@@ -88,28 +102,42 @@ impl SimDriver {
     /// requests. Returns whether anything happened — the scenario loop
     /// pumps until `false` before advancing the clock.
     pub fn pump(&mut self) -> bool {
+        let now = self.clock.now();
+        let cfg = &self.overload.config;
         let mut progress = false;
         while let Ok(conn) = self.listener.try_accept() {
             self.conns.push(DriverConn {
                 conn,
-                parser: RequestParser::new(),
+                parser: RequestParser::with_limits(cfg.max_header_bytes, cfg.max_body_bytes),
                 parked: None,
                 peer_closed: false,
+                last_activity: now,
+                partial_since: None,
             });
+            self.connections_accepted += 1;
             progress = true;
         }
-        let now = self.clock.now();
-        let published = self.hub.published();
-        let handler = Arc::clone(&self.handler);
-        let mut served = 0u64;
+        let mut pass = PumpPass {
+            handler: Arc::clone(&self.handler),
+            hub: Arc::clone(&self.hub),
+            overload: Arc::clone(&self.overload),
+            now,
+            published: self.hub.published(),
+            admitted: 0,
+            progress,
+            served: 0,
+        };
         self.conns.retain_mut(|dc| {
-            matches!(
-                service(dc, &handler, now, published, &mut progress, &mut served),
-                Fate::Keep
-            )
+            let fate = service(dc, &mut pass);
+            if matches!(fate, Fate::Close) && dc.parked.is_some() {
+                // Closing with a poll still parked (fabric reset, guard
+                // trip): give the park-cap slot back.
+                pass.hub.release_park();
+            }
+            matches!(fate, Fate::Keep)
         });
-        self.requests_served += served;
-        progress
+        self.requests_served += pass.served;
+        pass.progress
     }
 
     /// The soonest parked long-poll deadline, if any — the scenario loop
@@ -121,6 +149,33 @@ impl SimDriver {
             .filter_map(|dc| dc.parked.as_ref())
             .map(|p| p.deadline)
             .min()
+    }
+
+    /// The soonest connection-guard deadline (header-read or idle), if
+    /// any. Scenario loops that want guard trips to fire even when the
+    /// fabric is otherwise silent fold this in alongside
+    /// [`SimDriver::next_park_deadline`].
+    pub fn next_guard_deadline(&self) -> Option<SimTime> {
+        let cfg = &self.overload.config;
+        self.conns
+            .iter()
+            .filter(|dc| dc.parked.is_none())
+            .map(|dc| match dc.partial_since {
+                Some(since) => since + SimDuration::from_duration(cfg.header_read_timeout),
+                None => dc.last_activity + SimDuration::from_duration(cfg.idle_timeout),
+            })
+            .min()
+    }
+
+    /// Overload/guard counters in the same shape the threaded engines
+    /// report, so world-sim scenarios can assert on server-side totals.
+    pub fn server_stats(&self) -> ServerStats {
+        let mut stats = ServerStats {
+            connections_accepted: self.connections_accepted,
+            ..ServerStats::default()
+        };
+        self.overload.fill_stats(&mut stats, &self.hub);
+        stats
     }
 
     /// Live connections (accepted, not yet closed).
@@ -149,27 +204,40 @@ impl std::fmt::Debug for SimDriver {
     }
 }
 
+/// Everything one [`SimDriver::pump`] sweep shares across connections:
+/// the handler, the overload limits and counters, the virtual instant,
+/// and the per-pump admission budget (the pump-mode analogue of the
+/// threaded engines' dispatch-queue depth).
+struct PumpPass {
+    handler: Handler,
+    hub: Arc<ParkHub>,
+    overload: Arc<OverloadCtx>,
+    now: SimTime,
+    published: u64,
+    admitted: usize,
+    progress: bool,
+    served: u64,
+}
+
 /// One pass over one connection. Mirrors the worker/epoll state machine:
 /// resolve a due park first (wake beats timeout, like
 /// `LoopShard::service_parked`), then read, then dispatch in order —
-/// a parked poll blocks dispatch of anything pipelined behind it.
-fn service(
-    dc: &mut DriverConn,
-    handler: &Handler,
-    now: SimTime,
-    published: u64,
-    progress: &mut bool,
-    served: &mut u64,
-) -> Fate {
+/// a parked poll blocks dispatch of anything pipelined behind it — then
+/// check the connection guards against the virtual clock.
+fn service(dc: &mut DriverConn, pass: &mut PumpPass) -> Fate {
+    let cfg = &pass.overload.config;
+    let counters = &pass.overload.counters;
     if let Some(p) = dc.parked.take() {
-        if published > p.wait_key || now >= p.deadline {
-            let response = if published > p.wait_key {
+        if pass.published > p.wait_key || pass.now >= p.deadline {
+            pass.hub.release_park();
+            let response = if pass.published > p.wait_key {
                 (p.on_wake)()
             } else {
                 (p.on_timeout)()
             };
-            *progress = true;
-            *served += 1;
+            pass.progress = true;
+            pass.served += 1;
+            dc.last_activity = pass.now;
             if write_response_to(&mut dc.conn, &response).is_err() || p.close {
                 return Fate::Close;
             }
@@ -186,7 +254,8 @@ fn service(
             }
             Ok(n) => {
                 dc.parser.feed(&buf[..n]);
-                *progress = true;
+                dc.last_activity = pass.now;
+                pass.progress = true;
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(_) => return Fate::Close, // reset (partition)
@@ -195,34 +264,80 @@ fn service(
     while dc.parked.is_none() {
         match dc.parser.next_request() {
             Ok(Some(req)) => {
-                *progress = true;
+                pass.progress = true;
                 let close = req.wants_close();
-                let (outcome, panicked) = invoke_handler(handler, req);
+                if pass.admitted >= cfg.queue_high_water {
+                    // Over the admission budget for this sweep: shed with
+                    // the prefab 503 instead of running the handler.
+                    counters.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let response = pass.overload.shed.next();
+                    dc.last_activity = pass.now;
+                    if write_response_to(&mut dc.conn, &response).is_err() || close {
+                        return Fate::Close;
+                    }
+                    continue;
+                }
+                pass.admitted += 1;
+                let (outcome, panicked) = invoke_handler(&pass.handler, req);
                 match outcome {
                     HandlerOutcome::Respond(response) => {
-                        *served += 1;
+                        pass.served += 1;
+                        dc.last_activity = pass.now;
                         if write_response_to(&mut dc.conn, &response).is_err() || close || panicked
                         {
                             return Fate::Close;
                         }
                     }
                     HandlerOutcome::Park(park) => {
-                        dc.parked = Some(ParkedReq {
-                            wait_key: park.wait_key,
-                            deadline: now + SimDuration::from_duration(park.max_wait),
-                            on_wake: park.on_wake,
-                            on_timeout: park.on_timeout,
-                            close: close || panicked,
-                        });
+                        if pass.hub.try_admit_park(cfg.max_parked) {
+                            dc.parked = Some(ParkedReq {
+                                wait_key: park.wait_key,
+                                deadline: pass.now + SimDuration::from_duration(park.max_wait),
+                                on_wake: park.on_wake,
+                                on_timeout: park.on_timeout,
+                                close: close || panicked,
+                            });
+                        } else {
+                            // Park cap reached: degrade to the immediate
+                            // empty-poll reply (byte-identical to a
+                            // timed-out park).
+                            pass.served += 1;
+                            let response = (park.on_timeout)();
+                            dc.last_activity = pass.now;
+                            if write_response_to(&mut dc.conn, &response).is_err()
+                                || close
+                                || panicked
+                            {
+                                return Fate::Close;
+                            }
+                        }
                     }
                 }
             }
             Ok(None) => break,
             Err(_) => {
-                let response = Response::error(Status::BAD_REQUEST, "malformed request");
+                let reason = dc.parser.reject_reason().unwrap_or(ParseReject::Malformed);
+                counters.count_reject(reason);
+                let response = reject_response(reason);
                 let _ = write_response_to(&mut dc.conn, &response);
                 return Fate::Close;
             }
+        }
+    }
+    dc.partial_since = if dc.parser.buffered() > 0 {
+        dc.partial_since.or(Some(dc.last_activity))
+    } else {
+        None
+    };
+    if dc.parked.is_none() {
+        if let Some(since) = dc.partial_since {
+            if pass.now >= since + SimDuration::from_duration(cfg.header_read_timeout) {
+                counters.header_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Fate::Close;
+            }
+        } else if pass.now >= dc.last_activity + SimDuration::from_duration(cfg.idle_timeout) {
+            counters.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            return Fate::Close;
         }
     }
     if dc.peer_closed && dc.parked.is_none() {
@@ -235,7 +350,7 @@ fn service(
 mod tests {
     use super::*;
     use crate::client::try_parse_response;
-    use crate::message::Request;
+    use crate::message::{Request, Status};
     use crate::serialize::serialize_request;
     use crate::server::{handler_fn, Park};
     use rcb_sim::{LinkModel, LinkSpec, World};

@@ -709,6 +709,206 @@ fn parked_poll_timeout_equals_the_empty_reply_on_every_backend() {
     }
 }
 
+/// `start` with explicit overload limits — the tight-limit scenarios
+/// (oversize rejection, admission shed, park cap) run through here.
+fn start_with_overload(
+    backend: ServerBackend,
+    workers: usize,
+    big: &Arc<[u8]>,
+    overload: rcb_http::server::OverloadConfig,
+) -> Run {
+    let stats = Arc::new(HandlerStats::default());
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        corpus_handler(Arc::clone(&stats), Arc::clone(big)),
+        ServerConfig {
+            backend,
+            workers,
+            overload,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    Run { server, stats }
+}
+
+#[test]
+fn oversize_rejections_are_byte_identical_across_backends() {
+    use rcb_http::server::OverloadConfig;
+    // A request head over the limit gets the prefab 431; a declared body
+    // over the limit gets the prefab 413. Both close the connection, and
+    // the handler never runs. The bytes must agree on every backend.
+    let mut reference: Option<(ServerBackend, Vec<u8>, Vec<u8>)> = None;
+    for backend in backends() {
+        let big: Arc<[u8]> = Arc::from(&b"tiny"[..]);
+        let overload = OverloadConfig {
+            max_header_bytes: 256,
+            max_body_bytes: 256,
+            ..OverloadConfig::default()
+        };
+        let mut run = start_with_overload(backend, 2, &big, overload);
+        let addr = run.server.addr().to_string();
+        let big_head = {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let head = format!(
+                "GET / HTTP/1.1\r\nHost: demo\r\nX-Pad: {}\r\n\r\n",
+                "a".repeat(512)
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).unwrap(); // server closes after 431
+            out
+        };
+        let big_body = {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            stream
+                .write_all(b"POST /echo HTTP/1.1\r\nHost: demo\r\nContent-Length: 100000\r\n\r\n")
+                .unwrap();
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).unwrap(); // server closes after 413
+            out
+        };
+        assert!(
+            String::from_utf8_lossy(&big_head).starts_with("HTTP/1.1 431"),
+            "{backend}: {:?}",
+            String::from_utf8_lossy(&big_head)
+        );
+        assert!(
+            String::from_utf8_lossy(&big_body).starts_with("HTTP/1.1 413"),
+            "{backend}: {:?}",
+            String::from_utf8_lossy(&big_body)
+        );
+        assert_eq!(run.stats.calls.load(Ordering::Relaxed), 0, "{backend}");
+        let stats = run.server.stats();
+        assert_eq!(stats.oversize_head, 1, "{backend}");
+        assert_eq!(stats.oversize_body, 1, "{backend}");
+        run.server.shutdown();
+        match &reference {
+            None => reference = Some((backend, big_head, big_body)),
+            Some((ref_backend, ref_head, ref_body)) => {
+                assert_eq!(
+                    &big_head, ref_head,
+                    "431 bytes diverge: {backend} vs {ref_backend}"
+                );
+                assert_eq!(
+                    &big_body, ref_body,
+                    "413 bytes diverge: {backend} vs {ref_backend}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shed_503_with_retry_after_is_byte_identical_across_backends() {
+    use rcb_http::server::OverloadConfig;
+    // `queue_high_water: 0` sheds every request: the prefab 503 carries a
+    // Retry-After drawn from the seeded pool, so with the same seed the
+    // first shed's bytes are identical on every backend — and the handler
+    // is never invoked (that's what "no dispatch slot consumed" means).
+    let mut reference: Option<(ServerBackend, Vec<u8>)> = None;
+    for backend in backends() {
+        let big: Arc<[u8]> = Arc::from(&b"tiny"[..]);
+        let overload = OverloadConfig {
+            queue_high_water: 0,
+            ..OverloadConfig::default()
+        };
+        let mut run = start_with_overload(backend, 2, &big, overload);
+        let addr = run.server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/echo",
+            )))
+            .unwrap();
+        let wire = read_n_frames(&mut stream, 1);
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("HTTP/1.1 503"), "{backend}: {text:?}");
+        assert!(text.contains("Retry-After:"), "{backend}: {text:?}");
+        assert_eq!(run.stats.calls.load(Ordering::Relaxed), 0, "{backend}");
+        assert_eq!(run.server.stats().requests_shed, 1, "{backend}");
+        run.server.shutdown();
+        match &reference {
+            None => reference = Some((backend, wire)),
+            Some((ref_backend, ref_wire)) => assert_eq!(
+                &wire, ref_wire,
+                "503 bytes diverge: {backend} vs {ref_backend}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn park_cap_degradation_equals_the_empty_poll_prefab() {
+    use rcb_http::server::OverloadConfig;
+    // `max_parked: 0` declines every park: `/wait` must answer
+    // *immediately* with the exact bytes of the `/empty` prefab on every
+    // backend — degradation is the timeout path run early, not a new
+    // response shape.
+    let mut reference: Option<(ServerBackend, Vec<u8>)> = None;
+    for backend in backends() {
+        let mut server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            park_handler(Duration::from_secs(5)),
+            ServerConfig {
+                backend,
+                workers: 2,
+                overload: OverloadConfig {
+                    max_parked: 0,
+                    ..OverloadConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        stream
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/wait",
+            )))
+            .unwrap();
+        let degraded = read_n_frames(&mut stream, 1);
+        let waited = started.elapsed();
+        assert!(
+            waited < Duration::from_secs(2),
+            "{backend}: degraded park still waited {waited:?}"
+        );
+        stream
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/empty",
+            )))
+            .unwrap();
+        let immediate = read_n_frames(&mut stream, 1);
+        assert_eq!(
+            degraded, immediate,
+            "{backend}: degraded park bytes differ from the empty reply"
+        );
+        assert_eq!(server.stats().parks_shed, 1, "{backend}");
+        server.shutdown();
+        match &reference {
+            None => reference = Some((backend, degraded)),
+            Some((ref_backend, ref_wire)) => assert_eq!(
+                &degraded, ref_wire,
+                "degraded park bytes diverge: {backend} vs {ref_backend}"
+            ),
+        }
+    }
+}
+
 #[test]
 fn responses_parse_back_to_handler_output() {
     // Round-trip sanity shared by both backends: what the client parses

@@ -255,6 +255,73 @@ fn seeded_accept_schedule_storms_and_self_disarms() {
 }
 
 #[test]
+fn injected_read_reset_drops_the_connection_but_not_the_server() {
+    // ECONNRESET surfacing from `read(2)` mid-connection: that one
+    // connection dies (no response, clean close) on every backend, and
+    // the very next client is served as if nothing happened.
+    let _scope = FaultScope::enter();
+    for backend in [
+        ServerBackend::Workers,
+        ServerBackend::Epoll,
+        ServerBackend::EpollSharded(2),
+    ] {
+        let server = bind(backend, 2, echo_handler());
+        let addr = server.addr().to_string();
+        fault::fail_next(fault::Op::Read, 1, fault::ECONNRESET);
+        {
+            let mut doomed = TcpStream::connect(&addr).unwrap();
+            doomed
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let _ = doomed.write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/doomed",
+            )));
+            let mut out = Vec::new();
+            let read = doomed.read_to_end(&mut out);
+            assert!(
+                read.is_err() || out.is_empty(),
+                "{backend}: reset connection must not be served, got {} bytes",
+                out.len()
+            );
+        }
+        assert_eq!(
+            fault::pending(fault::Op::Read),
+            0,
+            "{backend}: the injected reset was consumed"
+        );
+        let resp = get(&addr, "/alive");
+        assert_eq!(resp.body_str(), "/alive", "{backend}: loop survived");
+    }
+}
+
+#[test]
+fn injected_transient_eagain_on_read_is_absorbed() {
+    // EWOULDBLOCK from `read(2)` is ordinary backpressure, not an error:
+    // the connection must be kept, readiness must re-fire (level-
+    // triggered on the epoll variants, the rotation loop on workers),
+    // and the request must complete once the injections drain.
+    let _scope = FaultScope::enter();
+    for backend in [
+        ServerBackend::Workers,
+        ServerBackend::Epoll,
+        ServerBackend::EpollSharded(2),
+    ] {
+        let server = bind(backend, 2, echo_handler());
+        let addr = server.addr().to_string();
+        fault::fail_next(fault::Op::Read, 2, fault::EAGAIN);
+        let resp = get(&addr, "/after-eagain");
+        assert_eq!(resp.body_str(), "/after-eagain", "{backend}");
+        assert_eq!(
+            fault::pending(fault::Op::Read),
+            0,
+            "{backend}: injected EWOULDBLOCKs were consumed"
+        );
+        fault::clear();
+        drop(server);
+    }
+}
+
+#[test]
 fn epoll_ctl_failure_at_register_drops_connection_cleanly() {
     // A refused EPOLL_CTL_ADD at registration costs that one connection
     // (closed, never served) but must not wedge the loop: the next

@@ -38,10 +38,13 @@ pub enum Op {
     /// backend's blocking writes are deliberately unhooked, because a
     /// blocking socket can never legitimately return `EWOULDBLOCK`).
     Write = 2,
+    /// A request-bytes read off an accepted connection (both epoll
+    /// engines' `read_conn` and the workers backend's rotation read).
+    Read = 3,
 }
 
 /// Number of distinct [`Op`]s (sizes the per-op state arrays).
-pub const OPS: usize = 3;
+pub const OPS: usize = 4;
 
 // Linux errno values the regression tests inject (transcribed here — the
 // workspace is libc-free by design).
@@ -51,6 +54,8 @@ pub const EAGAIN: i32 = 11;
 pub const EMFILE: i32 = 24;
 /// `ECONNABORTED`: connection aborted between accept and use.
 pub const ECONNABORTED: i32 = 103;
+/// `ECONNRESET`: connection reset by peer mid-read.
+pub const ECONNRESET: i32 = 104;
 
 #[cfg(feature = "fault-injection")]
 mod armed {
@@ -139,8 +144,9 @@ mod armed {
         AtomicBool::new(false),
         AtomicBool::new(false),
         AtomicBool::new(false),
+        AtomicBool::new(false),
     ];
-    static PLANS: Mutex<[Option<Plan>; OPS]> = Mutex::new([None, None, None]);
+    static PLANS: Mutex<[Option<Plan>; OPS]> = Mutex::new([None, None, None, None]);
 
     fn install(op: Op, plan: Plan) {
         let i = op as usize;
