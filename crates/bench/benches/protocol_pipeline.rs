@@ -40,10 +40,9 @@ fn bench_poll_round(c: &mut Criterion) {
                 // regenerated (the expensive path).
                 let mut agent = RcbAgent::new(
                     key.clone(),
-                    AgentConfig {
-                        cache_mode: CacheMode::NonCache,
-                        ..AgentConfig::default()
-                    },
+                    AgentConfig::builder()
+                        .cache_mode(CacheMode::NonCache)
+                        .build(),
                 );
                 let mut snippet = AjaxSnippet::new(1, key.clone(), SimDuration::from_secs(1));
                 let mut participant = Browser::new(BrowserKind::Firefox);

@@ -44,13 +44,13 @@ fn bench_m5(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("noncache", site), &host, |b, host| {
             b.iter(|| {
                 let mut m = MappingTable::new();
-                generate_content(host, CacheMode::NonCache, &mut m, &key, 1, "").unwrap()
+                generate_content(host, CacheMode::NonCache, &mut m, &key, "", 1, "").unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("cache", site), &host, |b, host| {
             b.iter(|| {
                 let mut m = MappingTable::new();
-                generate_content(host, CacheMode::Cache, &mut m, &key, 1, "").unwrap()
+                generate_content(host, CacheMode::Cache, &mut m, &key, "", 1, "").unwrap()
             })
         });
     }
@@ -63,7 +63,7 @@ fn bench_m6(c: &mut Criterion) {
     for site in SITES {
         let host = loaded_host(site);
         let mut m = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "").unwrap();
+        let gc = generate_content(&host, CacheMode::NonCache, &mut m, &key, "", 1, "").unwrap();
         let nc = rcb_xml::parse_new_content(&gc.xml).unwrap().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(site), &nc, |b, nc| {
             b.iter(|| {

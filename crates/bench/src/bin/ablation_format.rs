@@ -99,7 +99,7 @@ fn main() {
         for _ in 0..5 {
             let mut m = MappingTable::new();
             let sw = Stopwatch::start();
-            let gc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "").unwrap();
+            let gc = generate_content(&host, CacheMode::NonCache, &mut m, &key, "", 1, "").unwrap();
             rcb_cpu = rcb_cpu.min(sw.elapsed().as_micros());
             rcb_bytes = gc.xml.len();
         }

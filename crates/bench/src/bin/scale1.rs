@@ -41,6 +41,16 @@
 //!   counted in `requests_shed`), the polls it *does* admit must keep a
 //!   bounded p99 while shedding, and a calm cohort after the storm must
 //!   recover at least 90% of the pre-storm rate.
+//! * **sessions**: one process serves hundreds of routed sessions at once
+//!   (512 on the epoll engines, 64 on workers, fd-capped) with one
+//!   participant connection held per session, then one session storms
+//!   against a tight per-session in-flight bound while a round-robin
+//!   probe keeps polling the quiet cohort. The storm must demonstrably
+//!   queue or shed at the session bound, the quiet cohort must keep ≥
+//!   30% of its calm rate within a bounded p99, and aggregate throughput
+//!   must not collapse — per-session fairness, measured, with the
+//!   per-session spread (outlier sessions by sheds and snapshot size)
+//!   stamped into the JSON.
 //!
 //! Every phase runs on the server backend selected by `--backend
 //! {workers,epoll,epoll-sharded[:N]}` (falling back to the
@@ -70,6 +80,7 @@ use std::time::{Duration, Instant};
 use rcb_bench::gates;
 use rcb_browser::{Browser, BrowserKind};
 use rcb_core::agent::{AgentConfig, LIVE_GENERATIONS};
+use rcb_core::router::{fixed_page_factory, RouterConfig, RouterHost, SessionOutlier};
 use rcb_core::tcp::{TcpHost, TcpParticipant};
 use rcb_crypto::SessionKey;
 use rcb_http::server::{OverloadConfig, ServerBackend, ServerConfig};
@@ -101,13 +112,12 @@ fn start_host_sized(
         browser,
         key,
         AgentConfig::default(),
-        ServerConfig {
-            backend,
-            workers,
-            queue_capacity,
-            read_timeout: Duration::from_millis(2),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(workers)
+            .queue_capacity(queue_capacity)
+            .read_timeout(Duration::from_millis(2))
+            .build(),
     )
     .expect("bind ephemeral port")
 }
@@ -582,17 +592,16 @@ fn run_overload(backend: ServerBackend, smoke: bool) -> (f64, u64, u64, u64, f64
         browser,
         key,
         AgentConfig::default(),
-        ServerConfig {
-            backend,
-            workers: 2,
-            queue_capacity: 256,
-            read_timeout: Duration::from_millis(2),
-            overload: OverloadConfig {
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(2)
+            .queue_capacity(256)
+            .read_timeout(Duration::from_millis(2))
+            .overload(OverloadConfig {
                 queue_high_water,
                 ..OverloadConfig::default()
-            },
-            ..ServerConfig::default()
-        },
+            })
+            .build(),
     )
     .expect("bind ephemeral port");
     let addr = host.addr().to_string();
@@ -638,6 +647,228 @@ fn run_overload(backend: ServerBackend, smoke: bool) -> (f64, u64, u64, u64, f64
         requests_shed,
         post_rate,
     )
+}
+
+/// Everything the many-sessions phase measured.
+struct SessionsResult {
+    target: usize,
+    sessions_live: usize,
+    calm_rate: f64,
+    calm_p99_us: u64,
+    storm_quiet_rate: f64,
+    storm_quiet_p99_us: u64,
+    aggregate_storm_rate: f64,
+    storm_polls: u64,
+    storm_sheds: u64,
+    fairness_queued: u64,
+    fairness_shed: u64,
+    max_shed: Option<SessionOutlier>,
+    p99_shed: Option<SessionOutlier>,
+    max_snapshot: Option<SessionOutlier>,
+    p99_snapshot: Option<SessionOutlier>,
+}
+
+/// One round-robin probe window over the quiet sessions (`s1..sN`; `s0`
+/// is the storm tenant): raw signed polls with the far-future timestamp
+/// (→ the tiny empty prefab), one keep-alive connection, each poll signed
+/// with its session's own key. Returns `(polls, elapsed_secs, hist)`.
+fn probe_quiet_sessions(addr: &str, keys: &[SessionKey], dur: Duration) -> (u64, f64, Histogram) {
+    let mut conn = rcb_http::client::HttpConnection::connect(addr).expect("probe connect");
+    let mut hist = Histogram::new();
+    let mut polls = 0u64;
+    let mut idx = 1usize;
+    let t0 = Instant::now();
+    while t0.elapsed() < dur {
+        let mut req = rcb_http::Request::post(
+            format!("/s/s{idx}/poll?p=777"),
+            b"t=99999999999999999".to_vec(),
+        );
+        rcb_core::auth::sign_request(&keys[idx], &mut req);
+        let s = Instant::now();
+        match conn.round_trip(&req) {
+            Ok(resp) if resp.status.is_success() => {
+                polls += 1;
+                hist.record(SimDuration::from_micros(s.elapsed().as_micros() as u64));
+            }
+            Ok(_) => {}
+            Err(_) => match rcb_http::client::HttpConnection::connect(addr) {
+                Ok(c) => conn = c,
+                Err(_) => break,
+            },
+        }
+        idx += 1;
+        if idx >= keys.len() {
+            idx = 1;
+        }
+    }
+    (polls, t0.elapsed().as_secs_f64(), hist)
+}
+
+/// Many-sessions phase: the router serves `target` concurrent sessions
+/// from one process — joined through the real client path, one
+/// participant connection held per session for the whole phase — then
+/// session `s0` storms from 8 connections against a deliberately tight
+/// per-session bound (2 in flight, 2 waiters) while the quiet cohort is
+/// probed round-robin, concurrently, exactly as it was during the calm
+/// baseline window.
+fn run_sessions(backend: ServerBackend, smoke: bool) -> SessionsResult {
+    let target = gates::sessions_target(backend, rcb_util::nofile_soft());
+    let sids = (0..target).map(|i| format!("s{i}")).collect();
+    let mut host = RouterHost::start(
+        "127.0.0.1:0",
+        fixed_page_factory(
+            "http://scale.local/".to_string(),
+            PAGE.to_string(),
+            sids,
+            "scale1-sessions".to_string(),
+        ),
+        AgentConfig::default(),
+        RouterConfig {
+            max_sessions: target + 8,
+            // The fairness lever under test: 2 dispatches in flight per
+            // session, 2 more may wait, the rest shed — so a storming
+            // tenant can occupy at most 4 of the 8 pool threads.
+            session_inflight: 2,
+            session_waiters: 2,
+            ..RouterConfig::default()
+        },
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(8)
+            .queue_capacity(target * 2 + 64)
+            .read_timeout(Duration::from_millis(2))
+            .build(),
+    )
+    .expect("bind ephemeral port");
+    let addr = host.addr().to_string();
+
+    // Join: 16 threads create the sessions and hold one participant
+    // connection per session open for the rest of the phase.
+    let joiners: Vec<_> = (0..16usize)
+        .map(|t| {
+            let addr = addr.clone();
+            let router = Arc::clone(host.router());
+            std::thread::spawn(move || -> Vec<TcpParticipant> {
+                let mut held = Vec::new();
+                let mut i = t;
+                while i < target {
+                    let sid = format!("s{i}");
+                    let handle = router.create_session(&sid).expect("create session");
+                    held.push(
+                        TcpParticipant::join_session(
+                            &addr,
+                            &sid,
+                            handle.key().clone(),
+                            1,
+                            &AgentConfig::default(),
+                        )
+                        .expect("join session"),
+                    );
+                    i += 16;
+                }
+                held
+            })
+        })
+        .collect();
+    let mut held: Vec<TcpParticipant> = Vec::with_capacity(target);
+    for j in joiners {
+        held.extend(j.join().expect("joiner thread"));
+    }
+    let sessions_live = host.stats().sessions_live;
+    let keys: Vec<SessionKey> = (0..target)
+        .map(|i| {
+            host.router()
+                .session(&format!("s{i}"))
+                .expect("live session")
+                .key()
+                .clone()
+        })
+        .collect();
+
+    let (calm_dur, storm_dur) = if smoke {
+        (Duration::from_millis(400), Duration::from_millis(600))
+    } else {
+        (Duration::from_secs(1), Duration::from_secs(2))
+    };
+    // Calm baseline, best of two windows (short windows are noisy on
+    // shared machines; the gates ask for the capacity, not quiet air).
+    let (mut calm_rate, mut calm_hist) = (0.0f64, Histogram::new());
+    for _ in 0..2 {
+        let (polls, elapsed, hist) = probe_quiet_sessions(&addr, &keys, calm_dur);
+        let rate = polls as f64 / elapsed;
+        if rate > calm_rate {
+            (calm_rate, calm_hist) = (rate, hist);
+        }
+    }
+
+    // Storm: 8 connections hammer s0 while the quiet probe runs
+    // concurrently. A fairness shed (prefab 503) costs the storm client a
+    // brief back-off, like any well-behaved participant.
+    let before = host.stats();
+    let storm_key = keys[0].clone();
+    let storm_threads: Vec<_> = (1..=8u64)
+        .map(|pid| {
+            let addr = addr.clone();
+            let key = storm_key.clone();
+            std::thread::spawn(move || -> (u64, u64) {
+                let mut conn = match rcb_http::client::HttpConnection::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0),
+                };
+                let (mut ok, mut shed) = (0u64, 0u64);
+                let start = Instant::now();
+                while start.elapsed() < storm_dur {
+                    let mut req = rcb_http::Request::post(
+                        format!("/s/s0/poll?p={pid}"),
+                        b"t=99999999999999999".to_vec(),
+                    );
+                    rcb_core::auth::sign_request(&key, &mut req);
+                    match conn.round_trip(&req) {
+                        Ok(resp) if resp.status == rcb_http::Status::SERVICE_UNAVAILABLE => {
+                            shed += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Ok(resp) if resp.status.is_success() => ok += 1,
+                        Ok(_) => {}
+                        Err(_) => match rcb_http::client::HttpConnection::connect(&addr) {
+                            Ok(c) => conn = c,
+                            Err(_) => break,
+                        },
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+    let (quiet_polls, quiet_elapsed, quiet_hist) = probe_quiet_sessions(&addr, &keys, storm_dur);
+    let (mut storm_polls, mut storm_sheds) = (0u64, 0u64);
+    for t in storm_threads {
+        let (ok, shed) = t.join().expect("storm client");
+        storm_polls += ok;
+        storm_sheds += shed;
+    }
+    let after = host.stats();
+
+    let result = SessionsResult {
+        target,
+        sessions_live,
+        calm_rate,
+        calm_p99_us: calm_hist.percentile(99.0).as_micros(),
+        storm_quiet_rate: quiet_polls as f64 / quiet_elapsed,
+        storm_quiet_p99_us: quiet_hist.percentile(99.0).as_micros(),
+        aggregate_storm_rate: (quiet_polls + storm_polls) as f64 / quiet_elapsed,
+        storm_polls,
+        storm_sheds,
+        fairness_queued: after.fairness_queued - before.fairness_queued,
+        fairness_shed: after.fairness_shed - before.fairness_shed,
+        max_shed: after.max_shed_requests,
+        p99_shed: after.p99_shed_requests,
+        max_snapshot: after.max_snapshot_bytes,
+        p99_snapshot: after.p99_snapshot_bytes,
+    };
+    drop(held);
+    host.shutdown();
+    result
 }
 
 /// Pulls the scalar after `"key":` out of a (baseline) JSON file — the
@@ -688,8 +919,9 @@ fn main() {
     // pins the sharded backend's auto shard count (RCB_SERVER_SHARDS,
     // else available cores) so every phase runs the same loop count.
     let backend = flag_value("--backend")
-        .map(|v| ServerBackend::parse(&v).unwrap_or_else(|| panic!("unknown --backend {v:?}")))
+        .map(|v| ServerBackend::parse(&v))
         .unwrap_or_else(ServerBackend::from_env)
+        .unwrap_or_else(|e| panic!("{e}"))
         .resolved();
     let shards = backend.shard_count();
 
@@ -911,12 +1143,92 @@ fn main() {
         if ov_ok { "ok" } else { "FAILED" }
     );
 
+    // Many-sessions: the router holds the full session target live in one
+    // process, and per-session fairness keeps a quiet cohort served while
+    // one tenant storms. The behavioural gates arm on the event-loop
+    // backends — the workers rotation time-shares every held connection,
+    // so its probe rates measure the rotation period, not the router —
+    // and only with ≥ 4 cores: on fewer, the 8 storm client threads
+    // time-share the CPU with the quiet probe, so a rate drop measures
+    // scheduler starvation of the *clients*, not router unfairness, and
+    // the per-session gate never sees concurrent dispatches to contend.
+    // (The deterministic fairness proof independent of core count is the
+    // `world_sessions` sim suite.) Holding the session target always
+    // gates.
+    let sr = run_sessions(backend, smoke);
+    let sess_armed = !matches!(backend, ServerBackend::Workers) && cores >= 4;
+    let sess_served = gates::sessions_served_ok(sr.sessions_live, sr.target);
+    let sess_bound = gates::session_quiet_bound_us(sr.calm_p99_us);
+    let sess_fair = !sess_armed || gates::session_fairness_ok(sr.calm_rate, sr.storm_quiet_rate);
+    let sess_p99 = !sess_armed || gates::session_quiet_p99_ok(sr.storm_quiet_p99_us, sess_bound);
+    let sess_contained =
+        !sess_armed || gates::storm_contained_ok(sr.fairness_queued, sr.fairness_shed);
+    let sess_aggregate =
+        !sess_armed || gates::sessions_aggregate_ok(sr.calm_rate, sr.aggregate_storm_rate);
+    let sess_ok = sess_served && sess_fair && sess_p99 && sess_contained && sess_aggregate;
+    println!(
+        "sessions: {} live (target {}), calm {:.0} polls/s p99 {} us; under storm: \
+         quiet {:.0} polls/s p99 {} us (bound {sess_bound} us), aggregate {:.0} polls/s, \
+         storm {} polls / {} sheds (queued {}, shed {}{}){}: {}",
+        sr.sessions_live,
+        sr.target,
+        sr.calm_rate,
+        sr.calm_p99_us,
+        sr.storm_quiet_rate,
+        sr.storm_quiet_p99_us,
+        sr.aggregate_storm_rate,
+        sr.storm_polls,
+        sr.storm_sheds,
+        sr.fairness_queued,
+        sr.fairness_shed,
+        sr.max_shed
+            .as_ref()
+            .filter(|o| o.value > 0)
+            .map(|o| format!(", outlier {}={}", o.sid, o.value))
+            .unwrap_or_default(),
+        if sess_armed {
+            ""
+        } else {
+            ", fairness gated on epoll backends with ≥4 cores"
+        },
+        if sess_ok { "ok" } else { "FAILED" }
+    );
+
     // Machine-readable result, alongside the human output.
     let per_shard_json = hold_spread
         .iter()
         .map(u64::to_string)
         .collect::<Vec<_>>()
         .join(",");
+    let outlier_json = |o: &Option<SessionOutlier>| -> String {
+        match o {
+            Some(o) => format!("{{\"sid\":\"{}\",\"value\":{}}}", o.sid, o.value),
+            None => "null".to_string(),
+        }
+    };
+    let sessions_json = format!(
+        "{{\"target\":{},\"live\":{},\"calm_rate\":{:.1},\"calm_p99_us\":{},\
+         \"storm_quiet_rate\":{:.1},\"storm_quiet_p99_us\":{},\"quiet_bound_us\":{sess_bound},\
+         \"aggregate_storm_rate\":{:.1},\"storm_polls\":{},\"storm_sheds\":{},\
+         \"fairness_queued\":{},\"fairness_shed\":{},\"armed\":{sess_armed},\
+         \"spread\":{{\"max_shed_requests\":{},\"p99_shed_requests\":{},\
+         \"max_snapshot_bytes\":{},\"p99_snapshot_bytes\":{}}}}}",
+        sr.target,
+        sr.sessions_live,
+        sr.calm_rate,
+        sr.calm_p99_us,
+        sr.storm_quiet_rate,
+        sr.storm_quiet_p99_us,
+        sr.aggregate_storm_rate,
+        sr.storm_polls,
+        sr.storm_sheds,
+        sr.fairness_queued,
+        sr.fairness_shed,
+        outlier_json(&sr.max_shed),
+        outlier_json(&sr.p99_shed),
+        outlier_json(&sr.max_snapshot),
+        outlier_json(&sr.p99_snapshot),
+    );
     let json = format!(
         "{{\n\"bench\":\"scale1\",\n\"mode\":\"{mode}\",\n\"backend\":\"{backend}\",\n\
          \"shards\":{shards},\n\
@@ -937,11 +1249,15 @@ fn main() {
          \"overload\":{{\"pre_rate\":{ov_pre_rate:.1},\"requests_shed\":{ov_shed},\
          \"storm_p99_us\":{ov_p99},\"bound_us\":{ov_bound},\"p99_armed\":{ov_p99_armed},\
          \"post_rate\":{ov_post_rate:.1}}},\n\
+         \"sessions\":{sessions_json},\n\
          \"pass\":{{\"no_collapse\":{no_collapse},\"overlapped\":{overlapped},\
          \"scaled\":{scaled},\"zero_copy\":{zero_copy},\"regen_overlap\":{regen_ok},\
          \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok},\
          \"update_latency\":{ul_ok},\"overload_shed\":{ov_shed_ok},\
-         \"overload_p99\":{ov_p99_ok},\"overload_recovery\":{ov_recovered}}}\n}}\n",
+         \"overload_p99\":{ov_p99_ok},\"overload_recovery\":{ov_recovered},\
+         \"sessions_served\":{sess_served},\"session_fairness\":{sess_fair},\
+         \"session_quiet_p99\":{sess_p99},\"storm_contained\":{sess_contained},\
+         \"sessions_aggregate\":{sess_aggregate}}}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
     );
     match std::fs::write(&json_path, &json) {
@@ -1018,6 +1334,7 @@ fn main() {
         || !hold_ok
         || !ul_ok
         || !ov_ok
+        || !sess_ok
         || regression
     {
         std::process::exit(1);

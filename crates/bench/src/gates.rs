@@ -156,6 +156,71 @@ pub fn overload_recovery_ok(pre_storm_rate: f64, post_storm_rate: f64) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Many-sessions (session router) gates
+// ---------------------------------------------------------------------------
+
+/// How many concurrent sessions the many-sessions phase demands: 512 on
+/// the event-loop engines (the multi-tenancy acceptance point — one
+/// process, one shared socket, hundreds of isolated sessions), 64 on the
+/// workers backend (each idle session connection costs a rotation slot,
+/// the same design limit the hold phase respects). Capped to the fd
+/// budget: each session holds one loopback participant connection — two
+/// fds in the bench process — plus headroom.
+pub fn sessions_target(backend: ServerBackend, nofile_soft: Option<u64>) -> usize {
+    let base = match backend {
+        ServerBackend::Workers => 64,
+        ServerBackend::Epoll | ServerBackend::EpollSharded(_) => 512,
+    };
+    match nofile_soft {
+        Some(limit) => base.min((limit.saturating_sub(256) / 2) as usize).max(16),
+        None => base,
+    }
+}
+
+/// The phase must actually have held the target session count live at
+/// once — fewer means joins failed or sessions fell over.
+pub fn sessions_served_ok(sessions_live: usize, target: usize) -> bool {
+    sessions_live >= target
+}
+
+/// Per-session fairness: while one session storms, the quiet cohort must
+/// keep at least 30% of its calm poll rate. An unfair router lets the
+/// storm occupy the whole dispatch pool and the quiet rate collapses —
+/// the cross-tenant convoy this gate exists to catch. A non-positive
+/// calm rate is a failed measurement, not a vacuous pass.
+pub fn session_fairness_ok(calm_rate: f64, under_storm_rate: f64) -> bool {
+    calm_rate > 0.0 && under_storm_rate >= calm_rate * 0.3
+}
+
+/// The p99 bound a quiet-session poll must stay within while a foreign
+/// session storms: the calm p99 with generous headroom, floored so
+/// scheduler noise on a loaded CI box cannot fail a healthy run.
+pub fn session_quiet_bound_us(calm_p99_us: u64) -> u64 {
+    (5 * calm_p99_us).max(100_000)
+}
+
+/// Quiet-session latency under a foreign storm stays within the bound.
+pub fn session_quiet_p99_ok(under_storm_p99_us: u64, bound_us: u64) -> bool {
+    under_storm_p99_us <= bound_us
+}
+
+/// The storm must actually have hit its per-session in-flight bound
+/// (dispatches queued behind the session or shed at its waiter cap) —
+/// otherwise the fairness run never exercised the lever it gates.
+pub fn storm_contained_ok(fairness_queued: u64, fairness_shed: u64) -> bool {
+    fairness_queued + fairness_shed > 0
+}
+
+/// Aggregate throughput across every session must not collapse while the
+/// storm runs: the whole point of per-session fairness is that
+/// containing one tenant keeps the *process* serving, so the aggregate
+/// rate under storm must at least match half the quiet cohort's calm
+/// rate.
+pub fn sessions_aggregate_ok(calm_rate: f64, aggregate_storm_rate: f64) -> bool {
+    calm_rate > 0.0 && aggregate_storm_rate >= calm_rate * 0.5
+}
+
+// ---------------------------------------------------------------------------
 // Baseline-comparison gate
 // ---------------------------------------------------------------------------
 
@@ -344,6 +409,67 @@ mod tests {
         // A phase with no healthy baseline is red, not vacuous.
         assert!(!overload_recovery_ok(0.0, 1000.0));
         assert!(!overload_recovery_ok(-1.0, 1000.0));
+    }
+
+    #[test]
+    fn sessions_targets_differ_by_engine_and_respect_the_fd_budget() {
+        assert_eq!(sessions_target(ServerBackend::Workers, None), 64);
+        assert_eq!(sessions_target(ServerBackend::Epoll, None), 512);
+        assert_eq!(sessions_target(ServerBackend::EpollSharded(2), None), 512);
+        // 20000 fds is plenty for the full 512-session acceptance point.
+        assert_eq!(sessions_target(ServerBackend::Epoll, Some(20_000)), 512);
+        // 1024 fds: (1024 - 256) / 2 = 384 sessions fit.
+        assert_eq!(sessions_target(ServerBackend::Epoll, Some(1_024)), 384);
+        // Pathologically tiny limits keep a usable floor.
+        assert_eq!(sessions_target(ServerBackend::Epoll, Some(64)), 16);
+        assert_eq!(sessions_target(ServerBackend::Workers, Some(20_000)), 64);
+    }
+
+    #[test]
+    fn sessions_served_gate_demands_the_full_target() {
+        assert!(sessions_served_ok(512, 512));
+        assert!(sessions_served_ok(600, 512));
+        assert!(!sessions_served_ok(511, 512));
+        assert!(!sessions_served_ok(0, 512));
+    }
+
+    #[test]
+    fn session_fairness_gate_tracks_the_30_percent_floor() {
+        assert!(session_fairness_ok(1000.0, 1000.0), "unaffected is healthy");
+        assert!(session_fairness_ok(1000.0, 300.0), "exactly 30% passes");
+        assert!(!session_fairness_ok(1000.0, 299.0));
+        assert!(!session_fairness_ok(1000.0, 0.0), "starved cohort fails");
+        // A failed calm measurement is red, not vacuous.
+        assert!(!session_fairness_ok(0.0, 0.0));
+        assert!(!session_fairness_ok(-1.0, 100.0));
+    }
+
+    #[test]
+    fn session_quiet_bound_has_headroom_and_a_floor() {
+        assert_eq!(session_quiet_bound_us(1_000), 100_000, "floored");
+        assert_eq!(session_quiet_bound_us(20_000), 100_000);
+        assert_eq!(session_quiet_bound_us(30_000), 150_000, "5x past it");
+        assert!(session_quiet_p99_ok(100_000, 100_000));
+        assert!(!session_quiet_p99_ok(100_001, 100_000));
+    }
+
+    #[test]
+    fn storm_containment_gate_demands_the_bound_was_hit() {
+        assert!(storm_contained_ok(1, 0));
+        assert!(storm_contained_ok(0, 1));
+        assert!(storm_contained_ok(500, 500));
+        assert!(
+            !storm_contained_ok(0, 0),
+            "a storm that never queued proves nothing"
+        );
+    }
+
+    #[test]
+    fn sessions_aggregate_gate_demands_half_the_calm_rate() {
+        assert!(sessions_aggregate_ok(1000.0, 500.0), "exactly half passes");
+        assert!(!sessions_aggregate_ok(1000.0, 499.0));
+        assert!(sessions_aggregate_ok(1000.0, 5000.0), "a storm adds load");
+        assert!(!sessions_aggregate_ok(0.0, 1000.0), "no calm baseline");
     }
 
     #[test]

@@ -102,10 +102,10 @@ pub fn measure_m5_m6(site: &str, reps: usize) -> Result<(SimDuration, SimDuratio
     let mut best_m6 = SimDuration::from_secs(3600);
     for _ in 0..reps {
         let mut m = MappingTable::new();
-        let nc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "")?;
+        let nc = generate_content(&host, CacheMode::NonCache, &mut m, &key, "", 1, "")?;
         best_nc = best_nc.min(nc.generation_cost);
         let mut m = MappingTable::new();
-        let c = generate_content(&host, CacheMode::Cache, &mut m, &key, 1, "")?;
+        let c = generate_content(&host, CacheMode::Cache, &mut m, &key, "", 1, "")?;
         best_c = best_c.min(c.generation_cost);
         // M6: apply the generated content to a participant document.
         let parsed = rcb_xml::parse_new_content(&c.xml)?.expect("content present");
@@ -189,10 +189,7 @@ pub fn run_all_sites_quick(profile: &NetProfile, mode: CacheMode) -> Result<Vec<
 
 /// Shared default agent config for experiments.
 pub fn experiment_config(mode: CacheMode) -> AgentConfig {
-    AgentConfig {
-        cache_mode: mode,
-        ..AgentConfig::default()
-    }
+    AgentConfig::builder().cache_mode(mode).build()
 }
 
 #[cfg(test)]

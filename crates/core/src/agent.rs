@@ -71,6 +71,14 @@ pub struct AgentConfig {
     /// before treating the connection as dead (the one knob behind every
     /// `rcb_http::client` read timeout on the TCP deployment path).
     pub client_read_timeout: SimDuration,
+    /// Path prefix every agent URL of this session lives under — `""`
+    /// for the classic single-session deployment, `"/s/{sid}"` when a
+    /// [`crate::router::SessionRouter`] hosts many sessions in one
+    /// process. The prefix is part of every minted object URL (and so
+    /// covered by the object token) and of every snippet poll target
+    /// (and so covered by the request HMAC): a request cannot be replayed
+    /// into another session without failing authentication.
+    pub path_prefix: String,
 }
 
 impl Default for AgentConfig {
@@ -83,7 +91,104 @@ impl Default for AgentConfig {
             authenticate_responses: false,
             park_timeout: SimDuration::from_secs(25),
             client_read_timeout: SimDuration::from_secs(10),
+            path_prefix: String::new(),
         }
+    }
+}
+
+impl AgentConfig {
+    /// The defaults with `RCB_*` environment overrides applied — the one
+    /// place agent tunables read the environment, mirroring
+    /// [`rcb_http::OverloadConfig::from_env`]:
+    ///
+    /// * `RCB_POLL_INTERVAL_MS` — snippet polling interval hint.
+    /// * `RCB_PARK_TIMEOUT_MS` — long-poll park ceiling.
+    /// * `RCB_CLIENT_READ_TIMEOUT_MS` — participant-side read timeout.
+    pub fn from_env() -> AgentConfig {
+        fn ms(name: &str, default: SimDuration) -> SimDuration {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .map_or(default, SimDuration::from_millis)
+        }
+        let d = AgentConfig::default();
+        AgentConfig {
+            poll_interval: ms("RCB_POLL_INTERVAL_MS", d.poll_interval),
+            park_timeout: ms("RCB_PARK_TIMEOUT_MS", d.park_timeout),
+            client_read_timeout: ms("RCB_CLIENT_READ_TIMEOUT_MS", d.client_read_timeout),
+            ..d
+        }
+    }
+
+    /// A builder over the defaults — the counterpart of
+    /// [`rcb_http::ServerConfig::builder`], replacing scattered
+    /// field-mutation construction in tests and benches.
+    pub fn builder() -> AgentConfigBuilder {
+        AgentConfigBuilder {
+            config: AgentConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`AgentConfig`] — start from [`AgentConfig::builder`],
+/// chain setters, [`AgentConfigBuilder::build`] at the end.
+#[derive(Debug, Clone)]
+pub struct AgentConfigBuilder {
+    config: AgentConfig,
+}
+
+impl AgentConfigBuilder {
+    /// Sets the object-serving mode.
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.config.cache_mode = mode;
+        self
+    }
+
+    /// Sets the snippet polling interval hint.
+    pub fn poll_interval(mut self, interval: SimDuration) -> Self {
+        self.config.poll_interval = interval;
+        self
+    }
+
+    /// Sets the navigation policy.
+    pub fn nav_policy(mut self, policy: NavigationPolicy) -> Self {
+        self.config.nav_policy = policy;
+        self
+    }
+
+    /// Sets the interaction policy.
+    pub fn interaction_policy(mut self, policy: InteractionPolicy) -> Self {
+        self.config.interaction_policy = policy;
+        self
+    }
+
+    /// Enables or disables response authentication.
+    pub fn authenticate_responses(mut self, on: bool) -> Self {
+        self.config.authenticate_responses = on;
+        self
+    }
+
+    /// Sets the long-poll park ceiling.
+    pub fn park_timeout(mut self, timeout: SimDuration) -> Self {
+        self.config.park_timeout = timeout;
+        self
+    }
+
+    /// Sets the participant-side client read timeout.
+    pub fn client_read_timeout(mut self, timeout: SimDuration) -> Self {
+        self.config.client_read_timeout = timeout;
+        self
+    }
+
+    /// Sets the session path prefix (see [`AgentConfig::path_prefix`]).
+    pub fn path_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.config.path_prefix = prefix.into();
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> AgentConfig {
+        self.config
     }
 }
 
@@ -415,15 +520,19 @@ impl RcbAgent {
         host: &mut Browser,
         now: SimTime,
     ) -> AgentOutcome {
-        let mut outcome = match (req.method, req.path()) {
-            (rcb_http::Method::Get, "/") => {
+        // Session-local classification: the configured path prefix is
+        // stripped first ("" for the classic deployment), so `/s/{sid}`
+        // requests classify exactly like un-prefixed ones.
+        let local = req.path().strip_prefix(self.config.path_prefix.as_str());
+        let mut outcome = match (req.method, local) {
+            (rcb_http::Method::Get, Some("/")) => {
                 self.stats.connections.incr();
                 AgentOutcome::just(Response::html(self.initial_page()))
             }
-            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
-                AgentOutcome::just(self.serve_object(req, host))
+            (rcb_http::Method::Get, Some(path)) if path.starts_with("/cache/") => {
+                AgentOutcome::just(self.serve_object(req, path, host))
             }
-            (rcb_http::Method::Post, "/poll") => self.handle_poll(req, host, now),
+            (rcb_http::Method::Post, Some("/poll")) => self.handle_poll(req, host, now),
             _ => AgentOutcome::just(Response::error(Status::NOT_FOUND, "unknown request type")),
         };
         if self.config.authenticate_responses && outcome.response.status.is_success() {
@@ -459,15 +568,17 @@ impl RcbAgent {
     }
 
     /// Serves an object request in cache mode (Fig. 2, middle path).
-    fn serve_object(&mut self, req: &Request, host: &mut Browser) -> Response {
-        let path = req.path().to_string();
+    /// `local_path` is the request path with the session prefix already
+    /// stripped; the token is verified over the *full* path, so a token
+    /// minted for one session cannot fetch from another.
+    fn serve_object(&mut self, req: &Request, local_path: &str, host: &mut Browser) -> Response {
         // Authenticate via the per-object token embedded at rewrite time.
         let token = req.query_param("k").unwrap_or_default();
-        if !auth::verify_object_token(&self.key, &path, &token) {
+        if !auth::verify_object_token(&self.key, req.path(), &token) {
             self.stats.auth_failures.incr();
             return Response::error(Status::UNAUTHORIZED, "bad object token");
         }
-        let Some(cache_key) = MappingTable::parse_agent_path(&path) else {
+        let Some(cache_key) = MappingTable::parse_agent_path(local_path) else {
             return Response::error(Status::BAD_REQUEST, "malformed cache path");
         };
         let Some(url) = self
@@ -575,7 +686,15 @@ impl RcbAgent {
                 .mapping
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            generate_content(host, mode, &mut mapping, &self.key, doc_time, &host_actions)?
+            generate_content(
+                host,
+                mode,
+                &mut mapping,
+                &self.key,
+                &self.config.path_prefix,
+                doc_time,
+                &host_actions,
+            )?
         };
         self.stats.generations.incr();
         self.stats.m5.record(content.generation_cost);
@@ -866,10 +985,9 @@ mod tests {
         // HostConfirm queues instead.
         let mut confirm_agent = RcbAgent::new(
             SessionKey::generate_deterministic(&mut DetRng::new(4)),
-            AgentConfig {
-                nav_policy: NavigationPolicy::HostConfirm,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder()
+                .nav_policy(NavigationPolicy::HostConfirm)
+                .build(),
         );
         let out2 = confirm_agent.handle_request(
             &signed_poll(&confirm_agent, 1, 0, &[nav]),
@@ -889,10 +1007,9 @@ mod tests {
     fn view_only_policy_drops_actions() {
         let mut a = RcbAgent::new(
             SessionKey::generate_deterministic(&mut DetRng::new(5)),
-            AgentConfig {
-                interaction_policy: InteractionPolicy::ViewOnly,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder()
+                .interaction_policy(InteractionPolicy::ViewOnly)
+                .build(),
         );
         let mut host = loaded_host("google.com");
         let nav = UserAction::Navigate {

@@ -147,8 +147,9 @@ pub fn finish_generation(
     cache: &CacheView,
     mapping: &Mutex<MappingTable>,
     key: &SessionKey,
+    path_prefix: &str,
 ) -> Result<GeneratedContent> {
-    finish_impl(job, cache, MappingAccess::Shared(mapping), key)
+    finish_impl(job, cache, MappingAccess::Shared(mapping), key, path_prefix)
 }
 
 /// Generates response content from the host browser's current document
@@ -161,12 +162,19 @@ pub fn generate_content(
     mode: CacheMode,
     mapping: &mut MappingTable,
     key: &SessionKey,
+    path_prefix: &str,
     doc_time: u64,
     user_actions: &str,
 ) -> Result<GeneratedContent> {
     let job = prepare_generation(host, mode, doc_time, user_actions.to_string())?;
     let cache = host.cache.view();
-    finish_impl(job, &cache, MappingAccess::Exclusive(mapping), key)
+    finish_impl(
+        job,
+        &cache,
+        MappingAccess::Exclusive(mapping),
+        key,
+        path_prefix,
+    )
 }
 
 /// How phase 2 reaches the mapping table: exclusively borrowed (the
@@ -181,6 +189,7 @@ fn finish_impl(
     cache: &CacheView,
     mapping: MappingAccess<'_>,
     key: &SessionKey,
+    path_prefix: &str,
 ) -> Result<GeneratedContent> {
     let sw = Stopwatch::start();
     let GenerationJob {
@@ -203,10 +212,12 @@ fn finish_impl(
     // is held for the rewrite loop alone, never across escaping/assembly.
     let cache_rewrites = match mode {
         CacheMode::Cache => match mapping {
-            MappingAccess::Exclusive(m) => rewrite_cached_to_agent(&mut doc, clone, cache, m, key),
+            MappingAccess::Exclusive(m) => {
+                rewrite_cached_to_agent(&mut doc, clone, cache, m, key, path_prefix)
+            }
             MappingAccess::Shared(mx) => {
                 let mut m = mx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                rewrite_cached_to_agent(&mut doc, clone, cache, &mut m, key)
+                rewrite_cached_to_agent(&mut doc, clone, cache, &mut m, key, path_prefix)
             }
         },
         CacheMode::NonCache => 0,
@@ -253,13 +264,16 @@ fn rewrite_urls_absolute(
 }
 
 /// Step 3: rewrite supplementary objects that exist in the host cache to
-/// agent-local `/cache/{key}?k={token}` URLs. Returns the rewrite count.
+/// agent-local `{prefix}/cache/{key}?k={token}` URLs (the prefix is `""`
+/// outside a session router; the token covers the full prefixed path, so
+/// object URLs are session-bound). Returns the rewrite count.
 fn rewrite_cached_to_agent(
     doc: &mut Document,
     scope: NodeId,
     cache: &CacheView,
     mapping: &mut MappingTable,
     key: &SessionKey,
+    path_prefix: &str,
 ) -> usize {
     let mut rewrites = 0;
     for node in query::all_elements(doc, scope) {
@@ -280,7 +294,7 @@ fn rewrite_cached_to_agent(
             continue;
         }
         let cache_key = mapping.key_for(&abs);
-        let path = MappingTable::agent_path(cache_key);
+        let path = format!("{path_prefix}{}", MappingTable::agent_path(cache_key));
         let token = object_token(key, &path);
         doc.set_attr(node, attr, format!("{path}?k={token}"));
         rewrites += 1;
@@ -442,8 +456,16 @@ mod tests {
     fn generation_produces_parseable_figure4_xml() {
         let host = loaded_host("google.com");
         let mut mapping = MappingTable::new();
-        let gc =
-            generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1234, "").unwrap();
+        let gc = generate_content(
+            &host,
+            CacheMode::NonCache,
+            &mut mapping,
+            &key(),
+            "",
+            1234,
+            "",
+        )
+        .unwrap();
         let nc = rcb_xml::parse_new_content(&gc.xml).unwrap().unwrap();
         assert_eq!(nc.doc_time, 1234);
         assert!(!nc.head_children.is_empty());
@@ -454,7 +476,8 @@ mod tests {
     fn non_cache_mode_uses_absolute_origin_urls() {
         let host = loaded_host("apple.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "").unwrap();
+        let gc =
+            generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), "", 1, "").unwrap();
         assert!(gc.cache_rewrites == 0);
         assert!(!gc.object_urls.is_empty());
         for u in &gc.object_urls {
@@ -470,7 +493,8 @@ mod tests {
     fn cache_mode_rewrites_to_agent_urls() {
         let host = loaded_host("apple.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::Cache, &mut mapping, &key(), 1, "").unwrap();
+        let gc =
+            generate_content(&host, CacheMode::Cache, &mut mapping, &key(), "", 1, "").unwrap();
         assert!(gc.cache_rewrites > 0);
         assert_eq!(gc.cache_rewrites, mapping.len());
         for u in &gc.object_urls {
@@ -490,11 +514,11 @@ mod tests {
         let mut c_total = SimDuration::ZERO;
         for _ in 0..5 {
             let mut m1 = MappingTable::new();
-            nc_total += generate_content(&host, CacheMode::NonCache, &mut m1, &k, 1, "")
+            nc_total += generate_content(&host, CacheMode::NonCache, &mut m1, &k, "", 1, "")
                 .unwrap()
                 .generation_cost;
             let mut m2 = MappingTable::new();
-            c_total += generate_content(&host, CacheMode::Cache, &mut m2, &k, 1, "")
+            c_total += generate_content(&host, CacheMode::Cache, &mut m2, &k, "", 1, "")
                 .unwrap()
                 .generation_cost;
         }
@@ -510,7 +534,8 @@ mod tests {
     fn event_attributes_rewritten_with_hooks() {
         let host = loaded_host("facebook.com");
         let mut mapping = MappingTable::new();
-        let gc = generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), 1, "").unwrap();
+        let gc =
+            generate_content(&host, CacheMode::NonCache, &mut mapping, &key(), "", 1, "").unwrap();
         let nc = rcb_xml::parse_new_content(&gc.xml).unwrap().unwrap();
         let TopLevel::Body(body) = &nc.top else {
             panic!("expected body page")
@@ -526,7 +551,7 @@ mod tests {
         let host = loaded_host("live.com");
         let before = rcb_html::serialize::serialize_document(host.doc.as_ref().unwrap());
         let mut mapping = MappingTable::new();
-        generate_content(&host, CacheMode::Cache, &mut mapping, &key(), 1, "").unwrap();
+        generate_content(&host, CacheMode::Cache, &mut mapping, &key(), "", 1, "").unwrap();
         let after = rcb_html::serialize::serialize_document(host.doc.as_ref().unwrap());
         assert_eq!(before, after);
     }
@@ -540,11 +565,11 @@ mod tests {
         let mut total_large = SimDuration::ZERO;
         for _ in 0..5 {
             let mut m = MappingTable::new();
-            total_small += generate_content(&small, CacheMode::NonCache, &mut m, &k, 1, "")
+            total_small += generate_content(&small, CacheMode::NonCache, &mut m, &k, "", 1, "")
                 .unwrap()
                 .generation_cost;
             let mut m = MappingTable::new();
-            total_large += generate_content(&large, CacheMode::NonCache, &mut m, &k, 1, "")
+            total_large += generate_content(&large, CacheMode::NonCache, &mut m, &k, "", 1, "")
                 .unwrap()
                 .generation_cost;
         }
@@ -560,6 +585,7 @@ mod tests {
             CacheMode::NonCache,
             &mut mapping,
             &key(),
+            "",
             9,
             "mouse|10|20",
         )
@@ -572,6 +598,6 @@ mod tests {
     fn errors_without_loaded_document() {
         let b = Browser::new(BrowserKind::Firefox);
         let mut mapping = MappingTable::new();
-        assert!(generate_content(&b, CacheMode::Cache, &mut mapping, &key(), 1, "").is_err());
+        assert!(generate_content(&b, CacheMode::Cache, &mut mapping, &key(), "", 1, "").is_err());
     }
 }

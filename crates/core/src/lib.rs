@@ -36,6 +36,10 @@
 //! * [`tcp`] — the real-socket deployment path: RCB-Agent served over
 //!   `std::net` TCP through a snapshot-based concurrent request pipeline,
 //!   participants joining with a plain HTTP client;
+//! * [`router`] — the multi-tenant session layer: a sharded
+//!   `sid → session` map multiplexing thousands of isolated sessions
+//!   (own snapshot/agent/park channel each) over one serving engine,
+//!   with per-session fairness and two-tier stats;
 //! * [`worldsim`] — the deterministic world sim: the same agent handler
 //!   and snippet, pumped over the seeded in-process fabric
 //!   (`rcb_sim::world`) under virtual time — scripted, replayable
@@ -50,6 +54,7 @@ pub mod metrics;
 pub mod policy;
 pub mod push;
 pub mod recorder;
+pub mod router;
 pub mod session;
 pub mod snapshot;
 pub mod snippet;
@@ -59,6 +64,7 @@ pub mod worldsim;
 
 pub use agent::{AgentConfig, CacheMode, ParticipantShards, RcbAgent};
 pub use metrics::PageMetrics;
+pub use router::{RouterConfig, RouterHost, RouterStats, SessionHandle, SessionRouter};
 pub use session::CoBrowsingWorld;
 pub use snapshot::ContentSnapshot;
 pub use snippet::AjaxSnippet;

@@ -1,0 +1,844 @@
+//! Multi-tenant session routing: thousands of independent co-browsing
+//! sessions served by one process.
+//!
+//! The paper's deployment unit is one session — one host browser, one
+//! agent, one set of participants. Scaling past that means many
+//! *sessions*, not one big one: a [`SessionRouter`] owns a sharded
+//! `sid → session` map and multiplexes every session over one listening
+//! socket and one serving engine (any of the three backends). Requests
+//! carry their session id as a path prefix (`/s/{sid}/...`); the prefix
+//! rides inside the signed request-URI, so it is covered by the poll
+//! HMAC and the object token like every other parameter — a request
+//! cannot be replayed into another session without failing
+//! authentication. Legacy un-prefixed paths route to the implicit
+//! *default* session, so the single-session deployment ([`TcpHost`]) is
+//! now a thin wrapper over a one-session router.
+//!
+//! # Isolation
+//!
+//! Each session gets its own [`SharedHost`] — snapshot, agent,
+//! participant shards — and its own [`ParkHub`] *channel*: snapshot
+//! publication wakes only the session's own parked long-polls, and
+//! evicting a session closes its channel, completing stragglers with the
+//! timeout reply (no fd or park-slot leaks). The serving engine, its
+//! dispatch pool, and the hub instance are shared across all sessions.
+//!
+//! # Fairness
+//!
+//! A regeneration storm in one session must not starve the rest. The
+//! router bounds in-flight dispatches *per session*
+//! ([`RouterConfig::session_inflight`]): at the bound, a bounded number
+//! of dispatch threads queue behind that session
+//! ([`RouterConfig::session_waiters`]) and anything beyond is shed with
+//! the prefab `503 + Retry-After` — the backpressure lands on the noisy
+//! session, not on the shared pool.
+//!
+//! # Lock ordering
+//!
+//! The router's shard lock is a **leaf** on the read path: look up,
+//! clone the entry `Arc`, release — it is never held across a handler
+//! call or while acquiring any per-session lock. Lazy session creation
+//! holds the shard write lock across the factory + host build (one-time
+//! cost per session, and only that shard blocks). The fairness gate is
+//! per-session state acquired strictly after the shard lock is released.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use rcb_browser::Browser;
+use rcb_crypto::SessionKey;
+use rcb_http::server::{
+    Handler, HandlerOutcome, HttpServer, ParkHub, ServerBackend, ServerConfig, ShedResponder,
+};
+use rcb_http::{Request, Response, Status};
+use rcb_util::{Clock, RcbError, Result};
+
+use crate::agent::AgentConfig;
+use crate::tcp::{SharedHost, TcpHostStats};
+
+/// The canonical path prefix of a routed session: `/s/{sid}`.
+pub fn session_prefix(sid: &str) -> String {
+    format!("/s/{sid}")
+}
+
+/// How the router provisions a session on first use: given the session
+/// id, return the host browser (page already loaded) and the session key
+/// participants will authenticate with — or `None` when the id is not a
+/// provisioned session (the router answers with the prefab 404).
+pub type SessionFactory = Box<dyn Fn(&str) -> Option<(Browser, SessionKey)> + Send + Sync>;
+
+/// Router tunables. `Default` is the plain constants;
+/// [`RouterConfig::from_env`] applies the documented `RCB_*` overrides.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Ceiling on live sessions in this process; at the cap, requests
+    /// for new session ids are shed with the prefab `503 + Retry-After`.
+    /// Env: `RCB_MAX_SESSIONS`.
+    pub max_sessions: usize,
+    /// A session with no routed request for this long is removed by
+    /// [`SessionRouter::evict_idle`] (the default session is exempt).
+    /// Env: `RCB_SESSION_IDLE_EVICT_MS`.
+    pub idle_evict: Duration,
+    /// Per-session in-flight dispatch bound (the fairness lever). The
+    /// default — effectively unbounded — keeps single-session behavior
+    /// identical; many-session deployments set a small bound so one
+    /// storming session queues behind itself instead of occupying the
+    /// shared dispatch pool.
+    pub session_inflight: usize,
+    /// How many dispatches may queue behind a session at its in-flight
+    /// bound before further ones are shed with the prefab `503`.
+    pub session_waiters: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_sessions: 4096,
+            idle_evict: Duration::from_secs(15 * 60),
+            session_inflight: usize::MAX,
+            session_waiters: 32,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The defaults with `RCB_*` environment overrides applied:
+    /// `RCB_MAX_SESSIONS` and `RCB_SESSION_IDLE_EVICT_MS`.
+    pub fn from_env() -> RouterConfig {
+        let d = RouterConfig::default();
+        let env_u64 = |name: &str| -> Option<u64> { std::env::var(name).ok()?.trim().parse().ok() };
+        RouterConfig {
+            max_sessions: env_u64("RCB_MAX_SESSIONS").map_or(d.max_sessions, |v| v as usize),
+            idle_evict: env_u64("RCB_SESSION_IDLE_EVICT_MS")
+                .map_or(d.idle_evict, Duration::from_millis),
+            ..d
+        }
+    }
+}
+
+/// Per-session fairness gate: `(active, waiting)` under one mutex. At
+/// the in-flight bound a bounded number of dispatch threads block on the
+/// condvar (queueing behind *this* session); beyond that the dispatch is
+/// shed. Slots are held only across the handler call — a parked
+/// long-poll holds no slot, exactly as it holds no dispatch thread.
+#[derive(Debug, Default)]
+struct FairnessGate {
+    state: Mutex<(usize, usize)>,
+    cond: Condvar,
+}
+
+enum Admission {
+    Admitted,
+    /// Dispatches queued (0 or more) then admitted — the count feeds the
+    /// `fairness_queued` stat.
+    AdmittedAfterWait,
+    Shed,
+}
+
+impl FairnessGate {
+    fn acquire(&self, max_inflight: usize, max_waiters: usize) -> Admission {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.0 < max_inflight {
+            st.0 += 1;
+            return Admission::Admitted;
+        }
+        if st.1 >= max_waiters {
+            return Admission::Shed;
+        }
+        st.1 += 1;
+        while st.0 >= max_inflight {
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.1 -= 1;
+        st.0 += 1;
+        Admission::AdmittedAfterWait
+    }
+
+    fn release(&self) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.0 = st.0.saturating_sub(1);
+        drop(st);
+        self.cond.notify_one();
+    }
+}
+
+/// One live session: its host state, hub channel, fairness gate, and
+/// idle bookkeeping.
+struct SessionEntry {
+    sid: String,
+    channel: u64,
+    host: Arc<SharedHost>,
+    handler: Handler,
+    key: SessionKey,
+    /// Engine-clock micros of the last routed request (idle eviction).
+    last_activity: AtomicU64,
+    gate: FairnessGate,
+    /// Per-session fairness sheds (also counted process-wide).
+    fairness_shed: AtomicU64,
+}
+
+/// A handle to one live session — the per-session slice of the old
+/// [`TcpHost`] surface.
+#[derive(Clone)]
+pub struct SessionHandle {
+    entry: Arc<SessionEntry>,
+}
+
+impl SessionHandle {
+    /// The session id (`""` for the default session).
+    pub fn sid(&self) -> &str {
+        &self.entry.sid
+    }
+
+    /// The path prefix participants reach this session under (`""` for
+    /// the default session).
+    pub fn prefix(&self) -> String {
+        if self.entry.sid.is_empty() {
+            String::new()
+        } else {
+            session_prefix(&self.entry.sid)
+        }
+    }
+
+    /// The session key to share out of band.
+    pub fn key(&self) -> &SessionKey {
+        &self.entry.key
+    }
+
+    /// Mutates this session's live host page; the snapshot is
+    /// regenerated and published (waking this session's parked polls —
+    /// and only this session's) before this returns.
+    pub fn mutate_page(&self, f: impl FnOnce(&mut rcb_html::Document)) -> Result<()> {
+        self.entry.host.mutate_page(f)
+    }
+
+    /// This session's concurrent-path counters.
+    pub fn stats(&self) -> TcpHostStats {
+        self.entry.host.stats_snapshot()
+    }
+
+    /// Number of participants this session's agent has seen.
+    pub fn participant_count(&self) -> usize {
+        self.entry.host.participant_count()
+    }
+
+    /// The document timestamp of the currently published snapshot.
+    pub fn published_doc_time(&self) -> u64 {
+        self.entry.host.published_doc_time()
+    }
+
+    /// Byte length of the currently published Fig.-4 XML.
+    pub fn published_xml_len(&self) -> usize {
+        self.entry.host.published_xml_len()
+    }
+
+    /// The underlying shared host state (crate-internal: [`TcpHost`]
+    /// keeps its legacy accessor surface through this).
+    pub(crate) fn shared_host(&self) -> &Arc<SharedHost> {
+        &self.entry.host
+    }
+}
+
+/// One session's contribution to an outlier ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutlier {
+    /// Session id (`""` is the default session).
+    pub sid: String,
+    /// The ranked gauge value.
+    pub value: u64,
+}
+
+/// Process-level router statistics: cheap per-session gauges aggregated
+/// into one view, with the outlier sessions surfaced (the ACME shape —
+/// a fleet summary plus "which tenant is the problem").
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Sessions currently live.
+    pub sessions_live: usize,
+    /// Sessions ever created (including evicted ones).
+    pub sessions_created: u64,
+    /// Sessions removed by idle eviction.
+    pub sessions_evicted: u64,
+    /// Requests shed because the session cap was reached.
+    pub cap_sheds: u64,
+    /// Requests answered with the prefab 404 for an unknown session id.
+    pub unknown_session_404s: u64,
+    /// Requests routed into a session handler.
+    pub requests_routed: u64,
+    /// Dispatches that queued behind a session's in-flight bound.
+    pub fairness_queued: u64,
+    /// Dispatches shed at a session's waiter bound.
+    pub fairness_shed: u64,
+    /// Per-session gauges summed across live sessions. The park-cap shed
+    /// counter reads the shared hub once (it is hub-global, not
+    /// per-session).
+    pub totals: TcpHostStats,
+    /// Session with the most parked long-polls, and the p99 session.
+    pub max_parked_polls: Option<SessionOutlier>,
+    /// p99 session by parked long-polls.
+    pub p99_parked_polls: Option<SessionOutlier>,
+    /// Session with the most fairness sheds, and the p99 session.
+    pub max_shed_requests: Option<SessionOutlier>,
+    /// p99 session by fairness sheds.
+    pub p99_shed_requests: Option<SessionOutlier>,
+    /// Session with the largest published snapshot, and the p99 session.
+    pub max_snapshot_bytes: Option<SessionOutlier>,
+    /// p99 session by published snapshot bytes.
+    pub p99_snapshot_bytes: Option<SessionOutlier>,
+}
+
+/// Process-wide router counters (the cheap side of the two-tier stats).
+#[derive(Debug, Default)]
+struct RouterCounters {
+    sessions_created: AtomicU64,
+    sessions_evicted: AtomicU64,
+    cap_sheds: AtomicU64,
+    unknown_session_404s: AtomicU64,
+    requests_routed: AtomicU64,
+    fairness_queued: AtomicU64,
+    fairness_shed: AtomicU64,
+}
+
+/// How many ways the `sid → session` map is sharded. Requests for
+/// different sessions contend only when their sids hash to the same
+/// shard (and then only for the duration of a lookup).
+const MAP_SHARDS: usize = 16;
+
+/// The session-routing layer (see module docs).
+pub struct SessionRouter {
+    shards: Vec<RwLock<HashMap<String, Arc<SessionEntry>>>>,
+    config: RouterConfig,
+    /// Per-session agent-config template; the router overwrites
+    /// `path_prefix` per session.
+    agent_config: AgentConfig,
+    factory: SessionFactory,
+    park: Arc<ParkHub>,
+    clock: Clock,
+    /// Next per-session hub channel (0 is reserved for the default
+    /// session, which keeps the classic single-session hub path).
+    next_channel: AtomicU64,
+    live: AtomicUsize,
+    counters: RouterCounters,
+    shed: ShedResponder,
+    /// The prefab 404 for unknown session ids.
+    not_found: Response,
+    /// Channels of evicted sessions, forgotten (hub map entry pruned) on
+    /// the *next* eviction sweep: a straggler park still due on the
+    /// closed channel resolves first, so the tombstone read stays
+    /// race-free and the hub map does not grow with session churn.
+    retired: Mutex<Vec<u64>>,
+}
+
+impl SessionRouter {
+    /// Builds a router. `park` and `clock` must come from the
+    /// [`ServerConfig`] the serving engine is (or will be) bound with —
+    /// the same contract as [`SharedHost::build`].
+    pub fn new(
+        factory: SessionFactory,
+        agent_config: AgentConfig,
+        config: RouterConfig,
+        park: Arc<ParkHub>,
+        clock: Clock,
+    ) -> Arc<SessionRouter> {
+        let shed = ShedResponder::new(&rcb_http::server::OverloadConfig::from_env());
+        Arc::new(SessionRouter {
+            shards: (0..MAP_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            config,
+            agent_config,
+            factory,
+            park,
+            clock,
+            next_channel: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            counters: RouterCounters::default(),
+            shed,
+            not_found: Response::error(Status::NOT_FOUND, "unknown session").into_prefab(),
+            retired: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn shard_for(&self, sid: &str) -> &RwLock<HashMap<String, Arc<SessionEntry>>> {
+        // FNV-1a over the sid: cheap, stable, and spread well enough for
+        // a 16-way shard fan-out.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in sid.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        &self.shards[(h as usize) % MAP_SHARDS]
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.clock.now().as_micros()
+    }
+
+    /// Looks up a live session.
+    pub fn session(&self, sid: &str) -> Option<SessionHandle> {
+        let shard = self
+            .shard_for(sid)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.get(sid).map(|e| SessionHandle {
+            entry: Arc::clone(e),
+        })
+    }
+
+    /// Sessions currently live.
+    pub fn session_count(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Creates (or returns) the session for `sid`, consulting the
+    /// factory. Errors when the factory does not know the sid or the
+    /// session cap is reached.
+    pub fn create_session(&self, sid: &str) -> Result<SessionHandle> {
+        match self.get_or_create(sid) {
+            Route::Session(entry) => Ok(SessionHandle { entry }),
+            Route::Unknown => Err(RcbError::InvalidInput(format!(
+                "session factory does not know sid {sid:?}"
+            ))),
+            Route::AtCap => Err(RcbError::Protocol(format!(
+                "session cap ({}) reached creating {sid:?}",
+                self.config.max_sessions
+            ))),
+        }
+    }
+
+    /// Installs the *default* session — the implicit session un-prefixed
+    /// paths route to, on hub channel 0 (the classic single-session hub
+    /// path, byte-identical to the pre-router deployment). Exempt from
+    /// idle eviction and the session cap.
+    pub fn install_default_session(
+        &self,
+        browser: Browser,
+        key: SessionKey,
+    ) -> Result<SessionHandle> {
+        let entry = self.build_entry(String::new(), browser, key, 0)?;
+        let mut shard = self
+            .shard_for("")
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shard.contains_key("") {
+            return Err(RcbError::InvalidInput(
+                "default session already installed".into(),
+            ));
+        }
+        shard.insert(String::new(), Arc::clone(&entry));
+        drop(shard);
+        self.counters
+            .sessions_created
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(SessionHandle { entry })
+    }
+
+    fn build_entry(
+        &self,
+        sid: String,
+        browser: Browser,
+        key: SessionKey,
+        channel: u64,
+    ) -> Result<Arc<SessionEntry>> {
+        let prefix = if sid.is_empty() {
+            String::new()
+        } else {
+            session_prefix(&sid)
+        };
+        let config = AgentConfig {
+            path_prefix: prefix,
+            ..self.agent_config.clone()
+        };
+        let host = SharedHost::build_on_channel(
+            browser,
+            key.clone(),
+            config,
+            Arc::clone(&self.park),
+            self.clock.clone(),
+            channel,
+        )?;
+        let handler = host.make_handler();
+        Ok(Arc::new(SessionEntry {
+            sid,
+            channel,
+            host,
+            handler,
+            key,
+            last_activity: AtomicU64::new(self.now_micros()),
+            gate: FairnessGate::default(),
+            fairness_shed: AtomicU64::new(0),
+        }))
+    }
+
+    fn get_or_create(&self, sid: &str) -> Route {
+        {
+            let shard = self
+                .shard_for(sid)
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(e) = shard.get(sid) {
+                return Route::Session(Arc::clone(e));
+            }
+        }
+        // Miss: take the shard write lock for the whole creation so a
+        // racing request for the same sid finds the entry instead of
+        // double-building. Only this shard blocks meanwhile; the shard
+        // lock is still a leaf (the build acquires no other router or
+        // session lock).
+        let mut shard = self
+            .shard_for(sid)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = shard.get(sid) {
+            return Route::Session(Arc::clone(e));
+        }
+        if self.live.load(Ordering::Relaxed) >= self.config.max_sessions {
+            return Route::AtCap;
+        }
+        let Some((browser, key)) = (self.factory)(sid) else {
+            return Route::Unknown;
+        };
+        let channel = self.next_channel.fetch_add(1, Ordering::Relaxed);
+        match self.build_entry(sid.to_string(), browser, key, channel) {
+            Ok(entry) => {
+                shard.insert(sid.to_string(), Arc::clone(&entry));
+                self.live.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .sessions_created
+                    .fetch_add(1, Ordering::Relaxed);
+                Route::Session(entry)
+            }
+            // A factory page that fails host construction is
+            // indistinguishable from an unknown sid to the participant.
+            Err(_) => Route::Unknown,
+        }
+    }
+
+    /// Evicts sessions idle longer than [`RouterConfig::idle_evict`]
+    /// (default session exempt), closing each one's hub channel so its
+    /// parked long-polls complete with the timeout reply. Channels of
+    /// sessions evicted on a *previous* sweep are forgotten now (see
+    /// `retired`). Returns how many sessions were evicted.
+    pub fn evict_idle(&self) -> usize {
+        // Prune last sweep's tombstones first: any park on those
+        // channels has long resolved (close wakes every engine), so the
+        // hub map stays bounded under session churn.
+        let prior: Vec<u64> = {
+            let mut retired = self
+                .retired
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *retired)
+        };
+        for channel in prior {
+            self.park.forget_channel(channel);
+        }
+
+        let now = self.now_micros();
+        let horizon = self.config.idle_evict.as_micros() as u64;
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let stale: Vec<String> = map
+                .iter()
+                .filter(|(sid, e)| {
+                    !sid.is_empty()
+                        && now.saturating_sub(e.last_activity.load(Ordering::Relaxed)) >= horizon
+                })
+                .map(|(sid, _)| sid.clone())
+                .collect();
+            for sid in stale {
+                if let Some(entry) = map.remove(&sid) {
+                    // Close outside no other lock: the shard lock is
+                    // held, but `close_channel` only touches hub
+                    // internals (a leaf below everything here).
+                    self.park.close_channel(entry.channel);
+                    self.retired
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(entry.channel);
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                    self.counters
+                        .sessions_evicted
+                        .fetch_add(1, Ordering::Relaxed);
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// The routing handler: parses the session prefix, finds or lazily
+    /// creates the session, applies the fairness gate, and dispatches
+    /// into the session's own handler.
+    pub fn make_handler(self: &Arc<Self>) -> Handler {
+        let router = Arc::clone(self);
+        Arc::new(move |req| router.route(req))
+    }
+
+    fn route(&self, req: Request) -> HandlerOutcome {
+        let sid = match parse_sid(req.path()) {
+            SidParse::Routed(sid) => sid.to_string(),
+            SidParse::Default => String::new(),
+            SidParse::Malformed => {
+                self.counters
+                    .unknown_session_404s
+                    .fetch_add(1, Ordering::Relaxed);
+                return self.not_found.clone().into();
+            }
+        };
+        let entry = match self.get_or_create(&sid) {
+            Route::Session(e) => e,
+            Route::Unknown => {
+                self.counters
+                    .unknown_session_404s
+                    .fetch_add(1, Ordering::Relaxed);
+                return self.not_found.clone().into();
+            }
+            Route::AtCap => {
+                self.counters.cap_sheds.fetch_add(1, Ordering::Relaxed);
+                return self.shed.next().into();
+            }
+        };
+        entry
+            .last_activity
+            .store(self.now_micros(), Ordering::Relaxed);
+        match entry
+            .gate
+            .acquire(self.config.session_inflight, self.config.session_waiters)
+        {
+            Admission::Admitted => {}
+            Admission::AdmittedAfterWait => {
+                self.counters
+                    .fairness_queued
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Shed => {
+                entry.fairness_shed.fetch_add(1, Ordering::Relaxed);
+                self.counters.fairness_shed.fetch_add(1, Ordering::Relaxed);
+                return self.shed.next().into();
+            }
+        }
+        self.counters
+            .requests_routed
+            .fetch_add(1, Ordering::Relaxed);
+        // The slot is held across the handler call only: a returned Park
+        // waits in the engine without a slot (exactly as it holds no
+        // dispatch thread), so parked sessions cost nothing here.
+        let outcome = (entry.handler)(req);
+        entry.gate.release();
+        outcome
+    }
+
+    /// Two-tier stats: process counters plus every live session's gauges
+    /// aggregated, with max/p99 outlier sessions surfaced.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.counters;
+        let mut totals = TcpHostStats::default();
+        // (sid, parked, fairness_shed, snapshot_bytes) per live session.
+        let mut rows: Vec<(String, u64, u64, u64)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (sid, e) in map.iter() {
+                let s = e.host.stats_snapshot();
+                totals.connections += s.connections;
+                totals.object_requests += s.object_requests;
+                totals.polls_with_content += s.polls_with_content;
+                totals.polls_empty += s.polls_empty;
+                totals.auth_failures += s.auth_failures;
+                totals.bad_requests += s.bad_requests;
+                totals.max_concurrent_polls =
+                    totals.max_concurrent_polls.max(s.max_concurrent_polls);
+                totals.body_bytes_copied += s.body_bytes_copied;
+                totals.polls_parked += s.polls_parked;
+                totals.polls_woken += s.polls_woken;
+                totals.polls_park_timeouts += s.polls_park_timeouts;
+                rows.push((
+                    sid.clone(),
+                    s.polls_parked,
+                    e.fairness_shed.load(Ordering::Relaxed),
+                    e.host.published_xml_len() as u64,
+                ));
+            }
+        }
+        // Hub-global, read once (every session would report the same
+        // shared counter).
+        totals.polls_shed_at_park_cap = self.park.parks_shed();
+
+        let (max_parked_polls, p99_parked_polls) = outliers(&rows, |r| r.1);
+        let (max_shed_requests, p99_shed_requests) = outliers(&rows, |r| r.2);
+        let (max_snapshot_bytes, p99_snapshot_bytes) = outliers(&rows, |r| r.3);
+        RouterStats {
+            sessions_live: self.live.load(Ordering::Relaxed)
+                + usize::from(self.session("").is_some()),
+            sessions_created: c.sessions_created.load(Ordering::Relaxed),
+            sessions_evicted: c.sessions_evicted.load(Ordering::Relaxed),
+            cap_sheds: c.cap_sheds.load(Ordering::Relaxed),
+            unknown_session_404s: c.unknown_session_404s.load(Ordering::Relaxed),
+            requests_routed: c.requests_routed.load(Ordering::Relaxed),
+            fairness_queued: c.fairness_queued.load(Ordering::Relaxed),
+            fairness_shed: c.fairness_shed.load(Ordering::Relaxed),
+            totals,
+            max_parked_polls,
+            p99_parked_polls,
+            max_shed_requests,
+            p99_shed_requests,
+            max_snapshot_bytes,
+            p99_snapshot_bytes,
+        }
+    }
+}
+
+/// Ranks sessions by one gauge; returns the max session and the p99
+/// session (nearest-rank on the sorted values, the max itself when fewer
+/// than 100 sessions report).
+fn outliers(
+    rows: &[(String, u64, u64, u64)],
+    gauge: impl Fn(&(String, u64, u64, u64)) -> u64,
+) -> (Option<SessionOutlier>, Option<SessionOutlier>) {
+    if rows.is_empty() {
+        return (None, None);
+    }
+    let mut ranked: Vec<(&str, u64)> = rows.iter().map(|r| (r.0.as_str(), gauge(r))).collect();
+    ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+    let max = ranked.last().expect("non-empty");
+    let p99_idx = ((ranked.len() as f64 * 0.99).ceil() as usize).clamp(1, ranked.len()) - 1;
+    let p99 = &ranked[p99_idx];
+    (
+        Some(SessionOutlier {
+            sid: max.0.to_string(),
+            value: max.1,
+        }),
+        Some(SessionOutlier {
+            sid: p99.0.to_string(),
+            value: p99.1,
+        }),
+    )
+}
+
+enum Route {
+    Session(Arc<SessionEntry>),
+    Unknown,
+    AtCap,
+}
+
+enum SidParse<'a> {
+    /// `/s/{sid}/...` with a non-empty sid.
+    Routed(&'a str),
+    /// A legacy un-prefixed path → the implicit default session.
+    Default,
+    /// `/s/` with an empty or unterminated sid.
+    Malformed,
+}
+
+/// Extracts the session id from a request path. The sid is everything
+/// between `/s/` and the next `/`; it must be non-empty and the path
+/// must continue past it (`/s/abc` alone is malformed — a session's
+/// root is `/s/abc/`).
+fn parse_sid(path: &str) -> SidParse<'_> {
+    let Some(rest) = path.strip_prefix("/s/") else {
+        return SidParse::Default;
+    };
+    match rest.find('/') {
+        Some(0) | None => SidParse::Malformed,
+        Some(end) => SidParse::Routed(&rest[..end]),
+    }
+}
+
+/// A live multi-session RCB host: a [`SessionRouter`] behind a real TCP
+/// port — the many-sessions counterpart of [`crate::tcp::TcpHost`].
+pub struct RouterHost {
+    server: HttpServer,
+    router: Arc<SessionRouter>,
+}
+
+impl RouterHost {
+    /// Binds the serving engine on `addr` with the routing handler. The
+    /// router wires itself to the `ServerConfig`'s park hub and clock,
+    /// the same seam every session's host publishes through.
+    pub fn start(
+        addr: &str,
+        factory: SessionFactory,
+        agent_config: AgentConfig,
+        router_config: RouterConfig,
+        server_config: ServerConfig,
+    ) -> Result<RouterHost> {
+        let park = Arc::clone(&server_config.park_hub);
+        let clock = server_config.clock.clone();
+        let router = SessionRouter::new(factory, agent_config, router_config, park, clock);
+        let server = HttpServer::bind_with(addr, router.make_handler(), server_config)?;
+        Ok(RouterHost { server, router })
+    }
+
+    /// The bound address participants connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The server backend servicing the shared socket.
+    pub fn backend(&self) -> ServerBackend {
+        self.server.backend()
+    }
+
+    /// The routing layer (session creation, lookup, eviction, stats).
+    pub fn router(&self) -> &Arc<SessionRouter> {
+        &self.router
+    }
+
+    /// Process-level router statistics.
+    pub fn stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Engine-level counters from the shared server.
+    pub fn server_stats(&self) -> rcb_http::server::ServerStats {
+        self.server.stats()
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+/// A [`SessionFactory`] serving the same page to every provisioned sid:
+/// sids are drawn from the given set, each getting a deterministic key
+/// derived from the shared secret (tests and benches; a deployment
+/// would provision sessions out of band).
+pub fn fixed_page_factory(
+    page_url: String,
+    page_html: String,
+    sids: std::collections::HashSet<String>,
+    secret: String,
+) -> SessionFactory {
+    Box::new(move |sid| {
+        if !sids.contains(sid) {
+            return None;
+        }
+        let mut browser = Browser::new(rcb_browser::BrowserKind::Firefox);
+        browser.url = Some(rcb_url::Url::parse(&page_url).ok()?);
+        browser.doc = Some(rcb_html::parse_document(&page_html));
+        browser.mutate_dom(|_| {}).ok()?;
+        // Deterministic per-sid key: the first 16 bytes of
+        // HMAC(secret, sid) — stable across processes, distinct per sid.
+        let mac = rcb_crypto::hmac::hmac_sha256(secret.as_bytes(), sid.as_bytes());
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&mac[..16]);
+        Some((browser, SessionKey::from_bytes(bytes)))
+    })
+}

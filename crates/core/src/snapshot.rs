@@ -120,6 +120,10 @@ pub struct SnapshotPlan {
     cache: CacheView,
     mapping: Arc<Mutex<MappingTable>>,
     key: SessionKey,
+    /// The session path prefix object URLs are minted under (see
+    /// [`crate::agent::AgentConfig::path_prefix`]); stripped again when
+    /// mapping generated URLs back to cache keys.
+    path_prefix: String,
     sign: bool,
 }
 
@@ -159,6 +163,7 @@ impl ContentSnapshot {
             cache: host.cache.view(),
             mapping: Arc::clone(agent.mapping()),
             key: agent.key().clone(),
+            path_prefix: agent.config.path_prefix.clone(),
             sign: agent.config.authenticate_responses,
         })
     }
@@ -230,6 +235,7 @@ impl SnapshotPlan {
                     &self.cache,
                     &self.mapping,
                     &self.key,
+                    &self.path_prefix,
                 )?);
                 (Arc::clone(&c), Some(c))
             }
@@ -244,7 +250,8 @@ impl SnapshotPlan {
             .iter()
             .filter_map(|u| {
                 let path = u.split('?').next().unwrap_or(u);
-                MappingTable::parse_agent_path(path)
+                let local = path.strip_prefix(self.path_prefix.as_str()).unwrap_or(path);
+                MappingTable::parse_agent_path(local)
             })
             .collect();
         let view: MappingView = self
@@ -349,10 +356,7 @@ mod tests {
     fn agent(mode: CacheMode) -> RcbAgent {
         RcbAgent::new(
             SessionKey::generate_deterministic(&mut DetRng::new(21)),
-            AgentConfig {
-                cache_mode: mode,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder().cache_mode(mode).build(),
         )
     }
 
@@ -424,10 +428,7 @@ mod tests {
         let key = SessionKey::generate_deterministic(&mut DetRng::new(22));
         let mut a = RcbAgent::new(
             key.clone(),
-            AgentConfig {
-                authenticate_responses: true,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder().authenticate_responses(true).build(),
         );
         let host = loaded_host("apple.com");
         let snap = ContentSnapshot::build(&mut a, &host, SimTime::from_secs(1), None).unwrap();

@@ -74,6 +74,11 @@ pub struct AjaxSnippet {
     /// the next interval tick. `None` (the default) keeps the paper's
     /// plain interval polling.
     pub long_poll: Option<SimDuration>,
+    /// Path prefix every poll target lives under — `""` for the classic
+    /// single-session deployment, `"/s/{sid}"` when the session sits
+    /// behind a router. Part of the signed request-URI, so the session id
+    /// is covered by the poll HMAC like every other parameter.
+    pub base_path: String,
 }
 
 impl AjaxSnippet {
@@ -90,6 +95,7 @@ impl AjaxSnippet {
             polls_sent: 0,
             require_response_auth: false,
             long_poll: None,
+            base_path: String::new(),
         }
     }
 
@@ -115,11 +121,12 @@ impl AjaxSnippet {
         // participant id.
         let target = match self.long_poll {
             Some(wait) => format!(
-                "/poll?p={}&lp={}",
+                "{}/poll?p={}&lp={}",
+                self.base_path,
                 self.participant_id,
                 wait.as_millis().max(1)
             ),
-            None => format!("/poll?p={}", self.participant_id),
+            None => format!("{}/poll?p={}", self.base_path, self.participant_id),
         };
         let mut req = Request::post(target, body);
         sign_request(&self.key, &mut req);

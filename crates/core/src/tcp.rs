@@ -66,7 +66,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_cache::MappingTable;
 use rcb_crypto::SessionKey;
-use rcb_http::client::{HttpConnection, RetryPolicy};
+use rcb_http::client::{ClientOptions, HttpConnection, RetryPolicy};
 use rcb_http::server::{
     Handler, HandlerOutcome, HttpServer, Park, ParkHub, ServerBackend, ServerConfig,
 };
@@ -187,9 +187,14 @@ pub(crate) struct SharedHost {
     stats: TcpStats,
     /// The server's park/wake rendezvous (shared with every backend
     /// engine via `ServerConfig::park_hub`): snapshot publication calls
-    /// [`ParkHub::publish`] with the new `dom_version`, completing every
-    /// long-poll parked on an older version.
+    /// [`ParkHub::publish_on`] with the new `dom_version`, completing
+    /// every long-poll parked on an older version of this session.
     park: Arc<ParkHub>,
+    /// The hub channel this session publishes and parks on. `0` is the
+    /// default single-session channel; a session router assigns each
+    /// session its own channel so one session's publishes never wake
+    /// (or leak watermarks into) another's parks.
+    channel: u64,
     /// The time source for every timestamp this host mints (snapshot
     /// doc-times, poll bookkeeping): the serving engine's clock from
     /// `ServerConfig::clock` — wall in the real deployment, the world's
@@ -209,6 +214,20 @@ impl SharedHost {
         config: AgentConfig,
         park: Arc<ParkHub>,
         clock: Clock,
+    ) -> Result<Arc<SharedHost>> {
+        Self::build_on_channel(browser, key, config, park, clock, 0)
+    }
+
+    /// [`SharedHost::build`] parked on a specific hub channel — the
+    /// session router gives each session its own channel so publishes
+    /// stay session-local (channel `0` is the single-session default).
+    pub(crate) fn build_on_channel(
+        browser: Browser,
+        key: SessionKey,
+        config: AgentConfig,
+        park: Arc<ParkHub>,
+        clock: Clock,
+        channel: u64,
     ) -> Result<Arc<SharedHost>> {
         let mut agent = RcbAgent::new(key.clone(), config.clone());
         let sign_with = config.authenticate_responses.then_some(&key);
@@ -238,6 +257,7 @@ impl SharedHost {
             key,
             stats: TcpStats::default(),
             park,
+            channel,
             clock,
         }))
     }
@@ -356,7 +376,7 @@ impl SharedHost {
         // the write lock — `publish` takes the hub's own locks and pokes
         // the engine wakers, and lock ordering keeps hub internals a leaf.
         if let Some(version) = swapped {
-            self.park.publish(version);
+            self.park.publish_on(self.channel, version);
         }
         clear_marker();
         Ok(())
@@ -367,15 +387,19 @@ impl SharedHost {
     /// leaves through [`SharedHost::finalize`], so signing and copy
     /// accounting are identical on both paths.
     fn handle(self: &Arc<Self>, req: &Request) -> HandlerOutcome {
-        match (req.method, req.path()) {
-            (rcb_http::Method::Get, "/") => {
+        // Session-local classification: the configured path prefix is
+        // stripped first ("" for the single-session deployment), so a
+        // routed `/s/{sid}/poll` classifies exactly like `/poll`.
+        let local = req.path().strip_prefix(self.config.path_prefix.as_str());
+        match (req.method, local) {
+            (rcb_http::Method::Get, Some("/")) => {
                 self.stats.connections.fetch_add(1, Ordering::Relaxed);
                 self.finalize(self.initial_page_response.clone()).into()
             }
-            (rcb_http::Method::Get, path) if path.starts_with("/cache/") => {
-                self.finalize(self.serve_object(req)).into()
+            (rcb_http::Method::Get, Some(path)) if path.starts_with("/cache/") => {
+                self.finalize(self.serve_object(req, path)).into()
             }
-            (rcb_http::Method::Post, "/poll") => self.handle_poll(req),
+            (rcb_http::Method::Post, Some("/poll")) => self.handle_poll(req),
             _ => self
                 .finalize(Response::error(Status::NOT_FOUND, "unknown request type"))
                 .into(),
@@ -402,15 +426,16 @@ impl SharedHost {
     }
 
     /// Object requests: token check, key parse, snapshot lookup — no host
-    /// lock anywhere.
-    fn serve_object(&self, req: &Request) -> Response {
-        let path = req.path().to_string();
+    /// lock anywhere. `local_path` is the request path with the session
+    /// prefix already stripped; the token is verified over the *full*
+    /// path, so a token minted in one session cannot fetch from another.
+    fn serve_object(&self, req: &Request, local_path: &str) -> Response {
         let token = req.query_param("k").unwrap_or_default();
-        if !crate::auth::verify_object_token(&self.key, &path, &token) {
+        if !crate::auth::verify_object_token(&self.key, req.path(), &token) {
             self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
             return Response::error(Status::UNAUTHORIZED, "bad object token");
         }
-        let Some(cache_key) = MappingTable::parse_agent_path(&path) else {
+        let Some(cache_key) = MappingTable::parse_agent_path(local_path) else {
             self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             return Response::error(Status::BAD_REQUEST, "malformed cache path");
         };
@@ -517,10 +542,11 @@ impl SharedHost {
             let on_wake_host = Arc::clone(self);
             let on_timeout_host = Arc::clone(self);
             return HandlerOutcome::Park(Park {
+                channel: self.channel,
                 // dom_version, not doc_time: the version is strictly
                 // monotonic under the publish guard, while doc_time is
                 // wall-clock milliseconds and can collide across rapid
-                // publishes. `ParkHub::publish` receives the same value.
+                // publishes. `ParkHub::publish_on` receives the same value.
                 wait_key: snap.dom_version,
                 max_wait,
                 on_wake: Box::new(move || {
@@ -597,6 +623,11 @@ impl SharedHost {
         self.current_snapshot().doc_time
     }
 
+    /// Byte length of the currently published Fig.-4 XML.
+    pub(crate) fn published_xml_len(&self) -> usize {
+        self.current_snapshot().xml().len()
+    }
+
     /// Number of participants the agent has seen.
     pub(crate) fn participant_count(&self) -> usize {
         self.participants.count()
@@ -615,9 +646,16 @@ impl SharedHost {
     }
 }
 
-/// A live RCB host: the agent plus a host browser behind a real TCP port.
+/// A live RCB host: the agent plus a host browser behind a real TCP
+/// port. Since the session-router redesign this is the *single-session
+/// convenience wrapper*: it builds a one-session
+/// [`crate::router::SessionRouter`], installs its browser as the default
+/// session (hub channel 0, empty path prefix — the classic wire
+/// behavior, byte for byte), and serves the router's handler. Multi-
+/// session deployments use [`crate::router::RouterHost`] directly.
 pub struct TcpHost {
     server: HttpServer,
+    router: Arc<crate::router::SessionRouter>,
     shared: Arc<SharedHost>,
     key: SessionKey,
 }
@@ -666,13 +704,31 @@ impl TcpHost {
         // and every host timestamp reads this clock.
         let park = Arc::clone(&server_config.park_hub);
         let clock = server_config.clock.clone();
-        let shared = SharedHost::build(browser, key.clone(), config, park, clock)?;
-        let server = HttpServer::bind_with(addr, shared.make_handler(), server_config)?;
+        // One-session router: the factory knows no sids, so `/s/{sid}`
+        // requests answer with the router's prefab 404 while every
+        // legacy path routes into the default session unchanged.
+        let router = crate::router::SessionRouter::new(
+            Box::new(|_| None),
+            config,
+            crate::router::RouterConfig::default(),
+            park,
+            clock,
+        );
+        let handle = router.install_default_session(browser, key.clone())?;
+        let shared = Arc::clone(handle.shared_host());
+        let server = HttpServer::bind_with(addr, router.make_handler(), server_config)?;
         Ok(TcpHost {
             server,
+            router,
             shared,
             key,
         })
+    }
+
+    /// The session-routing layer under this host (one default session;
+    /// exposed so callers can inspect [`crate::router::RouterStats`]).
+    pub fn session_router(&self) -> &Arc<crate::router::SessionRouter> {
+        &self.router
     }
 
     /// The bound address participants connect to.
@@ -737,7 +793,7 @@ impl TcpHost {
     /// Byte length of the currently published Fig.-4 XML (the content
     /// poll response body).
     pub fn published_xml_len(&self) -> usize {
-        self.shared.current_snapshot().xml().len()
+        self.shared.published_xml_len()
     }
 
     /// Runs `f` against the sequential agent stats (generation counters,
@@ -770,9 +826,10 @@ impl TcpHost {
 /// model, and snippet state.
 pub struct TcpParticipant {
     conn: HttpConnection,
-    /// Seeded backoff for `503` sheds (per participant, so a cohort shed
-    /// in the same instant fans back out instead of re-storming).
-    retry: RetryPolicy,
+    /// Client knobs for every round trip: the read timeout plus a seeded
+    /// backoff for `503` sheds (per participant, so a cohort shed in the
+    /// same instant fans back out instead of re-storming).
+    options: ClientOptions,
     /// The participant's browser model.
     pub browser: Browser,
     /// Snippet state (poll building, content application, M6 samples).
@@ -790,7 +847,8 @@ impl TcpParticipant {
     /// [`TcpParticipant::join`] with explicit client configuration: the
     /// read timeout on every blocking read comes from
     /// [`AgentConfig::client_read_timeout`] instead of the client
-    /// library's default.
+    /// library's default, and [`AgentConfig::path_prefix`] scopes the
+    /// join GET and every later poll to that session.
     pub fn join_with_config(
         addr: &str,
         key: SessionKey,
@@ -798,9 +856,11 @@ impl TcpParticipant {
         config: &AgentConfig,
     ) -> Result<TcpParticipant> {
         let read_timeout = std::time::Duration::from_micros(config.client_read_timeout.as_micros());
-        let mut conn = HttpConnection::connect_with_timeout(addr, read_timeout)?;
-        let mut retry = RetryPolicy::seeded(0x7e7_2026 ^ participant_id);
-        let resp = conn.round_trip_with_retry(&rcb_http::Request::get("/"), &mut retry)?;
+        let mut options = ClientOptions::with_read_timeout(read_timeout)
+            .retry(RetryPolicy::seeded(0x7e7_2026 ^ participant_id));
+        let mut conn = HttpConnection::connect_opts(addr, &options)?;
+        let join_target = format!("{}/", config.path_prefix);
+        let resp = conn.round_trip_opts(&rcb_http::Request::get(join_target), &mut options)?;
         if !resp.status.is_success() {
             return Err(RcbError::Protocol(format!(
                 "join failed with status {}",
@@ -809,12 +869,31 @@ impl TcpParticipant {
         }
         let mut browser = Browser::new(BrowserKind::Firefox);
         browser.doc = Some(rcb_html::parse_document(&resp.body_str()));
+        let mut snippet = AjaxSnippet::new(participant_id, key, SimDuration::from_secs(1));
+        snippet.base_path = config.path_prefix.clone();
         Ok(TcpParticipant {
             conn,
-            retry,
+            options,
             browser,
-            snippet: AjaxSnippet::new(participant_id, key, SimDuration::from_secs(1)),
+            snippet,
         })
+    }
+
+    /// Joins one session behind a [`crate::router::SessionRouter`]: the
+    /// same handshake as [`TcpParticipant::join_with_config`], scoped
+    /// under the session's `/s/{sid}` path prefix.
+    pub fn join_session(
+        addr: &str,
+        sid: &str,
+        key: SessionKey,
+        participant_id: u64,
+        config: &AgentConfig,
+    ) -> Result<TcpParticipant> {
+        let config = AgentConfig {
+            path_prefix: crate::router::session_prefix(sid),
+            ..config.clone()
+        };
+        Self::join_with_config(addr, key, participant_id, &config)
     }
 
     /// Queues an action to ride the next poll.
@@ -827,15 +906,14 @@ impl TcpParticipant {
     /// connection.
     pub fn poll(&mut self) -> Result<SnippetOutcome> {
         let req = self.snippet.build_poll();
-        let resp = self.conn.round_trip_with_retry(&req, &mut self.retry)?;
+        let resp = self.conn.round_trip_opts(&req, &mut self.options)?;
         let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
         if let SnippetOutcome::Updated { object_urls, .. } = &outcome {
             for url in object_urls {
                 if url.starts_with('/') && !self.browser.cache.contains(url) {
-                    let obj = self.conn.round_trip_with_retry(
-                        &rcb_http::Request::get(url.clone()),
-                        &mut self.retry,
-                    )?;
+                    let obj = self
+                        .conn
+                        .round_trip_opts(&rcb_http::Request::get(url.clone()), &mut self.options)?;
                     if obj.status.is_success() {
                         let ct = obj.content_type().unwrap_or_default();
                         self.browser.cache.store(url, &ct, obj.body, SimTime::ZERO);
@@ -991,11 +1069,10 @@ mod tests {
             browser,
             key.clone(),
             AgentConfig::default(),
-            ServerConfig {
-                backend: ServerBackend::Epoll,
-                workers: 2,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .backend(ServerBackend::Epoll)
+                .workers(2)
+                .build(),
         )
         .unwrap();
         assert_eq!(host.backend(), ServerBackend::Epoll);
@@ -1053,11 +1130,10 @@ mod tests {
             browser,
             key.clone(),
             AgentConfig::default(),
-            ServerConfig {
-                backend: ServerBackend::EpollSharded(SHARDS),
-                workers: 2,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .backend(ServerBackend::EpollSharded(SHARDS))
+                .workers(2)
+                .build(),
         )
         .unwrap();
         assert_eq!(host.backend(), ServerBackend::EpollSharded(SHARDS));
@@ -1195,11 +1271,7 @@ mod tests {
             browser,
             key,
             AgentConfig::default(),
-            ServerConfig {
-                backend,
-                workers: 2,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().backend(backend).workers(2).build(),
         )
         .unwrap()
     }
@@ -1305,15 +1377,14 @@ mod tests {
                 browser,
                 key,
                 AgentConfig::default(),
-                ServerConfig {
-                    backend,
-                    workers: 2,
-                    overload: OverloadConfig {
+                ServerConfig::builder()
+                    .backend(backend)
+                    .workers(2)
+                    .overload(OverloadConfig {
                         max_parked: 0,
                         ..OverloadConfig::default()
-                    },
-                    ..ServerConfig::default()
-                },
+                    })
+                    .build(),
             )
             .unwrap();
             let addr = host.addr().to_string();

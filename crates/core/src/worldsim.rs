@@ -48,6 +48,7 @@ use rcb_sim::{LinkModel, NetProfile, SimConn, World};
 use rcb_util::{DetRng, RcbError, Result, SimDuration, SimTime};
 
 use crate::agent::AgentConfig;
+use crate::router::{session_prefix, RouterConfig, RouterStats, SessionFactory, SessionRouter};
 use crate::snippet::{AjaxSnippet, SnippetOutcome};
 use crate::tcp::{SharedHost, TcpHostStats};
 
@@ -109,11 +110,10 @@ impl WorldHost {
         key: SessionKey,
         overload: OverloadConfig,
     ) -> Result<WorldHost> {
-        let config = ServerConfig {
-            clock: world.clock(),
-            overload,
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder()
+            .clock(world.clock())
+            .overload(overload)
+            .build();
         let shared = SharedHost::build(
             browser,
             key,
@@ -189,6 +189,72 @@ impl WorldHost {
     }
 }
 
+/// Many isolated sessions served over the fabric by one pump driver: a
+/// [`SessionRouter`]'s handler bound to a named world host — the
+/// deterministic twin of [`crate::router::RouterHost`]. Participants
+/// join specific sessions with [`WorldParticipant::new_in_session`];
+/// everything stays on the world's virtual clock and seeded fabric, so
+/// multi-tenant scenarios (one session storming, another quiet) replay
+/// byte-identically from a seed.
+pub struct WorldRouterHost {
+    router: std::sync::Arc<SessionRouter>,
+    driver: SimDriver,
+}
+
+impl WorldRouterHost {
+    /// Binds a router at fabric host `name`. The serving driver runs on
+    /// the world's clock; the router's park hub is the driver's hub, so
+    /// each session's parked long-polls wake on that session's channel.
+    pub fn start(
+        world: &World,
+        name: &str,
+        factory: SessionFactory,
+        agent_config: AgentConfig,
+        router_config: RouterConfig,
+    ) -> Result<WorldRouterHost> {
+        let config = ServerConfig::builder().clock(world.clock()).build();
+        let router = SessionRouter::new(
+            factory,
+            agent_config,
+            router_config,
+            std::sync::Arc::clone(&config.park_hub),
+            config.clock.clone(),
+        );
+        let driver = SimDriver::new(world.bind(name)?, router.make_handler(), &config);
+        Ok(WorldRouterHost { router, driver })
+    }
+
+    /// The session layer (create/look up sessions, eviction, stats).
+    pub fn router(&self) -> &std::sync::Arc<SessionRouter> {
+        &self.router
+    }
+
+    /// One driver sweep; returns whether anything was served.
+    pub fn pump(&mut self) -> bool {
+        self.driver.pump()
+    }
+
+    /// Soonest parked long-poll deadline across every session.
+    pub fn next_park_deadline(&self) -> Option<SimTime> {
+        self.driver.next_park_deadline()
+    }
+
+    /// Two-tier router statistics (aggregate + outlier sessions).
+    pub fn stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Engine-level counters from the pump driver.
+    pub fn server_stats(&self) -> ServerStats {
+        self.driver.server_stats()
+    }
+
+    /// Requests the driver has answered (parked polls on resolution).
+    pub fn requests_served(&self) -> u64 {
+        self.driver.requests_served()
+    }
+}
+
 /// What a participant's in-flight request is waiting for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Await {
@@ -209,6 +275,9 @@ pub struct WorldParticipant {
     name: String,
     /// Fabric host name of the agent.
     agent_host: String,
+    /// Session path prefix (`""` for the classic single-session host,
+    /// `/s/{sid}` when joined through a [`WorldRouterHost`]).
+    prefix: String,
     link: LinkModel,
     conn: Option<SimConn>,
     /// Bytes read off the conn, not yet framed into a response.
@@ -232,6 +301,12 @@ pub struct WorldParticipant {
     /// `503` shed replies absorbed (each schedules a jittered backoff
     /// retry instead of surfacing as an error).
     pub sheds: u64,
+    /// Virtual-time round-trip of every completed poll, in microseconds
+    /// (send to reply; a parked long-poll's wait counts). Deterministic,
+    /// so fairness assertions can gate percentiles of it exactly.
+    pub poll_latencies: Vec<u64>,
+    /// When the in-flight poll was sent (feeds `poll_latencies`).
+    poll_sent_at: Option<SimTime>,
     /// Seeded jitter for shed backoff (per participant, so a cohort shed
     /// together fans back out).
     retry: DetRng,
@@ -253,6 +328,7 @@ impl WorldParticipant {
         WorldParticipant {
             name: format!("p{pid}"),
             agent_host: agent_host.to_string(),
+            prefix: String::new(),
             link,
             conn: None,
             buf: Vec::new(),
@@ -268,7 +344,26 @@ impl WorldParticipant {
             sheds: 0,
             retry: DetRng::new(0x5ced_ba11 ^ pid),
             consecutive_sheds: 0,
+            poll_latencies: Vec::new(),
+            poll_sent_at: None,
         }
+    }
+
+    /// [`WorldParticipant::new`] scoped to one routed session: the join
+    /// GET and every poll/object target live under `/s/{sid}` (and are
+    /// therefore HMAC-bound to that session).
+    pub fn new_in_session(
+        pid: u64,
+        key: SessionKey,
+        agent_host: &str,
+        link: LinkModel,
+        poll_interval: SimDuration,
+        sid: &str,
+    ) -> WorldParticipant {
+        let mut p = WorldParticipant::new(pid, key, agent_host, link, poll_interval);
+        p.prefix = session_prefix(sid);
+        p.snippet.base_path = p.prefix.clone();
+        p
     }
 
     /// Queues an action to ride the next poll (sent on the next pump).
@@ -296,7 +391,8 @@ impl WorldParticipant {
                         if self.joined {
                             self.send_poll(now);
                         } else {
-                            self.send(now, &Request::get("/"), Await::Join);
+                            let target = format!("{}/", self.prefix);
+                            self.send(now, &Request::get(target), Await::Join);
                         }
                         return Ok(true);
                     }
@@ -349,7 +445,8 @@ impl WorldParticipant {
             if self.joined {
                 self.send_poll(now);
             } else {
-                self.send(now, &Request::get("/"), Await::Join);
+                let target = format!("{}/", self.prefix);
+                self.send(now, &Request::get(target), Await::Join);
             }
             progress = true;
         }
@@ -367,6 +464,7 @@ impl WorldParticipant {
             if let Await::Object(url) = was {
                 self.obj_queue.push_front(url);
             }
+            self.poll_sent_at = None;
             self.sheds += 1;
             let delay = self.shed_delay(resp.retry_after());
             self.consecutive_sheds = self.consecutive_sheds.saturating_add(1);
@@ -389,6 +487,9 @@ impl WorldParticipant {
             }
             Await::Poll => {
                 let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
+                if let Some(sent) = self.poll_sent_at.take() {
+                    self.poll_latencies.push((now - sent).as_micros());
+                }
                 self.polls_completed += 1;
                 if let SnippetOutcome::Updated { object_urls, .. } = outcome {
                     for url in object_urls {
@@ -433,6 +534,7 @@ impl WorldParticipant {
 
     fn send_poll(&mut self, now: SimTime) {
         let req = self.snippet.build_poll();
+        self.poll_sent_at = Some(now);
         self.send(now, &req, Await::Poll);
     }
 
@@ -465,6 +567,7 @@ impl WorldParticipant {
     fn on_disconnect(&mut self, now: SimTime) {
         self.conn = None;
         self.awaiting = Await::None;
+        self.poll_sent_at = None;
         self.buf.clear();
         self.obj_queue.clear();
         self.resets += 1;

@@ -36,10 +36,7 @@ fn eight_participants_poll_in_parallel_and_converge() {
         browser,
         key.clone(),
         AgentConfig::default(),
-        ServerConfig {
-            workers: 8,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().workers(8).build(),
     )
     .unwrap();
     let addr = host.addr().to_string();

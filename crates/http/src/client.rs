@@ -24,23 +24,79 @@ use crate::transport;
 /// [`HttpConnection::from_conn`]).
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Everything a client entry point can be configured with, in one
+/// struct: the read timeout and an optional shed-retry policy. This is
+/// the single configuration surface — the `_with_timeout` entry-point
+/// variants are thin wrappers kept only so existing call sites migrate
+/// gradually.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// How long a blocking read waits for response bytes before erroring.
+    pub read_timeout: Duration,
+    /// When set, `503` sheds are retried with this policy's seeded
+    /// jittered backoff ([`HttpConnection::round_trip_opts`] and
+    /// [`send_request_opts`]); `None` returns sheds to the caller as-is.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            retry: None,
+        }
+    }
+}
+
+impl ClientOptions {
+    /// The defaults with an explicit read timeout.
+    pub fn with_read_timeout(read_timeout: Duration) -> ClientOptions {
+        ClientOptions {
+            read_timeout,
+            ..ClientOptions::default()
+        }
+    }
+
+    /// Adds a shed-retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> ClientOptions {
+        self.retry = Some(policy);
+        self
+    }
+}
+
 /// Sends a single request to `addr` (`host:port`) on a fresh connection,
 /// waiting up to [`DEFAULT_READ_TIMEOUT`] for the response.
 pub fn send_request(addr: &str, req: &Request) -> Result<Response> {
-    send_request_with_timeout(addr, req, DEFAULT_READ_TIMEOUT)
+    send_request_opts(addr, req, &mut ClientOptions::default())
 }
 
-/// [`send_request`] with an explicit read timeout.
+/// [`send_request`] with explicit [`ClientOptions`] (`&mut` because a
+/// configured retry policy draws from its seeded RNG).
+pub fn send_request_opts(
+    addr: &str,
+    req: &Request,
+    options: &mut ClientOptions,
+) -> Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(options.read_timeout))?;
+    let mut conn = HttpConnection {
+        stream: stream.into(),
+    };
+    conn.round_trip_opts(req, options)
+}
+
+/// Deprecated-style wrapper over [`send_request_opts`]; new call sites
+/// should build a [`ClientOptions`].
 pub fn send_request_with_timeout(
     addr: &str,
     req: &Request,
     read_timeout: Duration,
 ) -> Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(read_timeout))?;
-    stream.write_all(&serialize_request(req))?;
-    stream.flush()?;
-    read_response(&mut stream)
+    send_request_opts(
+        addr,
+        req,
+        &mut ClientOptions::with_read_timeout(read_timeout),
+    )
 }
 
 /// Attempts to frame-and-parse one `Content-Length`-framed response from
@@ -100,32 +156,47 @@ pub struct HttpConnection {
 impl HttpConnection {
     /// Connects to `addr` over real TCP with [`DEFAULT_READ_TIMEOUT`].
     pub fn connect(addr: &str) -> Result<HttpConnection> {
-        HttpConnection::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+        HttpConnection::connect_opts(addr, &ClientOptions::default())
     }
 
-    /// [`HttpConnection::connect`] with an explicit read timeout.
-    pub fn connect_with_timeout(addr: &str, read_timeout: Duration) -> Result<HttpConnection> {
+    /// [`HttpConnection::connect`] with explicit [`ClientOptions`].
+    pub fn connect_opts(addr: &str, options: &ClientOptions) -> Result<HttpConnection> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_read_timeout(Some(options.read_timeout))?;
         Ok(HttpConnection {
             stream: stream.into(),
         })
+    }
+
+    /// Deprecated-style wrapper over [`HttpConnection::connect_opts`];
+    /// new call sites should build a [`ClientOptions`].
+    pub fn connect_with_timeout(addr: &str, read_timeout: Duration) -> Result<HttpConnection> {
+        HttpConnection::connect_opts(addr, &ClientOptions::with_read_timeout(read_timeout))
     }
 
     /// Wraps an already-established seam connection (how world-sim
     /// participants in threaded mode reuse the production client), with
     /// [`DEFAULT_READ_TIMEOUT`].
     pub fn from_conn(stream: transport::Conn) -> Result<HttpConnection> {
-        HttpConnection::from_conn_with_timeout(stream, DEFAULT_READ_TIMEOUT)
+        HttpConnection::from_conn_opts(stream, &ClientOptions::default())
     }
 
-    /// [`HttpConnection::from_conn`] with an explicit read timeout.
-    pub fn from_conn_with_timeout(
+    /// [`HttpConnection::from_conn`] with explicit [`ClientOptions`].
+    pub fn from_conn_opts(
         mut stream: transport::Conn,
+        options: &ClientOptions,
+    ) -> Result<HttpConnection> {
+        stream.set_read_timeout(Some(options.read_timeout))?;
+        Ok(HttpConnection { stream })
+    }
+
+    /// Deprecated-style wrapper over [`HttpConnection::from_conn_opts`];
+    /// new call sites should build a [`ClientOptions`].
+    pub fn from_conn_with_timeout(
+        stream: transport::Conn,
         read_timeout: Duration,
     ) -> Result<HttpConnection> {
-        stream.set_read_timeout(Some(read_timeout))?;
-        Ok(HttpConnection { stream })
+        HttpConnection::from_conn_opts(stream, &ClientOptions::with_read_timeout(read_timeout))
     }
 
     /// Sends `req` and reads the response.
@@ -133,6 +204,31 @@ impl HttpConnection {
         self.stream.write_all(&serialize_request(req))?;
         self.stream.flush()?;
         read_response(&mut self.stream)
+    }
+
+    /// [`HttpConnection::round_trip`] driven by [`ClientOptions`]: when
+    /// the options carry a retry policy, `503` sheds are waited out with
+    /// its seeded backoff; otherwise a plain round trip.
+    pub fn round_trip_opts(
+        &mut self,
+        req: &Request,
+        options: &mut ClientOptions,
+    ) -> Result<Response> {
+        match options.retry.as_mut() {
+            Some(policy) => {
+                let mut attempt = 0u32;
+                loop {
+                    let resp = self.round_trip(req)?;
+                    if resp.status != Status::SERVICE_UNAVAILABLE || attempt >= policy.max_retries {
+                        return Ok(resp);
+                    }
+                    let delay = policy.delay_for(attempt, resp.retry_after());
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+            None => self.round_trip(req),
+        }
     }
 
     /// [`HttpConnection::round_trip`], retrying `503 Service Unavailable`
@@ -164,7 +260,7 @@ impl HttpConnection {
 /// Deterministic given its seed: every delay is drawn from the policy's
 /// own [`DetRng`], so tests replay byte-identically while distinct
 /// clients (distinct seeds) still spread out after a shed storm.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// First-retry nominal delay; doubles per attempt.
     pub base: Duration,

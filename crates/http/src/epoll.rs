@@ -246,6 +246,9 @@ fn dispatch_worker(shared: Arc<ShardShared>, handler: Handler, waker: WakeHandle
 /// and the owning loop completes it from `on_wake`/`on_timeout` on a
 /// future tick.
 struct ParkedPoll {
+    /// The hub channel this park waits on (0 = the default channel; a
+    /// session router parks each session on its own channel).
+    channel: u64,
     wait_key: u64,
     /// Engine-clock deadline (`ServerConfig::clock`): real time in
     /// deployment, virtual time if the engine ever runs under simulation.
@@ -627,14 +630,20 @@ impl LoopShard {
         if self.parked_count == 0 {
             return;
         }
-        let published = self.park.published();
         let now = self.clock.now();
         for index in 0..self.slots.len() {
             let Some(conn) = self.slots[index].conn.as_mut() else {
                 continue;
             };
+            // Per-channel status: parks on the default channel read the
+            // lock-free atomic; a routed session's parks consult its own
+            // channel, so another session's publish never wakes them. A
+            // closed channel (evicted session) resolves as a timeout.
             let due = match conn.parked.as_ref() {
-                Some(p) => published > p.wait_key || now >= p.deadline,
+                Some(p) => {
+                    let (published, closed) = self.park.channel_status(p.channel);
+                    closed || published > p.wait_key || now >= p.deadline
+                }
                 None => false,
             };
             if !due {
@@ -643,7 +652,8 @@ impl LoopShard {
             let parked = conn.parked.take().expect("checked above");
             self.parked_count -= 1;
             self.park.release_park();
-            let response = if published > parked.wait_key {
+            let (published, closed) = self.park.channel_status(parked.channel);
+            let response = if !closed && published > parked.wait_key {
                 (parked.on_wake)()
             } else {
                 (parked.on_timeout)()
@@ -893,6 +903,7 @@ impl LoopShard {
                 HandlerOutcome::Park(park) => {
                     if self.park.try_admit_park(self.overload.config.max_parked) {
                         conn.parked = Some(ParkedPoll {
+                            channel: park.channel,
                             wait_key: park.wait_key,
                             deadline: now + SimDuration::from_duration(park.max_wait),
                             on_wake: park.on_wake,

@@ -102,6 +102,7 @@ impl fmt::Debug for HandlerOutcome {
             HandlerOutcome::Respond(r) => f.debug_tuple("Respond").field(&r.status).finish(),
             HandlerOutcome::Park(p) => f
                 .debug_struct("Park")
+                .field("channel", &p.channel)
                 .field("wait_key", &p.wait_key)
                 .field("max_wait", &p.max_wait)
                 .finish(),
@@ -115,6 +116,11 @@ impl fmt::Debug for HandlerOutcome {
 /// original request instead would re-run its side effects (auth checks,
 /// piggybacked action merges).
 pub struct Park {
+    /// The hub channel this park waits on. Channel 0 is the default
+    /// (single-session) channel every legacy caller uses; a session
+    /// router gives each session its own channel so one session's
+    /// publish never scans or wakes another session's parks.
+    pub channel: u64,
     /// Completes when the hub publishes any key **greater than** this —
     /// for RCB, the `dom_version` the client is already up to date with.
     pub wait_key: u64,
@@ -123,7 +129,9 @@ pub struct Park {
     pub max_wait: Duration,
     /// Produces the response when a newer key is published.
     pub on_wake: Box<dyn FnOnce() -> Response + Send>,
-    /// Produces the fallback response when `max_wait` elapses first.
+    /// Produces the fallback response when `max_wait` elapses first
+    /// (also the reply when the park's channel is closed — an evicted
+    /// session completes its parks with the timeout fallback).
     pub on_timeout: Box<dyn FnOnce() -> Response + Send>,
 }
 
@@ -145,8 +153,13 @@ pub struct Park {
 ///   pins its worker for the wait);
 /// * tests read [`ParkHub::published`] directly.
 pub struct ParkHub {
-    /// High-water mark of published keys.
+    /// High-water mark of published keys on the default channel (0).
     published: AtomicU64,
+    /// Per-channel high-water marks and close flags for channels > 0
+    /// (one per routed session). The default channel stays on the
+    /// lock-free atomic above, so single-session deployments never
+    /// touch this map.
+    channels: Mutex<std::collections::HashMap<u64, ChannelState>>,
     /// Condvar pair for blocking waiters (workers backend).
     gate: Mutex<()>,
     cond: Condvar,
@@ -160,10 +173,22 @@ pub struct ParkHub {
     parks_shed: AtomicU64,
 }
 
+/// Per-channel hub state (channels > 0 only; see [`ParkHub::channels`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct ChannelState {
+    /// High-water mark of keys published on this channel.
+    published: u64,
+    /// Set when the channel's session is evicted: every park on the
+    /// channel completes with its timeout reply, and new parks drain
+    /// the same way until the tombstone is forgotten.
+    closed: bool,
+}
+
 impl Default for ParkHub {
     fn default() -> Self {
         ParkHub {
             published: AtomicU64::new(0),
+            channels: Mutex::new(std::collections::HashMap::new()),
             gate: Mutex::new(()),
             cond: Condvar::new(),
             wakers: Mutex::new(Vec::new()),
@@ -188,6 +213,68 @@ impl ParkHub {
     /// is harmless — a spurious scan, no spurious wake.
     pub fn publish(&self, key: u64) {
         self.published.fetch_max(key, Ordering::SeqCst);
+        self.notify_engines();
+    }
+
+    /// [`ParkHub::publish`] on a specific channel: wakes only the polls
+    /// parked on `channel`. Channel 0 is exactly `publish` (the default
+    /// single-session channel, served by the lock-free atomic).
+    pub fn publish_on(&self, channel: u64, key: u64) {
+        if channel == 0 {
+            return self.publish(key);
+        }
+        {
+            let mut channels = self.lock_channels();
+            let state = channels.entry(channel).or_default();
+            state.published = state.published.max(key);
+        }
+        self.notify_engines();
+    }
+
+    /// Closes a channel: every poll parked on it — and any park that
+    /// races in before [`ParkHub::forget_channel`] — completes with its
+    /// timeout reply. How a session router evicts a session without
+    /// leaking its parked connections.
+    pub fn close_channel(&self, channel: u64) {
+        if channel == 0 {
+            return; // the default channel has no owning session to evict
+        }
+        self.lock_channels().entry(channel).or_default().closed = true;
+        self.notify_engines();
+    }
+
+    /// Drops a closed channel's tombstone. Callers must be sure no new
+    /// park can name this channel again (the router retires ids and
+    /// never reuses them); a straggler park would simply wait out its
+    /// `max_wait` and answer with the timeout reply.
+    pub fn forget_channel(&self, channel: u64) {
+        if channel != 0 {
+            self.lock_channels().remove(&channel);
+        }
+    }
+
+    /// `(published, closed)` for a channel, in one lock acquisition.
+    /// Channel 0 is the lock-free atomic and never closes.
+    pub(crate) fn channel_status(&self, channel: u64) -> (u64, bool) {
+        if channel == 0 {
+            return (self.published(), false);
+        }
+        self.lock_channels()
+            .get(&channel)
+            .map_or((0, false), |s| (s.published, s.closed))
+    }
+
+    fn lock_channels(
+        &self,
+    ) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, ChannelState>> {
+        self.channels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Wakes blocked waiters and pokes the epoll shard wakers — the
+    /// shared tail of every publish/close.
+    fn notify_engines(&self) {
         drop(
             self.gate
                 .lock()
@@ -203,9 +290,16 @@ impl ParkHub {
         }
     }
 
-    /// The current high-water mark (0 until the first publish).
+    /// The current high-water mark (0 until the first publish) on the
+    /// default channel.
     pub fn published(&self) -> u64 {
         self.published.load(Ordering::SeqCst)
+    }
+
+    /// The high-water mark on a specific channel (0 until the first
+    /// [`ParkHub::publish_on`]; channel 0 reads [`ParkHub::published`]).
+    pub fn published_on(&self, channel: u64) -> u64 {
+        self.channel_status(channel).0
     }
 
     /// Claims one parked-poll slot under `cap`. On refusal (counted as
@@ -263,10 +357,11 @@ impl ParkHub {
         self.cond.notify_all();
     }
 
-    /// Blocks until a key newer than `wait_key` is published, `deadline`
-    /// passes on `clock`, or `stopped` reports true (checked every slice,
-    /// so server shutdown is never held up by a parked poll). Returns
-    /// `true` on wake, `false` on timeout/stop.
+    /// Blocks until a key newer than `wait_key` is published on
+    /// `channel`, `deadline` passes on `clock`, the channel is closed,
+    /// or `stopped` reports true (checked every slice, so server
+    /// shutdown is never held up by a parked poll). Returns `true` on
+    /// wake, `false` on timeout/stop/close.
     ///
     /// Under a virtual clock the deadline is virtual time, so the condvar
     /// waits in fixed wall slices and relies on publishes and clock
@@ -274,13 +369,18 @@ impl ParkHub {
     /// never times a poll out, exactly like a frozen world.
     pub(crate) fn wait_until(
         &self,
+        channel: u64,
         wait_key: u64,
         deadline: SimTime,
         clock: &Clock,
         stopped: &dyn Fn() -> bool,
     ) -> bool {
         loop {
-            if self.published() > wait_key {
+            let (published, closed) = self.channel_status(channel);
+            if closed {
+                return false;
+            }
+            if published > wait_key {
                 return true;
             }
             let now = clock.now();
@@ -300,7 +400,11 @@ impl ParkHub {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             // Re-check under the lock: a publish between the check above
             // and this wait would otherwise sleep a full slice.
-            if self.published() > wait_key {
+            let (published, closed) = self.channel_status(channel);
+            if closed {
+                return false;
+            }
+            if published > wait_key {
                 return true;
             }
             let _ = self
@@ -453,13 +557,16 @@ impl OverloadCounters {
 /// `Arc`'d image, never a dispatch slot), deterministic under a fixed
 /// seed, and jittered enough that a shed herd does not reconverge on
 /// one retry instant.
-pub(crate) struct ShedResponder {
+pub struct ShedResponder {
     prefabs: Vec<Response>,
     rng: Mutex<DetRng>,
 }
 
 impl ShedResponder {
-    fn new(config: &OverloadConfig) -> ShedResponder {
+    /// Freezes the prefab pool for the given limits (public so a session
+    /// router can answer its own admission decisions — session cap,
+    /// per-session fairness — with the identical shed byte stream).
+    pub fn new(config: &OverloadConfig) -> ShedResponder {
         let base = config.retry_after_base_secs;
         let prefabs = (base..=base + config.retry_after_jitter_secs)
             .map(|secs| {
@@ -478,7 +585,7 @@ impl ShedResponder {
 
     /// The next shed response — a clone of a frozen prefab, wire bytes
     /// shared.
-    pub(crate) fn next(&self) -> Response {
+    pub fn next(&self) -> Response {
         let mut rng = self
             .rng
             .lock()
@@ -575,39 +682,52 @@ impl ServerBackend {
     /// "available cores".
     pub const SHARDS_ENV_VAR: &'static str = "RCB_SERVER_SHARDS";
 
+    /// The accepted backend grammar, quoted verbatim in every parse
+    /// error so a typo'd name or env var tells the operator exactly
+    /// what would have been valid.
+    pub const GRAMMAR: &'static str =
+        "\"workers\", \"epoll\", \"epoll-sharded\", or \"epoll-sharded:<n>\" (n >= 1)";
+
     /// Parses a backend name (`"workers"` / `"epoll"` / `"epoll-sharded"`
     /// / `"epoll-sharded:<n>"`, case-insensitive). The bare sharded form
-    /// selects the auto shard count.
-    pub fn parse(name: &str) -> Option<ServerBackend> {
-        let name = name.trim().to_ascii_lowercase();
-        match name.as_str() {
+    /// selects the auto shard count. An unknown name is an error carrying
+    /// the accepted grammar — never a silent fallback.
+    pub fn parse(name: &str) -> Result<ServerBackend> {
+        let lowered = name.trim().to_ascii_lowercase();
+        let parsed = match lowered.as_str() {
             "workers" => Some(ServerBackend::Workers),
             "epoll" => Some(ServerBackend::Epoll),
             "epoll-sharded" => Some(ServerBackend::EpollSharded(0)),
-            other => {
-                let n = other.strip_prefix("epoll-sharded:")?;
+            other => other.strip_prefix("epoll-sharded:").and_then(|n| {
                 n.parse::<usize>()
                     .ok()
                     .filter(|&n| n > 0)
                     .map(ServerBackend::EpollSharded)
-            }
-        }
+            }),
+        };
+        parsed.ok_or_else(|| {
+            rcb_util::RcbError::InvalidInput(format!(
+                "unknown server backend {name:?}; expected {}",
+                Self::GRAMMAR
+            ))
+        })
     }
 
-    /// Reads `RCB_SERVER_BACKEND`; unset or unrecognized values select
-    /// [`ServerBackend::Workers`] (unrecognized ones with a stderr note,
-    /// so a typo in a CI matrix shows up in the logs).
-    pub fn from_env() -> ServerBackend {
+    /// Reads `RCB_SERVER_BACKEND`: unset selects
+    /// [`ServerBackend::Workers`]; a set-but-unrecognized value is a
+    /// startup error naming the variable and the accepted grammar (a
+    /// typo in a CI matrix must fail the leg, not silently test the
+    /// wrong backend).
+    pub fn from_env() -> Result<ServerBackend> {
         match std::env::var(Self::ENV_VAR) {
-            Ok(value) => Self::parse(&value).unwrap_or_else(|| {
-                eprintln!(
-                    "{}={value:?} not recognized (expected \"workers\", \"epoll\", \
-                     \"epoll-sharded\", or \"epoll-sharded:<n>\"); using workers backend",
-                    Self::ENV_VAR
-                );
-                ServerBackend::Workers
+            Ok(value) => Self::parse(&value).map_err(|_| {
+                rcb_util::RcbError::InvalidInput(format!(
+                    "{}={value:?} not recognized; expected {}",
+                    Self::ENV_VAR,
+                    Self::GRAMMAR
+                ))
             }),
-            Err(_) => ServerBackend::Workers,
+            Err(_) => Ok(ServerBackend::Workers),
         }
     }
 
@@ -746,16 +866,100 @@ pub struct ServerConfig {
 }
 
 impl Default for ServerConfig {
+    /// [`ServerConfig::from_env`], panicking with the backend grammar on
+    /// a bad `RCB_SERVER_BACKEND` — the clear startup error for a typo'd
+    /// environment (a server must not silently run the wrong engine).
     fn default() -> Self {
-        ServerConfig {
-            backend: ServerBackend::from_env(),
+        ServerConfig::from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl ServerConfig {
+    /// The one documented environment read for server configuration:
+    /// backend from `RCB_SERVER_BACKEND` (workers when unset; a bad
+    /// value is an error carrying the grammar), overload limits from the
+    /// `RCB_*` variables via [`OverloadConfig::from_env`]. Everything
+    /// else takes the code defaults (8 workers, 256-connection queue,
+    /// 2 ms rotate timeout, fresh [`ParkHub`], wall clock).
+    pub fn from_env() -> Result<ServerConfig> {
+        Ok(ServerConfig {
+            backend: ServerBackend::from_env()?,
             workers: 8,
             queue_capacity: 256,
             read_timeout: Duration::from_millis(2),
             park_hub: Arc::new(ParkHub::default()),
             clock: Clock::wall(),
             overload: OverloadConfig::from_env(),
+        })
+    }
+
+    /// A builder over the env-derived defaults — the one idiom for
+    /// "defaults except ..." construction in tests and benches (replaces
+    /// scattered struct-update spelling).
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
         }
+    }
+}
+
+/// Builder for [`ServerConfig`] (see [`ServerConfig::builder`]): each
+/// setter overrides one field of the env-derived defaults; [`build`]
+/// returns the finished config.
+///
+/// [`build`]: ServerConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Selects the serving engine (overrides `RCB_SERVER_BACKEND`).
+    pub fn backend(mut self, backend: ServerBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Worker threads (workers backend) / dispatch threads (epoll).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Workers-backend connection-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Workers-backend per-connection read-rotate timeout.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Shares an existing park/wake hub (the application publishes on
+    /// it; the engine parks against it).
+    pub fn park_hub(mut self, hub: Arc<ParkHub>) -> Self {
+        self.config.park_hub = hub;
+        self
+    }
+
+    /// The engine time source (virtual under the world sim).
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Overload-protection limits (replaces the env-derived set).
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.config.overload = overload;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 
@@ -1238,6 +1442,7 @@ fn service_connection(
                                             clock.now() + SimDuration::from_duration(park.max_wait);
                                         let stopped = || queue.stopped();
                                         let woken = hub.wait_until(
+                                            park.channel,
                                             park.wait_key,
                                             deadline,
                                             clock,
@@ -1359,10 +1564,7 @@ mod tests {
         HttpServer::bind_with(
             "127.0.0.1:0",
             handler,
-            ServerConfig {
-                backend,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().backend(backend).build(),
         )
         .unwrap()
     }
@@ -1370,28 +1572,39 @@ mod tests {
     #[test]
     fn env_and_label_roundtrip() {
         assert_eq!(
-            ServerBackend::parse("workers"),
-            Some(ServerBackend::Workers)
+            ServerBackend::parse("workers").unwrap(),
+            ServerBackend::Workers
         );
-        assert_eq!(ServerBackend::parse("EPOLL"), Some(ServerBackend::Epoll));
-        assert_eq!(ServerBackend::parse(" epoll "), Some(ServerBackend::Epoll));
+        assert_eq!(ServerBackend::parse("EPOLL").unwrap(), ServerBackend::Epoll);
         assert_eq!(
-            ServerBackend::parse("epoll-sharded"),
-            Some(ServerBackend::EpollSharded(0)),
+            ServerBackend::parse(" epoll ").unwrap(),
+            ServerBackend::Epoll
+        );
+        assert_eq!(
+            ServerBackend::parse("epoll-sharded").unwrap(),
+            ServerBackend::EpollSharded(0),
             "bare sharded form is auto"
         );
         assert_eq!(
-            ServerBackend::parse("Epoll-Sharded:4"),
-            Some(ServerBackend::EpollSharded(4))
+            ServerBackend::parse("Epoll-Sharded:4").unwrap(),
+            ServerBackend::EpollSharded(4)
         );
-        assert_eq!(ServerBackend::parse("epoll-sharded:0"), None);
-        assert_eq!(ServerBackend::parse("epoll-sharded:x"), None);
-        assert_eq!(ServerBackend::parse("tokio"), None);
+        // Unknown names are hard errors carrying the accepted grammar,
+        // never a silent workers fallback.
+        for bad in ["epoll-sharded:0", "epoll-sharded:x", "tokio", ""] {
+            let err = ServerBackend::parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("epoll-sharded:<n>"),
+                "{bad:?}: error must quote the grammar, got {err}"
+            );
+        }
         for b in backends() {
             // The label drops any explicit shard count, so roundtrip on
             // the label, not the value.
             assert_eq!(
-                ServerBackend::parse(b.label()).map(ServerBackend::label),
+                ServerBackend::parse(b.label())
+                    .map(ServerBackend::label)
+                    .ok(),
                 Some(b.label())
             );
             assert_eq!(b.to_string(), b.label());
@@ -1509,12 +1722,11 @@ mod tests {
             let mut server = HttpServer::bind_with(
                 "127.0.0.1:0",
                 echo_handler(),
-                ServerConfig {
-                    backend,
-                    workers: 2,
-                    queue_capacity: 64,
-                    ..ServerConfig::default()
-                },
+                ServerConfig::builder()
+                    .backend(backend)
+                    .workers(2)
+                    .queue_capacity(64)
+                    .build(),
             )
             .unwrap();
             let addr = server.addr().to_string();
@@ -1564,13 +1776,13 @@ mod tests {
         // Already-published keys return immediately.
         hub.publish(5);
         assert!(
-            hub.wait_until(4, clock.now(), &clock, &never),
+            hub.wait_until(0, 4, clock.now(), &clock, &never),
             "5 > 4: instant"
         );
         // Waiting on the current key times out (nothing newer yet).
         let t0 = Instant::now();
         let deadline = clock.now() + SimDuration::from_millis(30);
-        assert!(!hub.wait_until(5, deadline, &clock, &never));
+        assert!(!hub.wait_until(0, 5, deadline, &clock, &never));
         assert!(t0.elapsed() >= Duration::from_millis(25));
         // The mark is monotonic: stale publishes never move it back.
         hub.publish(3);
@@ -1579,7 +1791,7 @@ mod tests {
         let stopped = || true;
         let t0 = Instant::now();
         let deadline = clock.now() + SimDuration::from_secs(10);
-        assert!(!hub.wait_until(5, deadline, &clock, &stopped));
+        assert!(!hub.wait_until(0, 5, deadline, &clock, &stopped));
         assert!(t0.elapsed() < Duration::from_secs(1));
         // A concurrent publish wakes a blocked waiter.
         let hub = Arc::new(ParkHub::default());
@@ -1591,8 +1803,63 @@ mod tests {
             })
         };
         let deadline = clock.now() + SimDuration::from_secs(5);
-        assert!(hub.wait_until(0, deadline, &clock, &never));
+        assert!(hub.wait_until(0, 0, deadline, &clock, &never));
         publisher.join().unwrap();
+    }
+
+    #[test]
+    fn park_hub_channels_are_isolated() {
+        let clock = Clock::wall();
+        let hub = ParkHub::default();
+        let never = || false;
+        // A publish on one channel is invisible to every other channel
+        // (including the default channel 0).
+        hub.publish_on(7, 3);
+        assert_eq!(hub.published_on(7), 3);
+        assert_eq!(hub.published_on(8), 0);
+        assert_eq!(hub.published(), 0);
+        assert!(hub.wait_until(7, 2, clock.now(), &clock, &never), "3 > 2");
+        let deadline = clock.now() + SimDuration::from_millis(20);
+        assert!(
+            !hub.wait_until(8, 0, deadline, &clock, &never),
+            "channel 8 saw nothing"
+        );
+        // publish_on(0, ..) is exactly publish(..).
+        hub.publish_on(0, 9);
+        assert_eq!(hub.published(), 9);
+        // Per-channel marks are monotonic too.
+        hub.publish_on(7, 1);
+        assert_eq!(hub.published_on(7), 3);
+        // Closing a channel resolves waits as timeouts — immediately,
+        // even with a far-off deadline — and a concurrent close wakes a
+        // blocked waiter.
+        hub.close_channel(7);
+        let deadline = clock.now() + SimDuration::from_secs(30);
+        let t0 = Instant::now();
+        assert!(!hub.wait_until(7, 0, deadline, &clock, &never));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        let hub = Arc::new(ParkHub::default());
+        hub.publish_on(5, 1);
+        let closer = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                hub.close_channel(5);
+            })
+        };
+        let deadline = clock.now() + SimDuration::from_secs(30);
+        assert!(!hub.wait_until(5, 1, deadline, &clock, &never));
+        closer.join().unwrap();
+        // Forgetting the tombstone resets the channel to "unpublished,
+        // open": a straggler park waits out its own deadline.
+        hub.forget_channel(5);
+        assert_eq!(hub.published_on(5), 0);
+        let deadline = clock.now() + SimDuration::from_millis(20);
+        assert!(!hub.wait_until(5, 0, deadline, &clock, &never));
+        // Channel 0 never closes.
+        hub.close_channel(0);
+        hub.publish(1);
+        assert!(hub.wait_until(0, 0, clock.now(), &clock, &never));
     }
 
     #[test]
@@ -1611,7 +1878,7 @@ mod tests {
             let clock = clock.clone();
             std::thread::spawn(move || {
                 let deadline = SimTime::from_secs(30);
-                hub.wait_until(0, deadline, &clock, &|| false)
+                hub.wait_until(0, 0, deadline, &clock, &|| false)
             })
         };
         std::thread::sleep(Duration::from_millis(30));
@@ -1626,7 +1893,7 @@ mod tests {
             let hub = Arc::clone(&hub);
             let clock = clock.clone();
             std::thread::spawn(move || {
-                hub.wait_until(7, SimTime::from_secs(3600), &clock, &|| false)
+                hub.wait_until(0, 7, SimTime::from_secs(3600), &clock, &|| false)
             })
         };
         std::thread::sleep(Duration::from_millis(10));
@@ -1640,14 +1907,12 @@ mod tests {
         // publishing key 1: the parked response must carry the bytes its
         // on_wake closure produced, on all three backends.
         for backend in backends() {
-            let config = ServerConfig {
-                backend,
-                ..ServerConfig::default()
-            };
+            let config = ServerConfig::builder().backend(backend).build();
             let hub = Arc::clone(&config.park_hub);
             let handler: Handler = Arc::new(move |req: Request| {
                 if req.path() == "/wait" {
                     HandlerOutcome::Park(Park {
+                        channel: 0,
                         wait_key: 0,
                         max_wait: Duration::from_secs(5),
                         on_wake: Box::new(|| {
@@ -1681,6 +1946,7 @@ mod tests {
         for backend in backends() {
             let handler: Handler = Arc::new(move |_req: Request| {
                 HandlerOutcome::Park(Park {
+                    channel: 0,
                     wait_key: 0,
                     max_wait: Duration::from_millis(40),
                     on_wake: Box::new(|| {
@@ -1694,10 +1960,7 @@ mod tests {
             let mut server = HttpServer::bind_with(
                 "127.0.0.1:0",
                 Arc::clone(&handler),
-                ServerConfig {
-                    backend,
-                    ..ServerConfig::default()
-                },
+                ServerConfig::builder().backend(backend).build(),
             )
             .unwrap();
             let addr = server.addr().to_string();
@@ -1798,11 +2061,7 @@ mod tests {
             let mut server = HttpServer::bind_with(
                 "127.0.0.1:0",
                 Arc::clone(&handler),
-                ServerConfig {
-                    backend,
-                    workers: 1,
-                    ..ServerConfig::default()
-                },
+                ServerConfig::builder().backend(backend).workers(1).build(),
             )
             .unwrap();
             let addr = server.addr().to_string();

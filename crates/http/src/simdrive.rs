@@ -38,6 +38,9 @@ use crate::server::{
 /// A long-poll parked on a driver connection (the pump-mode analogue of
 /// the epoll backend's `ParkedPoll`).
 struct ParkedReq {
+    /// The hub channel this park waits on (0 = the default channel; a
+    /// session router parks each session on its own channel).
+    channel: u64,
     wait_key: u64,
     deadline: SimTime,
     on_wake: Box<dyn FnOnce() -> Response + Send>,
@@ -122,7 +125,6 @@ impl SimDriver {
             hub: Arc::clone(&self.hub),
             overload: Arc::clone(&self.overload),
             now,
-            published: self.hub.published(),
             admitted: 0,
             progress,
             served: 0,
@@ -213,7 +215,6 @@ struct PumpPass {
     hub: Arc<ParkHub>,
     overload: Arc<OverloadCtx>,
     now: SimTime,
-    published: u64,
     admitted: usize,
     progress: bool,
     served: u64,
@@ -228,9 +229,10 @@ fn service(dc: &mut DriverConn, pass: &mut PumpPass) -> Fate {
     let cfg = &pass.overload.config;
     let counters = &pass.overload.counters;
     if let Some(p) = dc.parked.take() {
-        if pass.published > p.wait_key || pass.now >= p.deadline {
+        let (published, closed) = pass.hub.channel_status(p.channel);
+        if closed || published > p.wait_key || pass.now >= p.deadline {
             pass.hub.release_park();
-            let response = if pass.published > p.wait_key {
+            let response = if !closed && published > p.wait_key {
                 (p.on_wake)()
             } else {
                 (p.on_timeout)()
@@ -291,6 +293,7 @@ fn service(dc: &mut DriverConn, pass: &mut PumpPass) -> Fate {
                     HandlerOutcome::Park(park) => {
                         if pass.hub.try_admit_park(cfg.max_parked) {
                             dc.parked = Some(ParkedReq {
+                                channel: park.channel,
                                 wait_key: park.wait_key,
                                 deadline: pass.now + SimDuration::from_duration(park.max_wait),
                                 on_wake: park.on_wake,
@@ -397,10 +400,7 @@ mod tests {
     #[test]
     fn serves_requests_over_the_fabric_without_threads() {
         let world = World::new(21);
-        let config = ServerConfig {
-            clock: world.clock(),
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder().clock(world.clock()).build();
         let handler = handler_fn(|req: Request| {
             Response::with_body(Status::OK, "text/plain", req.target.into_bytes())
         });
@@ -421,14 +421,12 @@ mod tests {
     #[test]
     fn parked_poll_wakes_on_publish_and_times_out_on_virtual_deadline() {
         let world = World::new(22);
-        let config = ServerConfig {
-            clock: world.clock(),
-            ..ServerConfig::default()
-        };
+        let config = ServerConfig::builder().clock(world.clock()).build();
         let hub = Arc::clone(&config.park_hub);
         let handler_hub = Arc::clone(&hub);
         let handler: Handler = Arc::new(move |_req: Request| {
             HandlerOutcome::Park(Park {
+                channel: 0,
                 // Park on the *current* mark, like a real poll handler:
                 // only keys published after this request wake it.
                 wait_key: handler_hub.published(),

@@ -92,11 +92,10 @@ fn start(backend: ServerBackend, workers: usize, big: &Arc<[u8]>) -> Run {
     let server = HttpServer::bind_with(
         "127.0.0.1:0",
         corpus_handler(Arc::clone(&stats), Arc::clone(big)),
-        ServerConfig {
-            backend,
-            workers,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(workers)
+            .build(),
     )
     .unwrap();
     Run { server, stats }
@@ -551,6 +550,7 @@ fn park_handler(max_wait: Duration) -> Handler {
             let update = update.clone();
             let empty = empty.clone();
             return HandlerOutcome::Park(Park {
+                channel: 0,
                 wait_key: 0,
                 max_wait,
                 on_wake: Box::new(move || update),
@@ -612,12 +612,11 @@ fn parked_poll_wake_is_byte_identical_across_backends() {
         let mut server = HttpServer::bind_with(
             "127.0.0.1:0",
             park_handler(Duration::from_secs(5)),
-            ServerConfig {
-                backend,
-                workers: 2,
-                park_hub: Arc::clone(&hub),
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .backend(backend)
+                .workers(2)
+                .park_hub(Arc::clone(&hub))
+                .build(),
         )
         .unwrap();
         let addr = server.addr().to_string();
@@ -664,11 +663,7 @@ fn parked_poll_timeout_equals_the_empty_reply_on_every_backend() {
         let mut server = HttpServer::bind_with(
             "127.0.0.1:0",
             park_handler(Duration::from_millis(150)),
-            ServerConfig {
-                backend,
-                workers: 2,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().backend(backend).workers(2).build(),
         )
         .unwrap();
         let addr = server.addr().to_string();
@@ -721,12 +716,11 @@ fn start_with_overload(
     let server = HttpServer::bind_with(
         "127.0.0.1:0",
         corpus_handler(Arc::clone(&stats), Arc::clone(big)),
-        ServerConfig {
-            backend,
-            workers,
-            overload,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(workers)
+            .overload(overload)
+            .build(),
     )
     .unwrap();
     Run { server, stats }
@@ -859,15 +853,14 @@ fn park_cap_degradation_equals_the_empty_poll_prefab() {
         let mut server = HttpServer::bind_with(
             "127.0.0.1:0",
             park_handler(Duration::from_secs(5)),
-            ServerConfig {
-                backend,
-                workers: 2,
-                overload: OverloadConfig {
+            ServerConfig::builder()
+                .backend(backend)
+                .workers(2)
+                .overload(OverloadConfig {
                     max_parked: 0,
                     ..OverloadConfig::default()
-                },
-                ..ServerConfig::default()
-            },
+                })
+                .build(),
         )
         .unwrap();
         let addr = server.addr().to_string();

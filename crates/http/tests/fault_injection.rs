@@ -66,11 +66,10 @@ fn bind(backend: ServerBackend, workers: usize, handler: Handler) -> HttpServer 
     HttpServer::bind_with(
         "127.0.0.1:0",
         handler,
-        ServerConfig {
-            backend,
-            workers,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .backend(backend)
+            .workers(workers)
+            .build(),
     )
     .unwrap()
 }

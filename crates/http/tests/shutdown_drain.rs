@@ -36,6 +36,7 @@ fn echo_handler() -> Handler {
     Arc::new(|req: Request| {
         if req.target.starts_with("/hold") {
             return HandlerOutcome::Park(Park {
+                channel: 0,
                 wait_key: u64::MAX - 1,
                 max_wait: Duration::from_secs(10),
                 on_wake: Box::new(|| {
@@ -64,11 +65,7 @@ fn shutdown_with_idle_keepalive_connections_is_bounded_and_leak_free() {
             let mut server = HttpServer::bind_with(
                 "127.0.0.1:0",
                 echo_handler(),
-                ServerConfig {
-                    backend,
-                    workers: 2,
-                    ..ServerConfig::default()
-                },
+                ServerConfig::builder().backend(backend).workers(2).build(),
             )
             .unwrap();
             let addr = server.addr().to_string();

@@ -107,12 +107,12 @@ fn table1_m5_tracks_page_size_and_mode() {
         let mut best_c = SimDuration::from_secs(3600);
         for _ in 0..7 {
             let mut m = MappingTable::new();
-            let nc = generate_content(&host, CacheMode::NonCache, &mut m, &key, 1, "")
+            let nc = generate_content(&host, CacheMode::NonCache, &mut m, &key, "", 1, "")
                 .unwrap()
                 .generation_cost;
             best_nc = best_nc.min(nc);
             let mut m = MappingTable::new();
-            let c = generate_content(&host, CacheMode::Cache, &mut m, &key, 1, "")
+            let c = generate_content(&host, CacheMode::Cache, &mut m, &key, "", 1, "")
                 .unwrap()
                 .generation_cost;
             best_c = best_c.min(c);
