@@ -270,7 +270,7 @@ fn run_regen_overlap(backend: ServerBackend) -> (u64, u64, u64) {
     };
     let percentile = |samples: &mut [u64], p: f64| -> u64 {
         samples.sort_unstable();
-        samples[((samples.len() as f64 - 1.0) * p / 100.0).round() as usize]
+        rcb_util::percentile_nearest_rank(samples, p).expect("non-empty sample set")
     };
 
     for _ in 0..20 {
@@ -389,19 +389,48 @@ fn run_conn_hold(
     (conns, pool, ok, per_shard)
 }
 
+/// Outcome of one update-latency cohort run (full-XML or delta wakes).
+struct UpdateLatencyRun {
+    p99_us: u64,
+    completed_polls: u64,
+    polls_parked: u64,
+    polls_woken: u64,
+    polls_woken_delta: u64,
+    delta_fallbacks: u64,
+    /// Wire bytes (responses as serialized, poll replies plus any object
+    /// fetches) per delivered update, averaged over the whole cohort.
+    bytes_per_update: u64,
+}
+
+/// The update-latency page: a heavy, *unchanging* head (inline styles,
+/// as real co-browsed pages carry) over a small mutating body. The
+/// delta cohort's wakes should ship only the changed body section;
+/// the full-XML cohort re-ships the head on every wake — that gap is
+/// what the bytes-on-wire gate measures.
+fn update_latency_page() -> String {
+    let style = ".c{color:#abc;margin:0 1px 2px 3px;padding:4px;}".repeat(256);
+    format!(
+        "<html><head><title>update latency</title><style>{style}</style></head>\
+         <body><div id=\"ticker\">0</div></body></html>"
+    )
+}
+
 /// Update-latency phase: `participants` watchers sit in parked long-polls
 /// (`lp=3000` ms) while the host publishes `updates` page changes at a
 /// slow cadence. Measures change-to-delivery latency per update per
-/// participant and counts the polls the engine completed inside the
+/// participant, counts the polls the engine completed inside the
 /// measurement window — the long-poll economy: one completed poll per
-/// participant per update, none between. Returns
-/// `(p99_us, completed_polls, polls_parked, polls_woken)`.
+/// participant per update, none between — and sums the wire bytes each
+/// delivered update cost. With `delta`, watchers advertise `d=1` and
+/// woken parks complete with delta-encoded payloads.
 fn run_update_latency(
     backend: ServerBackend,
     participants: u64,
     updates: u64,
-) -> (u64, u64, u64, u64) {
-    let mut host = start_host(backend, 8);
+    delta: bool,
+) -> UpdateLatencyRun {
+    let page = update_latency_page();
+    let mut host = start_host_with_page(backend, 8, &page);
     let addr = host.addr().to_string();
     let key = host.key().clone();
     let epoch = Instant::now();
@@ -419,12 +448,17 @@ fn run_update_latency(
             let ready = Arc::clone(&ready);
             let delivered = Arc::clone(&delivered);
             let last_mutate_us = Arc::clone(&last_mutate_us);
-            std::thread::spawn(move || -> Vec<u64> {
+            std::thread::spawn(move || -> (Vec<u64>, u64) {
                 let mut p = TcpParticipant::join(&addr, key, pid).expect("join");
                 p.poll().expect("initial sync"); // immediate content
                 p.enable_long_poll(SimDuration::from_millis(3_000));
+                p.snippet.delta = delta;
                 ready.fetch_add(1, Ordering::Relaxed);
                 let mut lat_us = Vec::new();
+                // Wire bytes attributed to measured update deliveries
+                // only (not empty re-parks, not the unblocking wake).
+                let mut update_bytes = 0u64;
+                let mut bytes_mark = p.wire_bytes_in;
                 while !stop.load(Ordering::Relaxed) {
                     match p.poll() {
                         Ok(rcb_core::snippet::SnippetOutcome::Updated { .. }) => {
@@ -432,13 +466,15 @@ fn run_update_latency(
                             if at != 0 {
                                 lat_us.push(epoch.elapsed().as_micros() as u64 - at);
                                 delivered.fetch_add(1, Ordering::Relaxed);
+                                update_bytes += p.wire_bytes_in - bytes_mark;
                             }
                         }
                         Ok(_) => {} // park window ran dry; re-park
                         Err(_) => break,
                     }
+                    bytes_mark = p.wire_bytes_in;
                 }
-                lat_us
+                (lat_us, update_bytes)
             })
         })
         .collect();
@@ -488,18 +524,24 @@ fn run_update_latency(
     .expect("final mutate");
 
     let mut hist = Histogram::new();
+    let mut total_update_bytes = 0u64;
     for t in threads {
-        for us in t.join().expect("watcher thread") {
+        let (lat_us, update_bytes) = t.join().expect("watcher thread");
+        for us in lat_us {
             hist.record(SimDuration::from_micros(us));
         }
+        total_update_bytes += update_bytes;
     }
     host.shutdown();
-    (
-        hist.percentile(99.0).as_micros(),
-        completed,
-        stats.polls_parked,
-        stats.polls_woken,
-    )
+    UpdateLatencyRun {
+        p99_us: hist.percentile(99.0).as_micros(),
+        completed_polls: completed,
+        polls_parked: stats.polls_parked,
+        polls_woken: stats.polls_woken,
+        polls_woken_delta: stats.polls_woken_delta,
+        delta_fallbacks: stats.delta_fallbacks,
+        bytes_per_update: total_update_bytes / (participants * updates).max(1),
+    }
 }
 
 /// One overload-phase client cohort: `n` raw connections hammer signed
@@ -1092,8 +1134,13 @@ fn main() {
     // the workers backend degrades to bounded condvar waits, so its
     // numbers are reported but not gated.
     let (ul_participants, ul_updates): (u64, u64) = if smoke { (4, 8) } else { (4, 30) };
-    let (ul_p99, ul_polls, ul_parked, ul_woken) =
-        run_update_latency(backend, ul_participants, ul_updates);
+    let full = run_update_latency(backend, ul_participants, ul_updates, false);
+    let (ul_p99, ul_polls, ul_parked, ul_woken) = (
+        full.p99_us,
+        full.completed_polls,
+        full.polls_parked,
+        full.polls_woken,
+    );
     const UPDATE_LATENCY_BOUND_US: u64 = 200_000;
     let ul_armed = !matches!(backend, ServerBackend::Workers);
     let ul_per_update = ul_polls as f64 / (ul_participants * ul_updates) as f64;
@@ -1111,6 +1158,24 @@ fn main() {
         } else {
             "FAILED".to_string()
         }
+    );
+
+    // Bytes on wire per update: the same phase with a delta cohort
+    // (`d=1`) — woken parks complete with delta-encoded payloads, so a
+    // delivered update must cost strictly fewer wire bytes than the
+    // full-XML cohort's. Gated on every backend (the wake path is
+    // engine-independent); degenerate zero measurements fail red.
+    let dl = run_update_latency(backend, ul_participants, ul_updates, true);
+    let wire_ok = gates::wire_bytes_per_update_ok(dl.bytes_per_update, full.bytes_per_update);
+    println!(
+        "bytes on wire per update: delta {} B vs full {} B \
+         (woken {} of which delta {}, fallbacks {}): {}",
+        dl.bytes_per_update,
+        full.bytes_per_update,
+        dl.polls_woken,
+        dl.polls_woken_delta,
+        dl.delta_fallbacks,
+        if wire_ok { "ok" } else { "FAILED" }
     );
 
     // Overload: the admission mark must actually shed under a 16-client
@@ -1245,7 +1310,9 @@ fn main() {
          \"update_latency\":{{\"participants\":{ul_participants},\"updates\":{ul_updates},\
          \"p99_us\":{ul_p99},\"bound_us\":{UPDATE_LATENCY_BOUND_US},\
          \"completed_polls\":{ul_polls},\"polls_per_update\":{ul_per_update:.3},\
-         \"polls_parked\":{ul_parked},\"polls_woken\":{ul_woken},\"armed\":{ul_armed}}},\n\
+         \"polls_parked\":{ul_parked},\"polls_woken\":{ul_woken},\"armed\":{ul_armed},\
+         \"bytes_on_wire_per_update\":{{\"full\":{full_bpu},\"delta\":{delta_bpu},\
+         \"polls_woken_delta\":{dl_woken_delta},\"delta_fallbacks\":{dl_fallbacks}}}}},\n\
          \"overload\":{{\"pre_rate\":{ov_pre_rate:.1},\"requests_shed\":{ov_shed},\
          \"storm_p99_us\":{ov_p99},\"bound_us\":{ov_bound},\"p99_armed\":{ov_p99_armed},\
          \"post_rate\":{ov_post_rate:.1}}},\n\
@@ -1253,12 +1320,17 @@ fn main() {
          \"pass\":{{\"no_collapse\":{no_collapse},\"overlapped\":{overlapped},\
          \"scaled\":{scaled},\"zero_copy\":{zero_copy},\"regen_overlap\":{regen_ok},\
          \"memory_bounded\":{bounded},\"conn_hold\":{hold_ok},\
-         \"update_latency\":{ul_ok},\"overload_shed\":{ov_shed_ok},\
+         \"update_latency\":{ul_ok},\"wire_bytes_per_update\":{wire_ok},\
+         \"overload_shed\":{ov_shed_ok},\
          \"overload_p99\":{ov_p99_ok},\"overload_recovery\":{ov_recovered},\
          \"sessions_served\":{sess_served},\"session_fairness\":{sess_fair},\
          \"session_quiet_p99\":{sess_p99},\"storm_contained\":{sess_contained},\
          \"sessions_aggregate\":{sess_aggregate}}}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
+        full_bpu = full.bytes_per_update,
+        delta_bpu = dl.bytes_per_update,
+        dl_woken_delta = dl.polls_woken_delta,
+        dl_fallbacks = dl.delta_fallbacks,
     );
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),
@@ -1333,6 +1405,7 @@ fn main() {
         || !regen_ok
         || !hold_ok
         || !ul_ok
+        || !wire_ok
         || !ov_ok
         || !sess_ok
         || regression

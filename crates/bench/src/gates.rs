@@ -128,6 +128,18 @@ pub fn update_latency_ok(p99_us: u64, bound_us: u64) -> bool {
     p99_us <= bound_us
 }
 
+/// The delta-encoding economy contract: a woken long-poll one
+/// generation behind must deliver **strictly fewer** wire bytes per
+/// update than the full-XML wake for the same document. Degenerate
+/// measurements fail red: zero bytes on either side means the phase
+/// never actually delivered (or never measured) an update, not that
+/// deltas are infinitely good.
+pub fn wire_bytes_per_update_ok(delta_bytes_per_update: u64, full_bytes_per_update: u64) -> bool {
+    delta_bytes_per_update > 0
+        && full_bytes_per_update > 0
+        && delta_bytes_per_update < full_bytes_per_update
+}
+
 // ---------------------------------------------------------------------------
 // Overload-phase gates
 // ---------------------------------------------------------------------------
@@ -295,6 +307,19 @@ mod tests {
         assert!(update_latency_ok(0, 200_000));
         assert!(update_latency_ok(200_000, 200_000));
         assert!(!update_latency_ok(200_001, 200_000));
+    }
+
+    #[test]
+    fn wire_bytes_gate_demands_strict_savings_and_real_measurements() {
+        assert!(wire_bytes_per_update_ok(100, 5_000));
+        assert!(wire_bytes_per_update_ok(4_999, 5_000));
+        // Equal is a failure: the delta path must actually save bytes.
+        assert!(!wire_bytes_per_update_ok(5_000, 5_000));
+        assert!(!wire_bytes_per_update_ok(5_001, 5_000));
+        // Degenerate measurements are red, not vacuously green.
+        assert!(!wire_bytes_per_update_ok(0, 5_000));
+        assert!(!wire_bytes_per_update_ok(100, 0));
+        assert!(!wire_bytes_per_update_ok(0, 0));
     }
 
     #[test]

@@ -573,7 +573,14 @@ impl RcbAgent {
     /// minted for one session cannot fetch from another.
     fn serve_object(&mut self, req: &Request, local_path: &str, host: &mut Browser) -> Response {
         // Authenticate via the per-object token embedded at rewrite time.
-        let token = req.query_param("k").unwrap_or_default();
+        // Missing and empty `k=` are the same malformed request: 400,
+        // byte-identical to the concurrent path's answer.
+        let token = match req.query_param("k") {
+            Some(t) if !t.is_empty() => t,
+            _ => {
+                return Response::error(Status::BAD_REQUEST, auth::OBJECT_TOKEN_REQUIRED);
+            }
+        };
         if !auth::verify_object_token(&self.key, req.path(), &token) {
             self.stats.auth_failures.incr();
             return Response::error(Status::UNAUTHORIZED, "bad object token");

@@ -108,6 +108,12 @@ pub fn verify_object_token(key: &SessionKey, path: &str, token: &str) -> bool {
     rcb_crypto::hmac::ct_eq(object_token(key, path).as_bytes(), token.as_bytes())
 }
 
+/// The 400 body for an object request whose `k` parameter is missing *or*
+/// empty — no token material was presented, which is a malformed request,
+/// not an authentication failure. One shared constant so the sequential
+/// agent and the concurrent TCP path answer byte-identically.
+pub const OBJECT_TOKEN_REQUIRED: &str = "missing object token";
+
 #[cfg(test)]
 mod tests {
     use super::*;

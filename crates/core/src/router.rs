@@ -338,6 +338,11 @@ pub struct SessionRouter {
     /// closed channel resolves first, so the tombstone read stays
     /// race-free and the hub map does not grow with session churn.
     retired: Mutex<Vec<u64>>,
+    /// Clock reading (micros) of the last idle-eviction sweep. The
+    /// dispatch path CASes this forward on a coarse interval so exactly
+    /// one request thread pays for each sweep — no caller has to
+    /// remember to drive [`SessionRouter::evict_idle`].
+    last_sweep: AtomicU64,
 }
 
 impl SessionRouter {
@@ -352,6 +357,7 @@ impl SessionRouter {
         clock: Clock,
     ) -> Arc<SessionRouter> {
         let shed = ShedResponder::new(&rcb_http::server::OverloadConfig::from_env());
+        let started_at = clock.now().as_micros();
         Arc::new(SessionRouter {
             shards: (0..MAP_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
@@ -367,6 +373,7 @@ impl SessionRouter {
             shed,
             not_found: Response::error(Status::NOT_FOUND, "unknown session").into_prefab(),
             retired: Mutex::new(Vec::new()),
+            last_sweep: AtomicU64::new(started_at),
         })
     }
 
@@ -589,7 +596,37 @@ impl SessionRouter {
         Arc::new(move |req| router.route(req))
     }
 
+    /// Runs an idle-eviction sweep from the dispatch path when one is
+    /// due: at most once per quarter idle horizon (never more than once
+    /// per virtual second), and only on the single thread that wins the
+    /// CAS — everyone else sees a fresh `last_sweep` and skips. Keeps
+    /// eviction self-driving: a router that receives traffic sheds its
+    /// idle sessions without an external sweeper thread.
+    fn maybe_sweep(&self) {
+        // A zero horizon would evict every session on every sweep —
+        // useless as an automatic policy. Zero therefore means
+        // caller-driven eviction only (tests drive `evict_idle`
+        // directly).
+        if self.config.idle_evict.is_zero() {
+            return;
+        }
+        let interval = (self.config.idle_evict.as_micros() as u64 / 4).max(1_000_000);
+        let now = self.now_micros();
+        let last = self.last_sweep.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < interval {
+            return;
+        }
+        if self
+            .last_sweep
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.evict_idle();
+        }
+    }
+
     fn route(&self, req: Request) -> HandlerOutcome {
+        self.maybe_sweep();
         let sid = match parse_sid(req.path()) {
             SidParse::Routed(sid) => sid.to_string(),
             SidParse::Default => String::new(),
@@ -667,6 +704,8 @@ impl SessionRouter {
                 totals.body_bytes_copied += s.body_bytes_copied;
                 totals.polls_parked += s.polls_parked;
                 totals.polls_woken += s.polls_woken;
+                totals.polls_woken_delta += s.polls_woken_delta;
+                totals.delta_fallbacks += s.delta_fallbacks;
                 totals.polls_park_timeouts += s.polls_park_timeouts;
                 rows.push((
                     sid.clone(),
@@ -717,7 +756,7 @@ fn outliers(
     let mut ranked: Vec<(&str, u64)> = rows.iter().map(|r| (r.0.as_str(), gauge(r))).collect();
     ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
     let max = ranked.last().expect("non-empty");
-    let p99_idx = ((ranked.len() as f64 * 0.99).ceil() as usize).clamp(1, ranked.len()) - 1;
+    let p99_idx = rcb_util::nearest_rank_index(ranked.len(), 99.0).expect("non-empty");
     let p99 = &ranked[p99_idx];
     (
         Some(SessionOutlier {

@@ -65,8 +65,45 @@ use rcb_crypto::SessionKey;
 use rcb_http::{Body, Response, Status};
 use rcb_util::{Result, SimTime};
 
+use rcb_xml::{DeltaContent, ElementPayload, TopLevel};
+
 use crate::agent::{CacheMode, RcbAgent};
 use crate::content::{finish_generation, prepare_generation, GeneratedContent, GenerationJob};
+
+/// Number of predecessor generations the delta ring covers: a woken
+/// long-poll whose acked `dom_version` is at most this many generations
+/// behind receives a delta instead of the full Fig.-4 XML. Small on
+/// purpose — each slot freezes one prefab wire image, so the ring adds a
+/// bounded constant to per-snapshot memory, and a participant further
+/// behind than this has effectively missed the session's cadence anyway
+/// (the negotiated fallback sends it the full document).
+pub const DELTA_RING: usize = 3;
+
+pub use rcb_http::{BATCH_BOUNDARY, BATCH_CONTENT_TYPE, BATCH_MEDIA_TYPE};
+
+/// One servable delta in the ring: everything needed to answer a woken
+/// poll whose acked generation is `from_dom_version` without touching the
+/// full document.
+#[derive(Debug)]
+struct DeltaSlot {
+    /// The acked generation this delta upgrades from.
+    from_dom_version: u64,
+    /// That generation's document timestamp (the client-side guard: a
+    /// participant applies a delta only when its own `doc_time` matches).
+    from_doc_time: u64,
+    /// Whether the head component changed across the span. Conservative:
+    /// accumulated by OR while the slot is carried forward, so a
+    /// changed-then-reverted component re-ships (idempotent), never skips.
+    head_changed: bool,
+    /// Whether the top-level (body/frameset) component changed.
+    top_changed: bool,
+    /// Live cache keys of the base generation — objects the participant
+    /// already holds, excluded from the batched reply.
+    from_live_keys: Vec<CacheKey>,
+    /// Prefab wire image: plain delta XML, or a
+    /// [`BATCH_CONTENT_TYPE`] multipart when new objects are inlined.
+    response: Response,
+}
 
 /// One supplementary object frozen into a snapshot.
 #[derive(Debug, Clone)]
@@ -107,6 +144,14 @@ pub struct ContentSnapshot {
     /// Servable objects: this generation's plus the predecessor's live
     /// set (two-generation bound).
     objects: HashMap<CacheKey, SnapshotObject>,
+    /// FNV-1a hashes of the encoded head / top payloads, used to decide
+    /// which components the *next* generation's deltas must carry.
+    /// `None` when the generated XML did not parse back (no ring is built
+    /// from such a snapshot — full XML only, never a wrong no-op delta).
+    payload_hashes: Option<(u64, u64)>,
+    /// Deltas from up to [`DELTA_RING`] predecessor generations to this
+    /// one, newest base first.
+    delta_ring: Vec<DeltaSlot>,
 }
 
 /// Everything a snapshot build needs after the host mutex is released:
@@ -215,6 +260,59 @@ impl ContentSnapshot {
     pub fn live_object_count(&self) -> usize {
         self.live_keys.len()
     }
+
+    /// The ready-to-send delta reply for a participant whose acked
+    /// generation is `acked_dom_version`, when that base is still in the
+    /// ring: a prefab clone (zero bytes copied), either plain delta XML or
+    /// a [`BATCH_CONTENT_TYPE`] multipart inlining the objects the base
+    /// generation did not reference. `None` on a ring miss — the caller
+    /// falls back to [`ContentSnapshot::poll_response`].
+    pub fn delta_response_for(&self, acked_dom_version: u64) -> Option<Response> {
+        self.delta_ring
+            .iter()
+            .find(|s| s.from_dom_version == acked_dom_version)
+            .map(|s| s.response.clone())
+    }
+
+    /// Number of delta slots currently in the ring (≤ [`DELTA_RING`]).
+    pub fn delta_ring_len(&self) -> usize {
+        self.delta_ring.len()
+    }
+}
+
+/// FNV-1a over one byte slice, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Hash of the encoded head payloads, order-sensitive.
+fn head_payload_hash(children: &[ElementPayload]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for child in children {
+        h = fnv1a(h, child.encode().as_bytes());
+        h = fnv1a(h, b"\x1f");
+    }
+    h
+}
+
+/// Hash of the encoded top-level payload, variant-tagged.
+fn top_payload_hash(top: &TopLevel) -> u64 {
+    match top {
+        TopLevel::Body(b) => fnv1a(fnv1a(FNV_OFFSET, b"B"), b.encode().as_bytes()),
+        TopLevel::Frames { frameset, noframes } => {
+            let mut h = fnv1a(fnv1a(FNV_OFFSET, b"F"), frameset.encode().as_bytes());
+            if let Some(nf) = noframes {
+                h = fnv1a(fnv1a(h, b"N"), nf.encode().as_bytes());
+            }
+            h
+        }
+    }
 }
 
 impl SnapshotPlan {
@@ -245,13 +343,19 @@ impl SnapshotPlan {
         // mapped back to cache keys (`/cache/{key}?k={token}`). Non-cache
         // mode leaves absolute URLs, which parse to no key — the snapshot
         // then carries no objects, as participants fetch from origins.
+        // `minted_urls` keeps the exact agent URL (token included) each key
+        // was minted under — the URL participants cache objects by, stamped
+        // on inlined batch parts so the receiver stores them addressably.
+        let mut minted_urls: HashMap<CacheKey, &str> = HashMap::new();
         let live_keys: Vec<CacheKey> = content
             .object_urls
             .iter()
             .filter_map(|u| {
                 let path = u.split('?').next().unwrap_or(u);
                 let local = path.strip_prefix(self.path_prefix.as_str()).unwrap_or(path);
-                MappingTable::parse_agent_path(local)
+                let key = MappingTable::parse_agent_path(local)?;
+                minted_urls.insert(key, u.as_str());
+                Some(key)
             })
             .collect();
         let view: MappingView = self
@@ -303,6 +407,95 @@ impl SnapshotPlan {
             self.sign.then_some(&self.key),
         );
 
+        // Delta ring: parse this generation's payloads back (lock-free,
+        // once per generation) and freeze one prefab delta per surviving
+        // predecessor base. A failed parse disables the ring for this
+        // snapshot rather than risking a wrong no-op delta.
+        let parsed = rcb_xml::parse_new_content(&content.xml).ok().flatten();
+        let payload_hashes = parsed.as_ref().map(|nc| {
+            (
+                head_payload_hash(&nc.head_children),
+                top_payload_hash(&nc.top),
+            )
+        });
+        let mut delta_ring = Vec::new();
+        if let (Some(nc), Some((cur_head, cur_top)), Some(prev)) = (&parsed, payload_hashes, prev) {
+            if let Some((prev_head, prev_top)) = prev.payload_hashes {
+                let step_head = prev_head != cur_head;
+                let step_top = prev_top != cur_top;
+                // Candidate bases: the predecessor itself, then every base
+                // its ring still covered, with changed flags OR-accumulated
+                // across the new step. Strictly older than this generation.
+                let mut bases: Vec<(u64, u64, bool, bool, &[CacheKey])> = Vec::new();
+                if prev.dom_version < self.dom_version {
+                    bases.push((
+                        prev.dom_version,
+                        prev.doc_time,
+                        step_head,
+                        step_top,
+                        &prev.live_keys,
+                    ));
+                }
+                for slot in &prev.delta_ring {
+                    if slot.from_dom_version < self.dom_version {
+                        bases.push((
+                            slot.from_dom_version,
+                            slot.from_doc_time,
+                            slot.head_changed || step_head,
+                            slot.top_changed || step_top,
+                            &slot.from_live_keys,
+                        ));
+                    }
+                }
+                bases.sort_by_key(|b| std::cmp::Reverse(b.0));
+                bases.dedup_by_key(|b| b.0);
+                bases.truncate(DELTA_RING);
+                for (from_version, from_time, head_changed, top_changed, from_keys) in bases {
+                    let dc = DeltaContent {
+                        doc_time: self.doc_time,
+                        from_doc_time: from_time,
+                        head_children: head_changed.then(|| nc.head_children.clone()),
+                        top: top_changed.then(|| nc.top.clone()),
+                        user_actions: nc.user_actions.clone(),
+                    };
+                    let delta_xml = rcb_xml::write_delta_content(&dc);
+                    // Inline the objects this generation references that the
+                    // base generation did not: the receiver gets them in one
+                    // response instead of N `/cache/{key}` round trips.
+                    let new_keys: Vec<CacheKey> = live_keys
+                        .iter()
+                        .copied()
+                        .filter(|k| !from_keys.contains(k))
+                        .filter(|k| objects.contains_key(k) && minted_urls.contains_key(k))
+                        .collect();
+                    let response = if new_keys.is_empty() {
+                        prefab_response(
+                            Status::OK,
+                            "application/xml; charset=utf-8",
+                            Arc::from(delta_xml.as_bytes()),
+                            self.sign.then_some(&self.key),
+                        )
+                    } else {
+                        let body = assemble_batch(&delta_xml, &new_keys, &objects, &minted_urls);
+                        prefab_response(
+                            Status::OK,
+                            BATCH_CONTENT_TYPE,
+                            Arc::from(body),
+                            self.sign.then_some(&self.key),
+                        )
+                    };
+                    delta_ring.push(DeltaSlot {
+                        from_dom_version: from_version,
+                        from_doc_time: from_time,
+                        head_changed,
+                        top_changed,
+                        from_live_keys: from_keys.to_vec(),
+                        response,
+                    });
+                }
+            }
+        }
+
         Ok((
             Arc::new(ContentSnapshot {
                 dom_version: self.dom_version,
@@ -311,6 +504,8 @@ impl SnapshotPlan {
                 poll_response,
                 live_keys,
                 objects,
+                payload_hashes,
+                delta_ring,
             }),
             generated,
         ))
@@ -325,6 +520,49 @@ impl SnapshotPlan {
     pub fn mode(&self) -> CacheMode {
         self.mode
     }
+}
+
+/// Serializes one multipart batch body: part 1 is the delta XML, every
+/// further part one inlined object stamped (`X-RCB-Url`) with the exact
+/// agent URL it is cached under on the participant side. Parts are framed
+/// by per-part `Content-Length`, so binary object bytes never collide
+/// with the fixed boundary.
+fn assemble_batch(
+    delta_xml: &str,
+    new_keys: &[CacheKey],
+    objects: &HashMap<CacheKey, SnapshotObject>,
+    minted_urls: &HashMap<CacheKey, &str>,
+) -> Vec<u8> {
+    use std::io::Write as _;
+    let extra: usize = new_keys
+        .iter()
+        .filter_map(|k| objects.get(k))
+        .map(|o| o.data.len() + 160)
+        .sum();
+    let mut body = Vec::with_capacity(delta_xml.len() + extra + 160);
+    let _ = write!(
+        body,
+        "--{BATCH_BOUNDARY}\r\nContent-Type: application/xml; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+        delta_xml.len()
+    );
+    body.extend_from_slice(delta_xml.as_bytes());
+    body.extend_from_slice(b"\r\n");
+    for key in new_keys {
+        let (Some(obj), Some(url)) = (objects.get(key), minted_urls.get(key)) else {
+            continue;
+        };
+        let _ = write!(
+            body,
+            "--{BATCH_BOUNDARY}\r\nContent-Type: {}\r\nContent-Length: {}\r\nX-RCB-Url: {}\r\n\r\n",
+            obj.content_type,
+            obj.data.len(),
+            url
+        );
+        body.extend_from_slice(&obj.data);
+        body.extend_from_slice(b"\r\n");
+    }
+    let _ = write!(body, "--{BATCH_BOUNDARY}--\r\n");
+    body
 }
 
 /// Builds a frozen, ready-to-send response: shared body, optional
@@ -471,6 +709,151 @@ mod tests {
         assert!(a.content_cache_len() <= crate::agent::LIVE_GENERATIONS);
         assert!(a.timestamps_len() <= crate::agent::LIVE_GENERATIONS);
         assert!(a.stats.content_evictions.get() > 0);
+    }
+
+    fn append_div(host: &mut Browser, text: &str) {
+        host.mutate_dom(|doc| {
+            let body = doc.body().expect("page has a body");
+            let div = doc.create_element("div");
+            let t = doc.create_text(text);
+            doc.append_child(div, t).unwrap();
+            doc.append_child(body, div).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn delta_ring_covers_recent_generations_and_evicts_old_bases() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("apple.com");
+        let mut snaps = vec![ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap()];
+        assert_eq!(snaps[0].delta_ring_len(), 0, "first generation has no base");
+        for i in 1..=5u64 {
+            append_div(&mut host, &format!("update {i}"));
+            let prev = Arc::clone(snaps.last().unwrap());
+            snaps.push(
+                ContentSnapshot::build(&mut a, &host, SimTime::from_millis(i), Some(&prev))
+                    .unwrap(),
+            );
+        }
+        let last = snaps.last().unwrap();
+        assert_eq!(last.delta_ring_len(), DELTA_RING);
+        // The three newest bases are covered, older ones miss.
+        for covered in &snaps[2..5] {
+            assert!(
+                last.delta_response_for(covered.dom_version).is_some(),
+                "base v{} should be in the ring",
+                covered.dom_version
+            );
+        }
+        assert!(last.delta_response_for(snaps[0].dom_version).is_none());
+        assert!(last.delta_response_for(snaps[1].dom_version).is_none());
+        assert!(last.delta_response_for(last.dom_version).is_none());
+    }
+
+    #[test]
+    fn delta_reply_is_prefab_parses_and_is_smaller_than_full_xml() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("apple.com");
+        let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
+        append_div(&mut host, "body-only change");
+        let s2 = ContentSnapshot::build(&mut a, &host, SimTime::from_millis(5), Some(&s1)).unwrap();
+        let delta = s2.delta_response_for(s1.dom_version).expect("base in ring");
+        assert!(delta.is_prefab());
+        assert_eq!(delta.content_type().as_deref(), Some("application/xml"));
+        let dc = rcb_xml::parse_delta_content(std::str::from_utf8(delta.body.as_slice()).unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(dc.doc_time, s2.doc_time);
+        assert_eq!(dc.from_doc_time, s1.doc_time);
+        assert!(dc.head_children.is_none(), "head unchanged: slot omitted");
+        assert!(dc.top.is_some(), "body changed: slot shipped");
+        // The whole point: strictly fewer wire bytes than the full reply.
+        assert!(
+            delta.wire_len() < s2.poll_response().wire_len(),
+            "delta ({}) must undercut full XML ({})",
+            delta.wire_len(),
+            s2.poll_response().wire_len()
+        );
+    }
+
+    #[test]
+    fn delta_with_new_objects_is_a_multipart_batch() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("apple.com");
+        let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
+        // Plant an extra cached object the current DOM does not reference,
+        // then reference it: generation 2 gains a live key generation 1
+        // never minted.
+        let extra_url = "http://apple.com/extra-object.png";
+        host.cache.store(
+            extra_url,
+            "image/png",
+            b"PNG-ish bytes \x00\x01\x02".to_vec(),
+            SimTime::ZERO,
+        );
+        host.mutate_dom(|doc| {
+            let body = doc.body().expect("page has a body");
+            let img =
+                doc.create_element_with_attrs("img", vec![("src".into(), extra_url.to_string())]);
+            doc.append_child(body, img).unwrap();
+        })
+        .unwrap();
+        let s2 = ContentSnapshot::build(&mut a, &host, SimTime::from_millis(5), Some(&s1)).unwrap();
+        let delta = s2.delta_response_for(s1.dom_version).expect("base in ring");
+        assert_eq!(
+            delta.content_type().as_deref(),
+            Some("multipart/x-rcb-batch"),
+            "batch media type with boundary {BATCH_BOUNDARY} stripped"
+        );
+        let body = delta.body.as_slice();
+        let text = String::from_utf8_lossy(body);
+        assert!(text.contains("X-RCB-Url: "), "inlined part carries its URL");
+        assert!(text.contains("--rcb-batch--"), "closing boundary present");
+        // The inlined bytes are the cached object's bytes.
+        let needle: &[u8] = b"PNG-ish bytes \x00\x01\x02";
+        assert!(
+            body.windows(needle.len()).any(|w| w == needle),
+            "object bytes inlined verbatim"
+        );
+        // And still one self-contained response, smaller than full XML +
+        // a separate object round trip.
+        let full = s2.poll_response().wire_len()
+            + s2.objects
+                .values()
+                .map(|o| o.response().wire_len())
+                .sum::<usize>();
+        assert!(delta.wire_len() < full);
+    }
+
+    #[test]
+    fn unchanged_content_yields_minimal_deltas() {
+        let mut a = agent(CacheMode::Cache);
+        let mut host = loaded_host("google.com");
+        let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
+        // Version bump with byte-identical serialized content.
+        host.mutate_dom(|_| {}).unwrap();
+        let s2 = ContentSnapshot::build(&mut a, &host, SimTime::from_millis(9), Some(&s1)).unwrap();
+        let delta = s2.delta_response_for(s1.dom_version).expect("base in ring");
+        let dc = rcb_xml::parse_delta_content(std::str::from_utf8(delta.body.as_slice()).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(dc.head_children.is_none() && dc.top.is_none());
+    }
+
+    #[test]
+    fn signed_delta_replies_carry_valid_response_macs() {
+        let key = SessionKey::generate_deterministic(&mut DetRng::new(23));
+        let mut a = RcbAgent::new(
+            key.clone(),
+            AgentConfig::builder().authenticate_responses(true).build(),
+        );
+        let mut host = loaded_host("apple.com");
+        let s1 = ContentSnapshot::build(&mut a, &host, SimTime::ZERO, None).unwrap();
+        append_div(&mut host, "signed update");
+        let s2 = ContentSnapshot::build(&mut a, &host, SimTime::from_millis(3), Some(&s1)).unwrap();
+        let delta = s2.delta_response_for(s1.dom_version).expect("base in ring");
+        assert!(crate::auth::verify_response(&key, &delta));
     }
 
     #[test]

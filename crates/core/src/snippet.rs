@@ -17,13 +17,15 @@
 //!
 //! The wall-clock cost of one content update is the paper's **M6**.
 
+use std::fmt::Write as _;
+
 use rcb_browser::{Browser, BrowserKind, UserAction};
 use rcb_crypto::SessionKey;
 use rcb_html::dom::{Document, NodeId};
 use rcb_html::parser::parse_fragment_into;
-use rcb_http::{Request, Response};
-use rcb_util::{Histogram, RcbError, Result, SimDuration, Stopwatch};
-use rcb_xml::{parse_new_content, ElementPayload, TopLevel};
+use rcb_http::{parse_batch_parts, Request, Response, BATCH_MEDIA_TYPE};
+use rcb_util::{Histogram, RcbError, Result, SimDuration, SimTime, Stopwatch};
+use rcb_xml::{parse_poll_payload, DeltaContent, ElementPayload, PollPayload, TopLevel};
 
 use crate::agent::build_poll_body;
 use crate::auth::sign_request;
@@ -74,6 +76,16 @@ pub struct AjaxSnippet {
     /// the next interval tick. `None` (the default) keeps the paper's
     /// plain interval polling.
     pub long_poll: Option<SimDuration>,
+    /// When set, every poll advertises delta capability (the `d=1` query
+    /// parameter, MAC-covered like `lp=`): a woken long-poll may then be
+    /// answered with a `deltaContent` document — or a
+    /// `multipart/x-rcb-batch` reply inlining new cache objects — instead
+    /// of the full Fig.-4 XML. The agent falls back to full XML whenever
+    /// the acked generation has left its delta ring, so enabling this is
+    /// always safe. `false` (the default) keeps the legacy protocol.
+    pub delta: bool,
+    /// Delta replies applied (a subset of `updates_applied`).
+    pub deltas_applied: u64,
     /// Path prefix every poll target lives under — `""` for the classic
     /// single-session deployment, `"/s/{sid}"` when the session sits
     /// behind a router. Part of the signed request-URI, so the session id
@@ -95,6 +107,8 @@ impl AjaxSnippet {
             polls_sent: 0,
             require_response_auth: false,
             long_poll: None,
+            delta: false,
+            deltas_applied: 0,
             base_path: String::new(),
         }
     }
@@ -116,18 +130,16 @@ impl AjaxSnippet {
         self.polls_sent += 1;
         let actions = std::mem::take(&mut self.pending);
         let body = build_poll_body(self.doc_time, &actions);
-        // The `lp` parameter rides in the request-URI *before* signing,
-        // so the requested park duration is covered by the HMAC like the
-        // participant id.
-        let target = match self.long_poll {
-            Some(wait) => format!(
-                "{}/poll?p={}&lp={}",
-                self.base_path,
-                self.participant_id,
-                wait.as_millis().max(1)
-            ),
-            None => format!("{}/poll?p={}", self.base_path, self.participant_id),
-        };
+        // The `lp` and `d` parameters ride in the request-URI *before*
+        // signing, so the requested park duration and the delta
+        // capability are covered by the HMAC like the participant id.
+        let mut target = format!("{}/poll?p={}", self.base_path, self.participant_id);
+        if let Some(wait) = self.long_poll {
+            let _ = write!(target, "&lp={}", wait.as_millis().max(1));
+        }
+        if self.delta {
+            target.push_str("&d=1");
+        }
         let mut req = Request::post(target, body);
         sign_request(&self.key, &mut req);
         req
@@ -150,39 +162,117 @@ impl AjaxSnippet {
         if self.require_response_auth && !crate::auth::verify_response(&self.key, resp) {
             return Err(RcbError::Auth("response MAC missing or invalid".into()));
         }
-        let body = resp.body_str();
-        let Some(nc) = parse_new_content(&body)? else {
+        // A batch reply carries the poll payload as its first part and
+        // inlines new cache objects as further parts: unpack it, store the
+        // objects, and process the payload exactly like a plain reply.
+        let (body, inlined) = if resp.content_type().as_deref() == Some(BATCH_MEDIA_TYPE) {
+            let mut parts = parse_batch_parts(resp.body.as_slice())?;
+            let first = parts.remove(0);
+            (String::from_utf8_lossy(&first.data).into_owned(), parts)
+        } else {
+            (resp.body_str(), Vec::new())
+        };
+        let Some(payload) = parse_poll_payload(&body)? else {
             return Ok(SnippetOutcome::NoNewContent);
         };
+        // Inlined objects go into the browser cache *before* the update is
+        // applied, so the caller's object-fetch pass sees them as already
+        // present and issues no follow-up round trips for them.
+        for part in inlined {
+            if let Some(url) = &part.url {
+                browser
+                    .cache
+                    .store(url, &part.content_type, part.data, SimTime::ZERO);
+            }
+        }
+        match payload {
+            PollPayload::Full(nc) => {
+                let (doc_time, object_urls) = self.apply_update(browser, |doc, kind| {
+                    apply_new_content(doc, kind, &nc.head_children, &nc.top)?;
+                    Ok(nc.doc_time)
+                })?;
+                Ok(SnippetOutcome::Updated {
+                    doc_time,
+                    object_urls,
+                    host_actions: UserAction::decode_batch(&nc.user_actions).unwrap_or_default(),
+                })
+            }
+            PollPayload::Delta(dc) => self.apply_delta(dc, browser),
+        }
+    }
+
+    /// Applies a delta reply. The base-generation guard makes deltas safe
+    /// against any server/client disagreement: a delta whose base is not
+    /// the content this snippet currently shows is dropped as "no new
+    /// content", and the next poll's stale timestamp makes the agent
+    /// answer with the full document — clean recovery, never a mix of two
+    /// generations.
+    fn apply_delta(&mut self, dc: DeltaContent, browser: &mut Browser) -> Result<SnippetOutcome> {
+        if dc.from_doc_time != self.doc_time {
+            return Ok(SnippetOutcome::NoNewContent);
+        }
+        let (doc_time, object_urls) = self.apply_update(browser, |doc, kind| {
+            if let Some(head_children) = &dc.head_children {
+                apply_head_children(doc, kind, head_children)?;
+            }
+            if let Some(top) = &dc.top {
+                apply_top_level(doc, top)?;
+            }
+            Ok(dc.doc_time)
+        })?;
+        self.deltas_applied += 1;
+        Ok(SnippetOutcome::Updated {
+            doc_time,
+            object_urls,
+            host_actions: UserAction::decode_batch(&dc.user_actions).unwrap_or_default(),
+        })
+    }
+
+    /// Shared update bookkeeping: runs `apply` against the participant
+    /// DOM under the M6 stopwatch, advances `doc_time`, and collects the
+    /// supplementary URLs of the updated document.
+    fn apply_update(
+        &mut self,
+        browser: &mut Browser,
+        apply: impl FnOnce(&mut Document, BrowserKind) -> Result<u64>,
+    ) -> Result<(u64, Vec<String>)> {
         let sw = Stopwatch::start();
         let kind = browser.kind;
         let doc = browser
             .doc
             .as_mut()
             .ok_or_else(|| RcbError::InvalidInput("participant has no document".into()))?;
-        apply_new_content(doc, kind, &nc.head_children, &nc.top)?;
+        let doc_time = apply(doc, kind)?;
         let object_urls = {
             let d = browser.doc.as_ref().expect("document still loaded");
             rcb_html::query::collect_supplementary_urls(d, d.root())
         };
         self.m6.record(sw.elapsed());
         self.updates_applied += 1;
-        self.doc_time = nc.doc_time;
-        let host_actions = UserAction::decode_batch(&nc.user_actions).unwrap_or_default();
-        Ok(SnippetOutcome::Updated {
-            doc_time: nc.doc_time,
-            object_urls,
-            host_actions,
-        })
+        self.doc_time = doc_time;
+        Ok((doc_time, object_urls))
     }
 }
 
-/// The four-step smooth update of Fig. 5, applied to a participant DOM.
+/// The four-step smooth update of Fig. 5, applied to a participant DOM:
+/// steps 1–2 ([`apply_head_children`]) then 3–4 ([`apply_top_level`]).
 pub fn apply_new_content(
     doc: &mut Document,
     kind: BrowserKind,
     head_children: &[ElementPayload],
     top: &TopLevel,
+) -> Result<()> {
+    apply_head_children(doc, kind, head_children)?;
+    apply_top_level(doc, top)
+}
+
+/// Fig.-5 steps 1–2: clean the head (keeping Ajax-Snippet) and append
+/// the new head children per browser capability. Also the delta path's
+/// head-component apply, which is why it stands alone.
+pub fn apply_head_children(
+    doc: &mut Document,
+    kind: BrowserKind,
+    head_children: &[ElementPayload],
 ) -> Result<()> {
     let html = doc
         .document_element()
@@ -234,6 +324,16 @@ pub fn apply_new_content(
             }
         }
     }
+    Ok(())
+}
+
+/// Fig.-5 steps 3–4: remove stale top-level elements (body ↔ frameset
+/// switches) and set the new top-level content. Also the delta path's
+/// top-component apply.
+pub fn apply_top_level(doc: &mut Document, top: &TopLevel) -> Result<()> {
+    let html = doc
+        .document_element()
+        .ok_or_else(|| RcbError::InvalidInput("participant document has no <html>".into()))?;
 
     // Step 3: clean up stale top-level elements.
     let top_level: Vec<NodeId> = doc.children(html).to_vec();
@@ -371,6 +471,162 @@ mod tests {
         // Sub-millisecond waits still request a nonzero park.
         s.long_poll = Some(SimDuration::from_micros(10));
         assert!(s.build_poll().target.contains("&lp=1"));
+    }
+
+    #[test]
+    fn delta_parameter_rides_the_signed_uri() {
+        let mut s = AjaxSnippet::new(3, key(), SimDuration::from_secs(1));
+        s.delta = true;
+        let req = s.build_poll();
+        assert!(req.target.starts_with("/poll?p=3&d=1"));
+        assert!(
+            crate::auth::verify_request(&key(), &req),
+            "d must be MAC-covered"
+        );
+        // Composes with long-poll: both parameters, both covered.
+        s.long_poll = Some(SimDuration::from_millis(2500));
+        let req = s.build_poll();
+        assert!(req.target.starts_with("/poll?p=3&lp=2500&d=1"));
+        assert!(crate::auth::verify_request(&key(), &req));
+    }
+
+    #[test]
+    fn delta_reply_updates_only_the_shipped_components() {
+        use rcb_xml::write_delta_content;
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.doc = Some(initial_participant_doc());
+        let mut s = AjaxSnippet::new(1, key(), SimDuration::from_secs(1));
+        s.doc_time = 10;
+        // Top-only delta: head (snippet + title) must survive untouched.
+        let dc = DeltaContent {
+            doc_time: 11,
+            from_doc_time: 10,
+            head_children: None,
+            top: Some(TopLevel::Body(payload("body", &[], "<p>delta v11</p>"))),
+            user_actions: String::new(),
+        };
+        let resp = Response::xml(write_delta_content(&dc));
+        let out = s.process_response(&resp, &mut browser).unwrap();
+        assert!(matches!(out, SnippetOutcome::Updated { doc_time: 11, .. }));
+        assert_eq!(s.doc_time, 11);
+        assert_eq!(s.deltas_applied, 1);
+        assert_eq!(s.updates_applied, 1);
+        let doc = browser.doc.as_ref().unwrap();
+        assert_eq!(doc.text_content(doc.body().unwrap()), "delta v11");
+        let head = doc.head().unwrap();
+        assert_eq!(
+            doc.children(head).len(),
+            2,
+            "head untouched by top-only delta"
+        );
+
+        // Head-only delta: body stays.
+        let dc = DeltaContent {
+            doc_time: 12,
+            from_doc_time: 11,
+            head_children: Some(vec![payload("title", &[], "new title")]),
+            top: None,
+            user_actions: String::new(),
+        };
+        let out = s
+            .process_response(&Response::xml(write_delta_content(&dc)), &mut browser)
+            .unwrap();
+        assert!(matches!(out, SnippetOutcome::Updated { doc_time: 12, .. }));
+        let doc = browser.doc.as_ref().unwrap();
+        assert_eq!(doc.text_content(doc.body().unwrap()), "delta v11");
+        assert_eq!(s.deltas_applied, 2);
+    }
+
+    #[test]
+    fn stale_base_delta_is_dropped_not_misapplied() {
+        use rcb_xml::write_delta_content;
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.doc = Some(initial_participant_doc());
+        let mut s = AjaxSnippet::new(1, key(), SimDuration::from_secs(1));
+        s.doc_time = 10;
+        let dc = DeltaContent {
+            doc_time: 12,
+            from_doc_time: 11, // we hold 10, not 11
+            head_children: None,
+            top: Some(TopLevel::Body(payload("body", &[], "<p>wrong</p>"))),
+            user_actions: String::new(),
+        };
+        let out = s
+            .process_response(&Response::xml(write_delta_content(&dc)), &mut browser)
+            .unwrap();
+        assert_eq!(out, SnippetOutcome::NoNewContent);
+        assert_eq!(
+            s.doc_time, 10,
+            "timestamp unchanged: next poll recovers in full"
+        );
+        assert_eq!(s.deltas_applied, 0);
+        let doc = browser.doc.as_ref().unwrap();
+        assert_ne!(doc.text_content(doc.body().unwrap()), "wrong");
+    }
+
+    #[test]
+    fn batch_reply_caches_inlined_objects_and_applies_the_delta() {
+        use rcb_http::BATCH_CONTENT_TYPE;
+        use rcb_xml::write_delta_content;
+        let mut browser = Browser::new(BrowserKind::Firefox);
+        browser.doc = Some(initial_participant_doc());
+        let mut s = AjaxSnippet::new(1, key(), SimDuration::from_secs(1));
+        s.doc_time = 5;
+        let dc = DeltaContent {
+            doc_time: 6,
+            from_doc_time: 5,
+            head_children: None,
+            top: Some(TopLevel::Body(payload(
+                "body",
+                &[],
+                "<img src=\"/cache/3?k=tok\">",
+            ))),
+            user_actions: String::new(),
+        };
+        let xml = write_delta_content(&dc);
+        let obj: &[u8] = b"\x89PNG binary \x00 bytes";
+        let mut body = Vec::new();
+        body.extend_from_slice(
+            format!(
+                "--rcb-batch\r\nContent-Type: application/xml; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+                xml.len()
+            )
+            .as_bytes(),
+        );
+        body.extend_from_slice(xml.as_bytes());
+        body.extend_from_slice(b"\r\n");
+        body.extend_from_slice(
+            format!(
+                "--rcb-batch\r\nContent-Type: image/png\r\nContent-Length: {}\r\nX-RCB-Url: /cache/3?k=tok\r\n\r\n",
+                obj.len()
+            )
+            .as_bytes(),
+        );
+        body.extend_from_slice(obj);
+        body.extend_from_slice(b"\r\n--rcb-batch--\r\n");
+        let resp = Response::with_body(
+            rcb_http::Status::OK,
+            BATCH_CONTENT_TYPE,
+            rcb_http::Body::Owned(body),
+        );
+        let out = s.process_response(&resp, &mut browser).unwrap();
+        match out {
+            SnippetOutcome::Updated {
+                doc_time,
+                object_urls,
+                ..
+            } => {
+                assert_eq!(doc_time, 6);
+                assert_eq!(object_urls, vec!["/cache/3?k=tok".to_string()]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // The inlined object is already cached: no follow-up fetch needed.
+        assert!(browser.cache.contains("/cache/3?k=tok"));
+        let entry = browser.cache.lookup("/cache/3?k=tok").unwrap();
+        assert_eq!(entry.data.as_ref(), obj);
+        assert_eq!(entry.content_type, "image/png");
+        assert_eq!(s.deltas_applied, 1);
     }
 
     #[test]

@@ -94,6 +94,8 @@ struct TcpStats {
     polls_parked: AtomicU64,
     polls_woken: AtomicU64,
     polls_park_timeouts: AtomicU64,
+    polls_woken_delta: AtomicU64,
+    delta_fallbacks: AtomicU64,
 }
 
 /// A point-in-time copy of the host's concurrent-path counters.
@@ -130,6 +132,15 @@ pub struct TcpHostStats {
     /// Parked polls that hit their park deadline and fell back to the
     /// empty reply (each also counts in `polls_empty`).
     pub polls_park_timeouts: u64,
+    /// Woken polls answered with a delta (or batched-delta) prefab
+    /// instead of the full Fig.-4 XML — requires the request to have
+    /// advertised `d=1` and the acked generation to still be in the
+    /// snapshot's delta ring (each also counts in `polls_woken`).
+    pub polls_woken_delta: u64,
+    /// Woken delta-capable polls that fell back to the full XML because
+    /// the acked generation had left the ring — the missed-generation
+    /// path of the negotiation (each also counts in `polls_woken`).
+    pub delta_fallbacks: u64,
     /// Long-polls the serving engine degraded to the immediate empty
     /// reply because the park cap was reached (each also counts in
     /// `polls_parked` — the agent offered the park; the engine declined
@@ -430,7 +441,16 @@ impl SharedHost {
     /// prefix already stripped; the token is verified over the *full*
     /// path, so a token minted in one session cannot fetch from another.
     fn serve_object(&self, req: &Request, local_path: &str) -> Response {
-        let token = req.query_param("k").unwrap_or_default();
+        // A missing `k` and an empty `k=` are the same defect — no token
+        // material to verify — and must answer identically on every
+        // backend: 400, before any MAC work.
+        let token = match req.query_param("k") {
+            Some(t) if !t.is_empty() => t,
+            _ => {
+                self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Response::error(Status::BAD_REQUEST, crate::auth::OBJECT_TOKEN_REQUIRED);
+            }
+        };
         if !crate::auth::verify_object_token(&self.key, req.path(), &token) {
             self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
             return Response::error(Status::UNAUTHORIZED, "bad object token");
@@ -538,6 +558,12 @@ impl SharedHost {
             let max_wait = std::time::Duration::from_millis(ms).min(
                 std::time::Duration::from_micros(self.config.park_timeout.as_micros()),
             );
+            // Delta capability is negotiated per request (`d=1`,
+            // MAC-covered like `lp=`). Captured here with the acked
+            // generation: the wake closure decides between the delta
+            // prefab and the full-XML fallback.
+            let delta_ok = req.query_param("d").is_some_and(|v| v == "1");
+            let parked_version = snap.dom_version;
             self.stats.polls_parked.fetch_add(1, Ordering::Relaxed);
             let on_wake_host = Arc::clone(self);
             let on_timeout_host = Arc::clone(self);
@@ -547,7 +573,7 @@ impl SharedHost {
                 // monotonic under the publish guard, while doc_time is
                 // wall-clock milliseconds and can collide across rapid
                 // publishes. `ParkHub::publish_on` receives the same value.
-                wait_key: snap.dom_version,
+                wait_key: parked_version,
                 max_wait,
                 on_wake: Box::new(move || {
                     // Re-read at wake time: the response must be the
@@ -564,7 +590,31 @@ impl SharedHost {
                     on_wake_host
                         .participants
                         .advance_doc_time(pid, snap.doc_time);
-                    on_wake_host.finalize(snap.poll_response())
+                    // Prefab selection: the delta for the generation this
+                    // poll acked when it parked, when the client can apply
+                    // it and the ring still covers that base; the full XML
+                    // otherwise (ring miss = negotiated fallback).
+                    let response = if delta_ok {
+                        match snap.delta_response_for(parked_version) {
+                            Some(delta) => {
+                                on_wake_host
+                                    .stats
+                                    .polls_woken_delta
+                                    .fetch_add(1, Ordering::Relaxed);
+                                delta
+                            }
+                            None => {
+                                on_wake_host
+                                    .stats
+                                    .delta_fallbacks
+                                    .fetch_add(1, Ordering::Relaxed);
+                                snap.poll_response()
+                            }
+                        }
+                    } else {
+                        snap.poll_response()
+                    };
+                    on_wake_host.finalize(response)
                 }),
                 on_timeout: Box::new(move || {
                     on_timeout_host
@@ -596,6 +646,8 @@ impl SharedHost {
             polls_parked: self.stats.polls_parked.load(Ordering::Relaxed),
             polls_woken: self.stats.polls_woken.load(Ordering::Relaxed),
             polls_park_timeouts: self.stats.polls_park_timeouts.load(Ordering::Relaxed),
+            polls_woken_delta: self.stats.polls_woken_delta.load(Ordering::Relaxed),
+            delta_fallbacks: self.stats.delta_fallbacks.load(Ordering::Relaxed),
             polls_shed_at_park_cap: self.park.parks_shed(),
         }
     }
@@ -834,6 +886,11 @@ pub struct TcpParticipant {
     pub browser: Browser,
     /// Snippet state (poll building, content application, M6 samples).
     pub snippet: AjaxSnippet,
+    /// Response bytes received over this connection since the join, as
+    /// serialized on the wire (status line + headers + body) — poll
+    /// replies and object fetches alike. The bytes-on-wire-per-update
+    /// bench measurement reads this.
+    pub wire_bytes_in: u64,
 }
 
 impl TcpParticipant {
@@ -876,6 +933,7 @@ impl TcpParticipant {
             options,
             browser,
             snippet,
+            wire_bytes_in: 0,
         })
     }
 
@@ -907,6 +965,7 @@ impl TcpParticipant {
     pub fn poll(&mut self) -> Result<SnippetOutcome> {
         let req = self.snippet.build_poll();
         let resp = self.conn.round_trip_opts(&req, &mut self.options)?;
+        self.wire_bytes_in += resp.wire_len() as u64;
         let outcome = self.snippet.process_response(&resp, &mut self.browser)?;
         if let SnippetOutcome::Updated { object_urls, .. } = &outcome {
             for url in object_urls {
@@ -914,6 +973,7 @@ impl TcpParticipant {
                     let obj = self
                         .conn
                         .round_trip_opts(&rcb_http::Request::get(url.clone()), &mut self.options)?;
+                    self.wire_bytes_in += obj.wire_len() as u64;
                     if obj.status.is_success() {
                         let ct = obj.content_type().unwrap_or_default();
                         self.browser.cache.store(url, &ct, obj.body, SimTime::ZERO);
@@ -1332,6 +1392,172 @@ mod tests {
             // The woken reply is the prefab snapshot wire image.
             assert_eq!(stats.body_bytes_copied, 0, "{backend:?}");
             host.shutdown();
+        }
+    }
+
+    #[test]
+    fn parked_delta_wake_completes_with_the_delta_prefab() {
+        for backend in park_backends() {
+            let mut host = start_host_on(backend);
+            let addr = host.addr().to_string();
+            let shared = host.clone_shared_for_test();
+            let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+            alice.poll().unwrap(); // initial sync; now up to date
+            alice.enable_long_poll(SimDuration::from_secs(5));
+            alice.snippet.delta = true;
+            let parked_version = shared.current_snapshot().dom_version;
+            let handle = {
+                let host = host.clone_shared_for_test();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(120));
+                    host.mutate_page(|doc| {
+                        let body = doc.body().unwrap();
+                        let div = doc.create_element("div");
+                        let t = doc.create_text("delta wake");
+                        doc.append_child(div, t).unwrap();
+                        doc.append_child(body, div).unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            let outcome = alice.poll().unwrap();
+            handle.join().unwrap();
+            assert!(
+                matches!(outcome, SnippetOutcome::Updated { .. }),
+                "{backend:?}: woken delta poll must complete with content"
+            );
+            let doc = alice.browser.doc.as_ref().unwrap();
+            assert!(doc.text_content(doc.root()).contains("delta wake"));
+            assert_eq!(
+                alice.snippet.deltas_applied, 1,
+                "{backend:?}: the wake reply must be the delta, not full XML"
+            );
+            let stats = host.stats();
+            assert_eq!(stats.polls_parked, 1, "{backend:?}");
+            assert_eq!(stats.polls_woken, 1, "{backend:?}");
+            assert_eq!(stats.polls_woken_delta, 1, "{backend:?}");
+            assert_eq!(stats.delta_fallbacks, 0, "{backend:?}");
+            // Delta is a prefab wire image like every other reply.
+            assert_eq!(stats.body_bytes_copied, 0, "{backend:?}");
+            // The reason the protocol exists: fewer bytes on the wire than
+            // the full-XML wake for the same generation.
+            let snap = shared.current_snapshot();
+            let delta = snap.delta_response_for(parked_version).unwrap();
+            assert!(
+                delta.wire_len() < snap.poll_response().wire_len(),
+                "{backend:?}: delta ({}) must be smaller than full ({})",
+                delta.wire_len(),
+                snap.poll_response().wire_len()
+            );
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn parked_delta_wake_inlines_new_objects_in_one_batch() {
+        for backend in park_backends() {
+            let key = SessionKey::generate_deterministic(&mut DetRng::new(77));
+            let mut browser = Browser::new(BrowserKind::Firefox);
+            browser.url = Some(rcb_url::Url::parse("http://demo.local/").unwrap());
+            browser.doc = Some(rcb_html::parse_document(PAGE));
+            // The object the mutation will reference, already in the host
+            // cache so the snapshot can mint an agent URL for it.
+            browser.cache.store(
+                "http://demo.local/pic.png",
+                "image/png",
+                b"PNG-BYTES".to_vec(),
+                rcb_util::SimTime::ZERO,
+            );
+            browser.mutate_dom(|_| {}).unwrap();
+            let mut host = TcpHost::start_from_browser(
+                "127.0.0.1:0",
+                browser,
+                key,
+                AgentConfig::default(),
+                ServerConfig::builder().backend(backend).workers(2).build(),
+            )
+            .unwrap();
+            let addr = host.addr().to_string();
+            let mut alice = TcpParticipant::join(&addr, host.key().clone(), 1).unwrap();
+            alice.poll().unwrap(); // initial sync; no objects yet
+            alice.enable_long_poll(SimDuration::from_secs(5));
+            alice.snippet.delta = true;
+            let handle = {
+                let host = host.clone_shared_for_test();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(120));
+                    host.mutate_page(|doc| {
+                        let body = doc.body().unwrap();
+                        let img = doc.create_element_with_attrs(
+                            "img",
+                            vec![("src".to_string(), "http://demo.local/pic.png".to_string())],
+                        );
+                        doc.append_child(body, img).unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            let outcome = alice.poll().unwrap();
+            handle.join().unwrap();
+            let SnippetOutcome::Updated { object_urls, .. } = outcome else {
+                panic!("{backend:?}: woken batch poll must complete with content");
+            };
+            assert_eq!(
+                object_urls.len(),
+                1,
+                "{backend:?}: the delta references the newly minted object"
+            );
+            assert!(object_urls[0].starts_with("/cache/"));
+            // The object arrived inline in the multipart wake reply: it is
+            // already cached under its minted URL, and no follow-up
+            // `/cache/{key}` round trip ever hit the server.
+            assert!(alice.browser.cache.contains(&object_urls[0]), "{backend:?}");
+            let entry = alice.browser.cache.lookup(&object_urls[0]).unwrap();
+            assert_eq!(entry.data.as_ref(), b"PNG-BYTES", "{backend:?}");
+            assert_eq!(entry.content_type, "image/png", "{backend:?}");
+            let stats = host.stats();
+            assert_eq!(
+                stats.object_requests, 0,
+                "{backend:?}: batched reply must eliminate object round trips"
+            );
+            assert_eq!(stats.polls_woken_delta, 1, "{backend:?}");
+            assert_eq!(stats.delta_fallbacks, 0, "{backend:?}");
+            assert_eq!(alice.snippet.deltas_applied, 1, "{backend:?}");
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn object_request_without_token_material_is_400_everywhere() {
+        // Missing `k=` and empty `k=` are the same malformed request; the
+        // reply must be byte-identical across both spellings and all
+        // backends (satellite regression: empty used to fall through to
+        // token verification).
+        let mut replies: Vec<(Status, String, Vec<u8>)> = Vec::new();
+        for backend in park_backends() {
+            let mut host = start_host_on(backend);
+            let addr = host.addr().to_string();
+            let mut opts = ClientOptions::with_read_timeout(std::time::Duration::from_secs(2));
+            let mut conn = HttpConnection::connect_opts(&addr, &opts).unwrap();
+            for target in ["/cache/0", "/cache/0?k="] {
+                let resp = conn
+                    .round_trip_opts(&rcb_http::Request::get(target), &mut opts)
+                    .unwrap();
+                assert_eq!(
+                    resp.status,
+                    Status::BAD_REQUEST,
+                    "{backend:?} {target}: no token material is malformed, not 401/404"
+                );
+                assert_eq!(resp.body_str(), crate::auth::OBJECT_TOKEN_REQUIRED);
+                replies.push((resp.status, target.to_string(), resp.body.to_vec()));
+            }
+            assert_eq!(host.stats().bad_requests, 2, "{backend:?}");
+            host.shutdown();
+        }
+        // Same bytes regardless of spelling or backend.
+        let first = &replies[0];
+        for r in &replies[1..] {
+            assert_eq!((r.0, &r.2), (first.0, &first.2));
         }
     }
 

@@ -591,6 +591,13 @@ pub enum ScriptEvent {
         /// Requested park duration (capped by the agent).
         wait: SimDuration,
     },
+    /// The participant starts advertising delta capability (`d=1` on
+    /// every later poll): a woken park may answer with a
+    /// `deltaContent` (or batch) reply instead of the full XML.
+    EnableDelta {
+        /// Participant id.
+        pid: u64,
+    },
     /// The participant performs a user action (rides its next poll).
     Act {
         /// Participant id.
@@ -625,6 +632,8 @@ pub struct ParticipantReport {
     pub polls_completed: u64,
     /// Content updates applied.
     pub updates_applied: u64,
+    /// Of those, updates that arrived as delta-encoded wake payloads.
+    pub deltas_applied: u64,
     /// Objects fetched.
     pub objects_fetched: u64,
     /// Connections lost and retried.
@@ -858,6 +867,7 @@ impl WorldScenario {
                             doc_time: p.snippet.doc_time,
                             polls_completed: p.polls_completed,
                             updates_applied: p.snippet.updates_applied,
+                            deltas_applied: p.snippet.deltas_applied,
                             objects_fetched: p.objects_fetched,
                             resets: p.resets,
                             sheds: p.sheds,
@@ -895,6 +905,11 @@ fn apply_event(
         ScriptEvent::EnableLongPoll { pid, wait } => {
             if let Some(p) = participants.get_mut(&pid) {
                 p.snippet.long_poll = Some(wait);
+            }
+        }
+        ScriptEvent::EnableDelta { pid } => {
+            if let Some(p) = participants.get_mut(&pid) {
+                p.snippet.delta = true;
             }
         }
         ScriptEvent::Act { pid, action } => {

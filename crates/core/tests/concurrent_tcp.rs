@@ -138,8 +138,7 @@ fn eight_participants_poll_in_parallel_and_converge() {
 /// Percentile over a sample of microsecond latencies.
 fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
     samples.sort_unstable();
-    let idx = ((samples.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    samples[idx]
+    rcb_util::percentile_nearest_rank(samples, p).expect("non-empty sample set")
 }
 
 /// A slow snapshot regeneration must not block concurrent polls: with

@@ -238,6 +238,77 @@ fn storm_session_does_not_starve_quiet_session() {
     assert_eq!(report.max_parked_sid.as_deref(), Some("quiet"));
 }
 
+/// The router sheds idle sessions from its own dispatch path: no test or
+/// operator ever calls `evict_idle` here — session `idle` goes quiet,
+/// session `busy` keeps polling, and the busy traffic alone crosses the
+/// sweep interval and evicts the idle tenant (virtual clock, so the
+/// idle horizon is exact).
+#[test]
+fn idle_sessions_are_swept_from_the_dispatch_path() {
+    let world = World::new(11);
+    let sids: HashSet<String> = ["idle", "busy"].iter().map(|s| s.to_string()).collect();
+    let factory = fixed_page_factory(
+        PAGE_URL.to_string(),
+        PAGE_HTML.to_string(),
+        sids,
+        "world-sessions-secret".to_string(),
+    );
+    let mut host = WorldRouterHost::start(
+        &world,
+        "host",
+        factory,
+        AgentConfig::default(),
+        RouterConfig {
+            idle_evict: std::time::Duration::from_secs(2),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    host.router().create_session("idle").unwrap();
+    let busy = host.router().create_session("busy").unwrap();
+    assert_eq!(host.router().session_count(), 2);
+
+    let profile = NetProfile::wan();
+    let mut poller = WorldParticipant::new_in_session(
+        1,
+        busy.key().clone(),
+        "host",
+        profile.participant_link(),
+        SimDuration::from_millis(500),
+        "busy",
+    );
+    let horizon = SimTime::ZERO + SimDuration::from_millis(6_000);
+    loop {
+        loop {
+            let mut progress = false;
+            while host.pump() {
+                progress = true;
+            }
+            progress |= poller.pump(&world).unwrap();
+            if !progress {
+                break;
+            }
+        }
+        let next = world.now() + SimDuration::from_millis(TICK_MS);
+        if next > horizon {
+            break;
+        }
+        world.advance_to(next);
+    }
+
+    assert!(
+        host.router().session("idle").is_none(),
+        "idle session must be swept without an explicit evict_idle call"
+    );
+    assert!(
+        host.router().session("busy").is_some(),
+        "active session must survive the sweep"
+    );
+    let stats = host.stats();
+    assert_eq!(stats.sessions_evicted, 1);
+    assert!(poller.polls_completed > 0, "busy traffic actually flowed");
+}
+
 #[test]
 fn same_seed_replays_byte_identical() {
     let a = run_once(7);

@@ -263,6 +263,113 @@ fn long_polls_park_wake_and_time_out_on_virtual_time() {
     }
 }
 
+/// Mixed cohort over one session: p1 negotiates delta (before its very
+/// first poll — that initial sync must still be full XML), p2 is a
+/// legacy long-poller, p3 a plain interval poller. One host append
+/// wakes both parks: p1's completes with the delta prefab, p2's with
+/// the full XML, and everyone converges to the same document.
+#[test]
+fn delta_wakes_ship_deltas_while_legacy_cohort_stays_on_full_xml() {
+    let mut sc = WorldScenario::new(909, PAGE_URL, PAGE_HTML);
+    sc.horizon = secs(8);
+    sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+    sc.at(SimDuration::ZERO, ScriptEvent::EnableDelta { pid: 1 });
+    sc.at(
+        SimDuration::ZERO,
+        ScriptEvent::EnableLongPoll {
+            pid: 1,
+            wait: secs(2),
+        },
+    );
+    sc.at(millis(100), ScriptEvent::Join { pid: 2 });
+    sc.at(
+        millis(100),
+        ScriptEvent::EnableLongPoll {
+            pid: 2,
+            wait: secs(2),
+        },
+    );
+    sc.at(millis(200), ScriptEvent::Join { pid: 3 });
+    sc.at(
+        secs(4),
+        ScriptEvent::HostAppend {
+            text: "delta cargo".into(),
+        },
+    );
+    let report = sc.run().unwrap();
+
+    let p1 = &report.participants[&1];
+    let p2 = &report.participants[&2];
+    let p3 = &report.participants[&3];
+    assert!(
+        p1.updates_applied >= 2,
+        "p1: initial full sync plus the woken delta"
+    );
+    assert_eq!(
+        p1.deltas_applied, 1,
+        "exactly the one wake arrived delta-encoded — never the first poll"
+    );
+    assert_eq!(p2.deltas_applied, 0, "legacy poller never sees a delta");
+    assert_eq!(p3.deltas_applied, 0);
+    assert_eq!(report.stats.polls_woken_delta, 1);
+    assert_eq!(report.stats.delta_fallbacks, 0, "the base was in the ring");
+    assert!(
+        report.stats.polls_woken >= 2,
+        "both parks woke on the append"
+    );
+    for (pid, p) in &report.participants {
+        assert_eq!(p.doc_time, report.host_doc_time, "p{pid} converged");
+    }
+    assert_eq!(report, sc.run().unwrap(), "delta scenario replays exactly");
+}
+
+/// The negotiated fallback edge: the acked generation ages out of the
+/// delta ring while the poll is parked. Four same-instant appends all
+/// fire before the fabric moves, so the host publishes ring-size + 1
+/// generations mid-park; the wake must fall back to the full XML (and
+/// still converge) rather than ship a delta from an evicted base.
+#[test]
+fn generation_burst_mid_park_falls_back_to_full_xml() {
+    let mut sc = WorldScenario::new(910, PAGE_URL, PAGE_HTML);
+    sc.horizon = secs(8);
+    sc.at(SimDuration::ZERO, ScriptEvent::Join { pid: 1 });
+    sc.at(SimDuration::ZERO, ScriptEvent::EnableDelta { pid: 1 });
+    sc.at(
+        SimDuration::ZERO,
+        ScriptEvent::EnableLongPoll {
+            pid: 1,
+            wait: secs(2),
+        },
+    );
+    for i in 0..4u32 {
+        sc.at(
+            secs(4),
+            ScriptEvent::HostAppend {
+                text: format!("burst-{i}"),
+            },
+        );
+    }
+    let report = sc.run().unwrap();
+
+    let p1 = &report.participants[&1];
+    assert_eq!(report.stats.delta_fallbacks, 1, "ring miss must be counted");
+    assert_eq!(report.stats.polls_woken_delta, 0);
+    assert_eq!(p1.deltas_applied, 0, "no delta from an evicted base");
+    assert!(
+        p1.updates_applied >= 2,
+        "initial sync plus the full-XML fallback wake"
+    );
+    assert_eq!(
+        p1.doc_time, report.host_doc_time,
+        "fallback converged to the burst's final document"
+    );
+    assert_eq!(
+        report,
+        sc.run().unwrap(),
+        "fallback scenario replays exactly"
+    );
+}
+
 #[test]
 fn tick_mode_matches_reality_at_small_scale() {
     // Quantized stepping is the scale mode; make sure it still drives a

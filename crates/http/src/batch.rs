@@ -1,0 +1,196 @@
+//! The `multipart/x-rcb-batch` framing for batched delta replies.
+//!
+//! A woken long-poll whose delta references cache objects the participant
+//! cannot yet hold answers with **one** multipart response instead of the
+//! delta plus N follow-up `/cache/{key}` round trips. Part 1 is the delta
+//! XML; every further part is one object, stamped (`X-RCB-Url`) with the
+//! exact agent URL the participant caches it under. Parts are framed by a
+//! per-part `Content-Length`, so binary object bytes can never collide
+//! with the boundary — the boundary is a fixed token because
+//! [`Response::content_type`](crate::Response::content_type) strips media
+//! type parameters and both sides key on the bare type.
+//!
+//! The server-side assembler lives next to the snapshot delta ring in
+//! `rcb-core`; this module owns the wire constants and the participant's
+//! parser.
+
+use rcb_util::{RcbError, Result};
+
+/// The full `Content-Type` value of a batched delta reply.
+pub const BATCH_CONTENT_TYPE: &str = "multipart/x-rcb-batch; boundary=rcb-batch";
+
+/// The bare media type, as [`crate::Response::content_type`] reports it.
+pub const BATCH_MEDIA_TYPE: &str = "multipart/x-rcb-batch";
+
+/// The fixed multipart boundary token inside [`BATCH_CONTENT_TYPE`].
+pub const BATCH_BOUNDARY: &str = "rcb-batch";
+
+/// One decoded part of a batch reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPart {
+    /// The part's `Content-Type`.
+    pub content_type: String,
+    /// The agent URL to cache the part under (`X-RCB-Url`); `None` on the
+    /// leading delta-XML part.
+    pub url: Option<String>,
+    /// The part's body bytes.
+    pub data: Vec<u8>,
+}
+
+/// Parses a [`BATCH_CONTENT_TYPE`] body into its parts.
+///
+/// Strict by construction: every part must open with the fixed boundary,
+/// carry a `Content-Length`, and the body must end with the closing
+/// boundary — a truncated or reordered body is an error, never a silent
+/// partial result.
+pub fn parse_batch_parts(body: &[u8]) -> Result<Vec<BatchPart>> {
+    const OPEN: &[u8] = b"--rcb-batch\r\n";
+    const CLOSE: &[u8] = b"--rcb-batch--";
+    let mut parts = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &body[pos..];
+        if rest.starts_with(CLOSE) {
+            if parts.is_empty() {
+                return Err(RcbError::parse("batch", "no parts before closing boundary"));
+            }
+            return Ok(parts);
+        }
+        if !rest.starts_with(OPEN) {
+            return Err(RcbError::parse(
+                "batch",
+                format!("expected part boundary at offset {pos}"),
+            ));
+        }
+        let head_start = pos + OPEN.len();
+        let head_end = find_subslice(&body[head_start..], b"\r\n\r\n")
+            .map(|i| head_start + i)
+            .ok_or_else(|| RcbError::parse("batch", "part headers not terminated"))?;
+        let mut content_type = None;
+        let mut content_length = None;
+        let mut url = None;
+        let head = std::str::from_utf8(&body[head_start..head_end])
+            .map_err(|_| RcbError::parse("batch", "part headers are not UTF-8"))?;
+        for line in head.split("\r\n") {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| RcbError::parse("batch", format!("malformed header {line:?}")))?;
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-type" => content_type = Some(value.to_string()),
+                "content-length" => {
+                    content_length = Some(value.parse::<usize>().map_err(|_| {
+                        RcbError::parse("batch", "Content-Length is not an integer")
+                    })?);
+                }
+                "x-rcb-url" => url = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        let content_type =
+            content_type.ok_or_else(|| RcbError::parse("batch", "part missing Content-Type"))?;
+        let len = content_length
+            .ok_or_else(|| RcbError::parse("batch", "part missing Content-Length"))?;
+        let data_start = head_end + 4;
+        let data_end = data_start
+            .checked_add(len)
+            .filter(|&e| e + 2 <= body.len())
+            .ok_or_else(|| RcbError::parse("batch", "part data truncated"))?;
+        if &body[data_end..data_end + 2] != b"\r\n" {
+            return Err(RcbError::parse("batch", "part data not CRLF-terminated"));
+        }
+        parts.push(BatchPart {
+            content_type,
+            url,
+            data: body[data_start..data_end].to_vec(),
+        });
+        pos = data_end + 2;
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> Vec<u8> {
+        let xml = b"<deltaContent>x</deltaContent>";
+        let obj = b"GIF89a\x00\x01\xffbinary";
+        let mut body = Vec::new();
+        body.extend_from_slice(
+            format!(
+                "--rcb-batch\r\nContent-Type: application/xml; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+                xml.len()
+            )
+            .as_bytes(),
+        );
+        body.extend_from_slice(xml);
+        body.extend_from_slice(b"\r\n");
+        body.extend_from_slice(
+            format!(
+                "--rcb-batch\r\nContent-Type: image/gif\r\nContent-Length: {}\r\nX-RCB-Url: /cache/7?k=abc\r\n\r\n",
+                obj.len()
+            )
+            .as_bytes(),
+        );
+        body.extend_from_slice(obj);
+        body.extend_from_slice(b"\r\n--rcb-batch--\r\n");
+        body
+    }
+
+    #[test]
+    fn parses_delta_plus_object_parts() {
+        let parts = parse_batch_parts(&sample_body()).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].content_type, "application/xml; charset=utf-8");
+        assert_eq!(parts[0].url, None);
+        assert_eq!(parts[0].data, b"<deltaContent>x</deltaContent>");
+        assert_eq!(parts[1].url.as_deref(), Some("/cache/7?k=abc"));
+        assert_eq!(parts[1].data, b"GIF89a\x00\x01\xffbinary");
+    }
+
+    #[test]
+    fn binary_bytes_resembling_boundaries_survive() {
+        // Content-Length framing means a part may contain the boundary.
+        let obj = b"--rcb-batch--\r\ninside data";
+        let mut body = Vec::new();
+        body.extend_from_slice(
+            format!(
+                "--rcb-batch\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nX-RCB-Url: /cache/1?k=z\r\n\r\n",
+                obj.len()
+            )
+            .as_bytes(),
+        );
+        body.extend_from_slice(obj);
+        body.extend_from_slice(b"\r\n--rcb-batch--\r\n");
+        let parts = parse_batch_parts(&body).unwrap();
+        assert_eq!(parts[0].data, obj);
+    }
+
+    #[test]
+    fn rejects_truncated_and_malformed_bodies() {
+        let good = sample_body();
+        // Truncation anywhere inside the final part or boundary fails.
+        assert!(parse_batch_parts(&good[..good.len() - 20]).is_err());
+        assert!(parse_batch_parts(b"--rcb-batch\r\nContent-Type: a/b\r\n\r\n").is_err());
+        assert!(parse_batch_parts(b"not a batch at all").is_err());
+        assert!(
+            parse_batch_parts(b"--rcb-batch--\r\n").is_err(),
+            "empty batch"
+        );
+        // Missing Content-Length is an error, not a guess.
+        assert!(parse_batch_parts(
+            b"--rcb-batch\r\nContent-Type: a/b\r\n\r\ndata\r\n--rcb-batch--\r\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn media_type_constants_agree() {
+        assert!(BATCH_CONTENT_TYPE.starts_with(BATCH_MEDIA_TYPE));
+        assert!(BATCH_CONTENT_TYPE.ends_with(BATCH_BOUNDARY));
+    }
+}

@@ -16,6 +16,7 @@
 //! [`simdrive`] is the single-threaded deterministic server driver the
 //! world sim pumps in place of the threaded engines.
 
+pub mod batch;
 pub mod client;
 // The one place the platform condition for the epoll backend appears in
 // this crate: everywhere else compiles identically against whichever
@@ -41,6 +42,9 @@ pub mod server;
 pub mod simdrive;
 pub mod transport;
 
+pub use batch::{
+    parse_batch_parts, BatchPart, BATCH_BOUNDARY, BATCH_CONTENT_TYPE, BATCH_MEDIA_TYPE,
+};
 pub use headers::HeaderMap;
 pub use message::{Body, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, ParseReject, RequestParser};

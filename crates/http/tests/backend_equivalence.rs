@@ -654,6 +654,150 @@ fn parked_poll_wake_is_byte_identical_across_backends() {
 }
 
 #[test]
+fn woken_delta_and_fallback_replies_are_byte_identical_across_backends() {
+    use rcb_http::{parse_batch_parts, BATCH_CONTENT_TYPE, BATCH_MEDIA_TYPE};
+    use std::io::Write as _;
+
+    // The delta wake path exactly as the agent drives it at this seam:
+    // the on_wake closure picks between a prefab multipart batch (delta
+    // + inlined object) and the prefab full XML (ring-miss fallback).
+    // Both picks must produce identical bytes on every backend, and the
+    // fallback must equal the immediate full reply bit for bit.
+    let delta_xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+        <deltaContent>\n<docTime>2</docTime>\n<fromDocTime>1</fromDocTime>\n\
+        <docContent>\n</docContent>\n<userActions></userActions>\n</deltaContent>\n";
+    // Binary part data containing \r\n and boundary-resembling bytes:
+    // the framing is Content-Length driven, not sentinel-scanning.
+    let obj: &[u8] = b"\x89PNG\r\n--rcb-batch\r\nnot-a-boundary\x00\xff";
+    let mut batch = Vec::new();
+    write!(
+        batch,
+        "--rcb-batch\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+        delta_xml.len()
+    )
+    .unwrap();
+    batch.extend_from_slice(delta_xml.as_bytes());
+    batch.extend_from_slice(b"\r\n");
+    write!(
+        batch,
+        "--rcb-batch\r\nContent-Type: image/png\r\nX-RCB-Url: /cache/7?k=00aabb\r\nContent-Length: {}\r\n\r\n",
+        obj.len()
+    )
+    .unwrap();
+    batch.extend_from_slice(obj);
+    batch.extend_from_slice(b"\r\n--rcb-batch--\r\n");
+
+    let delta = Response::with_body(Status::OK, BATCH_CONTENT_TYPE, batch).into_prefab();
+    let full = Response::xml("<newContent>full</newContent>").into_prefab();
+
+    let make_handler = {
+        let delta = delta.clone();
+        let full = full.clone();
+        move || -> Handler {
+            let delta = delta.clone();
+            let full = full.clone();
+            Arc::new(move |req: Request| {
+                if req.path() == "/wake" {
+                    let reply = if req.query_param("d").as_deref() == Some("1") {
+                        delta.clone()
+                    } else {
+                        full.clone()
+                    };
+                    return HandlerOutcome::Park(Park {
+                        channel: 0,
+                        wait_key: 0,
+                        max_wait: Duration::from_secs(5),
+                        on_wake: Box::new(move || reply),
+                        on_timeout: Box::new(|| Response::xml("")),
+                    });
+                }
+                full.clone().into()
+            })
+        }
+    };
+
+    let mut reference: Option<(ServerBackend, Vec<u8>, Vec<u8>)> = None;
+    for backend in backends() {
+        let hub = Arc::new(ParkHub::default());
+        let mut server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            make_handler(),
+            ServerConfig::builder()
+                .backend(backend)
+                .workers(2)
+                .park_hub(Arc::clone(&hub))
+                .build(),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let connect = || {
+            let s = TcpStream::connect(&addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        };
+        let mut delta_conn = connect();
+        let mut fallback_conn = connect();
+        delta_conn
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/wake?d=1",
+            )))
+            .unwrap();
+        fallback_conn
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/wake",
+            )))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        hub.publish(1);
+        let delta_wire = read_n_frames(&mut delta_conn, 1);
+        let fallback_wire = read_n_frames(&mut fallback_conn, 1);
+        // The fallback is the full reply's exact bytes, not a near-copy.
+        fallback_conn
+            .write_all(&rcb_http::serialize::serialize_request(&Request::get(
+                "/full",
+            )))
+            .unwrap();
+        let immediate_full = read_n_frames(&mut fallback_conn, 1);
+        server.shutdown();
+        assert_eq!(
+            fallback_wire, immediate_full,
+            "{backend}: fallback bytes differ from the full reply"
+        );
+        // The woken delta parses back: multipart content type, both
+        // parts intact (binary data with embedded CRLF/boundary bytes
+        // survives), minted URL preserved on the object part.
+        let resp = rcb_http::parse_response(&delta_wire).unwrap();
+        assert_eq!(
+            resp.content_type().as_deref(),
+            Some(BATCH_MEDIA_TYPE),
+            "{backend}"
+        );
+        let parts = parse_batch_parts(resp.body.as_slice()).unwrap();
+        assert_eq!(parts.len(), 2, "{backend}");
+        assert_eq!(parts[0].data, delta_xml.as_bytes(), "{backend}");
+        assert_eq!(parts[1].data, obj, "{backend}");
+        assert_eq!(
+            parts[1].url.as_deref(),
+            Some("/cache/7?k=00aabb"),
+            "{backend}"
+        );
+        match &reference {
+            None => reference = Some((backend, delta_wire, fallback_wire)),
+            Some((ref_backend, ref_delta, ref_fallback)) => {
+                assert_eq!(
+                    &delta_wire, ref_delta,
+                    "delta wire bytes diverge: {backend} vs {ref_backend}"
+                );
+                assert_eq!(
+                    &fallback_wire, ref_fallback,
+                    "fallback wire bytes diverge: {backend} vs {ref_backend}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn parked_poll_timeout_equals_the_empty_reply_on_every_backend() {
     // An unpublished park runs out its window and must produce the exact
     // bytes of the immediate empty reply — the fallback is the same

@@ -23,7 +23,7 @@ pub mod sys;
 pub use bytesize::ByteSize;
 pub use clock::{Clock, SimDuration, SimTime, VirtualClock};
 pub use error::{RcbError, Result};
-pub use metrics::{Counter, Histogram, Stopwatch};
+pub use metrics::{nearest_rank_index, percentile_nearest_rank, Counter, Histogram, Stopwatch};
 pub use rng::DetRng;
 
 /// The soft `RLIMIT_NOFILE` of this process, where the syscall shim

@@ -78,13 +78,12 @@ impl Histogram {
 
     /// Exact percentile via nearest-rank (`p` in `[0, 100]`).
     pub fn percentile(&self, p: f64) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted[rank]
+        match nearest_rank_index(sorted.len(), p) {
+            Some(idx) => sorted[idx],
+            None => SimDuration::ZERO,
+        }
     }
 
     /// Sample standard deviation in microseconds (0 for <2 samples).
@@ -130,6 +129,34 @@ impl Histogram {
     pub fn samples(&self) -> &[SimDuration] {
         &self.samples
     }
+}
+
+/// Index of the nearest-rank percentile in a sorted slice of length `len`.
+///
+/// Nearest-rank definition: `rank = ceil(p/100 · len)` clamped to
+/// `[1, len]`; the returned index is `rank - 1`. Returns `None` for an
+/// empty slice. `p` is clamped to `[0, 100]`, so `p = 0` selects the
+/// minimum and `p = 100` the maximum.
+///
+/// This is the one audited implementation shared by the router's
+/// per-session outlier aggregation and the bench gates; the hand-rolled
+/// `ceil`/`clamp` (and off-by-one `round`) variants it replaced disagreed
+/// at the boundaries (len 1, p = 100, all-equal ties).
+pub fn nearest_rank_index(len: usize, p: f64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * len as f64).ceil() as usize;
+    Some(rank.clamp(1, len) - 1)
+}
+
+/// Nearest-rank percentile of an already **sorted ascending** slice.
+///
+/// Thin wrapper over [`nearest_rank_index`] for the common `u64` sample
+/// case (microsecond latencies, byte counts). Returns `None` when empty.
+pub fn percentile_nearest_rank(sorted: &[u64], p: f64) -> Option<u64> {
+    nearest_rank_index(sorted.len(), p).map(|i| sorted[i])
 }
 
 /// Wall-clock stopwatch for CPU-bound measurements (M5/M6).
@@ -201,6 +228,46 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nearest_rank_len_one() {
+        // Any percentile of a single sample is that sample.
+        for p in [0.0, 0.1, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank_index(1, p), Some(0), "p={p}");
+            assert_eq!(percentile_nearest_rank(&[42], p), Some(42), "p={p}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_len_100() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        // With len 100, rank = ceil(p) exactly: p99 is the 99th value.
+        assert_eq!(percentile_nearest_rank(&sorted, 99.0), Some(99));
+        assert_eq!(percentile_nearest_rank(&sorted, 100.0), Some(100));
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), Some(50));
+        assert_eq!(percentile_nearest_rank(&sorted, 1.0), Some(1));
+        // p = 0 clamps the rank up to 1: the minimum, never a panic.
+        assert_eq!(percentile_nearest_rank(&sorted, 0.0), Some(1));
+        // p99.5 must round *up* to rank 100, not truncate to 99.
+        assert_eq!(percentile_nearest_rank(&sorted, 99.5), Some(100));
+    }
+
+    #[test]
+    fn nearest_rank_all_equal() {
+        let sorted = [7u64; 31];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_nearest_rank(&sorted, p), Some(7), "p={p}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_empty_and_out_of_range() {
+        assert_eq!(nearest_rank_index(0, 99.0), None);
+        assert_eq!(percentile_nearest_rank(&[], 50.0), None);
+        // Out-of-range percentiles clamp instead of indexing out of bounds.
+        assert_eq!(percentile_nearest_rank(&[1, 2, 3], -5.0), Some(1));
+        assert_eq!(percentile_nearest_rank(&[1, 2, 3], 250.0), Some(3));
     }
 
     #[test]

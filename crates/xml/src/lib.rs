@@ -33,6 +33,6 @@ pub mod reader;
 pub mod scanner;
 pub mod writer;
 
-pub use model::{ElementPayload, NewContent, TopLevel};
-pub use reader::parse_new_content;
-pub use writer::write_new_content;
+pub use model::{DeltaContent, ElementPayload, NewContent, PollPayload, TopLevel};
+pub use reader::{parse_delta_content, parse_new_content, parse_poll_payload};
+pub use writer::{write_delta_content, write_new_content};

@@ -140,6 +140,41 @@ pub struct NewContent {
     pub user_actions: String,
 }
 
+/// A delta update between two published generations (`deltaContent`).
+///
+/// Mirrors [`NewContent`] but carries only the components that changed
+/// since the generation stamped `from_doc_time`: a `None` slot means
+/// "unchanged — keep what you have". The paper's Fig.-4 layout is reused
+/// verbatim for the present slots, so a delta with both slots populated
+/// is byte-equivalent in payload encoding to the full document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaContent {
+    /// Document timestamp of the generation this delta produces.
+    pub doc_time: u64,
+    /// Document timestamp of the base generation the receiver must
+    /// already hold for this delta to apply.
+    pub from_doc_time: u64,
+    /// Replacement head children, or `None` when the head is unchanged.
+    pub head_children: Option<Vec<ElementPayload>>,
+    /// Replacement top-level content, or `None` when unchanged.
+    pub top: Option<TopLevel>,
+    /// Additional browsing-action data, as in [`NewContent`].
+    pub user_actions: String,
+}
+
+/// Either poll-reply document: the full Fig.-4 snapshot or a delta.
+///
+/// The participant can receive both on one connection (full XML on an
+/// immediate reply or a ring miss, delta on a woken long-poll), so the
+/// response parser dispatches on the root element name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollPayload {
+    /// A complete `newContent` snapshot.
+    Full(NewContent),
+    /// A `deltaContent` update against an acked base generation.
+    Delta(DeltaContent),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 use rcb_url::jsescape::unescape;
 use rcb_util::{RcbError, Result};
 
-use crate::model::{ElementPayload, NewContent, TopLevel};
+use crate::model::{DeltaContent, ElementPayload, NewContent, PollPayload, TopLevel};
 use crate::scanner::{parse_document, XmlElement};
 
 /// Parses the `application/xml` body of a polling response.
@@ -25,19 +25,107 @@ pub fn parse_new_content(body: &str) -> Result<Option<NewContent>> {
             format!("unexpected root element {:?}", root.name),
         ));
     }
-    let doc_time: u64 = root
-        .child("docTime")
-        .ok_or_else(|| RcbError::parse("newContent", "missing docTime"))?
-        .text()
-        .trim()
-        .parse()
-        .map_err(|_| RcbError::parse("newContent", "docTime is not an integer"))?;
+    new_content_from_root(&root).map(Some)
+}
+
+/// Parses a `deltaContent` document (the woken long-poll reply when the
+/// acked generation is still in the server's delta ring).
+///
+/// Same empty-body convention as [`parse_new_content`].
+pub fn parse_delta_content(body: &str) -> Result<Option<DeltaContent>> {
+    if body.trim().is_empty() {
+        return Ok(None);
+    }
+    let root = parse_document(body)?;
+    if root.name != "deltaContent" {
+        return Err(RcbError::parse(
+            "deltaContent",
+            format!("unexpected root element {:?}", root.name),
+        ));
+    }
+    delta_content_from_root(&root).map(Some)
+}
+
+/// Parses either poll-reply document, dispatching on the root element:
+/// `newContent` → [`PollPayload::Full`], `deltaContent` →
+/// [`PollPayload::Delta`]. Empty body still means "no new content".
+pub fn parse_poll_payload(body: &str) -> Result<Option<PollPayload>> {
+    if body.trim().is_empty() {
+        return Ok(None);
+    }
+    let root = parse_document(body)?;
+    match root.name.as_str() {
+        "newContent" => new_content_from_root(&root).map(|nc| Some(PollPayload::Full(nc))),
+        "deltaContent" => delta_content_from_root(&root).map(|dc| Some(PollPayload::Delta(dc))),
+        other => Err(RcbError::parse(
+            "pollPayload",
+            format!("unexpected root element {other:?}"),
+        )),
+    }
+}
+
+fn new_content_from_root(root: &XmlElement) -> Result<NewContent> {
+    let doc_time = parse_doc_time(root, "newContent", "docTime")?;
     let content = root
         .child("docContent")
         .ok_or_else(|| RcbError::parse("newContent", "missing docContent"))?;
     let head = content
         .child("docHead")
         .ok_or_else(|| RcbError::parse("newContent", "missing docHead"))?;
+    let head_children = parse_head_children(head)?;
+    let top = parse_top(content)?.ok_or_else(|| {
+        RcbError::parse(
+            "newContent",
+            "docContent carries neither docBody nor docFrameSet",
+        )
+    })?;
+    let user_actions = root
+        .child("userActions")
+        .map(|e| e.text())
+        .unwrap_or_default();
+    Ok(NewContent {
+        doc_time,
+        head_children,
+        top,
+        user_actions,
+    })
+}
+
+fn delta_content_from_root(root: &XmlElement) -> Result<DeltaContent> {
+    let doc_time = parse_doc_time(root, "deltaContent", "docTime")?;
+    let from_doc_time = parse_doc_time(root, "deltaContent", "fromDocTime")?;
+    let content = root
+        .child("docContent")
+        .ok_or_else(|| RcbError::parse("deltaContent", "missing docContent"))?;
+    // Unlike the full document, an absent docHead means "head unchanged".
+    let head_children = content
+        .child("docHead")
+        .map(parse_head_children)
+        .transpose()?;
+    let top = parse_top(content)?;
+    let user_actions = root
+        .child("userActions")
+        .map(|e| e.text())
+        .unwrap_or_default();
+    Ok(DeltaContent {
+        doc_time,
+        from_doc_time,
+        head_children,
+        top,
+        user_actions,
+    })
+}
+
+fn parse_doc_time(root: &XmlElement, what: &'static str, name: &str) -> Result<u64> {
+    root.child(name)
+        .ok_or_else(|| RcbError::parse(what, format!("missing {name}")))?
+        .text()
+        .trim()
+        .parse()
+        .map_err(|_| RcbError::parse(what, format!("{name} is not an integer")))
+}
+
+fn parse_head_children(head: &XmlElement) -> Result<Vec<ElementPayload>> {
     let mut head_children = Vec::new();
     for (i, child) in head.child_elements().enumerate() {
         let expected = format!("hChild{}", i + 1);
@@ -49,33 +137,26 @@ pub fn parse_new_content(body: &str) -> Result<Option<NewContent>> {
         }
         head_children.push(decode_payload(child)?);
     }
-    let top = if let Some(body_el) = content.child("docBody") {
-        TopLevel::Body(decode_payload(body_el)?)
+    Ok(head_children)
+}
+
+/// Parses the top-level slot of a `docContent` section; `Ok(None)` when
+/// neither `docBody` nor `docFrameSet` is present (legal only in deltas).
+fn parse_top(content: &XmlElement) -> Result<Option<TopLevel>> {
+    if let Some(body_el) = content.child("docBody") {
+        Ok(Some(TopLevel::Body(decode_payload(body_el)?)))
     } else if let Some(fs) = content.child("docFrameSet") {
         let noframes = content
             .child("docNoFrames")
             .map(decode_payload)
             .transpose()?;
-        TopLevel::Frames {
+        Ok(Some(TopLevel::Frames {
             frameset: decode_payload(fs)?,
             noframes,
-        }
+        }))
     } else {
-        return Err(RcbError::parse(
-            "newContent",
-            "docContent carries neither docBody nor docFrameSet",
-        ));
-    };
-    let user_actions = root
-        .child("userActions")
-        .map(|e| e.text())
-        .unwrap_or_default();
-    Ok(Some(NewContent {
-        doc_time,
-        head_children,
-        top,
-        user_actions,
-    }))
+        Ok(None)
+    }
 }
 
 fn decode_payload(el: &XmlElement) -> Result<ElementPayload> {
@@ -151,6 +232,58 @@ mod tests {
                    <hChild2><![CDATA[title%01%01x]]></hChild2></docHead>\
                    <docBody><![CDATA[body%01%01y]]></docBody></docContent></newContent>";
         assert!(parse_new_content(xml).is_err());
+    }
+
+    #[test]
+    fn delta_roundtrip_all_slot_combinations() {
+        use crate::writer::write_delta_content;
+        let nc = sample(TopLevel::Body(ElementPayload::new("body", "<p>v2</p>")));
+        let combos = [
+            (Some(nc.head_children.clone()), Some(nc.top.clone())),
+            (Some(nc.head_children.clone()), None),
+            (None, Some(nc.top.clone())),
+            (None, None),
+        ];
+        for (head_children, top) in combos {
+            let dc = DeltaContent {
+                doc_time: 42,
+                from_doc_time: 41,
+                head_children,
+                top,
+                user_actions: "mouse:1,2".into(),
+            };
+            let xml = write_delta_content(&dc);
+            assert_eq!(parse_delta_content(&xml).unwrap().unwrap(), dc);
+            assert_eq!(
+                parse_poll_payload(&xml).unwrap().unwrap(),
+                PollPayload::Delta(dc)
+            );
+        }
+    }
+
+    #[test]
+    fn poll_payload_dispatches_on_root() {
+        let nc = sample(TopLevel::Body(ElementPayload::new("body", "x")));
+        let xml = write_new_content(&nc);
+        assert_eq!(
+            parse_poll_payload(&xml).unwrap().unwrap(),
+            PollPayload::Full(nc)
+        );
+        assert_eq!(parse_poll_payload("").unwrap(), None);
+        assert_eq!(parse_poll_payload(" \n").unwrap(), None);
+        assert!(parse_poll_payload("<other/>").is_err());
+    }
+
+    #[test]
+    fn delta_rejects_missing_from_doc_time() {
+        let xml = "<deltaContent><docTime>1</docTime><docContent></docContent></deltaContent>";
+        assert!(parse_delta_content(xml).is_err());
+        // And the full parser still refuses a delta root.
+        assert!(parse_new_content(
+            "<deltaContent><docTime>1</docTime><fromDocTime>0</fromDocTime>\
+             <docContent></docContent></deltaContent>"
+        )
+        .is_err());
     }
 
     #[test]

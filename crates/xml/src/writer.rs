@@ -1,8 +1,9 @@
-//! Serializes a [`NewContent`] into the exact Figure-4 document.
+//! Serializes a [`NewContent`] into the exact Figure-4 document, and a
+//! [`DeltaContent`] into the same layout with unchanged slots omitted.
 
 use std::fmt::Write as _;
 
-use crate::model::{ElementPayload, NewContent, TopLevel};
+use crate::model::{DeltaContent, ElementPayload, NewContent, TopLevel};
 use crate::scanner::encode_text;
 
 /// Writes the newContent document, matching the paper's Figure 4 layout
@@ -30,38 +31,83 @@ pub fn write_new_content(nc: &NewContent) -> String {
     out.push_str("<newContent>\n");
     let _ = writeln!(out, "<docTime>{}</docTime>", nc.doc_time);
     out.push_str("<docContent>\n");
-    out.push_str("<docHead>\n");
-    for (i, child) in nc.head_children.iter().enumerate() {
-        let _ = write!(out, "<hChild{}><![CDATA[", i + 1);
-        child.encode_escaped_into(&mut out);
-        let _ = writeln!(out, "]]></hChild{}>", i + 1);
-    }
-    out.push_str("</docHead>\n");
-    match &nc.top {
-        TopLevel::Body(body) => {
-            out.push_str("<!-- for a page using body element -->\n");
-            out.push_str("<docBody><![CDATA[");
-            body.encode_escaped_into(&mut out);
-            out.push_str("]]></docBody>\n");
-        }
-        TopLevel::Frames { frameset, noframes } => {
-            out.push_str("<!-- for a page using frames -->\n");
-            out.push_str("<docFrameSet><![CDATA[");
-            frameset.encode_escaped_into(&mut out);
-            out.push_str("]]></docFrameSet>\n");
-            if let Some(nf) = noframes {
-                out.push_str("<docNoFrames><![CDATA[");
-                nf.encode_escaped_into(&mut out);
-                out.push_str("]]></docNoFrames>\n");
-            }
-        }
-    }
+    write_head_into(&mut out, &nc.head_children);
+    write_top_into(&mut out, &nc.top);
     out.push_str("</docContent>\n");
     out.push_str("<userActions>");
     out.push_str(&encode_text(&nc.user_actions));
     out.push_str("</userActions>\n");
     out.push_str("</newContent>\n");
     out
+}
+
+/// Writes the deltaContent document: same Fig.-4 framing as
+/// [`write_new_content`] plus `fromDocTime`, with the `docHead` and
+/// `docBody`/`docFrameSet` sections *omitted entirely* when that slot is
+/// unchanged. A fully populated delta therefore differs from the full
+/// document only in the root element name and the extra timestamp line.
+pub fn write_delta_content(dc: &DeltaContent) -> String {
+    let payload_bytes: usize = dc
+        .head_children
+        .as_ref()
+        .map_or(0, |hc| hc.iter().map(payload_len).sum())
+        + match &dc.top {
+            Some(TopLevel::Body(b)) => payload_len(b),
+            Some(TopLevel::Frames { frameset, noframes }) => {
+                payload_len(frameset) + noframes.as_ref().map_or(0, payload_len)
+            }
+            None => 0,
+        };
+    let mut out = String::with_capacity(2 * payload_bytes + dc.user_actions.len() + 512);
+    out.push_str("<?xml version='1.0' encoding='utf-8'?>\n");
+    out.push_str("<deltaContent>\n");
+    let _ = writeln!(out, "<docTime>{}</docTime>", dc.doc_time);
+    let _ = writeln!(out, "<fromDocTime>{}</fromDocTime>", dc.from_doc_time);
+    out.push_str("<docContent>\n");
+    if let Some(head_children) = &dc.head_children {
+        write_head_into(&mut out, head_children);
+    }
+    if let Some(top) = &dc.top {
+        write_top_into(&mut out, top);
+    }
+    out.push_str("</docContent>\n");
+    out.push_str("<userActions>");
+    out.push_str(&encode_text(&dc.user_actions));
+    out.push_str("</userActions>\n");
+    out.push_str("</deltaContent>\n");
+    out
+}
+
+fn write_head_into(out: &mut String, head_children: &[ElementPayload]) {
+    out.push_str("<docHead>\n");
+    for (i, child) in head_children.iter().enumerate() {
+        let _ = write!(out, "<hChild{}><![CDATA[", i + 1);
+        child.encode_escaped_into(out);
+        let _ = writeln!(out, "]]></hChild{}>", i + 1);
+    }
+    out.push_str("</docHead>\n");
+}
+
+fn write_top_into(out: &mut String, top: &TopLevel) {
+    match top {
+        TopLevel::Body(body) => {
+            out.push_str("<!-- for a page using body element -->\n");
+            out.push_str("<docBody><![CDATA[");
+            body.encode_escaped_into(out);
+            out.push_str("]]></docBody>\n");
+        }
+        TopLevel::Frames { frameset, noframes } => {
+            out.push_str("<!-- for a page using frames -->\n");
+            out.push_str("<docFrameSet><![CDATA[");
+            frameset.encode_escaped_into(out);
+            out.push_str("]]></docFrameSet>\n");
+            if let Some(nf) = noframes {
+                out.push_str("<docNoFrames><![CDATA[");
+                nf.encode_escaped_into(out);
+                out.push_str("]]></docNoFrames>\n");
+            }
+        }
+    }
 }
 
 fn payload_len(p: &ElementPayload) -> usize {
@@ -126,6 +172,58 @@ mod tests {
         assert!(xml.contains("<docFrameSet><![CDATA["));
         assert!(xml.contains("<docNoFrames><![CDATA["));
         assert!(!xml.contains("<docBody>"));
+    }
+
+    #[test]
+    fn delta_omits_unchanged_slots() {
+        let full = sample();
+        let head_only = DeltaContent {
+            doc_time: 10,
+            from_doc_time: 9,
+            head_children: Some(full.head_children.clone()),
+            top: None,
+            user_actions: String::new(),
+        };
+        let xml = write_delta_content(&head_only);
+        assert!(xml.contains("<deltaContent>"));
+        assert!(xml.contains("<docTime>10</docTime>"));
+        assert!(xml.contains("<fromDocTime>9</fromDocTime>"));
+        assert!(xml.contains("<docHead>"));
+        assert!(!xml.contains("<docBody>"));
+        assert!(!xml.contains("<docFrameSet>"));
+
+        let top_only = DeltaContent {
+            doc_time: 10,
+            from_doc_time: 9,
+            head_children: None,
+            top: Some(full.top.clone()),
+            user_actions: "a".into(),
+        };
+        let xml = write_delta_content(&top_only);
+        assert!(!xml.contains("<docHead>"));
+        assert!(xml.contains("<docBody><![CDATA["));
+    }
+
+    #[test]
+    fn full_delta_reuses_figure4_section_bytes() {
+        // A delta carrying both slots emits the exact section bytes of the
+        // full document — only the root name and fromDocTime line differ.
+        let nc = sample();
+        let dc = DeltaContent {
+            doc_time: nc.doc_time,
+            from_doc_time: 7,
+            head_children: Some(nc.head_children.clone()),
+            top: Some(nc.top.clone()),
+            user_actions: nc.user_actions.clone(),
+        };
+        let full = write_new_content(&nc);
+        let delta = write_delta_content(&dc);
+        let section = |xml: &str| {
+            let s = xml.find("<docContent>").unwrap();
+            let e = xml.find("</docContent>").unwrap();
+            xml[s..e].to_string()
+        };
+        assert_eq!(section(&full), section(&delta));
     }
 
     #[test]

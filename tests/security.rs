@@ -110,12 +110,22 @@ fn object_requests_need_valid_tokens() {
         .expect("cache URLs in content");
     let url: String = body.inner_html[idx..].split('"').next().unwrap().into();
 
-    // No token.
+    // No token, and an empty token: both malformed requests (400),
+    // byte-identical — token *absence* is a 400, a *wrong* token a 401.
     let bare = url.split('?').next().unwrap().to_string();
     let r1 = agent
         .handle_request(&Request::get(bare.clone()), &mut host, SimTime::ZERO)
         .response;
-    assert_eq!(r1.status, Status::UNAUTHORIZED);
+    assert_eq!(r1.status, Status::BAD_REQUEST);
+    let r1e = agent
+        .handle_request(
+            &Request::get(format!("{bare}?k=")),
+            &mut host,
+            SimTime::ZERO,
+        )
+        .response;
+    assert_eq!(r1e.status, Status::BAD_REQUEST);
+    assert_eq!(r1e.body_str(), r1.body_str());
 
     // Forged token.
     let r2 = agent
